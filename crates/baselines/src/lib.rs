@@ -1,0 +1,32 @@
+//! Processor-centric PIR baselines evaluated against IM-PIR.
+//!
+//! The paper compares IM-PIR against two processor-centric systems:
+//!
+//! * **CPU-PIR** — a DPF-PIR implementation in the style of Google's
+//!   `distributed_point_functions` library: one CPU worker thread per
+//!   query, AVX-accelerated XOR scan, AES-NI DPF evaluation
+//!   ([`cpu_pir::CpuPirBaseline`]);
+//! * **GPU-PIR** — the GPU-accelerated DPF-PIR of Lam et al. (ASPLOS'24),
+//!   which evaluates the DPF with a memory-bounded tree traversal and
+//!   performs the scan with massively parallel reductions
+//!   ([`gpu_pir::GpuPirBaseline`]). We do not have an RTX 4090, so the
+//!   functional computation runs on host threads while the reported
+//!   hardware time comes from the calibrated GPU device model in
+//!   [`impir_perf`] (see `DESIGN.md`, substitution table).
+//!
+//! All baselines and IM-PIR itself are exposed behind one
+//! [`SystemUnderTest`] trait so the benchmark harness can sweep them
+//! uniformly, and every system produces bit-identical PIR answers — the
+//! equivalence tests in this crate and in the workspace-level integration
+//! tests rely on that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu_pir;
+pub mod gpu_pir;
+mod sut;
+
+pub use cpu_pir::CpuPirBaseline;
+pub use gpu_pir::GpuPirBaseline;
+pub use sut::{ImPirSystem, SystemUnderTest};

@@ -1,0 +1,112 @@
+//! The "system under test" abstraction used by the benchmark harness.
+
+use impir_core::server::pim::{ImPirConfig, ImPirServer};
+use impir_core::server::{BatchOutcome, PirServer};
+use impir_core::{Database, PirError, QueryShare};
+use impir_perf::model::{BatchEstimate, PirWorkload};
+use std::sync::Arc;
+
+/// A PIR system the evaluation harness can drive: it answers batches of
+/// query shares (functionally, at laptop scale) and predicts its own
+/// latency at paper scale through the analytic model.
+pub trait SystemUnderTest {
+    /// Short label used in figures (`CPU-PIR`, `IM-PIR`, `GPU-PIR`).
+    fn label(&self) -> &'static str;
+
+    /// Number of records in the loaded database.
+    fn num_records(&self) -> u64;
+
+    /// Record size in bytes.
+    fn record_size(&self) -> usize;
+
+    /// Processes a batch of query shares functionally and returns measured
+    /// timings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    fn process_batch(&mut self, shares: &[QueryShare]) -> Result<BatchOutcome, PirError>;
+
+    /// Predicts the batch latency of this system on the paper's hardware
+    /// for the given workload.
+    fn model_batch(&self, workload: &PirWorkload) -> BatchEstimate;
+}
+
+/// IM-PIR wrapped as a [`SystemUnderTest`].
+#[derive(Debug)]
+pub struct ImPirSystem {
+    server: ImPirServer,
+    clusters: usize,
+}
+
+impl ImPirSystem {
+    /// Builds an IM-PIR system over `database` with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and PIM allocation errors.
+    pub fn new(database: Arc<Database>, config: ImPirConfig) -> Result<Self, PirError> {
+        let clusters = config.clusters;
+        Ok(ImPirSystem {
+            server: ImPirServer::new(database, config)?,
+            clusters,
+        })
+    }
+
+    /// The underlying server (e.g. to read PIM activity reports).
+    #[must_use]
+    pub fn server(&self) -> &ImPirServer {
+        &self.server
+    }
+
+    /// Mutable access to the underlying server.
+    pub fn server_mut(&mut self) -> &mut ImPirServer {
+        &mut self.server
+    }
+}
+
+impl SystemUnderTest for ImPirSystem {
+    fn label(&self) -> &'static str {
+        "IM-PIR"
+    }
+
+    fn num_records(&self) -> u64 {
+        self.server.num_records()
+    }
+
+    fn record_size(&self) -> usize {
+        self.server.record_size()
+    }
+
+    fn process_batch(&mut self, shares: &[QueryShare]) -> Result<BatchOutcome, PirError> {
+        self.server.process_batch(shares)
+    }
+
+    fn model_batch(&self, workload: &PirWorkload) -> BatchEstimate {
+        let host = impir_perf::DeviceProfile::pim_host_xeon_silver_4110();
+        impir_perf::model::impir_batch(&host, workload, self.clusters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impir_system_reports_geometry_and_label() {
+        let db = Arc::new(Database::random(64, 16, 1).unwrap());
+        let system = ImPirSystem::new(db, ImPirConfig::tiny_test(2)).unwrap();
+        assert_eq!(system.label(), "IM-PIR");
+        assert_eq!(system.num_records(), 64);
+        assert_eq!(system.record_size(), 16);
+    }
+
+    #[test]
+    fn impir_model_scales_with_workload() {
+        let db = Arc::new(Database::random(64, 16, 1).unwrap());
+        let system = ImPirSystem::new(db, ImPirConfig::tiny_test(2)).unwrap();
+        let small = system.model_batch(&PirWorkload::new(1 << 30, 32, 32));
+        let large = system.model_batch(&PirWorkload::new(8 << 30, 32, 32));
+        assert!(large.latency_seconds > small.latency_seconds);
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion benchmarks behind Figure 10: single-query server-side
+//! processing, whose phase breakdown the `fig10` binary reports.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
+use impir_core::server::pim::{ImPirConfig, ImPirServer};
+use impir_core::server::PirServer;
+use impir_core::{Database, PirClient};
+use impir_pim::PimConfig;
+
+const RECORD_BYTES: usize = 32;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_single_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for records in [4096u64, 16384] {
+        let db = Arc::new(Database::random(records, RECORD_BYTES, 3).expect("geometry"));
+        let mut client = PirClient::new(records, RECORD_BYTES, 2).expect("client");
+        let (share, _) = client.generate_query(records / 3).expect("query");
+
+        group.bench_with_input(
+            BenchmarkId::new("im_pir_query", records),
+            &records,
+            |b, _| {
+                let config = ImPirConfig {
+                    pim: PimConfig::tiny_test(8, 4 << 20),
+                    clusters: 1,
+                    eval_threads: 1,
+                };
+                let mut server = ImPirServer::new(db.clone(), config).expect("server");
+                b.iter(|| server.process_query(&share).expect("query"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cpu_pir_query", records),
+            &records,
+            |b, _| {
+                let mut server =
+                    CpuPirServer::new(db.clone(), CpuServerConfig::baseline()).expect("server");
+                b.iter(|| server.process_query(&share).expect("query"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks behind Figure 11: batched IM-PIR execution with
+//! different DPU cluster counts.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use impir_baselines::{ImPirSystem, SystemUnderTest};
+use impir_core::server::pim::ImPirConfig;
+use impir_core::{Database, PirClient};
+use impir_pim::PimConfig;
+
+const RECORD_BYTES: usize = 32;
+const RECORDS: u64 = 8192;
+const BATCH: usize = 8;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_clustering");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, 4).expect("geometry"));
+    let mut client = PirClient::new(RECORDS, RECORD_BYTES, 3).expect("client");
+    let indices: Vec<u64> = (0..BATCH as u64).map(|i| (i * 631) % RECORDS).collect();
+    let (shares, _) = client.generate_batch(&indices).expect("batch");
+
+    for clusters in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("clusters", clusters),
+            &clusters,
+            |b, &clusters| {
+                let config = ImPirConfig {
+                    pim: PimConfig::tiny_test(16, 4 << 20),
+                    clusters,
+                    eval_threads: 1,
+                };
+                let mut system = ImPirSystem::new(db.clone(), config).expect("im-pir");
+                b.iter(|| system.process_batch(&shares).expect("batch"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

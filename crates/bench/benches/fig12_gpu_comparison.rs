@@ -1,0 +1,47 @@
+//! Criterion benchmarks behind Figure 12: the three systems (CPU-PIR,
+//! GPU-PIR comparator, IM-PIR) answering the same batch.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impir_baselines::{CpuPirBaseline, GpuPirBaseline, ImPirSystem, SystemUnderTest};
+use impir_core::server::pim::ImPirConfig;
+use impir_core::{Database, PirClient};
+use impir_pim::PimConfig;
+
+const RECORD_BYTES: usize = 32;
+const RECORDS: u64 = 8192;
+const BATCH: usize = 4;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_three_systems");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, 5).expect("geometry"));
+    let mut client = PirClient::new(RECORDS, RECORD_BYTES, 4).expect("client");
+    let indices: Vec<u64> = (0..BATCH as u64).map(|i| (i * 811) % RECORDS).collect();
+    let (shares, _) = client.generate_batch(&indices).expect("batch");
+
+    group.bench_function("cpu_pir", |b| {
+        let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline");
+        b.iter(|| cpu.process_batch(&shares).expect("batch"));
+    });
+    group.bench_function("gpu_pir", |b| {
+        let mut gpu = GpuPirBaseline::new(db.clone()).expect("comparator");
+        b.iter(|| gpu.process_batch(&shares).expect("batch"));
+    });
+    group.bench_function("im_pir", |b| {
+        let config = ImPirConfig {
+            pim: PimConfig::tiny_test(8, 4 << 20),
+            clusters: 1,
+            eval_threads: 1,
+        };
+        let mut pim = ImPirSystem::new(db.clone(), config).expect("im-pir");
+        b.iter(|| pim.process_batch(&shares).expect("batch"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

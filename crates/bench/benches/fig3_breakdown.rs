@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks behind Figure 3a: the relative cost of the
+//! three DPF-PIR operations (Gen, Eval, dpXOR) on the CPU.
+//!
+//! The paper's observation — Gen ≪ Eval < dpXOR, with the server-side
+//! operations growing linearly in the database size — is checked here at
+//! laptop scale; paper-scale numbers come from `--bin fig3`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use impir_core::{Database, PirClient};
+use impir_dpf::EvalStrategy;
+
+const RECORD_BYTES: usize = 32;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_breakdown");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for records in [4096u64, 16384] {
+        let db = Arc::new(Database::random(records, RECORD_BYTES, 1).expect("geometry"));
+        let mut client = PirClient::new(records, RECORD_BYTES, 0).expect("client");
+        let (share, _) = client.generate_query(records / 2).expect("query");
+        let selector = EvalStrategy::LevelByLevel
+            .eval_range(&share.key, 0, records)
+            .expect("eval");
+
+        group.bench_with_input(BenchmarkId::new("gen", records), &records, |b, &records| {
+            let mut client = PirClient::new(records, RECORD_BYTES, 7).expect("client");
+            b.iter(|| client.generate_query(records / 3).expect("query"));
+        });
+        group.bench_with_input(BenchmarkId::new("eval", records), &records, |b, &records| {
+            b.iter(|| {
+                EvalStrategy::LevelByLevel
+                    .eval_range(&share.key, 0, records)
+                    .expect("eval")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dpxor", records), &records, |b, _| {
+            b.iter(|| db.xor_select(&selector));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

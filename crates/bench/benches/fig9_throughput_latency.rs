@@ -1,0 +1,52 @@
+//! Criterion benchmarks behind Figure 9: batched query processing on
+//! CPU-PIR vs IM-PIR, swept over (scaled-down) database sizes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use impir_baselines::{CpuPirBaseline, ImPirSystem, SystemUnderTest};
+use impir_core::server::pim::ImPirConfig;
+use impir_core::{Database, PirClient};
+use impir_pim::PimConfig;
+
+const RECORD_BYTES: usize = 32;
+const BATCH: usize = 4;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_batch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for records in [4096u64, 16384] {
+        let db = Arc::new(Database::random(records, RECORD_BYTES, 2).expect("geometry"));
+        let mut client = PirClient::new(records, RECORD_BYTES, 1).expect("client");
+        let indices: Vec<u64> = (0..BATCH as u64).map(|i| (i * 977) % records).collect();
+        let (shares, _) = client.generate_batch(&indices).expect("batch");
+
+        group.bench_with_input(
+            BenchmarkId::new("cpu_pir", records),
+            &records,
+            |b, _| {
+                let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline");
+                b.iter(|| cpu.process_batch(&shares).expect("batch"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("im_pir", records),
+            &records,
+            |b, _| {
+                let config = ImPirConfig {
+                    pim: PimConfig::tiny_test(8, 4 << 20),
+                    clusters: 1,
+                    eval_threads: 1,
+                };
+                let mut pim = ImPirSystem::new(db.clone(), config).expect("im-pir");
+                b.iter(|| pim.process_batch(&shares).expect("batch"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

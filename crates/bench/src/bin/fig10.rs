@@ -1,0 +1,135 @@
+//! Figure 10 — per-phase latency breakdown of IM-PIR and CPU-PIR.
+//!
+//! * Figure 10a: IM-PIR phases (Eval, copy cpu→pim, dpXOR, copy pim→cpu,
+//!   aggregation) for databases of 1–32 GB.
+//! * Figure 10b: CPU-PIR phases (Eval, dpXOR) for the same sizes.
+//!
+//! Run with `cargo run -p impir-bench --release --bin fig10`.
+
+use std::sync::Arc;
+
+use impir_baselines::{CpuPirBaseline, ImPirSystem, SystemUnderTest};
+use impir_bench::paper;
+use impir_bench::report::{DataPoint, FigureReport, Series};
+use impir_core::server::pim::ImPirConfig;
+use impir_core::{Database, PirClient};
+use impir_perf::model::{cpu_pir_query, impir_query, PimSideModel, PirWorkload};
+use impir_perf::DeviceProfile;
+use impir_workload::db_size_label;
+
+fn main() {
+    modelled_breakdowns();
+    measured_breakdowns();
+}
+
+/// Paper-scale phase breakdowns from the analytic model.
+fn modelled_breakdowns() {
+    let cpu_profile = DeviceProfile::cpu_baseline_xeon_e5_2683();
+    let host_profile = DeviceProfile::pim_host_xeon_silver_4110();
+    let pim_model = PimSideModel::paper_2048();
+
+    let mut impir_report = FigureReport::new(
+        "fig10a",
+        "IM-PIR per-phase latency breakdown (modelled, 1–32 GB)",
+        "Eval dominates (≈76 % on average); dpXOR ≈16 %, copies <8 %",
+    );
+    let mut cpu_report = FigureReport::new(
+        "fig10b",
+        "CPU-PIR per-phase latency breakdown (modelled, 1–32 GB)",
+        "dpXOR dominates (≈83 % on average)",
+    );
+
+    let phase_names = ["Eval", "copy(cpu→pim)", "dpXOR", "copy(pim→cpu)", "aggregation"];
+    let mut impir_series: Vec<Series> = phase_names
+        .iter()
+        .map(|name| Series::new(*name, "ms"))
+        .collect();
+    let mut cpu_series = [Series::new("Eval", "ms"), Series::new("dpXOR", "ms")];
+
+    for &db_bytes in &paper::FIG10_DB_SIZES {
+        let workload = PirWorkload::new(db_bytes, paper::RECORD_BYTES as u64, 1);
+        let label = db_size_label(db_bytes);
+
+        let impir = impir_query(&host_profile, &pim_model, &workload, host_profile.worker_threads);
+        let impir_values = [
+            impir.eval_seconds,
+            impir.copy_to_pim_seconds,
+            impir.dpxor_seconds,
+            impir.copy_from_pim_seconds,
+            impir.aggregate_seconds,
+        ];
+        for (series, value) in impir_series.iter_mut().zip(impir_values) {
+            series.push(DataPoint::new(label.clone(), db_bytes as f64, value * 1e3));
+        }
+
+        let cpu = cpu_pir_query(&cpu_profile, &workload, cpu_profile.worker_threads, 1);
+        cpu_series[0].push(DataPoint::new(label.clone(), db_bytes as f64, cpu.eval_seconds * 1e3));
+        cpu_series[1].push(DataPoint::new(label, db_bytes as f64, cpu.dpxor_seconds * 1e3));
+    }
+    for series in impir_series {
+        impir_report.push_series(series);
+    }
+    for series in cpu_series {
+        cpu_report.push_series(series);
+    }
+    impir_report.emit();
+    cpu_report.emit();
+}
+
+/// The same breakdown measured on the functional system at laptop scale.
+fn measured_breakdowns() {
+    let mut report = FigureReport::new(
+        "fig10-measured",
+        "Measured (scaled-down) per-phase breakdown of one query",
+        "hybrid times: host phases measured, PIM phases from the UPMEM cost model",
+    );
+    for db_bytes in impir_bench::paper::measured_db_sizes() {
+        let num_records = db_bytes / paper::RECORD_BYTES as u64;
+        let db = Arc::new(
+            Database::random(num_records, paper::RECORD_BYTES, 9).expect("valid geometry"),
+        );
+        let mut client = PirClient::new(num_records, paper::RECORD_BYTES, 1).expect("client");
+        let (share_1, share_2) = client.generate_query(num_records / 2).expect("valid index");
+
+        let config = ImPirConfig {
+            pim: impir_pim::PimConfig::tiny_test(paper::MEASURED_DPUS, 16 << 20),
+            clusters: 1,
+            eval_threads: 1,
+        };
+        let mut pim = ImPirSystem::new(db.clone(), config).expect("IM-PIR builds");
+        let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline builds");
+
+        let pim_outcome = pim.process_batch(std::slice::from_ref(&share_1)).expect("pim query");
+        let cpu_outcome = cpu.process_batch(std::slice::from_ref(&share_2)).expect("cpu query");
+
+        let label = db_size_label(db_bytes);
+        let names = impir_core::PhaseBreakdown::phase_names();
+        let mut impir_series = Series::new(format!("IM-PIR @ {label}"), "ms");
+        let pim_phases = [
+            pim_outcome.phase_totals.eval,
+            pim_outcome.phase_totals.copy_to_pim,
+            pim_outcome.phase_totals.dpxor,
+            pim_outcome.phase_totals.copy_from_pim,
+            pim_outcome.phase_totals.aggregate,
+        ];
+        for (name, phase) in names.iter().zip(pim_phases) {
+            impir_series.push(DataPoint::new(*name, 0.0, phase.hybrid_seconds() * 1e3));
+        }
+        report.push_series(impir_series);
+
+        let mut cpu_series = Series::new(format!("CPU-PIR @ {label}"), "ms");
+        cpu_series.push(DataPoint::new(
+            "Eval",
+            0.0,
+            cpu_outcome.phase_totals.eval.hybrid_seconds() * 1e3,
+        ));
+        cpu_series.push(DataPoint::new(
+            "dpXOR",
+            0.0,
+            cpu_outcome.phase_totals.dpxor.hybrid_seconds() * 1e3,
+        ));
+        report.push_series(cpu_series);
+    }
+    report.push_note("single query per measurement; software AES dominates the measured Eval");
+    report.emit();
+}

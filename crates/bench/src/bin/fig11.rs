@@ -1,0 +1,97 @@
+//! Figure 11 — effect of DPU clustering on throughput and latency.
+//!
+//! The 2048 DPUs are partitioned into 1/2/4/8 clusters, each holding a full
+//! database replica and serving one query at a time; the batch-size sweep
+//! (4–256 queries, 1 GB database) shows clustering improving throughput by
+//! up to ≈1.35×.
+//!
+//! Run with `cargo run -p impir-bench --release --bin fig11`.
+
+use std::sync::Arc;
+
+use impir_baselines::{ImPirSystem, SystemUnderTest};
+use impir_bench::measured::measure_system_batch;
+use impir_bench::paper;
+use impir_bench::report::{DataPoint, FigureReport, Series};
+use impir_core::server::pim::ImPirConfig;
+use impir_core::Database;
+use impir_perf::model::{impir_batch, PirWorkload};
+use impir_perf::DeviceProfile;
+
+fn main() {
+    modelled_cluster_sweep();
+    measured_cluster_sweep();
+}
+
+/// Paper-scale cluster sweep from the analytic model.
+fn modelled_cluster_sweep() {
+    let host_profile = DeviceProfile::pim_host_xeon_silver_4110();
+    let mut throughput = FigureReport::new(
+        "fig11a",
+        "Throughput vs batch size for 1/2/4/8 DPU clusters (DB = 1 GB), modelled",
+        "more clusters → higher throughput, up to ≈1.35× over a single cluster",
+    );
+    let mut latency = FigureReport::new(
+        "fig11b",
+        "Latency vs batch size for 1/2/4/8 DPU clusters (DB = 1 GB), modelled",
+        "more clusters → lower batch latency",
+    );
+    for &clusters in &paper::FIG11_CLUSTERS {
+        let mut qps_series = Series::new(format!("{clusters} cluster(s)"), "QPS");
+        let mut lat_series = Series::new(format!("{clusters} cluster(s)"), "seconds");
+        for &batch in &paper::FIG11_BATCH_SIZES {
+            let workload = PirWorkload::new(paper::GIB, paper::RECORD_BYTES as u64, batch);
+            let estimate = impir_batch(&host_profile, &workload, clusters);
+            let label = format!("batch={batch}");
+            qps_series.push(DataPoint::new(label.clone(), batch as f64, estimate.throughput_qps()));
+            lat_series.push(DataPoint::new(label, batch as f64, estimate.latency_seconds));
+        }
+        throughput.push_series(qps_series);
+        latency.push_series(lat_series);
+    }
+    throughput.emit();
+    latency.emit();
+}
+
+/// The same sweep run functionally on the simulator at laptop scale.
+fn measured_cluster_sweep() {
+    let mut report = FigureReport::new(
+        "fig11-measured",
+        "Measured (scaled-down) clustering sweep: hybrid throughput per cluster count",
+        "shape check: the relative benefit of clusters appears in the hybrid (cost-model) time",
+    );
+    let db_bytes = *impir_bench::paper::measured_db_sizes().first().unwrap_or(&paper::MIB);
+    let num_records = db_bytes / paper::RECORD_BYTES as u64;
+    let db = Arc::new(Database::random(num_records, paper::RECORD_BYTES, 11).expect("geometry"));
+
+    for &clusters in &paper::FIG11_CLUSTERS {
+        let config = ImPirConfig {
+            pim: impir_pim::PimConfig::tiny_test(paper::MEASURED_DPUS, 16 << 20),
+            clusters,
+            eval_threads: 1,
+        };
+        let mut system = ImPirSystem::new(db.clone(), config).expect("IM-PIR builds");
+        let run = measure_system_batch(&mut system, &db, paper::MEASURED_BATCH, 13)
+            .expect("batch runs");
+        let mut series = Series::new(format!("{clusters} cluster(s)"), "QPS (hybrid)");
+        series.push(DataPoint::new(
+            format!("batch={}", paper::MEASURED_BATCH),
+            paper::MEASURED_BATCH as f64,
+            run.hybrid_qps(),
+        ));
+        println!(
+            "[measured clusters={clusters}] wall {:.3}s hybrid {:.3}s ({})",
+            run.wall_seconds,
+            run.hybrid_seconds,
+            system.label()
+        );
+        report.push_series(series);
+    }
+    report.push_note(format!(
+        "DB = {} bytes, {} DPUs, batch = {}",
+        db_bytes,
+        paper::MEASURED_DPUS,
+        paper::MEASURED_BATCH
+    ));
+    report.emit();
+}

@@ -1,0 +1,116 @@
+//! Figure 12 — IM-PIR vs CPU-PIR vs GPU-PIR throughput and latency.
+//!
+//! The paper compares the three systems on databases of up to 1 GB
+//! (batch = 32) and finds IM-PIR ≈1.34× faster than GPU-PIR, which is
+//! itself ≈1.36× faster than CPU-PIR.
+//!
+//! Run with `cargo run -p impir-bench --release --bin fig12`.
+
+use std::sync::Arc;
+
+use impir_baselines::{CpuPirBaseline, GpuPirBaseline, ImPirSystem, SystemUnderTest};
+use impir_bench::measured::measure_system_batch;
+use impir_bench::paper;
+use impir_bench::report::{DataPoint, FigureReport, Series};
+use impir_core::server::pim::ImPirConfig;
+use impir_core::Database;
+use impir_perf::model::{cpu_pir_batch, gpu_pir_batch, impir_batch, PirWorkload};
+use impir_perf::DeviceProfile;
+use impir_workload::db_size_label;
+
+fn main() {
+    modelled_comparison();
+    measured_comparison();
+}
+
+/// Paper-scale comparison from the analytic models.
+fn modelled_comparison() {
+    let cpu_profile = DeviceProfile::cpu_baseline_xeon_e5_2683();
+    let host_profile = DeviceProfile::pim_host_xeon_silver_4110();
+    let gpu_profile = DeviceProfile::gpu_rtx_4090();
+
+    let mut throughput = FigureReport::new(
+        "fig12a",
+        "Throughput: CPU-PIR vs IM-PIR vs GPU-PIR (batch = 32), modelled",
+        "ordering CPU < GPU < IM-PIR; IM-PIR ≈1.34× GPU-PIR, GPU-PIR ≈1.36× CPU-PIR",
+    );
+    let mut latency = FigureReport::new(
+        "fig12b",
+        "Latency: CPU-PIR vs IM-PIR vs GPU-PIR (batch = 32), modelled",
+        "IM-PIR has the lowest latency across the sweep",
+    );
+    let mut cpu_qps = Series::new("CPU-PIR", "QPS");
+    let mut pim_qps = Series::new("IM-PIR", "QPS");
+    let mut gpu_qps = Series::new("GPU-PIR", "QPS");
+    let mut cpu_lat = Series::new("CPU-PIR", "seconds");
+    let mut pim_lat = Series::new("IM-PIR", "seconds");
+    let mut gpu_lat = Series::new("GPU-PIR", "seconds");
+    for &db_bytes in &paper::FIG12_DB_SIZES {
+        let workload = PirWorkload::new(db_bytes, paper::RECORD_BYTES as u64, paper::DEFAULT_BATCH);
+        let cpu = cpu_pir_batch(&cpu_profile, &workload);
+        let pim = impir_batch(&host_profile, &workload, 1);
+        let gpu = gpu_pir_batch(&gpu_profile, &workload);
+        let label = db_size_label(db_bytes);
+        cpu_qps.push(DataPoint::new(label.clone(), db_bytes as f64, cpu.throughput_qps()));
+        pim_qps.push(DataPoint::new(label.clone(), db_bytes as f64, pim.throughput_qps()));
+        gpu_qps.push(DataPoint::new(label.clone(), db_bytes as f64, gpu.throughput_qps()));
+        cpu_lat.push(DataPoint::new(label.clone(), db_bytes as f64, cpu.latency_seconds));
+        pim_lat.push(DataPoint::new(label.clone(), db_bytes as f64, pim.latency_seconds));
+        gpu_lat.push(DataPoint::new(label, db_bytes as f64, gpu.latency_seconds));
+    }
+    throughput.push_series(cpu_qps);
+    throughput.push_series(gpu_qps);
+    throughput.push_series(pim_qps);
+    latency.push_series(cpu_lat);
+    latency.push_series(gpu_lat);
+    latency.push_series(pim_lat);
+    throughput.emit();
+    latency.emit();
+}
+
+/// The same three systems exercised functionally at laptop scale.
+fn measured_comparison() {
+    let mut report = FigureReport::new(
+        "fig12-measured",
+        "Measured (scaled-down) hybrid throughput of the three systems",
+        "all three systems return bit-identical records; hybrid time applies each \
+         system's device cost model to its offloaded phases",
+    );
+    let mut cpu_series = Series::new("CPU-PIR (hybrid)", "QPS");
+    let mut gpu_series = Series::new("GPU-PIR (hybrid)", "QPS");
+    let mut pim_series = Series::new("IM-PIR (hybrid)", "QPS");
+    for db_bytes in impir_bench::paper::measured_db_sizes() {
+        let num_records = db_bytes / paper::RECORD_BYTES as u64;
+        let db = Arc::new(Database::random(num_records, paper::RECORD_BYTES, 17).expect("geometry"));
+        let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline builds");
+        let mut gpu = GpuPirBaseline::new(db.clone()).expect("gpu comparator builds");
+        let config = ImPirConfig {
+            pim: impir_pim::PimConfig::tiny_test(paper::MEASURED_DPUS, 16 << 20),
+            clusters: 1,
+            eval_threads: 1,
+        };
+        let mut pim = ImPirSystem::new(db.clone(), config).expect("IM-PIR builds");
+
+        let label = db_size_label(db_bytes);
+        let cpu_run = measure_system_batch(&mut cpu, &db, paper::MEASURED_BATCH, 19).expect("cpu");
+        let gpu_run = measure_system_batch(&mut gpu, &db, paper::MEASURED_BATCH, 19).expect("gpu");
+        let pim_run = measure_system_batch(&mut pim, &db, paper::MEASURED_BATCH, 19).expect("pim");
+        cpu_series.push(DataPoint::new(label.clone(), db_bytes as f64, cpu_run.hybrid_qps()));
+        gpu_series.push(DataPoint::new(label.clone(), db_bytes as f64, gpu_run.hybrid_qps()));
+        pim_series.push(DataPoint::new(label.clone(), db_bytes as f64, pim_run.hybrid_qps()));
+        println!(
+            "[measured {label}] {}: {:.3}s | {}: {:.3}s | {}: {:.3}s (hybrid)",
+            cpu.label(),
+            cpu_run.hybrid_seconds,
+            gpu.label(),
+            gpu_run.hybrid_seconds,
+            pim.label(),
+            pim_run.hybrid_seconds,
+        );
+    }
+    report.push_series(cpu_series);
+    report.push_series(gpu_series);
+    report.push_series(pim_series);
+    report.push_note(format!("batch = {}, single host core", paper::MEASURED_BATCH));
+    report.emit();
+}

@@ -1,0 +1,156 @@
+//! Figure 9 — query throughput and latency of IM-PIR vs CPU-PIR.
+//!
+//! * Figure 9a/9c: throughput (QPS) and latency vs database size
+//!   (0.5–8 GB) at a fixed batch of 32 queries.
+//! * Figure 9b/9d: throughput and latency vs batch size (4–512) at a fixed
+//!   1 GiB database.
+//!
+//! Run with `cargo run -p impir-bench --release --bin fig9`.
+
+use std::sync::Arc;
+
+use impir_baselines::{CpuPirBaseline, ImPirSystem, SystemUnderTest};
+use impir_bench::measured::measure_system_batch;
+use impir_bench::paper;
+use impir_bench::report::{DataPoint, FigureReport, Series};
+use impir_core::server::pim::ImPirConfig;
+use impir_core::Database;
+use impir_perf::model::{cpu_pir_batch, impir_batch, PirWorkload};
+use impir_perf::DeviceProfile;
+use impir_workload::db_size_label;
+
+fn main() {
+    modelled_db_sweep();
+    modelled_batch_sweep();
+    measured_db_sweep();
+}
+
+/// Figure 9a/9c at paper scale, from the calibrated analytic model.
+fn modelled_db_sweep() {
+    let cpu_profile = DeviceProfile::cpu_baseline_xeon_e5_2683();
+    let host_profile = DeviceProfile::pim_host_xeon_silver_4110();
+
+    let mut throughput = FigureReport::new(
+        "fig9a",
+        "Throughput vs DB size (batch = 32), modelled at paper scale",
+        "IM-PIR ≈1.7× CPU-PIR at 0.5 GB growing to >3.7× at 8 GB",
+    );
+    let mut latency = FigureReport::new(
+        "fig9c",
+        "Latency vs DB size (batch = 32), modelled at paper scale",
+        "both grow linearly with DB size; IM-PIR's slope is much smaller",
+    );
+    let mut cpu_qps = Series::new("CPU-PIR", "QPS");
+    let mut pim_qps = Series::new("IM-PIR", "QPS");
+    let mut speedup = Series::new("speedup (CPU-PIR / IM-PIR latency)", "x");
+    let mut cpu_lat = Series::new("CPU-PIR", "seconds");
+    let mut pim_lat = Series::new("IM-PIR", "seconds");
+    for &db_bytes in &paper::FIG9_DB_SIZES {
+        let workload = PirWorkload::new(db_bytes, paper::RECORD_BYTES as u64, paper::DEFAULT_BATCH);
+        let cpu = cpu_pir_batch(&cpu_profile, &workload);
+        let pim = impir_batch(&host_profile, &workload, 1);
+        let label = db_size_label(db_bytes);
+        cpu_qps.push(DataPoint::new(label.clone(), db_bytes as f64, cpu.throughput_qps()));
+        pim_qps.push(DataPoint::new(label.clone(), db_bytes as f64, pim.throughput_qps()));
+        speedup.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            cpu.latency_seconds / pim.latency_seconds,
+        ));
+        cpu_lat.push(DataPoint::new(label.clone(), db_bytes as f64, cpu.latency_seconds));
+        pim_lat.push(DataPoint::new(label, db_bytes as f64, pim.latency_seconds));
+    }
+    throughput.push_series(cpu_qps);
+    throughput.push_series(pim_qps);
+    throughput.push_series(speedup);
+    latency.push_series(cpu_lat);
+    latency.push_series(pim_lat);
+    throughput.emit();
+    latency.emit();
+}
+
+/// Figure 9b/9d at paper scale.
+fn modelled_batch_sweep() {
+    let cpu_profile = DeviceProfile::cpu_baseline_xeon_e5_2683();
+    let host_profile = DeviceProfile::pim_host_xeon_silver_4110();
+
+    let mut throughput = FigureReport::new(
+        "fig9b",
+        "Throughput vs batch size (DB = 1 GiB), modelled at paper scale",
+        "IM-PIR ≈2.6× CPU-PIR on average, roughly flat across batch sizes",
+    );
+    let mut latency = FigureReport::new(
+        "fig9d",
+        "Latency vs batch size (DB = 1 GiB), modelled at paper scale",
+        "latency grows linearly with batch size for both systems",
+    );
+    let mut cpu_qps = Series::new("CPU-PIR", "QPS");
+    let mut pim_qps = Series::new("IM-PIR", "QPS");
+    let mut cpu_lat = Series::new("CPU-PIR", "seconds");
+    let mut pim_lat = Series::new("IM-PIR", "seconds");
+    for &batch in &paper::FIG9_BATCH_SIZES {
+        let workload = PirWorkload::new(paper::GIB, paper::RECORD_BYTES as u64, batch);
+        let cpu = cpu_pir_batch(&cpu_profile, &workload);
+        let pim = impir_batch(&host_profile, &workload, 1);
+        let label = format!("batch={batch}");
+        cpu_qps.push(DataPoint::new(label.clone(), batch as f64, cpu.throughput_qps()));
+        pim_qps.push(DataPoint::new(label.clone(), batch as f64, pim.throughput_qps()));
+        cpu_lat.push(DataPoint::new(label.clone(), batch as f64, cpu.latency_seconds));
+        pim_lat.push(DataPoint::new(label, batch as f64, pim.latency_seconds));
+    }
+    throughput.push_series(cpu_qps);
+    throughput.push_series(pim_qps);
+    latency.push_series(cpu_lat);
+    latency.push_series(pim_lat);
+    throughput.emit();
+    latency.emit();
+}
+
+/// The same comparison run functionally at laptop scale.
+fn measured_db_sweep() {
+    let mut report = FigureReport::new(
+        "fig9-measured",
+        "Measured (scaled-down) throughput: CPU-PIR vs IM-PIR",
+        "shape check only — both systems run on the same host core; IM-PIR's \
+         hybrid time uses the UPMEM cost model for its PIM phases",
+    );
+    let mut cpu_series = Series::new("CPU-PIR (hybrid)", "QPS");
+    let mut pim_series = Series::new("IM-PIR (hybrid)", "QPS");
+    for db_bytes in paper::measured_db_sizes() {
+        let num_records = db_bytes / paper::RECORD_BYTES as u64;
+        let db = Arc::new(
+            Database::random(num_records, paper::RECORD_BYTES, 3).expect("valid geometry"),
+        );
+        let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline builds");
+        let config = ImPirConfig {
+            pim: impir_pim::PimConfig::tiny_test(paper::MEASURED_DPUS, 16 << 20),
+            clusters: 1,
+            eval_threads: 1,
+        };
+        let mut pim = ImPirSystem::new(db.clone(), config).expect("IM-PIR builds");
+        let cpu_run = measure_system_batch(&mut cpu, &db, paper::MEASURED_BATCH, 5)
+            .expect("CPU batch runs");
+        let pim_run = measure_system_batch(&mut pim, &db, paper::MEASURED_BATCH, 5)
+            .expect("PIM batch runs");
+        let label = db_size_label(db_bytes);
+        cpu_series.push(DataPoint::new(label.clone(), db_bytes as f64, cpu_run.hybrid_qps()));
+        pim_series.push(DataPoint::new(label, db_bytes as f64, pim_run.hybrid_qps()));
+        println!(
+            "[measured {}] CPU-PIR wall {:.3}s hybrid {:.3}s | IM-PIR wall {:.3}s hybrid {:.3}s ({})",
+            db_size_label(db_bytes),
+            cpu_run.wall_seconds,
+            cpu_run.hybrid_seconds,
+            pim_run.wall_seconds,
+            pim_run.hybrid_seconds,
+            pim.label(),
+        );
+    }
+    report.push_series(cpu_series);
+    report.push_series(pim_series);
+    report.push_note(format!(
+        "batch = {}, {} simulated DPUs, single host core",
+        paper::MEASURED_BATCH,
+        paper::MEASURED_DPUS
+    ));
+    report.emit();
+}

@@ -1,0 +1,29 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Every figure/table of the IM-PIR evaluation has one binary in
+//! `src/bin/` (plus a criterion micro-benchmark in `benches/`). The
+//! binaries produce two kinds of series:
+//!
+//! * **measured** — the functional system is actually run at laptop-scale
+//!   database sizes and timed. Because the PIM "hardware" is a simulator
+//!   running on the same host CPU, measured wall-clock compares algorithm
+//!   implementations, not machines; the *hybrid* time (host phases measured,
+//!   PIM phases from the cost model) is what corresponds to the paper's
+//!   hardware.
+//! * **modelled** — the calibrated analytic model of `impir-perf` evaluated
+//!   at the paper's database sizes (0.5–32 GB), batch sizes and cluster
+//!   counts, producing the series whose *shape* is compared against the
+//!   paper in `EXPERIMENTS.md`.
+//!
+//! Each binary prints human-readable tables and writes a JSON report under
+//! `target/impir-results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measured;
+pub mod paper;
+pub mod report;
+
+pub use measured::{measure_system_batch, MeasuredBatch};
+pub use report::{DataPoint, FigureReport, Series};

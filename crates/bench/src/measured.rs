@@ -1,0 +1,77 @@
+//! Helpers for running measured (laptop-scale) experiments.
+
+use std::sync::Arc;
+
+use impir_baselines::SystemUnderTest;
+use impir_core::{Database, PirClient, PirError};
+use impir_workload::QueryDistribution;
+
+/// Timing summary of one measured batch run on one system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredBatch {
+    /// Number of queries in the batch.
+    pub batch_size: usize,
+    /// Measured wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Hybrid seconds: host phases measured, PIM/GPU phases from the cost
+    /// model — the number comparable to the paper's hardware.
+    pub hybrid_seconds: f64,
+}
+
+impl MeasuredBatch {
+    /// Throughput in queries per second based on hybrid time.
+    #[must_use]
+    pub fn hybrid_qps(&self) -> f64 {
+        self.batch_size as f64 / self.hybrid_seconds
+    }
+
+    /// Throughput in queries per second based on measured wall time.
+    #[must_use]
+    pub fn wall_qps(&self) -> f64 {
+        self.batch_size as f64 / self.wall_seconds
+    }
+}
+
+/// Runs a batch of uniformly random queries against `system` and verifies
+/// nothing about the responses (correctness is covered by the test suite);
+/// returns the timing summary.
+///
+/// # Errors
+///
+/// Propagates client and server errors.
+pub fn measure_system_batch(
+    system: &mut dyn SystemUnderTest,
+    database: &Arc<Database>,
+    batch_size: usize,
+    seed: u64,
+) -> Result<MeasuredBatch, PirError> {
+    let mut client = PirClient::new(database.num_records(), database.record_size(), seed)?;
+    let indices = QueryDistribution::Uniform.sample(batch_size, database.num_records(), seed);
+    let (shares, _other_server_shares) = client.generate_batch(&indices)?;
+    let outcome = system.process_batch(&shares)?;
+    Ok(MeasuredBatch {
+        batch_size,
+        wall_seconds: outcome.wall_seconds,
+        hybrid_seconds: outcome.hybrid_seconds(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impir_baselines::{CpuPirBaseline, ImPirSystem};
+    use impir_core::server::pim::ImPirConfig;
+
+    #[test]
+    fn measured_batches_produce_positive_timings() {
+        let db = Arc::new(Database::random(512, 32, 3).unwrap());
+        let mut cpu = CpuPirBaseline::new(db.clone()).unwrap();
+        let mut pim = ImPirSystem::new(db.clone(), ImPirConfig::tiny_test(4)).unwrap();
+        let cpu_run = measure_system_batch(&mut cpu, &db, 4, 1).unwrap();
+        let pim_run = measure_system_batch(&mut pim, &db, 4, 1).unwrap();
+        assert!(cpu_run.wall_seconds > 0.0);
+        assert!(pim_run.hybrid_seconds > 0.0);
+        assert!(cpu_run.hybrid_qps() > 0.0);
+        assert!(pim_run.wall_qps() > 0.0);
+    }
+}

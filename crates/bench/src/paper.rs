@@ -1,0 +1,101 @@
+//! Constants describing the paper's experimental sweeps and the
+//! laptop-scale measured counterparts.
+
+/// One gibibyte (the paper's "GB", see §2.1 basic notation).
+pub const GIB: u64 = 1 << 30;
+/// One mebibyte.
+pub const MIB: u64 = 1 << 20;
+
+/// Record size used throughout the paper's evaluation (32-byte hashes).
+pub const RECORD_BYTES: usize = 32;
+
+/// Database sizes of Figure 9a/9c (throughput/latency vs DB size), bytes.
+pub const FIG9_DB_SIZES: [u64; 5] = [GIB / 2, GIB, 2 * GIB, 4 * GIB, 8 * GIB];
+
+/// Batch sizes of Figure 9b/9d (DB fixed at 1 GiB).
+pub const FIG9_BATCH_SIZES: [usize; 8] = [4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Default batch size used by the DB-size sweeps (Figure 9a/9c).
+pub const DEFAULT_BATCH: usize = 32;
+
+/// Database sizes of Figure 3a (DPF-PIR operation breakdown), bytes.
+pub const FIG3_DB_SIZES: [u64; 3] = [GIB, 2 * GIB, 4 * GIB];
+
+/// Database sizes of Figure 10 (phase breakdown), bytes.
+pub const FIG10_DB_SIZES: [u64; 6] = [GIB, 2 * GIB, 4 * GIB, 8 * GIB, 16 * GIB, 32 * GIB];
+
+/// Cluster counts of Figure 11.
+pub const FIG11_CLUSTERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Batch sizes of Figure 11.
+pub const FIG11_BATCH_SIZES: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+/// Database sizes of Figure 12 (CPU vs PIM vs GPU), bytes.
+pub const FIG12_DB_SIZES: [u64; 5] = [GIB / 8, GIB / 4, GIB / 2, 3 * GIB / 4, GIB];
+
+/// Number of DPUs used in the paper's experiments.
+pub const PAPER_DPUS: usize = 2048;
+
+/// Measured (laptop-scale) database sizes used by the harness binaries,
+/// bytes. Chosen so a full sweep finishes in minutes on a single core with
+/// the portable (non-AES-NI) software AES.
+pub const MEASURED_DB_SIZES: [u64; 3] = [MIB, 2 * MIB, 4 * MIB];
+
+/// Measured batch size used by the harness binaries.
+pub const MEASURED_BATCH: usize = 8;
+
+/// Number of DPUs allocated for measured runs (kept small so per-DPU
+/// simulation overhead stays negligible on one core).
+pub const MEASURED_DPUS: usize = 16;
+
+/// Reads an override for the measured sweep scale from the
+/// `IMPIR_MEASURED_MIB` environment variable (a comma-separated list of
+/// mebibyte sizes), falling back to [`MEASURED_DB_SIZES`].
+#[must_use]
+pub fn measured_db_sizes() -> Vec<u64> {
+    match std::env::var("IMPIR_MEASURED_MIB") {
+        Ok(value) => {
+            let sizes: Vec<u64> = value
+                .split(',')
+                .filter_map(|part| part.trim().parse::<u64>().ok())
+                .map(|mib| mib * MIB)
+                .collect();
+            if sizes.is_empty() {
+                MEASURED_DB_SIZES.to_vec()
+            } else {
+                sizes
+            }
+        }
+        Err(_) => MEASURED_DB_SIZES.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_sorted_and_positive() {
+        assert!(FIG9_DB_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(FIG10_DB_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(FIG9_BATCH_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(FIG11_CLUSTERS.windows(2).all(|w| w[0] < w[1]));
+        assert!(MEASURED_DB_SIZES.iter().all(|&s| s >= MIB));
+    }
+
+    #[test]
+    fn default_measured_sizes_are_used_without_override() {
+        // The environment variable is not set in the test environment.
+        if std::env::var("IMPIR_MEASURED_MIB").is_err() {
+            assert_eq!(measured_db_sizes(), MEASURED_DB_SIZES.to_vec());
+        }
+    }
+
+    #[test]
+    fn paper_sweeps_match_figure_axes() {
+        assert_eq!(FIG3_DB_SIZES.len(), 3);
+        assert_eq!(FIG11_CLUSTERS, [1, 2, 4, 8]);
+        assert_eq!(FIG9_BATCH_SIZES[0], 4);
+        assert_eq!(*FIG9_BATCH_SIZES.last().unwrap(), 512);
+    }
+}

@@ -1,0 +1,271 @@
+//! Batched query processing (§3.4, Figure 8).
+//!
+//! A PIR server usually receives many queries at once. IM-PIR pipelines
+//! them in two stages connected by a task queue:
+//!
+//! * **host worker threads** pull query shares, run the subtree-parallel
+//!   DPF evaluation and push `(query, selector bits)` tasks onto the queue;
+//! * a **scheduler** drains the queue, assigns each task to a DPU cluster,
+//!   scatters the selector bits, launches the `dpXOR` kernel on all active
+//!   clusters together, gathers and aggregates the subresults.
+//!
+//! With a single cluster every query's `dpXOR` runs over all DPUs but
+//! queries serialise on the PIM side; with more clusters queries proceed in
+//! parallel at the cost of fewer DPUs (and therefore more records) per DPU
+//! per query — the trade-off quantified in Figure 11.
+
+use std::time::Instant;
+
+use crossbeam::channel;
+
+use crate::error::PirError;
+use crate::protocol::QueryShare;
+use crate::server::phases::{PhaseBreakdown, PhaseTime};
+use crate::server::pim::ImPirServer;
+use crate::server::BatchOutcome;
+
+/// Configuration of the batched execution pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Number of host worker threads performing DPF evaluations
+    /// (defaults to the rayon pool size).
+    pub worker_threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            worker_threads: rayon::current_num_threads().max(1),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Creates a configuration with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if `worker_threads` is zero.
+    pub fn with_workers(worker_threads: usize) -> Result<Self, PirError> {
+        if worker_threads == 0 {
+            return Err(PirError::Config {
+                reason: "at least one worker thread is required".to_string(),
+            });
+        }
+        Ok(BatchConfig { worker_threads })
+    }
+}
+
+/// A task produced by the evaluation stage: the query's position in the
+/// batch, its evaluated selector bits and the wall time the evaluation took.
+struct EvaluatedQuery {
+    position: usize,
+    selector: impir_dpf::SelectorVector,
+    eval_wall_seconds: f64,
+}
+
+/// Processes a batch of query shares on an [`ImPirServer`] following the
+/// Figure-8 pipeline.
+///
+/// Responses are returned in the same order as `shares`.
+///
+/// # Errors
+///
+/// Propagates the first DPF or PIM error encountered by any stage.
+pub fn process_batch(
+    server: &mut ImPirServer,
+    shares: &[QueryShare],
+    config: &BatchConfig,
+) -> Result<BatchOutcome, PirError> {
+    if shares.is_empty() {
+        return Ok(BatchOutcome {
+            responses: Vec::new(),
+            wall_seconds: 0.0,
+            phase_totals: PhaseBreakdown::zero(),
+        });
+    }
+    let started = Instant::now();
+    let clusters = server.cluster_layout().cluster_count();
+    let worker_threads = config.worker_threads.max(1).min(shares.len());
+
+    // Stage 1 (host workers) feeds stage 2 (scheduler) through this queue.
+    let (task_sender, task_receiver) = channel::unbounded::<Result<EvaluatedQuery, PirError>>();
+    let (input_sender, input_receiver) = channel::unbounded::<usize>();
+    for position in 0..shares.len() {
+        input_sender.send(position).expect("queue is open");
+    }
+    drop(input_sender);
+
+    let mut responses: Vec<Option<crate::protocol::ServerResponse>> = vec![None; shares.len()];
+    let mut totals = PhaseBreakdown::zero();
+
+    std::thread::scope(|scope| -> Result<(), PirError> {
+        // Worker threads: DPF evaluation (Figure 8 step ➊/➋).
+        for _ in 0..worker_threads {
+            let task_sender = task_sender.clone();
+            let input_receiver = input_receiver.clone();
+            let server_ref: &ImPirServer = server;
+            scope.spawn(move || {
+                while let Ok(position) = input_receiver.recv() {
+                    let share = &shares[position];
+                    let eval_started = Instant::now();
+                    let result = server_ref.evaluate_share(share).map(|selector| EvaluatedQuery {
+                        position,
+                        selector,
+                        eval_wall_seconds: eval_started.elapsed().as_secs_f64(),
+                    });
+                    if task_sender.send(result).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(task_sender);
+        Ok(())
+    })?;
+
+    // Stage 2 (scheduler): drain the task queue in waves of up to `clusters`
+    // tasks (Figure 8 step ➌); each wave's dpXOR runs on all active
+    // clusters at once.
+    //
+    // Note: the worker scope above joins before the scheduler starts, so the
+    // measured wall-clock of the two stages does not overlap in this
+    // process; on the modelled hardware the stages pipeline, which is what
+    // the simulated phase times capture.
+    let mut pending: Vec<EvaluatedQuery> = Vec::with_capacity(shares.len());
+    while let Ok(task) = task_receiver.recv() {
+        let task = task?;
+        totals.eval.merge(&PhaseTime::host(task.eval_wall_seconds));
+        pending.push(task);
+    }
+    // Deterministic wave composition regardless of worker scheduling.
+    pending.sort_by_key(|task| task.position);
+
+    for wave in pending.chunks(clusters) {
+        let assignments: Vec<(usize, &QueryShare, &impir_dpf::SelectorVector)> = wave
+            .iter()
+            .enumerate()
+            .map(|(slot, task)| (slot, &shares[task.position], &task.selector))
+            .collect();
+        let (wave_responses, wave_phases) = server.dpxor_wave(&assignments)?;
+        totals.merge(&wave_phases);
+        for (task, response) in wave.iter().zip(wave_responses) {
+            responses[task.position] = Some(response);
+        }
+    }
+
+    let responses: Vec<crate::protocol::ServerResponse> = responses
+        .into_iter()
+        .map(|response| response.expect("every query was answered"))
+        .collect();
+
+    Ok(BatchOutcome {
+        responses,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        phase_totals: totals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PirClient;
+    use crate::database::Database;
+    use crate::server::pim::ImPirConfig;
+    use crate::server::PirServer;
+    use std::sync::Arc;
+
+    fn setup(
+        num_records: u64,
+        record_size: usize,
+        config: ImPirConfig,
+    ) -> (Arc<Database>, ImPirServer, ImPirServer, PirClient) {
+        let db = Arc::new(Database::random(num_records, record_size, 77).unwrap());
+        let s1 = ImPirServer::new(db.clone(), config.clone()).unwrap();
+        let s2 = ImPirServer::new(db.clone(), config).unwrap();
+        let client = PirClient::new(num_records, record_size, 13).unwrap();
+        (db, s1, s2, client)
+    }
+
+    #[test]
+    fn batch_on_single_cluster_matches_database() {
+        let (db, mut s1, mut s2, mut client) = setup(256, 32, ImPirConfig::tiny_test(4));
+        let indices: Vec<u64> = (0..16).map(|i| (i * 37) % 256).collect();
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let batch_1 = s1.process_batch(&shares_1).unwrap();
+        let batch_2 = s2.process_batch(&shares_2).unwrap();
+        assert_eq!(batch_1.responses.len(), indices.len());
+        for (i, index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&batch_1.responses[i], &batch_2.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(*index), "query {i} index {index}");
+        }
+    }
+
+    #[test]
+    fn batch_on_multiple_clusters_matches_database() {
+        let (db, mut s1, mut s2, mut client) =
+            setup(300, 16, ImPirConfig::tiny_test(8).with_clusters(4));
+        let indices: Vec<u64> = (0..32).map(|i| (i * 13 + 7) % 300).collect();
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let batch_1 = s1.process_batch(&shares_1).unwrap();
+        let batch_2 = s2.process_batch(&shares_2).unwrap();
+        for (i, index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&batch_1.responses[i], &batch_2.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(*index));
+        }
+        // The batch accumulated time in every PIM phase.
+        assert!(batch_1.phase_totals.dpxor.simulated_seconds.unwrap() > 0.0);
+        assert!(batch_1.phase_totals.eval.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (_, mut s1, _, _) = setup(32, 8, ImPirConfig::tiny_test(2));
+        let outcome = s1.process_batch(&[]).unwrap();
+        assert!(outcome.responses.is_empty());
+        assert_eq!(outcome.phase_totals, PhaseBreakdown::zero());
+    }
+
+    #[test]
+    fn repeated_indices_in_a_batch_are_answered_consistently() {
+        let (db, mut s1, mut s2, mut client) =
+            setup(128, 8, ImPirConfig::tiny_test(4).with_clusters(2));
+        let indices = vec![7u64, 7, 7, 100, 100];
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let batch_1 = s1.process_batch(&shares_1).unwrap();
+        let batch_2 = s2.process_batch(&shares_2).unwrap();
+        for (i, index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&batch_1.responses[i], &batch_2.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(*index));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (db, mut s1, mut s2, mut client) = setup(200, 8, ImPirConfig::tiny_test(4));
+        let indices: Vec<u64> = (0..10).map(|i| i * 19 % 200).collect();
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let one_worker = process_batch(&mut s1, &shares_1, &BatchConfig::with_workers(1).unwrap())
+            .unwrap();
+        let many_workers =
+            process_batch(&mut s2, &shares_2, &BatchConfig::with_workers(8).unwrap()).unwrap();
+        for (i, index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&one_worker.responses[i], &many_workers.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(*index));
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        assert!(BatchConfig::with_workers(0).is_err());
+        assert!(BatchConfig::with_workers(3).is_ok());
+    }
+}

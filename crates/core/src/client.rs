@@ -1,0 +1,213 @@
+//! The PIR client: query generation and response reconstruction.
+//!
+//! The client-side work is deliberately light (§2.3, Figure 3a): `Gen`
+//! costs `O(log N)` PRG expansions and reconstruction is a single XOR of
+//! two record-sized subresults. Everything heavy happens on the servers,
+//! which is why the paper's evaluation — and this crate's benchmarks —
+//! focus on server-side processing.
+
+use impir_dpf::gen::generate_keys;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::PirError;
+use crate::protocol::{combine_responses, QueryShare, ServerResponse};
+
+/// A PIR client for a database of known geometry.
+///
+/// # Example
+///
+/// ```
+/// use impir_core::client::PirClient;
+///
+/// let mut client = PirClient::new(1000, 32, 9)?;
+/// let (share_1, share_2) = client.generate_query(123)?;
+/// assert_ne!(share_1.key, share_2.key);
+/// assert_eq!(share_1.query_id, share_2.query_id);
+/// # Ok::<(), impir_core::PirError>(())
+/// ```
+#[derive(Debug)]
+pub struct PirClient {
+    num_records: u64,
+    record_size: usize,
+    domain_bits: u32,
+    next_query_id: u64,
+    rng: StdRng,
+}
+
+impl PirClient {
+    /// Creates a client for a database of `num_records` records of
+    /// `record_size` bytes. `seed` makes query generation deterministic for
+    /// reproducible experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::InvalidDatabaseGeometry`] if either dimension is
+    /// zero.
+    pub fn new(num_records: u64, record_size: usize, seed: u64) -> Result<Self, PirError> {
+        if num_records == 0 || record_size == 0 {
+            return Err(PirError::InvalidDatabaseGeometry {
+                num_records,
+                record_bytes: record_size,
+            });
+        }
+        let domain_bits = (64 - (num_records - 1).leading_zeros()).max(1);
+        Ok(PirClient {
+            num_records,
+            record_size,
+            domain_bits,
+            next_query_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Number of records the client believes the database holds.
+    #[must_use]
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    /// Record size in bytes.
+    #[must_use]
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// DPF domain bits used for query keys.
+    #[must_use]
+    pub fn domain_bits(&self) -> u32 {
+        self.domain_bits
+    }
+
+    /// Generates the two query shares for record `index`
+    /// (Algorithm 1 step ➊: `(k1, k2) ← Gen(i, 1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::IndexOutOfRange`] if `index` is not a valid
+    /// record index.
+    pub fn generate_query(&mut self, index: u64) -> Result<(QueryShare, QueryShare), PirError> {
+        if index >= self.num_records {
+            return Err(PirError::IndexOutOfRange {
+                index,
+                num_records: self.num_records,
+            });
+        }
+        let (key_1, key_2) = generate_keys(self.domain_bits, index, &mut self.rng)?;
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        Ok((
+            QueryShare::new(query_id, key_1),
+            QueryShare::new(query_id, key_2),
+        ))
+    }
+
+    /// Generates shares for a whole batch of indices (the multi-query
+    /// workload of §3.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::IndexOutOfRange`] for the first invalid index.
+    pub fn generate_batch(
+        &mut self,
+        indices: &[u64],
+    ) -> Result<(Vec<QueryShare>, Vec<QueryShare>), PirError> {
+        let mut first = Vec::with_capacity(indices.len());
+        let mut second = Vec::with_capacity(indices.len());
+        for &index in indices {
+            let (share_1, share_2) = self.generate_query(index)?;
+            first.push(share_1);
+            second.push(share_2);
+        }
+        Ok((first, second))
+    }
+
+    /// Reconstructs the requested record from the two servers' responses
+    /// (Algorithm 1 step ➐).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::ResponseMismatch`] /
+    /// [`PirError::RecordSizeMismatch`] if the responses do not belong
+    /// together, and [`PirError::RecordSizeMismatch`] if the payload size
+    /// differs from the database's record size.
+    pub fn reconstruct(
+        &self,
+        first: &ServerResponse,
+        second: &ServerResponse,
+    ) -> Result<Vec<u8>, PirError> {
+        let record = combine_responses(first, second)?;
+        if record.len() != self.record_size {
+            return Err(PirError::RecordSizeMismatch {
+                expected: self.record_size,
+                actual: record.len(),
+            });
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impir_dpf::eval::eval_point;
+    use impir_dpf::PartyId;
+
+    #[test]
+    fn query_shares_encode_the_requested_index() {
+        let mut client = PirClient::new(500, 32, 1).unwrap();
+        let (share_1, share_2) = client.generate_query(321).unwrap();
+        // XOR of both shares' evaluations is the one-hot selector at 321.
+        for x in [0u64, 100, 320, 321, 322, 499] {
+            let bit =
+                eval_point(&share_1.key, x).unwrap() ^ eval_point(&share_2.key, x).unwrap();
+            assert_eq!(bit, x == 321);
+        }
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_shared_across_parties() {
+        let mut client = PirClient::new(100, 8, 2).unwrap();
+        let (a1, a2) = client.generate_query(0).unwrap();
+        let (b1, _b2) = client.generate_query(1).unwrap();
+        assert_eq!(a1.query_id, a2.query_id);
+        assert_ne!(a1.query_id, b1.query_id);
+        assert_eq!(a1.party(), PartyId::Server1);
+        assert_eq!(a2.party(), PartyId::Server2);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        let mut client = PirClient::new(10, 8, 3).unwrap();
+        assert!(client.generate_query(10).is_err());
+        assert!(client.generate_batch(&[1, 2, 10]).is_err());
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        assert!(PirClient::new(0, 8, 0).is_err());
+        assert!(PirClient::new(8, 0, 0).is_err());
+    }
+
+    #[test]
+    fn reconstruct_checks_record_size() {
+        let client = PirClient::new(10, 8, 4).unwrap();
+        let r1 = ServerResponse::new(0, PartyId::Server1, vec![1u8; 4]);
+        let r2 = ServerResponse::new(0, PartyId::Server2, vec![2u8; 4]);
+        assert!(matches!(
+            client.reconstruct(&r1, &r2),
+            Err(PirError::RecordSizeMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn batch_generation_preserves_order() {
+        let mut client = PirClient::new(64, 8, 5).unwrap();
+        let (first, second) = client.generate_batch(&[5, 9, 13]).unwrap();
+        assert_eq!(first.len(), 3);
+        assert_eq!(second.len(), 3);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.query_id, b.query_id);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The `dpXOR` primitive: selector-weighted XOR over a run of records.
+//!
+//! This is the memory-bound linear scan at the heart of every multi-server
+//! PIR query (§2.3, §3.3): for each record `j`, if the selector bit
+//! `Eval(k, j)` is set, XOR the record into an accumulator. The paper's
+//! whole point is *where* this scan runs — on the CPU (baseline), on a GPU,
+//! or in memory on DPUs — but the arithmetic is identical everywhere, so
+//! one shared implementation backs the CPU server, the CPU/GPU baselines
+//! and the DPU kernel.
+//!
+//! Two code paths are provided: a byte-wise scalar loop (the reference) and
+//! a 64-bit-wide path that XORs eight bytes per operation — the portable
+//! stand-in for the AVX2 256-bit XORs the paper's CPU implementations use.
+
+use impir_dpf::SelectorVector;
+
+/// XORs every selected record of `records` into `accumulator`, using the
+/// 64-bit-wide fast path where alignment allows.
+///
+/// `records` must contain exactly `selector.len()` records of
+/// `record_size` bytes; `accumulator` must be `record_size` bytes long.
+///
+/// # Panics
+///
+/// Panics if the slice sizes are inconsistent.
+pub fn xor_select_into(
+    records: &[u8],
+    record_size: usize,
+    selector: &SelectorVector,
+    accumulator: &mut [u8],
+) {
+    check_shapes(records, record_size, selector, accumulator);
+    if record_size % 8 == 0 {
+        xor_select_wide(records, record_size, selector, accumulator);
+    } else {
+        xor_select_scalar(records, record_size, selector, accumulator);
+    }
+}
+
+/// Byte-wise reference implementation of the selector-weighted XOR.
+///
+/// # Panics
+///
+/// Panics if the slice sizes are inconsistent.
+pub fn xor_select_scalar(
+    records: &[u8],
+    record_size: usize,
+    selector: &SelectorVector,
+    accumulator: &mut [u8],
+) {
+    check_shapes(records, record_size, selector, accumulator);
+    for index in 0..selector.len() {
+        if selector.get(index) {
+            let start = index * record_size;
+            for (acc, byte) in accumulator
+                .iter_mut()
+                .zip(&records[start..start + record_size])
+            {
+                *acc ^= *byte;
+            }
+        }
+    }
+}
+
+/// 64-bit-lane implementation: records whose size is a multiple of 8 bytes
+/// are XORed eight bytes at a time (the portable analogue of the AVX2 path
+/// in the paper's CPU code).
+///
+/// # Panics
+///
+/// Panics if the slice sizes are inconsistent or `record_size` is not a
+/// multiple of 8.
+pub fn xor_select_wide(
+    records: &[u8],
+    record_size: usize,
+    selector: &SelectorVector,
+    accumulator: &mut [u8],
+) {
+    check_shapes(records, record_size, selector, accumulator);
+    assert!(
+        record_size % 8 == 0,
+        "wide path requires record sizes that are multiples of 8 bytes"
+    );
+    let words_per_record = record_size / 8;
+    let mut acc_words = vec![0u64; words_per_record];
+    for (word, chunk) in acc_words.iter_mut().zip(accumulator.chunks_exact(8)) {
+        *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+
+    // Walk the packed selector words and only touch records with set bits —
+    // on average half the records, exactly like Algorithm 1's
+    // `if v[j] = 1 then t_i ← t_i ⊕ D_d[j]`.
+    for (word_index, &selector_word) in selector.words().iter().enumerate() {
+        if selector_word == 0 {
+            continue;
+        }
+        let mut remaining = selector_word;
+        while remaining != 0 {
+            let bit = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            let record_index = word_index * 64 + bit;
+            let start = record_index * record_size;
+            let record = &records[start..start + record_size];
+            for (acc, chunk) in acc_words.iter_mut().zip(record.chunks_exact(8)) {
+                *acc ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+        }
+    }
+
+    for (chunk, word) in accumulator.chunks_exact_mut(8).zip(&acc_words) {
+        chunk.copy_from_slice(&word.to_le_bytes());
+    }
+}
+
+/// Merges a set of per-chunk partial results into a single record by XOR —
+/// the second stage of the parallel reduction (Algorithm 1's `MasterXOR`
+/// on a DPU, and the host-side aggregation of per-DPU subresults).
+///
+/// # Panics
+///
+/// Panics if the partials do not all have length `record_size`.
+#[must_use]
+pub fn xor_reduce(partials: &[Vec<u8>], record_size: usize) -> Vec<u8> {
+    let mut accumulator = vec![0u8; record_size];
+    for partial in partials {
+        assert_eq!(
+            partial.len(),
+            record_size,
+            "partial result has the wrong record size"
+        );
+        for (acc, byte) in accumulator.iter_mut().zip(partial) {
+            *acc ^= *byte;
+        }
+    }
+    accumulator
+}
+
+/// XORs `other` into `accumulator` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_in_place(accumulator: &mut [u8], other: &[u8]) {
+    assert_eq!(accumulator.len(), other.len(), "length mismatch");
+    for (acc, byte) in accumulator.iter_mut().zip(other) {
+        *acc ^= *byte;
+    }
+}
+
+fn check_shapes(
+    records: &[u8],
+    record_size: usize,
+    selector: &SelectorVector,
+    accumulator: &mut [u8],
+) {
+    assert!(record_size > 0, "record size must be non-zero");
+    assert_eq!(
+        records.len(),
+        selector.len() * record_size,
+        "records buffer does not match selector length"
+    );
+    assert_eq!(
+        accumulator.len(),
+        record_size,
+        "accumulator must be one record long"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_records(count: usize, record_size: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count * record_size).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn wide_and_scalar_agree() {
+        let records = random_records(200, 32, 1);
+        let selector: SelectorVector = (0..200).map(|i| i % 5 < 2).collect();
+        let mut scalar = vec![0u8; 32];
+        let mut wide = vec![0u8; 32];
+        xor_select_scalar(&records, 32, &selector, &mut scalar);
+        xor_select_wide(&records, 32, &selector, &mut wide);
+        assert_eq!(scalar, wide);
+    }
+
+    #[test]
+    fn dispatch_handles_odd_record_sizes() {
+        let records = random_records(50, 7, 2);
+        let selector: SelectorVector = (0..50).map(|i| i % 2 == 0).collect();
+        let mut via_dispatch = vec![0u8; 7];
+        let mut via_scalar = vec![0u8; 7];
+        xor_select_into(&records, 7, &selector, &mut via_dispatch);
+        xor_select_scalar(&records, 7, &selector, &mut via_scalar);
+        assert_eq!(via_dispatch, via_scalar);
+    }
+
+    #[test]
+    fn empty_selector_leaves_accumulator_unchanged() {
+        let selector = SelectorVector::zeros(16);
+        let records = random_records(16, 8, 3);
+        let mut accumulator = vec![0xaa; 8];
+        xor_select_into(&records, 8, &selector, &mut accumulator);
+        assert_eq!(accumulator, vec![0xaa; 8]);
+    }
+
+    #[test]
+    fn one_hot_selector_returns_that_record() {
+        let records = random_records(64, 16, 4);
+        let mut selector = SelectorVector::zeros(64);
+        selector.set(37, true);
+        let mut accumulator = vec![0u8; 16];
+        xor_select_into(&records, 16, &selector, &mut accumulator);
+        assert_eq!(accumulator, &records[37 * 16..38 * 16]);
+    }
+
+    #[test]
+    fn xor_reduce_combines_partials() {
+        let partials = vec![vec![0b1010u8, 0], vec![0b0110u8, 1], vec![0b0001u8, 1]];
+        assert_eq!(xor_reduce(&partials, 2), vec![0b1101, 0]);
+        assert_eq!(xor_reduce(&[], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn xor_in_place_is_xor() {
+        let mut acc = vec![1u8, 2, 3];
+        xor_in_place(&mut acc, &[1, 1, 1]);
+        assert_eq!(acc, vec![0, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn shape_mismatch_panics() {
+        let selector = SelectorVector::zeros(4);
+        let mut acc = vec![0u8; 8];
+        xor_select_into(&[0u8; 8], 8, &selector, &mut acc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_wide_matches_scalar(
+            count in 1usize..300,
+            words_per_record in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let record_size = 8 * words_per_record;
+            let records = random_records(count, record_size, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+            let selector: SelectorVector = (0..count).map(|_| rng.gen()).collect();
+            let mut scalar = vec![0u8; record_size];
+            let mut wide = vec![0u8; record_size];
+            xor_select_scalar(&records, record_size, &selector, &mut scalar);
+            xor_select_wide(&records, record_size, &selector, &mut wide);
+            prop_assert_eq!(scalar, wide);
+        }
+
+        #[test]
+        fn prop_xor_select_is_linear(
+            count in 1usize..120,
+            seed in any::<u64>(),
+        ) {
+            // xor_select(a ⊕ b) == xor_select(a) ⊕ xor_select(b): the scan is
+            // linear in the selector, the property PIR correctness rests on.
+            let record_size = 16;
+            let records = random_records(count, record_size, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+            let a: SelectorVector = (0..count).map(|_| rng.gen()).collect();
+            let b: SelectorVector = (0..count).map(|_| rng.gen()).collect();
+            let mut a_xor_b = a.clone();
+            a_xor_b.xor_assign(&b);
+
+            let mut out_a = vec![0u8; record_size];
+            let mut out_b = vec![0u8; record_size];
+            let mut out_ab = vec![0u8; record_size];
+            xor_select_into(&records, record_size, &a, &mut out_a);
+            xor_select_into(&records, record_size, &b, &mut out_b);
+            xor_select_into(&records, record_size, &a_xor_b, &mut out_ab);
+            xor_in_place(&mut out_a, &out_b);
+            prop_assert_eq!(out_a, out_ab);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Error type for the IM-PIR core library.
+
+use std::fmt;
+
+use impir_dpf::DpfError;
+use impir_pim::PimError;
+
+/// Errors returned by the PIR client, servers and schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PirError {
+    /// An error bubbled up from the DPF layer.
+    Dpf(DpfError),
+    /// An error bubbled up from the PIM simulator.
+    Pim(PimError),
+    /// The database would be empty or records have size zero.
+    InvalidDatabaseGeometry {
+        /// Requested number of records.
+        num_records: u64,
+        /// Requested record size in bytes.
+        record_bytes: usize,
+    },
+    /// A record handed to the database does not match its record size.
+    RecordSizeMismatch {
+        /// Expected record size in bytes.
+        expected: usize,
+        /// Size of the offending record.
+        actual: usize,
+    },
+    /// The queried index is outside the database.
+    IndexOutOfRange {
+        /// The requested index.
+        index: u64,
+        /// Number of records in the database.
+        num_records: u64,
+    },
+    /// A query key was generated for a different database geometry than the
+    /// server holds.
+    QueryDomainMismatch {
+        /// Domain bits encoded in the key.
+        key_domain_bits: u32,
+        /// Domain bits of the server's database.
+        database_domain_bits: u32,
+    },
+    /// The database (plus per-query selector bits) does not fit in the
+    /// MRAM of the configured DPU cluster.
+    DatabaseTooLargeForPim {
+        /// Bytes needed per DPU.
+        required_bytes_per_dpu: usize,
+        /// MRAM capacity per DPU.
+        mram_bytes_per_dpu: usize,
+    },
+    /// Two responses being combined do not belong to the same query.
+    ResponseMismatch {
+        /// Query id of the first response.
+        first: u64,
+        /// Query id of the second response.
+        second: u64,
+    },
+    /// A configuration value is invalid.
+    Config {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PirError::Dpf(err) => write!(f, "DPF error: {err}"),
+            PirError::Pim(err) => write!(f, "PIM error: {err}"),
+            PirError::InvalidDatabaseGeometry {
+                num_records,
+                record_bytes,
+            } => write!(
+                f,
+                "invalid database geometry: {num_records} records of {record_bytes} bytes"
+            ),
+            PirError::RecordSizeMismatch { expected, actual } => write!(
+                f,
+                "record of {actual} bytes does not match the database record size of {expected} bytes"
+            ),
+            PirError::IndexOutOfRange { index, num_records } => write!(
+                f,
+                "index {index} is outside the database of {num_records} records"
+            ),
+            PirError::QueryDomainMismatch {
+                key_domain_bits,
+                database_domain_bits,
+            } => write!(
+                f,
+                "query key covers a {key_domain_bits}-bit domain but the database needs {database_domain_bits} bits"
+            ),
+            PirError::DatabaseTooLargeForPim {
+                required_bytes_per_dpu,
+                mram_bytes_per_dpu,
+            } => write!(
+                f,
+                "each DPU would need {required_bytes_per_dpu} bytes of MRAM but only {mram_bytes_per_dpu} are available"
+            ),
+            PirError::ResponseMismatch { first, second } => write!(
+                f,
+                "responses belong to different queries ({first} and {second})"
+            ),
+            PirError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PirError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PirError::Dpf(err) => Some(err),
+            PirError::Pim(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DpfError> for PirError {
+    fn from(err: DpfError) -> Self {
+        PirError::Dpf(err)
+    }
+}
+
+impl From<PimError> for PirError {
+    fn from(err: PimError) -> Self {
+        PirError::Pim(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let err: PirError = DpfError::InvalidDomain { domain_bits: 0 }.into();
+        assert!(matches!(err, PirError::Dpf(_)));
+        assert!(std::error::Error::source(&err).is_some());
+
+        let err: PirError = PimError::InvalidDpu {
+            dpu: 1,
+            allocated: 0,
+        }
+        .into();
+        assert!(matches!(err, PirError::Pim(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = PirError::IndexOutOfRange {
+            index: 10,
+            num_records: 4,
+        };
+        assert!(err.to_string().contains("10"));
+        assert!(err.to_string().contains("4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PirError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! IM-PIR: in-memory (PIM-accelerated) multi-server private information
+//! retrieval — the core contribution of the reproduced paper.
+//!
+//! The library implements the full two-server PIR protocol of the paper's
+//! §3 and Algorithm 1:
+//!
+//! 1. the client encodes its query index as a pair of DPF keys
+//!    ([`client::PirClient`], step ➊);
+//! 2. each server evaluates its key over the whole database domain on the
+//!    host CPU using the subtree-parallel strategy of §3.2 (step ➋);
+//! 3. the selector bits are scattered to the DPUs holding the preloaded
+//!    database chunks (step ➌);
+//! 4. every DPU runs the two-stage parallel-reduction `dpXOR` kernel over
+//!    its chunk (step ➍), subresults are copied back (➎) and aggregated on
+//!    the host (➏);
+//! 5. the client XORs the two servers' responses to recover the record
+//!    (step ➐).
+//!
+//! Two interchangeable server backends implement the
+//! [`server::PirServer`] trait:
+//!
+//! * [`server::pim::ImPirServer`] — the paper's system, running `dpXOR` on
+//!   the simulated UPMEM PIM ([`impir_pim`]);
+//! * [`server::cpu::CpuPirServer`] — a processor-centric server that runs
+//!   the same scan on host threads (the building block of the CPU
+//!   baseline).
+//!
+//! Batched query processing with DPU clusters (§3.4, Figure 8) lives in
+//! [`batch`]; an end-to-end two-server deployment helper in [`scheme`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use impir_core::{database::Database, scheme::TwoServerPir, server::pim::ImPirConfig};
+//!
+//! // A tiny database of 256 records of 32 bytes each.
+//! let db = Arc::new(Database::random(256, 32, 7)?);
+//! let mut pir = TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(4))?;
+//! let record = pir.query(123)?;
+//! assert_eq!(record, db.record(123));
+//! # Ok::<(), impir_core::PirError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod database;
+pub mod dpxor;
+mod error;
+pub mod multi_server;
+pub mod protocol;
+pub mod scheme;
+pub mod server;
+
+pub use client::PirClient;
+pub use database::Database;
+pub use error::PirError;
+pub use protocol::{QueryShare, ServerResponse};
+pub use server::{BatchOutcome, PhaseBreakdown, PirServer};
+
+/// Record size (in bytes) used throughout the paper's evaluation: each
+/// record is a 32-byte (256-bit) hash, as in Certificate Transparency logs
+/// and compromised-credential databases.
+pub const PAPER_RECORD_BYTES: usize = 32;

@@ -1,0 +1,168 @@
+//! Generalisation to more than two servers (paper §3).
+//!
+//! The paper's design and evaluation use two servers, but §3 notes that
+//! "the details are easily generalizable to multi-server PIR constructions
+//! where n > 2 — however, communication overhead from distributing queries
+//! increases with the number of servers". This module provides that
+//! generalisation using the straightforward n-party XOR sharing of the
+//! one-hot query vector: every server receives a share of size `N` bits,
+//! performs exactly the same `dpXOR` scan as in the two-server protocol,
+//! and the client XORs all `n` subresults.
+//!
+//! (A sub-linear-key n-party construction would require general function
+//! secret sharing rather than the two-party DPF; the paper does not
+//! evaluate one and neither do we — the upload cost reported by
+//! [`NServerNaivePir::upload_bytes_per_query`] makes the trade-off
+//! explicit.)
+
+use std::sync::Arc;
+
+use impir_dpf::naive::generate_multi_party_shares;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::database::Database;
+use crate::dpxor;
+use crate::error::PirError;
+
+/// An n-server PIR deployment based on linear (naive) query shares.
+///
+/// Privacy holds as long as at least one of the `n` servers does not
+/// collude with the others.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use impir_core::{database::Database, multi_server::NServerNaivePir};
+///
+/// let db = Arc::new(Database::random(512, 32, 3)?);
+/// let mut pir = NServerNaivePir::new(db.clone(), 4, 7)?;
+/// assert_eq!(pir.query(99)?, db.record(99));
+/// # Ok::<(), impir_core::PirError>(())
+/// ```
+#[derive(Debug)]
+pub struct NServerNaivePir {
+    database: Arc<Database>,
+    servers: usize,
+    rng: StdRng,
+}
+
+impl NServerNaivePir {
+    /// Creates a deployment with `servers ≥ 2` replicas of `database`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if fewer than two servers are requested.
+    pub fn new(database: Arc<Database>, servers: usize, seed: u64) -> Result<Self, PirError> {
+        if servers < 2 {
+            return Err(PirError::Config {
+                reason: "multi-server PIR needs at least two non-colluding servers".to_string(),
+            });
+        }
+        Ok(NServerNaivePir {
+            database,
+            servers,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Number of servers in the deployment.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Upload cost of one query in bytes: every server receives an `N`-bit
+    /// share, so the total grows linearly in both the database size and the
+    /// number of servers — the communication overhead §3 warns about.
+    #[must_use]
+    pub fn upload_bytes_per_query(&self) -> u64 {
+        self.servers as u64 * self.database.num_records().div_ceil(8)
+    }
+
+    /// Privately retrieves the record at `index`.
+    ///
+    /// Each server's work is simulated locally: it computes the
+    /// selector-weighted XOR of the whole database under its share, exactly
+    /// the `dpXOR` that the two-server backends offload to PIM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::IndexOutOfRange`] for invalid indices.
+    pub fn query(&mut self, index: u64) -> Result<Vec<u8>, PirError> {
+        if index >= self.database.num_records() {
+            return Err(PirError::IndexOutOfRange {
+                index,
+                num_records: self.database.num_records(),
+            });
+        }
+        let shares = generate_multi_party_shares(
+            self.database.num_records(),
+            index,
+            self.servers,
+            &mut self.rng,
+        )?;
+        let mut record = vec![0u8; self.database.record_size()];
+        for share in &shares {
+            let subresult = self.database.xor_select(share);
+            dpxor::xor_in_place(&mut record, &subresult);
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn retrieval_is_correct_for_various_server_counts() {
+        let db = Arc::new(Database::random(300, 16, 1).unwrap());
+        for servers in [2usize, 3, 5, 8] {
+            let mut pir = NServerNaivePir::new(db.clone(), servers, servers as u64).unwrap();
+            for index in [0u64, 123, 299] {
+                assert_eq!(pir.query(index).unwrap(), db.record(index), "servers={servers}");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_two_servers_is_rejected() {
+        let db = Arc::new(Database::random(10, 8, 0).unwrap());
+        assert!(NServerNaivePir::new(db, 1, 0).is_err());
+    }
+
+    #[test]
+    fn upload_cost_grows_with_server_count() {
+        let db = Arc::new(Database::random(1024, 32, 0).unwrap());
+        let two = NServerNaivePir::new(db.clone(), 2, 0).unwrap();
+        let five = NServerNaivePir::new(db, 5, 0).unwrap();
+        assert_eq!(two.upload_bytes_per_query(), 2 * 128);
+        assert_eq!(five.upload_bytes_per_query(), 5 * 128);
+    }
+
+    #[test]
+    fn out_of_range_index_is_rejected() {
+        let db = Arc::new(Database::random(10, 8, 0).unwrap());
+        let mut pir = NServerNaivePir::new(db, 3, 0).unwrap();
+        assert!(pir.query(10).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_retrieval_matches_database(
+            num_records in 2u64..300,
+            servers in 2usize..6,
+            seed in any::<u64>(),
+        ) {
+            let db = Arc::new(Database::random(num_records, 24, seed).unwrap());
+            let mut pir = NServerNaivePir::new(db.clone(), servers, seed ^ 1).unwrap();
+            let index = seed % num_records;
+            prop_assert_eq!(pir.query(index).unwrap(), db.record(index).to_vec());
+        }
+    }
+}

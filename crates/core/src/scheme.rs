@@ -1,0 +1,201 @@
+//! End-to-end two-server PIR deployments.
+//!
+//! [`TwoServerPir`] wires a [`crate::client::PirClient`] to two replicated
+//! servers (which must not collude — the standard multi-server PIR trust
+//! assumption, §2.3) and exposes the protocol as a simple
+//! "query an index, get the record back" API. It exists for examples,
+//! integration tests and the benchmark harness; a real deployment would put
+//! a network between the pieces.
+
+use std::sync::Arc;
+
+use crate::client::PirClient;
+use crate::database::Database;
+use crate::error::PirError;
+use crate::server::cpu::{CpuPirServer, CpuServerConfig};
+use crate::server::phases::PhaseBreakdown;
+use crate::server::pim::{ImPirConfig, ImPirServer};
+use crate::server::{BatchOutcome, PirServer};
+
+/// A client plus two non-colluding replicated servers.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug)]
+pub struct TwoServerPir<S: PirServer> {
+    client: PirClient,
+    server_1: S,
+    server_2: S,
+    last_phases: Option<(PhaseBreakdown, PhaseBreakdown)>,
+}
+
+impl<S: PirServer> TwoServerPir<S> {
+    /// Assembles a deployment from an existing client and two servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the servers disagree with each other
+    /// or with the client about the database geometry.
+    pub fn from_parts(client: PirClient, server_1: S, server_2: S) -> Result<Self, PirError> {
+        if server_1.num_records() != server_2.num_records()
+            || server_1.record_size() != server_2.record_size()
+        {
+            return Err(PirError::Config {
+                reason: "the two servers hold different database replicas".to_string(),
+            });
+        }
+        if client.num_records() != server_1.num_records()
+            || client.record_size() != server_1.record_size()
+        {
+            return Err(PirError::Config {
+                reason: "client and servers disagree on the database geometry".to_string(),
+            });
+        }
+        Ok(TwoServerPir {
+            client,
+            server_1,
+            server_2,
+            last_phases: None,
+        })
+    }
+
+    /// The client side of the deployment.
+    #[must_use]
+    pub fn client(&self) -> &PirClient {
+        &self.client
+    }
+
+    /// Per-server phase breakdowns of the most recent [`TwoServerPir::query`].
+    #[must_use]
+    pub fn last_phases(&self) -> Option<&(PhaseBreakdown, PhaseBreakdown)> {
+        self.last_phases.as_ref()
+    }
+
+    /// Privately retrieves the record at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates client- and server-side errors (invalid index, geometry
+    /// mismatches, backend failures).
+    pub fn query(&mut self, index: u64) -> Result<Vec<u8>, PirError> {
+        let (share_1, share_2) = self.client.generate_query(index)?;
+        let (response_1, phases_1) = self.server_1.process_query(&share_1)?;
+        let (response_2, phases_2) = self.server_2.process_query(&share_2)?;
+        self.last_phases = Some((phases_1, phases_2));
+        self.client.reconstruct(&response_1, &response_2)
+    }
+
+    /// Privately retrieves a batch of records, one per index.
+    ///
+    /// Returns the records in the same order as `indices`, along with the
+    /// two servers' batch outcomes (for throughput/latency reporting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates client- and server-side errors.
+    pub fn query_batch(
+        &mut self,
+        indices: &[u64],
+    ) -> Result<(Vec<Vec<u8>>, BatchOutcome, BatchOutcome), PirError> {
+        let (shares_1, shares_2) = self.client.generate_batch(indices)?;
+        let outcome_1 = self.server_1.process_batch(&shares_1)?;
+        let outcome_2 = self.server_2.process_batch(&shares_2)?;
+        let mut records = Vec::with_capacity(indices.len());
+        for (response_1, response_2) in outcome_1.responses.iter().zip(&outcome_2.responses) {
+            records.push(self.client.reconstruct(response_1, response_2)?);
+        }
+        Ok((records, outcome_1, outcome_2))
+    }
+}
+
+impl TwoServerPir<ImPirServer> {
+    /// Builds a deployment whose servers run IM-PIR on simulated UPMEM PIM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and PIM allocation errors.
+    pub fn with_pim_servers(
+        database: Arc<Database>,
+        config: ImPirConfig,
+    ) -> Result<Self, PirError> {
+        let client = PirClient::new(database.num_records(), database.record_size(), 0)?;
+        let server_1 = ImPirServer::new(Arc::clone(&database), config.clone())?;
+        let server_2 = ImPirServer::new(database, config)?;
+        TwoServerPir::from_parts(client, server_1, server_2)
+    }
+}
+
+impl TwoServerPir<CpuPirServer> {
+    /// Builds a deployment whose servers are processor-centric (CPU-PIR).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn with_cpu_servers(
+        database: Arc<Database>,
+        config: CpuServerConfig,
+    ) -> Result<Self, PirError> {
+        let client = PirClient::new(database.num_records(), database.record_size(), 0)?;
+        let server_1 = CpuPirServer::new(Arc::clone(&database), config.clone())?;
+        let server_2 = CpuPirServer::new(database, config)?;
+        TwoServerPir::from_parts(client, server_1, server_2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pim_and_cpu_schemes_return_identical_records() {
+        let db = Arc::new(Database::random(200, 32, 5).unwrap());
+        let mut pim = TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(4)).unwrap();
+        let mut cpu =
+            TwoServerPir::with_cpu_servers(db.clone(), CpuServerConfig::baseline()).unwrap();
+        for index in [0u64, 42, 111, 199] {
+            let from_pim = pim.query(index).unwrap();
+            let from_cpu = cpu.query(index).unwrap();
+            assert_eq!(from_pim, db.record(index));
+            assert_eq!(from_cpu, db.record(index));
+        }
+        assert!(pim.last_phases().is_some());
+    }
+
+    #[test]
+    fn batch_queries_return_all_records() {
+        let db = Arc::new(Database::random(150, 16, 6).unwrap());
+        let mut pir =
+            TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(4).with_clusters(2))
+                .unwrap();
+        let indices: Vec<u64> = vec![1, 50, 149, 20, 20];
+        let (records, outcome_1, outcome_2) = pir.query_batch(&indices).unwrap();
+        for (record, index) in records.iter().zip(&indices) {
+            assert_eq!(record, db.record(*index));
+        }
+        assert_eq!(outcome_1.responses.len(), indices.len());
+        assert_eq!(outcome_2.responses.len(), indices.len());
+    }
+
+    #[test]
+    fn mismatched_geometries_are_rejected() {
+        let db_small = Arc::new(Database::random(100, 8, 1).unwrap());
+        let db_large = Arc::new(Database::random(200, 8, 1).unwrap());
+        let client = PirClient::new(100, 8, 0).unwrap();
+        let s1 = CpuPirServer::new(db_small, CpuServerConfig::baseline()).unwrap();
+        let s2 = CpuPirServer::new(db_large, CpuServerConfig::baseline()).unwrap();
+        assert!(matches!(
+            TwoServerPir::from_parts(client, s1, s2),
+            Err(PirError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_index_propagates_client_error() {
+        let db = Arc::new(Database::random(50, 8, 2).unwrap());
+        let mut pir =
+            TwoServerPir::with_cpu_servers(db, CpuServerConfig::baseline()).unwrap();
+        assert!(matches!(
+            pir.query(50),
+            Err(PirError::IndexOutOfRange { .. })
+        ));
+    }
+}

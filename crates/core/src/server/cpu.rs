@@ -1,0 +1,337 @@
+//! A processor-centric PIR server: DPF evaluation and `dpXOR` on the host.
+//!
+//! This backend performs exactly the same work as [`crate::server::pim`]
+//! but keeps the `dpXOR` scan on CPU threads, moving every database byte
+//! from DRAM through the cache hierarchy — the data-movement cost IM-PIR is
+//! designed to avoid. With `scan_threads = 1` it matches the paper's
+//! CPU-PIR baseline configuration ("a single CPU thread for each query,
+//! accelerated with AVX"); with more threads it serves as an upper bound on
+//! what a processor-centric server can do.
+
+use std::sync::Arc;
+
+use impir_dpf::{EvalStrategy, SelectorVector};
+use rayon::prelude::*;
+
+use crate::database::Database;
+use crate::dpxor;
+use crate::error::PirError;
+use crate::protocol::{QueryShare, ServerResponse};
+use crate::server::phases::{PhaseBreakdown, PhaseTime};
+use crate::server::{timed, PirServer};
+
+/// Configuration of a [`CpuPirServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuServerConfig {
+    /// Strategy for expanding the DPF key over the database domain.
+    pub eval_strategy: EvalStrategy,
+    /// Number of threads used for the `dpXOR` scan of one query
+    /// (1 = the paper's baseline configuration).
+    pub scan_threads: usize,
+}
+
+impl CpuServerConfig {
+    /// The paper's CPU-PIR baseline: single-threaded scan, level-by-level
+    /// evaluation.
+    #[must_use]
+    pub fn baseline() -> Self {
+        CpuServerConfig {
+            eval_strategy: EvalStrategy::LevelByLevel,
+            scan_threads: 1,
+        }
+    }
+
+    /// A multi-threaded CPU server using all available cores for both
+    /// evaluation and scanning.
+    #[must_use]
+    pub fn multithreaded() -> Self {
+        let threads = rayon::current_num_threads().max(1);
+        CpuServerConfig {
+            eval_strategy: EvalStrategy::SubtreeParallel { threads },
+            scan_threads: threads,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if `scan_threads` is zero.
+    pub fn validate(&self) -> Result<(), PirError> {
+        if self.scan_threads == 0 {
+            return Err(PirError::Config {
+                reason: "scan_threads must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for CpuServerConfig {
+    fn default() -> Self {
+        CpuServerConfig::baseline()
+    }
+}
+
+/// A CPU-only PIR server.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use impir_core::{database::Database, client::PirClient, server::PirServer};
+/// use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
+///
+/// let db = Arc::new(Database::random(128, 16, 3)?);
+/// let mut server_1 = CpuPirServer::new(db.clone(), CpuServerConfig::baseline())?;
+/// let mut server_2 = CpuPirServer::new(db.clone(), CpuServerConfig::baseline())?;
+/// let mut client = PirClient::new(128, 16, 0)?;
+/// let (q1, q2) = client.generate_query(77)?;
+/// let (r1, _) = server_1.process_query(&q1)?;
+/// let (r2, _) = server_2.process_query(&q2)?;
+/// assert_eq!(client.reconstruct(&r1, &r2)?, db.record(77));
+/// # Ok::<(), impir_core::PirError>(())
+/// ```
+#[derive(Debug)]
+pub struct CpuPirServer {
+    database: Arc<Database>,
+    config: CpuServerConfig,
+}
+
+impl CpuPirServer {
+    /// Creates a CPU server over `database`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the configuration is invalid.
+    pub fn new(database: Arc<Database>, config: CpuServerConfig) -> Result<Self, PirError> {
+        config.validate()?;
+        Ok(CpuPirServer { database, config })
+    }
+
+    /// The configuration this server runs with.
+    #[must_use]
+    pub fn config(&self) -> &CpuServerConfig {
+        &self.config
+    }
+
+    /// The database replica held by this server.
+    #[must_use]
+    pub fn database(&self) -> &Arc<Database> {
+        &self.database
+    }
+
+    fn check_domain(&self, share: &QueryShare) -> Result<(), PirError> {
+        let expected = self.database.domain_bits();
+        if share.key.domain_bits() != expected {
+            return Err(PirError::QueryDomainMismatch {
+                key_domain_bits: share.key.domain_bits(),
+                database_domain_bits: expected,
+            });
+        }
+        Ok(())
+    }
+
+    /// The `dpXOR` scan over the full database with `scan_threads` threads.
+    fn scan(&self, selector: &SelectorVector) -> Vec<u8> {
+        let record_size = self.database.record_size();
+        let num_records = self.database.num_records() as usize;
+        let threads = self.config.scan_threads.min(num_records.max(1));
+        if threads <= 1 {
+            return self.database.xor_select(selector);
+        }
+        let per_thread = num_records.div_ceil(threads);
+        let partials: Vec<Vec<u8>> = (0..threads)
+            .into_par_iter()
+            .map(|thread| {
+                let start = thread * per_thread;
+                if start >= num_records {
+                    return vec![0u8; record_size];
+                }
+                let count = per_thread.min(num_records - start);
+                let chunk = self
+                    .database
+                    .record_chunk(start as u64, count as u64);
+                let chunk_selector = selector.slice(start, count);
+                let mut accumulator = vec![0u8; record_size];
+                dpxor::xor_select_into(chunk, record_size, &chunk_selector, &mut accumulator);
+                accumulator
+            })
+            .collect();
+        dpxor::xor_reduce(&partials, record_size)
+    }
+}
+
+impl PirServer for CpuPirServer {
+    fn num_records(&self) -> u64 {
+        self.database.num_records()
+    }
+
+    fn record_size(&self) -> usize {
+        self.database.record_size()
+    }
+
+    fn process_query(
+        &mut self,
+        share: &QueryShare,
+    ) -> Result<(ServerResponse, PhaseBreakdown), PirError> {
+        self.check_domain(share)?;
+        let num_records = self.database.num_records();
+
+        // Phase ➋: DPF evaluation over the database domain.
+        let (selector, eval_seconds) = timed(|| {
+            self.config
+                .eval_strategy
+                .eval_range(&share.key, 0, num_records)
+        });
+        let selector = selector?;
+
+        // Phase ➍ (on the CPU): selector-weighted XOR of the whole DB.
+        let (payload, dpxor_seconds) = timed(|| self.scan(&selector));
+
+        let phases = PhaseBreakdown {
+            eval: PhaseTime::host(eval_seconds),
+            dpxor: PhaseTime::host(dpxor_seconds),
+            ..PhaseBreakdown::zero()
+        };
+        Ok((
+            ServerResponse::new(share.query_id, share.key.party(), payload),
+            phases,
+        ))
+    }
+
+    fn process_batch(&mut self, shares: &[QueryShare]) -> Result<crate::server::BatchOutcome, PirError> {
+        // The CPU baseline handles each query on its own worker thread
+        // (§5.1: "a single CPU thread for each query"), so a batch is a
+        // parallel map over the shares.
+        let started = std::time::Instant::now();
+        let results: Result<Vec<(ServerResponse, PhaseBreakdown)>, PirError> = shares
+            .par_iter()
+            .map(|share| {
+                // Each query is evaluated and scanned by exactly one thread.
+                let mut single = CpuPirServer {
+                    database: Arc::clone(&self.database),
+                    config: CpuServerConfig {
+                        eval_strategy: EvalStrategy::LevelByLevel,
+                        scan_threads: 1,
+                    },
+                };
+                single.process_query(share)
+            })
+            .collect();
+        let results = results?;
+        let mut totals = PhaseBreakdown::zero();
+        let mut responses = Vec::with_capacity(results.len());
+        for (response, phases) in results {
+            totals.merge(&phases);
+            responses.push(response);
+        }
+        Ok(crate::server::BatchOutcome {
+            responses,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            phase_totals: totals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PirClient;
+    use proptest::prelude::*;
+
+    fn setup(num_records: u64, record_size: usize, config: CpuServerConfig) -> (Arc<Database>, CpuPirServer, CpuPirServer, PirClient) {
+        let db = Arc::new(Database::random(num_records, record_size, 11).unwrap());
+        let s1 = CpuPirServer::new(db.clone(), config.clone()).unwrap();
+        let s2 = CpuPirServer::new(db.clone(), config).unwrap();
+        let client = PirClient::new(num_records, record_size, 5).unwrap();
+        (db, s1, s2, client)
+    }
+
+    #[test]
+    fn end_to_end_retrieval_baseline_config() {
+        let (db, mut s1, mut s2, mut client) = setup(300, 32, CpuServerConfig::baseline());
+        for index in [0u64, 1, 150, 299] {
+            let (q1, q2) = client.generate_query(index).unwrap();
+            let (r1, phases_1) = s1.process_query(&q1).unwrap();
+            let (r2, _) = s2.process_query(&q2).unwrap();
+            assert_eq!(client.reconstruct(&r1, &r2).unwrap(), db.record(index));
+            assert!(phases_1.eval.wall_seconds >= 0.0);
+            assert!(phases_1.copy_to_pim.wall_seconds == 0.0);
+        }
+    }
+
+    #[test]
+    fn end_to_end_retrieval_multithreaded_config() {
+        let (db, mut s1, mut s2, mut client) = setup(500, 24, CpuServerConfig::multithreaded());
+        let (q1, q2) = client.generate_query(421).unwrap();
+        let (r1, _) = s1.process_query(&q1).unwrap();
+        let (r2, _) = s2.process_query(&q2).unwrap();
+        assert_eq!(client.reconstruct(&r1, &r2).unwrap(), db.record(421));
+    }
+
+    #[test]
+    fn batch_processing_matches_single_queries() {
+        let (db, mut s1, mut s2, mut client) = setup(200, 16, CpuServerConfig::baseline());
+        let indices = [3u64, 77, 123, 199, 0];
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let batch_1 = s1.process_batch(&shares_1).unwrap();
+        let batch_2 = s2.process_batch(&shares_2).unwrap();
+        assert_eq!(batch_1.responses.len(), indices.len());
+        for (i, index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&batch_1.responses[i], &batch_2.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(*index));
+        }
+        assert!(batch_1.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn domain_mismatch_is_rejected() {
+        let (_, mut s1, _, _) = setup(100, 8, CpuServerConfig::baseline());
+        let mut other_client = PirClient::new(100_000, 8, 0).unwrap();
+        let (q1, _) = other_client.generate_query(5).unwrap();
+        assert!(matches!(
+            s1.process_query(&q1),
+            Err(PirError::QueryDomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_scan_threads_is_rejected() {
+        let db = Arc::new(Database::random(10, 8, 0).unwrap());
+        let config = CpuServerConfig {
+            eval_strategy: EvalStrategy::LevelByLevel,
+            scan_threads: 0,
+        };
+        assert!(CpuPirServer::new(db, config).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_retrieval_is_correct_for_random_geometries(
+            num_records in 2u64..600,
+            record_words in 1usize..5,
+            scan_threads in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            let record_size = record_words * 8;
+            let db = Arc::new(Database::random(num_records, record_size, seed).unwrap());
+            let config = CpuServerConfig {
+                eval_strategy: EvalStrategy::MemoryBounded { chunk_bits: 6 },
+                scan_threads,
+            };
+            let mut s1 = CpuPirServer::new(db.clone(), config.clone()).unwrap();
+            let mut s2 = CpuPirServer::new(db.clone(), config).unwrap();
+            let mut client = PirClient::new(num_records, record_size, seed ^ 1).unwrap();
+            let index = seed % num_records;
+            let (q1, q2) = client.generate_query(index).unwrap();
+            let (r1, _) = s1.process_query(&q1).unwrap();
+            let (r2, _) = s2.process_query(&q2).unwrap();
+            prop_assert_eq!(client.reconstruct(&r1, &r2).unwrap(), db.record(index));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! PIR server backends.
+//!
+//! A PIR server holds a replica of the public database and answers query
+//! shares with record-sized XOR subresults. The trait is implemented by the
+//! two backends the paper compares:
+//!
+//! * [`pim::ImPirServer`] — IM-PIR: host-side DPF evaluation plus `dpXOR`
+//!   on (simulated) UPMEM DPUs, with the database preloaded in MRAM;
+//! * [`streaming::StreamingImPirServer`] — the out-of-core variant of §3.3
+//!   that streams database segments through MRAM when the database exceeds
+//!   the aggregate capacity;
+//! * [`cpu::CpuPirServer`] — a processor-centric server performing the same
+//!   scan on host threads.
+
+pub mod cpu;
+pub mod phases;
+pub mod pim;
+pub mod streaming;
+
+use crate::error::PirError;
+use crate::protocol::{QueryShare, ServerResponse};
+
+pub use phases::{PhaseBreakdown, PhaseTime};
+
+/// A PIR database server.
+///
+/// Implementations answer individual query shares and whole batches; both
+/// return per-phase timing so the benchmark harness can reproduce the
+/// paper's breakdowns (Figure 10, Table 1).
+pub trait PirServer {
+    /// Number of records in the replica this server holds.
+    fn num_records(&self) -> u64;
+
+    /// Size of one record in bytes.
+    fn record_size(&self) -> usize;
+
+    /// Processes a single query share (Algorithm 1 steps ➋–➏).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`PirError`] when the key does not match the
+    /// database geometry or a backend operation fails.
+    fn process_query(
+        &mut self,
+        share: &QueryShare,
+    ) -> Result<(ServerResponse, PhaseBreakdown), PirError>;
+
+    /// Processes a batch of query shares, returning responses in the same
+    /// order.
+    ///
+    /// The default implementation answers the queries sequentially;
+    /// backends with real batch support (IM-PIR's Figure-8 pipeline)
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure from [`PirServer::process_query`].
+    fn process_batch(&mut self, shares: &[QueryShare]) -> Result<BatchOutcome, PirError> {
+        let started = std::time::Instant::now();
+        let mut responses = Vec::with_capacity(shares.len());
+        let mut totals = PhaseBreakdown::zero();
+        for share in shares {
+            let (response, phases) = self.process_query(share)?;
+            totals.merge(&phases);
+            responses.push(response);
+        }
+        Ok(BatchOutcome {
+            responses,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            phase_totals: totals,
+        })
+    }
+}
+
+/// The result of processing a batch of queries on one server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Responses, in the same order as the input shares.
+    pub responses: Vec<ServerResponse>,
+    /// Measured wall-clock time for the whole batch, in seconds.
+    pub wall_seconds: f64,
+    /// Per-phase totals accumulated over the batch.
+    pub phase_totals: PhaseBreakdown,
+}
+
+impl BatchOutcome {
+    /// Measured throughput in queries per second.
+    #[must_use]
+    pub fn throughput_qps(&self) -> f64 {
+        self.responses.len() as f64 / self.wall_seconds
+    }
+
+    /// Simulated-hardware batch latency: phases that ran on the simulated
+    /// PIM use their modelled time, host phases use measured wall time.
+    #[must_use]
+    pub fn hybrid_seconds(&self) -> f64 {
+        self.phase_totals.total_hybrid_seconds()
+    }
+}
+
+/// Runs `f` and returns its result along with the elapsed wall time in
+/// seconds.
+pub(crate) fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = std::time::Instant::now();
+    let value = f();
+    (value, started.elapsed().as_secs_f64())
+}

@@ -1,0 +1,230 @@
+//! Length-doubling pseudorandom generator used to expand GGM-tree nodes.
+//!
+//! Each node of the DPF's GGM computation tree is expanded into its two
+//! children by a length-doubling PRG `G(s) = (G_0(s), G_1(s))` where
+//! `G_b(s) = AES_{K_b}(s) ⊕ s` (Matyas–Meyer–Oseas with two fixed, public
+//! keys). The per-child control bits are derived from the low bit of the
+//! expanded seeds, exactly as in the Boyle–Gilboa–Ishai DPF that the
+//! paper's construction [62] builds upon.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aes::Aes128;
+use crate::Block;
+
+/// The expansion of one GGM seed into a child seed plus control bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildExpansion {
+    /// The child's pseudorandom seed (low bit cleared).
+    pub seed: Block,
+    /// The child's pseudorandom control bit.
+    pub control: bool,
+}
+
+/// The full expansion of one GGM node into its two children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeExpansion {
+    /// Expansion for the left (bit = 0) child.
+    pub left: ChildExpansion,
+    /// Expansion for the right (bit = 1) child.
+    pub right: ChildExpansion,
+}
+
+impl NodeExpansion {
+    /// Returns the expansion for the child selected by `bit`
+    /// (`false` = left, `true` = right).
+    #[must_use]
+    pub fn child(&self, bit: bool) -> ChildExpansion {
+        if bit {
+            self.right
+        } else {
+            self.left
+        }
+    }
+}
+
+/// Fixed-key, length-doubling PRG (Matyas–Meyer–Oseas over AES-128).
+///
+/// The two AES keys are fixed and public; security rests on AES behaving as
+/// a correlation-robust hash, the standard assumption for GGM-style DPFs.
+///
+/// # Example
+///
+/// ```
+/// use impir_crypto::{prg::LengthDoublingPrg, Block};
+///
+/// let prg = LengthDoublingPrg::default();
+/// let e = prg.expand(Block::from(1u128));
+/// assert_ne!(e.left.seed, e.right.seed);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct LengthDoublingPrg {
+    left_key: Aes128,
+    right_key: Aes128,
+}
+
+impl std::fmt::Debug for LengthDoublingPrg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LengthDoublingPrg").field("keys", &2).finish()
+    }
+}
+
+/// Public fixed key used for the left expansion.
+pub const LEFT_EXPANSION_KEY: [u8; 16] = [
+    0x1b, 0x3c, 0x5d, 0x7e, 0x9f, 0xa0, 0xb1, 0xc2, 0xd3, 0xe4, 0xf5, 0x06, 0x17, 0x28, 0x39, 0x4a,
+];
+
+/// Public fixed key used for the right expansion.
+pub const RIGHT_EXPANSION_KEY: [u8; 16] = [
+    0xa5, 0x96, 0x87, 0x78, 0x69, 0x5a, 0x4b, 0x3c, 0x2d, 0x1e, 0x0f, 0xf0, 0xe1, 0xd2, 0xc3, 0xb4,
+];
+
+impl Default for LengthDoublingPrg {
+    fn default() -> Self {
+        LengthDoublingPrg {
+            left_key: Aes128::new(LEFT_EXPANSION_KEY),
+            right_key: Aes128::new(RIGHT_EXPANSION_KEY),
+        }
+    }
+}
+
+impl LengthDoublingPrg {
+    /// Creates a PRG with caller-provided fixed keys.
+    ///
+    /// All parties of one PIR deployment must agree on the same keys; the
+    /// [`Default`] instance is what the rest of the workspace uses.
+    #[must_use]
+    pub fn with_keys(left: [u8; 16], right: [u8; 16]) -> Self {
+        LengthDoublingPrg {
+            left_key: Aes128::new(left),
+            right_key: Aes128::new(right),
+        }
+    }
+
+    /// Expands `seed` into its two pseudorandom children.
+    #[must_use]
+    pub fn expand(&self, seed: Block) -> NodeExpansion {
+        NodeExpansion {
+            left: self.expand_one(seed, false),
+            right: self.expand_one(seed, true),
+        }
+    }
+
+    /// Expands only the child selected by `bit`, halving the AES work when
+    /// a traversal only follows one path (single-point `Eval`).
+    #[must_use]
+    pub fn expand_one(&self, seed: Block, bit: bool) -> ChildExpansion {
+        let cipher = if bit { &self.right_key } else { &self.left_key };
+        let raw = cipher.encrypt_block(seed) ^ seed;
+        ChildExpansion {
+            seed: raw.with_lsb_cleared(),
+            control: raw.lsb(),
+        }
+    }
+
+    /// Expands a whole level of seeds at once, writing `(left, right)` pairs.
+    ///
+    /// `seeds` holds the parent seeds; the return value holds, for each
+    /// parent, its full [`NodeExpansion`]. The AES calls are issued through
+    /// the batched path so the access pattern matches §3.2's AES-NI
+    /// batching.
+    #[must_use]
+    pub fn expand_level(&self, seeds: &[Block]) -> Vec<NodeExpansion> {
+        let mut left: Vec<Block> = seeds.to_vec();
+        let mut right: Vec<Block> = seeds.to_vec();
+        crate::batch::mmo_batch(&self.left_key, &mut left);
+        crate::batch::mmo_batch(&self.right_key, &mut right);
+        left.iter()
+            .zip(right.iter())
+            .map(|(l, r)| NodeExpansion {
+                left: ChildExpansion {
+                    seed: l.with_lsb_cleared(),
+                    control: l.lsb(),
+                },
+                right: ChildExpansion {
+                    seed: r.with_lsb_cleared(),
+                    control: r.lsb(),
+                },
+            })
+            .collect()
+    }
+
+    /// Number of AES block operations needed to expand `n` nodes.
+    #[must_use]
+    pub fn aes_ops_per_level(n: usize) -> usize {
+        2 * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let prg = LengthDoublingPrg::default();
+        let seed = Block::from(0xdeadbeefu128);
+        assert_eq!(prg.expand(seed), prg.expand(seed));
+    }
+
+    #[test]
+    fn children_are_distinct_and_differ_from_parent() {
+        let prg = LengthDoublingPrg::default();
+        for i in 0..64u128 {
+            let seed = Block::from(i * 0x9e3779b97f4a7c15);
+            let e = prg.expand(seed);
+            assert_ne!(e.left.seed, e.right.seed, "seed {i}");
+            assert_ne!(e.left.seed, seed.with_lsb_cleared());
+        }
+    }
+
+    #[test]
+    fn expand_one_matches_expand() {
+        let prg = LengthDoublingPrg::default();
+        let seed = Block::from(123456789u128);
+        let full = prg.expand(seed);
+        assert_eq!(prg.expand_one(seed, false), full.left);
+        assert_eq!(prg.expand_one(seed, true), full.right);
+    }
+
+    #[test]
+    fn expand_level_matches_pointwise_expansion() {
+        let prg = LengthDoublingPrg::default();
+        let seeds: Vec<Block> = (0..23u128).map(|i| Block::from(i * 31 + 7)).collect();
+        let level = prg.expand_level(&seeds);
+        assert_eq!(level.len(), seeds.len());
+        for (seed, expansion) in seeds.iter().zip(&level) {
+            assert_eq!(*expansion, prg.expand(*seed));
+        }
+    }
+
+    #[test]
+    fn seeds_have_cleared_low_bit() {
+        let prg = LengthDoublingPrg::default();
+        let e = prg.expand(Block::from(0xabcdefu128));
+        assert!(!e.left.seed.lsb());
+        assert!(!e.right.seed.lsb());
+    }
+
+    #[test]
+    fn custom_keys_produce_different_streams() {
+        let default_prg = LengthDoublingPrg::default();
+        let custom = LengthDoublingPrg::with_keys([1u8; 16], [2u8; 16]);
+        let seed = Block::from(99u128);
+        assert_ne!(default_prg.expand(seed), custom.expand(seed));
+    }
+
+    #[test]
+    fn aes_op_accounting() {
+        assert_eq!(LengthDoublingPrg::aes_ops_per_level(0), 0);
+        assert_eq!(LengthDoublingPrg::aes_ops_per_level(10), 20);
+    }
+
+    #[test]
+    fn node_expansion_child_selector() {
+        let prg = LengthDoublingPrg::default();
+        let e = prg.expand(Block::from(5u128));
+        assert_eq!(e.child(false), e.left);
+        assert_eq!(e.child(true), e.right);
+    }
+}

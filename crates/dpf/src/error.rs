@@ -1,0 +1,89 @@
+//! Error type for DPF operations.
+
+use std::fmt;
+
+/// Errors returned by DPF key generation and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DpfError {
+    /// The requested domain size (in bits) is zero or exceeds
+    /// [`crate::MAX_DOMAIN_BITS`].
+    InvalidDomain {
+        /// The offending number of domain bits.
+        domain_bits: u32,
+    },
+    /// The point `alpha` lies outside the domain `[0, 2^domain_bits)`.
+    PointOutOfDomain {
+        /// The requested point.
+        alpha: u64,
+        /// The domain size in bits.
+        domain_bits: u32,
+    },
+    /// The evaluation input lies outside the key's domain.
+    InputOutOfDomain {
+        /// The evaluation input.
+        input: u64,
+        /// The domain size in bits.
+        domain_bits: u32,
+    },
+    /// A serialized key was truncated or otherwise malformed.
+    MalformedKey {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The two keys handed to a higher-level routine belong to different
+    /// domains and cannot be combined.
+    DomainMismatch {
+        /// Domain bits of the first key.
+        left: u32,
+        /// Domain bits of the second key.
+        right: u32,
+    },
+}
+
+impl fmt::Display for DpfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpfError::InvalidDomain { domain_bits } => {
+                write!(f, "invalid DPF domain of {domain_bits} bits")
+            }
+            DpfError::PointOutOfDomain { alpha, domain_bits } => write!(
+                f,
+                "point {alpha} does not fit in a {domain_bits}-bit domain"
+            ),
+            DpfError::InputOutOfDomain { input, domain_bits } => write!(
+                f,
+                "evaluation input {input} does not fit in a {domain_bits}-bit domain"
+            ),
+            DpfError::MalformedKey { reason } => write!(f, "malformed DPF key: {reason}"),
+            DpfError::DomainMismatch { left, right } => write!(
+                f,
+                "DPF keys have mismatched domains ({left} vs {right} bits)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DpfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = DpfError::PointOutOfDomain {
+            alpha: 10,
+            domain_bits: 3,
+        };
+        let text = err.to_string();
+        assert!(text.contains("10"));
+        assert!(text.contains("3-bit"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DpfError>();
+    }
+}

@@ -1,0 +1,443 @@
+//! DPF evaluation (`Eval`), run by each PIR server.
+//!
+//! Evaluating a key at a single index walks one root-to-leaf path of the
+//! GGM computation tree (eqs. (1)–(3) of the paper); expanding the key over
+//! the whole database domain — what the server actually does for every
+//! query — is a full tree expansion whose parallelisation strategies live in
+//! [`crate::parallel`].
+
+use impir_crypto::prg::LengthDoublingPrg;
+use impir_crypto::Block;
+
+use crate::bitvec::SelectorVector;
+use crate::error::DpfError;
+use crate::key::DpfKey;
+
+/// The evaluation state at one GGM node: the pseudorandom seed and the
+/// party's control bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeState {
+    /// The node's pseudorandom seed (low bit cleared).
+    pub seed: Block,
+    /// The party's control bit at this node.
+    pub control: bool,
+}
+
+impl NodeState {
+    /// The root state encoded in a key.
+    #[must_use]
+    pub fn root(key: &DpfKey) -> NodeState {
+        NodeState {
+            seed: key.root_seed(),
+            control: key.root_control(),
+        }
+    }
+}
+
+/// Advances a node state one level down the tree, following `bit`.
+///
+/// Applies the level's correction word when the current control bit is set,
+/// exactly as in the BGI evaluation procedure.
+#[must_use]
+pub fn step(key: &DpfKey, state: NodeState, level: usize, bit: bool, prg: &LengthDoublingPrg) -> NodeState {
+    let expansion = prg.expand_one(state.seed, bit);
+    let cw = key.correction_words()[level];
+    if state.control {
+        NodeState {
+            seed: expansion.seed ^ cw.seed,
+            control: expansion.control
+                ^ if bit {
+                    cw.control_right
+                } else {
+                    cw.control_left
+                },
+        }
+    } else {
+        NodeState {
+            seed: expansion.seed,
+            control: expansion.control,
+        }
+    }
+}
+
+/// Expands a node state into both children at `level`.
+#[must_use]
+pub fn step_both(
+    key: &DpfKey,
+    state: NodeState,
+    level: usize,
+    prg: &LengthDoublingPrg,
+) -> (NodeState, NodeState) {
+    let expansion = prg.expand(state.seed);
+    let cw = key.correction_words()[level];
+    let (mut left, mut right) = (
+        NodeState {
+            seed: expansion.left.seed,
+            control: expansion.left.control,
+        },
+        NodeState {
+            seed: expansion.right.seed,
+            control: expansion.right.control,
+        },
+    );
+    if state.control {
+        left.seed ^= cw.seed;
+        left.control ^= cw.control_left;
+        right.seed ^= cw.seed;
+        right.control ^= cw.control_right;
+    }
+    (left, right)
+}
+
+/// Evaluates the key at a single domain point.
+///
+/// `Eval(k, x)` returns this party's share of `P_{α,1}(x)`; XORing both
+/// parties' shares yields 1 exactly when `x = α`.
+///
+/// # Errors
+///
+/// Returns [`DpfError::InputOutOfDomain`] if `x` does not fit in the key's
+/// domain.
+///
+/// # Example
+///
+/// ```
+/// use impir_dpf::{gen::generate_keys, eval::eval_point};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let (k1, k2) = generate_keys(6, 9, &mut rng)?;
+/// assert!(eval_point(&k1, 9)? ^ eval_point(&k2, 9)?);
+/// assert!(!(eval_point(&k1, 8)? ^ eval_point(&k2, 8)?));
+/// # Ok::<(), impir_dpf::DpfError>(())
+/// ```
+pub fn eval_point(key: &DpfKey, x: u64) -> Result<bool, DpfError> {
+    eval_point_with_prg(key, x, &LengthDoublingPrg::default())
+}
+
+/// [`eval_point`] with a caller-provided PRG (avoids re-expanding the fixed
+/// AES keys in tight loops).
+///
+/// # Errors
+///
+/// Returns [`DpfError::InputOutOfDomain`] if `x` does not fit in the key's
+/// domain.
+pub fn eval_point_with_prg(
+    key: &DpfKey,
+    x: u64,
+    prg: &LengthDoublingPrg,
+) -> Result<bool, DpfError> {
+    let domain_bits = key.domain_bits();
+    if domain_bits < 64 && x >= (1u64 << domain_bits) {
+        return Err(DpfError::InputOutOfDomain {
+            input: x,
+            domain_bits,
+        });
+    }
+    let mut state = NodeState::root(key);
+    for level in 0..domain_bits {
+        let bit = (x >> (domain_bits - 1 - level)) & 1 == 1;
+        state = step(key, state, level as usize, bit, prg);
+    }
+    Ok(state.control)
+}
+
+/// Walks from the root down `prefix_bits` levels following `prefix`
+/// (MSB-first), returning the state of the interior node that roots the
+/// subtree of all leaves sharing that prefix.
+///
+/// This is the entry point for chunked ("memory-bounded") and subtree-
+/// parallel full-domain evaluation: a worker first positions itself at its
+/// subtree root, then expands only that subtree.
+///
+/// # Errors
+///
+/// Returns [`DpfError::InputOutOfDomain`] if `prefix_bits` exceeds the
+/// key's depth or the prefix has bits above `prefix_bits`.
+pub fn eval_prefix(
+    key: &DpfKey,
+    prefix: u64,
+    prefix_bits: u32,
+    prg: &LengthDoublingPrg,
+) -> Result<NodeState, DpfError> {
+    if prefix_bits > key.domain_bits() {
+        return Err(DpfError::InputOutOfDomain {
+            input: prefix,
+            domain_bits: key.domain_bits(),
+        });
+    }
+    if prefix_bits < 64 && prefix >= (1u64 << prefix_bits) {
+        return Err(DpfError::InputOutOfDomain {
+            input: prefix,
+            domain_bits: prefix_bits,
+        });
+    }
+    let mut state = NodeState::root(key);
+    for level in 0..prefix_bits {
+        let bit = (prefix >> (prefix_bits - 1 - level)) & 1 == 1;
+        state = step(key, state, level as usize, bit, prg);
+    }
+    Ok(state)
+}
+
+/// Expands the subtree rooted at `state` (which sits `start_level` levels
+/// below the root) breadth-first down to the leaves, returning the leaf
+/// control bits left-to-right.
+///
+/// The expansion works level-by-level so PRG calls are batched per level,
+/// mirroring the paper's AES-NI batching optimisation.
+#[must_use]
+pub fn expand_subtree(
+    key: &DpfKey,
+    state: NodeState,
+    start_level: u32,
+    prg: &LengthDoublingPrg,
+) -> SelectorVector {
+    let depth = key.domain_bits() - start_level;
+    let mut seeds = vec![state.seed];
+    let mut controls = vec![state.control];
+    for level in start_level..key.domain_bits() {
+        let cw = key.correction_words()[level as usize];
+        let expansions = prg.expand_level(&seeds);
+        let mut next_seeds = Vec::with_capacity(seeds.len() * 2);
+        let mut next_controls = Vec::with_capacity(controls.len() * 2);
+        for (expansion, control) in expansions.iter().zip(&controls) {
+            let (mut left_seed, mut left_control) =
+                (expansion.left.seed, expansion.left.control);
+            let (mut right_seed, mut right_control) =
+                (expansion.right.seed, expansion.right.control);
+            if *control {
+                left_seed ^= cw.seed;
+                left_control ^= cw.control_left;
+                right_seed ^= cw.seed;
+                right_control ^= cw.control_right;
+            }
+            next_seeds.push(left_seed);
+            next_seeds.push(right_seed);
+            next_controls.push(left_control);
+            next_controls.push(right_control);
+        }
+        seeds = next_seeds;
+        controls = next_controls;
+    }
+    debug_assert_eq!(controls.len(), 1usize << depth);
+    controls.into_iter().collect()
+}
+
+/// Evaluates the key over its entire domain, returning one selector bit per
+/// index (the vector `v = [Eval(k,0), ..., Eval(k, N-1)]` of §2.3).
+///
+/// This is the straightforward level-by-level expansion; see
+/// [`crate::parallel::EvalStrategy`] for the parallel/memory-bounded
+/// variants the paper discusses.
+#[must_use]
+pub fn eval_full(key: &DpfKey) -> SelectorVector {
+    let prg = LengthDoublingPrg::default();
+    expand_subtree(key, NodeState::root(key), 0, &prg)
+}
+
+/// Evaluates the key over the index range `[start, start + count)`.
+///
+/// The range is decomposed into maximal aligned subtrees, each expanded
+/// level-by-level; memory use is bounded by the largest aligned chunk
+/// rather than the whole domain. This is what a single DPU-chunk evaluation
+/// or a memory-bounded traversal builds on.
+///
+/// # Errors
+///
+/// Returns [`DpfError::InputOutOfDomain`] if the range extends past the
+/// domain.
+pub fn eval_range(key: &DpfKey, start: u64, count: u64) -> Result<SelectorVector, DpfError> {
+    eval_range_with_prg(key, start, count, &LengthDoublingPrg::default())
+}
+
+/// [`eval_range`] with a caller-provided PRG.
+///
+/// # Errors
+///
+/// Returns [`DpfError::InputOutOfDomain`] if the range extends past the
+/// domain.
+pub fn eval_range_with_prg(
+    key: &DpfKey,
+    start: u64,
+    count: u64,
+    prg: &LengthDoublingPrg,
+) -> Result<SelectorVector, DpfError> {
+    let domain = key.domain_size();
+    if start + count > domain {
+        return Err(DpfError::InputOutOfDomain {
+            input: start + count,
+            domain_bits: key.domain_bits(),
+        });
+    }
+    if count == 0 {
+        return Ok(SelectorVector::zeros(0));
+    }
+
+    let mut out = SelectorVector::zeros(0);
+    let mut cursor = start;
+    let end = start + count;
+    while cursor < end {
+        // Largest power-of-two aligned subtree that starts at `cursor` and
+        // fits within the remaining range.
+        let alignment = if cursor == 0 {
+            u64::MAX
+        } else {
+            1u64 << cursor.trailing_zeros()
+        };
+        let remaining = end - cursor;
+        let mut chunk = alignment.min(remaining.next_power_of_two());
+        while chunk > remaining {
+            chunk /= 2;
+        }
+        let chunk_bits = chunk.trailing_zeros();
+        let prefix_bits = key.domain_bits() - chunk_bits;
+        let prefix = cursor >> chunk_bits;
+        let state = eval_prefix(key, prefix, prefix_bits, prg)?;
+        let subtree = expand_subtree(key, state, prefix_bits, prg);
+        out.extend(subtree.iter());
+        cursor += chunk;
+    }
+    Ok(out)
+}
+
+/// Number of PRG node expansions a full-domain, level-by-level evaluation
+/// performs (`2^1 + 2^2 + … + 2^n ≈ 2N` halved because each expansion
+/// produces both children ⇒ `N - 1` node expansions plus the root).
+///
+/// Used by the performance model to attribute the `Eval` phase cost.
+#[must_use]
+pub fn eval_full_prg_expansions(domain_bits: u32) -> u64 {
+    (1u64 << domain_bits).saturating_sub(1).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_keys;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn keypair(domain_bits: u32, alpha: u64, seed: u64) -> (DpfKey, DpfKey) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_keys(domain_bits, alpha, &mut rng).expect("valid parameters")
+    }
+
+    #[test]
+    fn eval_full_matches_pointwise_eval() {
+        let (k1, k2) = keypair(9, 300, 42);
+        let full_1 = eval_full(&k1);
+        let full_2 = eval_full(&k2);
+        for x in 0..(1u64 << 9) {
+            assert_eq!(full_1.get(x as usize), eval_point(&k1, x).unwrap());
+            assert_eq!(full_2.get(x as usize), eval_point(&k2, x).unwrap());
+        }
+    }
+
+    #[test]
+    fn full_domain_shares_reconstruct_one_hot() {
+        let (k1, k2) = keypair(11, 1234, 7);
+        let mut combined = eval_full(&k1);
+        combined.xor_assign(&eval_full(&k2));
+        assert_eq!(combined.count_ones(), 1);
+        assert!(combined.get(1234));
+    }
+
+    #[test]
+    fn eval_range_matches_full_evaluation() {
+        let (k1, _) = keypair(10, 600, 3);
+        let full = eval_full(&k1);
+        let prg = LengthDoublingPrg::default();
+        for (start, count) in [(0u64, 1024u64), (0, 128), (128, 128), (100, 300), (1000, 24), (513, 1)] {
+            let range = eval_range_with_prg(&k1, start, count, &prg).unwrap();
+            assert_eq!(range.len() as u64, count);
+            for i in 0..count {
+                assert_eq!(
+                    range.get(i as usize),
+                    full.get((start + i) as usize),
+                    "start={start} count={count} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_range_rejects_out_of_domain() {
+        let (k1, _) = keypair(8, 0, 1);
+        assert!(eval_range(&k1, 200, 100).is_err());
+        assert!(eval_range(&k1, 256, 1).is_err());
+        assert!(eval_range(&k1, 0, 257).is_err());
+    }
+
+    #[test]
+    fn eval_range_empty_is_empty() {
+        let (k1, _) = keypair(8, 0, 1);
+        assert!(eval_range(&k1, 17, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eval_point_rejects_out_of_domain() {
+        let (k1, _) = keypair(8, 0, 1);
+        assert!(matches!(
+            eval_point(&k1, 256),
+            Err(DpfError::InputOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn individual_shares_look_balanced() {
+        // A single key's evaluation should be pseudorandom, i.e. roughly
+        // half the bits set — a cheap sanity check that no key leaks the
+        // query index through gross bias.
+        let (k1, _) = keypair(12, 77, 99);
+        let ones = eval_full(&k1).count_ones();
+        let total = 1usize << 12;
+        assert!(ones > total / 4 && ones < 3 * total / 4, "ones = {ones}");
+    }
+
+    #[test]
+    fn expansion_accounting() {
+        assert_eq!(eval_full_prg_expansions(1), 1);
+        assert_eq!(eval_full_prg_expansions(10), 1023);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_shares_reconstruct_point(
+            domain_bits in 1u32..12,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let domain = 1u64 << domain_bits;
+            let alpha = rng.gen_range(0..domain);
+            let (k1, k2) = generate_keys(domain_bits, alpha, &mut rng).unwrap();
+            let mut combined = eval_full(&k1);
+            combined.xor_assign(&eval_full(&k2));
+            prop_assert_eq!(combined.count_ones(), 1);
+            prop_assert!(combined.get(alpha as usize));
+        }
+
+        #[test]
+        fn prop_eval_range_consistent_with_full(
+            domain_bits in 3u32..11,
+            seed in any::<u64>(),
+            start_frac in 0.0f64..1.0,
+            len_frac in 0.0f64..1.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let domain = 1u64 << domain_bits;
+            let alpha = rng.gen_range(0..domain);
+            let (k1, _) = generate_keys(domain_bits, alpha, &mut rng).unwrap();
+            let start = (start_frac * domain as f64) as u64;
+            let count = ((len_frac * (domain - start) as f64) as u64).min(domain - start);
+            let full = eval_full(&k1);
+            let range = eval_range(&k1, start, count).unwrap();
+            for i in 0..count {
+                prop_assert_eq!(range.get(i as usize), full.get((start + i) as usize));
+            }
+        }
+    }
+}

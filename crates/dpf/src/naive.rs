@@ -1,0 +1,238 @@
+//! The naive XOR-shared one-hot query scheme (paper §2.3, Figure 2).
+//!
+//! Before introducing DPFs, the paper explains two-server PIR with the
+//! simplest possible query encoding: the client samples a uniformly random
+//! bit-vector `v1` and sets `v2 = v1 ⊕ e_i` (the one-hot vector for index
+//! `i`). Each vector individually is uniform and leaks nothing; together
+//! they reconstruct the selector. Key size is `O(N)` instead of the DPF's
+//! `O(λ log N)`, so this scheme is only practical for small databases — the
+//! workspace uses it as a pedagogical example and as a correctness oracle
+//! for the DPF-based path.
+
+use rand::Rng;
+
+use crate::bitvec::SelectorVector;
+use crate::error::DpfError;
+use crate::point_function::PointFunction;
+
+/// A pair of XOR shares of a one-hot selector vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveQueryShares {
+    /// The share sent to server 1.
+    pub server1: SelectorVector,
+    /// The share sent to server 2.
+    pub server2: SelectorVector,
+}
+
+impl NaiveQueryShares {
+    /// Reconstructs the underlying selector vector (client-side/debugging
+    /// only — a real deployment never holds both shares in one place except
+    /// at the client).
+    #[must_use]
+    pub fn reconstruct(&self) -> SelectorVector {
+        let mut combined = self.server1.clone();
+        combined.xor_assign(&self.server2);
+        combined
+    }
+}
+
+/// Generates naive XOR query shares selecting `index` out of `domain_size`
+/// records.
+///
+/// # Errors
+///
+/// Returns [`DpfError::PointOutOfDomain`] if `index >= domain_size`.
+///
+/// # Example
+///
+/// ```
+/// use impir_dpf::naive::generate_shares;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let shares = generate_shares(16, 5, &mut rng)?;
+/// let selector = shares.reconstruct();
+/// assert_eq!(selector.count_ones(), 1);
+/// assert!(selector.get(5));
+/// # Ok::<(), impir_dpf::DpfError>(())
+/// ```
+pub fn generate_shares<R: Rng + ?Sized>(
+    domain_size: u64,
+    index: u64,
+    rng: &mut R,
+) -> Result<NaiveQueryShares, DpfError> {
+    if index >= domain_size {
+        return Err(DpfError::PointOutOfDomain {
+            alpha: index,
+            domain_bits: 64 - domain_size.leading_zeros(),
+        });
+    }
+    let mut server1 = SelectorVector::zeros(domain_size as usize);
+    let mut server2 = SelectorVector::zeros(domain_size as usize);
+    for position in 0..domain_size as usize {
+        let random_bit: bool = rng.gen();
+        server1.set(position, random_bit);
+        let selector_bit = PointFunction::selector(index).eval(position as u64);
+        server2.set(position, random_bit ^ selector_bit);
+    }
+    Ok(NaiveQueryShares { server1, server2 })
+}
+
+/// Size in bytes of one naive share for a database of `domain_size`
+/// records — the `O(N)` upload cost that motivates DPF-based queries.
+#[must_use]
+pub fn share_size_bytes(domain_size: u64) -> u64 {
+    domain_size.div_ceil(8)
+}
+
+/// Generates naive XOR query shares for `parties ≥ 2` servers.
+///
+/// This is the straightforward generalisation the paper alludes to in §3
+/// ("the details are easily generalizable to multi-server PIR constructions
+/// where n > 2"): the first `parties − 1` shares are uniformly random and
+/// the last one is chosen so that the XOR of all shares is the one-hot
+/// selector for `index`. Privacy holds as long as at least one server does
+/// not collude with the others.
+///
+/// # Errors
+///
+/// * [`DpfError::PointOutOfDomain`] if `index >= domain_size`;
+/// * [`DpfError::InvalidDomain`] if `parties < 2`.
+pub fn generate_multi_party_shares<R: Rng + ?Sized>(
+    domain_size: u64,
+    index: u64,
+    parties: usize,
+    rng: &mut R,
+) -> Result<Vec<SelectorVector>, DpfError> {
+    if parties < 2 {
+        return Err(DpfError::InvalidDomain {
+            domain_bits: parties as u32,
+        });
+    }
+    if index >= domain_size {
+        return Err(DpfError::PointOutOfDomain {
+            alpha: index,
+            domain_bits: 64 - domain_size.leading_zeros(),
+        });
+    }
+    let mut shares: Vec<SelectorVector> = (0..parties - 1)
+        .map(|_| (0..domain_size).map(|_| rng.gen::<bool>()).collect())
+        .collect();
+    // The last share makes the XOR of all shares equal the one-hot vector.
+    let mut last = SelectorVector::zeros(domain_size as usize);
+    for position in 0..domain_size {
+        let mut bit = PointFunction::selector(index).eval(position);
+        for share in &shares {
+            bit ^= share.get(position as usize);
+        }
+        last.set(position as usize, bit);
+    }
+    shares.push(last);
+    Ok(shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shares_reconstruct_one_hot() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let shares = generate_shares(100, 42, &mut rng).unwrap();
+        let selector = shares.reconstruct();
+        assert_eq!(selector.count_ones(), 1);
+        assert!(selector.get(42));
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(generate_shares(10, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn individual_share_is_not_one_hot_in_general() {
+        // With overwhelming probability a random share has ≈ N/2 ones.
+        let mut rng = StdRng::seed_from_u64(1);
+        let shares = generate_shares(512, 3, &mut rng).unwrap();
+        assert!(shares.server1.count_ones() > 100);
+        assert!(shares.server1.count_ones() < 412);
+    }
+
+    #[test]
+    fn share_size_grows_linearly() {
+        assert_eq!(share_size_bytes(8), 1);
+        assert_eq!(share_size_bytes(9), 2);
+        assert_eq!(share_size_bytes(1 << 20), 128 * 1024);
+    }
+
+    #[test]
+    fn multi_party_shares_reconstruct_one_hot() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for parties in 2..=6usize {
+            let shares = generate_multi_party_shares(200, 123, parties, &mut rng).unwrap();
+            assert_eq!(shares.len(), parties);
+            let mut combined = SelectorVector::zeros(200);
+            for share in &shares {
+                combined.xor_assign(share);
+            }
+            assert_eq!(combined.count_ones(), 1, "parties={parties}");
+            assert!(combined.get(123));
+        }
+    }
+
+    #[test]
+    fn multi_party_rejects_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(generate_multi_party_shares(10, 3, 1, &mut rng).is_err());
+        assert!(generate_multi_party_shares(10, 10, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn two_party_multi_share_matches_pairwise_scheme_semantics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let shares = generate_multi_party_shares(64, 7, 2, &mut rng).unwrap();
+        let mut combined = shares[0].clone();
+        combined.xor_assign(&shares[1]);
+        assert_eq!(combined.count_ones(), 1);
+        assert!(combined.get(7));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_multi_party_reconstruction(
+            domain_size in 1u64..600,
+            parties in 2usize..6,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let index = seed % domain_size;
+            let shares =
+                generate_multi_party_shares(domain_size, index, parties, &mut rng).unwrap();
+            let mut combined = SelectorVector::zeros(domain_size as usize);
+            for share in &shares {
+                combined.xor_assign(share);
+            }
+            prop_assert_eq!(combined.count_ones(), 1);
+            prop_assert!(combined.get(index as usize));
+        }
+
+        #[test]
+        fn prop_reconstruction_selects_requested_index(
+            domain_size in 1u64..2000,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let index = rand::Rng::gen_range(&mut rng, 0..domain_size);
+            let shares = generate_shares(domain_size, index, &mut rng).unwrap();
+            let selector = shares.reconstruct();
+            prop_assert_eq!(selector.count_ones(), 1);
+            prop_assert!(selector.get(index as usize));
+        }
+    }
+}

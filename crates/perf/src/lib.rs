@@ -1,0 +1,34 @@
+//! Analytic performance models for the IM-PIR evaluation.
+//!
+//! The reproduction runs functionally on whatever machine executes the test
+//! suite, but the paper's numbers come from specific hardware (a UPMEM PIM
+//! server, a dual-socket Xeon baseline and an RTX 4090). This crate carries:
+//!
+//! * [`device::DeviceProfile`] — published/first-order parameters of each
+//!   machine in the paper's evaluation (§5.2);
+//! * [`roofline`] — the roofline model behind Figure 3b (operational
+//!   intensity vs attainable performance, showing `dpXOR` and `Eval` sit in
+//!   the memory-bound region);
+//! * [`model`] — closed-form per-phase latency estimates for CPU-PIR,
+//!   IM-PIR and GPU-PIR at paper-scale database sizes, used by the figure
+//!   harness to produce the *modelled* series next to the *measured*
+//!   (scaled-down) series;
+//! * [`speedup`] — throughput / latency / speedup arithmetic shared by the
+//!   harness binaries.
+//!
+//! The models are deliberately first-order: the paper's own analysis
+//! (Figures 3, 9, 10 and Table 1) attributes performance to memory
+//! bandwidth, AES throughput and transfer volume, and those are exactly the
+//! terms modelled here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod model;
+pub mod roofline;
+pub mod speedup;
+
+pub use device::DeviceProfile;
+pub use model::{CpuPirEstimate, GpuPirEstimate, ImPirEstimate, PirWorkload};
+pub use roofline::RooflineModel;

@@ -1,0 +1,139 @@
+//! Error type for the PIM simulator.
+
+use std::fmt;
+
+/// Errors returned by the PIM simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PimError {
+    /// The configuration is internally inconsistent (zero DPUs, zero
+    /// bandwidth, more tasklets than the hardware supports, …).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A DPU id outside the allocated set was addressed.
+    InvalidDpu {
+        /// The offending DPU index.
+        dpu: usize,
+        /// The number of allocated DPUs.
+        allocated: usize,
+    },
+    /// A read or write would exceed a DPU's MRAM capacity.
+    MramCapacityExceeded {
+        /// The DPU whose MRAM overflowed.
+        dpu: usize,
+        /// Requested end offset of the access.
+        requested_end: usize,
+        /// The MRAM capacity in bytes.
+        capacity: usize,
+    },
+    /// A tasklet requested more WRAM than its share of the 64 KB scratchpad.
+    WramCapacityExceeded {
+        /// The DPU on which the overflow happened.
+        dpu: usize,
+        /// Requested total WRAM bytes.
+        requested: usize,
+        /// Available WRAM bytes for this tasklet.
+        available: usize,
+    },
+    /// A read referenced MRAM beyond the highest byte ever written.
+    MramUninitialised {
+        /// The DPU being read.
+        dpu: usize,
+        /// Requested end offset of the read.
+        requested_end: usize,
+        /// Number of initialised bytes.
+        initialised: usize,
+    },
+    /// A scatter/gather call supplied a number of buffers different from the
+    /// number of target DPUs.
+    TransferShapeMismatch {
+        /// Buffers supplied by the caller.
+        buffers: usize,
+        /// DPUs targeted by the transfer.
+        dpus: usize,
+    },
+    /// A cluster layout cannot be built (e.g. more clusters than DPUs).
+    InvalidClusterLayout {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A DPU program reported a failure.
+    KernelFault {
+        /// The DPU on which the fault occurred.
+        dpu: usize,
+        /// Human-readable description of the fault.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::InvalidConfig { reason } => write!(f, "invalid PIM configuration: {reason}"),
+            PimError::InvalidDpu { dpu, allocated } => {
+                write!(f, "DPU {dpu} is outside the allocated set of {allocated} DPUs")
+            }
+            PimError::MramCapacityExceeded {
+                dpu,
+                requested_end,
+                capacity,
+            } => write!(
+                f,
+                "MRAM access on DPU {dpu} ends at byte {requested_end}, beyond the {capacity}-byte capacity"
+            ),
+            PimError::WramCapacityExceeded {
+                dpu,
+                requested,
+                available,
+            } => write!(
+                f,
+                "WRAM request of {requested} bytes on DPU {dpu} exceeds the {available} bytes available to the tasklet"
+            ),
+            PimError::MramUninitialised {
+                dpu,
+                requested_end,
+                initialised,
+            } => write!(
+                f,
+                "MRAM read on DPU {dpu} ends at byte {requested_end}, but only {initialised} bytes were initialised"
+            ),
+            PimError::TransferShapeMismatch { buffers, dpus } => write!(
+                f,
+                "transfer supplied {buffers} buffers for {dpus} DPUs"
+            ),
+            PimError::InvalidClusterLayout { reason } => {
+                write!(f, "invalid DPU cluster layout: {reason}")
+            }
+            PimError::KernelFault { dpu, reason } => {
+                write!(f, "DPU {dpu} kernel fault: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = PimError::MramCapacityExceeded {
+            dpu: 3,
+            requested_end: 100,
+            capacity: 64,
+        };
+        let text = err.to_string();
+        assert!(text.contains("DPU 3"));
+        assert!(text.contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PimError>();
+    }
+}

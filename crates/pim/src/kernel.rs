@@ -1,0 +1,340 @@
+//! DPU programs and their execution contexts.
+//!
+//! A UPMEM application is split into a host program and a DPU program; the
+//! DPU program is executed by up to 24 tasklets that share the DPU's WRAM
+//! and cooperate through a two-stage parallel reduction (Algorithm 1 of the
+//! paper: `TaskletXOR` followed by `MasterXOR`). The simulator mirrors that
+//! structure: a [`DpuProgram`] provides a per-tasklet stage
+//! ([`DpuProgram::run_tasklet`]) and a master-tasklet reduction stage
+//! ([`DpuProgram::reduce`]).
+
+use crate::error::PimError;
+use crate::mram::Mram;
+use crate::stats::KernelMeter;
+use crate::wram::WramBudget;
+
+/// A program executed on every DPU of a launch.
+///
+/// Implementations must be `Sync` because the simulator runs the per-DPU
+/// executions on a thread pool (mirroring the hardware's DPU-level
+/// parallelism).
+pub trait DpuProgram: Sync {
+    /// The partial result produced by each tasklet (stage 1 of the parallel
+    /// reduction).
+    type TaskletOutput: Send;
+    /// The per-DPU result produced by the master tasklet (stage 2).
+    type DpuOutput: Send;
+
+    /// Stage 1: executed once per tasklet; typically processes the
+    /// tasklet's slice of the DPU's MRAM-resident data.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should propagate [`PimError`]s from context accesses
+    /// and may return [`PimError::KernelFault`] for their own failures.
+    fn run_tasklet(
+        &self,
+        ctx: &mut TaskletContext<'_>,
+    ) -> Result<Self::TaskletOutput, PimError>;
+
+    /// Stage 2: executed once per DPU by the master tasklet after all
+    /// tasklets of that DPU finished; combines the partial results.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should propagate [`PimError`]s from context accesses
+    /// and may return [`PimError::KernelFault`] for their own failures.
+    fn reduce(
+        &self,
+        ctx: &mut DpuContext<'_>,
+        partials: Vec<Self::TaskletOutput>,
+    ) -> Result<Self::DpuOutput, PimError>;
+}
+
+/// Execution context handed to each tasklet.
+///
+/// All MRAM accesses go through the context so the simulator can meter DMA
+/// traffic (the quantity that determines kernel time on real DPUs, whose
+/// `dpXOR`-style kernels are MRAM-bandwidth-bound).
+#[derive(Debug)]
+pub struct TaskletContext<'a> {
+    dpu: usize,
+    tasklet: usize,
+    tasklet_count: usize,
+    mram: &'a Mram,
+    wram: WramBudget,
+    meter: KernelMeter,
+}
+
+impl<'a> TaskletContext<'a> {
+    /// Creates a tasklet context. Used by the system's launch path and by
+    /// kernel unit tests.
+    #[must_use]
+    pub fn new(
+        dpu: usize,
+        tasklet: usize,
+        tasklet_count: usize,
+        mram: &'a Mram,
+        wram_bytes_per_tasklet: usize,
+    ) -> Self {
+        TaskletContext {
+            dpu,
+            tasklet,
+            tasklet_count,
+            mram,
+            wram: WramBudget::new(dpu, wram_bytes_per_tasklet),
+            meter: KernelMeter::default(),
+        }
+    }
+
+    /// The DPU this tasklet runs on.
+    #[must_use]
+    pub fn dpu(&self) -> usize {
+        self.dpu
+    }
+
+    /// This tasklet's index within the DPU (`0..tasklet_count`).
+    #[must_use]
+    pub fn tasklet(&self) -> usize {
+        self.tasklet
+    }
+
+    /// Number of tasklets running on this DPU.
+    #[must_use]
+    pub fn tasklet_count(&self) -> usize {
+        self.tasklet_count
+    }
+
+    /// Whether this is the master tasklet (tasklet 0).
+    #[must_use]
+    pub fn is_master(&self) -> bool {
+        self.tasklet == 0
+    }
+
+    /// Splits `total_items` evenly across the DPU's tasklets and returns
+    /// `(start, count)` for this tasklet — the `B_t = ⌈B_d / T⌉` partition
+    /// of Algorithm 1.
+    #[must_use]
+    pub fn partition(&self, total_items: usize) -> (usize, usize) {
+        partition_for(self.tasklet, self.tasklet_count, total_items)
+    }
+
+    /// Reads `[offset, offset + len)` from the DPU's MRAM, metering the DMA
+    /// traffic and charging one pipeline instruction per 8 bytes moved (the
+    /// granularity of the DPU's 64-bit datapath).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MRAM capacity and initialisation errors.
+    pub fn mram_read(&mut self, offset: usize, len: usize) -> Result<&'a [u8], PimError> {
+        let slice = self.mram.read(offset, len)?;
+        self.meter.mram_bytes_read += len as u64;
+        self.meter.instructions += (len as u64).div_ceil(8);
+        Ok(slice)
+    }
+
+    /// Reserves `bytes` of WRAM for a staging buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::WramCapacityExceeded`] if this tasklet's WRAM
+    /// share is exhausted — the constraint that rules out branch-parallel
+    /// DPF evaluation on DPUs (§3.2).
+    pub fn wram_reserve(&mut self, bytes: usize) -> Result<(), PimError> {
+        self.wram.reserve(bytes)
+    }
+
+    /// Releases a WRAM reservation.
+    pub fn wram_release(&mut self, bytes: usize) {
+        self.wram.release(bytes);
+    }
+
+    /// Records `count` additional pipeline instructions (e.g. arithmetic
+    /// beyond the per-byte accounting of [`TaskletContext::mram_read`]).
+    pub fn record_instructions(&mut self, count: u64) {
+        self.meter.instructions += count;
+    }
+
+    /// Fails the kernel with a descriptive fault.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`PimError::KernelFault`].
+    pub fn fault<T>(&self, reason: impl Into<String>) -> Result<T, PimError> {
+        Err(PimError::KernelFault {
+            dpu: self.dpu,
+            reason: reason.into(),
+        })
+    }
+
+    /// The work meter accumulated by this tasklet so far.
+    #[must_use]
+    pub fn meter(&self) -> KernelMeter {
+        self.meter
+    }
+}
+
+/// Execution context handed to the master tasklet's reduction stage.
+#[derive(Debug)]
+pub struct DpuContext<'a> {
+    dpu: usize,
+    mram: &'a mut Mram,
+    meter: KernelMeter,
+}
+
+impl<'a> DpuContext<'a> {
+    /// Creates a DPU context. Used by the system's launch path and by
+    /// kernel unit tests.
+    #[must_use]
+    pub fn new(dpu: usize, mram: &'a mut Mram) -> Self {
+        DpuContext {
+            dpu,
+            mram,
+            meter: KernelMeter::default(),
+        }
+    }
+
+    /// The DPU being reduced.
+    #[must_use]
+    pub fn dpu(&self) -> usize {
+        self.dpu
+    }
+
+    /// Reads `[offset, offset + len)` from the DPU's MRAM (metered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MRAM capacity and initialisation errors.
+    pub fn mram_read(&mut self, offset: usize, len: usize) -> Result<Vec<u8>, PimError> {
+        let slice = self.mram.read(offset, len)?;
+        self.meter.mram_bytes_read += len as u64;
+        self.meter.instructions += (len as u64).div_ceil(8);
+        Ok(slice.to_vec())
+    }
+
+    /// Writes `bytes` to the DPU's MRAM at `offset` (metered) — e.g. to
+    /// leave a subresult where the host will gather it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MRAM capacity errors.
+    pub fn mram_write(&mut self, offset: usize, bytes: &[u8]) -> Result<(), PimError> {
+        self.mram.write(offset, bytes)?;
+        self.meter.mram_bytes_written += bytes.len() as u64;
+        self.meter.instructions += (bytes.len() as u64).div_ceil(8);
+        Ok(())
+    }
+
+    /// Records `count` additional pipeline instructions.
+    pub fn record_instructions(&mut self, count: u64) {
+        self.meter.instructions += count;
+    }
+
+    /// Fails the kernel with a descriptive fault.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`PimError::KernelFault`].
+    pub fn fault<T>(&self, reason: impl Into<String>) -> Result<T, PimError> {
+        Err(PimError::KernelFault {
+            dpu: self.dpu,
+            reason: reason.into(),
+        })
+    }
+
+    /// The work meter accumulated by the reduction stage so far.
+    #[must_use]
+    pub fn meter(&self) -> KernelMeter {
+        self.meter
+    }
+}
+
+/// Splits `total_items` across `tasklet_count` tasklets, returning the
+/// `(start, count)` slice for `tasklet` — `B_t = ⌈total / T⌉` items per
+/// tasklet, with the tail tasklets possibly receiving fewer.
+#[must_use]
+pub fn partition_for(tasklet: usize, tasklet_count: usize, total_items: usize) -> (usize, usize) {
+    if total_items == 0 || tasklet_count == 0 {
+        return (0, 0);
+    }
+    let per_tasklet = total_items.div_ceil(tasklet_count);
+    let start = tasklet * per_tasklet;
+    if start >= total_items {
+        return (total_items, 0);
+    }
+    let count = per_tasklet.min(total_items - start);
+    (start, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_items_exactly_once() {
+        for total in [0usize, 1, 7, 16, 100, 1023] {
+            for tasklets in 1usize..=24 {
+                let mut covered = 0usize;
+                let mut next_start = 0usize;
+                for t in 0..tasklets {
+                    let (start, count) = partition_for(t, tasklets, total);
+                    if count > 0 {
+                        assert_eq!(start, next_start, "total={total} tasklets={tasklets} t={t}");
+                        next_start = start + count;
+                    }
+                    covered += count;
+                }
+                assert_eq!(covered, total, "total={total} tasklets={tasklets}");
+            }
+        }
+    }
+
+    #[test]
+    fn tasklet_context_meters_mram_reads() {
+        let mut mram = Mram::new(0, 1024);
+        mram.write(0, &[1u8; 512]).unwrap();
+        let mut ctx = TaskletContext::new(0, 1, 4, &mram, 4096);
+        let slice = ctx.mram_read(0, 100).unwrap();
+        assert_eq!(slice.len(), 100);
+        assert_eq!(ctx.meter().mram_bytes_read, 100);
+        assert_eq!(ctx.meter().instructions, 13);
+    }
+
+    #[test]
+    fn tasklet_context_enforces_wram_budget() {
+        let mram = Mram::new(0, 64);
+        let mut ctx = TaskletContext::new(0, 0, 4, &mram, 128);
+        ctx.wram_reserve(100).unwrap();
+        assert!(ctx.wram_reserve(100).is_err());
+        ctx.wram_release(100);
+        ctx.wram_reserve(100).unwrap();
+    }
+
+    #[test]
+    fn dpu_context_meters_reads_and_writes() {
+        let mut mram = Mram::new(3, 1024);
+        mram.write(0, &[7u8; 64]).unwrap();
+        let mut ctx = DpuContext::new(3, &mut mram);
+        let data = ctx.mram_read(0, 64).unwrap();
+        assert_eq!(data, vec![7u8; 64]);
+        ctx.mram_write(128, &[1u8; 32]).unwrap();
+        let meter = ctx.meter();
+        assert_eq!(meter.mram_bytes_read, 64);
+        assert_eq!(meter.mram_bytes_written, 32);
+    }
+
+    #[test]
+    fn fault_carries_dpu_id() {
+        let mram = Mram::new(9, 64);
+        let ctx = TaskletContext::new(9, 0, 1, &mram, 64);
+        let err = ctx.fault::<()>("boom").unwrap_err();
+        assert!(matches!(err, PimError::KernelFault { dpu: 9, .. }));
+    }
+
+    #[test]
+    fn master_tasklet_is_tasklet_zero() {
+        let mram = Mram::new(0, 64);
+        assert!(TaskletContext::new(0, 0, 2, &mram, 64).is_master());
+        assert!(!TaskletContext::new(0, 1, 2, &mram, 64).is_master());
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-DPU main RAM (MRAM) model.
+//!
+//! Every UPMEM DPU owns a private 64 MB MRAM bank; the host copies inputs
+//! there before launching a kernel and reads results back afterwards. The
+//! simulator models MRAM as a capacity-enforced, lazily grown byte array so
+//! a 2048-DPU system does not eagerly allocate 128 GB.
+
+use crate::error::PimError;
+
+/// A single DPU's MRAM bank.
+#[derive(Debug, Clone)]
+pub struct Mram {
+    dpu: usize,
+    capacity: usize,
+    data: Vec<u8>,
+}
+
+impl Mram {
+    /// Creates an empty MRAM bank of `capacity` bytes for DPU `dpu`.
+    #[must_use]
+    pub fn new(dpu: usize, capacity: usize) -> Self {
+        Mram {
+            dpu,
+            capacity,
+            data: Vec::new(),
+        }
+    }
+
+    /// The bank's capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of bytes written so far (the "initialised" prefix).
+    #[must_use]
+    pub fn initialised_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Writes `bytes` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::MramCapacityExceeded`] if the write would run
+    /// past the bank's capacity.
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) -> Result<(), PimError> {
+        let end = offset
+            .checked_add(bytes.len())
+            .ok_or(PimError::MramCapacityExceeded {
+                dpu: self.dpu,
+                requested_end: usize::MAX,
+                capacity: self.capacity,
+            })?;
+        if end > self.capacity {
+            return Err(PimError::MramCapacityExceeded {
+                dpu: self.dpu,
+                requested_end: end,
+                capacity: self.capacity,
+            });
+        }
+        if end > self.data.len() {
+            self.data.resize(end, 0);
+        }
+        self.data[offset..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Returns a read-only view of `[offset, offset + len)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::MramCapacityExceeded`] if the range exceeds capacity;
+    /// * [`PimError::MramUninitialised`] if the range extends past the
+    ///   initialised prefix (reading data nobody ever wrote is almost
+    ///   always a host-program bug, so the simulator flags it instead of
+    ///   silently returning zeroes).
+    pub fn read(&self, offset: usize, len: usize) -> Result<&[u8], PimError> {
+        let end = offset
+            .checked_add(len)
+            .ok_or(PimError::MramCapacityExceeded {
+                dpu: self.dpu,
+                requested_end: usize::MAX,
+                capacity: self.capacity,
+            })?;
+        if end > self.capacity {
+            return Err(PimError::MramCapacityExceeded {
+                dpu: self.dpu,
+                requested_end: end,
+                capacity: self.capacity,
+            });
+        }
+        if end > self.data.len() {
+            return Err(PimError::MramUninitialised {
+                dpu: self.dpu,
+                requested_end: end,
+                initialised: self.data.len(),
+            });
+        }
+        Ok(&self.data[offset..end])
+    }
+
+    /// Clears the bank (keeps the capacity).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut mram = Mram::new(0, 1024);
+        mram.write(100, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(mram.read(100, 4).unwrap(), &[1, 2, 3, 4]);
+        // Bytes before the write are zero-initialised.
+        assert_eq!(mram.read(96, 4).unwrap(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut mram = Mram::new(7, 128);
+        assert!(matches!(
+            mram.write(120, &[0u8; 16]),
+            Err(PimError::MramCapacityExceeded { dpu: 7, .. })
+        ));
+        assert!(mram.write(112, &[0u8; 16]).is_ok());
+    }
+
+    #[test]
+    fn uninitialised_reads_are_rejected() {
+        let mut mram = Mram::new(1, 256);
+        mram.write(0, &[9u8; 10]).unwrap();
+        assert!(matches!(
+            mram.read(5, 10),
+            Err(PimError::MramUninitialised { .. })
+        ));
+    }
+
+    #[test]
+    fn lazy_allocation_grows_to_high_water_mark() {
+        let mut mram = Mram::new(0, 1 << 20);
+        assert_eq!(mram.initialised_bytes(), 0);
+        mram.write(1000, &[1u8; 24]).unwrap();
+        assert_eq!(mram.initialised_bytes(), 1024);
+        mram.clear();
+        assert_eq!(mram.initialised_bytes(), 0);
+    }
+
+    #[test]
+    fn overflowing_offsets_are_rejected() {
+        let mut mram = Mram::new(0, 1024);
+        assert!(mram.write(usize::MAX, &[1]).is_err());
+        assert!(mram.read(usize::MAX, 2).is_err());
+    }
+}

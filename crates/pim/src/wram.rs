@@ -1,0 +1,97 @@
+//! Per-DPU working RAM (WRAM) accounting.
+//!
+//! Each DPU has a 64 KB scratchpad shared by all of its tasklets; data must
+//! be staged there (via DMA from MRAM) before the pipeline can operate on
+//! it. The simulator does not model WRAM contents separately — kernels read
+//! MRAM through views that already meter DMA traffic — but it does enforce
+//! the *capacity* constraint, because that constraint is what rules out the
+//! branch-parallel DPF evaluation on DPUs in §3.2 of the paper.
+
+use crate::error::PimError;
+
+/// Tracks WRAM buffer allocations made by a tasklet.
+#[derive(Debug, Clone)]
+pub struct WramBudget {
+    dpu: usize,
+    available: usize,
+    used: usize,
+}
+
+impl WramBudget {
+    /// Creates a budget of `available` bytes for a tasklet on DPU `dpu`.
+    #[must_use]
+    pub fn new(dpu: usize, available: usize) -> Self {
+        WramBudget {
+            dpu,
+            available,
+            used: 0,
+        }
+    }
+
+    /// Bytes still available to this tasklet.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.available - self.used
+    }
+
+    /// Bytes already reserved by this tasklet.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Reserves `bytes` of WRAM for a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::WramCapacityExceeded`] if the tasklet's share of
+    /// the scratchpad is exhausted.
+    pub fn reserve(&mut self, bytes: usize) -> Result<(), PimError> {
+        if self.used + bytes > self.available {
+            return Err(PimError::WramCapacityExceeded {
+                dpu: self.dpu,
+                requested: self.used + bytes,
+                available: self.available,
+            });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes` previously reserved (saturating).
+    pub fn release(&mut self, bytes: usize) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_are_tracked() {
+        let mut budget = WramBudget::new(0, 1000);
+        budget.reserve(400).unwrap();
+        assert_eq!(budget.remaining(), 600);
+        budget.reserve(600).unwrap();
+        assert_eq!(budget.remaining(), 0);
+        assert!(budget.reserve(1).is_err());
+        budget.release(500);
+        assert_eq!(budget.used(), 500);
+        budget.reserve(100).unwrap();
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut budget = WramBudget::new(0, 100);
+        budget.release(50);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn overflow_error_carries_context() {
+        let mut budget = WramBudget::new(3, 10);
+        let err = budget.reserve(11).unwrap_err();
+        assert!(matches!(err, PimError::WramCapacityExceeded { dpu: 3, .. }));
+    }
+}

@@ -1,0 +1,20 @@
+//! Synthetic PIR workloads.
+//!
+//! The paper evaluates IM-PIR on databases of random 32-byte hashes —
+//! the record format of Certificate Transparency logs, compromised-
+//! credential services (Have I Been Pwned-style) and similar
+//! integrity-critical applications (§5.2). This crate generates those
+//! databases deterministically, samples query index streams under several
+//! distributions, and bundles both into named application scenarios used by
+//! the examples and the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queries;
+pub mod records;
+pub mod scenarios;
+
+pub use queries::QueryDistribution;
+pub use records::{db_size_label, records_for_db_size, DatabaseSpec};
+pub use scenarios::Scenario;

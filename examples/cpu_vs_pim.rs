@@ -1,0 +1,83 @@
+//! Compare the three systems of the paper's evaluation — CPU-PIR, the
+//! GPU-PIR comparator and IM-PIR — on the same workload, and print both the
+//! measured (this machine) and modelled (paper hardware) numbers.
+//!
+//! Run with `cargo run --example cpu_vs_pim --release`.
+
+use std::sync::Arc;
+
+use im_pir::baselines::{CpuPirBaseline, GpuPirBaseline, ImPirSystem, SystemUnderTest};
+use im_pir::core::database::Database;
+use im_pir::core::server::pim::ImPirConfig;
+use im_pir::core::{PirClient, PirError};
+use im_pir::perf::model::PirWorkload;
+use im_pir::pim::PimConfig;
+
+const RECORD_BYTES: usize = 32;
+const BATCH: usize = 8;
+
+fn main() -> Result<(), PirError> {
+    // Functional comparison on a scaled-down database.
+    let records = (1u64 << 20) / RECORD_BYTES as u64; // 1 MiB
+    let db = Arc::new(Database::random(records, RECORD_BYTES, 3)?);
+    let mut client = PirClient::new(records, RECORD_BYTES, 0)?;
+    let indices: Vec<u64> = (0..BATCH as u64).map(|i| (i * 131) % records).collect();
+    let (shares_1, shares_2) = client.generate_batch(&indices)?;
+
+    let mut cpu = CpuPirBaseline::new(db.clone())?;
+    let mut gpu = GpuPirBaseline::new(db.clone())?;
+    let pim_config = ImPirConfig {
+        pim: PimConfig::tiny_test(16, 16 << 20),
+        clusters: 1,
+        eval_threads: 1,
+    };
+    let mut pim = ImPirSystem::new(db.clone(), pim_config)?;
+
+    println!("functional run: {} records, batch of {BATCH} queries", records);
+    let cpu_outcome = cpu.process_batch(&shares_1)?;
+    let gpu_outcome = gpu.process_batch(&shares_1)?;
+    let pim_outcome = pim.process_batch(&shares_1)?;
+
+    // Cross-check: all three systems produce the same subresults.
+    for ((a, b), c) in cpu_outcome
+        .responses
+        .iter()
+        .zip(&gpu_outcome.responses)
+        .zip(&pim_outcome.responses)
+    {
+        assert_eq!(a.payload, b.payload);
+        assert_eq!(a.payload, c.payload);
+    }
+    // And reconstructing against a second (CPU) server returns the records.
+    let mut second_server = CpuPirBaseline::new(db.clone())?;
+    let second = second_server.process_batch(&shares_2)?;
+    for (i, index) in indices.iter().enumerate() {
+        let record = client.reconstruct(&pim_outcome.responses[i], &second.responses[i])?;
+        assert_eq!(record, db.record(*index));
+    }
+    println!("all three backends agree and reconstruction matches the database\n");
+
+    println!("measured on this machine (hybrid seconds for the batch):");
+    println!("  CPU-PIR: {:.3} s", cpu_outcome.hybrid_seconds());
+    println!("  GPU-PIR: {:.3} s (GPU phases from the RTX 4090 model)", gpu_outcome.hybrid_seconds());
+    println!("  IM-PIR : {:.3} s (PIM phases from the UPMEM model)", pim_outcome.hybrid_seconds());
+
+    // Paper-scale prediction for a 1 GB database and batch of 32.
+    let workload = PirWorkload::new(1 << 30, RECORD_BYTES as u64, 32);
+    let cpu_model = cpu.model_batch(&workload);
+    let gpu_model = gpu.model_batch(&workload);
+    let pim_model = pim.model_batch(&workload);
+    println!("\nmodelled at paper scale (1 GB database, batch = 32):");
+    println!(
+        "  CPU-PIR: {:6.1} QPS   GPU-PIR: {:6.1} QPS   IM-PIR: {:6.1} QPS",
+        cpu_model.throughput_qps(),
+        gpu_model.throughput_qps(),
+        pim_model.throughput_qps()
+    );
+    println!(
+        "  IM-PIR speedup over CPU-PIR: {:.2}x, over GPU-PIR: {:.2}x",
+        cpu_model.latency_seconds / pim_model.latency_seconds,
+        gpu_model.latency_seconds / pim_model.latency_seconds
+    );
+    Ok(())
+}

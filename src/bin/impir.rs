@@ -1,0 +1,237 @@
+//! `impir` — a small command-line front end for the IM-PIR reproduction.
+//!
+//! Subcommands:
+//!
+//! * `impir query --records N --record-bytes B --index I [--dpus D] [--clusters C] [--backend pim|cpu]`
+//!   — build a deterministic synthetic database, run one private query end
+//!   to end and print the retrieved record plus the server-side phase
+//!   breakdown;
+//! * `impir batch --records N --batch Q [--clusters C]` — run a batch of
+//!   uniformly random queries on IM-PIR and report throughput;
+//! * `impir model --db-gb G --batch Q [--clusters C]` — print the
+//!   paper-scale modelled latency/throughput of CPU-PIR, GPU-PIR and
+//!   IM-PIR for the given workload.
+//!
+//! The CLI exists so the system can be poked without writing Rust; all the
+//! heavy lifting lives in the library crates.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use im_pir::core::database::Database;
+use im_pir::core::scheme::TwoServerPir;
+use im_pir::core::server::cpu::CpuServerConfig;
+use im_pir::core::server::pim::ImPirConfig;
+use im_pir::core::PhaseBreakdown;
+use im_pir::perf::model::PirWorkload;
+use im_pir::perf::DeviceProfile;
+use im_pir::pim::PimConfig;
+use im_pir::workload::QueryDistribution;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let options = match parse_options(rest) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "query" => run_query(&options),
+        "batch" => run_batch(&options),
+        "model" => run_model(&options),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  impir query --records N [--record-bytes B] [--index I] [--dpus D] [--clusters C] [--backend pim|cpu]
+  impir batch --records N [--record-bytes B] [--batch Q] [--dpus D] [--clusters C]
+  impir model [--db-gb G] [--batch Q] [--clusters C]";
+
+fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut options = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found `{flag}`"));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        options.insert(name.to_string(), value.clone());
+    }
+    Ok(options)
+}
+
+fn get_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match options.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{value}`")),
+    }
+}
+
+fn get_f64(options: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match options.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got `{value}`")),
+    }
+}
+
+fn pim_config(options: &HashMap<String, String>) -> Result<ImPirConfig, String> {
+    let dpus = get_u64(options, "dpus", 8)? as usize;
+    let clusters = get_u64(options, "clusters", 1)? as usize;
+    Ok(ImPirConfig {
+        pim: PimConfig::tiny_test(dpus.max(1), 32 << 20),
+        clusters: clusters.max(1),
+        eval_threads: 1,
+    })
+}
+
+fn print_phases(phases: &PhaseBreakdown) {
+    let names = PhaseBreakdown::phase_names();
+    for (name, share) in names.iter().zip(phases.percentages()) {
+        if share > 0.0 {
+            println!("  {name:>14}: {share:5.1} %");
+        }
+    }
+}
+
+fn run_query(options: &HashMap<String, String>) -> Result<(), String> {
+    let records = get_u64(options, "records", 4096)?;
+    let record_bytes = get_u64(options, "record-bytes", 32)? as usize;
+    let index = get_u64(options, "index", records / 2)?;
+    let backend = options.get("backend").map(String::as_str).unwrap_or("pim");
+
+    let database =
+        Arc::new(Database::random(records, record_bytes, 42).map_err(|e| e.to_string())?);
+    println!(
+        "database: {} records x {} bytes ({} KiB), querying index {}",
+        records,
+        record_bytes,
+        database.size_bytes() / 1024,
+        index
+    );
+
+    let (record, phases) = match backend {
+        "pim" => {
+            let mut pir = TwoServerPir::with_pim_servers(database.clone(), pim_config(options)?)
+                .map_err(|e| e.to_string())?;
+            let record = pir.query(index).map_err(|e| e.to_string())?;
+            let phases = pir.last_phases().map(|(first, _)| *first);
+            (record, phases)
+        }
+        "cpu" => {
+            let mut pir =
+                TwoServerPir::with_cpu_servers(database.clone(), CpuServerConfig::baseline())
+                    .map_err(|e| e.to_string())?;
+            let record = pir.query(index).map_err(|e| e.to_string())?;
+            let phases = pir.last_phases().map(|(first, _)| *first);
+            (record, phases)
+        }
+        other => return Err(format!("unknown backend `{other}` (expected pim or cpu)")),
+    };
+
+    assert_eq!(record, database.record(index), "PIR answer must match the database");
+    let preview: String = record.iter().take(16).map(|b| format!("{b:02x}")).collect();
+    println!("retrieved record ({} bytes): {preview}…", record.len());
+    if let Some(phases) = phases {
+        println!("server 1 phase shares (hybrid time):");
+        print_phases(&phases);
+    }
+    Ok(())
+}
+
+fn run_batch(options: &HashMap<String, String>) -> Result<(), String> {
+    let records = get_u64(options, "records", 16384)?;
+    let record_bytes = get_u64(options, "record-bytes", 32)? as usize;
+    let batch = get_u64(options, "batch", 16)? as usize;
+
+    let database =
+        Arc::new(Database::random(records, record_bytes, 7).map_err(|e| e.to_string())?);
+    let mut pir = TwoServerPir::with_pim_servers(database.clone(), pim_config(options)?)
+        .map_err(|e| e.to_string())?;
+    let indices = QueryDistribution::Uniform.sample(batch, records, 1);
+    let (answers, outcome_1, _outcome_2) =
+        pir.query_batch(&indices).map_err(|e| e.to_string())?;
+    for (answer, index) in answers.iter().zip(&indices) {
+        assert_eq!(answer, database.record(*index));
+    }
+    println!(
+        "answered {} queries: wall {:.3} s, hybrid {:.3} s ({:.1} QPS hybrid)",
+        batch,
+        outcome_1.wall_seconds,
+        outcome_1.hybrid_seconds(),
+        batch as f64 / outcome_1.hybrid_seconds()
+    );
+    println!("server 1 batch phase shares:");
+    print_phases(&outcome_1.phase_totals);
+    Ok(())
+}
+
+fn run_model(options: &HashMap<String, String>) -> Result<(), String> {
+    let db_gb = get_f64(options, "db-gb", 1.0)?;
+    let batch = get_u64(options, "batch", 32)? as usize;
+    let clusters = get_u64(options, "clusters", 1)? as usize;
+    if db_gb <= 0.0 {
+        return Err("--db-gb must be positive".to_string());
+    }
+    let workload = PirWorkload::new((db_gb * (1u64 << 30) as f64) as u64, 32, batch.max(1));
+
+    let cpu = im_pir::perf::model::cpu_pir_batch(
+        &DeviceProfile::cpu_baseline_xeon_e5_2683(),
+        &workload,
+    );
+    let gpu = im_pir::perf::model::gpu_pir_batch(&DeviceProfile::gpu_rtx_4090(), &workload);
+    let pim = im_pir::perf::model::impir_batch(
+        &DeviceProfile::pim_host_xeon_silver_4110(),
+        &workload,
+        clusters.max(1),
+    );
+    println!(
+        "modelled at paper scale: {:.2} GB database, batch = {}, {} cluster(s)",
+        db_gb, batch, clusters
+    );
+    println!(
+        "  CPU-PIR: {:8.2} QPS   ({:.3} s per batch)",
+        cpu.throughput_qps(),
+        cpu.latency_seconds
+    );
+    println!(
+        "  GPU-PIR: {:8.2} QPS   ({:.3} s per batch)",
+        gpu.throughput_qps(),
+        gpu.latency_seconds
+    );
+    println!(
+        "  IM-PIR : {:8.2} QPS   ({:.3} s per batch)",
+        pim.throughput_qps(),
+        pim.latency_seconds
+    );
+    println!(
+        "  IM-PIR speedup: {:.2}x over CPU-PIR, {:.2}x over GPU-PIR",
+        cpu.latency_seconds / pim.latency_seconds,
+        gpu.latency_seconds / pim.latency_seconds
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! IM-PIR — in-memory (processing-in-memory accelerated) multi-server
+//! private information retrieval.
+//!
+//! This facade crate re-exports the whole workspace behind one dependency,
+//! mirroring how a downstream user would consume the reproduction of
+//! *"IM-PIR: In-Memory Private Information Retrieval"* (MIDDLEWARE 2025):
+//!
+//! * [`core`] — the PIR protocol, client, CPU and PIM server backends,
+//!   batching and the end-to-end two-server scheme;
+//! * [`dpf`] — distributed point functions (GGM tree, AES-128 PRF) and
+//!   their parallel evaluation strategies;
+//! * [`crypto`] — portable AES-128, PRG and PRF primitives;
+//! * [`pim`] — the functional + timed UPMEM PIM simulator;
+//! * [`baselines`] — the CPU-PIR and GPU-PIR comparators;
+//! * [`perf`] — device profiles, roofline and paper-scale analytic models;
+//! * [`workload`] — synthetic databases, query distributions and
+//!   application scenarios.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use im_pir::core::{database::Database, scheme::TwoServerPir, server::pim::ImPirConfig};
+//!
+//! let db = Arc::new(Database::random(1024, 32, 1)?);
+//! let mut pir = TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(4))?;
+//! assert_eq!(pir.query(700)?, db.record(700));
+//! # Ok::<(), im_pir::core::PirError>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the harness that regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use impir_baselines as baselines;
+pub use impir_core as core;
+pub use impir_crypto as crypto;
+pub use impir_dpf as dpf;
+pub use impir_perf as perf;
+pub use impir_pim as pim;
+pub use impir_workload as workload;

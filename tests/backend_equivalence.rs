@@ -1,0 +1,111 @@
+//! Equivalence of the three evaluated systems: CPU-PIR, the GPU-PIR
+//! comparator and IM-PIR must produce bit-identical subresults for the same
+//! query share, across databases, record sizes and evaluation strategies.
+
+use std::sync::Arc;
+
+use im_pir::baselines::{CpuPirBaseline, GpuPirBaseline, ImPirSystem, SystemUnderTest};
+use im_pir::core::database::Database;
+use im_pir::core::server::pim::ImPirConfig;
+use im_pir::core::PirClient;
+use im_pir::dpf::EvalStrategy;
+use im_pir::pim::PimConfig;
+use proptest::prelude::*;
+
+fn build_systems(
+    db: &Arc<Database>,
+    dpus: usize,
+) -> (CpuPirBaseline, GpuPirBaseline, ImPirSystem) {
+    let cpu = CpuPirBaseline::new(db.clone()).unwrap();
+    let gpu = GpuPirBaseline::new(db.clone()).unwrap();
+    let config = ImPirConfig {
+        pim: PimConfig::tiny_test(dpus, 8 << 20),
+        clusters: 1,
+        eval_threads: 2,
+    };
+    let pim = ImPirSystem::new(db.clone(), config).unwrap();
+    (cpu, gpu, pim)
+}
+
+#[test]
+fn all_backends_return_identical_subresults() {
+    let db = Arc::new(Database::random(777, 32, 31).unwrap());
+    let (mut cpu, mut gpu, mut pim) = build_systems(&db, 5);
+    let mut client = PirClient::new(777, 32, 1).unwrap();
+    let indices: Vec<u64> = vec![0, 5, 399, 776];
+    let (shares, _) = client.generate_batch(&indices).unwrap();
+
+    let cpu_out = cpu.process_batch(&shares).unwrap();
+    let gpu_out = gpu.process_batch(&shares).unwrap();
+    let pim_out = pim.process_batch(&shares).unwrap();
+    for i in 0..indices.len() {
+        assert_eq!(cpu_out.responses[i].payload, gpu_out.responses[i].payload);
+        assert_eq!(cpu_out.responses[i].payload, pim_out.responses[i].payload);
+        assert_eq!(cpu_out.responses[i].query_id, pim_out.responses[i].query_id);
+    }
+}
+
+#[test]
+fn all_eval_strategies_lead_to_the_same_server_answer() {
+    let db = Arc::new(Database::random(513, 16, 8).unwrap());
+    let mut client = PirClient::new(513, 16, 2).unwrap();
+    let (share, _) = client.generate_query(400).unwrap();
+
+    use im_pir::core::server::cpu::{CpuPirServer, CpuServerConfig};
+    use im_pir::core::server::PirServer;
+    let mut reference: Option<Vec<u8>> = None;
+    for strategy in [
+        EvalStrategy::BranchParallel,
+        EvalStrategy::LevelByLevel,
+        EvalStrategy::MemoryBounded { chunk_bits: 5 },
+        EvalStrategy::SubtreeParallel { threads: 4 },
+    ] {
+        let mut server = CpuPirServer::new(
+            db.clone(),
+            CpuServerConfig {
+                eval_strategy: strategy,
+                scan_threads: 2,
+            },
+        )
+        .unwrap();
+        let (response, _) = server.process_query(&share).unwrap();
+        match &reference {
+            None => reference = Some(response.payload),
+            Some(expected) => assert_eq!(&response.payload, expected, "{}", strategy.name()),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_backends_agree_and_reconstruct(
+        num_records in 3u64..500,
+        record_words in 1usize..4,
+        dpus in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let record_size = record_words * 8;
+        let db = Arc::new(Database::random(num_records, record_size, seed).unwrap());
+        let (mut cpu, mut gpu, mut pim) = build_systems(&db, dpus);
+        let mut client = PirClient::new(num_records, record_size, seed ^ 7).unwrap();
+        let index = seed % num_records;
+        let (share_1, share_2) = client.generate_query(index).unwrap();
+
+        let shares_1 = vec![share_1];
+        let cpu_out = cpu.process_batch(&shares_1).unwrap();
+        let gpu_out = gpu.process_batch(&shares_1).unwrap();
+        let pim_out = pim.process_batch(&shares_1).unwrap();
+        prop_assert_eq!(&cpu_out.responses[0].payload, &gpu_out.responses[0].payload);
+        prop_assert_eq!(&cpu_out.responses[0].payload, &pim_out.responses[0].payload);
+
+        // Reconstruct against a CPU second server.
+        let mut second = CpuPirBaseline::new(db.clone()).unwrap();
+        let second_out = second.process_batch(&[share_2]).unwrap();
+        let record = client
+            .reconstruct(&pim_out.responses[0], &second_out.responses[0])
+            .unwrap();
+        prop_assert_eq!(record, db.record(index).to_vec());
+    }
+}

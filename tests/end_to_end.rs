@@ -1,0 +1,130 @@
+//! Workspace-level integration tests: the full two-server protocol across
+//! crates (client → DPF → servers → PIM simulator → reconstruction).
+
+use std::sync::Arc;
+
+use im_pir::core::database::Database;
+use im_pir::core::scheme::TwoServerPir;
+use im_pir::core::server::cpu::CpuServerConfig;
+use im_pir::core::server::pim::ImPirConfig;
+use im_pir::core::{PirClient, PirError};
+use im_pir::dpf::naive::generate_shares;
+use im_pir::dpf::{DpfKey, SelectorVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pim_scheme_retrieves_every_record_of_a_small_database() {
+    let db = Arc::new(Database::random(64, 32, 1).unwrap());
+    let mut pir = TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(4)).unwrap();
+    for index in 0..64 {
+        assert_eq!(pir.query(index).unwrap(), db.record(index), "index {index}");
+    }
+}
+
+#[test]
+fn cpu_and_pim_schemes_agree_on_random_indices() {
+    let db = Arc::new(Database::random(999, 24, 5).unwrap());
+    let mut pim = TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(8)).unwrap();
+    let mut cpu = TwoServerPir::with_cpu_servers(db.clone(), CpuServerConfig::baseline()).unwrap();
+    for index in [0u64, 1, 511, 512, 998] {
+        let from_pim = pim.query(index).unwrap();
+        let from_cpu = cpu.query(index).unwrap();
+        assert_eq!(from_pim, from_cpu);
+        assert_eq!(from_pim, db.record(index));
+    }
+}
+
+#[test]
+fn dpf_query_matches_the_naive_xor_share_scheme() {
+    // The DPF-based query must select exactly the same records as the
+    // pedagogical naive scheme from Figure 2 of the paper.
+    let num_records = 300u64;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut client = PirClient::new(num_records, 8, 1).unwrap();
+    let index = 123u64;
+
+    let (share_1, share_2) = client.generate_query(index).unwrap();
+    let mut dpf_selector: SelectorVector = im_pir::dpf::eval::eval_range(&share_1.key, 0, num_records).unwrap();
+    dpf_selector.xor_assign(&im_pir::dpf::eval::eval_range(&share_2.key, 0, num_records).unwrap());
+
+    let naive = generate_shares(num_records, index, &mut rng).unwrap();
+    let naive_selector = naive.reconstruct();
+
+    assert_eq!(dpf_selector.count_ones(), 1);
+    assert_eq!(naive_selector.count_ones(), 1);
+    assert!(dpf_selector.get(index as usize));
+    assert!(naive_selector.get(index as usize));
+}
+
+#[test]
+fn query_shares_survive_serialization_between_client_and_server() {
+    let db = Arc::new(Database::random(500, 32, 9).unwrap());
+    let mut client = PirClient::new(500, 32, 3).unwrap();
+    let (share_1, share_2) = client.generate_query(321).unwrap();
+
+    // Keys cross the network as bytes; a corrupted/truncated key must be
+    // rejected rather than silently producing a wrong answer.
+    let wire_1 = share_1.key.to_bytes();
+    let restored = DpfKey::from_bytes(&wire_1).unwrap();
+    assert_eq!(restored, share_1.key);
+    assert!(DpfKey::from_bytes(&wire_1[..wire_1.len() - 3]).is_err());
+
+    // The restored key answers correctly end to end.
+    let mut server_1 = im_pir::core::server::cpu::CpuPirServer::new(
+        db.clone(),
+        CpuServerConfig::baseline(),
+    )
+    .unwrap();
+    let mut server_2 = im_pir::core::server::cpu::CpuPirServer::new(
+        db.clone(),
+        CpuServerConfig::baseline(),
+    )
+    .unwrap();
+    use im_pir::core::server::PirServer;
+    let restored_share = im_pir::core::QueryShare::new(share_1.query_id, restored);
+    let (r1, _) = server_1.process_query(&restored_share).unwrap();
+    let (r2, _) = server_2.process_query(&share_2).unwrap();
+    assert_eq!(client.reconstruct(&r1, &r2).unwrap(), db.record(321));
+}
+
+#[test]
+fn record_sizes_other_than_32_bytes_work_end_to_end() {
+    for record_size in [1usize, 8, 17, 64, 256] {
+        let db = Arc::new(Database::random(120, record_size, record_size as u64).unwrap());
+        let mut pir =
+            TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(4)).unwrap();
+        let index = (record_size as u64 * 7) % 120;
+        assert_eq!(
+            pir.query(index).unwrap(),
+            db.record(index),
+            "record_size {record_size}"
+        );
+    }
+}
+
+#[test]
+fn single_record_database_is_supported() {
+    let db = Arc::new(Database::random(1, 32, 0).unwrap());
+    let mut pir = TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(2)).unwrap();
+    assert_eq!(pir.query(0).unwrap(), db.record(0));
+    assert!(matches!(pir.query(1), Err(PirError::IndexOutOfRange { .. })));
+}
+
+#[test]
+fn a_single_share_does_not_reveal_the_record() {
+    // Collusion sanity check: one server's subresult alone is (with
+    // overwhelming probability) not the requested record — both subresults
+    // are needed.
+    let db = Arc::new(Database::random(256, 32, 2).unwrap());
+    let mut client = PirClient::new(256, 32, 11).unwrap();
+    let (share_1, _share_2) = client.generate_query(99).unwrap();
+    let mut server_1 = im_pir::core::server::cpu::CpuPirServer::new(
+        db.clone(),
+        CpuServerConfig::baseline(),
+    )
+    .unwrap();
+    use im_pir::core::server::PirServer;
+    let (r1, _) = server_1.process_query(&share_1).unwrap();
+    assert_ne!(r1.payload, db.record(99));
+}

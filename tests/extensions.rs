@@ -1,0 +1,95 @@
+//! Integration tests for the features the paper sketches beyond its
+//! evaluated configuration: n-server deployments, in-place bulk database
+//! updates, and the out-of-core (streaming) execution mode.
+
+use std::sync::Arc;
+
+use im_pir::core::client::PirClient;
+use im_pir::core::database::Database;
+use im_pir::core::multi_server::NServerNaivePir;
+use im_pir::core::server::pim::{ImPirConfig, ImPirServer};
+use im_pir::core::server::streaming::{StreamingConfig, StreamingImPirServer};
+use im_pir::core::server::PirServer;
+use im_pir::pim::PimConfig;
+
+fn tiny_config(dpus: usize, clusters: usize) -> ImPirConfig {
+    ImPirConfig {
+        pim: PimConfig::tiny_test(dpus, 8 << 20),
+        clusters,
+        eval_threads: 1,
+    }
+}
+
+#[test]
+fn n_server_deployments_answer_correctly_and_scale_upload_cost() {
+    let db = Arc::new(Database::random(400, 32, 8).unwrap());
+    let mut previous_upload = 0;
+    for servers in [2usize, 3, 4, 6] {
+        let mut pir = NServerNaivePir::new(db.clone(), servers, servers as u64).unwrap();
+        for index in [0u64, 199, 399] {
+            assert_eq!(pir.query(index).unwrap(), db.record(index), "servers={servers}");
+        }
+        // §3: communication overhead grows with the number of servers.
+        assert!(pir.upload_bytes_per_query() > previous_upload);
+        previous_upload = pir.upload_bytes_per_query();
+    }
+}
+
+#[test]
+fn streaming_mode_matches_preloaded_mode_and_pays_for_retransfer() {
+    let db = Arc::new(Database::random(1024, 32, 12).unwrap());
+    let mut preloaded = ImPirServer::new(db.clone(), tiny_config(4, 1)).unwrap();
+    let streaming_config = StreamingConfig::new(tiny_config(4, 1), 2048).unwrap();
+    let mut streaming = StreamingImPirServer::new(db.clone(), streaming_config).unwrap();
+    assert!(streaming.segments() > 1);
+
+    let mut client = PirClient::new(1024, 32, 4).unwrap();
+    for index in [1u64, 512, 1023] {
+        let (share, _) = client.generate_query(index).unwrap();
+        let (from_preloaded, preloaded_phases) = preloaded.process_query(&share).unwrap();
+        let (from_streaming, streaming_phases) = streaming.process_query(&share).unwrap();
+        assert_eq!(from_preloaded.payload, from_streaming.payload);
+        // Streaming re-pushes the database every query, so its CPU→DPU
+        // phase must cost (much) more than the preloaded server's, which
+        // only ships the selector bits.
+        assert!(
+            streaming_phases.copy_to_pim.simulated_seconds.unwrap()
+                > preloaded_phases.copy_to_pim.simulated_seconds.unwrap()
+        );
+    }
+}
+
+#[test]
+fn updates_combined_with_batches_and_clusters_stay_consistent() {
+    let db = Arc::new(Database::random(512, 16, 9).unwrap());
+    let mut oracle = (*db).clone();
+    let mut server_1 = ImPirServer::new(db.clone(), tiny_config(8, 4)).unwrap();
+    let mut server_2 = ImPirServer::new(db.clone(), tiny_config(8, 4)).unwrap();
+    let mut client = PirClient::new(512, 16, 2).unwrap();
+
+    // Interleave updates and batched queries a few times.
+    for round in 0u64..3 {
+        let updates: Vec<(u64, Vec<u8>)> = (0..8)
+            .map(|i| {
+                let index = (round * 97 + i * 31) % 512;
+                (index, vec![(round as u8) * 16 + i as u8; 16])
+            })
+            .collect();
+        for (index, bytes) in &updates {
+            oracle.set_record(*index, bytes).unwrap();
+        }
+        server_1.apply_updates(&updates).unwrap();
+        server_2.apply_updates(&updates).unwrap();
+
+        let indices: Vec<u64> = (0..16).map(|i| (round * 13 + i * 29) % 512).collect();
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let outcome_1 = server_1.process_batch(&shares_1).unwrap();
+        let outcome_2 = server_2.process_batch(&shares_2).unwrap();
+        for (i, index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&outcome_1.responses[i], &outcome_2.responses[i])
+                .unwrap();
+            assert_eq!(record, oracle.record(*index), "round {round}, index {index}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration tests exercising the UPMEM PIM simulator through the public
+//! facade, including failure injection (capacity overflows, malformed
+//! layouts) and cost-model sanity.
+
+use im_pir::core::database::Database;
+use im_pir::core::server::pim::{DpXorKernel, ImPirConfig, ImPirServer};
+use im_pir::pim::{
+    ClusterLayout, CostModel, DpuProgram, KernelMeter, PimConfig, PimError, PimSystem,
+};
+use std::sync::Arc;
+
+#[test]
+fn paper_configuration_allocates_and_validates() {
+    let config = PimConfig::paper_server();
+    config.validate().unwrap();
+    // Do not allocate 2048 DPUs here (lazy MRAM keeps it cheap, but the
+    // Vec of banks alone is unnecessary for this test) — validate a scaled
+    // version with identical per-DPU parameters instead.
+    let mut scaled = config.clone();
+    scaled.dpus = 64;
+    let system = PimSystem::new(scaled).unwrap();
+    assert_eq!(system.dpu_count(), 64);
+    assert_eq!(system.config().tasklets_per_dpu, 16);
+}
+
+#[test]
+fn capacity_violations_surface_as_errors_not_corruption() {
+    let mut system = PimSystem::new(PimConfig::tiny_test(2, 1024)).unwrap();
+    assert!(matches!(
+        system.push_to_dpu(0, 1000, &[0u8; 100]),
+        Err(PimError::MramCapacityExceeded { .. })
+    ));
+    assert!(matches!(
+        system.push_to_dpu(5, 0, &[0u8; 8]),
+        Err(PimError::InvalidDpu { .. })
+    ));
+    // A database that cannot fit the per-DPU MRAM is rejected up front by
+    // the IM-PIR server constructor.
+    let db = Arc::new(Database::random(100_000, 32, 0).unwrap());
+    let config = ImPirConfig {
+        pim: PimConfig::tiny_test(2, 64 * 1024),
+        clusters: 1,
+        eval_threads: 1,
+    };
+    assert!(ImPirServer::new(db, config).is_err());
+}
+
+#[test]
+fn dpxor_kernel_faults_on_inconsistent_headers() {
+    // Build a server, then corrupt one DPU's header record size and check
+    // the kernel reports a fault instead of returning wrong data.
+    let db = Arc::new(Database::random(64, 32, 1).unwrap());
+    let config = ImPirConfig {
+        pim: PimConfig::tiny_test(2, 1 << 20),
+        clusters: 1,
+        eval_threads: 1,
+    };
+    let server = ImPirServer::new(db, config).unwrap();
+    let layout = server.dpu_layout();
+
+    // Reproduce the same preload in a standalone system, but with a
+    // corrupted record-size field.
+    let mut system = PimSystem::new(PimConfig::tiny_test(1, 1 << 20)).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&32u64.to_le_bytes()); // record count
+    header.extend_from_slice(&16u64.to_le_bytes()); // wrong record size
+    system.push_to_dpu(0, 0, &header).unwrap();
+    system.push_to_dpu(0, 16, &vec![0u8; 32 * 32]).unwrap();
+    system
+        .push_to_dpu(0, layout.selector_offset, &vec![0u8; 8])
+        .unwrap();
+    let kernel = DpXorKernel::new(layout);
+    assert!(matches!(
+        system.launch_all(&kernel),
+        Err(PimError::KernelFault { .. })
+    ));
+}
+
+#[test]
+fn cost_model_scales_with_dpu_count_and_data_volume() {
+    let model = CostModel::new(PimConfig::paper_server());
+    let small = KernelMeter {
+        mram_bytes_read: 1 << 20,
+        mram_bytes_written: 32,
+        instructions: 1 << 17,
+    };
+    let large = KernelMeter {
+        mram_bytes_read: 32 << 20,
+        mram_bytes_written: 32,
+        instructions: 32 << 17,
+    };
+    assert!(model.dpu_kernel_seconds(&large) > model.dpu_kernel_seconds(&small));
+    assert!(model.host_to_dpu_seconds(1 << 30) > model.host_to_dpu_seconds(1 << 20));
+    // A 2048-DPU launch over 1 GB of database streams ~512 KiB per DPU and
+    // should complete in roughly a millisecond of simulated kernel time —
+    // the magnitude that makes IM-PIR's dpXOR negligible next to Eval.
+    let per_dpu = KernelMeter {
+        mram_bytes_read: (1u64 << 30) / 2048,
+        mram_bytes_written: 32,
+        instructions: ((1u64 << 30) / 2048 / 32) * 4,
+    };
+    let launch = model.launch_seconds(&vec![per_dpu; 16]);
+    assert!(launch > 0.0 && launch < 0.01, "launch = {launch}");
+}
+
+#[test]
+fn cluster_layouts_cover_all_dpus_exactly_once() {
+    for (total, clusters) in [(2048usize, 8usize), (100, 7), (16, 16)] {
+        let layout = ClusterLayout::new(total, clusters).unwrap();
+        let covered: usize = layout.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, total);
+    }
+    assert!(ClusterLayout::new(4, 8).is_err());
+}
+
+#[test]
+fn custom_kernels_can_be_written_against_the_public_api() {
+    use im_pir::pim::{DpuContext, TaskletContext};
+
+    /// Counts the bytes equal to a marker value in each DPU's MRAM window.
+    struct CountKernel {
+        bytes: usize,
+        marker: u8,
+    }
+
+    impl DpuProgram for CountKernel {
+        type TaskletOutput = u64;
+        type DpuOutput = u64;
+
+        fn run_tasklet(&self, ctx: &mut TaskletContext<'_>) -> Result<u64, PimError> {
+            let (start, count) = ctx.partition(self.bytes);
+            if count == 0 {
+                return Ok(0);
+            }
+            let data = ctx.mram_read(start, count)?;
+            Ok(data.iter().filter(|byte| **byte == self.marker).count() as u64)
+        }
+
+        fn reduce(&self, _ctx: &mut DpuContext<'_>, partials: Vec<u64>) -> Result<u64, PimError> {
+            Ok(partials.into_iter().sum())
+        }
+    }
+
+    let mut system = PimSystem::new(PimConfig::tiny_test(3, 4096)).unwrap();
+    let buffers: Vec<Vec<u8>> = (0..3)
+        .map(|dpu| (0..256).map(|i| u8::from((i + dpu) % 4 == 0) * 0xaa).collect())
+        .collect();
+    let expected: Vec<u64> = buffers
+        .iter()
+        .map(|buffer| buffer.iter().filter(|byte| **byte == 0xaa).count() as u64)
+        .collect();
+    system.scatter_to_mram(0, &buffers).unwrap();
+    let outcome = system
+        .launch_all(&CountKernel {
+            bytes: 256,
+            marker: 0xaa,
+        })
+        .unwrap();
+    assert_eq!(outcome.results, expected);
+}
