@@ -8,9 +8,10 @@
 
 use std::sync::Arc;
 
+use impir_core::engine::{EngineConfig, QueryEngine};
 use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
-use impir_core::server::{BatchOutcome, PirServer};
-use impir_core::{Database, PirError, QueryShare};
+use impir_core::server::BatchOutcome;
+use impir_core::{BatchConfig, Database, PirError, QueryShare};
 use impir_dpf::EvalStrategy;
 use impir_perf::model::{BatchEstimate, PirWorkload};
 use impir_perf::DeviceProfile;
@@ -36,7 +37,7 @@ use crate::sut::SystemUnderTest;
 /// ```
 #[derive(Debug)]
 pub struct CpuPirBaseline {
-    server: CpuPirServer,
+    engine: QueryEngine<CpuPirServer>,
 }
 
 impl CpuPirBaseline {
@@ -51,24 +52,31 @@ impl CpuPirBaseline {
     }
 
     /// Builds the baseline with an explicit server configuration (used by
-    /// ablations that give the CPU more scan threads).
+    /// ablations that give the CPU more scan threads). Execution runs
+    /// through a single-shard [`QueryEngine`] whose evaluation stage uses
+    /// the configured strategy.
     ///
     /// # Errors
     ///
     /// Propagates configuration errors.
-    pub fn with_config(
-        database: Arc<Database>,
-        config: CpuServerConfig,
-    ) -> Result<Self, PirError> {
+    pub fn with_config(database: Arc<Database>, config: CpuServerConfig) -> Result<Self, PirError> {
+        let engine_config = EngineConfig::new(BatchConfig::default(), config.eval_strategy)?;
+        let server = CpuPirServer::new(database, config)?;
         Ok(CpuPirBaseline {
-            server: CpuPirServer::new(database, config)?,
+            engine: QueryEngine::single(server, engine_config)?,
         })
+    }
+
+    /// The engine executing this baseline's queries.
+    #[must_use]
+    pub fn engine(&self) -> &QueryEngine<CpuPirServer> {
+        &self.engine
     }
 
     /// The underlying CPU server.
     #[must_use]
     pub fn server(&self) -> &CpuPirServer {
-        &self.server
+        self.engine.backend(0).expect("engine has one shard")
     }
 
     /// The evaluation strategy the baseline uses (level-by-level, as in the
@@ -85,15 +93,15 @@ impl SystemUnderTest for CpuPirBaseline {
     }
 
     fn num_records(&self) -> u64 {
-        self.server.num_records()
+        self.engine.num_records()
     }
 
     fn record_size(&self) -> usize {
-        self.server.record_size()
+        self.engine.record_size()
     }
 
     fn process_batch(&mut self, shares: &[QueryShare]) -> Result<BatchOutcome, PirError> {
-        self.server.process_batch(shares)
+        self.engine.execute_batch(shares)
     }
 
     fn model_batch(&self, workload: &PirWorkload) -> BatchEstimate {

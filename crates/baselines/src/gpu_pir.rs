@@ -15,10 +15,11 @@
 
 use std::sync::Arc;
 
+use impir_core::engine::{EngineConfig, QueryEngine};
 use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
 use impir_core::server::phases::{PhaseBreakdown, PhaseTime};
-use impir_core::server::{BatchOutcome, PirServer};
-use impir_core::{Database, PirError, QueryShare};
+use impir_core::server::BatchOutcome;
+use impir_core::{BatchConfig, Database, PirError, QueryShare};
 use impir_dpf::EvalStrategy;
 use impir_perf::model::{BatchEstimate, PirWorkload};
 use impir_perf::DeviceProfile;
@@ -45,7 +46,7 @@ use crate::sut::SystemUnderTest;
 /// ```
 #[derive(Debug)]
 pub struct GpuPirBaseline {
-    server: CpuPirServer,
+    engine: QueryEngine<CpuPirServer>,
     database: Arc<Database>,
     profile: DeviceProfile,
 }
@@ -59,14 +60,19 @@ impl GpuPirBaseline {
     pub fn new(database: Arc<Database>) -> Result<Self, PirError> {
         // Memory-bounded traversal (the GPU paper's evaluation strategy) and
         // a fully parallel scan standing in for the GPU's thread blocks.
+        let eval_strategy = EvalStrategy::MemoryBounded {
+            chunk_bits: impir_dpf::parallel::DEFAULT_CHUNK_BITS,
+        };
         let config = CpuServerConfig {
-            eval_strategy: EvalStrategy::MemoryBounded {
-                chunk_bits: impir_dpf::parallel::DEFAULT_CHUNK_BITS,
-            },
+            eval_strategy,
             scan_threads: rayon::current_num_threads().max(1),
         };
+        // The GPU serialises queries on the device; a single evaluation
+        // worker mirrors that in the engine pipeline.
+        let engine_config = EngineConfig::new(BatchConfig::with_workers(1)?, eval_strategy)?;
+        let server = CpuPirServer::new(Arc::clone(&database), config)?;
         Ok(GpuPirBaseline {
-            server: CpuPirServer::new(Arc::clone(&database), config)?,
+            engine: QueryEngine::single(server, engine_config)?,
             database,
             profile: DeviceProfile::gpu_rtx_4090(),
         })
@@ -106,28 +112,18 @@ impl SystemUnderTest for GpuPirBaseline {
     }
 
     fn num_records(&self) -> u64 {
-        self.server.num_records()
+        self.engine.num_records()
     }
 
     fn record_size(&self) -> usize {
-        self.server.record_size()
+        self.engine.record_size()
     }
 
     fn process_batch(&mut self, shares: &[QueryShare]) -> Result<BatchOutcome, PirError> {
-        // The GPU serialises queries on the device: process them in order.
-        let started = std::time::Instant::now();
-        let mut responses = Vec::with_capacity(shares.len());
-        let mut totals = PhaseBreakdown::zero();
-        for share in shares {
-            let (response, phases) = self.server.process_query(share)?;
-            totals.merge(&phases);
-            responses.push(response);
-        }
-        let mut outcome = BatchOutcome {
-            responses,
-            wall_seconds: started.elapsed().as_secs_f64(),
-            phase_totals: totals,
-        };
+        // Functionally executed through the engine (single worker — the
+        // GPU serialises queries on the device), then re-timed with the
+        // RTX 4090 device model.
+        let mut outcome = self.engine.execute_batch(shares)?;
         self.attach_model(&mut outcome, shares.len());
         Ok(outcome)
     }

@@ -1,8 +1,14 @@
 //! The "system under test" abstraction used by the benchmark harness.
+//!
+//! Every system executes through `impir_core`'s [`QueryEngine`], so the
+//! harness sweeps exercise exactly the execution layer production
+//! deployments use — sharding included.
 
+use impir_core::engine::{EngineConfig, QueryEngine};
 use impir_core::server::pim::{ImPirConfig, ImPirServer};
-use impir_core::server::{BatchOutcome, PirServer};
-use impir_core::{Database, PirError, QueryShare};
+use impir_core::server::BatchOutcome;
+use impir_core::shard::ShardedDatabase;
+use impir_core::{BatchConfig, Database, PirError, QueryShare};
 use impir_perf::model::{BatchEstimate, PirWorkload};
 use std::sync::Arc;
 
@@ -32,36 +38,66 @@ pub trait SystemUnderTest {
     fn model_batch(&self, workload: &PirWorkload) -> BatchEstimate;
 }
 
-/// IM-PIR wrapped as a [`SystemUnderTest`].
+/// IM-PIR wrapped as a [`SystemUnderTest`]: a [`QueryEngine`] over one or
+/// more PIM-backed shards.
 #[derive(Debug)]
 pub struct ImPirSystem {
-    server: ImPirServer,
+    engine: QueryEngine<ImPirServer>,
     clusters: usize,
 }
 
 impl ImPirSystem {
-    /// Builds an IM-PIR system over `database` with the given configuration.
+    /// Builds an IM-PIR system over `database` with the given
+    /// configuration (a single engine shard owning the whole database).
     ///
     /// # Errors
     ///
     /// Propagates configuration and PIM allocation errors.
     pub fn new(database: Arc<Database>, config: ImPirConfig) -> Result<Self, PirError> {
-        let clusters = config.clusters;
-        Ok(ImPirSystem {
-            server: ImPirServer::new(database, config)?,
-            clusters,
-        })
+        Self::sharded(database, config, 1)
     }
 
-    /// The underlying server (e.g. to read PIM activity reports).
+    /// Builds an IM-PIR system whose engine splits `database` over
+    /// `shards` PIM backends, each allocated with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and PIM allocation errors.
+    pub fn sharded(
+        database: Arc<Database>,
+        config: ImPirConfig,
+        shards: usize,
+    ) -> Result<Self, PirError> {
+        let clusters = config.clusters;
+        // The engine's stage-1 evaluation honors the PIM configuration's
+        // eval_threads instead of silently defaulting.
+        let engine_config = EngineConfig::new(BatchConfig::default(), config.eval_strategy())?;
+        let sharded = ShardedDatabase::uniform(database, shards)?;
+        let engine = QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
+            ImPirServer::new(shard_db, config.clone())
+        })?;
+        Ok(ImPirSystem { engine, clusters })
+    }
+
+    /// The engine executing this system's queries.
+    #[must_use]
+    pub fn engine(&self) -> &QueryEngine<ImPirServer> {
+        &self.engine
+    }
+
+    /// The first shard's server (e.g. to read PIM activity reports).
     #[must_use]
     pub fn server(&self) -> &ImPirServer {
-        &self.server
+        self.engine
+            .backend(0)
+            .expect("engine has at least one shard")
     }
 
-    /// Mutable access to the underlying server.
+    /// Mutable access to the first shard's server.
     pub fn server_mut(&mut self) -> &mut ImPirServer {
-        &mut self.server
+        self.engine
+            .backend_mut(0)
+            .expect("engine has at least one shard")
     }
 }
 
@@ -71,15 +107,15 @@ impl SystemUnderTest for ImPirSystem {
     }
 
     fn num_records(&self) -> u64 {
-        self.server.num_records()
+        self.engine.num_records()
     }
 
     fn record_size(&self) -> usize {
-        self.server.record_size()
+        self.engine.record_size()
     }
 
     fn process_batch(&mut self, shares: &[QueryShare]) -> Result<BatchOutcome, PirError> {
-        self.server.process_batch(shares)
+        self.engine.execute_batch(shares)
     }
 
     fn model_batch(&self, workload: &PirWorkload) -> BatchEstimate {
@@ -91,6 +127,7 @@ impl SystemUnderTest for ImPirSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use impir_core::PirClient;
 
     #[test]
     fn impir_system_reports_geometry_and_label() {
@@ -99,6 +136,7 @@ mod tests {
         assert_eq!(system.label(), "IM-PIR");
         assert_eq!(system.num_records(), 64);
         assert_eq!(system.record_size(), 16);
+        assert_eq!(system.engine().shard_count(), 1);
     }
 
     #[test]
@@ -108,5 +146,19 @@ mod tests {
         let small = system.model_batch(&PirWorkload::new(1 << 30, 32, 32));
         let large = system.model_batch(&PirWorkload::new(8 << 30, 32, 32));
         assert!(large.latency_seconds > small.latency_seconds);
+    }
+
+    #[test]
+    fn sharded_system_answers_like_the_flat_one() {
+        let db = Arc::new(Database::random(128, 16, 5).unwrap());
+        let mut flat = ImPirSystem::new(db.clone(), ImPirConfig::tiny_test(2)).unwrap();
+        let mut sharded = ImPirSystem::sharded(db.clone(), ImPirConfig::tiny_test(2), 2).unwrap();
+        let mut client = PirClient::new(128, 16, 3).unwrap();
+        let (shares, _) = client.generate_batch(&[1, 64, 127]).unwrap();
+        let flat_out = flat.process_batch(&shares).unwrap();
+        let sharded_out = sharded.process_batch(&shares).unwrap();
+        for (a, b) in flat_out.responses.iter().zip(&sharded_out.responses) {
+            assert_eq!(a.payload, b.payload);
+        }
     }
 }

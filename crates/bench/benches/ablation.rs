@@ -41,10 +41,14 @@ fn bench_eval_strategies(c: &mut Criterion) {
         ),
     ];
     for (name, strategy) in strategies {
-        group.bench_with_input(BenchmarkId::new("strategy", name), &strategy, |b, strategy| {
-            // Full-domain evaluation so each strategy uses its own traversal.
-            b.iter(|| strategy.eval_full(&share.key));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("strategy", name),
+            &strategy,
+            |b, strategy| {
+                // Full-domain evaluation so each strategy uses its own traversal.
+                b.iter(|| strategy.eval_full(&share.key));
+            },
+        );
     }
     group.finish();
 }

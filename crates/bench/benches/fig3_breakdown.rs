@@ -30,13 +30,17 @@ fn bench_fig3(c: &mut Criterion) {
             let mut client = PirClient::new(records, RECORD_BYTES, 7).expect("client");
             b.iter(|| client.generate_query(records / 3).expect("query"));
         });
-        group.bench_with_input(BenchmarkId::new("eval", records), &records, |b, &records| {
-            b.iter(|| {
-                EvalStrategy::LevelByLevel
-                    .eval_range(&share.key, 0, records)
-                    .expect("eval")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eval", records),
+            &records,
+            |b, &records| {
+                b.iter(|| {
+                    EvalStrategy::LevelByLevel
+                        .eval_range(&share.key, 0, records)
+                        .expect("eval")
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("dpxor", records), &records, |b, _| {
             b.iter(|| db.xor_select(&selector));
         });

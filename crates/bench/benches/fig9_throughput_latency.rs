@@ -23,27 +23,19 @@ fn bench_fig9(c: &mut Criterion) {
         let indices: Vec<u64> = (0..BATCH as u64).map(|i| (i * 977) % records).collect();
         let (shares, _) = client.generate_batch(&indices).expect("batch");
 
-        group.bench_with_input(
-            BenchmarkId::new("cpu_pir", records),
-            &records,
-            |b, _| {
-                let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline");
-                b.iter(|| cpu.process_batch(&shares).expect("batch"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("im_pir", records),
-            &records,
-            |b, _| {
-                let config = ImPirConfig {
-                    pim: PimConfig::tiny_test(8, 4 << 20),
-                    clusters: 1,
-                    eval_threads: 1,
-                };
-                let mut pim = ImPirSystem::new(db.clone(), config).expect("im-pir");
-                b.iter(|| pim.process_batch(&shares).expect("batch"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cpu_pir", records), &records, |b, _| {
+            let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline");
+            b.iter(|| cpu.process_batch(&shares).expect("batch"));
+        });
+        group.bench_with_input(BenchmarkId::new("im_pir", records), &records, |b, _| {
+            let config = ImPirConfig {
+                pim: PimConfig::tiny_test(8, 4 << 20),
+                clusters: 1,
+                eval_threads: 1,
+            };
+            let mut pim = ImPirSystem::new(db.clone(), config).expect("im-pir");
+            b.iter(|| pim.process_batch(&shares).expect("batch"));
+        });
     }
     group.finish();
 }

@@ -10,9 +10,12 @@ use std::time::Instant;
 
 use impir_bench::paper;
 use impir_bench::report::{DataPoint, FigureReport, Series};
+use impir_core::engine::{EngineConfig, QueryEngine};
+use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
 use impir_core::server::pim::{ImPirConfig, ImPirServer};
 use impir_core::server::PirServer;
-use impir_core::{dpxor, Database, PirClient};
+use impir_core::shard::ShardedDatabase;
+use impir_core::{dpxor, BatchConfig, Database, PirClient};
 use impir_dpf::{EvalStrategy, SelectorVector};
 use impir_pim::PimConfig;
 
@@ -20,6 +23,62 @@ fn main() {
     eval_strategy_ablation();
     dpxor_lane_ablation();
     tasklet_ablation();
+    engine_pipeline_ablation();
+}
+
+/// Sensitivity of the unified batch pipeline to its knobs: evaluation
+/// worker count, admission-queue depth (backpressure) and shard count. All
+/// sweeps run the same batch through `QueryEngine` over CPU backends, so
+/// the differences isolate the pipeline itself.
+fn engine_pipeline_ablation() {
+    let mut report = FigureReport::new(
+        "ablation-engine-pipeline",
+        "QueryEngine batch pipeline: workers × queue depth × shards",
+        "wall time is pipeline-bound; responses are byte-identical across all settings",
+    );
+    let records: u64 = 1 << 14;
+    let db = Arc::new(Database::random(records, paper::RECORD_BYTES, 17).expect("geometry"));
+    let mut client = PirClient::new(records, paper::RECORD_BYTES, 3).expect("client");
+    let indices: Vec<u64> = (0..64u64).map(|i| (i * 257) % records).collect();
+    let (shares, _) = client.generate_batch(&indices).expect("batch");
+
+    let mut series = Series::new("measured batch wall time", "ms");
+    for (workers, queue_depth, shards) in [
+        (1usize, 1usize, 1usize),
+        (1, 8, 1),
+        (4, 1, 1),
+        (4, 8, 1),
+        (4, 8, 2),
+        (4, 8, 4),
+    ] {
+        let sharded = ShardedDatabase::uniform(db.clone(), shards).expect("plan");
+        let pipeline =
+            BatchConfig::with_workers_and_queue(workers, queue_depth).expect("pipeline config");
+        let engine_config =
+            EngineConfig::new(pipeline, EvalStrategy::SubtreeParallel { threads: workers })
+                .expect("engine config");
+        let mut engine = QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
+            CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+        })
+        .expect("engine builds");
+        let outcome = engine.execute_batch(&shares).expect("batch executes");
+        let label = format!("w={workers} q={queue_depth} s={shards}");
+        println!(
+            "[engine {label}] wall {:.3}s eval {:.3}s dpxor {:.3}s",
+            outcome.wall_seconds,
+            outcome.phase_totals.eval.wall_seconds,
+            outcome.phase_totals.dpxor.wall_seconds,
+        );
+        series.push(DataPoint::new(label, 0.0, outcome.wall_seconds * 1e3));
+    }
+    report.push_series(series);
+    report.push_note(format!(
+        "batch = {}, {} records × {} B, CPU shard backends",
+        indices.len(),
+        records,
+        paper::RECORD_BYTES
+    ));
+    report.emit();
 }
 
 /// §3.2 / Figure 7: PRG-expansion counts and measured time of the four
@@ -39,8 +98,14 @@ fn eval_strategy_ablation() {
     let strategies = [
         ("branch-parallel", EvalStrategy::BranchParallel),
         ("level-by-level", EvalStrategy::LevelByLevel),
-        ("memory-bounded", EvalStrategy::MemoryBounded { chunk_bits: 10 }),
-        ("subtree-parallel", EvalStrategy::SubtreeParallel { threads: 4 }),
+        (
+            "memory-bounded",
+            EvalStrategy::MemoryBounded { chunk_bits: 10 },
+        ),
+        (
+            "subtree-parallel",
+            EvalStrategy::SubtreeParallel { threads: 4 },
+        ),
     ];
     let mut prg_series = Series::new("PRG node expansions (analytic)", "expansions");
     let mut time_series = Series::new("measured full-domain evaluation", "ms");
@@ -80,7 +145,12 @@ fn dpxor_lane_ablation() {
         let started = Instant::now();
         let mut accumulator = vec![0u8; paper::RECORD_BYTES];
         if wide {
-            dpxor::xor_select_wide(db.as_bytes(), paper::RECORD_BYTES, &selector, &mut accumulator);
+            dpxor::xor_select_wide(
+                db.as_bytes(),
+                paper::RECORD_BYTES,
+                &selector,
+                &mut accumulator,
+            );
         } else {
             dpxor::xor_select_scalar(
                 db.as_bytes(),
@@ -89,7 +159,11 @@ fn dpxor_lane_ablation() {
                 &mut accumulator,
             );
         }
-        series.push(DataPoint::new(name, 0.0, started.elapsed().as_secs_f64() * 1e3));
+        series.push(DataPoint::new(
+            name,
+            0.0,
+            started.elapsed().as_secs_f64() * 1e3,
+        ));
     }
     report.push_series(series);
     report.emit();

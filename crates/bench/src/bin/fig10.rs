@@ -39,7 +39,13 @@ fn modelled_breakdowns() {
         "dpXOR dominates (≈83 % on average)",
     );
 
-    let phase_names = ["Eval", "copy(cpu→pim)", "dpXOR", "copy(pim→cpu)", "aggregation"];
+    let phase_names = [
+        "Eval",
+        "copy(cpu→pim)",
+        "dpXOR",
+        "copy(pim→cpu)",
+        "aggregation",
+    ];
     let mut impir_series: Vec<Series> = phase_names
         .iter()
         .map(|name| Series::new(*name, "ms"))
@@ -50,7 +56,12 @@ fn modelled_breakdowns() {
         let workload = PirWorkload::new(db_bytes, paper::RECORD_BYTES as u64, 1);
         let label = db_size_label(db_bytes);
 
-        let impir = impir_query(&host_profile, &pim_model, &workload, host_profile.worker_threads);
+        let impir = impir_query(
+            &host_profile,
+            &pim_model,
+            &workload,
+            host_profile.worker_threads,
+        );
         let impir_values = [
             impir.eval_seconds,
             impir.copy_to_pim_seconds,
@@ -63,8 +74,16 @@ fn modelled_breakdowns() {
         }
 
         let cpu = cpu_pir_query(&cpu_profile, &workload, cpu_profile.worker_threads, 1);
-        cpu_series[0].push(DataPoint::new(label.clone(), db_bytes as f64, cpu.eval_seconds * 1e3));
-        cpu_series[1].push(DataPoint::new(label, db_bytes as f64, cpu.dpxor_seconds * 1e3));
+        cpu_series[0].push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            cpu.eval_seconds * 1e3,
+        ));
+        cpu_series[1].push(DataPoint::new(
+            label,
+            db_bytes as f64,
+            cpu.dpxor_seconds * 1e3,
+        ));
     }
     for series in impir_series {
         impir_report.push_series(series);
@@ -99,8 +118,12 @@ fn measured_breakdowns() {
         let mut pim = ImPirSystem::new(db.clone(), config).expect("IM-PIR builds");
         let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline builds");
 
-        let pim_outcome = pim.process_batch(std::slice::from_ref(&share_1)).expect("pim query");
-        let cpu_outcome = cpu.process_batch(std::slice::from_ref(&share_2)).expect("cpu query");
+        let pim_outcome = pim
+            .process_batch(std::slice::from_ref(&share_1))
+            .expect("pim query");
+        let cpu_outcome = cpu
+            .process_batch(std::slice::from_ref(&share_2))
+            .expect("cpu query");
 
         let label = db_size_label(db_bytes);
         let names = impir_core::PhaseBreakdown::phase_names();

@@ -43,8 +43,16 @@ fn modelled_cluster_sweep() {
             let workload = PirWorkload::new(paper::GIB, paper::RECORD_BYTES as u64, batch);
             let estimate = impir_batch(&host_profile, &workload, clusters);
             let label = format!("batch={batch}");
-            qps_series.push(DataPoint::new(label.clone(), batch as f64, estimate.throughput_qps()));
-            lat_series.push(DataPoint::new(label, batch as f64, estimate.latency_seconds));
+            qps_series.push(DataPoint::new(
+                label.clone(),
+                batch as f64,
+                estimate.throughput_qps(),
+            ));
+            lat_series.push(DataPoint::new(
+                label,
+                batch as f64,
+                estimate.latency_seconds,
+            ));
         }
         throughput.push_series(qps_series);
         latency.push_series(lat_series);
@@ -60,35 +68,47 @@ fn measured_cluster_sweep() {
         "Measured (scaled-down) clustering sweep: hybrid throughput per cluster count",
         "shape check: the relative benefit of clusters appears in the hybrid (cost-model) time",
     );
-    let db_bytes = *impir_bench::paper::measured_db_sizes().first().unwrap_or(&paper::MIB);
+    let db_bytes = *impir_bench::paper::measured_db_sizes()
+        .first()
+        .unwrap_or(&paper::MIB);
     let num_records = db_bytes / paper::RECORD_BYTES as u64;
     let db = Arc::new(Database::random(num_records, paper::RECORD_BYTES, 11).expect("geometry"));
 
+    // The engine composes both axes of query-level parallelism: DPU
+    // clusters inside one backend (§3.4) and record-range shards across
+    // backends. Sweep both.
     for &clusters in &paper::FIG11_CLUSTERS {
-        let config = ImPirConfig {
-            pim: impir_pim::PimConfig::tiny_test(paper::MEASURED_DPUS, 16 << 20),
-            clusters,
-            eval_threads: 1,
-        };
-        let mut system = ImPirSystem::new(db.clone(), config).expect("IM-PIR builds");
-        let run = measure_system_batch(&mut system, &db, paper::MEASURED_BATCH, 13)
-            .expect("batch runs");
-        let mut series = Series::new(format!("{clusters} cluster(s)"), "QPS (hybrid)");
-        series.push(DataPoint::new(
-            format!("batch={}", paper::MEASURED_BATCH),
-            paper::MEASURED_BATCH as f64,
-            run.hybrid_qps(),
-        ));
-        println!(
-            "[measured clusters={clusters}] wall {:.3}s hybrid {:.3}s ({})",
-            run.wall_seconds,
-            run.hybrid_seconds,
-            system.label()
-        );
-        report.push_series(series);
+        for shards in [1usize, 2] {
+            let config = ImPirConfig {
+                pim: impir_pim::PimConfig::tiny_test(paper::MEASURED_DPUS, 16 << 20),
+                clusters,
+                eval_threads: 1,
+            };
+            let mut system =
+                ImPirSystem::sharded(db.clone(), config, shards).expect("IM-PIR builds");
+            let run = measure_system_batch(&mut system, &db, paper::MEASURED_BATCH, 13)
+                .expect("batch runs");
+            let mut series = Series::new(
+                format!("{clusters} cluster(s) × {shards} shard(s)"),
+                "QPS (hybrid)",
+            );
+            series.push(DataPoint::new(
+                format!("batch={}", paper::MEASURED_BATCH),
+                paper::MEASURED_BATCH as f64,
+                run.hybrid_qps(),
+            ));
+            println!(
+                "[measured clusters={clusters} shards={shards}] wall {:.3}s hybrid {:.3}s ({})",
+                run.wall_seconds,
+                run.hybrid_seconds,
+                system.label()
+            );
+            report.push_series(series);
+        }
     }
     report.push_note(format!(
-        "DB = {} bytes, {} DPUs, batch = {}",
+        "DB = {} bytes, {} DPUs per backend, batch = {}; driven through the \
+         unified QueryEngine",
         db_bytes,
         paper::MEASURED_DPUS,
         paper::MEASURED_BATCH

@@ -51,11 +51,31 @@ fn modelled_comparison() {
         let pim = impir_batch(&host_profile, &workload, 1);
         let gpu = gpu_pir_batch(&gpu_profile, &workload);
         let label = db_size_label(db_bytes);
-        cpu_qps.push(DataPoint::new(label.clone(), db_bytes as f64, cpu.throughput_qps()));
-        pim_qps.push(DataPoint::new(label.clone(), db_bytes as f64, pim.throughput_qps()));
-        gpu_qps.push(DataPoint::new(label.clone(), db_bytes as f64, gpu.throughput_qps()));
-        cpu_lat.push(DataPoint::new(label.clone(), db_bytes as f64, cpu.latency_seconds));
-        pim_lat.push(DataPoint::new(label.clone(), db_bytes as f64, pim.latency_seconds));
+        cpu_qps.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            cpu.throughput_qps(),
+        ));
+        pim_qps.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            pim.throughput_qps(),
+        ));
+        gpu_qps.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            gpu.throughput_qps(),
+        ));
+        cpu_lat.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            cpu.latency_seconds,
+        ));
+        pim_lat.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            pim.latency_seconds,
+        ));
         gpu_lat.push(DataPoint::new(label, db_bytes as f64, gpu.latency_seconds));
     }
     throughput.push_series(cpu_qps);
@@ -81,7 +101,8 @@ fn measured_comparison() {
     let mut pim_series = Series::new("IM-PIR (hybrid)", "QPS");
     for db_bytes in impir_bench::paper::measured_db_sizes() {
         let num_records = db_bytes / paper::RECORD_BYTES as u64;
-        let db = Arc::new(Database::random(num_records, paper::RECORD_BYTES, 17).expect("geometry"));
+        let db =
+            Arc::new(Database::random(num_records, paper::RECORD_BYTES, 17).expect("geometry"));
         let mut cpu = CpuPirBaseline::new(db.clone()).expect("baseline builds");
         let mut gpu = GpuPirBaseline::new(db.clone()).expect("gpu comparator builds");
         let config = ImPirConfig {
@@ -95,9 +116,21 @@ fn measured_comparison() {
         let cpu_run = measure_system_batch(&mut cpu, &db, paper::MEASURED_BATCH, 19).expect("cpu");
         let gpu_run = measure_system_batch(&mut gpu, &db, paper::MEASURED_BATCH, 19).expect("gpu");
         let pim_run = measure_system_batch(&mut pim, &db, paper::MEASURED_BATCH, 19).expect("pim");
-        cpu_series.push(DataPoint::new(label.clone(), db_bytes as f64, cpu_run.hybrid_qps()));
-        gpu_series.push(DataPoint::new(label.clone(), db_bytes as f64, gpu_run.hybrid_qps()));
-        pim_series.push(DataPoint::new(label.clone(), db_bytes as f64, pim_run.hybrid_qps()));
+        cpu_series.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            cpu_run.hybrid_qps(),
+        ));
+        gpu_series.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            gpu_run.hybrid_qps(),
+        ));
+        pim_series.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            pim_run.hybrid_qps(),
+        ));
         println!(
             "[measured {label}] {}: {:.3}s | {}: {:.3}s | {}: {:.3}s (hybrid)",
             cpu.label(),
@@ -111,6 +144,9 @@ fn measured_comparison() {
     report.push_series(cpu_series);
     report.push_series(gpu_series);
     report.push_series(pim_series);
-    report.push_note(format!("batch = {}, single host core", paper::MEASURED_BATCH));
+    report.push_note(format!(
+        "batch = {}, single host core",
+        paper::MEASURED_BATCH
+    ));
     report.emit();
 }

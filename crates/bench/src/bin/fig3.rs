@@ -37,7 +37,11 @@ fn main() {
         let gen_seconds = 2.0 * domain_bits / profile.aes_blocks_per_sec_per_thread;
         let estimate = cpu_pir_query(&profile, &workload, profile.worker_threads, 1);
         let label = db_size_label(db_bytes);
-        gen_series.push(DataPoint::new(label.clone(), db_bytes as f64, gen_seconds * 1e3));
+        gen_series.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            gen_seconds * 1e3,
+        ));
         eval_series.push(DataPoint::new(
             label.clone(),
             db_bytes as f64,
@@ -81,7 +85,11 @@ fn main() {
         assert_eq!(subresult.len(), paper::RECORD_BYTES);
 
         let label = db_size_label(db_bytes);
-        measured_gen.push(DataPoint::new(label.clone(), db_bytes as f64, gen_seconds * 1e3));
+        measured_gen.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            gen_seconds * 1e3,
+        ));
         measured_eval.push(DataPoint::new(
             label.clone(),
             db_bytes as f64,

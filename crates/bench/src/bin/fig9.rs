@@ -50,14 +50,26 @@ fn modelled_db_sweep() {
         let cpu = cpu_pir_batch(&cpu_profile, &workload);
         let pim = impir_batch(&host_profile, &workload, 1);
         let label = db_size_label(db_bytes);
-        cpu_qps.push(DataPoint::new(label.clone(), db_bytes as f64, cpu.throughput_qps()));
-        pim_qps.push(DataPoint::new(label.clone(), db_bytes as f64, pim.throughput_qps()));
+        cpu_qps.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            cpu.throughput_qps(),
+        ));
+        pim_qps.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            pim.throughput_qps(),
+        ));
         speedup.push(DataPoint::new(
             label.clone(),
             db_bytes as f64,
             cpu.latency_seconds / pim.latency_seconds,
         ));
-        cpu_lat.push(DataPoint::new(label.clone(), db_bytes as f64, cpu.latency_seconds));
+        cpu_lat.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            cpu.latency_seconds,
+        ));
         pim_lat.push(DataPoint::new(label, db_bytes as f64, pim.latency_seconds));
     }
     throughput.push_series(cpu_qps);
@@ -93,9 +105,21 @@ fn modelled_batch_sweep() {
         let cpu = cpu_pir_batch(&cpu_profile, &workload);
         let pim = impir_batch(&host_profile, &workload, 1);
         let label = format!("batch={batch}");
-        cpu_qps.push(DataPoint::new(label.clone(), batch as f64, cpu.throughput_qps()));
-        pim_qps.push(DataPoint::new(label.clone(), batch as f64, pim.throughput_qps()));
-        cpu_lat.push(DataPoint::new(label.clone(), batch as f64, cpu.latency_seconds));
+        cpu_qps.push(DataPoint::new(
+            label.clone(),
+            batch as f64,
+            cpu.throughput_qps(),
+        ));
+        pim_qps.push(DataPoint::new(
+            label.clone(),
+            batch as f64,
+            pim.throughput_qps(),
+        ));
+        cpu_lat.push(DataPoint::new(
+            label.clone(),
+            batch as f64,
+            cpu.latency_seconds,
+        ));
         pim_lat.push(DataPoint::new(label, batch as f64, pim.latency_seconds));
     }
     throughput.push_series(cpu_qps);
@@ -106,16 +130,19 @@ fn modelled_batch_sweep() {
     latency.emit();
 }
 
-/// The same comparison run functionally at laptop scale.
+/// The same comparison run functionally at laptop scale. All three systems
+/// execute through the unified `QueryEngine`; the third series shards the
+/// database across two PIM backends to show the engine's shard fan-out.
 fn measured_db_sweep() {
     let mut report = FigureReport::new(
         "fig9-measured",
-        "Measured (scaled-down) throughput: CPU-PIR vs IM-PIR",
+        "Measured (scaled-down) throughput: CPU-PIR vs IM-PIR (1 and 2 engine shards)",
         "shape check only — both systems run on the same host core; IM-PIR's \
          hybrid time uses the UPMEM cost model for its PIM phases",
     );
     let mut cpu_series = Series::new("CPU-PIR (hybrid)", "QPS");
     let mut pim_series = Series::new("IM-PIR (hybrid)", "QPS");
+    let mut sharded_series = Series::new("IM-PIR, 2 shards (hybrid)", "QPS");
     for db_bytes in paper::measured_db_sizes() {
         let num_records = db_bytes / paper::RECORD_BYTES as u64;
         let db = Arc::new(
@@ -127,28 +154,49 @@ fn measured_db_sweep() {
             clusters: 1,
             eval_threads: 1,
         };
-        let mut pim = ImPirSystem::new(db.clone(), config).expect("IM-PIR builds");
-        let cpu_run = measure_system_batch(&mut cpu, &db, paper::MEASURED_BATCH, 5)
-            .expect("CPU batch runs");
-        let pim_run = measure_system_batch(&mut pim, &db, paper::MEASURED_BATCH, 5)
-            .expect("PIM batch runs");
+        let mut pim = ImPirSystem::new(db.clone(), config.clone()).expect("IM-PIR builds");
+        let mut pim_sharded =
+            ImPirSystem::sharded(db.clone(), config, 2).expect("sharded IM-PIR builds");
+        let cpu_run =
+            measure_system_batch(&mut cpu, &db, paper::MEASURED_BATCH, 5).expect("CPU batch runs");
+        let pim_run =
+            measure_system_batch(&mut pim, &db, paper::MEASURED_BATCH, 5).expect("PIM batch runs");
+        let sharded_run = measure_system_batch(&mut pim_sharded, &db, paper::MEASURED_BATCH, 5)
+            .expect("sharded PIM batch runs");
         let label = db_size_label(db_bytes);
-        cpu_series.push(DataPoint::new(label.clone(), db_bytes as f64, cpu_run.hybrid_qps()));
-        pim_series.push(DataPoint::new(label, db_bytes as f64, pim_run.hybrid_qps()));
+        cpu_series.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            cpu_run.hybrid_qps(),
+        ));
+        pim_series.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            pim_run.hybrid_qps(),
+        ));
+        sharded_series.push(DataPoint::new(
+            label,
+            db_bytes as f64,
+            sharded_run.hybrid_qps(),
+        ));
         println!(
-            "[measured {}] CPU-PIR wall {:.3}s hybrid {:.3}s | IM-PIR wall {:.3}s hybrid {:.3}s ({})",
+            "[measured {}] CPU-PIR wall {:.3}s hybrid {:.3}s | IM-PIR wall {:.3}s hybrid {:.3}s \
+             | IM-PIR×2-shards hybrid {:.3}s ({})",
             db_size_label(db_bytes),
             cpu_run.wall_seconds,
             cpu_run.hybrid_seconds,
             pim_run.wall_seconds,
             pim_run.hybrid_seconds,
+            sharded_run.hybrid_seconds,
             pim.label(),
         );
     }
     report.push_series(cpu_series);
     report.push_series(pim_series);
+    report.push_series(sharded_series);
     report.push_note(format!(
-        "batch = {}, {} simulated DPUs, single host core",
+        "batch = {}, {} simulated DPUs per backend, single host core; all systems \
+         execute through impir_core::engine::QueryEngine",
         paper::MEASURED_BATCH,
         paper::MEASURED_DPUS
     ));

@@ -21,7 +21,12 @@ fn main() {
     for &db_bytes in &paper::FIG10_DB_SIZES {
         let workload = PirWorkload::new(db_bytes, paper::RECORD_BYTES as u64, 1);
 
-        let impir = impir_query(&host_profile, &pim_model, &workload, host_profile.worker_threads);
+        let impir = impir_query(
+            &host_profile,
+            &pim_model,
+            &workload,
+            host_profile.worker_threads,
+        );
         for (total, share) in impir_shares.iter_mut().zip(impir.percentages()) {
             *total += share;
         }
@@ -45,7 +50,13 @@ fn main() {
         "paper: IM-PIR 76.45 / 7.17 / 16.20 / 0.18 / ~0 %; CPU-PIR 16.64 / 83.36 % (Eval / dpXOR)",
     );
 
-    let phase_names = ["Eval", "CPU→DPU copy", "dpXOR", "DPU→CPU copy", "Aggregation"];
+    let phase_names = [
+        "Eval",
+        "CPU→DPU copy",
+        "dpXOR",
+        "DPU→CPU copy",
+        "Aggregation",
+    ];
     let mut impir_series = Series::new("IM-PIR (modelled)", "%");
     for (name, share) in phase_names.iter().zip(impir_shares) {
         impir_series.push(DataPoint::new(*name, 0.0, share));

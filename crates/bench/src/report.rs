@@ -123,6 +123,52 @@ impl FigureReport {
         PathBuf::from("target").join("impir-results")
     }
 
+    /// Renders the report as pretty-printed JSON.
+    ///
+    /// (Hand-rolled rather than via `serde_json`: the offline build vendors
+    /// a no-op serde stand-in, and the report structure is small and fixed.)
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!(
+            "  \"paper_expectation\": {},\n",
+            json_string(&self.paper_expectation)
+        ));
+        out.push_str("  \"series\": [\n");
+        for (s, series) in self.series.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_string(&series.name)));
+            out.push_str(&format!("      \"unit\": {},\n", json_string(&series.unit)));
+            out.push_str("      \"points\": [\n");
+            for (p, point) in series.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"x_label\": {}, \"x_value\": {}, \"value\": {}}}{}\n",
+                    json_string(&point.x_label),
+                    json_number(point.x_value),
+                    json_number(point.value),
+                    if p + 1 < series.points.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if s + 1 < self.series.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"notes\": [");
+        for (n, note) in self.notes.iter().enumerate() {
+            if n > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(note));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// Writes the report as pretty-printed JSON under `dir`, returning the
     /// file path.
     ///
@@ -132,8 +178,7 @@ impl FigureReport {
     pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self).expect("report serialises");
-        fs::write(&path, json)?;
+        fs::write(&path, self.to_json())?;
         Ok(path)
     }
 
@@ -145,6 +190,35 @@ impl FigureReport {
             Ok(path) => println!("[report written to {}]\n", path.display()),
             Err(err) => eprintln!("[warning: could not write report: {err}]"),
         }
+    }
+}
+
+/// Escapes `value` as a JSON string literal.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders `value` as a JSON number (JSON has no NaN/Infinity; those become
+/// `null`).
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -172,11 +246,20 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip_preserves_the_report() {
-        let report = sample_report();
-        let json = serde_json::to_string(&report).unwrap();
-        let restored: FigureReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(restored, report);
+    fn json_contains_every_field_and_escapes_strings() {
+        let mut report = sample_report();
+        report.push_note("quote \" and backslash \\ and\nnewline");
+        let json = report.to_json();
+        assert!(json.contains("\"id\": \"figX\""));
+        assert!(json.contains("\"name\": \"IM-PIR\""));
+        assert!(json.contains("\"x_label\": \"1 GB\""));
+        assert!(json.contains("\"value\": 55"));
+        assert!(json.contains("quote \\\" and backslash \\\\ and\\nnewline"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance"
+        );
     }
 
     #[test]

@@ -1,28 +1,45 @@
-//! Batched query processing (§3.4, Figure 8).
+//! Batched query processing (§3.4, Figure 8), generic over server backends.
 //!
 //! A PIR server usually receives many queries at once. IM-PIR pipelines
-//! them in two stages connected by a task queue:
+//! them in two concurrently running stages connected by bounded queues:
 //!
-//! * **host worker threads** pull query shares, run the subtree-parallel
-//!   DPF evaluation and push `(query, selector bits)` tasks onto the queue;
-//! * a **scheduler** drains the queue, assigns each task to a DPU cluster,
-//!   scatters the selector bits, launches the `dpXOR` kernel on all active
-//!   clusters together, gathers and aggregates the subresults.
+//! * **host worker threads** pull query positions from a bounded input
+//!   window, run the DPF evaluation and push `(position, selector bits)`
+//!   tasks onto a **bounded admission queue**;
+//! * a **scheduler** (the calling thread) consumes tasks *in query order*
+//!   through a small reorder buffer, groups them into waves of the
+//!   backend's [`BatchExecutor::wave_width`] and launches each wave's scan
+//!   on the backend — for IM-PIR one `dpXOR` launch across all active DPU
+//!   clusters; for the CPU and streaming backends a host-side scan — while
+//!   the workers keep evaluating the next queries.
 //!
-//! With a single cluster every query's `dpXOR` runs over all DPUs but
-//! queries serialise on the PIM side; with more clusters queries proceed in
-//! parallel at the cost of fewer DPUs (and therefore more records) per DPU
-//! per query — the trade-off quantified in Figure 11.
+//! Backpressure is real: when the data plane falls behind, the admission
+//! queue fills, the workers block, and the input window stops releasing
+//! positions, so at most `O(queue_depth + worker_threads)` evaluated
+//! selectors exist at any moment no matter how large the batch. Wave
+//! composition is deterministic (waves are consecutive query positions)
+//! regardless of worker scheduling.
+//!
+//! The pipeline is **backend-generic**: any server implementing
+//! [`BatchExecutor`] — the PIM server, the CPU server, the out-of-core
+//! streaming server, and any future backend — is driven by the same
+//! [`process_batch`] implementation, and the sharded
+//! [`crate::engine::QueryEngine`] reuses the same streaming stage-1
+//! machinery for its full-domain evaluation. With a single cluster every
+//! query's `dpXOR` runs over all DPUs but queries serialise on the PIM
+//! side; with more clusters queries proceed in parallel at the cost of
+//! fewer DPUs (and therefore more records) per DPU per query — the
+//! trade-off quantified in Figure 11.
 
 use std::time::Instant;
 
 use crossbeam::channel;
+use impir_dpf::SelectorVector;
 
 use crate::error::PirError;
-use crate::protocol::QueryShare;
+use crate::protocol::{QueryShare, ServerResponse};
 use crate::server::phases::{PhaseBreakdown, PhaseTime};
-use crate::server::pim::ImPirServer;
-use crate::server::BatchOutcome;
+use crate::server::{BatchOutcome, PirServer};
 
 /// Configuration of the batched execution pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,86 +47,248 @@ pub struct BatchConfig {
     /// Number of host worker threads performing DPF evaluations
     /// (defaults to the rayon pool size).
     pub worker_threads: usize,
+    /// Capacity of the admission queue between the evaluation workers and
+    /// the scheduler, and of the input window feeding the workers. A full
+    /// queue blocks the workers and stops the input window (backpressure):
+    /// at most `queue_depth + worker_threads` evaluated-but-unscanned
+    /// selector vectors exist at any moment (queue + reorder buffer +
+    /// in-flight evaluations), independent of the batch size.
+    pub queue_depth: usize,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
+        let worker_threads = rayon::current_num_threads().max(1);
         BatchConfig {
-            worker_threads: rayon::current_num_threads().max(1),
+            worker_threads,
+            queue_depth: 2 * worker_threads,
         }
     }
 }
 
 impl BatchConfig {
-    /// Creates a configuration with an explicit worker-thread count.
+    /// Creates a configuration with an explicit worker-thread count and the
+    /// default admission-queue depth (twice the worker count).
     ///
     /// # Errors
     ///
     /// Returns [`PirError::Config`] if `worker_threads` is zero.
     pub fn with_workers(worker_threads: usize) -> Result<Self, PirError> {
-        if worker_threads == 0 {
+        BatchConfig {
+            worker_threads,
+            queue_depth: 2 * worker_threads.max(1),
+        }
+        .validated()
+    }
+
+    /// Creates a configuration with explicit worker-thread count and
+    /// admission-queue depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if either value is zero.
+    pub fn with_workers_and_queue(
+        worker_threads: usize,
+        queue_depth: usize,
+    ) -> Result<Self, PirError> {
+        BatchConfig {
+            worker_threads,
+            queue_depth,
+        }
+        .validated()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if `worker_threads` or `queue_depth` is
+    /// zero.
+    pub fn validate(&self) -> Result<(), PirError> {
+        if self.worker_threads == 0 {
             return Err(PirError::Config {
                 reason: "at least one worker thread is required".to_string(),
             });
         }
-        Ok(BatchConfig { worker_threads })
+        if self.queue_depth == 0 {
+            return Err(PirError::Config {
+                reason: "the admission queue needs a capacity of at least one task".to_string(),
+            });
+        }
+        Ok(())
     }
+
+    fn validated(self) -> Result<Self, PirError> {
+        self.validate()?;
+        Ok(self)
+    }
+}
+
+/// The data-plane interface the generic batch pipeline (and the sharded
+/// [`crate::engine::QueryEngine`]) drives.
+///
+/// A backend separates the two halves of Algorithm 1 that the pipeline
+/// overlaps: turning a query share into selector bits over its own record
+/// space ([`BatchExecutor::evaluate_selector`], stage 1) and scanning the
+/// database under pre-evaluated selectors
+/// ([`BatchExecutor::execute_wave`], stage 2). Implementations exist for
+/// the PIM server ([`crate::server::pim::ImPirServer`], wave width = its
+/// cluster count), the CPU server ([`crate::server::cpu::CpuPirServer`])
+/// and the out-of-core server
+/// ([`crate::server::streaming::StreamingImPirServer`]).
+pub trait BatchExecutor: PirServer {
+    /// Evaluates one query share into selector bits covering this server's
+    /// record space (Figure 8 step ➊/➋).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::QueryDomainMismatch`] if the key does not cover
+    /// this server's database and propagates DPF evaluation failures.
+    fn evaluate_selector(&self, share: &QueryShare) -> Result<SelectorVector, PirError>;
+
+    /// A self-contained evaluator performing the same work as
+    /// [`BatchExecutor::evaluate_selector`] without borrowing the server.
+    ///
+    /// The pipeline's worker threads evaluate through this handle while the
+    /// scheduler thread holds the server mutably for wave execution — that
+    /// is what lets the two stages overlap. Implementations capture cheap
+    /// clones (an `Arc` of the database, the evaluation strategy).
+    fn selector_evaluator(&self) -> SelectorEvaluator;
+
+    /// Maximum number of selector scans one [`BatchExecutor::execute_wave`]
+    /// call can run concurrently (1 unless the backend has query-level
+    /// parallelism, e.g. DPU clusters).
+    fn wave_width(&self) -> usize {
+        1
+    }
+
+    /// Scans the database under each pre-evaluated selector (Figure 8
+    /// steps ➌–➏), returning one XOR payload per selector, in order, plus
+    /// the phase times accumulated over the wave.
+    ///
+    /// Every selector must cover exactly this server's record space; at
+    /// most [`BatchExecutor::wave_width`] selectors are passed per call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures (PIM transfers, kernel faults, …).
+    fn execute_wave(
+        &mut self,
+        selectors: &[&SelectorVector],
+    ) -> Result<(Vec<Vec<u8>>, PhaseBreakdown), PirError>;
+}
+
+/// A boxed, borrow-free selector evaluation function (see
+/// [`BatchExecutor::selector_evaluator`]).
+pub type SelectorEvaluator =
+    Box<dyn Fn(&QueryShare) -> Result<SelectorVector, PirError> + Send + Sync>;
+
+/// The standard [`SelectorEvaluator`] for a backend holding a full replica
+/// of `database`: checks the key's domain against the database geometry,
+/// then evaluates `strategy` over every record. All three bundled backends
+/// build their evaluator through this single definition so domain
+/// validation cannot drift between them.
+pub fn database_selector_evaluator(
+    database: std::sync::Arc<crate::database::Database>,
+    strategy: impir_dpf::EvalStrategy,
+) -> SelectorEvaluator {
+    Box::new(move |share| {
+        let expected = database.domain_bits();
+        if share.key.domain_bits() != expected {
+            return Err(PirError::QueryDomainMismatch {
+                key_domain_bits: share.key.domain_bits(),
+                database_domain_bits: expected,
+            });
+        }
+        Ok(strategy.eval_range(&share.key, 0, database.num_records())?)
+    })
 }
 
 /// A task produced by the evaluation stage: the query's position in the
-/// batch, its evaluated selector bits and the wall time the evaluation took.
-struct EvaluatedQuery {
+/// batch, its evaluated selector bits and the wall time the evaluation
+/// took.
+struct EvaluatedSelector {
     position: usize,
-    selector: impir_dpf::SelectorVector,
+    selector: SelectorVector,
     eval_wall_seconds: f64,
 }
 
-/// Processes a batch of query shares on an [`ImPirServer`] following the
-/// Figure-8 pipeline.
+/// The streaming stage-1 pipeline: evaluates positions `0..count` on
+/// `worker_threads` threads and hands each result to `consume` **in
+/// position order**, on the calling thread, while the workers keep
+/// evaluating ahead — `consume` typically launches data-plane scans, so
+/// the two stages overlap.
 ///
-/// Responses are returned in the same order as `shares`.
+/// Flow control: the feeder releases position `p` only once fewer than
+/// `queue_depth + workers` positions separate it from the scheduler's
+/// consumption point, and the admission queue holds at most `queue_depth`
+/// evaluated tasks; a reorder buffer on the consumer side restores
+/// position order. When `consume` falls behind, the queue fills, the
+/// workers block and the window stops — at most
+/// `queue_depth + worker_threads` selectors exist at any moment,
+/// regardless of `count` and even if one evaluation straggles.
 ///
-/// # Errors
-///
-/// Propagates the first DPF or PIM error encountered by any stage.
-pub fn process_batch(
-    server: &mut ImPirServer,
-    shares: &[QueryShare],
+/// On failure (evaluation or `consume`) the pipeline stops consuming,
+/// drains the queues so no thread is left blocked, and returns the first
+/// error observed.
+pub(crate) fn stream_selectors<E, C>(
+    count: usize,
     config: &BatchConfig,
-) -> Result<BatchOutcome, PirError> {
-    if shares.is_empty() {
-        return Ok(BatchOutcome {
-            responses: Vec::new(),
-            wall_seconds: 0.0,
-            phase_totals: PhaseBreakdown::zero(),
+    evaluate: E,
+    mut consume: C,
+) -> Result<(), PirError>
+where
+    E: Fn(usize) -> Result<SelectorVector, PirError> + Sync,
+    C: FnMut(usize, SelectorVector, f64) -> Result<(), PirError>,
+{
+    if count == 0 {
+        return Ok(());
+    }
+    let workers = config.worker_threads.max(1).min(count);
+    let (input_sender, input_receiver) = channel::bounded::<usize>(config.queue_depth);
+    let (task_sender, task_receiver) =
+        channel::bounded::<Result<EvaluatedSelector, PirError>>(config.queue_depth);
+    let mut first_error: Option<PirError> = None;
+
+    // Sliding window over consumed positions: the feeder may release
+    // position `p` only once `p < consumed + window`, which strictly bounds
+    // every buffer (queue, reorder, in-flight) even if one evaluation is
+    // pathologically slow. `cancelled` releases the feeder on error.
+    let window = config.queue_depth + workers;
+    let progress: std::sync::Mutex<(usize, bool)> = std::sync::Mutex::new((0, false));
+    let progress_signal = std::sync::Condvar::new();
+
+    std::thread::scope(|scope| {
+        // Input window: releases positions in order, never more than
+        // `window` ahead of the scheduler's consumption.
+        let progress_ref = &progress;
+        let progress_signal_ref = &progress_signal;
+        scope.spawn(move || {
+            for position in 0..count {
+                {
+                    let mut state = progress_ref.lock().expect("progress lock poisoned");
+                    while position >= state.0 + window && !state.1 {
+                        state = progress_signal_ref
+                            .wait(state)
+                            .expect("progress lock poisoned");
+                    }
+                    if state.1 {
+                        break;
+                    }
+                }
+                if input_sender.send(position).is_err() {
+                    break;
+                }
+            }
         });
-    }
-    let started = Instant::now();
-    let clusters = server.cluster_layout().cluster_count();
-    let worker_threads = config.worker_threads.max(1).min(shares.len());
-
-    // Stage 1 (host workers) feeds stage 2 (scheduler) through this queue.
-    let (task_sender, task_receiver) = channel::unbounded::<Result<EvaluatedQuery, PirError>>();
-    let (input_sender, input_receiver) = channel::unbounded::<usize>();
-    for position in 0..shares.len() {
-        input_sender.send(position).expect("queue is open");
-    }
-    drop(input_sender);
-
-    let mut responses: Vec<Option<crate::protocol::ServerResponse>> = vec![None; shares.len()];
-    let mut totals = PhaseBreakdown::zero();
-
-    std::thread::scope(|scope| -> Result<(), PirError> {
-        // Worker threads: DPF evaluation (Figure 8 step ➊/➋).
-        for _ in 0..worker_threads {
+        for _ in 0..workers {
             let task_sender = task_sender.clone();
             let input_receiver = input_receiver.clone();
-            let server_ref: &ImPirServer = server;
+            let evaluate = &evaluate;
             scope.spawn(move || {
                 while let Ok(position) = input_receiver.recv() {
-                    let share = &shares[position];
                     let eval_started = Instant::now();
-                    let result = server_ref.evaluate_share(share).map(|selector| EvaluatedQuery {
+                    let result = evaluate(position).map(|selector| EvaluatedSelector {
                         position,
                         selector,
                         eval_wall_seconds: eval_started.elapsed().as_secs_f64(),
@@ -121,43 +300,116 @@ pub fn process_batch(
             });
         }
         drop(task_sender);
-        Ok(())
-    })?;
+        drop(input_receiver);
 
-    // Stage 2 (scheduler): drain the task queue in waves of up to `clusters`
-    // tasks (Figure 8 step ➌); each wave's dpXOR runs on all active
-    // clusters at once.
-    //
-    // Note: the worker scope above joins before the scheduler starts, so the
-    // measured wall-clock of the two stages does not overlap in this
-    // process; on the modelled hardware the stages pipeline, which is what
-    // the simulated phase times capture.
-    let mut pending: Vec<EvaluatedQuery> = Vec::with_capacity(shares.len());
-    while let Ok(task) = task_receiver.recv() {
-        let task = task?;
-        totals.eval.merge(&PhaseTime::host(task.eval_wall_seconds));
-        pending.push(task);
-    }
-    // Deterministic wave composition regardless of worker scheduling.
-    pending.sort_by_key(|task| task.position);
-
-    for wave in pending.chunks(clusters) {
-        let assignments: Vec<(usize, &QueryShare, &impir_dpf::SelectorVector)> = wave
-            .iter()
-            .enumerate()
-            .map(|(slot, task)| (slot, &shares[task.position], &task.selector))
-            .collect();
-        let (wave_responses, wave_phases) = server.dpxor_wave(&assignments)?;
-        totals.merge(&wave_phases);
-        for (task, response) in wave.iter().zip(wave_responses) {
-            responses[task.position] = Some(response);
+        // Scheduler side: restore position order through a reorder buffer
+        // and feed `consume` while the workers evaluate ahead. Keep
+        // draining after an error so no worker deadlocks on a full queue.
+        let mut reorder: std::collections::BTreeMap<usize, EvaluatedSelector> =
+            std::collections::BTreeMap::new();
+        let mut next_position = 0usize;
+        let cancel = |first_error: &mut Option<PirError>, error: PirError| {
+            if first_error.is_none() {
+                *first_error = Some(error);
+            }
+            progress.lock().expect("progress lock poisoned").1 = true;
+            progress_signal.notify_all();
+        };
+        while let Ok(task) = task_receiver.recv() {
+            match task {
+                Ok(task) if first_error.is_none() => {
+                    reorder.insert(task.position, task);
+                    while let Some(ready) = reorder.remove(&next_position) {
+                        if let Err(error) =
+                            consume(ready.position, ready.selector, ready.eval_wall_seconds)
+                        {
+                            cancel(&mut first_error, error);
+                            reorder.clear();
+                            break;
+                        }
+                        next_position += 1;
+                        progress.lock().expect("progress lock poisoned").0 = next_position;
+                        progress_signal.notify_all();
+                    }
+                }
+                Ok(_) => {}
+                Err(error) => {
+                    cancel(&mut first_error, error);
+                    reorder.clear();
+                }
+            }
         }
-    }
+        debug_assert!(first_error.is_some() || next_position == count);
+    });
 
-    let responses: Vec<crate::protocol::ServerResponse> = responses
-        .into_iter()
-        .map(|response| response.expect("every query was answered"))
-        .collect();
+    match first_error {
+        Some(error) => Err(error),
+        None => Ok(()),
+    }
+}
+
+/// Processes a batch of query shares on any [`BatchExecutor`] following the
+/// Figure-8 pipeline: worker threads evaluate ahead (through the backend's
+/// borrow-free [`SelectorEvaluator`]) while the calling thread launches
+/// each completed wave's scan on the backend.
+///
+/// Responses are returned in the same order as `shares`.
+///
+/// # Errors
+///
+/// Returns [`PirError::Config`] for an invalid `config` and propagates the
+/// first DPF or backend error encountered by any stage.
+pub fn process_batch<S: BatchExecutor>(
+    server: &mut S,
+    shares: &[QueryShare],
+    config: &BatchConfig,
+) -> Result<BatchOutcome, PirError> {
+    config.validate()?;
+    if shares.is_empty() {
+        return Ok(BatchOutcome {
+            responses: Vec::new(),
+            wall_seconds: 0.0,
+            phase_totals: PhaseBreakdown::zero(),
+        });
+    }
+    let started = Instant::now();
+    let width = server.wave_width().max(1);
+    let evaluator = server.selector_evaluator();
+
+    let mut totals = PhaseBreakdown::zero();
+    let mut responses: Vec<ServerResponse> = Vec::with_capacity(shares.len());
+    let mut wave: Vec<(usize, SelectorVector)> = Vec::with_capacity(width);
+
+    stream_selectors(
+        shares.len(),
+        config,
+        |position| evaluator(&shares[position]),
+        |position, selector, eval_wall_seconds| {
+            totals.eval.merge(&PhaseTime::host(eval_wall_seconds));
+            wave.push((position, selector));
+            // `consume` runs in position order, so a full wave — or the
+            // batch's tail — is always a run of consecutive positions
+            // (Figure 8 step ➌); on the PIM backend each wave's dpXOR runs
+            // on all active clusters at once.
+            if wave.len() == width || position + 1 == shares.len() {
+                let selectors: Vec<&SelectorVector> =
+                    wave.iter().map(|(_, selector)| selector).collect();
+                let (payloads, wave_phases) = server.execute_wave(&selectors)?;
+                debug_assert_eq!(payloads.len(), wave.len(), "one payload per wave slot");
+                totals.merge(&wave_phases);
+                for ((slot, _), payload) in wave.iter().zip(payloads) {
+                    let share = &shares[*slot];
+                    responses.push(ServerResponse::new(
+                        share.query_id,
+                        share.key.party(),
+                        payload,
+                    ));
+                }
+                wave.clear();
+            }
+            Ok(())
+        },
+    )?;
 
     Ok(BatchOutcome {
         responses,
@@ -171,8 +423,9 @@ mod tests {
     use super::*;
     use crate::client::PirClient;
     use crate::database::Database;
-    use crate::server::pim::ImPirConfig;
-    use crate::server::PirServer;
+    use crate::server::cpu::{CpuPirServer, CpuServerConfig};
+    use crate::server::pim::{ImPirConfig, ImPirServer};
+    use crate::server::streaming::{StreamingConfig, StreamingImPirServer};
     use std::sync::Arc;
 
     fn setup(
@@ -251,8 +504,8 @@ mod tests {
         let (db, mut s1, mut s2, mut client) = setup(200, 8, ImPirConfig::tiny_test(4));
         let indices: Vec<u64> = (0..10).map(|i| i * 19 % 200).collect();
         let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
-        let one_worker = process_batch(&mut s1, &shares_1, &BatchConfig::with_workers(1).unwrap())
-            .unwrap();
+        let one_worker =
+            process_batch(&mut s1, &shares_1, &BatchConfig::with_workers(1).unwrap()).unwrap();
         let many_workers =
             process_batch(&mut s2, &shares_2, &BatchConfig::with_workers(8).unwrap()).unwrap();
         for (i, index) in indices.iter().enumerate() {
@@ -264,8 +517,80 @@ mod tests {
     }
 
     #[test]
-    fn zero_workers_is_rejected() {
-        assert!(BatchConfig::with_workers(0).is_err());
+    fn tight_admission_queue_applies_backpressure_without_changing_results() {
+        let (db, mut s1, mut s2, mut client) =
+            setup(200, 8, ImPirConfig::tiny_test(4).with_clusters(2));
+        let indices: Vec<u64> = (0..24).map(|i| i * 7 % 200).collect();
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        // A single-slot queue forces the workers to hand off one evaluated
+        // query at a time.
+        let tight = BatchConfig::with_workers_and_queue(4, 1).unwrap();
+        let roomy = BatchConfig::with_workers_and_queue(4, 64).unwrap();
+        let outcome_tight = process_batch(&mut s1, &shares_1, &tight).unwrap();
+        let outcome_roomy = process_batch(&mut s2, &shares_2, &roomy).unwrap();
+        for (i, index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&outcome_tight.responses[i], &outcome_roomy.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(*index));
+        }
+    }
+
+    #[test]
+    fn generic_pipeline_drives_cpu_and_streaming_backends() {
+        let db = Arc::new(Database::random(300, 16, 4).unwrap());
+        let mut client = PirClient::new(300, 16, 2).unwrap();
+        let indices = [0u64, 33, 150, 299, 150];
+        let (shares, _) = client.generate_batch(&indices).unwrap();
+        let config = BatchConfig::with_workers(2).unwrap();
+
+        let mut cpu = CpuPirServer::new(db.clone(), CpuServerConfig::baseline()).unwrap();
+        let mut pim = ImPirServer::new(db.clone(), ImPirConfig::tiny_test(4)).unwrap();
+        let streaming_config = StreamingConfig::new(ImPirConfig::tiny_test(4), 512).unwrap();
+        let mut streaming = StreamingImPirServer::new(db.clone(), streaming_config).unwrap();
+
+        let cpu_out = process_batch(&mut cpu, &shares, &config).unwrap();
+        let pim_out = process_batch(&mut pim, &shares, &config).unwrap();
+        let streaming_out = process_batch(&mut streaming, &shares, &config).unwrap();
+        for i in 0..indices.len() {
+            assert_eq!(cpu_out.responses[i].payload, pim_out.responses[i].payload);
+            assert_eq!(
+                cpu_out.responses[i].payload,
+                streaming_out.responses[i].payload
+            );
+        }
+    }
+
+    #[test]
+    fn domain_mismatch_errors_do_not_wedge_the_pipeline() {
+        let (_, mut s1, _, _) = setup(64, 8, ImPirConfig::tiny_test(2));
+        let mut wrong_client = PirClient::new(1 << 20, 8, 0).unwrap();
+        let indices: Vec<u64> = (0..16).collect();
+        let (shares, _) = wrong_client.generate_batch(&indices).unwrap();
+        // Every evaluation fails; the pipeline must drain and report the
+        // error instead of deadlocking on the admission queue.
+        let config = BatchConfig::with_workers_and_queue(4, 1).unwrap();
+        assert!(matches!(
+            process_batch(&mut s1, &shares, &config),
+            Err(PirError::QueryDomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_workers_and_zero_queue_are_rejected() {
+        assert!(matches!(
+            BatchConfig::with_workers(0),
+            Err(PirError::Config { .. })
+        ));
         assert!(BatchConfig::with_workers(3).is_ok());
+        assert!(matches!(
+            BatchConfig::with_workers_and_queue(2, 0),
+            Err(PirError::Config { .. })
+        ));
+        let invalid = BatchConfig {
+            worker_threads: 0,
+            queue_depth: 4,
+        };
+        assert!(invalid.validate().is_err());
     }
 }

@@ -51,7 +51,7 @@ impl PirClient {
                 record_bytes: record_size,
             });
         }
-        let domain_bits = (64 - (num_records - 1).leading_zeros()).max(1);
+        let domain_bits = crate::database::domain_bits_for_records(num_records);
         Ok(PirClient {
             num_records,
             record_size,
@@ -159,8 +159,7 @@ mod tests {
         let (share_1, share_2) = client.generate_query(321).unwrap();
         // XOR of both shares' evaluations is the one-hot selector at 321.
         for x in [0u64, 100, 320, 321, 322, 499] {
-            let bit =
-                eval_point(&share_1.key, x).unwrap() ^ eval_point(&share_2.key, x).unwrap();
+            let bit = eval_point(&share_1.key, x).unwrap() ^ eval_point(&share_2.key, x).unwrap();
             assert_eq!(bit, x == 321);
         }
     }
@@ -196,7 +195,10 @@ mod tests {
         let r2 = ServerResponse::new(0, PartyId::Server2, vec![2u8; 4]);
         assert!(matches!(
             client.reconstruct(&r1, &r2),
-            Err(PirError::RecordSizeMismatch { expected: 8, actual: 4 })
+            Err(PirError::RecordSizeMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
     }
 

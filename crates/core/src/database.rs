@@ -128,8 +128,7 @@ impl Database {
     /// (`⌈log2(num_records)⌉`, at least 1).
     #[must_use]
     pub fn domain_bits(&self) -> u32 {
-        let bits = 64 - (self.num_records - 1).leading_zeros();
-        bits.max(1)
+        domain_bits_for_records(self.num_records)
     }
 
     /// The record at `index`.
@@ -184,6 +183,39 @@ impl Database {
         &self.data[begin..end]
     }
 
+    /// A new database holding only records `[start, start + count)` — the
+    /// materialised replica one shard of a
+    /// [`crate::shard::ShardedDatabase`] hands to its backend.
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::InvalidDatabaseGeometry`] if `count` is zero;
+    /// * [`PirError::IndexOutOfRange`] if the range extends past the end of
+    ///   the database.
+    pub fn subrange(&self, start: u64, count: u64) -> Result<Database, PirError> {
+        if count == 0 {
+            return Err(PirError::InvalidDatabaseGeometry {
+                num_records: 0,
+                record_bytes: self.record_size,
+            });
+        }
+        let end = start.checked_add(count).ok_or(PirError::IndexOutOfRange {
+            index: u64::MAX,
+            num_records: self.num_records,
+        })?;
+        if end > self.num_records {
+            return Err(PirError::IndexOutOfRange {
+                index: end - 1,
+                num_records: self.num_records,
+            });
+        }
+        Ok(Database {
+            record_size: self.record_size,
+            num_records: count,
+            data: self.record_chunk(start, count).to_vec(),
+        })
+    }
+
     /// Overwrites the record at `index` with `bytes`.
     ///
     /// Used by update workflows (§3.3 of the paper: the CPU applies bulk
@@ -234,6 +266,14 @@ impl Database {
     }
 }
 
+/// `⌈log2(num_records)⌉`, at least 1 — the single definition of the DPF
+/// domain for a record count, shared by [`Database::domain_bits`], the
+/// client and the engine so their domain checks can never drift apart.
+pub(crate) fn domain_bits_for_records(num_records: u64) -> u32 {
+    let bits = 64 - (num_records.max(1) - 1).leading_zeros();
+    bits.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,7 +320,10 @@ mod tests {
         let records = vec![vec![1u8; 4], vec![2u8; 5]];
         assert!(matches!(
             Database::from_records(&records),
-            Err(PirError::RecordSizeMismatch { expected: 4, actual: 5 })
+            Err(PirError::RecordSizeMismatch {
+                expected: 4,
+                actual: 5
+            })
         ));
     }
 

@@ -30,7 +30,7 @@ pub fn xor_select_into(
     accumulator: &mut [u8],
 ) {
     check_shapes(records, record_size, selector, accumulator);
-    if record_size % 8 == 0 {
+    if record_size.is_multiple_of(8) {
         xor_select_wide(records, record_size, selector, accumulator);
     } else {
         xor_select_scalar(records, record_size, selector, accumulator);
@@ -78,7 +78,7 @@ pub fn xor_select_wide(
 ) {
     check_shapes(records, record_size, selector, accumulator);
     assert!(
-        record_size % 8 == 0,
+        record_size.is_multiple_of(8),
         "wide path requires record sizes that are multiples of 8 bytes"
     );
     let words_per_record = record_size / 8;

@@ -1,0 +1,693 @@
+//! The unified sharded query engine — one execution layer for every
+//! deployment.
+//!
+//! [`QueryEngine`] owns a set of record-range shards (see
+//! [`crate::shard`]), each backed by its own [`BatchExecutor`] instance
+//! (PIM, CPU, streaming, or any future backend), and drives the paper's
+//! §3.4 batch pipeline across them:
+//!
+//! 1. **evaluation stage** — worker threads expand each query's DPF key
+//!    over the *full* record domain, feeding a bounded admission queue
+//!    (backpressure, see [`crate::batch`]);
+//! 2. **shard fan-out** — every shard receives the slice of each selector
+//!    covering its record range and scans it in waves of its backend's
+//!    [`BatchExecutor::wave_width`], all shards in parallel on their own
+//!    threads;
+//! 3. **merge** — because the PIR answer is a XOR over selected records,
+//!    the engine XORs the per-shard payloads into the final response;
+//!    shard [`PhaseBreakdown`]s combine as a critical path (the shards ran
+//!    concurrently on disjoint hardware), then add to the evaluation
+//!    phase.
+//!
+//! Every deployment in the workspace executes through this layer:
+//! [`crate::scheme::TwoServerPir`] wraps two engines,
+//! [`crate::multi_server::NServerNaivePir`] scans its linear shares through
+//! one, and the benchmark harness drives `impir_baselines`' systems which
+//! wrap engines themselves. Plugging in a new backend means implementing
+//! [`BatchExecutor`] (three methods) — the engine supplies sharding,
+//! pipelining, backpressure and accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use impir_core::database::Database;
+//! use impir_core::engine::{EngineConfig, QueryEngine};
+//! use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
+//! use impir_core::shard::ShardedDatabase;
+//! use impir_core::PirClient;
+//!
+//! let db = Arc::new(Database::random(300, 16, 1)?);
+//! let sharded = ShardedDatabase::uniform(db.clone(), 3)?;
+//! let mut engine = QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+//!     CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+//! })?;
+//! // Single-server subresults XOR-combine across shards, so two such
+//! // engines (one per non-colluding server) reconstruct records exactly.
+//! let mut client = PirClient::new(300, 16, 0)?;
+//! let (share, _) = client.generate_query(123)?;
+//! let (response, _) = engine.execute_query(&share)?;
+//! assert_eq!(response.payload.len(), 16);
+//! # Ok::<(), impir_core::PirError>(())
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use impir_dpf::{EvalStrategy, SelectorVector};
+
+use crate::batch::{BatchConfig, BatchExecutor, SelectorEvaluator};
+use crate::dpxor;
+use crate::error::PirError;
+use crate::protocol::{QueryShare, ServerResponse};
+use crate::server::phases::{PhaseBreakdown, PhaseTime};
+use crate::server::BatchOutcome;
+use crate::shard::{ShardPlan, ShardedDatabase};
+
+/// Configuration of a [`QueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// The batch pipeline parameters (worker threads, admission-queue
+    /// depth).
+    pub pipeline: BatchConfig,
+    /// Strategy for the engine's full-domain DPF evaluations (stage 1) in
+    /// **sharded** engines. The engine evaluates once over the whole domain
+    /// and slices per shard, so shard backends never re-evaluate keys.
+    /// (A single-shard engine built with [`QueryEngine::single`] evaluates
+    /// through its backend's own [`BatchExecutor::selector_evaluator`]
+    /// instead, honoring the backend's configured strategy.)
+    pub eval_strategy: EvalStrategy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pipeline: BatchConfig::default(),
+            eval_strategy: EvalStrategy::SubtreeParallel {
+                threads: rayon::current_num_threads().max(1),
+            },
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Creates a configuration from explicit pipeline parameters and an
+    /// evaluation strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the pipeline configuration is
+    /// invalid.
+    pub fn new(pipeline: BatchConfig, eval_strategy: EvalStrategy) -> Result<Self, PirError> {
+        pipeline.validate()?;
+        Ok(EngineConfig {
+            pipeline,
+            eval_strategy,
+        })
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the pipeline configuration is
+    /// invalid.
+    pub fn validate(&self) -> Result<(), PirError> {
+        self.pipeline.validate()
+    }
+}
+
+/// What one shard's scan thread produces: the per-query XOR payloads plus
+/// the shard's phase accounting.
+type ShardScanResult = Result<(Vec<Vec<u8>>, PhaseBreakdown), PirError>;
+
+/// One shard: a backend plus the record range it answers for.
+#[derive(Debug)]
+struct EngineShard<S> {
+    backend: S,
+    start: u64,
+    records: u64,
+}
+
+/// Where the engine's stage-1 selector evaluation comes from.
+#[derive(Debug, Clone, Copy)]
+enum EvalSource {
+    /// Evaluate through shard 0's backend (single-shard engines wrapping a
+    /// pre-built backend: the backend's own strategy and domain checks
+    /// apply).
+    Backend,
+    /// Evaluate with the engine's own strategy over the full domain
+    /// (sharded engines, where no single backend covers the domain).
+    Strategy(EvalStrategy),
+}
+
+/// The unified sharded execution layer (see the module docs).
+#[derive(Debug)]
+pub struct QueryEngine<S> {
+    shards: Vec<EngineShard<S>>,
+    plan: ShardPlan,
+    num_records: u64,
+    record_size: usize,
+    domain_bits: u32,
+    config: EngineConfig,
+    eval_source: EvalSource,
+}
+
+impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
+    /// Wraps one pre-built backend as a single-shard engine covering its
+    /// whole database. Stage-1 evaluation goes through the backend's own
+    /// [`BatchExecutor::selector_evaluator`] (`config.eval_strategy` is not
+    /// used — the backend's configured strategy governs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if `config` is invalid.
+    pub fn single(backend: S, config: EngineConfig) -> Result<Self, PirError> {
+        config.validate()?;
+        let num_records = backend.num_records();
+        let record_size = backend.record_size();
+        let plan = ShardPlan::single(num_records)?;
+        Ok(QueryEngine {
+            shards: vec![EngineShard {
+                backend,
+                start: 0,
+                records: num_records,
+            }],
+            plan,
+            num_records,
+            record_size,
+            domain_bits: domain_bits_for(num_records),
+            config,
+            eval_source: EvalSource::Backend,
+        })
+    }
+
+    /// Builds an engine over a sharded database, constructing one backend
+    /// per shard through `factory` (which receives the shard's materialised
+    /// replica and its index).
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::Config`] if `config` is invalid or a constructed
+    ///   backend disagrees with its shard's geometry;
+    /// * any error `factory` returns.
+    pub fn sharded<F>(
+        database: &ShardedDatabase,
+        config: EngineConfig,
+        mut factory: F,
+    ) -> Result<Self, PirError>
+    where
+        F: FnMut(std::sync::Arc<crate::database::Database>, usize) -> Result<S, PirError>,
+    {
+        config.validate()?;
+        let plan = database.plan().clone();
+        let mut shards = Vec::with_capacity(plan.shard_count());
+        for shard in 0..plan.shard_count() {
+            let range = plan.range(shard).expect("shard index within plan");
+            let replica = database.shard_database(shard)?;
+            let backend = factory(replica, shard)?;
+            let records = range.end - range.start;
+            if backend.num_records() != records
+                || backend.record_size() != database.database().record_size()
+            {
+                return Err(PirError::Config {
+                    reason: format!(
+                        "backend for shard {shard} holds {} records of {} bytes but the \
+                         shard spans {records} records of {} bytes",
+                        backend.num_records(),
+                        backend.record_size(),
+                        database.database().record_size()
+                    ),
+                });
+            }
+            shards.push(EngineShard {
+                backend,
+                start: range.start,
+                records,
+            });
+        }
+        let num_records = database.database().num_records();
+        Ok(QueryEngine {
+            shards,
+            plan,
+            num_records,
+            record_size: database.database().record_size(),
+            domain_bits: domain_bits_for(num_records),
+            config,
+            eval_source: EvalSource::Strategy(config.eval_strategy),
+        })
+    }
+
+    /// Number of records across all shards.
+    #[must_use]
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    /// Record size in bytes.
+    #[must_use]
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard plan in use.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The engine configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The backend serving shard `shard`, if it exists.
+    #[must_use]
+    pub fn backend(&self, shard: usize) -> Option<&S> {
+        self.shards.get(shard).map(|s| &s.backend)
+    }
+
+    /// Mutable access to the backend serving shard `shard`, if it exists.
+    pub fn backend_mut(&mut self, shard: usize) -> Option<&mut S> {
+        self.shards.get_mut(shard).map(|s| &mut s.backend)
+    }
+
+    fn check_domain(&self, share: &QueryShare) -> Result<(), PirError> {
+        if share.key.domain_bits() != self.domain_bits {
+            return Err(PirError::QueryDomainMismatch {
+                key_domain_bits: share.key.domain_bits(),
+                database_domain_bits: self.domain_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the borrow-free stage-1 evaluator for this engine: the
+    /// backend's own evaluator for single-shard engines, the engine's
+    /// configured strategy over the full domain for sharded ones.
+    fn make_evaluator(&self) -> SelectorEvaluator {
+        match self.eval_source {
+            EvalSource::Backend => self.shards[0].backend.selector_evaluator(),
+            EvalSource::Strategy(strategy) => {
+                let num_records = self.num_records;
+                Box::new(move |share| {
+                    strategy
+                        .eval_range(&share.key, 0, num_records)
+                        .map_err(PirError::from)
+                })
+            }
+        }
+    }
+
+    /// Executes one query end to end through the engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`QueryEngine::execute_batch`].
+    pub fn execute_query(
+        &mut self,
+        share: &QueryShare,
+    ) -> Result<(ServerResponse, PhaseBreakdown), PirError> {
+        let outcome = self.execute_batch(std::slice::from_ref(share))?;
+        let response = outcome
+            .responses
+            .into_iter()
+            .next()
+            .expect("one response per share");
+        Ok((response, outcome.phase_totals))
+    }
+
+    /// Executes a batch of query shares through the full pipeline:
+    /// worker-stage evaluation with backpressure, per-shard wave fan-out,
+    /// XOR merge. Responses are returned in the same order as `shares`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::QueryDomainMismatch`] for keys not covering the
+    /// engine's domain and propagates DPF/backend failures.
+    pub fn execute_batch(&mut self, shares: &[QueryShare]) -> Result<BatchOutcome, PirError> {
+        if shares.is_empty() {
+            return Ok(BatchOutcome {
+                responses: Vec::new(),
+                wall_seconds: 0.0,
+                phase_totals: PhaseBreakdown::zero(),
+            });
+        }
+        let started = Instant::now();
+        for share in shares {
+            self.check_domain(share)?;
+        }
+
+        // The borrow-free evaluator lets the worker stage run while the
+        // shard threads hold the backends mutably.
+        let evaluator = self.make_evaluator();
+        let pipeline = self.config.pipeline;
+        let count = shares.len();
+
+        // Stages 1+2, overlapped: worker threads evaluate full-domain
+        // selectors behind the bounded admission queue; as each selector
+        // completes (in query order) it is sliced per shard and pushed into
+        // that shard's bounded channel, where the shard thread scans it in
+        // waves of its backend's width. When a shard falls behind, its
+        // channel fills and the evaluation stage blocks — backpressure end
+        // to end.
+        let mut eval_phase = PhaseTime::zero();
+        let (pipeline_result, shard_results): (Result<(), PirError>, Vec<ShardScanResult>) =
+            std::thread::scope(|scope| {
+                let mut feeds = Vec::with_capacity(self.shards.len());
+                let mut handles = Vec::with_capacity(self.shards.len());
+                for shard in self.shards.iter_mut() {
+                    let (sender, receiver) =
+                        crossbeam::channel::bounded::<Arc<SelectorVector>>(pipeline.queue_depth);
+                    feeds.push(sender);
+                    handles.push(scope.spawn(move || shard_consume(shard, &receiver, count)));
+                }
+                let pipeline_result = crate::batch::stream_selectors(
+                    count,
+                    &pipeline,
+                    |position| evaluator(&shares[position]),
+                    |_, selector, eval_wall_seconds| {
+                        eval_phase.merge(&PhaseTime::host(eval_wall_seconds));
+                        // Each shard slices its own record range on its own
+                        // thread; the scheduler only hands out the shared
+                        // full-domain selector. A dropped receiver means
+                        // that shard errored; its result carries the real
+                        // failure.
+                        let selector = Arc::new(selector);
+                        for sender in &feeds {
+                            let _ = sender.send(Arc::clone(&selector));
+                        }
+                        Ok(())
+                    },
+                );
+                drop(feeds);
+                let shard_results = handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("shard worker panicked"))
+                    .collect();
+                (pipeline_result, shard_results)
+            });
+        pipeline_result?;
+
+        // Stage 3: merge — XOR the per-shard payloads into each response.
+        // The shards ran concurrently on disjoint (simulated) hardware, so
+        // their phase breakdowns combine as a critical path, not a sum.
+        let mut totals = PhaseBreakdown::zero();
+        totals.eval.merge(&eval_phase);
+        let merge_started = Instant::now();
+        let mut payloads: Vec<Vec<u8>> = vec![vec![0u8; self.record_size]; shares.len()];
+        let mut shard_critical_path = PhaseBreakdown::zero();
+        for result in shard_results {
+            let (shard_payloads, shard_phases) = result?;
+            shard_critical_path.merge_parallel(&shard_phases);
+            debug_assert_eq!(shard_payloads.len(), shares.len());
+            for (merged, payload) in payloads.iter_mut().zip(&shard_payloads) {
+                dpxor::xor_in_place(merged, payload);
+            }
+        }
+        totals.merge(&shard_critical_path);
+        if self.shards.len() > 1 {
+            // The cross-shard XOR is extra aggregation work a single-shard
+            // deployment does not perform; account it explicitly.
+            totals
+                .aggregate
+                .merge(&PhaseTime::host(merge_started.elapsed().as_secs_f64()));
+        }
+
+        let responses: Vec<ServerResponse> = shares
+            .iter()
+            .zip(payloads)
+            .map(|(share, payload)| ServerResponse::new(share.query_id, share.key.party(), payload))
+            .collect();
+
+        Ok(BatchOutcome {
+            responses,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            phase_totals: totals,
+        })
+    }
+
+    /// Scans a pre-evaluated full-domain selector through every shard and
+    /// XOR-merges the sub-answers — the execution path for schemes that
+    /// build their own linear selector shares instead of DPF keys
+    /// ([`crate::multi_server::NServerNaivePir`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the selector does not cover the
+    /// engine's record space and propagates backend failures.
+    pub fn scan_selector(
+        &mut self,
+        selector: &SelectorVector,
+    ) -> Result<(Vec<u8>, PhaseBreakdown), PirError> {
+        if selector.len() as u64 != self.num_records {
+            return Err(PirError::Config {
+                reason: format!(
+                    "selector covers {} records but the engine serves {}",
+                    selector.len(),
+                    self.num_records
+                ),
+            });
+        }
+        let mut payload = vec![0u8; self.record_size];
+        let mut phases = PhaseBreakdown::zero();
+        let shard_results: Vec<ShardScanResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| {
+                    let selectors = std::slice::from_ref(selector);
+                    scope.spawn(move || shard_scan(shard, selectors))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for result in shard_results {
+            let (shard_payloads, shard_phases) = result?;
+            // The shards scanned concurrently on disjoint hardware.
+            phases.merge_parallel(&shard_phases);
+            dpxor::xor_in_place(&mut payload, &shard_payloads[0]);
+        }
+        Ok((payload, phases))
+    }
+}
+
+/// The receiving half of the pipelined shard fan-out: consumes the shared
+/// full-domain selectors from this shard's bounded channel (in query
+/// order), slices out its own record range on this thread — so slicing
+/// parallelises across shards instead of serialising on the scheduler —
+/// and scans in waves of the backend's width while the evaluation stage
+/// keeps producing. Expects exactly `expected` selectors; an early channel
+/// close (upstream error) returns the payloads scanned so far — the
+/// caller's pipeline error takes precedence.
+fn shard_consume<S: BatchExecutor>(
+    shard: &mut EngineShard<S>,
+    receiver: &crossbeam::channel::Receiver<Arc<SelectorVector>>,
+    expected: usize,
+) -> ShardScanResult {
+    let width = shard.backend.wave_width().max(1);
+    let start = shard.start as usize;
+    let records = shard.records as usize;
+    let mut payloads = Vec::with_capacity(expected);
+    let mut phases = PhaseBreakdown::zero();
+    let mut wave: Vec<SelectorVector> = Vec::with_capacity(width);
+    while let Ok(selector) = receiver.recv() {
+        wave.push(selector.slice(start, records));
+        if wave.len() == width || payloads.len() + wave.len() == expected {
+            let refs: Vec<&SelectorVector> = wave.iter().collect();
+            let (wave_payloads, wave_phases) = shard.backend.execute_wave(&refs)?;
+            debug_assert_eq!(wave_payloads.len(), wave.len());
+            phases.merge(&wave_phases);
+            payloads.extend(wave_payloads);
+            wave.clear();
+        }
+    }
+    Ok((payloads, phases))
+}
+
+/// Scans every selector's slice for one shard, in waves of the backend's
+/// width.
+fn shard_scan<S: BatchExecutor>(
+    shard: &mut EngineShard<S>,
+    selectors: &[SelectorVector],
+) -> ShardScanResult {
+    let start = shard.start as usize;
+    let count = shard.records as usize;
+    let sliced: Vec<SelectorVector> = selectors
+        .iter()
+        .map(|selector| selector.slice(start, count))
+        .collect();
+    let width = shard.backend.wave_width().max(1);
+    let mut payloads = Vec::with_capacity(sliced.len());
+    let mut phases = PhaseBreakdown::zero();
+    for wave in sliced.chunks(width) {
+        let refs: Vec<&SelectorVector> = wave.iter().collect();
+        let (wave_payloads, wave_phases) = shard.backend.execute_wave(&refs)?;
+        debug_assert_eq!(wave_payloads.len(), wave.len());
+        phases.merge(&wave_phases);
+        payloads.extend(wave_payloads);
+    }
+    Ok((payloads, phases))
+}
+
+/// `⌈log2(num_records)⌉`, at least 1 — the DPF domain the engine expects
+/// query keys to cover (delegates to the database layer's definition).
+fn domain_bits_for(num_records: u64) -> u32 {
+    debug_assert!(num_records > 0);
+    crate::database::domain_bits_for_records(num_records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PirClient;
+    use crate::database::Database;
+    use crate::server::cpu::{CpuPirServer, CpuServerConfig};
+    use crate::server::pim::{ImPirConfig, ImPirServer};
+    use std::sync::Arc;
+
+    fn cpu_engine(db: &Arc<Database>, shards: usize) -> QueryEngine<CpuPirServer> {
+        let sharded = ShardedDatabase::uniform(db.clone(), shards).unwrap();
+        QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+            CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_engines_reconstruct_records_like_unsharded_ones() {
+        let db = Arc::new(Database::random(257, 16, 3).unwrap());
+        let mut client = PirClient::new(257, 16, 1).unwrap();
+        let indices = [0u64, 64, 128, 200, 256];
+        for shards in [1usize, 2, 5] {
+            let mut engine_1 = cpu_engine(&db, shards);
+            let mut engine_2 = cpu_engine(&db, shards);
+            for &index in &indices {
+                let (q1, q2) = client.generate_query(index).unwrap();
+                let (r1, _) = engine_1.execute_query(&q1).unwrap();
+                let (r2, _) = engine_2.execute_query(&q2).unwrap();
+                assert_eq!(
+                    client.reconstruct(&r1, &r2).unwrap(),
+                    db.record(index),
+                    "shards={shards} index={index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_server_payloads() {
+        let db = Arc::new(Database::random(200, 8, 9).unwrap());
+        let mut client = PirClient::new(200, 8, 5).unwrap();
+        let (share, _) = client.generate_query(77).unwrap();
+        let (reference, _) = cpu_engine(&db, 1).execute_query(&share).unwrap();
+        for shards in [2usize, 3, 7] {
+            let (payload, _) = cpu_engine(&db, shards).execute_query(&share).unwrap();
+            assert_eq!(payload.payload, reference.payload, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn batches_not_divisible_by_shard_count_are_answered_in_order() {
+        let db = Arc::new(Database::random(150, 16, 6).unwrap());
+        let mut client = PirClient::new(150, 16, 2).unwrap();
+        // 7 queries over 3 shards: neither a multiple of the shard count
+        // nor of any backend wave width.
+        let indices = [0u64, 149, 75, 3, 75, 148, 42];
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let mut engine_1 = cpu_engine(&db, 3);
+        let mut engine_2 = cpu_engine(&db, 3);
+        let outcome_1 = engine_1.execute_batch(&shares_1).unwrap();
+        let outcome_2 = engine_2.execute_batch(&shares_2).unwrap();
+        assert_eq!(outcome_1.responses.len(), indices.len());
+        for (i, &index) in indices.iter().enumerate() {
+            assert_eq!(outcome_1.responses[i].query_id, shares_1[i].query_id);
+            let record = client
+                .reconstruct(&outcome_1.responses[i], &outcome_2.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(index), "position {i}");
+        }
+    }
+
+    #[test]
+    fn pim_backends_shard_through_the_engine() {
+        let db = Arc::new(Database::random(120, 8, 11).unwrap());
+        let sharded = ShardedDatabase::uniform(db.clone(), 2).unwrap();
+        let mut engine_1 =
+            QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                ImPirServer::new(shard_db, ImPirConfig::tiny_test(2).with_clusters(2))
+            })
+            .unwrap();
+        let mut engine_2 = cpu_engine(&db, 3);
+        let mut client = PirClient::new(120, 8, 7).unwrap();
+        let indices = [5u64, 60, 119, 60, 0];
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let outcome_1 = engine_1.execute_batch(&shares_1).unwrap();
+        let outcome_2 = engine_2.execute_batch(&shares_2).unwrap();
+        for (i, &index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&outcome_1.responses[i], &outcome_2.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(index));
+        }
+        // The PIM shards accumulated simulated hardware time.
+        assert!(outcome_1.phase_totals.dpxor.simulated_seconds.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_domains_and_selectors() {
+        let db = Arc::new(Database::random(100, 8, 0).unwrap());
+        let mut engine = cpu_engine(&db, 2);
+        let mut wrong_client = PirClient::new(100_000, 8, 0).unwrap();
+        let (share, _) = wrong_client.generate_query(5).unwrap();
+        assert!(matches!(
+            engine.execute_query(&share),
+            Err(PirError::QueryDomainMismatch { .. })
+        ));
+        let short_selector: SelectorVector = (0..50).map(|_| false).collect();
+        assert!(matches!(
+            engine.scan_selector(&short_selector),
+            Err(PirError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_selector_matches_direct_database_scan() {
+        let db = Arc::new(Database::random(90, 8, 2).unwrap());
+        let mut engine = cpu_engine(&db, 4);
+        let selector: SelectorVector = (0..90).map(|i| i % 3 == 0).collect();
+        let (payload, _) = engine.scan_selector(&selector).unwrap();
+        assert_eq!(payload, db.xor_select(&selector));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let db = Arc::new(Database::random(64, 8, 1).unwrap());
+        let mut engine = cpu_engine(&db, 2);
+        let outcome = engine.execute_batch(&[]).unwrap();
+        assert!(outcome.responses.is_empty());
+        assert_eq!(outcome.phase_totals, PhaseBreakdown::zero());
+    }
+
+    #[test]
+    fn factory_geometry_mismatch_is_rejected() {
+        let db = Arc::new(Database::random(64, 8, 1).unwrap());
+        let sharded = ShardedDatabase::uniform(db.clone(), 2).unwrap();
+        let other = Arc::new(Database::random(64, 8, 2).unwrap());
+        let result = QueryEngine::sharded(&sharded, EngineConfig::default(), |_, _| {
+            // Ignores the shard replica and builds over the full database.
+            CpuPirServer::new(other.clone(), CpuServerConfig::baseline())
+        });
+        assert!(matches!(result, Err(PirError::Config { .. })));
+    }
+}

@@ -1,6 +1,8 @@
 //! IM-PIR: in-memory (PIM-accelerated) multi-server private information
 //! retrieval — the core contribution of the reproduced paper.
 //!
+//! # Protocol
+//!
 //! The library implements the full two-server PIR protocol of the paper's
 //! §3 and Algorithm 1:
 //!
@@ -16,17 +18,37 @@
 //! 5. the client XORs the two servers' responses to recover the record
 //!    (step ➐).
 //!
-//! Two interchangeable server backends implement the
-//! [`server::PirServer`] trait:
+//! # Architecture: engine → backend → substrate
 //!
-//! * [`server::pim::ImPirServer`] — the paper's system, running `dpXOR` on
-//!   the simulated UPMEM PIM ([`impir_pim`]);
-//! * [`server::cpu::CpuPirServer`] — a processor-centric server that runs
-//!   the same scan on host threads (the building block of the CPU
-//!   baseline).
+//! Execution is layered so that *distribution policy* (sharding, batching,
+//! scheduling) lives apart from *data-plane mechanism* (how one scan runs):
 //!
-//! Batched query processing with DPU clusters (§3.4, Figure 8) lives in
-//! [`batch`]; an end-to-end two-server deployment helper in [`scheme`].
+//! * **engine** — [`engine::QueryEngine`] owns a [`shard::ShardedDatabase`]
+//!   (contiguous record-range shards under a [`shard::ShardPlan`]) and
+//!   drives the §3.4 batch pipeline: worker threads evaluate DPF keys over
+//!   the full domain behind a bounded admission queue (backpressure), each
+//!   shard scans its slice of every selector in parallel, and the
+//!   XOR-linear merge reassembles responses with per-phase accounting.
+//!   Every deployment in the workspace — [`scheme::TwoServerPir`],
+//!   [`multi_server::NServerNaivePir`], the baselines and the benchmark
+//!   harness — executes through this one layer.
+//! * **backend** — anything implementing [`batch::BatchExecutor`] (selector
+//!   evaluation + wave-wise scans) plus [`server::PirServer`]:
+//!   * [`server::pim::ImPirServer`] — the paper's system, running `dpXOR`
+//!     on the simulated UPMEM PIM with the database preloaded in MRAM; its
+//!     wave width is its DPU cluster count (§3.4, Figure 8);
+//!   * [`server::cpu::CpuPirServer`] — a processor-centric server running
+//!     the same scan on host threads (the CPU baseline's building block);
+//!   * [`server::streaming::StreamingImPirServer`] — the out-of-core §3.3
+//!     variant that re-streams database segments through MRAM.
+//!
+//!   To plug in a new backend, implement `BatchExecutor`'s three methods
+//!   and hand instances to the engine via [`engine::QueryEngine::single`]
+//!   or a per-shard factory in [`engine::QueryEngine::sharded`]; sharding,
+//!   pipelining, backpressure and accounting come from the engine.
+//! * **substrate** — the [`impir_pim`] crate simulates the UPMEM hardware
+//!   (MRAM/WRAM capacities, tasklets, transfer and kernel cost models) that
+//!   the PIM-family backends run on.
 //!
 //! # Example
 //!
@@ -41,6 +63,9 @@
 //! assert_eq!(record, db.record(123));
 //! # Ok::<(), impir_core::PirError>(())
 //! ```
+//!
+//! For a sharded, multi-backend deployment see [`engine`] and the
+//! `engine_throughput` example at the workspace root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,17 +74,22 @@ pub mod batch;
 pub mod client;
 pub mod database;
 pub mod dpxor;
+pub mod engine;
 mod error;
 pub mod multi_server;
 pub mod protocol;
 pub mod scheme;
 pub mod server;
+pub mod shard;
 
+pub use batch::{BatchConfig, BatchExecutor};
 pub use client::PirClient;
 pub use database::Database;
+pub use engine::{EngineConfig, QueryEngine};
 pub use error::PirError;
 pub use protocol::{QueryShare, ServerResponse};
 pub use server::{BatchOutcome, PhaseBreakdown, PirServer};
+pub use shard::{ShardPlan, ShardedDatabase};
 
 /// Record size (in bytes) used throughout the paper's evaluation: each
 /// record is a 32-byte (256-bit) hash, as in Certificate Transparency logs

@@ -9,6 +9,11 @@
 //! performs exactly the same `dpXOR` scan as in the two-server protocol,
 //! and the client XORs all `n` subresults.
 //!
+//! Since the engine refactor the scan itself is no longer re-implemented
+//! here: each server's work runs through [`QueryEngine::scan_selector`], so
+//! n-server deployments share the sharded execution layer (and any backend)
+//! with the two-server scheme.
+//!
 //! (A sub-linear-key n-party construction would require general function
 //! secret sharing rather than the two-party DPF; the paper does not
 //! evaluate one and neither do we — the upload cost reported by
@@ -21,14 +26,21 @@ use impir_dpf::naive::generate_multi_party_shares;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::batch::BatchExecutor;
 use crate::database::Database;
 use crate::dpxor;
+use crate::engine::{EngineConfig, QueryEngine};
 use crate::error::PirError;
+use crate::server::cpu::{CpuPirServer, CpuServerConfig};
+use crate::server::phases::PhaseBreakdown;
+use crate::shard::ShardedDatabase;
 
 /// An n-server PIR deployment based on linear (naive) query shares.
 ///
 /// Privacy holds as long as at least one of the `n` servers does not
-/// collude with the others.
+/// collude with the others. Each server's scan is simulated locally through
+/// one shared [`QueryEngine`] (every replica holds the same data, so one
+/// engine standing in for all `n` servers loses nothing functionally).
 ///
 /// # Example
 ///
@@ -42,28 +54,78 @@ use crate::error::PirError;
 /// # Ok::<(), impir_core::PirError>(())
 /// ```
 #[derive(Debug)]
-pub struct NServerNaivePir {
+pub struct NServerNaivePir<S: BatchExecutor + Send + Sync = CpuPirServer> {
     database: Arc<Database>,
+    engine: QueryEngine<S>,
     servers: usize,
     rng: StdRng,
+    last_phases: Option<PhaseBreakdown>,
 }
 
-impl NServerNaivePir {
-    /// Creates a deployment with `servers ≥ 2` replicas of `database`.
+impl NServerNaivePir<CpuPirServer> {
+    /// Creates a deployment with `servers ≥ 2` CPU-backed replicas of
+    /// `database`.
     ///
     /// # Errors
     ///
     /// Returns [`PirError::Config`] if fewer than two servers are requested.
     pub fn new(database: Arc<Database>, servers: usize, seed: u64) -> Result<Self, PirError> {
+        Self::sharded(database, servers, 1, seed)
+    }
+
+    /// Creates a deployment whose replicas are each split into `shards`
+    /// CPU-backed shards driven by the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if fewer than two servers are requested
+    /// or the shard plan is degenerate.
+    pub fn sharded(
+        database: Arc<Database>,
+        servers: usize,
+        shards: usize,
+        seed: u64,
+    ) -> Result<Self, PirError> {
+        let sharded = ShardedDatabase::uniform(Arc::clone(&database), shards)?;
+        let engine = QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+            CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+        })?;
+        NServerNaivePir::with_engine(database, engine, servers, seed)
+    }
+}
+
+impl<S: BatchExecutor + Send + Sync> NServerNaivePir<S> {
+    /// Creates a deployment scanning through a caller-built engine (any
+    /// backend, any shard plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if fewer than two servers are requested
+    /// or the engine's geometry does not match `database`.
+    pub fn with_engine(
+        database: Arc<Database>,
+        engine: QueryEngine<S>,
+        servers: usize,
+        seed: u64,
+    ) -> Result<Self, PirError> {
         if servers < 2 {
             return Err(PirError::Config {
                 reason: "multi-server PIR needs at least two non-colluding servers".to_string(),
             });
         }
+        if engine.num_records() != database.num_records()
+            || engine.record_size() != database.record_size()
+        {
+            return Err(PirError::Config {
+                reason: "engine and database disagree on the geometry".to_string(),
+            });
+        }
         Ok(NServerNaivePir {
             database,
+            engine,
             servers,
             rng: StdRng::seed_from_u64(seed),
+            last_phases: None,
         })
     }
 
@@ -71,6 +133,19 @@ impl NServerNaivePir {
     #[must_use]
     pub fn servers(&self) -> usize {
         self.servers
+    }
+
+    /// The engine executing the per-server scans.
+    #[must_use]
+    pub fn engine(&self) -> &QueryEngine<S> {
+        &self.engine
+    }
+
+    /// Summed per-phase times across all `n` server scans of the most
+    /// recent [`NServerNaivePir::query`].
+    #[must_use]
+    pub fn last_phases(&self) -> Option<&PhaseBreakdown> {
+        self.last_phases.as_ref()
     }
 
     /// Upload cost of one query in bytes: every server receives an `N`-bit
@@ -83,9 +158,9 @@ impl NServerNaivePir {
 
     /// Privately retrieves the record at `index`.
     ///
-    /// Each server's work is simulated locally: it computes the
-    /// selector-weighted XOR of the whole database under its share, exactly
-    /// the `dpXOR` that the two-server backends offload to PIM.
+    /// Each server's work is simulated locally through the engine: it
+    /// computes the selector-weighted XOR of the whole database under its
+    /// share, exactly the `dpXOR` that the two-server backends run.
     ///
     /// # Errors
     ///
@@ -104,10 +179,13 @@ impl NServerNaivePir {
             &mut self.rng,
         )?;
         let mut record = vec![0u8; self.database.record_size()];
+        let mut phases = PhaseBreakdown::zero();
         for share in &shares {
-            let subresult = self.database.xor_select(share);
+            let (subresult, scan_phases) = self.engine.scan_selector(share)?;
+            phases.merge(&scan_phases);
             dpxor::xor_in_place(&mut record, &subresult);
         }
+        self.last_phases = Some(phases);
         Ok(record)
     }
 }
@@ -115,6 +193,7 @@ impl NServerNaivePir {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::pim::{ImPirConfig, ImPirServer};
     use proptest::prelude::*;
 
     #[test]
@@ -123,8 +202,33 @@ mod tests {
         for servers in [2usize, 3, 5, 8] {
             let mut pir = NServerNaivePir::new(db.clone(), servers, servers as u64).unwrap();
             for index in [0u64, 123, 299] {
-                assert_eq!(pir.query(index).unwrap(), db.record(index), "servers={servers}");
+                assert_eq!(
+                    pir.query(index).unwrap(),
+                    db.record(index),
+                    "servers={servers}"
+                );
             }
+            assert!(pir.last_phases().is_some());
+        }
+    }
+
+    #[test]
+    fn sharded_and_pim_backed_deployments_agree() {
+        let db = Arc::new(Database::random(240, 16, 4).unwrap());
+        let mut flat = NServerNaivePir::new(db.clone(), 3, 9).unwrap();
+        let mut sharded = NServerNaivePir::sharded(db.clone(), 3, 4, 9).unwrap();
+        let sharded_pim = ShardedDatabase::uniform(db.clone(), 2).unwrap();
+        let engine = QueryEngine::sharded(&sharded_pim, EngineConfig::default(), |shard_db, _| {
+            ImPirServer::new(shard_db, ImPirConfig::tiny_test(2))
+        })
+        .unwrap();
+        let mut pim_backed = NServerNaivePir::with_engine(db.clone(), engine, 3, 9).unwrap();
+        assert_eq!(sharded.engine().shard_count(), 4);
+        for index in [0u64, 120, 239] {
+            let expected = db.record(index);
+            assert_eq!(flat.query(index).unwrap(), expected);
+            assert_eq!(sharded.query(index).unwrap(), expected);
+            assert_eq!(pim_backed.query(index).unwrap(), expected);
         }
     }
 
@@ -160,7 +264,10 @@ mod tests {
             seed in any::<u64>(),
         ) {
             let db = Arc::new(Database::random(num_records, 24, seed).unwrap());
-            let mut pir = NServerNaivePir::new(db.clone(), servers, seed ^ 1).unwrap();
+            let shards = 1 + (seed % 2) as usize;
+            prop_assume!(shards as u64 <= num_records);
+            let mut pir =
+                NServerNaivePir::sharded(db.clone(), servers, shards, seed ^ 1).unwrap();
             let index = seed % num_records;
             prop_assert_eq!(pir.query(index).unwrap(), db.record(index).to_vec());
         }

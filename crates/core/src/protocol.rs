@@ -136,7 +136,10 @@ mod tests {
         let r2 = ServerResponse::new(2, PartyId::Server2, vec![0]);
         assert!(matches!(
             combine_responses(&r1, &r2),
-            Err(PirError::ResponseMismatch { first: 1, second: 2 })
+            Err(PirError::ResponseMismatch {
+                first: 1,
+                second: 2
+            })
         ));
     }
 

@@ -3,48 +3,75 @@
 //! [`TwoServerPir`] wires a [`crate::client::PirClient`] to two replicated
 //! servers (which must not collude — the standard multi-server PIR trust
 //! assumption, §2.3) and exposes the protocol as a simple
-//! "query an index, get the record back" API. It exists for examples,
-//! integration tests and the benchmark harness; a real deployment would put
-//! a network between the pieces.
+//! "query an index, get the record back" API. Since the engine refactor
+//! each server side is a [`QueryEngine`], so every query — single or
+//! batched, sharded or not — executes through the same pipeline as the
+//! benchmark harness and the n-server generalisation. It exists for
+//! examples, integration tests and the benchmark harness; a real
+//! deployment would put a network between the pieces.
 
 use std::sync::Arc;
 
+use crate::batch::{BatchConfig, BatchExecutor};
 use crate::client::PirClient;
 use crate::database::Database;
+use crate::engine::{EngineConfig, QueryEngine};
 use crate::error::PirError;
 use crate::server::cpu::{CpuPirServer, CpuServerConfig};
 use crate::server::phases::PhaseBreakdown;
 use crate::server::pim::{ImPirConfig, ImPirServer};
-use crate::server::{BatchOutcome, PirServer};
+use crate::server::BatchOutcome;
+use crate::shard::ShardedDatabase;
 
-/// A client plus two non-colluding replicated servers.
+/// A client plus two non-colluding replicated server engines.
 ///
 /// See the crate-level documentation for an example.
 #[derive(Debug)]
-pub struct TwoServerPir<S: PirServer> {
+pub struct TwoServerPir<S: BatchExecutor + Send + Sync> {
     client: PirClient,
-    server_1: S,
-    server_2: S,
+    engine_1: QueryEngine<S>,
+    engine_2: QueryEngine<S>,
     last_phases: Option<(PhaseBreakdown, PhaseBreakdown)>,
 }
 
-impl<S: PirServer> TwoServerPir<S> {
-    /// Assembles a deployment from an existing client and two servers.
+impl<S: BatchExecutor + Send + Sync> TwoServerPir<S> {
+    /// Assembles a deployment from an existing client and two servers,
+    /// each wrapped in a single-shard [`QueryEngine`].
     ///
     /// # Errors
     ///
     /// Returns [`PirError::Config`] if the servers disagree with each other
     /// or with the client about the database geometry.
     pub fn from_parts(client: PirClient, server_1: S, server_2: S) -> Result<Self, PirError> {
-        if server_1.num_records() != server_2.num_records()
-            || server_1.record_size() != server_2.record_size()
+        let config = EngineConfig::default();
+        TwoServerPir::from_engines(
+            client,
+            QueryEngine::single(server_1, config)?,
+            QueryEngine::single(server_2, config)?,
+        )
+    }
+
+    /// Assembles a deployment from an existing client and two pre-built
+    /// engines (possibly sharded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the engines disagree with each other
+    /// or with the client about the database geometry.
+    pub fn from_engines(
+        client: PirClient,
+        engine_1: QueryEngine<S>,
+        engine_2: QueryEngine<S>,
+    ) -> Result<Self, PirError> {
+        if engine_1.num_records() != engine_2.num_records()
+            || engine_1.record_size() != engine_2.record_size()
         {
             return Err(PirError::Config {
                 reason: "the two servers hold different database replicas".to_string(),
             });
         }
-        if client.num_records() != server_1.num_records()
-            || client.record_size() != server_1.record_size()
+        if client.num_records() != engine_1.num_records()
+            || client.record_size() != engine_1.record_size()
         {
             return Err(PirError::Config {
                 reason: "client and servers disagree on the database geometry".to_string(),
@@ -52,16 +79,56 @@ impl<S: PirServer> TwoServerPir<S> {
         }
         Ok(TwoServerPir {
             client,
-            server_1,
-            server_2,
+            engine_1,
+            engine_2,
             last_phases: None,
         })
+    }
+
+    /// Builds a deployment whose two engines shard `database` under `plan`
+    /// and construct one backend per shard through `factory` (invoked with
+    /// the shard replica, the shard index, and the server side `0`/`1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and backend-construction errors.
+    pub fn sharded<F>(
+        database: &ShardedDatabase,
+        config: EngineConfig,
+        mut factory: F,
+    ) -> Result<Self, PirError>
+    where
+        F: FnMut(Arc<Database>, usize, usize) -> Result<S, PirError>,
+    {
+        let client = PirClient::new(
+            database.database().num_records(),
+            database.database().record_size(),
+            0,
+        )?;
+        let engine_1 = QueryEngine::sharded(database, config, |shard_db, shard| {
+            factory(shard_db, shard, 0)
+        })?;
+        let engine_2 = QueryEngine::sharded(database, config, |shard_db, shard| {
+            factory(shard_db, shard, 1)
+        })?;
+        TwoServerPir::from_engines(client, engine_1, engine_2)
     }
 
     /// The client side of the deployment.
     #[must_use]
     pub fn client(&self) -> &PirClient {
         &self.client
+    }
+
+    /// The engine serving as server `0` or `1`; `None` for any other
+    /// index.
+    #[must_use]
+    pub fn engine(&self, server: usize) -> Option<&QueryEngine<S>> {
+        match server {
+            0 => Some(&self.engine_1),
+            1 => Some(&self.engine_2),
+            _ => None,
+        }
     }
 
     /// Per-server phase breakdowns of the most recent [`TwoServerPir::query`].
@@ -78,8 +145,8 @@ impl<S: PirServer> TwoServerPir<S> {
     /// mismatches, backend failures).
     pub fn query(&mut self, index: u64) -> Result<Vec<u8>, PirError> {
         let (share_1, share_2) = self.client.generate_query(index)?;
-        let (response_1, phases_1) = self.server_1.process_query(&share_1)?;
-        let (response_2, phases_2) = self.server_2.process_query(&share_2)?;
+        let (response_1, phases_1) = self.engine_1.execute_query(&share_1)?;
+        let (response_2, phases_2) = self.engine_2.execute_query(&share_2)?;
         self.last_phases = Some((phases_1, phases_2));
         self.client.reconstruct(&response_1, &response_2)
     }
@@ -97,8 +164,8 @@ impl<S: PirServer> TwoServerPir<S> {
         indices: &[u64],
     ) -> Result<(Vec<Vec<u8>>, BatchOutcome, BatchOutcome), PirError> {
         let (shares_1, shares_2) = self.client.generate_batch(indices)?;
-        let outcome_1 = self.server_1.process_batch(&shares_1)?;
-        let outcome_2 = self.server_2.process_batch(&shares_2)?;
+        let outcome_1 = self.engine_1.execute_batch(&shares_1)?;
+        let outcome_2 = self.engine_2.execute_batch(&shares_2)?;
         let mut records = Vec::with_capacity(indices.len());
         for (response_1, response_2) in outcome_1.responses.iter().zip(&outcome_2.responses) {
             records.push(self.client.reconstruct(response_1, response_2)?);
@@ -122,6 +189,27 @@ impl TwoServerPir<ImPirServer> {
         let server_2 = ImPirServer::new(database, config)?;
         TwoServerPir::from_parts(client, server_1, server_2)
     }
+
+    /// Builds a deployment whose servers shard `database` over `shards`
+    /// IM-PIR backends each (every shard gets its own simulated PIM
+    /// allocation with `config`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and PIM allocation errors.
+    pub fn with_sharded_pim_servers(
+        database: Arc<Database>,
+        config: ImPirConfig,
+        shards: usize,
+    ) -> Result<Self, PirError> {
+        let sharded = ShardedDatabase::uniform(database, shards)?;
+        // Evaluate with the PIM configuration's strategy (eval_threads) —
+        // not the engine default.
+        let engine_config = EngineConfig::new(BatchConfig::default(), config.eval_strategy())?;
+        TwoServerPir::sharded(&sharded, engine_config, |shard_db, _, _| {
+            ImPirServer::new(shard_db, config.clone())
+        })
+    }
 }
 
 impl TwoServerPir<CpuPirServer> {
@@ -139,6 +227,24 @@ impl TwoServerPir<CpuPirServer> {
         let server_2 = CpuPirServer::new(database, config)?;
         TwoServerPir::from_parts(client, server_1, server_2)
     }
+
+    /// Builds a deployment whose servers shard `database` over `shards`
+    /// CPU backends each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn with_sharded_cpu_servers(
+        database: Arc<Database>,
+        config: CpuServerConfig,
+        shards: usize,
+    ) -> Result<Self, PirError> {
+        let sharded = ShardedDatabase::uniform(database, shards)?;
+        let engine_config = EngineConfig::new(BatchConfig::default(), config.eval_strategy)?;
+        TwoServerPir::sharded(&sharded, engine_config, |shard_db, _, _| {
+            CpuPirServer::new(shard_db, config.clone())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +254,8 @@ mod tests {
     #[test]
     fn pim_and_cpu_schemes_return_identical_records() {
         let db = Arc::new(Database::random(200, 32, 5).unwrap());
-        let mut pim = TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(4)).unwrap();
+        let mut pim =
+            TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(4)).unwrap();
         let mut cpu =
             TwoServerPir::with_cpu_servers(db.clone(), CpuServerConfig::baseline()).unwrap();
         for index in [0u64, 42, 111, 199] {
@@ -176,6 +283,33 @@ mod tests {
     }
 
     #[test]
+    fn sharded_deployments_agree_with_unsharded_ones() {
+        let db = Arc::new(Database::random(260, 16, 8).unwrap());
+        let mut flat =
+            TwoServerPir::with_cpu_servers(db.clone(), CpuServerConfig::baseline()).unwrap();
+        let mut sharded_cpu =
+            TwoServerPir::with_sharded_cpu_servers(db.clone(), CpuServerConfig::baseline(), 3)
+                .unwrap();
+        let mut sharded_pim =
+            TwoServerPir::with_sharded_pim_servers(db.clone(), ImPirConfig::tiny_test(2), 2)
+                .unwrap();
+        assert_eq!(sharded_cpu.engine(0).unwrap().shard_count(), 3);
+        assert!(sharded_cpu.engine(2).is_none());
+        for index in [0u64, 86, 87, 259] {
+            let expected = db.record(index);
+            assert_eq!(flat.query(index).unwrap(), expected);
+            assert_eq!(sharded_cpu.query(index).unwrap(), expected);
+            assert_eq!(sharded_pim.query(index).unwrap(), expected);
+        }
+        // Batch whose size is not a multiple of the shard count.
+        let indices: Vec<u64> = vec![10, 250, 100, 99, 0];
+        let (records, _, _) = sharded_cpu.query_batch(&indices).unwrap();
+        for (record, index) in records.iter().zip(&indices) {
+            assert_eq!(record, db.record(*index));
+        }
+    }
+
+    #[test]
     fn mismatched_geometries_are_rejected() {
         let db_small = Arc::new(Database::random(100, 8, 1).unwrap());
         let db_large = Arc::new(Database::random(200, 8, 1).unwrap());
@@ -191,8 +325,7 @@ mod tests {
     #[test]
     fn invalid_index_propagates_client_error() {
         let db = Arc::new(Database::random(50, 8, 2).unwrap());
-        let mut pir =
-            TwoServerPir::with_cpu_servers(db, CpuServerConfig::baseline()).unwrap();
+        let mut pir = TwoServerPir::with_cpu_servers(db, CpuServerConfig::baseline()).unwrap();
         assert!(matches!(
             pir.query(50),
             Err(PirError::IndexOutOfRange { .. })

@@ -149,9 +149,7 @@ impl CpuPirServer {
                     return vec![0u8; record_size];
                 }
                 let count = per_thread.min(num_records - start);
-                let chunk = self
-                    .database
-                    .record_chunk(start as u64, count as u64);
+                let chunk = self.database.record_chunk(start as u64, count as u64);
                 let chunk_selector = selector.slice(start, count);
                 let mut accumulator = vec![0u8; record_size];
                 dpxor::xor_select_into(chunk, record_size, &chunk_selector, &mut accumulator);
@@ -200,37 +198,71 @@ impl PirServer for CpuPirServer {
         ))
     }
 
-    fn process_batch(&mut self, shares: &[QueryShare]) -> Result<crate::server::BatchOutcome, PirError> {
+    fn process_batch(
+        &mut self,
+        shares: &[QueryShare],
+    ) -> Result<crate::server::BatchOutcome, PirError> {
         // The CPU baseline handles each query on its own worker thread
-        // (§5.1: "a single CPU thread for each query"), so a batch is a
-        // parallel map over the shares.
-        let started = std::time::Instant::now();
-        let results: Result<Vec<(ServerResponse, PhaseBreakdown)>, PirError> = shares
-            .par_iter()
-            .map(|share| {
-                // Each query is evaluated and scanned by exactly one thread.
-                let mut single = CpuPirServer {
-                    database: Arc::clone(&self.database),
-                    config: CpuServerConfig {
-                        eval_strategy: EvalStrategy::LevelByLevel,
-                        scan_threads: 1,
-                    },
-                };
-                single.process_query(share)
-            })
-            .collect();
-        let results = results?;
-        let mut totals = PhaseBreakdown::zero();
-        let mut responses = Vec::with_capacity(results.len());
-        for (response, phases) in results {
-            totals.merge(&phases);
-            responses.push(response);
+        // (§5.1: "a single CPU thread for each query"); the generic
+        // pipeline reproduces that with its stage-1 worker fan-out, and
+        // stage 2 runs the scans.
+        crate::batch::process_batch(self, shares, &crate::batch::BatchConfig::default())
+    }
+}
+
+impl crate::batch::BatchExecutor for CpuPirServer {
+    fn evaluate_selector(&self, share: &QueryShare) -> Result<SelectorVector, PirError> {
+        self.check_domain(share)?;
+        Ok(self
+            .config
+            .eval_strategy
+            .eval_range(&share.key, 0, self.database.num_records())?)
+    }
+
+    fn selector_evaluator(&self) -> crate::batch::SelectorEvaluator {
+        crate::batch::database_selector_evaluator(
+            Arc::clone(&self.database),
+            self.config.eval_strategy,
+        )
+    }
+
+    fn wave_width(&self) -> usize {
+        // Each wave slot scans with `scan_threads` threads, so the number
+        // of concurrent slots shrinks as per-query parallelism grows:
+        // the baseline (§5.1, "a single CPU thread for each query") runs
+        // one query per core, while a fully multithreaded server — or the
+        // GPU comparator, which serialises queries on the device — runs
+        // one query at a time. Total threads never exceed the host's
+        // parallelism.
+        (rayon::current_num_threads() / self.config.scan_threads.max(1)).max(1)
+    }
+
+    fn execute_wave(
+        &mut self,
+        selectors: &[&SelectorVector],
+    ) -> Result<(Vec<Vec<u8>>, PhaseBreakdown), PirError> {
+        let mut phases = PhaseBreakdown::zero();
+        // One scoped thread per wave slot (the wave width caps this at the
+        // host's parallelism); each slot's scan is timed on its own thread
+        // and the per-query dpXOR costs are summed, as the baseline's cost
+        // model expects.
+        let server: &CpuPirServer = self;
+        let timings: Vec<(Vec<u8>, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = selectors
+                .iter()
+                .map(|selector| scope.spawn(move || timed(|| server.scan(selector))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("scan worker panicked"))
+                .collect()
+        });
+        let mut payloads = Vec::with_capacity(selectors.len());
+        for (payload, dpxor_seconds) in timings {
+            phases.dpxor.merge(&PhaseTime::host(dpxor_seconds));
+            payloads.push(payload);
         }
-        Ok(crate::server::BatchOutcome {
-            responses,
-            wall_seconds: started.elapsed().as_secs_f64(),
-            phase_totals: totals,
-        })
+        Ok((payloads, phases))
     }
 }
 
@@ -240,7 +272,11 @@ mod tests {
     use crate::client::PirClient;
     use proptest::prelude::*;
 
-    fn setup(num_records: u64, record_size: usize, config: CpuServerConfig) -> (Arc<Database>, CpuPirServer, CpuPirServer, PirClient) {
+    fn setup(
+        num_records: u64,
+        record_size: usize,
+        config: CpuServerConfig,
+    ) -> (Arc<Database>, CpuPirServer, CpuPirServer, PirClient) {
         let db = Arc::new(Database::random(num_records, record_size, 11).unwrap());
         let s1 = CpuPirServer::new(db.clone(), config.clone()).unwrap();
         let s2 = CpuPirServer::new(db.clone(), config).unwrap();

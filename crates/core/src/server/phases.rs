@@ -65,6 +65,17 @@ impl PhaseTime {
             (a, b) => Some(a.unwrap_or(0.0) + b.unwrap_or(0.0)),
         };
     }
+
+    /// Combines a phase time that ran **concurrently** with this one (on
+    /// disjoint hardware): the merged time is the critical path, i.e. the
+    /// maximum of both components.
+    pub fn merge_parallel(&mut self, other: &PhaseTime) {
+        self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
+        self.simulated_seconds = match (self.simulated_seconds, other.simulated_seconds) {
+            (None, None) => None,
+            (a, b) => Some(a.unwrap_or(0.0).max(b.unwrap_or(0.0))),
+        };
+    }
 }
 
 /// The five server-side phases of one query (or the totals of a batch).
@@ -119,6 +130,17 @@ impl PhaseBreakdown {
         self.aggregate.merge(&other.aggregate);
     }
 
+    /// Combines a breakdown that ran **concurrently** with this one on
+    /// disjoint hardware (e.g. another engine shard): each phase takes the
+    /// critical path across the two (see [`PhaseTime::merge_parallel`]).
+    pub fn merge_parallel(&mut self, other: &PhaseBreakdown) {
+        self.eval.merge_parallel(&other.eval);
+        self.copy_to_pim.merge_parallel(&other.copy_to_pim);
+        self.dpxor.merge_parallel(&other.dpxor);
+        self.copy_from_pim.merge_parallel(&other.copy_from_pim);
+        self.aggregate.merge_parallel(&other.aggregate);
+    }
+
     /// Per-phase shares of the hybrid total, in percent, in Table 1's
     /// column order (Eval, CPU→DPU, dpXOR, DPU→CPU, aggregation).
     ///
@@ -141,7 +163,13 @@ impl PhaseBreakdown {
     /// Phase names in the order used by [`PhaseBreakdown::percentages`].
     #[must_use]
     pub fn phase_names() -> [&'static str; 5] {
-        ["Eval", "copy(cpu→pim)", "dpXOR", "copy(pim→cpu)", "aggregation"]
+        [
+            "Eval",
+            "copy(cpu→pim)",
+            "dpXOR",
+            "copy(pim→cpu)",
+            "aggregation",
+        ]
     }
 }
 
@@ -167,6 +195,29 @@ mod tests {
         let mut host = PhaseTime::host(1.0);
         host.merge(&PhaseTime::host(1.0));
         assert!(host.simulated_seconds.is_none());
+    }
+
+    #[test]
+    fn parallel_merge_takes_the_critical_path() {
+        let mut a = PhaseTime::pim(1.0, 0.2);
+        a.merge_parallel(&PhaseTime::pim(0.5, 0.7));
+        assert!((a.wall_seconds - 1.0).abs() < 1e-12);
+        assert!((a.simulated_seconds.unwrap() - 0.7).abs() < 1e-12);
+
+        let mut host = PhaseTime::host(2.0);
+        host.merge_parallel(&PhaseTime::host(3.0));
+        assert!((host.wall_seconds - 3.0).abs() < 1e-12);
+        assert!(host.simulated_seconds.is_none());
+
+        let mut breakdown = PhaseBreakdown {
+            dpxor: PhaseTime::pim(1.0, 0.4),
+            ..PhaseBreakdown::zero()
+        };
+        breakdown.merge_parallel(&PhaseBreakdown {
+            dpxor: PhaseTime::pim(0.2, 0.9),
+            ..PhaseBreakdown::zero()
+        });
+        assert!((breakdown.dpxor.simulated_seconds.unwrap() - 0.9).abs() < 1e-12);
     }
 
     #[test]

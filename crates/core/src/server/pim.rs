@@ -155,8 +155,7 @@ impl DpuLayout {
     /// Computes the layout for a database split over clusters whose
     /// smallest cluster has `min_cluster_dpus` DPUs.
     fn new(database: &Database, min_cluster_dpus: usize) -> Self {
-        let records_capacity =
-            (database.num_records() as usize).div_ceil(min_cluster_dpus.max(1));
+        let records_capacity = (database.num_records() as usize).div_ceil(min_cluster_dpus.max(1));
         let record_size = database.record_size();
         let db_offset = HEADER_BYTES;
         let db_end = db_offset + records_capacity * record_size;
@@ -238,7 +237,10 @@ impl DpuProgram for DpXorKernel {
             selector_len,
         )?;
         // The tasklet's share of the database chunk.
-        let records = ctx.mram_read(self.layout.db_offset + start * record_size, count * record_size)?;
+        let records = ctx.mram_read(
+            self.layout.db_offset + start * record_size,
+            count * record_size,
+        )?;
 
         for local in 0..count {
             let bit_index = start + local;
@@ -378,10 +380,7 @@ impl ImPirServer {
     /// * [`PirError::IndexOutOfRange`] for an update outside the database;
     /// * [`PirError::RecordSizeMismatch`] for a payload of the wrong size;
     /// * PIM transfer errors.
-    pub fn apply_updates(
-        &mut self,
-        updates: &[(u64, Vec<u8>)],
-    ) -> Result<UpdateOutcome, PirError> {
+    pub fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
         let record_size = self.database.record_size();
         let num_records = self.database.num_records();
         // Validate everything first so a failed update cannot leave some
@@ -469,26 +468,28 @@ impl ImPirServer {
             .collect()
     }
 
-    /// Runs the PIM-side phases (➌–➏) for queries already evaluated on the
-    /// host, one query per cluster slot. Returns the responses in the same
-    /// order as `assignments` along with the phases accumulated for the
-    /// whole wave.
+    /// Runs the PIM-side phases (➌–➏) for pre-evaluated selectors, one per
+    /// cluster slot, returning the raw XOR payloads in assignment order
+    /// along with the phases accumulated for the whole wave.
     ///
     /// All clusters of the wave are launched together, which is exactly how
     /// the hardware would overlap them; the simulated time of the launch is
-    /// therefore the critical path across the active clusters.
+    /// therefore the critical path across the active clusters. This is the
+    /// data-plane entry the generic batch pipeline and the sharded engine
+    /// drive; [`ImPirServer::dpxor_wave`] wraps it for callers holding
+    /// query shares.
     ///
     /// # Errors
     ///
     /// Propagates PIM transfer and kernel errors.
-    pub fn dpxor_wave(
+    pub fn dpxor_wave_payloads(
         &mut self,
-        assignments: &[(usize, &QueryShare, &SelectorVector)],
-    ) -> Result<(Vec<ServerResponse>, PhaseBreakdown), PirError> {
+        assignments: &[(usize, &SelectorVector)],
+    ) -> Result<(Vec<Vec<u8>>, PhaseBreakdown), PirError> {
         if assignments.is_empty() {
             return Ok((Vec::new(), PhaseBreakdown::zero()));
         }
-        for (cluster, _, _) in assignments {
+        for (cluster, _) in assignments {
             assert!(
                 *cluster < self.layout.cluster_count(),
                 "cluster {cluster} out of range"
@@ -497,12 +498,15 @@ impl ImPirServer {
 
         // Phase ➌: scatter each query's selector bits to its cluster.
         let mut copy_to_pim = PhaseTime::zero();
-        for (cluster, _, selector) in assignments {
+        for (cluster, selector) in assignments {
             let chunks = self.selector_chunks(*cluster, selector);
             let range = self.layout.dpu_range(*cluster);
             let (outcome, wall) = timed(|| {
-                self.system
-                    .scatter_to_mram_range(range.clone(), self.dpu_layout.selector_offset, &chunks)
+                self.system.scatter_to_mram_range(
+                    range.clone(),
+                    self.dpu_layout.selector_offset,
+                    &chunks,
+                )
             });
             let outcome = outcome?;
             copy_to_pim.merge(&PhaseTime::pim(wall, outcome.simulated_seconds));
@@ -512,7 +516,7 @@ impl ImPirServer {
         let covering = covering_range(
             assignments
                 .iter()
-                .map(|(cluster, _, _)| self.layout.dpu_range(*cluster)),
+                .map(|(cluster, _)| self.layout.dpu_range(*cluster)),
         );
         let kernel = DpXorKernel::new(self.dpu_layout);
         let (launch, dpxor_wall) = timed(|| self.system.launch(covering.clone(), &kernel));
@@ -532,20 +536,15 @@ impl ImPirServer {
 
         // Phase ➏: aggregate per-cluster subresults on the host.
         let mut aggregate = PhaseTime::zero();
-        let mut responses = Vec::with_capacity(assignments.len());
-        for (cluster, share, _) in assignments {
+        let mut payloads = Vec::with_capacity(assignments.len());
+        for (cluster, _) in assignments {
             let range = self.layout.dpu_range(*cluster);
             let offset = range.start - covering.start;
             let cluster_subresults = &subresults[offset..offset + range.len()];
-            let (payload, wall) = timed(|| {
-                dpxor::xor_reduce(cluster_subresults, self.dpu_layout.record_size)
-            });
+            let (payload, wall) =
+                timed(|| dpxor::xor_reduce(cluster_subresults, self.dpu_layout.record_size));
             aggregate.merge(&PhaseTime::host(wall));
-            responses.push(ServerResponse::new(
-                share.query_id,
-                share.key.party(),
-                payload,
-            ));
+            payloads.push(payload);
         }
 
         let phases = PhaseBreakdown {
@@ -555,6 +554,33 @@ impl ImPirServer {
             copy_from_pim,
             aggregate,
         };
+        Ok((payloads, phases))
+    }
+
+    /// Runs the PIM-side phases (➌–➏) for queries already evaluated on the
+    /// host, one query per cluster slot. Returns the responses in the same
+    /// order as `assignments` along with the phases accumulated for the
+    /// whole wave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PIM transfer and kernel errors.
+    pub fn dpxor_wave(
+        &mut self,
+        assignments: &[(usize, &QueryShare, &SelectorVector)],
+    ) -> Result<(Vec<ServerResponse>, PhaseBreakdown), PirError> {
+        let selector_assignments: Vec<(usize, &SelectorVector)> = assignments
+            .iter()
+            .map(|(cluster, _, selector)| (*cluster, *selector))
+            .collect();
+        let (payloads, phases) = self.dpxor_wave_payloads(&selector_assignments)?;
+        let responses = assignments
+            .iter()
+            .zip(payloads)
+            .map(|((_, share, _), payload)| {
+                ServerResponse::new(share.query_id, share.key.party(), payload)
+            })
+            .collect();
         Ok((responses, phases))
     }
 
@@ -640,8 +666,42 @@ impl PirServer for ImPirServer {
         self.process_query_on_cluster(0, share)
     }
 
-    fn process_batch(&mut self, shares: &[QueryShare]) -> Result<crate::server::BatchOutcome, PirError> {
+    fn process_batch(
+        &mut self,
+        shares: &[QueryShare],
+    ) -> Result<crate::server::BatchOutcome, PirError> {
         crate::batch::process_batch(self, shares, &crate::batch::BatchConfig::default())
+    }
+}
+
+impl crate::batch::BatchExecutor for ImPirServer {
+    fn evaluate_selector(&self, share: &QueryShare) -> Result<SelectorVector, PirError> {
+        self.evaluate_share(share)
+    }
+
+    fn selector_evaluator(&self) -> crate::batch::SelectorEvaluator {
+        crate::batch::database_selector_evaluator(
+            Arc::clone(&self.database),
+            self.config.eval_strategy(),
+        )
+    }
+
+    /// One query per DPU cluster can scan concurrently (§3.4).
+    fn wave_width(&self) -> usize {
+        self.layout.cluster_count()
+    }
+
+    fn execute_wave(
+        &mut self,
+        selectors: &[&SelectorVector],
+    ) -> Result<(Vec<Vec<u8>>, PhaseBreakdown), PirError> {
+        debug_assert!(selectors.len() <= self.layout.cluster_count());
+        let assignments: Vec<(usize, &SelectorVector)> = selectors
+            .iter()
+            .enumerate()
+            .map(|(slot, selector)| (slot, *selector))
+            .collect();
+        self.dpxor_wave_payloads(&assignments)
     }
 }
 
@@ -771,10 +831,7 @@ mod tests {
         assert!(layout.db_offset >= HEADER_BYTES);
         assert!(layout.selector_offset >= layout.db_offset + 125 * 32);
         assert!(layout.subresult_offset >= layout.selector_offset + 16);
-        assert_eq!(
-            layout.required_mram_bytes(),
-            layout.subresult_offset + 32
-        );
+        assert_eq!(layout.required_mram_bytes(), layout.subresult_offset + 32);
     }
 
     #[test]

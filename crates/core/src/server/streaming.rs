@@ -239,8 +239,10 @@ impl StreamingImPirServer {
                 selector_buffers.push(vec![0u8]);
             }
         }
-        let (push_db, db_wall) =
-            timed(|| self.system.scatter_to_mram_range(range.clone(), 0, &db_buffers));
+        let (push_db, db_wall) = timed(|| {
+            self.system
+                .scatter_to_mram_range(range.clone(), 0, &db_buffers)
+        });
         let push_db = push_db?;
         let (push_sel, sel_wall) = timed(|| {
             self.system.scatter_to_mram_range(
@@ -272,14 +274,50 @@ impl StreamingImPirServer {
             )
         });
         let (subresults, gather_outcome) = gathered?;
-        phases
-            .copy_from_pim
-            .merge(&PhaseTime::pim(gather_wall, gather_outcome.simulated_seconds));
+        phases.copy_from_pim.merge(&PhaseTime::pim(
+            gather_wall,
+            gather_outcome.simulated_seconds,
+        ));
 
         let (segment_result, aggregate_wall) =
             timed(|| dpxor::xor_reduce(&subresults, record_size));
         phases.aggregate.merge(&PhaseTime::host(aggregate_wall));
         Ok(segment_result)
+    }
+
+    /// Streams the whole database through MRAM under a pre-evaluated
+    /// selector (phases ➌–➏, once per segment), returning the XOR payload
+    /// and the accumulated phase times (`eval` left at zero).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PIM transfer and kernel errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selector does not cover exactly this server's record
+    /// space.
+    fn streamed_scan(
+        &mut self,
+        selector: &SelectorVector,
+    ) -> Result<(Vec<u8>, PhaseBreakdown), PirError> {
+        let num_records = self.database.num_records();
+        assert_eq!(
+            selector.len() as u64,
+            num_records,
+            "selector length must equal the number of records"
+        );
+        let mut phases = PhaseBreakdown::zero();
+        let mut payload = vec![0u8; self.database.record_size()];
+        let mut segment_start = 0u64;
+        while segment_start < num_records {
+            let segment_records = self.records_per_segment.min(num_records - segment_start);
+            let segment_result =
+                self.scan_segment(segment_start, segment_records, selector, &mut phases)?;
+            dpxor::xor_in_place(&mut payload, &segment_result);
+            segment_start += segment_records;
+        }
+        Ok((payload, phases))
     }
 }
 
@@ -313,38 +351,66 @@ impl PirServer for StreamingImPirServer {
         &mut self,
         share: &QueryShare,
     ) -> Result<(ServerResponse, PhaseBreakdown), PirError> {
-        self.check_domain(share)?;
-        let num_records = self.database.num_records();
+        use crate::batch::BatchExecutor;
 
         // Phase ➋: evaluate the whole selector on the host (identical to
         // the preloaded mode).
-        let (selector, eval_wall) = timed(|| {
-            self.config
-                .base
-                .eval_strategy()
-                .eval_range(&share.key, 0, num_records)
-        });
+        let (selector, eval_wall) = timed(|| self.evaluate_selector(share));
         let selector = selector?;
-        let mut phases = PhaseBreakdown {
-            eval: PhaseTime::host(eval_wall),
-            ..PhaseBreakdown::zero()
-        };
 
         // Phases ➌–➏, once per segment.
-        let mut payload = vec![0u8; self.database.record_size()];
-        let mut segment_start = 0u64;
-        while segment_start < num_records {
-            let segment_records = self.records_per_segment.min(num_records - segment_start);
-            let segment_result =
-                self.scan_segment(segment_start, segment_records, &selector, &mut phases)?;
-            dpxor::xor_in_place(&mut payload, &segment_result);
-            segment_start += segment_records;
-        }
+        let (payload, mut phases) = self.streamed_scan(&selector)?;
+        phases.eval = PhaseTime::host(eval_wall);
 
         Ok((
             ServerResponse::new(share.query_id, share.key.party(), payload),
             phases,
         ))
+    }
+
+    fn process_batch(
+        &mut self,
+        shares: &[QueryShare],
+    ) -> Result<crate::server::BatchOutcome, PirError> {
+        crate::batch::process_batch(self, shares, &crate::batch::BatchConfig::default())
+    }
+}
+
+impl crate::batch::BatchExecutor for StreamingImPirServer {
+    fn evaluate_selector(&self, share: &QueryShare) -> Result<SelectorVector, PirError> {
+        self.check_domain(share)?;
+        Ok(self.config.base.eval_strategy().eval_range(
+            &share.key,
+            0,
+            self.database.num_records(),
+        )?)
+    }
+
+    fn selector_evaluator(&self) -> crate::batch::SelectorEvaluator {
+        crate::batch::database_selector_evaluator(
+            Arc::clone(&self.database),
+            self.config.base.eval_strategy(),
+        )
+    }
+
+    /// The streaming server monopolises the CPU→DPU link re-pushing
+    /// database segments, so queries serialise on the data plane.
+    fn wave_width(&self) -> usize {
+        1
+    }
+
+    fn execute_wave(
+        &mut self,
+        selectors: &[&SelectorVector],
+    ) -> Result<(Vec<Vec<u8>>, PhaseBreakdown), PirError> {
+        let mut phases = PhaseBreakdown::zero();
+        let mut payloads = Vec::with_capacity(selectors.len());
+        for selector in selectors {
+            let (payload, scan_phases) = self.streamed_scan(selector)?;
+            phases.merge(&scan_phases);
+            payloads.push(payload);
+        }
+        Ok((payloads, phases))
     }
 }
 
@@ -359,7 +425,12 @@ mod tests {
         num_records: u64,
         record_size: usize,
         resident_bytes: usize,
-    ) -> (Arc<Database>, StreamingImPirServer, StreamingImPirServer, PirClient) {
+    ) -> (
+        Arc<Database>,
+        StreamingImPirServer,
+        StreamingImPirServer,
+        PirClient,
+    ) {
         let db = Arc::new(Database::random(num_records, record_size, 3).unwrap());
         let config = StreamingConfig::new(ImPirConfig::tiny_test(4), resident_bytes).unwrap();
         let s1 = StreamingImPirServer::new(db.clone(), config.clone()).unwrap();

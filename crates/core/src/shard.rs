@@ -1,0 +1,325 @@
+//! Record-range sharding of the PIR database.
+//!
+//! The production-scale deployments the roadmap targets hold databases that
+//! no single backend instance should own outright: a PIM server is bounded
+//! by aggregate MRAM, a CPU server by memory bandwidth. A [`ShardPlan`]
+//! splits the record space `[0, N)` into contiguous ranges; a
+//! [`ShardedDatabase`] pairs a plan with a concrete [`Database`] and
+//! materialises the per-shard replicas that
+//! [`crate::engine::QueryEngine`] hands to its backends.
+//!
+//! Because the PIR answer is a XOR over selected records, sharding is
+//! *linear*: the XOR of every shard's sub-answer equals the answer a single
+//! server would compute over the whole database. The engine relies on this
+//! to keep responses byte-identical across shard layouts (the equivalence
+//! tests pin that property down).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::database::Database;
+use crate::error::PirError;
+
+/// A partition of the record space `[0, N)` into contiguous, non-empty
+/// shard ranges.
+///
+/// # Example
+///
+/// ```
+/// use impir_core::shard::ShardPlan;
+///
+/// let plan = ShardPlan::uniform(10, 3)?;
+/// assert_eq!(plan.shard_count(), 3);
+/// // 10 records over 3 shards: 4 + 3 + 3.
+/// assert_eq!(plan.range(0), Some(0..4));
+/// assert_eq!(plan.range(2), Some(7..10));
+/// # Ok::<(), impir_core::PirError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    ranges: Vec<Range<u64>>,
+}
+
+impl ShardPlan {
+    /// Splits `num_records` records into `shards` contiguous ranges whose
+    /// sizes differ by at most one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if `shards` is zero, `num_records` is
+    /// zero, or more shards than records are requested (an empty shard
+    /// could never answer its slice of a query).
+    pub fn uniform(num_records: u64, shards: usize) -> Result<Self, PirError> {
+        if shards == 0 {
+            return Err(PirError::Config {
+                reason: "a shard plan needs at least one shard".to_string(),
+            });
+        }
+        if num_records == 0 {
+            return Err(PirError::Config {
+                reason: "cannot shard an empty database".to_string(),
+            });
+        }
+        if shards as u64 > num_records {
+            return Err(PirError::Config {
+                reason: format!(
+                    "{shards} shards requested for only {num_records} records \
+                     (every shard must hold at least one record)"
+                ),
+            });
+        }
+        let base = num_records / shards as u64;
+        let remainder = num_records % shards as u64;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0u64;
+        for shard in 0..shards as u64 {
+            let len = base + u64::from(shard < remainder);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        Ok(ShardPlan { ranges })
+    }
+
+    /// The trivial plan: one shard covering every record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if `num_records` is zero.
+    pub fn single(num_records: u64) -> Result<Self, PirError> {
+        ShardPlan::uniform(num_records, 1)
+    }
+
+    /// Builds a plan from explicit ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] unless the ranges are non-empty, start
+    /// at record 0 and tile the record space contiguously.
+    pub fn from_ranges(ranges: Vec<Range<u64>>) -> Result<Self, PirError> {
+        if ranges.is_empty() {
+            return Err(PirError::Config {
+                reason: "a shard plan needs at least one shard".to_string(),
+            });
+        }
+        let mut expected_start = 0u64;
+        for (shard, range) in ranges.iter().enumerate() {
+            if range.start != expected_start {
+                return Err(PirError::Config {
+                    reason: format!(
+                        "shard {shard} starts at record {} but the previous shard \
+                         ends at {expected_start}: shards must tile [0, N) contiguously",
+                        range.start
+                    ),
+                });
+            }
+            if range.end <= range.start {
+                return Err(PirError::Config {
+                    reason: format!("shard {shard} is empty ({range:?})"),
+                });
+            }
+            expected_start = range.end;
+        }
+        Ok(ShardPlan { ranges })
+    }
+
+    /// Number of shards in the plan.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total number of records the plan covers.
+    #[must_use]
+    pub fn num_records(&self) -> u64 {
+        self.ranges.last().map_or(0, |range| range.end)
+    }
+
+    /// The record range of shard `shard`, if it exists.
+    #[must_use]
+    pub fn range(&self, shard: usize) -> Option<Range<u64>> {
+        self.ranges.get(shard).cloned()
+    }
+
+    /// All shard ranges, in record order.
+    #[must_use]
+    pub fn ranges(&self) -> &[Range<u64>] {
+        &self.ranges
+    }
+}
+
+/// A [`Database`] paired with the [`ShardPlan`] that partitions it.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use impir_core::database::Database;
+/// use impir_core::shard::ShardedDatabase;
+///
+/// let db = Arc::new(Database::random(100, 16, 1)?);
+/// let sharded = ShardedDatabase::uniform(db.clone(), 4)?;
+/// let shard_0 = sharded.shard_database(0)?;
+/// assert_eq!(shard_0.num_records(), 25);
+/// assert_eq!(shard_0.record(3), db.record(3));
+/// # Ok::<(), impir_core::PirError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedDatabase {
+    database: Arc<Database>,
+    plan: ShardPlan,
+}
+
+impl ShardedDatabase {
+    /// Pairs `database` with `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the plan does not cover the database
+    /// exactly.
+    pub fn new(database: Arc<Database>, plan: ShardPlan) -> Result<Self, PirError> {
+        if plan.num_records() != database.num_records() {
+            return Err(PirError::Config {
+                reason: format!(
+                    "shard plan covers {} records but the database holds {}",
+                    plan.num_records(),
+                    database.num_records()
+                ),
+            });
+        }
+        Ok(ShardedDatabase { database, plan })
+    }
+
+    /// Pairs `database` with a uniform plan of `shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardPlan::uniform`].
+    pub fn uniform(database: Arc<Database>, shards: usize) -> Result<Self, PirError> {
+        let plan = ShardPlan::uniform(database.num_records(), shards)?;
+        ShardedDatabase::new(database, plan)
+    }
+
+    /// The underlying full database.
+    #[must_use]
+    pub fn database(&self) -> &Arc<Database> {
+        &self.database
+    }
+
+    /// The partition in use.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Materialises shard `shard`'s records as a standalone [`Database`]
+    /// (the replica handed to that shard's backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for an out-of-range shard index.
+    pub fn shard_database(&self, shard: usize) -> Result<Arc<Database>, PirError> {
+        let range = self.plan.range(shard).ok_or_else(|| PirError::Config {
+            reason: format!(
+                "shard {shard} out of range: the plan has {} shards",
+                self.plan.shard_count()
+            ),
+        })?;
+        Ok(Arc::new(
+            self.database
+                .subrange(range.start, range.end - range.start)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plans_tile_the_record_space() {
+        for (records, shards) in [(10u64, 3usize), (9, 4), (8, 8), (1000, 7), (5, 1)] {
+            let plan = ShardPlan::uniform(records, shards).unwrap();
+            assert_eq!(plan.shard_count(), shards);
+            assert_eq!(plan.num_records(), records);
+            let mut expected_start = 0;
+            for range in plan.ranges() {
+                assert_eq!(range.start, expected_start);
+                assert!(range.end > range.start);
+                expected_start = range.end;
+            }
+            assert_eq!(expected_start, records);
+            // Balanced: sizes differ by at most one record.
+            let sizes: Vec<u64> = plan.ranges().iter().map(|r| r.end - r.start).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "records={records} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn degenerate_plans_are_rejected_as_config_errors() {
+        assert!(matches!(
+            ShardPlan::uniform(100, 0),
+            Err(PirError::Config { .. })
+        ));
+        assert!(matches!(
+            ShardPlan::uniform(0, 2),
+            Err(PirError::Config { .. })
+        ));
+        assert!(matches!(
+            ShardPlan::uniform(3, 4),
+            Err(PirError::Config { .. })
+        ));
+        assert!(matches!(
+            ShardPlan::from_ranges(vec![]),
+            Err(PirError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_ranges_must_be_contiguous_and_non_empty() {
+        assert!(ShardPlan::from_ranges(vec![0..4, 4..10]).is_ok());
+        // A single range that does not start at record 0.
+        let offset_plan: Vec<std::ops::Range<u64>> = std::iter::once(1..4).collect();
+        assert!(ShardPlan::from_ranges(offset_plan).is_err());
+        assert!(ShardPlan::from_ranges(vec![0..4, 5..10]).is_err());
+        assert!(ShardPlan::from_ranges(vec![0..4, 4..4]).is_err());
+        assert!(ShardPlan::from_ranges(vec![0..4, 3..10]).is_err());
+    }
+
+    #[test]
+    fn sharded_database_materialises_matching_replicas() {
+        let db = Arc::new(Database::random(23, 8, 5).unwrap());
+        let sharded = ShardedDatabase::uniform(db.clone(), 4).unwrap();
+        let mut reassembled = Vec::new();
+        for shard in 0..4 {
+            let replica = sharded.shard_database(shard).unwrap();
+            let range = sharded.plan().range(shard).unwrap();
+            assert_eq!(replica.num_records(), range.end - range.start);
+            for (local, global) in (range.start..range.end).enumerate() {
+                assert_eq!(replica.record(local as u64), db.record(global));
+            }
+            reassembled.extend_from_slice(replica.as_bytes());
+        }
+        assert_eq!(reassembled, db.as_bytes());
+        assert!(sharded.shard_database(4).is_err());
+    }
+
+    #[test]
+    fn plan_mismatching_the_database_is_rejected() {
+        let db = Arc::new(Database::random(10, 8, 0).unwrap());
+        let plan = ShardPlan::uniform(12, 2).unwrap();
+        assert!(matches!(
+            ShardedDatabase::new(db, plan),
+            Err(PirError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn subrange_bounds_are_checked() {
+        let db = Database::random(10, 4, 1).unwrap();
+        assert!(db.subrange(0, 10).is_ok());
+        assert!(db.subrange(5, 6).is_err());
+        assert!(db.subrange(0, 0).is_err());
+    }
+}

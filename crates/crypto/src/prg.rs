@@ -65,7 +65,9 @@ pub struct LengthDoublingPrg {
 
 impl std::fmt::Debug for LengthDoublingPrg {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LengthDoublingPrg").field("keys", &2).finish()
+        f.debug_struct("LengthDoublingPrg")
+            .field("keys", &2)
+            .finish()
     }
 }
 

@@ -81,7 +81,11 @@ impl SelectorVector {
     /// Panics if `index >= self.len()`.
     #[must_use]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -91,7 +95,11 @@ impl SelectorVector {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % 64);
         if bit {
             self.words[index / 64] |= mask;
@@ -175,13 +183,12 @@ impl SelectorVector {
             self.len
         );
         // Fast path when the slice is word-aligned.
-        if start % 64 == 0 {
+        if start.is_multiple_of(64) {
             let first_word = start / 64;
             let words_needed = count.div_ceil(64);
-            let mut words: Vec<u64> =
-                self.words[first_word..first_word + words_needed].to_vec();
+            let mut words: Vec<u64> = self.words[first_word..first_word + words_needed].to_vec();
             // Clear any bits past `count` in the final word.
-            if count % 64 != 0 {
+            if !count.is_multiple_of(64) {
                 if let Some(last) = words.last_mut() {
                     *last &= (1u64 << (count % 64)) - 1;
                 }

@@ -39,7 +39,13 @@ impl NodeState {
 /// Applies the level's correction word when the current control bit is set,
 /// exactly as in the BGI evaluation procedure.
 #[must_use]
-pub fn step(key: &DpfKey, state: NodeState, level: usize, bit: bool, prg: &LengthDoublingPrg) -> NodeState {
+pub fn step(
+    key: &DpfKey,
+    state: NodeState,
+    level: usize,
+    bit: bool,
+    prg: &LengthDoublingPrg,
+) -> NodeState {
     let expansion = prg.expand_one(state.seed, bit);
     let cw = key.correction_words()[level];
     if state.control {
@@ -202,8 +208,7 @@ pub fn expand_subtree(
         let mut next_seeds = Vec::with_capacity(seeds.len() * 2);
         let mut next_controls = Vec::with_capacity(controls.len() * 2);
         for (expansion, control) in expansions.iter().zip(&controls) {
-            let (mut left_seed, mut left_control) =
-                (expansion.left.seed, expansion.left.control);
+            let (mut left_seed, mut left_control) = (expansion.left.seed, expansion.left.control);
             let (mut right_seed, mut right_control) =
                 (expansion.right.seed, expansion.right.control);
             if *control {
@@ -349,7 +354,14 @@ mod tests {
         let (k1, _) = keypair(10, 600, 3);
         let full = eval_full(&k1);
         let prg = LengthDoublingPrg::default();
-        for (start, count) in [(0u64, 1024u64), (0, 128), (128, 128), (100, 300), (1000, 24), (513, 1)] {
+        for (start, count) in [
+            (0u64, 1024u64),
+            (0, 128),
+            (128, 128),
+            (100, 300),
+            (1000, 24),
+            (513, 1),
+        ] {
             let range = eval_range_with_prg(&k1, start, count, &prg).unwrap();
             assert_eq!(range.len() as u64, count);
             for i in 0..count {

@@ -27,7 +27,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::bitvec::SelectorVector;
 use crate::error::DpfError;
-use crate::eval::{eval_point_with_prg, eval_prefix, eval_range_with_prg, expand_subtree, NodeState};
+use crate::eval::{
+    eval_point_with_prg, eval_prefix, eval_range_with_prg, expand_subtree, NodeState,
+};
 use crate::key::DpfKey;
 
 /// Default chunk size (in leaves) for the memory-bounded traversal,

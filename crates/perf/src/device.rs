@@ -140,7 +140,11 @@ mod tests {
             DeviceProfile::upmem_2048_dpus(),
             DeviceProfile::gpu_rtx_4090(),
         ] {
-            assert!(profile.scan_bandwidth_bytes_per_sec > 0.0, "{}", profile.name);
+            assert!(
+                profile.scan_bandwidth_bytes_per_sec > 0.0,
+                "{}",
+                profile.name
+            );
             assert!(profile.per_thread_scan_bandwidth_bytes_per_sec > 0.0);
             assert!(profile.aes_blocks_per_sec_per_thread > 0.0);
             assert!(profile.worker_threads > 0);

@@ -297,12 +297,11 @@ pub fn impir_query(
     let dpxor_seconds = dma_seconds + pipeline_seconds + 0.5 * overhead;
 
     let subresult_bytes = pim.dpus as u64 * workload.record_bytes;
-    let copy_from_pim_seconds = subresult_bytes as f64 / pim.dpu_to_host_bandwidth_bytes_per_sec
-        + 0.25 * overhead;
+    let copy_from_pim_seconds =
+        subresult_bytes as f64 / pim.dpu_to_host_bandwidth_bytes_per_sec + 0.25 * overhead;
 
     // Host XOR of P record-sized subresults — a few microseconds.
-    let aggregate_seconds =
-        subresult_bytes as f64 / host.per_thread_scan_bandwidth_bytes_per_sec;
+    let aggregate_seconds = subresult_bytes as f64 / host.per_thread_scan_bandwidth_bytes_per_sec;
 
     ImPirEstimate {
         eval_seconds,
@@ -317,11 +316,7 @@ pub fn impir_query(
 /// (Figure 8's pipelined execution: host worker threads evaluate DPFs and
 /// feed a task queue; each cluster drains one query's `dpXOR` at a time).
 #[must_use]
-pub fn impir_batch(
-    host: &DeviceProfile,
-    workload: &PirWorkload,
-    clusters: usize,
-) -> BatchEstimate {
+pub fn impir_batch(host: &DeviceProfile, workload: &PirWorkload, clusters: usize) -> BatchEstimate {
     let clusters = clusters.max(1);
     let pim = PimSideModel::paper_2048_clustered(clusters);
     let batch = workload.batch_size.max(1);
@@ -360,9 +355,7 @@ pub fn gpu_pir_query(gpu: &DeviceProfile, workload: &PirWorkload) -> GpuPirEstim
     let scan_bandwidth = 0.45 * gpu.scan_bandwidth_bytes_per_sec;
     let bytes_per_node = 48.0; // seed (16 B) written + read, plus control words
     let eval_seconds = workload.num_records() as f64 * bytes_per_node / expansion_bandwidth;
-    let pcie = gpu
-        .host_link_bandwidth_bytes_per_sec
-        .unwrap_or(25.0e9);
+    let pcie = gpu.host_link_bandwidth_bytes_per_sec.unwrap_or(25.0e9);
     let launch = gpu.launch_latency_sec.unwrap_or(10.0e-6);
     // Keys up, result down, plus a launch per tree level and per scan pass.
     let transfer_seconds = (4096.0 + workload.record_bytes as f64) / pcie
@@ -381,7 +374,10 @@ pub fn gpu_pir_query(gpu: &DeviceProfile, workload: &PirWorkload) -> GpuPirEstim
 #[must_use]
 pub fn gpu_pir_batch(gpu: &DeviceProfile, workload: &PirWorkload) -> BatchEstimate {
     let per_query = gpu_pir_query(gpu, workload).total_seconds();
-    BatchEstimate::new(workload.batch_size, per_query * workload.batch_size.max(1) as f64)
+    BatchEstimate::new(
+        workload.batch_size,
+        per_query * workload.batch_size.max(1) as f64,
+    )
 }
 
 /// Latency/throughput summary for a batch of queries.
@@ -428,8 +424,7 @@ mod tests {
         // remains a one-thread scan.
         let profile = DeviceProfile::cpu_baseline_xeon_e5_2683();
         for gb in [1, 4, 8, 32] {
-            let estimate =
-                cpu_pir_query(&profile, &workload(gb, 1), profile.worker_threads, 1);
+            let estimate = cpu_pir_query(&profile, &workload(gb, 1), profile.worker_threads, 1);
             let share = estimate.dpxor_seconds / estimate.total_seconds();
             assert!(share > 0.6, "db={gb}GB share={share}");
         }
@@ -447,7 +442,10 @@ mod tests {
             let [eval, copy_to, dpxor, copy_from, aggregate] = estimate.percentages();
             assert!(eval > dpxor, "db={gb}GB eval%={eval} dpxor%={dpxor}");
             assert!(eval > 40.0, "db={gb}GB eval%={eval}");
-            assert!(copy_to + copy_from + aggregate < 20.0, "db={gb}GB copies too large");
+            assert!(
+                copy_to + copy_from + aggregate < 20.0,
+                "db={gb}GB copies too large"
+            );
         }
     }
 
@@ -463,7 +461,10 @@ mod tests {
             let pim_batch = impir_batch(&host, &w, 1);
             let speedup = cpu_batch.latency_seconds / pim_batch.latency_seconds;
             assert!(speedup > 1.0, "db={gb}GB speedup={speedup}");
-            assert!(speedup >= previous_speedup * 0.95, "speedup should not collapse");
+            assert!(
+                speedup >= previous_speedup * 0.95,
+                "speedup should not collapse"
+            );
             previous_speedup = speedup;
         }
         assert!(previous_speedup > 3.0, "8 GB speedup = {previous_speedup}");

@@ -115,8 +115,7 @@ impl RooflineModel {
         let log_max = max_oi.ln();
         (0..samples)
             .map(|i| {
-                let oi =
-                    (log_min + (log_max - log_min) * i as f64 / (samples - 1) as f64).exp();
+                let oi = (log_min + (log_max - log_min) * i as f64 / (samples - 1) as f64).exp();
                 (oi, self.attainable_gflops(oi))
             })
             .collect()
@@ -174,6 +173,8 @@ mod tests {
 
     #[test]
     fn dpxor_intensity_is_lower_than_eval() {
-        assert!(DPXOR_OPERATIONAL_INTENSITY < EVAL_OPERATIONAL_INTENSITY);
+        // Evaluated at compile time — the relation between the two model
+        // constants is part of the crate's contract.
+        const { assert!(DPXOR_OPERATIONAL_INTENSITY < EVAL_OPERATIONAL_INTENSITY) }
     }
 }

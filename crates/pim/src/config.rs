@@ -204,7 +204,10 @@ mod tests {
         // 2560 DPUs × 700 MB/s ≈ 1.79 TB/s, the paper's aggregate figure.
         let full = PimConfig::full_server();
         let aggregate_tb_per_s = full.aggregate_mram_bandwidth() / 1e12;
-        assert!((1.7..1.9).contains(&aggregate_tb_per_s), "{aggregate_tb_per_s}");
+        assert!(
+            (1.7..1.9).contains(&aggregate_tb_per_s),
+            "{aggregate_tb_per_s}"
+        );
         // 2560 × 64 MB = 160 GB of MRAM.
         assert_eq!(full.total_mram_bytes(), 160 * 1024 * 1024 * 1024);
     }

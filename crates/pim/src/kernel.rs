@@ -32,10 +32,7 @@ pub trait DpuProgram: Sync {
     ///
     /// Implementations should propagate [`PimError`]s from context accesses
     /// and may return [`PimError::KernelFault`] for their own failures.
-    fn run_tasklet(
-        &self,
-        ctx: &mut TaskletContext<'_>,
-    ) -> Result<Self::TaskletOutput, PimError>;
+    fn run_tasklet(&self, ctx: &mut TaskletContext<'_>) -> Result<Self::TaskletOutput, PimError>;
 
     /// Stage 2: executed once per DPU by the master tasklet after all
     /// tasklets of that DPU finished; combines the partial results.

@@ -400,7 +400,13 @@ mod tests {
         let err = system
             .scatter_to_mram(0, &vec![vec![0u8; 8]; 3])
             .unwrap_err();
-        assert!(matches!(err, PimError::TransferShapeMismatch { buffers: 3, dpus: 4 }));
+        assert!(matches!(
+            err,
+            PimError::TransferShapeMismatch {
+                buffers: 3,
+                dpus: 4
+            }
+        ));
     }
 
     #[test]

@@ -13,8 +13,10 @@ use serde::{Deserialize, Serialize};
 /// How client query indices are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum QueryDistribution {
     /// Uniformly random indices — the paper's evaluation setting.
+    #[default]
     Uniform,
     /// Zipf-distributed indices with exponent `s` (skewed popularity, as in
     /// media-consumption workloads).
@@ -27,12 +29,6 @@ pub enum QueryDistribution {
         /// Fraction of queries (0–1) directed at the hot index.
         hot_fraction: f64,
     },
-}
-
-impl Default for QueryDistribution {
-    fn default() -> Self {
-        QueryDistribution::Uniform
-    }
 }
 
 impl QueryDistribution {

@@ -31,7 +31,8 @@ fn main() -> Result<(), PirError> {
         log_shard.size_bytes() / 1024
     );
 
-    let mut pir = TwoServerPir::with_pim_servers(Arc::clone(&log_shard), ImPirConfig::tiny_test(8))?;
+    let mut pir =
+        TwoServerPir::with_pim_servers(Arc::clone(&log_shard), ImPirConfig::tiny_test(8))?;
 
     // The auditor checks a handful of certificates it is interested in.
     let audited = scenario.sample_queries(5, log_shard.num_records(), 42);

@@ -33,7 +33,10 @@ fn main() -> Result<(), PirError> {
     };
     let mut pim = ImPirSystem::new(db.clone(), pim_config)?;
 
-    println!("functional run: {} records, batch of {BATCH} queries", records);
+    println!(
+        "functional run: {} records, batch of {BATCH} queries",
+        records
+    );
     let cpu_outcome = cpu.process_batch(&shares_1)?;
     let gpu_outcome = gpu.process_batch(&shares_1)?;
     let pim_outcome = pim.process_batch(&shares_1)?;
@@ -59,8 +62,14 @@ fn main() -> Result<(), PirError> {
 
     println!("measured on this machine (hybrid seconds for the batch):");
     println!("  CPU-PIR: {:.3} s", cpu_outcome.hybrid_seconds());
-    println!("  GPU-PIR: {:.3} s (GPU phases from the RTX 4090 model)", gpu_outcome.hybrid_seconds());
-    println!("  IM-PIR : {:.3} s (PIM phases from the UPMEM model)", pim_outcome.hybrid_seconds());
+    println!(
+        "  GPU-PIR: {:.3} s (GPU phases from the RTX 4090 model)",
+        gpu_outcome.hybrid_seconds()
+    );
+    println!(
+        "  IM-PIR : {:.3} s (PIM phases from the UPMEM model)",
+        pim_outcome.hybrid_seconds()
+    );
 
     // Paper-scale prediction for a 1 GB database and batch of 32.
     let workload = PirWorkload::new(1 << 30, RECORD_BYTES as u64, 32);

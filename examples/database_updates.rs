@@ -28,7 +28,10 @@ fn main() -> Result<(), PirError> {
     let watched_index = 1500u64;
     let before = query(&mut client, &mut server_1, &mut server_2, watched_index)?;
     assert_eq!(before, initial.record(watched_index));
-    println!("before update: record {watched_index} starts with {:02x}{:02x}", before[0], before[1]);
+    println!(
+        "before update: record {watched_index} starts with {:02x}{:02x}",
+        before[0], before[1]
+    );
 
     // A bulk update arrives: 64 revoked entries get fresh contents.
     let updates: Vec<(u64, Vec<u8>)> = (0..64u64)

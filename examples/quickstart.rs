@@ -30,7 +30,10 @@ fn main() -> Result<(), PirError> {
     let wanted_index = 1234;
     let record = pir.query(wanted_index)?;
     assert_eq!(record, database.record(wanted_index));
-    println!("retrieved record {wanted_index}: {} bytes, matches the database", record.len());
+    println!(
+        "retrieved record {wanted_index}: {} bytes, matches the database",
+        record.len()
+    );
 
     // The per-phase breakdown of the last query (Algorithm 1 steps ➋–➏).
     if let Some((server_1_phases, _server_2_phases)) = pir.last_phases() {

@@ -153,7 +153,11 @@ fn run_query(options: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown backend `{other}` (expected pim or cpu)")),
     };
 
-    assert_eq!(record, database.record(index), "PIR answer must match the database");
+    assert_eq!(
+        record,
+        database.record(index),
+        "PIR answer must match the database"
+    );
     let preview: String = record.iter().take(16).map(|b| format!("{b:02x}")).collect();
     println!("retrieved record ({} bytes): {preview}…", record.len());
     if let Some(phases) = phases {
@@ -168,13 +172,11 @@ fn run_batch(options: &HashMap<String, String>) -> Result<(), String> {
     let record_bytes = get_u64(options, "record-bytes", 32)? as usize;
     let batch = get_u64(options, "batch", 16)? as usize;
 
-    let database =
-        Arc::new(Database::random(records, record_bytes, 7).map_err(|e| e.to_string())?);
+    let database = Arc::new(Database::random(records, record_bytes, 7).map_err(|e| e.to_string())?);
     let mut pir = TwoServerPir::with_pim_servers(database.clone(), pim_config(options)?)
         .map_err(|e| e.to_string())?;
     let indices = QueryDistribution::Uniform.sample(batch, records, 1);
-    let (answers, outcome_1, _outcome_2) =
-        pir.query_batch(&indices).map_err(|e| e.to_string())?;
+    let (answers, outcome_1, _outcome_2) = pir.query_batch(&indices).map_err(|e| e.to_string())?;
     for (answer, index) in answers.iter().zip(&indices) {
         assert_eq!(answer, database.record(*index));
     }
@@ -199,10 +201,8 @@ fn run_model(options: &HashMap<String, String>) -> Result<(), String> {
     }
     let workload = PirWorkload::new((db_gb * (1u64 << 30) as f64) as u64, 32, batch.max(1));
 
-    let cpu = im_pir::perf::model::cpu_pir_batch(
-        &DeviceProfile::cpu_baseline_xeon_e5_2683(),
-        &workload,
-    );
+    let cpu =
+        im_pir::perf::model::cpu_pir_batch(&DeviceProfile::cpu_baseline_xeon_e5_2683(), &workload);
     let gpu = im_pir::perf::model::gpu_pir_batch(&DeviceProfile::gpu_rtx_4090(), &workload);
     let pim = im_pir::perf::model::impir_batch(
         &DeviceProfile::pim_host_xeon_silver_4110(),

@@ -6,16 +6,17 @@ use std::sync::Arc;
 
 use im_pir::baselines::{CpuPirBaseline, GpuPirBaseline, ImPirSystem, SystemUnderTest};
 use im_pir::core::database::Database;
-use im_pir::core::server::pim::ImPirConfig;
+use im_pir::core::engine::{EngineConfig, QueryEngine};
+use im_pir::core::server::cpu::{CpuPirServer, CpuServerConfig};
+use im_pir::core::server::pim::{ImPirConfig, ImPirServer};
+use im_pir::core::server::streaming::{StreamingConfig, StreamingImPirServer};
+use im_pir::core::shard::{ShardPlan, ShardedDatabase};
 use im_pir::core::PirClient;
 use im_pir::dpf::EvalStrategy;
 use im_pir::pim::PimConfig;
 use proptest::prelude::*;
 
-fn build_systems(
-    db: &Arc<Database>,
-    dpus: usize,
-) -> (CpuPirBaseline, GpuPirBaseline, ImPirSystem) {
+fn build_systems(db: &Arc<Database>, dpus: usize) -> (CpuPirBaseline, GpuPirBaseline, ImPirSystem) {
     let cpu = CpuPirBaseline::new(db.clone()).unwrap();
     let gpu = GpuPirBaseline::new(db.clone()).unwrap();
     let config = ImPirConfig {
@@ -72,6 +73,83 @@ fn all_eval_strategies_lead_to_the_same_server_answer() {
         match &reference {
             None => reference = Some(response.payload),
             Some(expected) => assert_eq!(&response.payload, expected, "{}", strategy.name()),
+        }
+    }
+}
+
+/// CPU, PIM and streaming backends must return byte-identical records
+/// through the unified `QueryEngine` on a sharded database, across several
+/// shard layouts, including a batch whose size is a multiple of neither the
+/// shard count nor the PIM backend's cluster count.
+#[test]
+fn engine_backends_agree_on_sharded_databases() {
+    let num_records: u64 = 421;
+    let record_size = 24;
+    let db = Arc::new(Database::random(num_records, record_size, 19).unwrap());
+    let mut client = PirClient::new(num_records, record_size, 9).unwrap();
+    // 7 queries: not a multiple of 2 or 3 (shard counts), nor of the PIM
+    // backend's 2 clusters.
+    let indices: Vec<u64> = vec![0, 420, 99, 210, 99, 7, 333];
+    let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+
+    let plans = [
+        ShardPlan::uniform(num_records, 2).unwrap(),
+        ShardPlan::uniform(num_records, 3).unwrap(),
+        // A deliberately skewed layout: a big head shard and two small
+        // tails.
+        ShardPlan::from_ranges(vec![0..300, 300..400, 400..num_records]).unwrap(),
+    ];
+    for plan in plans {
+        let shard_count = plan.shard_count();
+        let sharded = ShardedDatabase::new(db.clone(), plan).unwrap();
+
+        let mut cpu_engine =
+            QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+            })
+            .unwrap();
+        let mut pim_engine =
+            QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                ImPirServer::new(shard_db, ImPirConfig::tiny_test(4).with_clusters(2))
+            })
+            .unwrap();
+        let mut streaming_engine =
+            QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                // A tight residency budget forces several segments per
+                // shard scan.
+                let config = StreamingConfig::new(ImPirConfig::tiny_test(4), 512)?;
+                StreamingImPirServer::new(shard_db, config)
+            })
+            .unwrap();
+
+        let cpu_out = cpu_engine.execute_batch(&shares_1).unwrap();
+        let pim_out = pim_engine.execute_batch(&shares_1).unwrap();
+        let streaming_out = streaming_engine.execute_batch(&shares_1).unwrap();
+        assert_eq!(cpu_out.responses.len(), indices.len());
+        for i in 0..indices.len() {
+            assert_eq!(
+                cpu_out.responses[i].payload, pim_out.responses[i].payload,
+                "shards={shard_count} query {i}: CPU vs PIM"
+            );
+            assert_eq!(
+                cpu_out.responses[i].payload, streaming_out.responses[i].payload,
+                "shards={shard_count} query {i}: CPU vs streaming"
+            );
+        }
+
+        // End to end: reconstruct against a second (unsharded) CPU server
+        // to prove the engine responses are real PIR subresults.
+        let mut second = CpuPirBaseline::new(db.clone()).unwrap();
+        let second_out = second.process_batch(&shares_2).unwrap();
+        for (i, &index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&pim_out.responses[i], &second_out.responses[i])
+                .unwrap();
+            assert_eq!(
+                record,
+                db.record(index),
+                "shards={shard_count} index {index}"
+            );
         }
     }
 }

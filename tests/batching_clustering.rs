@@ -23,8 +23,7 @@ fn config(dpus: usize, clusters: usize) -> ImPirConfig {
 fn large_batches_are_answered_correctly_across_cluster_counts() {
     let db = Arc::new(Database::random(1024, 32, 55).unwrap());
     for clusters in [1usize, 2, 4, 8] {
-        let mut pir =
-            TwoServerPir::with_pim_servers(db.clone(), config(8, clusters)).unwrap();
+        let mut pir = TwoServerPir::with_pim_servers(db.clone(), config(8, clusters)).unwrap();
         let indices = QueryDistribution::Uniform.sample(40, db.num_records(), clusters as u64);
         let (records, outcome_1, outcome_2) = pir.query_batch(&indices).unwrap();
         for (record, index) in records.iter().zip(&indices) {

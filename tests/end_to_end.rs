@@ -45,7 +45,8 @@ fn dpf_query_matches_the_naive_xor_share_scheme() {
     let index = 123u64;
 
     let (share_1, share_2) = client.generate_query(index).unwrap();
-    let mut dpf_selector: SelectorVector = im_pir::dpf::eval::eval_range(&share_1.key, 0, num_records).unwrap();
+    let mut dpf_selector: SelectorVector =
+        im_pir::dpf::eval::eval_range(&share_1.key, 0, num_records).unwrap();
     dpf_selector.xor_assign(&im_pir::dpf::eval::eval_range(&share_2.key, 0, num_records).unwrap());
 
     let naive = generate_shares(num_records, index, &mut rng).unwrap();
@@ -71,16 +72,12 @@ fn query_shares_survive_serialization_between_client_and_server() {
     assert!(DpfKey::from_bytes(&wire_1[..wire_1.len() - 3]).is_err());
 
     // The restored key answers correctly end to end.
-    let mut server_1 = im_pir::core::server::cpu::CpuPirServer::new(
-        db.clone(),
-        CpuServerConfig::baseline(),
-    )
-    .unwrap();
-    let mut server_2 = im_pir::core::server::cpu::CpuPirServer::new(
-        db.clone(),
-        CpuServerConfig::baseline(),
-    )
-    .unwrap();
+    let mut server_1 =
+        im_pir::core::server::cpu::CpuPirServer::new(db.clone(), CpuServerConfig::baseline())
+            .unwrap();
+    let mut server_2 =
+        im_pir::core::server::cpu::CpuPirServer::new(db.clone(), CpuServerConfig::baseline())
+            .unwrap();
     use im_pir::core::server::PirServer;
     let restored_share = im_pir::core::QueryShare::new(share_1.query_id, restored);
     let (r1, _) = server_1.process_query(&restored_share).unwrap();
@@ -108,7 +105,10 @@ fn single_record_database_is_supported() {
     let db = Arc::new(Database::random(1, 32, 0).unwrap());
     let mut pir = TwoServerPir::with_pim_servers(db.clone(), ImPirConfig::tiny_test(2)).unwrap();
     assert_eq!(pir.query(0).unwrap(), db.record(0));
-    assert!(matches!(pir.query(1), Err(PirError::IndexOutOfRange { .. })));
+    assert!(matches!(
+        pir.query(1),
+        Err(PirError::IndexOutOfRange { .. })
+    ));
 }
 
 #[test]
@@ -119,11 +119,9 @@ fn a_single_share_does_not_reveal_the_record() {
     let db = Arc::new(Database::random(256, 32, 2).unwrap());
     let mut client = PirClient::new(256, 32, 11).unwrap();
     let (share_1, _share_2) = client.generate_query(99).unwrap();
-    let mut server_1 = im_pir::core::server::cpu::CpuPirServer::new(
-        db.clone(),
-        CpuServerConfig::baseline(),
-    )
-    .unwrap();
+    let mut server_1 =
+        im_pir::core::server::cpu::CpuPirServer::new(db.clone(), CpuServerConfig::baseline())
+            .unwrap();
     use im_pir::core::server::PirServer;
     let (r1, _) = server_1.process_query(&share_1).unwrap();
     assert_ne!(r1.payload, db.record(99));

@@ -27,7 +27,11 @@ fn n_server_deployments_answer_correctly_and_scale_upload_cost() {
     for servers in [2usize, 3, 4, 6] {
         let mut pir = NServerNaivePir::new(db.clone(), servers, servers as u64).unwrap();
         for index in [0u64, 199, 399] {
-            assert_eq!(pir.query(index).unwrap(), db.record(index), "servers={servers}");
+            assert_eq!(
+                pir.query(index).unwrap(),
+                db.record(index),
+                "servers={servers}"
+            );
         }
         // §3: communication overhead grows with the number of servers.
         assert!(pir.upload_bytes_per_query() > previous_upload);
@@ -89,7 +93,11 @@ fn updates_combined_with_batches_and_clusters_stay_consistent() {
             let record = client
                 .reconstruct(&outcome_1.responses[i], &outcome_2.responses[i])
                 .unwrap();
-            assert_eq!(record, oracle.record(*index), "round {round}, index {index}");
+            assert_eq!(
+                record,
+                oracle.record(*index),
+                "round {round}, index {index}"
+            );
         }
     }
 }

@@ -67,7 +67,7 @@ fn dpxor_kernel_faults_on_inconsistent_headers() {
     system.push_to_dpu(0, 0, &header).unwrap();
     system.push_to_dpu(0, 16, &vec![0u8; 32 * 32]).unwrap();
     system
-        .push_to_dpu(0, layout.selector_offset, &vec![0u8; 8])
+        .push_to_dpu(0, layout.selector_offset, &[0u8; 8])
         .unwrap();
     let kernel = DpXorKernel::new(layout);
     assert!(matches!(
@@ -143,7 +143,11 @@ fn custom_kernels_can_be_written_against_the_public_api() {
 
     let mut system = PimSystem::new(PimConfig::tiny_test(3, 4096)).unwrap();
     let buffers: Vec<Vec<u8>> = (0..3)
-        .map(|dpu| (0..256).map(|i| u8::from((i + dpu) % 4 == 0) * 0xaa).collect())
+        .map(|dpu| {
+            (0..256)
+                .map(|i| u8::from((i + dpu) % 4 == 0) * 0xaa)
+                .collect()
+        })
         .collect();
     let expected: Vec<u64> = buffers
         .iter()

@@ -1,0 +1,233 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! `benches/` compile against this minimal harness instead: each
+//! `Bencher::iter` call runs the closure for a handful of iterations (one
+//! warm-up, then up to [`MAX_SAMPLE_ITERS`] timed runs capped at
+//! ~[`MAX_SAMPLE_MILLIS`] ms) and prints the mean per-iteration time. There
+//! is no statistical analysis, outlier rejection or HTML report — swap in
+//! real criterion for serious measurements; the bench sources need no
+//! changes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Timed iterations per benchmark (after one warm-up run).
+pub const MAX_SAMPLE_ITERS: u32 = 5;
+
+/// Soft time budget per benchmark in milliseconds.
+pub const MAX_SAMPLE_MILLIS: u64 = 500;
+
+/// Prevents the optimiser from discarding a value (identity here; the
+/// closure results of this shim are observed through a volatile-free sink,
+/// which is good enough for the simulator-bound benches in this workspace).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim ignores the sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this shim ignores the target time.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark of the group against an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |bencher| f(bencher, input));
+        self
+    }
+
+    /// Runs one named benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (strings or ready-made ids).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Runs closures under timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then up to [`MAX_SAMPLE_ITERS`]
+    /// timed calls bounded by the [`MAX_SAMPLE_MILLIS`] budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _warmup = routine();
+        let budget = Duration::from_millis(MAX_SAMPLE_MILLIS);
+        let started = Instant::now();
+        for _ in 0..MAX_SAMPLE_ITERS {
+            let iteration = Instant::now();
+            let _ = routine();
+            self.total += iteration.elapsed();
+            self.iters += 1;
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        let mean = bencher.total / bencher.iters;
+        println!("bench {label}: {mean:?}/iter over {} iters", bencher.iters);
+    } else {
+        println!("bench {label}: no iterations recorded");
+    }
+}
+
+/// Declares a group of benchmark functions (`criterion_group!(name, fns…)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (`criterion_main!(groups…)`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(10));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+        Criterion::default().bench_function("inline", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, providing the [`channel`] module used by the batch pipeline.
+//!
+//! The channels are multi-producer **multi-consumer** (unlike
+//! `std::sync::mpsc`) and come in unbounded and bounded flavours; bounded
+//! senders block when the queue is full, which is what gives the admission
+//! queue in `impir_core::batch` its backpressure. The implementation is a
+//! `Mutex<VecDeque>` with two condvars — far simpler (and slower) than real
+//! crossbeam's lock-free queues, but semantically equivalent for the
+//! pipeline's purposes.
+
+#![forbid(unsafe_code)]
+
+/// MPMC channels (`unbounded`, `bounded`, `Sender`, `Receiver`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item arrives or the last sender leaves.
+        readable: Condvar,
+        /// Signalled when space frees up or the last receiver leaves.
+        writable: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// The sending half of a channel. Cloneable (multi-producer).
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Creates a channel of unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    /// Creates a channel that holds at most `capacity` messages; senders
+    /// block while it is full. (Real crossbeam's `bounded(0)` is a
+    /// rendezvous channel; this shim rounds the capacity up to 1.)
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(capacity.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] with the value when all receivers have been
+        /// dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.chan.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self
+                            .chan
+                            .writable
+                            .wait(state)
+                            .expect("channel lock poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.chan.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and all senders
+        /// have been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.chan.writable.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .chan
+                    .readable
+                    .wait(state)
+                    .expect("channel lock poisoned");
+            }
+        }
+
+        /// Receives the next message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] if no message is waiting,
+        /// [`TryRecvError::Disconnected`] if additionally all senders are
+        /// gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.chan.writable.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan
+                .state
+                .lock()
+                .expect("channel lock poisoned")
+                .senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan
+                .state
+                .lock()
+                .expect("channel lock poisoned")
+                .receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake receivers blocked on an empty, now-closed channel.
+                self.chan.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake senders blocked on a full, now-closed channel.
+                self.chan.writable.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_fifo_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let received: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(received, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn receivers_see_disconnect_after_last_sender_drops() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(1).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_when_all_receivers_gone() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut received = Vec::new();
+        while let Ok(v) = rx.recv() {
+            received.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(received, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_stream() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let rx2 = rx.clone();
+        for i in 0..50 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h1 = std::thread::spawn(move || std::iter::from_fn(|| rx.recv().ok()).count());
+        let h2 = std::thread::spawn(move || std::iter::from_fn(|| rx2.recv().ok()).count());
+        assert_eq!(h1.join().unwrap() + h2.join().unwrap(), 50);
+    }
+}

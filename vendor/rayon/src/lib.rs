@@ -1,0 +1,97 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! API subset the workspace uses — `par_iter`, `par_iter_mut`,
+//! `into_par_iter` and [`current_num_threads`] — implemented **sequentially**
+//! on top of the standard iterator machinery. Every adapter chain written
+//! against real rayon (`.map(..).collect::<Result<_, _>>()`, `.enumerate()`,
+//! `.unzip()`, …) compiles and behaves identically; only the execution is
+//! single-threaded.
+//!
+//! Thread-level parallelism in this workspace therefore comes from the
+//! explicit `std::thread::scope` fan-out in `impir_core::batch` and
+//! `impir_core::engine`, not from data-parallel iterators.
+
+#![forbid(unsafe_code)]
+
+/// Number of threads the (virtual) pool would use: the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parallel-iterator conversion traits (sequential in this shim).
+pub mod prelude {
+    /// `into_par_iter()` — sequential: forwards to [`IntoIterator`].
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Converts `self` into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` — sequential: forwards to `(&self).into_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Borrows `self` as a "parallel" (here: sequential) iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — sequential: forwards to `(&mut self).into_iter()`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Mutably borrows `self` as a "parallel" (here: sequential)
+        /// iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+    impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std_iterators() {
+        let doubled: Vec<u64> = (0u64..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+
+        let data = vec![1, 2, 3];
+        let sum: i32 = data.par_iter().sum();
+        assert_eq!(sum, 6);
+
+        let mut values = vec![1, 2, 3];
+        values.par_iter_mut().for_each(|v| *v += 10);
+        assert_eq!(values, vec![11, 12, 13]);
+
+        let fallible: Result<Vec<i32>, &str> = vec![1, 2, 3].par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(fallible.unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

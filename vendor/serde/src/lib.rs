@@ -1,0 +1,19 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace's build environment has no crates.io access and nothing in
+//! the workspace actually serialises through serde (the bench harness
+//! hand-rolls its JSON reports), so this shim only provides what the source
+//! tree *names*: the `Serialize` / `Deserialize` derive macros (which expand
+//! to nothing, see `serde_derive`) and marker traits of the same names so
+//! `T: Serialize` bounds would still be writable. Replacing this crate with
+//! the real serde restores full functionality without source changes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; see crate docs).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; see crate docs).
+pub trait Deserialize<'de> {}

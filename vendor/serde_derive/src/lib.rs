@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serialises values through serde (the bench
+//! harness hand-rolls its JSON), so `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` only need to *parse* — they expand to an empty
+//! token stream. This keeps every `#[derive(.., Serialize, Deserialize)]`
+//! in the source tree compiling without crates.io access; swap this crate
+//! for the real serde to get working serialisation back.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
