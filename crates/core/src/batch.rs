@@ -188,10 +188,20 @@ pub type SelectorEvaluator =
 /// then evaluates `strategy` over every record. All three bundled backends
 /// build their evaluator through this single definition so domain
 /// validation cannot drift between them.
+///
+/// The evaluator owns a [`ScratchPool`](impir_dpf::ScratchPool) and a
+/// pre-expanded PRG: each in-flight evaluation checks a scratch out of the
+/// pool, so once every stage-1 worker has warmed one up, steady-state batch
+/// serving performs **no heap allocation on the expansion path** (the
+/// result vector itself is the only per-query allocation). The pool — and
+/// therefore the warmed scratches — lives as long as the evaluator, across
+/// batches.
 pub fn database_selector_evaluator(
     database: std::sync::Arc<crate::database::Database>,
     strategy: impir_dpf::EvalStrategy,
 ) -> SelectorEvaluator {
+    let prg = impir_crypto::prg::LengthDoublingPrg::default();
+    let scratches = impir_dpf::ScratchPool::new();
     Box::new(move |share| {
         let expected = database.domain_bits();
         if share.key.domain_bits() != expected {
@@ -200,7 +210,10 @@ pub fn database_selector_evaluator(
                 database_domain_bits: expected,
             });
         }
-        Ok(strategy.eval_range(&share.key, 0, database.num_records())?)
+        let selector = scratches.with(|scratch| {
+            strategy.eval_range_with_scratch(&share.key, 0, database.num_records(), &prg, scratch)
+        })?;
+        Ok(selector)
     })
 }
 
@@ -574,6 +587,31 @@ mod tests {
             process_batch(&mut s1, &shares, &config),
             Err(PirError::QueryDomainMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn evaluator_scratch_reuse_across_batches_matches_fresh_scratch() {
+        // The acceptance criterion for the zero-allocation expansion path:
+        // one evaluator (whose scratch pool persists across batches) must
+        // produce the same selectors for every query of two consecutive
+        // batches as evaluation through a fresh scratch.
+        let db = Arc::new(Database::random(300, 16, 21).unwrap());
+        let mut client = PirClient::new(300, 16, 9).unwrap();
+        let strategy = impir_dpf::EvalStrategy::SubtreeParallel { threads: 4 };
+        let evaluator = crate::batch::database_selector_evaluator(db.clone(), strategy);
+        let prg = impir_crypto::prg::LengthDoublingPrg::default();
+        for batch in 0..2u64 {
+            let indices: Vec<u64> = (0..12).map(|i| (i * 23 + batch * 7) % 300).collect();
+            let (shares, _) = client.generate_batch(&indices).unwrap();
+            for (i, share) in shares.iter().enumerate() {
+                let reused = evaluator(share).unwrap();
+                let mut fresh_scratch = impir_dpf::EvalScratch::new();
+                let fresh = strategy
+                    .eval_range_with_scratch(&share.key, 0, 300, &prg, &mut fresh_scratch)
+                    .unwrap();
+                assert_eq!(reused, fresh, "batch {batch} query {i}");
+            }
+        }
     }
 
     #[test]

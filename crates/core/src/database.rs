@@ -255,13 +255,32 @@ impl Database {
     /// Panics if the selector length differs from the number of records.
     #[must_use]
     pub fn xor_select(&self, selector: &SelectorVector) -> Vec<u8> {
+        let mut acc_words = Vec::new();
+        self.xor_select_with(selector, &mut acc_words)
+    }
+
+    /// [`Database::xor_select`] with a caller-owned word scratch, so scan
+    /// loops (one scan per query of a batch) reuse the accumulator words
+    /// instead of allocating them per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selector length differs from the number of records.
+    #[must_use]
+    pub fn xor_select_with(&self, selector: &SelectorVector, acc_words: &mut Vec<u64>) -> Vec<u8> {
         assert_eq!(
             selector.len() as u64,
             self.num_records,
             "selector length must equal the number of records"
         );
         let mut accumulator = vec![0u8; self.record_size];
-        dpxor::xor_select_into(&self.data, self.record_size, selector, &mut accumulator);
+        dpxor::xor_select_into_with(
+            &self.data,
+            self.record_size,
+            selector,
+            &mut accumulator,
+            acc_words,
+        );
         accumulator
     }
 }

@@ -37,6 +37,28 @@ pub fn xor_select_into(
     }
 }
 
+/// [`xor_select_into`] with a caller-owned word scratch for the wide path,
+/// so repeated scans (one per query of a batch) reuse the same accumulator
+/// words instead of allocating per call.
+///
+/// # Panics
+///
+/// Panics if the slice sizes are inconsistent.
+pub fn xor_select_into_with(
+    records: &[u8],
+    record_size: usize,
+    selector: &SelectorVector,
+    accumulator: &mut [u8],
+    acc_words: &mut Vec<u64>,
+) {
+    check_shapes(records, record_size, selector, accumulator);
+    if record_size.is_multiple_of(8) {
+        xor_select_wide_with(records, record_size, selector, accumulator, acc_words);
+    } else {
+        xor_select_scalar(records, record_size, selector, accumulator);
+    }
+}
+
 /// Byte-wise reference implementation of the selector-weighted XOR.
 ///
 /// # Panics
@@ -76,13 +98,34 @@ pub fn xor_select_wide(
     selector: &SelectorVector,
     accumulator: &mut [u8],
 ) {
+    let mut acc_words = Vec::new();
+    xor_select_wide_with(records, record_size, selector, accumulator, &mut acc_words);
+}
+
+/// [`xor_select_wide`] with the word accumulator hoisted out into a
+/// caller-owned scratch: `acc_words` is cleared and refilled, keeping its
+/// capacity, so a scan loop reusing one scratch allocates nothing per call
+/// in the steady state.
+///
+/// # Panics
+///
+/// Panics if the slice sizes are inconsistent or `record_size` is not a
+/// multiple of 8.
+pub fn xor_select_wide_with(
+    records: &[u8],
+    record_size: usize,
+    selector: &SelectorVector,
+    accumulator: &mut [u8],
+    acc_words: &mut Vec<u64>,
+) {
     check_shapes(records, record_size, selector, accumulator);
     assert!(
         record_size.is_multiple_of(8),
         "wide path requires record sizes that are multiples of 8 bytes"
     );
     let words_per_record = record_size / 8;
-    let mut acc_words = vec![0u64; words_per_record];
+    acc_words.clear();
+    acc_words.resize(words_per_record, 0);
     for (word, chunk) in acc_words.iter_mut().zip(accumulator.chunks_exact(8)) {
         *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
     }
@@ -107,7 +150,7 @@ pub fn xor_select_wide(
         }
     }
 
-    for (chunk, word) in accumulator.chunks_exact_mut(8).zip(&acc_words) {
+    for (chunk, word) in accumulator.chunks_exact_mut(8).zip(acc_words.iter()) {
         chunk.copy_from_slice(&word.to_le_bytes());
     }
 }
@@ -187,6 +230,22 @@ mod tests {
         xor_select_scalar(&records, 32, &selector, &mut scalar);
         xor_select_wide(&records, 32, &selector, &mut wide);
         assert_eq!(scalar, wide);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch_across_calls() {
+        // One scratch carried across scans of different record sizes must
+        // produce the same results as fresh allocation per call.
+        let mut scratch = Vec::new();
+        for (count, record_size, seed) in [(64usize, 32usize, 1u64), (100, 8, 2), (30, 48, 3)] {
+            let records = random_records(count, record_size, seed);
+            let selector: SelectorVector = (0..count).map(|i| i % 3 != 0).collect();
+            let mut reused = vec![0u8; record_size];
+            let mut fresh = vec![0u8; record_size];
+            xor_select_into_with(&records, record_size, &selector, &mut reused, &mut scratch);
+            xor_select_into(&records, record_size, &selector, &mut fresh);
+            assert_eq!(reused, fresh, "record_size={record_size}");
+        }
     }
 
     #[test]

@@ -129,16 +129,20 @@ struct EngineShard<S> {
     records: u64,
 }
 
-/// Where the engine's stage-1 selector evaluation comes from.
-#[derive(Debug, Clone, Copy)]
-enum EvalSource {
-    /// Evaluate through shard 0's backend (single-shard engines wrapping a
-    /// pre-built backend: the backend's own strategy and domain checks
-    /// apply).
-    Backend,
-    /// Evaluate with the engine's own strategy over the full domain
-    /// (sharded engines, where no single backend covers the domain).
-    Strategy(EvalStrategy),
+/// The engine's stage-1 selector evaluator, built **once at construction**:
+/// the evaluator (and the scratch pool it owns) lives as long as the
+/// engine, so steady-state serving reuses the same warmed expansion buffers
+/// query after query, batch after batch. For single-shard engines this is
+/// the backend's own [`BatchExecutor::selector_evaluator`] (the backend's
+/// configured strategy and domain checks govern); for sharded engines it is
+/// the engine's strategy over the full domain, since no single backend
+/// covers it.
+struct EngineEvaluator(SelectorEvaluator);
+
+impl std::fmt::Debug for EngineEvaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EngineEvaluator")
+    }
 }
 
 /// The unified sharded execution layer (see the module docs).
@@ -150,7 +154,23 @@ pub struct QueryEngine<S> {
     record_size: usize,
     domain_bits: u32,
     config: EngineConfig,
-    eval_source: EvalSource,
+    evaluator: EngineEvaluator,
+}
+
+/// Builds the sharded engine's full-domain strategy evaluator: the closure
+/// owns the PRG and a scratch pool, so every evaluation through it — from
+/// any batch, on any stage-1 worker — checks warmed buffers out of one
+/// long-lived pool.
+fn strategy_evaluator(strategy: EvalStrategy, num_records: u64) -> EngineEvaluator {
+    let prg = impir_crypto::prg::LengthDoublingPrg::default();
+    let scratches = impir_dpf::ScratchPool::new();
+    EngineEvaluator(Box::new(move |share| {
+        scratches
+            .with(|scratch| {
+                strategy.eval_range_with_scratch(&share.key, 0, num_records, &prg, scratch)
+            })
+            .map_err(PirError::from)
+    }))
 }
 
 impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
@@ -167,6 +187,9 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
         let num_records = backend.num_records();
         let record_size = backend.record_size();
         let plan = ShardPlan::single(num_records)?;
+        // Built once: the backend evaluator's scratch pool serves every
+        // batch this engine ever executes.
+        let evaluator = EngineEvaluator(backend.selector_evaluator());
         Ok(QueryEngine {
             shards: vec![EngineShard {
                 backend,
@@ -178,7 +201,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             record_size,
             domain_bits: domain_bits_for(num_records),
             config,
-            eval_source: EvalSource::Backend,
+            evaluator,
         })
     }
 
@@ -234,7 +257,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             record_size: database.database().record_size(),
             domain_bits: domain_bits_for(num_records),
             config,
-            eval_source: EvalSource::Strategy(config.eval_strategy),
+            evaluator: strategy_evaluator(config.eval_strategy, num_records),
         })
     }
 
@@ -289,23 +312,6 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
         Ok(())
     }
 
-    /// Builds the borrow-free stage-1 evaluator for this engine: the
-    /// backend's own evaluator for single-shard engines, the engine's
-    /// configured strategy over the full domain for sharded ones.
-    fn make_evaluator(&self) -> SelectorEvaluator {
-        match self.eval_source {
-            EvalSource::Backend => self.shards[0].backend.selector_evaluator(),
-            EvalSource::Strategy(strategy) => {
-                let num_records = self.num_records;
-                Box::new(move |share| {
-                    strategy
-                        .eval_range(&share.key, 0, num_records)
-                        .map_err(PirError::from)
-                })
-            }
-        }
-    }
-
     /// Executes one query end to end through the engine.
     ///
     /// # Errors
@@ -345,9 +351,10 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             self.check_domain(share)?;
         }
 
-        // The borrow-free evaluator lets the worker stage run while the
-        // shard threads hold the backends mutably.
-        let evaluator = self.make_evaluator();
+        // The borrow-free, engine-lived evaluator lets the worker stage run
+        // while the shard threads hold the backends mutably — and carries
+        // its warmed scratch pool from batch to batch.
+        let evaluator = &self.evaluator.0;
         let pipeline = self.config.pipeline;
         let count = shares.len();
 
@@ -677,6 +684,24 @@ mod tests {
         let outcome = engine.execute_batch(&[]).unwrap();
         assert!(outcome.responses.is_empty());
         assert_eq!(outcome.phase_totals, PhaseBreakdown::zero());
+    }
+
+    #[test]
+    fn consecutive_batches_through_one_engine_match_fresh_engines() {
+        // The engine's scratch pool persists across batches; payloads must
+        // be identical to those of an engine that has never served before.
+        let db = Arc::new(Database::random(220, 16, 13).unwrap());
+        let mut client = PirClient::new(220, 16, 3).unwrap();
+        let mut warm = cpu_engine(&db, 3);
+        for batch in 0..3u64 {
+            let indices: Vec<u64> = (0..9).map(|i| (i * 31 + batch * 11) % 220).collect();
+            let (shares, _) = client.generate_batch(&indices).unwrap();
+            let warm_outcome = warm.execute_batch(&shares).unwrap();
+            let fresh_outcome = cpu_engine(&db, 3).execute_batch(&shares).unwrap();
+            for (w, f) in warm_outcome.responses.iter().zip(&fresh_outcome.responses) {
+                assert_eq!(w.payload, f.payload, "batch {batch}");
+            }
+        }
     }
 
     #[test]

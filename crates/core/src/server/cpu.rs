@@ -96,6 +96,11 @@ impl Default for CpuServerConfig {
 pub struct CpuPirServer {
     database: Arc<Database>,
     config: CpuServerConfig,
+    /// Reusable `dpXOR` accumulator-word buffers, one checked out per
+    /// in-flight scan: after warm-up, steady-state batch scanning performs
+    /// no per-query scratch allocation (the scan-side counterpart of the
+    /// DPF side's [`impir_dpf::ScratchPool`]).
+    scan_scratches: impir_dpf::BufferPool<Vec<u64>>,
 }
 
 impl CpuPirServer {
@@ -106,7 +111,11 @@ impl CpuPirServer {
     /// Returns [`PirError::Config`] if the configuration is invalid.
     pub fn new(database: Arc<Database>, config: CpuServerConfig) -> Result<Self, PirError> {
         config.validate()?;
-        Ok(CpuPirServer { database, config })
+        Ok(CpuPirServer {
+            database,
+            config,
+            scan_scratches: impir_dpf::BufferPool::new(),
+        })
     }
 
     /// The configuration this server runs with.
@@ -138,7 +147,9 @@ impl CpuPirServer {
         let num_records = self.database.num_records() as usize;
         let threads = self.config.scan_threads.min(num_records.max(1));
         if threads <= 1 {
-            return self.database.xor_select(selector);
+            return self
+                .scan_scratches
+                .with(|acc_words| self.database.xor_select_with(selector, acc_words));
         }
         let per_thread = num_records.div_ceil(threads);
         let partials: Vec<Vec<u8>> = (0..threads)
@@ -152,7 +163,15 @@ impl CpuPirServer {
                 let chunk = self.database.record_chunk(start as u64, count as u64);
                 let chunk_selector = selector.slice(start, count);
                 let mut accumulator = vec![0u8; record_size];
-                dpxor::xor_select_into(chunk, record_size, &chunk_selector, &mut accumulator);
+                self.scan_scratches.with(|acc_words| {
+                    dpxor::xor_select_into_with(
+                        chunk,
+                        record_size,
+                        &chunk_selector,
+                        &mut accumulator,
+                        acc_words,
+                    );
+                });
                 accumulator
             })
             .collect();

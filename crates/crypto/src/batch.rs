@@ -47,11 +47,15 @@ pub fn encrypt_batch(cipher: &Aes128, blocks: &mut [Block]) {
 /// PRG expansion; batching it is what makes level-wise DPF evaluation
 /// AES-bound rather than control-flow-bound.
 pub fn mmo_batch(cipher: &Aes128, blocks: &mut [Block]) {
+    // The feedforward copy lives on the stack (one pipeline window) so the
+    // whole batch runs without touching the heap — a requirement of the
+    // zero-allocation DPF expansion path built on top of this function.
+    let mut inputs = [Block::ZERO; PIPELINE_WIDTH];
     for chunk in blocks.chunks_mut(PIPELINE_WIDTH) {
-        let inputs: Vec<Block> = chunk.to_vec();
+        inputs[..chunk.len()].copy_from_slice(chunk);
         cipher.encrypt_blocks(chunk);
-        for (out, input) in chunk.iter_mut().zip(inputs) {
-            *out ^= input;
+        for (out, input) in chunk.iter_mut().zip(&inputs) {
+            *out ^= *input;
         }
     }
 }

@@ -151,6 +151,62 @@ impl LengthDoublingPrg {
             .collect()
     }
 
+    /// Expands a level of parent seeds directly into caller-owned buffers,
+    /// performing **no heap allocation** — the hot-path form of
+    /// [`LengthDoublingPrg::expand_level`].
+    ///
+    /// For each parent `i` of `seeds`:
+    ///
+    /// * `left[i]` / `right[i]` receive the two child seeds (low bit
+    ///   cleared), and
+    /// * bits `2i` / `2i + 1` of the packed `controls` words receive the
+    ///   left / right child's control bit — i.e. the control bits come out
+    ///   already in left-to-right child order, ready for word-level
+    ///   correction and merging by the DPF's level expansion.
+    ///
+    /// The AES calls go through the batched MMO path per child side, so the
+    /// access pattern still matches §3.2's AES-NI batching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `left` or `right` holds fewer than `seeds.len()` blocks or
+    /// `controls` fewer than `seeds.len().div_ceil(32)` words.
+    pub fn expand_level_into(
+        &self,
+        seeds: &[Block],
+        left: &mut [Block],
+        right: &mut [Block],
+        controls: &mut [u64],
+    ) {
+        let n = seeds.len();
+        let control_words = n.div_ceil(32);
+        assert!(left.len() >= n, "left buffer holds fewer blocks than seeds");
+        assert!(
+            right.len() >= n,
+            "right buffer holds fewer blocks than seeds"
+        );
+        assert!(
+            controls.len() >= control_words,
+            "controls buffer too small: {} words for {n} parents",
+            controls.len()
+        );
+        left[..n].copy_from_slice(seeds);
+        right[..n].copy_from_slice(seeds);
+        crate::batch::mmo_batch(&self.left_key, &mut left[..n]);
+        crate::batch::mmo_batch(&self.right_key, &mut right[..n]);
+        for word in &mut controls[..control_words] {
+            *word = 0;
+        }
+        for i in 0..n {
+            let raw_left = left[i];
+            let raw_right = right[i];
+            controls[i / 32] |=
+                (u64::from(raw_left.lsb()) | (u64::from(raw_right.lsb()) << 1)) << ((i % 32) * 2);
+            left[i] = raw_left.with_lsb_cleared();
+            right[i] = raw_right.with_lsb_cleared();
+        }
+    }
+
     /// Number of AES block operations needed to expand `n` nodes.
     #[must_use]
     pub fn aes_ops_per_level(n: usize) -> usize {
@@ -198,6 +254,60 @@ mod tests {
         for (seed, expansion) in seeds.iter().zip(&level) {
             assert_eq!(*expansion, prg.expand(*seed));
         }
+    }
+
+    #[test]
+    fn expand_level_into_matches_expand_level() {
+        let prg = LengthDoublingPrg::default();
+        for n in [0usize, 1, 2, 7, 31, 32, 33, 64, 100] {
+            let seeds: Vec<Block> = (0..n as u128).map(|i| Block::from(i * 97 + 5)).collect();
+            let reference = prg.expand_level(&seeds);
+            let mut left = vec![Block::ZERO; n];
+            let mut right = vec![Block::ZERO; n];
+            // Pre-poison the control words so stale bits would be caught.
+            let mut controls = vec![u64::MAX; n.div_ceil(32)];
+            prg.expand_level_into(&seeds, &mut left, &mut right, &mut controls);
+            for (i, expansion) in reference.iter().enumerate() {
+                assert_eq!(left[i], expansion.left.seed, "n={n} left seed {i}");
+                assert_eq!(right[i], expansion.right.seed, "n={n} right seed {i}");
+                let pair = (controls[i / 32] >> ((i % 32) * 2)) & 0b11;
+                assert_eq!(pair & 1 == 1, expansion.left.control, "n={n} left bit {i}");
+                assert_eq!(
+                    pair & 2 == 2,
+                    expansion.right.control,
+                    "n={n} right bit {i}"
+                );
+            }
+            // Bits past the parents stay zero.
+            if n % 32 != 0 {
+                let tail = controls[n / 32] >> ((n % 32) * 2);
+                assert_eq!(tail, 0, "n={n} stale bits past the last parent");
+            }
+        }
+    }
+
+    #[test]
+    fn expand_level_into_accepts_oversized_buffers() {
+        let prg = LengthDoublingPrg::default();
+        let seeds: Vec<Block> = (0..5u128).map(Block::from).collect();
+        let mut left = vec![Block::ZERO; 16];
+        let mut right = vec![Block::ZERO; 16];
+        let mut controls = vec![0u64; 4];
+        prg.expand_level_into(&seeds, &mut left, &mut right, &mut controls);
+        let reference = prg.expand_level(&seeds);
+        assert_eq!(left[4], reference[4].left.seed);
+        assert_eq!(left[5], Block::ZERO, "blocks past the level are untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "left buffer")]
+    fn expand_level_into_rejects_short_buffers() {
+        let prg = LengthDoublingPrg::default();
+        let seeds = vec![Block::ZERO; 4];
+        let mut left = vec![Block::ZERO; 3];
+        let mut right = vec![Block::ZERO; 4];
+        let mut controls = vec![0u64; 1];
+        prg.expand_level_into(&seeds, &mut left, &mut right, &mut controls);
     }
 
     #[test]

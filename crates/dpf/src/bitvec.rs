@@ -148,6 +148,72 @@ impl SelectorVector {
         Some(SelectorVector { words, len })
     }
 
+    /// Reserves capacity for at least `additional_bits` more bits, so that
+    /// subsequent appends perform no reallocation.
+    ///
+    /// Lets hot paths (the DPF expansion pipeline) size a query's selector
+    /// vector once up front.
+    pub fn reserve_bits(&mut self, additional_bits: usize) {
+        let needed_words = (self.len + additional_bits).div_ceil(64);
+        self.words
+            .reserve(needed_words.saturating_sub(self.words.len()));
+    }
+
+    /// Appends the first `count` bits of the packed `words` (bit `i` of the
+    /// sequence is bit `i % 64` of `words[i / 64]`) to the end of the
+    /// vector, shifting and merging whole words at the current bit offset —
+    /// the word-level replacement for pushing bits one at a time.
+    ///
+    /// Bits of `words` at positions `count` and beyond are ignored, so
+    /// callers may hand over scratch buffers with stale tails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `count` bits.
+    pub fn extend_from_words(&mut self, words: &[u64], count: usize) {
+        assert!(
+            count <= words.len() * 64,
+            "{count} bits requested from {} words",
+            words.len()
+        );
+        if count == 0 {
+            return;
+        }
+        let src_words = count.div_ceil(64);
+        let new_len = self.len + count;
+        let offset = self.len % 64;
+        self.words.resize(new_len.div_ceil(64), 0);
+        let base = self.len / 64;
+        if offset == 0 {
+            self.words[base..base + src_words].copy_from_slice(&words[..src_words]);
+        } else {
+            for (k, &word) in words[..src_words].iter().enumerate() {
+                self.words[base + k] |= word << offset;
+                if base + k + 1 < self.words.len() {
+                    self.words[base + k + 1] = word >> (64 - offset);
+                }
+            }
+        }
+        self.len = new_len;
+        self.clear_tail();
+    }
+
+    /// Appends all of `other`'s bits to the end of the vector using the
+    /// word-level shift-and-merge path.
+    pub fn extend_from_bitvec(&mut self, other: &SelectorVector) {
+        self.extend_from_words(&other.words, other.len);
+    }
+
+    /// Zeroes any bits of the final word at positions `len` and beyond,
+    /// restoring the invariant [`SelectorVector::words`] documents.
+    fn clear_tail(&mut self) {
+        if !self.len.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (self.len % 64)) - 1;
+            }
+        }
+    }
+
     /// XORs `other` into `self`.
     ///
     /// # Panics
@@ -169,7 +235,9 @@ impl SelectorVector {
     ///
     /// This is how a full-domain evaluation is split into the per-DPU
     /// chunks described in §3.3 ("the first DPU receives the first `B_d`
-    /// DPF evaluation results...").
+    /// DPF evaluation results..."). Word-aligned starts copy whole words;
+    /// unaligned starts shift-and-merge adjacent word pairs — neither path
+    /// touches individual bits.
     ///
     /// # Panics
     ///
@@ -182,30 +250,40 @@ impl SelectorVector {
             start + count,
             self.len
         );
-        // Fast path when the slice is word-aligned.
-        if start.is_multiple_of(64) {
-            let first_word = start / 64;
-            let words_needed = count.div_ceil(64);
-            let mut words: Vec<u64> = self.words[first_word..first_word + words_needed].to_vec();
-            // Clear any bits past `count` in the final word.
-            if !count.is_multiple_of(64) {
-                if let Some(last) = words.last_mut() {
-                    *last &= (1u64 << (count % 64)) - 1;
-                }
+        let first_word = start / 64;
+        let offset = start % 64;
+        let words_needed = count.div_ceil(64);
+        let mut words: Vec<u64>;
+        if offset == 0 {
+            words = self.words[first_word..first_word + words_needed].to_vec();
+        } else {
+            words = Vec::with_capacity(words_needed);
+            for k in 0..words_needed {
+                let low = self.words[first_word + k] >> offset;
+                let high = self
+                    .words
+                    .get(first_word + k + 1)
+                    .map_or(0, |word| word << (64 - offset));
+                words.push(low | high);
             }
-            return SelectorVector { words, len: count };
         }
-        SelectorVector::from_bits((start..start + count).map(|i| self.get(i)))
+        // Clear any bits past `count` in the final word.
+        if !count.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (count % 64)) - 1;
+            }
+        }
+        SelectorVector { words, len: count }
     }
 
-    /// Concatenates a sequence of vectors into one.
+    /// Concatenates a sequence of vectors into one, merging whole words.
     #[must_use]
     pub fn concat(parts: &[SelectorVector]) -> SelectorVector {
+        let total: usize = parts.iter().map(SelectorVector::len).sum();
         let mut out = SelectorVector::zeros(0);
+        out.reserve_bits(total);
         for part in parts {
-            for bit in part.iter() {
-                out.push(bit);
-            }
+            out.extend_from_bitvec(part);
         }
         out
     }
@@ -228,6 +306,117 @@ impl Extend<bool> for SelectorVector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The retired bit-by-bit slice, kept as the oracle for the word path.
+    fn slice_bitwise(vector: &SelectorVector, start: usize, count: usize) -> SelectorVector {
+        SelectorVector::from_bits((start..start + count).map(|i| vector.get(i)))
+    }
+
+    /// The retired bit-by-bit concat, kept as the oracle for the word path.
+    fn concat_bitwise(parts: &[SelectorVector]) -> SelectorVector {
+        let mut out = SelectorVector::zeros(0);
+        for part in parts {
+            for bit in part.iter() {
+                out.push(bit);
+            }
+        }
+        out
+    }
+
+    fn pseudo_vector(len: usize, seed: u64) -> SelectorVector {
+        (0..len)
+            .map(|i| {
+                (i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .rotate_left(17)
+                    % 7
+                    < seed % 7
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slice_matches_bitwise_oracle_everywhere() {
+        let vector = pseudo_vector(403, 3);
+        for start in [0usize, 1, 7, 63, 64, 65, 100, 128, 200, 402] {
+            for count in [0usize, 1, 5, 63, 64, 65, 127, 130, 203] {
+                if start + count > vector.len() {
+                    continue;
+                }
+                assert_eq!(
+                    vector.slice(start, count),
+                    slice_bitwise(&vector, start, count),
+                    "start={start} count={count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concat_matches_bitwise_oracle() {
+        for lens in [
+            vec![0usize, 1, 63],
+            vec![64, 64],
+            vec![13, 51, 7, 130, 1],
+            vec![200],
+            vec![],
+        ] {
+            let parts: Vec<SelectorVector> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| pseudo_vector(len, i as u64 + 2))
+                .collect();
+            assert_eq!(
+                SelectorVector::concat(&parts),
+                concat_bitwise(&parts),
+                "lens={lens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extend_from_words_matches_pushes_at_every_offset() {
+        for initial in [0usize, 1, 37, 63, 64, 65, 128] {
+            for count in [0usize, 1, 17, 64, 65, 128, 129] {
+                let mut vector = pseudo_vector(initial, 5);
+                let expected_bits: Vec<bool> = (0..count).map(|i| (i * 11) % 3 == 0).collect();
+                let mut expected = vector.clone();
+                for &bit in &expected_bits {
+                    expected.push(bit);
+                }
+                // Pack the bits and poison the tail of the last word to
+                // check stale source bits are masked off.
+                let mut words = vec![0u64; count.div_ceil(64).max(1)];
+                for (i, &bit) in expected_bits.iter().enumerate() {
+                    if bit {
+                        words[i / 64] |= 1 << (i % 64);
+                    }
+                }
+                if !count.is_multiple_of(64) {
+                    *words.last_mut().unwrap() |= !((1u64 << (count % 64)) - 1);
+                }
+                vector.extend_from_words(&words, count);
+                assert_eq!(vector, expected, "initial={initial} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_bitvec_equals_extend_iterator() {
+        let mut word_path = pseudo_vector(77, 1);
+        let mut bit_path = word_path.clone();
+        let suffix = pseudo_vector(190, 4);
+        word_path.extend_from_bitvec(&suffix);
+        bit_path.extend(suffix.iter());
+        assert_eq!(word_path, bit_path);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits requested")]
+    fn extend_from_words_rejects_short_buffers() {
+        let mut vector = SelectorVector::zeros(0);
+        vector.extend_from_words(&[0u64], 65);
+    }
 
     #[test]
     fn push_get_roundtrip() {

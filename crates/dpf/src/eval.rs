@@ -5,6 +5,33 @@
 //! the whole database domain — what the server actually does for every
 //! query — is a full tree expansion whose parallelisation strategies live in
 //! [`crate::parallel`].
+//!
+//! # Buffer-reuse design
+//!
+//! Full-domain expansion is the server's hottest loop, so it is built as a
+//! **zero-allocation, word-packed pipeline** around [`EvalScratch`]:
+//!
+//! * each level's parent seeds are expanded by
+//!   [`LengthDoublingPrg::expand_level_into`] straight into the scratch's
+//!   `left`/`right` block buffers, with the children's control bits packed
+//!   into `u64` words *already in left-to-right child order* — no
+//!   per-node intermediates;
+//! * the per-level correction (BGI: XOR the level's correction word into
+//!   every child of a parent whose control bit is set) is applied to the
+//!   control bits **64 at a time** by spreading the parent control word
+//!   across the child word, and to the seeds while interleaving them back
+//!   into the scratch's ping-pong `seeds` buffer;
+//! * the leaf level never materialises seeds or `Vec<bool>`s: the corrected
+//!   control words are shift-merged directly into the output
+//!   [`SelectorVector`] via [`SelectorVector::extend_from_words`].
+//!
+//! All buffers are sized once to the largest subtree an [`EvalScratch`]
+//! has seen, so steady-state batch serving ([`ScratchPool`], one scratch
+//! per in-flight evaluation) performs no heap allocation on the expansion
+//! path. [`expand_subtree_reference`] keeps the original level-by-level
+//! expansion as the correctness oracle and benchmark baseline.
+
+use std::sync::Mutex;
 
 use impir_crypto::prg::LengthDoublingPrg;
 use impir_crypto::Block;
@@ -186,14 +213,253 @@ pub fn eval_prefix(
     Ok(state)
 }
 
-/// Expands the subtree rooted at `state` (which sits `start_level` levels
-/// below the root) breadth-first down to the leaves, returning the leaf
-/// control bits left-to-right.
+/// Reusable buffers for the word-packed subtree expansion (see the module
+/// docs).
 ///
-/// The expansion works level-by-level so PRG calls are batched per level,
-/// mirroring the paper's AES-NI batching optimisation.
+/// A scratch grows to fit the largest subtree it has expanded and is then
+/// reused allocation-free: the steady state of batch serving keeps one
+/// scratch per in-flight evaluation (see [`ScratchPool`]) so no query pays
+/// for buffer setup.
+///
+/// # Example
+///
+/// ```
+/// use impir_dpf::{gen::generate_keys, eval, SelectorVector};
+/// use impir_crypto::prg::LengthDoublingPrg;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let (k1, _) = generate_keys(8, 17, &mut rng)?;
+/// let prg = LengthDoublingPrg::default();
+/// let mut scratch = eval::EvalScratch::new();
+/// let mut out = SelectorVector::zeros(0);
+/// eval::eval_range_into(&k1, 0, 256, &prg, &mut scratch, &mut out)?;
+/// assert_eq!(out, eval::eval_full(&k1));
+/// # Ok::<(), impir_dpf::DpfError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// The ping-pong seed buffer: holds the current level's node seeds in
+    /// left-to-right order; children are interleaved back into it as their
+    /// parents are consumed.
+    seeds: Vec<Block>,
+    /// Raw left-child seeds straight out of the PRG for one level.
+    left: Vec<Block>,
+    /// Raw right-child seeds straight out of the PRG for one level.
+    right: Vec<Block>,
+    /// Packed control bits of the current level (bit `i` = node `i`).
+    controls: Vec<u64>,
+    /// Packed, interleaved child control bits of the level being expanded;
+    /// swapped with `controls` after each level (the control-word
+    /// ping-pong).
+    child_controls: Vec<u64>,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+
+    /// Creates a scratch pre-sized for subtrees of up to `2^depth` leaves.
+    #[must_use]
+    pub fn with_subtree_depth(depth: u32) -> Self {
+        let mut scratch = EvalScratch::new();
+        scratch.ensure(depth);
+        scratch
+    }
+
+    /// Grows the buffers to fit a subtree of `2^depth` leaves. No-op (and
+    /// allocation-free) when the scratch is already large enough.
+    fn ensure(&mut self, depth: u32) {
+        // The widest level whose seeds must be stored — and the widest set
+        // of parents expanded at once — is the last interior level,
+        // 2^(depth-1) nodes; the control words must additionally hold the
+        // leaf level's 2^depth bits.
+        let widest = 1usize << depth.saturating_sub(1);
+        let control_words = (1usize << depth).div_ceil(64);
+        if self.seeds.len() < widest {
+            self.seeds.resize(widest, Block::ZERO);
+            self.left.resize(widest, Block::ZERO);
+            self.right.resize(widest, Block::ZERO);
+        }
+        if self.controls.len() < control_words {
+            self.controls.resize(control_words, 0);
+            self.child_controls.resize(control_words, 0);
+        }
+    }
+}
+
+/// A shareable check-out/check-in pool of reusable buffers.
+///
+/// Generic over the buffer type so the DPF expansion scratches
+/// ([`ScratchPool`]) and the `dpXOR` scan's accumulator words share one
+/// implementation. A buffer is created only when every pooled one is
+/// checked out, so after warm-up (one buffer per concurrent user) the pool
+/// hands out warmed buffers allocation-free.
+#[derive(Debug, Default)]
+pub struct BufferPool<T> {
+    pool: Mutex<Vec<T>>,
+}
+
+impl<T: Default> BufferPool<T> {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        BufferPool {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Runs `f` with a buffer checked out of the pool (creating one only
+    /// if every buffer is in use), returning it afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut buffer = self
+            .pool
+            .lock()
+            .expect("buffer pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut buffer);
+        self.pool.lock().expect("buffer pool poisoned").push(buffer);
+        result
+    }
+
+    /// Number of buffers currently resting in the pool (i.e. not checked
+    /// out). After a batch drains, this is the number of distinct buffers
+    /// the batch warmed up.
+    #[must_use]
+    pub fn idle_count(&self) -> usize {
+        self.pool.lock().expect("buffer pool poisoned").len()
+    }
+}
+
+/// A pool of [`EvalScratch`]es for concurrent evaluators: the batch
+/// pipeline's stage-1 workers evaluate through one shared closure, and the
+/// pool hands each in-flight evaluation its own scratch, so batch serving
+/// allocates nothing on the expansion path in the steady state.
+pub type ScratchPool = BufferPool<EvalScratch>;
+
+/// Spreads the low 32 bits of `x` to the even bit positions (bit `j` moves
+/// to bit `2j`) — the mask that maps one word of parent control bits onto
+/// the interleaved left/right child control bits they correct.
+#[inline]
+fn interleave_with_zeros(x: u64) -> u64 {
+    let mut x = x & 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Expands the subtree rooted at `state` (which sits `start_level` levels
+/// below the root) down to the leaves, appending the leaf control bits
+/// left-to-right to `out`.
+///
+/// This is the zero-allocation pipeline described in the module docs: all
+/// intermediates live in `scratch` (which grows only if the subtree is
+/// larger than any it has seen) and the leaf level is written into `out`
+/// as packed words.
+pub fn expand_subtree_into(
+    key: &DpfKey,
+    state: NodeState,
+    start_level: u32,
+    prg: &LengthDoublingPrg,
+    scratch: &mut EvalScratch,
+    out: &mut SelectorVector,
+) {
+    let depth = key.domain_bits() - start_level;
+    if depth == 0 {
+        out.push(state.control);
+        return;
+    }
+    scratch.ensure(depth);
+    let EvalScratch {
+        seeds,
+        left,
+        right,
+        controls,
+        child_controls,
+    } = scratch;
+    seeds[0] = state.seed;
+    controls[0] = u64::from(state.control);
+    let mut nodes = 1usize;
+    for level in start_level..key.domain_bits() {
+        let cw = key.correction_words()[level as usize];
+        prg.expand_level_into(&seeds[..nodes], left, right, child_controls);
+
+        // Control-bit correction, 64 children (32 parents) per iteration:
+        // child bit 2i (left) flips iff parent i's control bit is set and
+        // the correction word's left flag is set; bit 2i + 1 likewise with
+        // the right flag. (Parent bits past `nodes` may be stale from a
+        // previous level; the child bits they corrupt lie past 2·nodes and
+        // are never read.)
+        let child_words = (2 * nodes).div_ceil(64);
+        let flip_left = u64::from(cw.control_left);
+        let flip_right = u64::from(cw.control_right);
+        if flip_left | flip_right != 0 {
+            for word in 0..child_words {
+                let parents = controls[word / 2] >> ((word % 2) * 32);
+                let spread = interleave_with_zeros(parents);
+                child_controls[word] ^= (spread * flip_left) | ((spread << 1) * flip_right);
+            }
+        }
+
+        if level + 1 == key.domain_bits() {
+            // Leaf level: the corrected control words are the selector
+            // bits — merge them into the output without touching seeds.
+            out.extend_from_words(&child_controls[..child_words], 2 * nodes);
+        } else {
+            // Interior level: apply the seed correction while interleaving
+            // the children back into the ping-pong buffer.
+            for parent in 0..nodes {
+                let parent_on = (controls[parent / 64] >> (parent % 64)) & 1 == 1;
+                let (mut left_seed, mut right_seed) = (left[parent], right[parent]);
+                if parent_on {
+                    left_seed ^= cw.seed;
+                    right_seed ^= cw.seed;
+                }
+                seeds[2 * parent] = left_seed;
+                seeds[2 * parent + 1] = right_seed;
+            }
+            std::mem::swap(controls, child_controls);
+            nodes *= 2;
+        }
+    }
+}
+
+/// Expands the subtree rooted at `state` breadth-first down to the leaves,
+/// returning the leaf control bits left-to-right.
+///
+/// Convenience wrapper over [`expand_subtree_into`] with a fresh scratch;
+/// hot paths should hold an [`EvalScratch`] (or a [`ScratchPool`]) and call
+/// the `_into` form directly.
 #[must_use]
 pub fn expand_subtree(
+    key: &DpfKey,
+    state: NodeState,
+    start_level: u32,
+    prg: &LengthDoublingPrg,
+) -> SelectorVector {
+    let depth = key.domain_bits() - start_level;
+    let mut scratch = EvalScratch::new();
+    let mut out = SelectorVector::zeros(0);
+    out.reserve_bits(1usize << depth);
+    expand_subtree_into(key, state, start_level, prg, &mut scratch, &mut out);
+    out
+}
+
+/// The original level-by-level subtree expansion, kept as the correctness
+/// oracle for the zero-allocation pipeline and as the baseline the
+/// `hotpath` benchmark times the new path against.
+///
+/// Functionally identical to [`expand_subtree`]; allocates two fresh
+/// vectors (plus one `NodeExpansion` vector) per tree level.
+#[must_use]
+pub fn expand_subtree_reference(
     key: &DpfKey,
     state: NodeState,
     start_level: u32,
@@ -268,20 +534,45 @@ pub fn eval_range_with_prg(
     count: u64,
     prg: &LengthDoublingPrg,
 ) -> Result<SelectorVector, DpfError> {
-    let domain = key.domain_size();
-    if start + count > domain {
-        return Err(DpfError::InputOutOfDomain {
-            input: start + count,
-            domain_bits: key.domain_bits(),
-        });
-    }
-    if count == 0 {
-        return Ok(SelectorVector::zeros(0));
-    }
-
+    let mut scratch = EvalScratch::new();
     let mut out = SelectorVector::zeros(0);
+    eval_range_into(key, start, count, prg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`eval_range`] appending into a caller-owned output vector with
+/// caller-owned scratch — the allocation-free form the batch pipeline's
+/// evaluators use.
+///
+/// # Errors
+///
+/// Returns [`DpfError::InputOutOfDomain`] if the range extends past the
+/// domain (including ranges whose `start + count` overflows `u64`).
+pub fn eval_range_into(
+    key: &DpfKey,
+    start: u64,
+    count: u64,
+    prg: &LengthDoublingPrg,
+    scratch: &mut EvalScratch,
+    out: &mut SelectorVector,
+) -> Result<(), DpfError> {
+    let domain = key.domain_size();
+    // `checked_add` so an adversarial `start + count` cannot wrap past the
+    // bounds check.
+    let end = match start.checked_add(count) {
+        Some(end) if end <= domain => end,
+        _ => {
+            return Err(DpfError::InputOutOfDomain {
+                input: start.saturating_add(count),
+                domain_bits: key.domain_bits(),
+            })
+        }
+    };
+    if count == 0 {
+        return Ok(());
+    }
+    out.reserve_bits(count as usize);
     let mut cursor = start;
-    let end = start + count;
     while cursor < end {
         // Largest power-of-two aligned subtree that starts at `cursor` and
         // fits within the remaining range.
@@ -299,11 +590,10 @@ pub fn eval_range_with_prg(
         let prefix_bits = key.domain_bits() - chunk_bits;
         let prefix = cursor >> chunk_bits;
         let state = eval_prefix(key, prefix, prefix_bits, prg)?;
-        let subtree = expand_subtree(key, state, prefix_bits, prg);
-        out.extend(subtree.iter());
+        expand_subtree_into(key, state, prefix_bits, prg, scratch, out);
         cursor += chunk;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Number of PRG node expansions a full-domain, level-by-level evaluation
@@ -350,6 +640,86 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_matches_reference_expansion() {
+        // The zero-allocation pipeline must be byte-identical to the
+        // original level-by-level expansion on every subtree shape.
+        let prg = LengthDoublingPrg::default();
+        for domain_bits in 1..=10u32 {
+            let (k1, k2) = keypair(
+                domain_bits,
+                (1u64 << domain_bits) - 1,
+                17 + domain_bits as u64,
+            );
+            for key in [&k1, &k2] {
+                for start_level in 0..=domain_bits {
+                    let prefix = (1u64 << start_level) - 1;
+                    let state = eval_prefix(key, prefix, start_level, &prg).unwrap();
+                    let new = expand_subtree(key, state, start_level, &prg);
+                    let reference = expand_subtree_reference(key, state, start_level, &prg);
+                    assert_eq!(
+                        new.words(),
+                        reference.words(),
+                        "domain_bits={domain_bits} start_level={start_level}"
+                    );
+                    assert_eq!(new.len(), reference.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_matches_fresh_scratch() {
+        let prg = LengthDoublingPrg::default();
+        let mut reused = EvalScratch::new();
+        // Interleave domains of different sizes so the reused scratch sees
+        // shrinking and growing subtrees with stale data in its buffers.
+        for (domain_bits, alpha, seed) in [
+            (10u32, 700u64, 1u64),
+            (4, 9, 2),
+            (12, 4000, 3),
+            (4, 3, 4),
+            (10, 0, 5),
+        ] {
+            let (k1, _) = keypair(domain_bits, alpha, seed);
+            let mut from_reused = SelectorVector::zeros(0);
+            eval_range_into(
+                &k1,
+                0,
+                1 << domain_bits,
+                &prg,
+                &mut reused,
+                &mut from_reused,
+            )
+            .unwrap();
+            let mut fresh = EvalScratch::new();
+            let mut from_fresh = SelectorVector::zeros(0);
+            eval_range_into(&k1, 0, 1 << domain_bits, &prg, &mut fresh, &mut from_fresh).unwrap();
+            assert_eq!(
+                from_reused, from_fresh,
+                "domain_bits={domain_bits} alpha={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_pool_hands_out_and_reclaims_scratches() {
+        let pool = ScratchPool::new();
+        assert_eq!(pool.idle_count(), 0);
+        let (k1, _) = keypair(8, 100, 9);
+        let prg = LengthDoublingPrg::default();
+        for _ in 0..3 {
+            let out = pool.with(|scratch| {
+                let mut out = SelectorVector::zeros(0);
+                eval_range_into(&k1, 0, 256, &prg, scratch, &mut out).unwrap();
+                out
+            });
+            assert_eq!(out, eval_full(&k1));
+        }
+        // Sequential use warms up exactly one scratch.
+        assert_eq!(pool.idle_count(), 1);
+    }
+
+    #[test]
     fn eval_range_matches_full_evaluation() {
         let (k1, _) = keypair(10, 600, 3);
         let full = eval_full(&k1);
@@ -383,6 +753,25 @@ mod tests {
     }
 
     #[test]
+    fn eval_range_rejects_overflowing_ranges() {
+        // `start + count` wrapping past zero must not sneak under the
+        // bounds check.
+        let (k1, _) = keypair(8, 0, 1);
+        assert!(matches!(
+            eval_range(&k1, u64::MAX, 2),
+            Err(DpfError::InputOutOfDomain { .. })
+        ));
+        assert!(matches!(
+            eval_range(&k1, u64::MAX - 5, 10),
+            Err(DpfError::InputOutOfDomain { .. })
+        ));
+        assert!(matches!(
+            eval_range(&k1, 2, u64::MAX - 1),
+            Err(DpfError::InputOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
     fn eval_range_empty_is_empty() {
         let (k1, _) = keypair(8, 0, 1);
         assert!(eval_range(&k1, 17, 0).unwrap().is_empty());
@@ -412,6 +801,19 @@ mod tests {
     fn expansion_accounting() {
         assert_eq!(eval_full_prg_expansions(1), 1);
         assert_eq!(eval_full_prg_expansions(10), 1023);
+    }
+
+    #[test]
+    fn interleave_with_zeros_spreads_bits() {
+        assert_eq!(interleave_with_zeros(0), 0);
+        assert_eq!(interleave_with_zeros(1), 1);
+        assert_eq!(interleave_with_zeros(0b10), 0b100);
+        assert_eq!(interleave_with_zeros(0xFFFF_FFFF), 0x5555_5555_5555_5555);
+        // High half of the input is ignored.
+        assert_eq!(interleave_with_zeros(0xFFFF_FFFF_0000_0001), 1);
+        for bit in 0..32u32 {
+            assert_eq!(interleave_with_zeros(1u64 << bit), 1u64 << (2 * bit));
+        }
     }
 
     proptest! {
@@ -449,6 +851,51 @@ mod tests {
             let range = eval_range(&k1, start, count).unwrap();
             for i in 0..count {
                 prop_assert_eq!(range.get(i as usize), full.get((start + i) as usize));
+            }
+        }
+
+        #[test]
+        fn prop_pipeline_byte_identical_to_reference(
+            domain_bits in 1u32..12,
+            seed in any::<u64>(),
+        ) {
+            // The tentpole invariant: the new expand_level_into/EvalScratch
+            // pipeline produces byte-identical selector words to the old
+            // level-by-level expansion for random keys across domains.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let domain = 1u64 << domain_bits;
+            let alpha = rng.gen_range(0..domain);
+            let (k1, k2) = generate_keys(domain_bits, alpha, &mut rng).unwrap();
+            let prg = LengthDoublingPrg::default();
+            for key in [&k1, &k2] {
+                let root = NodeState::root(key);
+                let new = expand_subtree(key, root, 0, &prg);
+                let reference = expand_subtree_reference(key, root, 0, &prg);
+                prop_assert_eq!(new.words(), reference.words());
+            }
+        }
+
+        #[test]
+        fn prop_scratch_reuse_equals_fresh_scratch(
+            bits_a in 1u32..10,
+            bits_b in 1u32..10,
+            seed in any::<u64>(),
+        ) {
+            // Back-to-back queries of different domain sizes through one
+            // scratch must match fresh-scratch evaluation.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prg = LengthDoublingPrg::default();
+            let mut reused = EvalScratch::new();
+            for bits in [bits_a, bits_b, bits_a] {
+                let domain = 1u64 << bits;
+                let alpha = rng.gen_range(0..domain);
+                let (k, _) = generate_keys(bits, alpha, &mut rng).unwrap();
+                let start = alpha / 2;
+                let count = domain - start;
+                let mut out = SelectorVector::zeros(0);
+                eval_range_into(&k, start, count, &prg, &mut reused, &mut out).unwrap();
+                let fresh = eval_range_with_prg(&k, start, count, &prg).unwrap();
+                prop_assert_eq!(out, fresh);
             }
         }
     }

@@ -51,6 +51,7 @@ pub mod point_function;
 
 pub use bitvec::SelectorVector;
 pub use error::DpfError;
+pub use eval::{BufferPool, EvalScratch, ScratchPool};
 pub use key::{CorrectionWord, DpfKey, PartyId};
 pub use parallel::EvalStrategy;
 

@@ -20,6 +20,25 @@
 //!   batching AES calls per level.
 //!
 //! All four produce identical selector vectors; they differ only in cost.
+//!
+//! # Execution model
+//!
+//! Every strategy expands subtrees through the zero-allocation
+//! [`EvalScratch`](crate::eval::EvalScratch) pipeline of [`crate::eval`].
+//! Two entry points trade parallelism against buffer reuse:
+//!
+//! * [`EvalStrategy::eval_full`] / [`EvalStrategy::eval_range`] optimise
+//!   **single-query latency**: the subtree-parallel strategy fans its
+//!   perfect subtrees out over real `std::thread::scope` worker threads
+//!   (the vendored rayon shim is sequential, so data-parallel iterators
+//!   would not actually parallelise — see ROADMAP), each worker expanding
+//!   through its own scratch;
+//! * [`EvalStrategy::eval_range_with_scratch`] optimises **steady-state
+//!   batch throughput**: it runs on the calling thread reusing one
+//!   caller-owned scratch, because the batch pipeline already runs one
+//!   evaluation per stage-1 worker thread — spawning nested threads there
+//!   would oversubscribe the host, and per-query scratch reuse is what
+//!   makes batch serving allocation-free.
 
 use impir_crypto::prg::LengthDoublingPrg;
 use rayon::prelude::*;
@@ -28,7 +47,8 @@ use serde::{Deserialize, Serialize};
 use crate::bitvec::SelectorVector;
 use crate::error::DpfError;
 use crate::eval::{
-    eval_point_with_prg, eval_prefix, eval_range_with_prg, expand_subtree, NodeState,
+    eval_point_with_prg, eval_prefix, eval_range_into, eval_range_with_prg, expand_subtree,
+    expand_subtree_into, EvalScratch, NodeState,
 };
 use crate::key::DpfKey;
 
@@ -109,20 +129,9 @@ impl EvalStrategy {
                 bits.into_iter().collect()
             }
             EvalStrategy::LevelByLevel => expand_subtree(key, NodeState::root(key), 0, prg),
-            EvalStrategy::MemoryBounded { chunk_bits } => {
-                let chunk_bits = chunk_bits.min(key.domain_bits());
-                let chunk = 1u64 << chunk_bits;
-                let mut out = SelectorVector::zeros(0);
-                let mut start = 0u64;
-                while start < domain {
-                    let count = chunk.min(domain - start);
-                    let part = eval_range_with_prg(key, start, count, prg)
-                        .expect("chunk stays within the domain");
-                    out.extend(part.iter());
-                    start += count;
-                }
-                out
-            }
+            EvalStrategy::MemoryBounded { .. } => self
+                .eval_range(key, 0, domain)
+                .expect("the full domain is in range"),
             EvalStrategy::SubtreeParallel { threads } => {
                 eval_subtree_parallel(key, threads.max(1), prg)
             }
@@ -131,9 +140,10 @@ impl EvalStrategy {
 
     /// Evaluates `key` over `[start, start + count)` with this strategy.
     ///
-    /// Only the subtree-parallel strategy parallelises ranges; the others
-    /// fall back to the sequential chunked walk, which is what the paper's
-    /// description implies (ranges are already per-DPU slices).
+    /// Only the subtree-parallel strategy parallelises ranges (over real
+    /// scoped worker threads, one scratch each); the others run the
+    /// sequential chunked walk, which is what the paper's description
+    /// implies (ranges are already per-DPU slices).
     ///
     /// # Errors
     ///
@@ -145,23 +155,94 @@ impl EvalStrategy {
         start: u64,
         count: u64,
     ) -> Result<SelectorVector, DpfError> {
+        // Validate once up front (overflow-proof), so the per-worker chunk
+        // arithmetic below can never wrap: after this check every offset
+        // the workers compute stays within `domain ≤ 2^MAX_DOMAIN_BITS`.
+        check_range(key, start, count)?;
         let prg = LengthDoublingPrg::default();
         match *self {
             EvalStrategy::SubtreeParallel { threads } if count > 1 => {
                 let workers = threads.max(1).min(count as usize);
+                if workers == 1 {
+                    return eval_range_with_prg(key, start, count, &prg);
+                }
                 let per_worker = count.div_ceil(workers as u64);
-                let parts: Result<Vec<SelectorVector>, DpfError> = (0..workers as u64)
-                    .into_par_iter()
-                    .map(|w| {
-                        let chunk_start = start + w * per_worker;
-                        let chunk_count = per_worker.min(count.saturating_sub(w * per_worker));
-                        eval_range_with_prg(key, chunk_start, chunk_count, &prg)
-                    })
-                    .collect();
+                let parts: Vec<Result<SelectorVector, DpfError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers as u64)
+                        .map(|w| {
+                            let prg = &prg;
+                            scope.spawn(move || {
+                                let chunk_start = start + w * per_worker;
+                                let chunk_count =
+                                    per_worker.min(count.saturating_sub(w * per_worker));
+                                eval_range_with_prg(key, chunk_start, chunk_count, prg)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("range worker panicked"))
+                        .collect()
+                });
+                let parts: Result<Vec<SelectorVector>, DpfError> = parts.into_iter().collect();
                 Ok(SelectorVector::concat(&parts?))
             }
-            _ => eval_range_with_prg(key, start, count, &prg),
+            _ => {
+                let mut scratch = EvalScratch::new();
+                self.eval_range_with_scratch(key, start, count, &prg, &mut scratch)
+            }
         }
+    }
+
+    /// [`EvalStrategy::eval_range`] on the calling thread, reusing a
+    /// caller-owned scratch — the allocation-free form the batch pipeline's
+    /// stage-1 workers evaluate through (see the module docs for when to
+    /// prefer which entry point).
+    ///
+    /// All strategies produce identical selector vectors; here they differ
+    /// only in traversal order and scratch footprint. The subtree-parallel
+    /// strategy walks its subtrees sequentially on this thread: across-
+    /// query parallelism is the pipeline's job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpfError::InputOutOfDomain`] if the range leaves the
+    /// key's domain.
+    pub fn eval_range_with_scratch(
+        &self,
+        key: &DpfKey,
+        start: u64,
+        count: u64,
+        prg: &LengthDoublingPrg,
+        scratch: &mut EvalScratch,
+    ) -> Result<SelectorVector, DpfError> {
+        // Validate before reserving: an adversarial `count` must come back
+        // as an error, not as an attempt to reserve 2^64 bits.
+        check_range(key, start, count)?;
+        let end = start + count;
+        let mut out = SelectorVector::zeros(0);
+        out.reserve_bits(count as usize);
+        match *self {
+            EvalStrategy::BranchParallel => {
+                for x in start..end {
+                    out.push(eval_point_with_prg(key, x, prg)?);
+                }
+            }
+            EvalStrategy::MemoryBounded { chunk_bits } => {
+                let chunk_bits = chunk_bits.min(key.domain_bits());
+                let chunk = 1u64 << chunk_bits;
+                let mut cursor = start;
+                while cursor < end {
+                    let step = chunk.min(end - cursor);
+                    eval_range_into(key, cursor, step, prg, scratch, &mut out)?;
+                    cursor += step;
+                }
+            }
+            EvalStrategy::LevelByLevel | EvalStrategy::SubtreeParallel { .. } => {
+                eval_range_into(key, start, count, prg, scratch, &mut out)?;
+            }
+        }
+        Ok(out)
     }
 
     /// Number of PRG node expansions this strategy performs for a
@@ -193,6 +274,19 @@ impl EvalStrategy {
     }
 }
 
+/// Overflow-proof range validation shared by every strategy entry point:
+/// rejects any `[start, start + count)` that wraps `u64` or leaves the
+/// key's domain.
+fn check_range(key: &DpfKey, start: u64, count: u64) -> Result<(), DpfError> {
+    match start.checked_add(count) {
+        Some(end) if end <= key.domain_size() => Ok(()),
+        _ => Err(DpfError::InputOutOfDomain {
+            input: start.saturating_add(count),
+            domain_bits: key.domain_bits(),
+        }),
+    }
+}
+
 /// The tree level at which subtree-parallel evaluation hands over to
 /// worker threads: `L = ceil(log2(threads))`, clamped to the tree depth.
 #[must_use]
@@ -201,26 +295,52 @@ pub fn subtree_level(threads: usize, domain_bits: u32) -> u32 {
     level.min(domain_bits)
 }
 
+/// Subtree-parallel full-domain evaluation on real scoped threads: the
+/// master thread positions each perfect subtree's root, then at most
+/// `threads` worker threads split the subtrees among themselves (the
+/// subtree count rounds `threads` up to a power of two, so a worker may
+/// expand two subtrees back to back through one [`EvalScratch`] — never
+/// more OS threads than the caller budgeted). The parts concatenate
+/// word-wise: every part is a run of power-of-two subtrees, so parts of
+/// 64+ leaves merge with plain word copies.
 fn eval_subtree_parallel(key: &DpfKey, threads: usize, prg: &LengthDoublingPrg) -> SelectorVector {
     let level = subtree_level(threads, key.domain_bits());
     if level == 0 {
         return expand_subtree(key, NodeState::root(key), 0, prg);
     }
-    // Master thread: breadth-first expansion of the top `level` levels.
-    // (Reuses the generic prefix walk per subtree root; the top of the tree
-    // is tiny — at most `threads` paths of length `level`.)
-    let subtree_count = 1u64 << level;
-    let roots: Vec<NodeState> = (0..subtree_count)
+    // Master thread: walk to every subtree root (the top of the tree is
+    // tiny — at most `2 * threads` paths of length `level`).
+    let subtree_count = 1usize << level;
+    let roots: Vec<NodeState> = (0..subtree_count as u64)
         .map(|prefix| {
             eval_prefix(key, prefix, level, prg).expect("prefix is within the key's domain")
         })
         .collect();
 
-    // Worker threads: expand each perfect subtree independently.
-    let parts: Vec<SelectorVector> = roots
-        .into_par_iter()
-        .map(|state| expand_subtree(key, state, level, prg))
-        .collect();
+    // Worker threads: each expands its contiguous run of subtrees.
+    let workers = threads.min(subtree_count);
+    let per_worker = subtree_count.div_ceil(workers);
+    let subtree_leaves = 1usize << (key.domain_bits() - level);
+    let parts: Vec<SelectorVector> = std::thread::scope(|scope| {
+        let handles: Vec<_> = roots
+            .chunks(per_worker)
+            .map(|worker_roots| {
+                scope.spawn(move || {
+                    let mut scratch = EvalScratch::new();
+                    let mut part = SelectorVector::zeros(0);
+                    part.reserve_bits(worker_roots.len() * subtree_leaves);
+                    for state in worker_roots {
+                        expand_subtree_into(key, *state, level, prg, &mut scratch, &mut part);
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("subtree worker panicked"))
+            .collect()
+    });
     SelectorVector::concat(&parts)
 }
 
@@ -302,6 +422,63 @@ mod tests {
     }
 
     #[test]
+    fn eval_range_with_scratch_matches_eval_range_for_all_strategies() {
+        let (k1, _) = keypair(9, 350, 13);
+        let prg = LengthDoublingPrg::default();
+        let mut scratch = EvalScratch::new();
+        for strategy in all_strategies(4) {
+            for (start, count) in [(0u64, 512u64), (37, 300), (511, 1), (100, 0)] {
+                let threaded = strategy.eval_range(&k1, start, count).unwrap();
+                let scratched = strategy
+                    .eval_range_with_scratch(&k1, start, count, &prg, &mut scratch)
+                    .unwrap();
+                assert_eq!(
+                    threaded,
+                    scratched,
+                    "strategy {} start={start} count={count}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_range_with_scratch_rejects_out_of_domain_for_all_strategies() {
+        let (k1, _) = keypair(8, 0, 1);
+        let prg = LengthDoublingPrg::default();
+        let mut scratch = EvalScratch::new();
+        for strategy in all_strategies(2) {
+            // (2, u64::MAX - 1) must error out *before* any buffer is
+            // reserved for the (absurd) count.
+            for (start, count) in [(200u64, 100u64), (256, 1), (u64::MAX, 2), (2, u64::MAX - 1)] {
+                assert!(
+                    strategy
+                        .eval_range_with_scratch(&k1, start, count, &prg, &mut scratch)
+                        .is_err(),
+                    "strategy {} start={start} count={count}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_range_rejects_adversarial_ranges_for_all_strategies() {
+        // The threaded entry point must also reject wrapping ranges before
+        // any per-worker offset arithmetic runs.
+        let (k1, _) = keypair(8, 0, 1);
+        for strategy in all_strategies(4) {
+            for (start, count) in [(u64::MAX, 2u64), (2, u64::MAX - 1), (200, 100), (0, 257)] {
+                assert!(
+                    strategy.eval_range(&k1, start, count).is_err(),
+                    "strategy {} start={start} count={count}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn subtree_level_is_clamped() {
         assert_eq!(subtree_level(1, 10), 0);
         assert_eq!(subtree_level(2, 10), 1);
@@ -309,6 +486,19 @@ mod tests {
         // Non-power-of-two thread counts round up to the next power of two.
         assert_eq!(subtree_level(7, 10), 3);
         assert_eq!(subtree_level(1024, 5), 5);
+    }
+
+    #[test]
+    fn subtree_parallel_internal_helper_matches_reference() {
+        let (k1, _) = keypair(8, 100, 2);
+        let prg = LengthDoublingPrg::default();
+        for threads in [1usize, 2, 3, 8, 16] {
+            assert_eq!(
+                eval_subtree_parallel(&k1, threads, &prg),
+                eval_full(&k1),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]
