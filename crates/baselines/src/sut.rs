@@ -94,10 +94,28 @@ impl ImPirSystem {
     }
 
     /// Mutable access to the first shard's server.
+    ///
+    /// A sharded system's server addresses shard-local records; apply
+    /// database updates through [`ImPirSystem::apply_updates`] instead of
+    /// this accessor.
     pub fn server_mut(&mut self) -> &mut ImPirServer {
         self.engine
             .backend_mut(0)
             .expect("engine has at least one shard")
+    }
+
+    /// Applies a batch of record updates (global indices) through the
+    /// engine, so every PIM shard's MRAM replicas and snapshots move to the
+    /// new database version together.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and PIM transfer errors.
+    pub fn apply_updates(
+        &mut self,
+        updates: &[(u64, Vec<u8>)],
+    ) -> Result<impir_core::UpdateOutcome, PirError> {
+        self.engine.apply_updates(updates)
     }
 }
 

@@ -35,6 +35,7 @@ use std::time::Instant;
 
 use crossbeam::channel;
 use impir_dpf::SelectorVector;
+use serde::{Deserialize, Serialize};
 
 use crate::error::PirError;
 use crate::protocol::{QueryShare, ServerResponse};
@@ -178,6 +179,120 @@ pub trait BatchExecutor: PirServer {
     ) -> Result<(Vec<Vec<u8>>, PhaseBreakdown), PirError>;
 }
 
+/// The result of one bulk database update batch (paper §3.3: "the CPU uses
+/// brief windows when DPUs are idle to apply bulk database updates").
+///
+/// Returned both by backend-level [`UpdatableBackend::apply_updates`] and by
+/// the engine-level [`crate::engine::QueryEngine::apply_updates`]; in the
+/// engine case the counters aggregate over all shards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateOutcome {
+    /// Number of update entries applied (duplicated indices count once per
+    /// entry; the last entry for an index wins).
+    pub records_updated: usize,
+    /// Total bytes pushed to DPU MRAM across all clusters (zero for
+    /// host-resident backends; the streaming backend pays its transfer at
+    /// query time when segments re-stream, so it also reports zero here).
+    pub bytes_pushed: u64,
+    /// Simulated transfer time of the bulk update on the modelled hardware,
+    /// in seconds. At the engine level this is the critical path across
+    /// shards (their backends update concurrently on disjoint hardware).
+    pub simulated_seconds: f64,
+    /// The database epoch after this update: a counter bumped once per
+    /// successful update batch — engine-level when returned by
+    /// [`crate::engine::QueryEngine::apply_updates`], backend-local
+    /// otherwise. Zero means "never updated".
+    pub epoch: u64,
+}
+
+/// A backend whose visible database can be mutated in place by bulk record
+/// updates (§3.3).
+///
+/// Implementations must be **all-or-nothing**: every update entry is
+/// validated against the backend's geometry before any record is touched,
+/// so a batch containing one invalid entry leaves the database unchanged.
+/// After a successful call, every subsequent query (and every byte the
+/// backend stages, streams or scans) must observe the new contents — the
+/// backend's database snapshot may not silently go stale.
+///
+/// Callers holding a sharded deployment should not drive this trait
+/// directly: [`crate::engine::QueryEngine::apply_updates`] translates
+/// global record indices into each shard's local index space and fans the
+/// per-shard update sets out in parallel. Reaching a sharded backend
+/// through [`crate::engine::QueryEngine::backend_mut`] would apply global
+/// indices to shard-local records — the bug the engine entry point exists
+/// to prevent.
+pub trait UpdatableBackend: BatchExecutor {
+    /// Overwrites the records named in `updates` (pairs of record index and
+    /// replacement bytes) in this backend's database.
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::IndexOutOfRange`] for an update outside the database;
+    /// * [`PirError::RecordSizeMismatch`] for a payload of the wrong size;
+    /// * backend transfer failures.
+    ///
+    /// On any validation error no record has been modified.
+    fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError>;
+}
+
+/// Validates a whole update batch against a database geometry **before**
+/// anything is mutated — the single definition of the all-or-nothing check
+/// shared by every [`UpdatableBackend`] and by the engine, so a failed
+/// update can never leave some replicas (or shards) updated and others
+/// stale.
+pub(crate) fn validate_updates(
+    updates: &[(u64, Vec<u8>)],
+    num_records: u64,
+    record_size: usize,
+) -> Result<(), PirError> {
+    for (index, bytes) in updates {
+        if *index >= num_records {
+            return Err(PirError::IndexOutOfRange {
+                index: *index,
+                num_records,
+            });
+        }
+        if bytes.len() != record_size {
+            return Err(PirError::RecordSizeMismatch {
+                expected: record_size,
+                actual: bytes.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Shared [`UpdatableBackend::apply_updates`] implementation for backends
+/// whose visible database lives on the host behind an `Arc` (the CPU and
+/// streaming servers): validate the batch all-or-nothing, rewrite the
+/// replica copy-on-write ([`std::sync::Arc::make_mut`], so an `Arc` shared
+/// with other holders is cloned rather than mutated under them) and bump
+/// the backend's epoch. No bytes move to an accelerator, so the outcome's
+/// transfer counters are zero.
+pub(crate) fn apply_host_updates(
+    database: &mut std::sync::Arc<crate::database::Database>,
+    epoch: &mut u64,
+    updates: &[(u64, Vec<u8>)],
+) -> Result<UpdateOutcome, PirError> {
+    validate_updates(updates, database.num_records(), database.record_size())?;
+    if !updates.is_empty() {
+        let replica = std::sync::Arc::make_mut(database);
+        for (index, bytes) in updates {
+            replica
+                .set_record(*index, bytes)
+                .expect("update entries were validated against this geometry");
+        }
+        *epoch += 1;
+    }
+    Ok(UpdateOutcome {
+        records_updated: updates.len(),
+        bytes_pushed: 0,
+        simulated_seconds: 0.0,
+        epoch: *epoch,
+    })
+}
+
 /// A boxed, borrow-free selector evaluation function (see
 /// [`BatchExecutor::selector_evaluator`]).
 pub type SelectorEvaluator =
@@ -218,10 +333,11 @@ pub fn database_selector_evaluator(
 }
 
 /// A task produced by the evaluation stage: the query's position in the
-/// batch, its evaluated selector bits and the wall time the evaluation
-/// took.
+/// batch, the worker thread that evaluated it, its evaluated selector bits
+/// and the wall time the evaluation took.
 struct EvaluatedSelector {
     position: usize,
+    worker: usize,
     selector: SelectorVector,
     eval_wall_seconds: f64,
 }
@@ -230,7 +346,9 @@ struct EvaluatedSelector {
 /// `worker_threads` threads and hands each result to `consume` **in
 /// position order**, on the calling thread, while the workers keep
 /// evaluating ahead — `consume` typically launches data-plane scans, so
-/// the two stages overlap.
+/// the two stages overlap. `consume` receives the index of the worker
+/// thread that ran the evaluation, so callers can account the concurrent
+/// workers' wall times as a critical path instead of a sum.
 ///
 /// Flow control: the feeder releases position `p` only once fewer than
 /// `queue_depth + workers` positions separate it from the scheduler's
@@ -252,7 +370,7 @@ pub(crate) fn stream_selectors<E, C>(
 ) -> Result<(), PirError>
 where
     E: Fn(usize) -> Result<SelectorVector, PirError> + Sync,
-    C: FnMut(usize, SelectorVector, f64) -> Result<(), PirError>,
+    C: FnMut(usize, usize, SelectorVector, f64) -> Result<(), PirError>,
 {
     if count == 0 {
         return Ok(());
@@ -294,7 +412,7 @@ where
                 }
             }
         });
-        for _ in 0..workers {
+        for worker in 0..workers {
             let task_sender = task_sender.clone();
             let input_receiver = input_receiver.clone();
             let evaluate = &evaluate;
@@ -303,6 +421,7 @@ where
                     let eval_started = Instant::now();
                     let result = evaluate(position).map(|selector| EvaluatedSelector {
                         position,
+                        worker,
                         selector,
                         eval_wall_seconds: eval_started.elapsed().as_secs_f64(),
                     });
@@ -333,9 +452,12 @@ where
                 Ok(task) if first_error.is_none() => {
                     reorder.insert(task.position, task);
                     while let Some(ready) = reorder.remove(&next_position) {
-                        if let Err(error) =
-                            consume(ready.position, ready.selector, ready.eval_wall_seconds)
-                        {
+                        if let Err(error) = consume(
+                            ready.position,
+                            ready.worker,
+                            ready.selector,
+                            ready.eval_wall_seconds,
+                        ) {
                             cancel(&mut first_error, error);
                             reorder.clear();
                             break;
@@ -392,13 +514,17 @@ pub fn process_batch<S: BatchExecutor>(
     let mut totals = PhaseBreakdown::zero();
     let mut responses: Vec<ServerResponse> = Vec::with_capacity(shares.len());
     let mut wave: Vec<(usize, SelectorVector)> = Vec::with_capacity(width);
+    // The stage-1 workers evaluate concurrently, so the eval phase is the
+    // critical path across their per-worker wall-time sums — summing all
+    // evaluations would report an eval phase longer than the batch itself.
+    let mut worker_eval: Vec<PhaseTime> = vec![PhaseTime::zero(); config.worker_threads.max(1)];
 
     stream_selectors(
         shares.len(),
         config,
         |position| evaluator(&shares[position]),
-        |position, selector, eval_wall_seconds| {
-            totals.eval.merge(&PhaseTime::host(eval_wall_seconds));
+        |position, worker, selector, eval_wall_seconds| {
+            worker_eval[worker].merge(&PhaseTime::host(eval_wall_seconds));
             wave.push((position, selector));
             // `consume` runs in position order, so a full wave — or the
             // batch's tail — is always a run of consecutive positions
@@ -423,6 +549,9 @@ pub fn process_batch<S: BatchExecutor>(
             Ok(())
         },
     )?;
+    for per_worker in &worker_eval {
+        totals.eval.merge_parallel(per_worker);
+    }
 
     Ok(BatchOutcome {
         responses,

@@ -218,9 +218,13 @@ impl Database {
 
     /// Overwrites the record at `index` with `bytes`.
     ///
-    /// Used by update workflows (§3.3 of the paper: the CPU applies bulk
-    /// database updates while the DPUs are idle) and by tests that need an
-    /// up-to-date oracle after [`crate::server::pim::ImPirServer::apply_updates`].
+    /// This is the primitive the §3.3 update workflows build on. Callers
+    /// serving queries should not drive it directly: backends keep their
+    /// own replicas in sync through
+    /// [`crate::batch::UpdatableBackend::apply_updates`], and sharded
+    /// deployments update consistently through
+    /// [`crate::engine::QueryEngine::apply_updates`] — no caller-side
+    /// oracle copy is needed.
     ///
     /// # Errors
     ///

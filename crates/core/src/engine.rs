@@ -27,6 +27,13 @@
 //! [`BatchExecutor`] (three methods) — the engine supplies sharding,
 //! pipelining, backpressure and accounting.
 //!
+//! Database **updates** go through the engine as well (§3.3 bulk updates):
+//! [`QueryEngine::apply_updates`] accepts global record indices, validates
+//! the batch all-or-nothing, routes each entry to the shard holding it (in
+//! that shard's local index space) and updates the
+//! [`UpdatableBackend`]s in parallel — callers say *what* changed, the
+//! engine decides *where* it lands.
+//!
 //! # Example
 //!
 //! ```
@@ -56,7 +63,9 @@ use std::time::Instant;
 
 use impir_dpf::{EvalStrategy, SelectorVector};
 
-use crate::batch::{BatchConfig, BatchExecutor, SelectorEvaluator};
+use crate::batch::{
+    BatchConfig, BatchExecutor, SelectorEvaluator, UpdatableBackend, UpdateOutcome,
+};
 use crate::dpxor;
 use crate::error::PirError;
 use crate::protocol::{QueryShare, ServerResponse};
@@ -96,25 +105,41 @@ impl EngineConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`PirError::Config`] if the pipeline configuration is
-    /// invalid.
+    /// Returns [`PirError::Config`] if the pipeline configuration or the
+    /// evaluation strategy is invalid.
     pub fn new(pipeline: BatchConfig, eval_strategy: EvalStrategy) -> Result<Self, PirError> {
-        pipeline.validate()?;
-        Ok(EngineConfig {
+        let config = EngineConfig {
             pipeline,
             eval_strategy,
-        })
+        };
+        config.validate()?;
+        Ok(config)
     }
 
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`PirError::Config`] if the pipeline configuration is
-    /// invalid.
+    /// Returns [`PirError::Config`] if the pipeline configuration or the
+    /// evaluation strategy is invalid (e.g. a subtree-parallel strategy
+    /// with zero threads).
     pub fn validate(&self) -> Result<(), PirError> {
-        self.pipeline.validate()
+        self.pipeline.validate()?;
+        validate_eval_strategy(&self.eval_strategy)
     }
+}
+
+/// Rejects degenerate [`EvalStrategy`] values at the configuration
+/// boundary, so the evaluation paths never have to paper over them with
+/// runtime clamps.
+pub(crate) fn validate_eval_strategy(strategy: &EvalStrategy) -> Result<(), PirError> {
+    if matches!(strategy, EvalStrategy::SubtreeParallel { threads: 0 }) {
+        return Err(PirError::Config {
+            reason: "the subtree-parallel evaluation strategy needs at least one thread"
+                .to_string(),
+        });
+    }
+    Ok(())
 }
 
 /// What one shard's scan thread produces: the per-query XOR payloads plus
@@ -155,6 +180,7 @@ pub struct QueryEngine<S> {
     domain_bits: u32,
     config: EngineConfig,
     evaluator: EngineEvaluator,
+    epoch: u64,
 }
 
 /// Builds the sharded engine's full-domain strategy evaluator: the closure
@@ -202,6 +228,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             domain_bits: domain_bits_for(num_records),
             config,
             evaluator,
+            epoch: 0,
         })
     }
 
@@ -258,6 +285,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             domain_bits: domain_bits_for(num_records),
             config,
             evaluator: strategy_evaluator(config.eval_strategy, num_records),
+            epoch: 0,
         })
     }
 
@@ -298,8 +326,21 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
     }
 
     /// Mutable access to the backend serving shard `shard`, if it exists.
+    ///
+    /// A sharded backend addresses records in its **shard-local** index
+    /// space; do not apply database updates through this accessor — use
+    /// [`QueryEngine::apply_updates`], which translates global indices and
+    /// keeps all shards consistent.
     pub fn backend_mut(&mut self, shard: usize) -> Option<&mut S> {
         self.shards.get_mut(shard).map(|s| &mut s.backend)
+    }
+
+    /// The engine's database epoch: bumped once per successful
+    /// [`QueryEngine::apply_updates`] batch. Zero means the engine still
+    /// serves the database it was constructed over.
+    #[must_use]
+    pub fn database_epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn check_domain(&self, share: &QueryShare) -> Result<(), PirError> {
@@ -365,7 +406,13 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
         // waves of its backend's width. When a shard falls behind, its
         // channel fills and the evaluation stage blocks — backpressure end
         // to end.
-        let mut eval_phase = PhaseTime::zero();
+        //
+        // The stage-1 workers run concurrently, so the eval phase is the
+        // critical path across their per-worker wall-time sums — summing
+        // every evaluation would report an eval phase that can exceed the
+        // batch's own wall time.
+        let mut worker_eval: Vec<PhaseTime> =
+            vec![PhaseTime::zero(); pipeline.worker_threads.max(1)];
         let (pipeline_result, shard_results): (Result<(), PirError>, Vec<ShardScanResult>) =
             std::thread::scope(|scope| {
                 let mut feeds = Vec::with_capacity(self.shards.len());
@@ -380,8 +427,8 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
                     count,
                     &pipeline,
                     |position| evaluator(&shares[position]),
-                    |_, selector, eval_wall_seconds| {
-                        eval_phase.merge(&PhaseTime::host(eval_wall_seconds));
+                    |_, worker, selector, eval_wall_seconds| {
+                        worker_eval[worker].merge(&PhaseTime::host(eval_wall_seconds));
                         // Each shard slices its own record range on its own
                         // thread; the scheduler only hands out the shared
                         // full-domain selector. A dropped receiver means
@@ -407,7 +454,9 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
         // The shards ran concurrently on disjoint (simulated) hardware, so
         // their phase breakdowns combine as a critical path, not a sum.
         let mut totals = PhaseBreakdown::zero();
-        totals.eval.merge(&eval_phase);
+        for per_worker in &worker_eval {
+            totals.eval.merge_parallel(per_worker);
+        }
         let merge_started = Instant::now();
         let mut payloads: Vec<Vec<u8>> = vec![vec![0u8; self.record_size]; shares.len()];
         let mut shard_critical_path = PhaseBreakdown::zero();
@@ -486,6 +535,105 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             dpxor::xor_in_place(&mut payload, &shard_payloads[0]);
         }
         Ok((payload, phases))
+    }
+}
+
+impl<S: UpdatableBackend + Send + Sync> QueryEngine<S> {
+    /// Applies a batch of record updates (pairs of **global** record index
+    /// and replacement bytes) across every shard of the engine — the §3.3
+    /// bulk-update path, lifted to the execution layer so callers say
+    /// *what* changed and the engine decides *where* it lands.
+    ///
+    /// The whole batch is validated against the engine's geometry first
+    /// (all-or-nothing: one invalid entry means no shard observes any
+    /// update), global indices are translated to shard-local ones through
+    /// the [`ShardPlan`], and the per-shard update sets fan out to the
+    /// backends in parallel. Backends commit atomically after the engine's
+    /// validation, so after a successful call every shard, backend replica
+    /// and snapshot agrees with the updated database; responses are
+    /// byte-identical to a fresh engine built over it.
+    ///
+    /// Returns the aggregated [`UpdateOutcome`]: total bytes pushed across
+    /// shards, the simulated transfer time as the critical path over the
+    /// concurrently updating shards, and the engine's new database epoch.
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::IndexOutOfRange`] for an update outside the engine's
+    ///   record space;
+    /// * [`PirError::RecordSizeMismatch`] for a payload of the wrong size;
+    /// * backend transfer failures.
+    pub fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        crate::batch::validate_updates(updates, self.num_records, self.record_size)?;
+        if updates.is_empty() {
+            return Ok(UpdateOutcome {
+                records_updated: 0,
+                bytes_pushed: 0,
+                simulated_seconds: 0.0,
+                epoch: self.epoch,
+            });
+        }
+        // A single-shard engine's local and global index spaces coincide:
+        // hand the batch straight to the backend, skipping the partition
+        // (and its payload copies).
+        if self.shards.len() == 1 {
+            let outcome = self.shards[0].backend.apply_updates(updates)?;
+            self.epoch += 1;
+            return Ok(UpdateOutcome {
+                records_updated: updates.len(),
+                bytes_pushed: outcome.bytes_pushed,
+                simulated_seconds: outcome.simulated_seconds,
+                epoch: self.epoch,
+            });
+        }
+        // Global → shard-local translation; entry order is preserved per
+        // shard, so duplicated indices keep their last-write-wins meaning.
+        let mut per_shard: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); self.shards.len()];
+        for (index, bytes) in updates {
+            let shard = self
+                .plan
+                .shard_of(*index)
+                .expect("validated index falls in some shard of the plan");
+            let local = index - self.shards[shard].start;
+            per_shard[shard].push((local, bytes.clone()));
+        }
+        // Fan out: each shard's backend updates on its own thread (disjoint
+        // simulated hardware), mirroring how the engine scans.
+        let results: Vec<Result<Option<UpdateOutcome>, PirError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(&per_shard)
+                .map(|(shard, shard_updates)| {
+                    scope.spawn(move || {
+                        if shard_updates.is_empty() {
+                            return Ok(None);
+                        }
+                        shard.backend.apply_updates(shard_updates).map(Some)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard update worker panicked"))
+                .collect()
+        });
+        let mut bytes_pushed = 0u64;
+        let mut simulated_seconds = 0.0f64;
+        for result in results {
+            if let Some(outcome) = result? {
+                bytes_pushed += outcome.bytes_pushed;
+                // The shards updated concurrently: critical path, not sum.
+                simulated_seconds = simulated_seconds.max(outcome.simulated_seconds);
+            }
+        }
+        self.epoch += 1;
+        Ok(UpdateOutcome {
+            records_updated: updates.len(),
+            bytes_pushed,
+            simulated_seconds,
+            epoch: self.epoch,
+        })
     }
 }
 
@@ -702,6 +850,132 @@ mod tests {
                 assert_eq!(w.payload, f.payload, "batch {batch}");
             }
         }
+    }
+
+    #[test]
+    fn apply_updates_keeps_sharded_engines_consistent_with_fresh_ones() {
+        let db = Arc::new(Database::random(250, 16, 17).unwrap());
+        let mut client = PirClient::new(250, 16, 4).unwrap();
+        let indices = [0u64, 99, 100, 249, 50];
+        let (shares, _) = client.generate_batch(&indices).unwrap();
+        let updates: Vec<(u64, Vec<u8>)> = vec![
+            (0, vec![0x11; 16]),
+            (99, vec![0x22; 16]),
+            (100, vec![0x33; 16]),
+            (249, vec![0x44; 16]),
+        ];
+        let mut updated_db = (*db).clone();
+        for (index, bytes) in &updates {
+            updated_db.set_record(*index, bytes).unwrap();
+        }
+        let updated_db = Arc::new(updated_db);
+        for shards in [1usize, 3, 5] {
+            let mut engine = cpu_engine(&db, shards);
+            assert_eq!(engine.database_epoch(), 0);
+            let outcome = engine.apply_updates(&updates).unwrap();
+            assert_eq!(outcome.records_updated, 4);
+            assert_eq!(outcome.epoch, 1);
+            assert_eq!(engine.database_epoch(), 1);
+            let updated = engine.execute_batch(&shares).unwrap();
+            let fresh = cpu_engine(&updated_db, shards)
+                .execute_batch(&shares)
+                .unwrap();
+            for (u, f) in updated.responses.iter().zip(&fresh.responses) {
+                assert_eq!(u.payload, f.payload, "shards={shards}");
+            }
+        }
+        // The construction-time database was never mutated (copy-on-write).
+        assert_eq!(
+            db.record(0),
+            Database::random(250, 16, 17).unwrap().record(0)
+        );
+    }
+
+    #[test]
+    fn invalid_update_batches_are_rejected_before_any_shard_changes() {
+        let db = Arc::new(Database::random(120, 8, 23).unwrap());
+        let mut client = PirClient::new(120, 8, 6).unwrap();
+        let (shares, _) = client.generate_batch(&[0u64, 60, 119]).unwrap();
+        let mut engine = cpu_engine(&db, 3);
+        let before = engine.execute_batch(&shares).unwrap();
+        // One valid entry followed by an out-of-range one.
+        let poisoned = vec![(0u64, vec![0xff; 8]), (120u64, vec![0xff; 8])];
+        assert!(matches!(
+            engine.apply_updates(&poisoned),
+            Err(PirError::IndexOutOfRange { .. })
+        ));
+        // And a wrong-size payload.
+        let wrong_size = vec![(1u64, vec![0xff; 4])];
+        assert!(matches!(
+            engine.apply_updates(&wrong_size),
+            Err(PirError::RecordSizeMismatch { .. })
+        ));
+        assert_eq!(engine.database_epoch(), 0);
+        let after = engine.execute_batch(&shares).unwrap();
+        for (b, a) in before.responses.iter().zip(&after.responses) {
+            assert_eq!(b.payload, a.payload);
+        }
+    }
+
+    #[test]
+    fn empty_update_batch_is_a_noop() {
+        let db = Arc::new(Database::random(64, 8, 3).unwrap());
+        let mut engine = cpu_engine(&db, 2);
+        let outcome = engine.apply_updates(&[]).unwrap();
+        assert_eq!(outcome.records_updated, 0);
+        assert_eq!(outcome.epoch, 0);
+        assert_eq!(engine.database_epoch(), 0);
+    }
+
+    #[test]
+    fn eval_phase_never_exceeds_batch_wall_time_with_parallel_workers() {
+        // Regression: per-worker eval wall times used to be *summed* into
+        // the eval phase, so with several pipeline workers the reported
+        // phase could exceed the batch's actual wall time. Workers run
+        // concurrently — the phase is their critical path.
+        let db = Arc::new(Database::random(4096, 32, 29).unwrap());
+        let mut client = PirClient::new(4096, 32, 11).unwrap();
+        let indices: Vec<u64> = (0..32).map(|i| (i * 131) % 4096).collect();
+        let (shares, _) = client.generate_batch(&indices).unwrap();
+        let config = EngineConfig::new(
+            BatchConfig::with_workers(4).unwrap(),
+            EvalStrategy::SubtreeParallel { threads: 2 },
+        )
+        .unwrap();
+        let sharded = ShardedDatabase::uniform(db.clone(), 2).unwrap();
+        let mut engine = QueryEngine::sharded(&sharded, config, |shard_db, _| {
+            CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+        })
+        .unwrap();
+        let outcome = engine.execute_batch(&shares).unwrap();
+        assert!(
+            outcome.phase_totals.eval.wall_seconds <= outcome.wall_seconds,
+            "eval phase {} exceeds batch wall time {}",
+            outcome.phase_totals.eval.wall_seconds,
+            outcome.wall_seconds
+        );
+        assert!(outcome.phase_totals.eval.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn zero_thread_eval_strategy_is_rejected_at_the_config_boundary() {
+        let config = EngineConfig {
+            pipeline: BatchConfig::default(),
+            eval_strategy: EvalStrategy::SubtreeParallel { threads: 0 },
+        };
+        assert!(matches!(config.validate(), Err(PirError::Config { .. })));
+        assert!(matches!(
+            EngineConfig::new(
+                BatchConfig::default(),
+                EvalStrategy::SubtreeParallel { threads: 0 }
+            ),
+            Err(PirError::Config { .. })
+        ));
+        assert!(EngineConfig::new(
+            BatchConfig::default(),
+            EvalStrategy::SubtreeParallel { threads: 1 }
+        )
+        .is_ok());
     }
 
     #[test]

@@ -46,6 +46,13 @@
 //!   and hand instances to the engine via [`engine::QueryEngine::single`]
 //!   or a per-shard factory in [`engine::QueryEngine::sharded`]; sharding,
 //!   pipelining, backpressure and accounting come from the engine.
+//!   Backends that additionally implement [`batch::UpdatableBackend`] (all
+//!   three bundled backends do) unlock the §3.3 bulk-update path:
+//!   [`engine::QueryEngine::apply_updates`] validates an update batch
+//!   all-or-nothing, translates global record indices to each shard's
+//!   local index space and fans the per-shard sets out in parallel, so
+//!   every shard, replica and snapshot moves to the new database version
+//!   together (tracked by an engine-level epoch).
 //! * **substrate** — the [`impir_pim`] crate simulates the UPMEM hardware
 //!   (MRAM/WRAM capacities, tasklets, transfer and kernel cost models) that
 //!   the PIM-family backends run on.
@@ -82,7 +89,7 @@ pub mod scheme;
 pub mod server;
 pub mod shard;
 
-pub use batch::{BatchConfig, BatchExecutor};
+pub use batch::{BatchConfig, BatchExecutor, UpdatableBackend, UpdateOutcome};
 pub use client::PirClient;
 pub use database::Database;
 pub use engine::{EngineConfig, QueryEngine};

@@ -26,7 +26,7 @@ use impir_dpf::naive::generate_multi_party_shares;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::batch::BatchExecutor;
+use crate::batch::{BatchExecutor, UpdatableBackend, UpdateOutcome};
 use crate::database::Database;
 use crate::dpxor;
 use crate::engine::{EngineConfig, QueryEngine};
@@ -187,6 +187,22 @@ impl<S: BatchExecutor + Send + Sync> NServerNaivePir<S> {
         }
         self.last_phases = Some(phases);
         Ok(record)
+    }
+}
+
+impl<S: UpdatableBackend + Send + Sync> NServerNaivePir<S> {
+    /// Applies a batch of record updates through the engine standing in for
+    /// all `n` replicas (every real deployment would apply the same batch
+    /// on each server). The engine is the single source of truth for record
+    /// contents — the deployment's own database handle only supplies
+    /// geometry, which updates preserve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's validation and backend errors; on error no
+    /// replica has changed.
+    pub fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        self.engine.apply_updates(updates)
     }
 }
 

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use crate::batch::{BatchConfig, BatchExecutor};
+use crate::batch::{BatchConfig, BatchExecutor, UpdatableBackend, UpdateOutcome};
 use crate::client::PirClient;
 use crate::database::Database;
 use crate::engine::{EngineConfig, QueryEngine};
@@ -171,6 +171,30 @@ impl<S: BatchExecutor + Send + Sync> TwoServerPir<S> {
             records.push(self.client.reconstruct(response_1, response_2)?);
         }
         Ok((records, outcome_1, outcome_2))
+    }
+}
+
+impl<S: UpdatableBackend + Send + Sync> TwoServerPir<S> {
+    /// Applies a batch of record updates to **both** servers' engines
+    /// (§3.3): each engine validates the whole batch, translates global
+    /// indices to its shards and updates its backends, so the two replicas
+    /// move to the new database version together and subsequent queries
+    /// reconstruct the updated records.
+    ///
+    /// Returns both engines' [`UpdateOutcome`]s (server 0 first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and backend errors; the engines validate
+    /// identically, so a batch rejected by one is rejected by both before
+    /// any record changes.
+    pub fn apply_updates(
+        &mut self,
+        updates: &[(u64, Vec<u8>)],
+    ) -> Result<(UpdateOutcome, UpdateOutcome), PirError> {
+        let outcome_1 = self.engine_1.apply_updates(updates)?;
+        let outcome_2 = self.engine_2.apply_updates(updates)?;
+        Ok((outcome_1, outcome_2))
     }
 }
 

@@ -56,14 +56,15 @@ impl CpuServerConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`PirError::Config`] if `scan_threads` is zero.
+    /// Returns [`PirError::Config`] if `scan_threads` is zero or the
+    /// evaluation strategy is degenerate (zero subtree-parallel threads).
     pub fn validate(&self) -> Result<(), PirError> {
         if self.scan_threads == 0 {
             return Err(PirError::Config {
                 reason: "scan_threads must be at least 1".to_string(),
             });
         }
-        Ok(())
+        crate::engine::validate_eval_strategy(&self.eval_strategy)
     }
 }
 
@@ -101,6 +102,7 @@ pub struct CpuPirServer {
     /// no per-query scratch allocation (the scan-side counterpart of the
     /// DPF side's [`impir_dpf::ScratchPool`]).
     scan_scratches: impir_dpf::BufferPool<Vec<u64>>,
+    database_epoch: u64,
 }
 
 impl CpuPirServer {
@@ -115,6 +117,7 @@ impl CpuPirServer {
             database,
             config,
             scan_scratches: impir_dpf::BufferPool::new(),
+            database_epoch: 0,
         })
     }
 
@@ -285,6 +288,21 @@ impl crate::batch::BatchExecutor for CpuPirServer {
     }
 }
 
+impl crate::batch::UpdatableBackend for CpuPirServer {
+    /// Overwrites records in the server's database replica. The replica is
+    /// copy-on-write: if the `Arc` is shared (e.g. with a second server or
+    /// an external oracle), this server gets its own updated copy and the
+    /// shared one stays untouched. Subsequent scans read the new contents;
+    /// no bytes move to any accelerator, so `bytes_pushed` and
+    /// `simulated_seconds` are zero.
+    fn apply_updates(
+        &mut self,
+        updates: &[(u64, Vec<u8>)],
+    ) -> Result<crate::batch::UpdateOutcome, PirError> {
+        crate::batch::apply_host_updates(&mut self.database, &mut self.database_epoch, updates)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +368,47 @@ mod tests {
         assert!(matches!(
             s1.process_query(&q1),
             Err(PirError::QueryDomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn updates_are_visible_and_copy_on_write_preserves_shared_replicas() {
+        use crate::batch::UpdatableBackend;
+        let (db, mut s1, mut s2, mut client) = setup(100, 8, CpuServerConfig::baseline());
+        let updates: Vec<(u64, Vec<u8>)> = vec![(0, vec![0xaa; 8]), (99, vec![0xbb; 8])];
+        let outcome = s1.apply_updates(&updates).unwrap();
+        s2.apply_updates(&updates).unwrap();
+        assert_eq!(outcome.records_updated, 2);
+        assert_eq!(outcome.bytes_pushed, 0);
+        assert_eq!(outcome.epoch, 1);
+        // The servers' replicas moved; the caller's Arc did not.
+        assert_eq!(s1.database().record(0), &[0xaa; 8]);
+        assert_ne!(db.record(0), &[0xaa; 8][..]);
+        for (index, bytes) in &updates {
+            let (q1, q2) = client.generate_query(*index).unwrap();
+            let (r1, _) = s1.process_query(&q1).unwrap();
+            let (r2, _) = s2.process_query(&q2).unwrap();
+            assert_eq!(client.reconstruct(&r1, &r2).unwrap(), bytes.as_slice());
+        }
+        // All-or-nothing: a poisoned batch leaves the replica unchanged.
+        let poisoned = vec![(1u64, vec![0xcc; 8]), (100u64, vec![0xcc; 8])];
+        assert!(matches!(
+            s1.apply_updates(&poisoned),
+            Err(PirError::IndexOutOfRange { .. })
+        ));
+        assert_eq!(s1.database().record(1), db.record(1));
+    }
+
+    #[test]
+    fn zero_thread_eval_strategy_is_rejected() {
+        let db = Arc::new(Database::random(10, 8, 0).unwrap());
+        let config = CpuServerConfig {
+            eval_strategy: EvalStrategy::SubtreeParallel { threads: 0 },
+            scan_threads: 1,
+        };
+        assert!(matches!(
+            CpuPirServer::new(db, config),
+            Err(PirError::Config { .. })
         ));
     }
 

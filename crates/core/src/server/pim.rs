@@ -266,17 +266,7 @@ impl DpuProgram for DpXorKernel {
     }
 }
 
-/// The result of a bulk database update applied to the DPU replicas.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct UpdateOutcome {
-    /// Number of records overwritten (per cluster, each record once).
-    pub records_updated: usize,
-    /// Total bytes pushed to DPU MRAM across all clusters.
-    pub bytes_pushed: u64,
-    /// Simulated transfer time of the bulk update on the modelled hardware,
-    /// in seconds.
-    pub simulated_seconds: f64,
-}
+pub use crate::batch::UpdateOutcome;
 
 /// The IM-PIR server backend.
 ///
@@ -288,6 +278,7 @@ pub struct ImPirServer {
     system: PimSystem,
     layout: ClusterLayout,
     dpu_layout: DpuLayout,
+    database_epoch: u64,
 }
 
 impl ImPirServer {
@@ -323,6 +314,7 @@ impl ImPirServer {
             system,
             layout,
             dpu_layout,
+            database_epoch: 0,
         })
     }
 
@@ -367,10 +359,17 @@ impl ImPirServer {
     /// apply bulk database updates", amortising CPU–DPU transfers).
     ///
     /// Every cluster's copy of each updated record is overwritten directly
-    /// in MRAM; subsequent queries observe the new values. The `Arc`
-    /// snapshot passed at construction time is *not* modified — callers
-    /// that keep their own oracle should apply the same updates to it (see
-    /// [`crate::database::Database::set_record`]).
+    /// in MRAM, and the server's host-side `Arc` snapshot is brought along
+    /// (copy-on-write, so replicas shared with other servers stay
+    /// untouched): after this call [`ImPirServer::database`] and the
+    /// MRAM-resident chunks agree, and subsequent queries observe the new
+    /// values on every cluster. Callers need no side oracle.
+    ///
+    /// Runs of adjacent updated records landing on the same DPU coalesce
+    /// into one contiguous MRAM transfer each, so a bulk update of `k`
+    /// consecutive records pays the per-transfer latency once per DPU per
+    /// cluster instead of `k` times — the §3.3 amortisation. Duplicate
+    /// indices within one batch collapse to the last entry.
     ///
     /// Returns the total number of bytes pushed and the simulated transfer
     /// time the bulk update would take on the modelled hardware.
@@ -380,47 +379,70 @@ impl ImPirServer {
     /// * [`PirError::IndexOutOfRange`] for an update outside the database;
     /// * [`PirError::RecordSizeMismatch`] for a payload of the wrong size;
     /// * PIM transfer errors.
+    ///
+    /// Validation runs before anything is mutated, so a batch containing
+    /// one invalid entry leaves every cluster (and the snapshot) unchanged.
     pub fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
         let record_size = self.database.record_size();
         let num_records = self.database.num_records();
         // Validate everything first so a failed update cannot leave some
         // clusters updated and others stale.
+        crate::batch::validate_updates(updates, num_records, record_size)?;
+        if updates.is_empty() {
+            return Ok(UpdateOutcome {
+                records_updated: 0,
+                bytes_pushed: 0,
+                simulated_seconds: 0.0,
+                epoch: self.database_epoch,
+            });
+        }
+        // Last write wins per index; the sorted order is what lets adjacent
+        // records coalesce into contiguous transfers below.
+        let mut latest: std::collections::BTreeMap<u64, &[u8]> = std::collections::BTreeMap::new();
         for (index, bytes) in updates {
-            if *index >= num_records {
-                return Err(PirError::IndexOutOfRange {
-                    index: *index,
-                    num_records,
-                });
-            }
-            if bytes.len() != record_size {
-                return Err(PirError::RecordSizeMismatch {
-                    expected: record_size,
-                    actual: bytes.len(),
-                });
-            }
+            latest.insert(*index, bytes.as_slice());
         }
         let mut bytes_pushed = 0u64;
         let mut simulated_seconds = 0.0f64;
         for cluster in 0..self.layout.cluster_count() {
             let range = self.layout.dpu_range(cluster);
             let per_dpu = (num_records as usize).div_ceil(range.len());
-            for (index, bytes) in updates {
-                let slot = *index as usize / per_dpu;
-                let dpu = range.start + slot;
-                let offset_in_chunk = (*index as usize % per_dpu) * record_size;
-                let outcome = self.system.push_to_dpu(
-                    dpu,
-                    self.dpu_layout.db_offset + offset_in_chunk,
-                    bytes,
-                )?;
+            // Coalesce: records are contiguous within a DPU's MRAM chunk,
+            // so consecutive indices on one DPU form one contiguous run.
+            let mut runs: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+            for (&index, &bytes) in &latest {
+                let dpu = range.start + index as usize / per_dpu;
+                let offset = self.dpu_layout.db_offset + (index as usize % per_dpu) * record_size;
+                match runs.last_mut() {
+                    Some((run_dpu, run_offset, buffer))
+                        if *run_dpu == dpu && *run_offset + buffer.len() == offset =>
+                    {
+                        buffer.extend_from_slice(bytes);
+                    }
+                    _ => runs.push((dpu, offset, bytes.to_vec())),
+                }
+            }
+            for (dpu, offset, buffer) in runs {
+                let outcome = self.system.push_to_dpu(dpu, offset, &buffer)?;
                 bytes_pushed += outcome.bytes;
                 simulated_seconds += outcome.simulated_seconds;
             }
         }
+        // Keep the host-side snapshot in lockstep with the MRAM replicas
+        // (copy-on-write: a snapshot shared with another server is cloned,
+        // not mutated under it).
+        let snapshot = Arc::make_mut(&mut self.database);
+        for (&index, &bytes) in &latest {
+            snapshot
+                .set_record(index, bytes)
+                .expect("update entries were validated against this geometry");
+        }
+        self.database_epoch += 1;
         Ok(UpdateOutcome {
             records_updated: updates.len(),
             bytes_pushed,
             simulated_seconds,
+            epoch: self.database_epoch,
         })
     }
 
@@ -705,6 +727,12 @@ impl crate::batch::BatchExecutor for ImPirServer {
     }
 }
 
+impl crate::batch::UpdatableBackend for ImPirServer {
+    fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        ImPirServer::apply_updates(self, updates)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -838,22 +866,27 @@ mod tests {
     fn updates_are_visible_to_subsequent_queries_on_every_cluster() {
         let (db, mut s1, mut s2, mut client) =
             setup(200, 16, ImPirConfig::tiny_test(6).with_clusters(3));
-        // Keep an oracle copy of the database in sync with the updates.
-        let mut oracle = (*db).clone();
         let updates: Vec<(u64, Vec<u8>)> = vec![
             (0, vec![0xaa; 16]),
             (99, vec![0xbb; 16]),
             (199, vec![0xcc; 16]),
         ];
-        for (index, bytes) in &updates {
-            oracle.set_record(*index, bytes).unwrap();
-        }
         let outcome_1 = s1.apply_updates(&updates).unwrap();
         let outcome_2 = s2.apply_updates(&updates).unwrap();
         assert_eq!(outcome_1.records_updated, 3);
         // Each of the 3 clusters receives each updated record once.
         assert_eq!(outcome_1.bytes_pushed, 3 * 3 * 16);
         assert!(outcome_2.simulated_seconds > 0.0);
+        assert_eq!(outcome_1.epoch, 1);
+
+        // The server's own snapshot moved with the MRAM replicas: it is the
+        // up-to-date oracle, no caller-side copy needed.
+        for (index, bytes) in &updates {
+            assert_eq!(s1.database().record(*index), bytes.as_slice());
+        }
+        // The construction-time Arc the caller still holds is untouched
+        // (copy-on-write).
+        assert_ne!(db.record(0), &[0xaa; 16][..]);
 
         for cluster in 0..3 {
             for (index, _) in &updates {
@@ -862,7 +895,7 @@ mod tests {
                 let (r2, _) = s2.process_query_on_cluster(cluster, &q2).unwrap();
                 assert_eq!(
                     client.reconstruct(&r1, &r2).unwrap(),
-                    oracle.record(*index),
+                    s1.database().record(*index),
                     "cluster {cluster} index {index}"
                 );
             }
@@ -872,6 +905,56 @@ mod tests {
         let (r1, _) = s1.process_query(&q1).unwrap();
         let (r2, _) = s2.process_query(&q2).unwrap();
         assert_eq!(client.reconstruct(&r1, &r2).unwrap(), db.record(50));
+    }
+
+    #[test]
+    fn adjacent_updates_coalesce_into_one_transfer_per_dpu_per_cluster() {
+        // 200 records over 2 clusters of 2 DPUs each: per_dpu = 100, so
+        // indices 10..18 share one DPU chunk and index 150 sits on the
+        // second DPU of each cluster.
+        let (_, mut s1, mut s2, mut client) =
+            setup(200, 16, ImPirConfig::tiny_test(4).with_clusters(2));
+        let mut updates: Vec<(u64, Vec<u8>)> =
+            (10u64..18).map(|i| (i, vec![i as u8; 16])).collect();
+        updates.push((150, vec![0x99; 16]));
+
+        let batches_before = s1.pim_report().transfers.host_to_dpu_batches;
+        let outcome = s1.apply_updates(&updates).unwrap();
+        let batches_after = s1.pim_report().transfers.host_to_dpu_batches;
+
+        // Byte counts are unchanged by coalescing: every cluster still
+        // receives every updated record exactly once.
+        assert_eq!(outcome.bytes_pushed, 2 * 9 * 16);
+        // ...but the adjacent run becomes a single transfer per DPU per
+        // cluster: (1 run + 1 single) × 2 clusters, not 9 × 2 pushes.
+        assert_eq!(batches_after - batches_before, 4);
+
+        // Coalesced transfers land the same contents as per-record pushes.
+        s2.apply_updates(&updates).unwrap();
+        for (index, bytes) in &updates {
+            let (q1, q2) = client.generate_query(*index).unwrap();
+            let (r1, _) = s1.process_query(&q1).unwrap();
+            let (r2, _) = s2.process_query(&q2).unwrap();
+            assert_eq!(client.reconstruct(&r1, &r2).unwrap(), bytes.as_slice());
+        }
+    }
+
+    #[test]
+    fn duplicate_update_indices_resolve_to_the_last_entry() {
+        let (_, mut s1, mut s2, mut client) = setup(64, 8, ImPirConfig::tiny_test(2));
+        let updates: Vec<(u64, Vec<u8>)> =
+            vec![(5, vec![0x01; 8]), (6, vec![0x02; 8]), (5, vec![0x03; 8])];
+        let outcome = s1.apply_updates(&updates).unwrap();
+        s2.apply_updates(&updates).unwrap();
+        assert_eq!(outcome.records_updated, 3);
+        // Two distinct records pushed once each (5 and 6 are adjacent on
+        // one DPU, so they coalesce into a single 16-byte transfer).
+        assert_eq!(outcome.bytes_pushed, 2 * 8);
+        assert_eq!(s1.database().record(5), &[0x03; 8]);
+        let (q1, q2) = client.generate_query(5).unwrap();
+        let (r1, _) = s1.process_query(&q1).unwrap();
+        let (r2, _) = s2.process_query(&q2).unwrap();
+        assert_eq!(client.reconstruct(&r1, &r2).unwrap(), vec![0x03; 8]);
     }
 
     #[test]

@@ -99,6 +99,7 @@ pub struct StreamingImPirServer {
     layout: ClusterLayout,
     dpu_layout: DpuLayout,
     records_per_segment: u64,
+    database_epoch: u64,
 }
 
 impl StreamingImPirServer {
@@ -152,6 +153,7 @@ impl StreamingImPirServer {
             layout,
             dpu_layout,
             records_per_segment,
+            database_epoch: 0,
         })
     }
 
@@ -414,6 +416,22 @@ impl crate::batch::BatchExecutor for StreamingImPirServer {
     }
 }
 
+impl crate::batch::UpdatableBackend for StreamingImPirServer {
+    /// Overwrites records in the host-side database the server re-streams
+    /// from (copy-on-write, so a shared `Arc` replica is cloned rather than
+    /// mutated under other holders). Every subsequent segment push reads
+    /// the updated bytes, so the next scan of each query observes the new
+    /// contents; nothing moves to MRAM at update time — the transfer is
+    /// paid per query, as always in the streaming mode — so `bytes_pushed`
+    /// and `simulated_seconds` are zero.
+    fn apply_updates(
+        &mut self,
+        updates: &[(u64, Vec<u8>)],
+    ) -> Result<crate::batch::UpdateOutcome, PirError> {
+        crate::batch::apply_host_updates(&mut self.database, &mut self.database_epoch, updates)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +497,38 @@ mod tests {
         let (r1, _) = s1.process_query(&q1).unwrap();
         let (r2, _) = s2.process_query(&q2).unwrap();
         assert_eq!(client.reconstruct(&r1, &r2).unwrap(), db.record(42));
+    }
+
+    #[test]
+    fn updates_refresh_the_bytes_every_segment_restreams() {
+        use crate::batch::UpdatableBackend;
+        let (db, mut s1, mut s2, mut client) = streaming_pair(600, 32, 1024);
+        assert!(s1.segments() > 1, "the update must span several segments");
+        // One update per segment region, so every re-streamed segment must
+        // carry fresh bytes.
+        let updates: Vec<(u64, Vec<u8>)> = vec![
+            (0, vec![0x5a; 32]),
+            (299, vec![0x6b; 32]),
+            (599, vec![0x7c; 32]),
+        ];
+        let outcome = s1.apply_updates(&updates).unwrap();
+        s2.apply_updates(&updates).unwrap();
+        assert_eq!(outcome.records_updated, 3);
+        // Streaming pays its transfer per query, not at update time.
+        assert_eq!(outcome.bytes_pushed, 0);
+        assert_eq!(outcome.simulated_seconds, 0.0);
+        for (index, bytes) in &updates {
+            let (q1, q2) = client.generate_query(*index).unwrap();
+            let (r1, _) = s1.process_query(&q1).unwrap();
+            let (r2, _) = s2.process_query(&q2).unwrap();
+            assert_eq!(client.reconstruct(&r1, &r2).unwrap(), bytes.as_slice());
+        }
+        // Untouched records and the caller's Arc are unaffected.
+        let (q1, q2) = client.generate_query(100).unwrap();
+        let (r1, _) = s1.process_query(&q1).unwrap();
+        let (r2, _) = s2.process_query(&q2).unwrap();
+        assert_eq!(client.reconstruct(&r1, &r2).unwrap(), db.record(100));
+        assert_ne!(db.record(0), &[0x5a; 32][..]);
     }
 
     #[test]

@@ -140,6 +140,33 @@ impl ShardPlan {
         self.ranges.get(shard).cloned()
     }
 
+    /// The shard whose range contains `record`, or `None` if the record is
+    /// outside the plan — the global→shard translation the engine uses to
+    /// route queries' record indices (e.g. bulk updates) to the right
+    /// backend.
+    ///
+    /// ```
+    /// use impir_core::shard::ShardPlan;
+    ///
+    /// let plan = ShardPlan::uniform(10, 3)?; // ranges 0..4, 4..7, 7..10
+    /// assert_eq!(plan.shard_of(0), Some(0));
+    /// assert_eq!(plan.shard_of(4), Some(1));
+    /// assert_eq!(plan.shard_of(9), Some(2));
+    /// assert_eq!(plan.shard_of(10), None);
+    /// # Ok::<(), impir_core::PirError>(())
+    /// ```
+    #[must_use]
+    pub fn shard_of(&self, record: u64) -> Option<usize> {
+        if record >= self.num_records() {
+            return None;
+        }
+        // Ranges tile [0, N) in order, so the first range ending past the
+        // record is the one containing it.
+        let shard = self.ranges.partition_point(|range| range.end <= record);
+        debug_assert!(self.ranges[shard].contains(&record));
+        Some(shard)
+    }
+
     /// All shard ranges, in record order.
     #[must_use]
     pub fn ranges(&self) -> &[Range<u64>] {
@@ -285,6 +312,29 @@ mod tests {
         assert!(ShardPlan::from_ranges(vec![0..4, 5..10]).is_err());
         assert!(ShardPlan::from_ranges(vec![0..4, 4..4]).is_err());
         assert!(ShardPlan::from_ranges(vec![0..4, 3..10]).is_err());
+    }
+
+    #[test]
+    fn shard_of_agrees_with_the_ranges() {
+        for (records, shards) in [(10u64, 3usize), (9, 4), (8, 8), (1000, 7), (5, 1)] {
+            let plan = ShardPlan::uniform(records, shards).unwrap();
+            for record in 0..records {
+                let shard = plan.shard_of(record).unwrap();
+                assert!(
+                    plan.range(shard).unwrap().contains(&record),
+                    "records={records} shards={shards} record={record}"
+                );
+            }
+            assert_eq!(plan.shard_of(records), None);
+            assert_eq!(plan.shard_of(u64::MAX), None);
+        }
+        // Skewed explicit layout.
+        let plan = ShardPlan::from_ranges(vec![0..300, 300..400, 400..421]).unwrap();
+        assert_eq!(plan.shard_of(0), Some(0));
+        assert_eq!(plan.shard_of(299), Some(0));
+        assert_eq!(plan.shard_of(300), Some(1));
+        assert_eq!(plan.shard_of(420), Some(2));
+        assert_eq!(plan.shard_of(421), None);
     }
 
     #[test]

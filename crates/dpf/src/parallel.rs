@@ -132,9 +132,7 @@ impl EvalStrategy {
             EvalStrategy::MemoryBounded { .. } => self
                 .eval_range(key, 0, domain)
                 .expect("the full domain is in range"),
-            EvalStrategy::SubtreeParallel { threads } => {
-                eval_subtree_parallel(key, threads.max(1), prg)
-            }
+            EvalStrategy::SubtreeParallel { threads } => eval_subtree_parallel(key, threads, prg),
         }
     }
 
@@ -161,11 +159,8 @@ impl EvalStrategy {
         check_range(key, start, count)?;
         let prg = LengthDoublingPrg::default();
         match *self {
-            EvalStrategy::SubtreeParallel { threads } if count > 1 => {
-                let workers = threads.max(1).min(count as usize);
-                if workers == 1 {
-                    return eval_range_with_prg(key, start, count, &prg);
-                }
+            EvalStrategy::SubtreeParallel { threads } if threads > 1 && count > 1 => {
+                let workers = threads.min(count as usize);
                 let per_worker = count.div_ceil(workers as u64);
                 let parts: Vec<Result<SelectorVector, DpfError>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..workers as u64)
@@ -264,7 +259,7 @@ impl EvalStrategy {
                 chunks * (per_chunk_path + per_chunk_subtree.max(1))
             }
             EvalStrategy::SubtreeParallel { threads } => {
-                let level = subtree_level(threads.max(1), domain_bits);
+                let level = subtree_level(threads, domain_bits);
                 let top = (1u64 << level) - 1;
                 let subtrees = 1u64 << level;
                 let per_subtree = (1u64 << (domain_bits - level)) - 1;

@@ -1,76 +1,225 @@
-//! Bulk database updates on a live IM-PIR deployment (paper §3.3).
+//! Bulk database updates on a live, sharded IM-PIR deployment (§3.3).
 //!
 //! "For frequently updated databases, DPUs can handle queries on a stable
 //! version of the database, while the CPU uses brief windows when DPUs are
-//! idle to apply bulk database updates." This example serves queries,
-//! applies a batch of record updates in place in DPU MRAM, and shows that
-//! subsequent queries observe the new values on every cluster.
+//! idle to apply bulk database updates." Since updates were lifted into the
+//! engine, callers say *what* changed — global record indices — and
+//! `QueryEngine::apply_updates` decides *where* it lands: it validates the
+//! whole batch (all-or-nothing), translates global indices into each
+//! shard's local index space, and fans the per-shard update sets out to the
+//! backends in parallel.
+//!
+//! This example serves queries through a **mixed** three-shard deployment —
+//! a PIM shard, a streaming (out-of-core) shard and a CPU shard behind one
+//! engine per server — applies one bulk update through both engines, and
+//! shows that
+//!
+//! 1. subsequent queries observe the new values on every shard, whatever
+//!    backend serves it;
+//! 2. a batch containing one invalid entry is rejected before any shard
+//!    changes.
 //!
 //! Run with `cargo run --example database_updates --release`.
 
 use std::sync::Arc;
 
-use im_pir::core::client::PirClient;
 use im_pir::core::database::Database;
+use im_pir::core::engine::{EngineConfig, QueryEngine};
+use im_pir::core::server::cpu::{CpuPirServer, CpuServerConfig};
 use im_pir::core::server::pim::{ImPirConfig, ImPirServer};
-use im_pir::core::server::PirServer;
-use im_pir::core::PirError;
+use im_pir::core::server::streaming::{StreamingConfig, StreamingImPirServer};
+use im_pir::core::shard::{ShardPlan, ShardedDatabase};
+use im_pir::core::{
+    BatchExecutor, PirClient, PirError, PirServer, UpdatableBackend, UpdateOutcome,
+};
+
+/// One engine drives three different backend kinds, so the example wraps
+/// them in an enum (the PIM variants are boxed — each carries a simulated
+/// DPU system).
+#[derive(Debug)]
+enum AnyBackend {
+    Pim(Box<ImPirServer>),
+    Streaming(Box<StreamingImPirServer>),
+    Cpu(CpuPirServer),
+}
+
+impl PirServer for AnyBackend {
+    fn num_records(&self) -> u64 {
+        match self {
+            AnyBackend::Pim(s) => s.num_records(),
+            AnyBackend::Streaming(s) => s.num_records(),
+            AnyBackend::Cpu(s) => s.num_records(),
+        }
+    }
+
+    fn record_size(&self) -> usize {
+        match self {
+            AnyBackend::Pim(s) => s.record_size(),
+            AnyBackend::Streaming(s) => s.record_size(),
+            AnyBackend::Cpu(s) => s.record_size(),
+        }
+    }
+
+    fn process_query(
+        &mut self,
+        share: &im_pir::core::QueryShare,
+    ) -> Result<(im_pir::core::ServerResponse, im_pir::core::PhaseBreakdown), PirError> {
+        match self {
+            AnyBackend::Pim(s) => s.process_query(share),
+            AnyBackend::Streaming(s) => s.process_query(share),
+            AnyBackend::Cpu(s) => s.process_query(share),
+        }
+    }
+}
+
+impl BatchExecutor for AnyBackend {
+    fn evaluate_selector(
+        &self,
+        share: &im_pir::core::QueryShare,
+    ) -> Result<im_pir::dpf::SelectorVector, PirError> {
+        match self {
+            AnyBackend::Pim(s) => s.evaluate_selector(share),
+            AnyBackend::Streaming(s) => s.evaluate_selector(share),
+            AnyBackend::Cpu(s) => s.evaluate_selector(share),
+        }
+    }
+
+    fn selector_evaluator(&self) -> im_pir::core::batch::SelectorEvaluator {
+        match self {
+            AnyBackend::Pim(s) => s.selector_evaluator(),
+            AnyBackend::Streaming(s) => s.selector_evaluator(),
+            AnyBackend::Cpu(s) => s.selector_evaluator(),
+        }
+    }
+
+    fn wave_width(&self) -> usize {
+        match self {
+            AnyBackend::Pim(s) => s.wave_width(),
+            AnyBackend::Streaming(s) => s.wave_width(),
+            AnyBackend::Cpu(s) => s.wave_width(),
+        }
+    }
+
+    fn execute_wave(
+        &mut self,
+        selectors: &[&im_pir::dpf::SelectorVector],
+    ) -> Result<(Vec<Vec<u8>>, im_pir::core::PhaseBreakdown), PirError> {
+        match self {
+            AnyBackend::Pim(s) => s.execute_wave(selectors),
+            AnyBackend::Streaming(s) => s.execute_wave(selectors),
+            AnyBackend::Cpu(s) => s.execute_wave(selectors),
+        }
+    }
+}
+
+impl UpdatableBackend for AnyBackend {
+    fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        match self {
+            AnyBackend::Pim(s) => s.apply_updates(updates),
+            AnyBackend::Streaming(s) => UpdatableBackend::apply_updates(s.as_mut(), updates),
+            AnyBackend::Cpu(s) => UpdatableBackend::apply_updates(s, updates),
+        }
+    }
+}
+
+/// A mixed three-shard engine: records [0, 1024) on preloaded PIM,
+/// [1024, 1536) on the streaming (out-of-core) PIM mode, the tail on CPU.
+fn mixed_engine(database: &ShardedDatabase) -> Result<QueryEngine<AnyBackend>, PirError> {
+    QueryEngine::sharded(database, EngineConfig::default(), |shard_db, shard| {
+        Ok(match shard {
+            0 => AnyBackend::Pim(Box::new(ImPirServer::new(
+                shard_db,
+                ImPirConfig::tiny_test(4).with_clusters(2),
+            )?)),
+            1 => AnyBackend::Streaming(Box::new(StreamingImPirServer::new(
+                shard_db,
+                StreamingConfig::new(ImPirConfig::tiny_test(4), 2048)?,
+            )?)),
+            _ => AnyBackend::Cpu(CpuPirServer::new(shard_db, CpuServerConfig::baseline())?),
+        })
+    })
+}
 
 fn main() -> Result<(), PirError> {
-    let initial = Arc::new(Database::random(2048, 32, 77)?);
+    let records: u64 = 2048;
+    let initial = Arc::new(Database::random(records, 32, 77)?);
     let mut current = (*initial).clone(); // the operator's up-to-date copy
 
-    let config = ImPirConfig::tiny_test(8).with_clusters(2);
-    let mut server_1 = ImPirServer::new(Arc::clone(&initial), config.clone())?;
-    let mut server_2 = ImPirServer::new(Arc::clone(&initial), config)?;
-    let mut client = PirClient::new(initial.num_records(), initial.record_size(), 1)?;
-
-    let watched_index = 1500u64;
-    let before = query(&mut client, &mut server_1, &mut server_2, watched_index)?;
-    assert_eq!(before, initial.record(watched_index));
+    let plan = ShardPlan::from_ranges(vec![0..1024, 1024..1536, 1536..records])?;
+    let sharded = ShardedDatabase::new(Arc::clone(&initial), plan)?;
+    let mut engine_1 = mixed_engine(&sharded)?;
+    let mut engine_2 = mixed_engine(&sharded)?;
+    let mut client = PirClient::new(records, initial.record_size(), 1)?;
     println!(
-        "before update: record {watched_index} starts with {:02x}{:02x}",
-        before[0], before[1]
+        "deployment: {records} records x 32 B over 3 shards \
+         (PIM [0,1024) | streaming [1024,1536) | CPU [1536,2048))"
     );
 
-    // A bulk update arrives: 64 revoked entries get fresh contents.
+    // One watched record per shard, plus one that a bulk update will touch.
+    let watched = [100u64, 1200, 2000];
+    for &index in &watched {
+        let record = query(&mut client, &mut engine_1, &mut engine_2, index)?;
+        assert_eq!(record, current.record(index));
+    }
+    println!("before update: all shards serve the initial contents");
+
+    // A bulk update arrives: 64 revoked entries spread over all three
+    // shards get fresh contents (runs of adjacent records coalesce into
+    // single MRAM transfers on the PIM shard).
     let updates: Vec<(u64, Vec<u8>)> = (0..64u64)
         .map(|i| {
-            let index = (i * 31) % initial.num_records();
+            let index = (i * 37) % records;
             (index, vec![0xE0 | (i as u8 & 0x0f); 32])
         })
         .collect();
     for (index, bytes) in &updates {
         current.set_record(*index, bytes)?;
     }
-    let outcome_1 = server_1.apply_updates(&updates)?;
-    let outcome_2 = server_2.apply_updates(&updates)?;
+    let outcome_1 = engine_1.apply_updates(&updates)?;
+    let outcome_2 = engine_2.apply_updates(&updates)?;
+    assert_eq!(outcome_1.epoch, 1);
     println!(
-        "applied {} record updates: {} bytes pushed per server, ≈{:.2} ms of simulated CPU→DPU transfer",
+        "applied {} record updates through each engine: {} bytes pushed to MRAM, \
+         ≈{:.3} ms simulated CPU→DPU transfer (critical path over shards), epoch {} → {}",
         outcome_1.records_updated,
         outcome_1.bytes_pushed,
-        (outcome_1.simulated_seconds + outcome_2.simulated_seconds) / 2.0 * 1e3
+        (outcome_1.simulated_seconds + outcome_2.simulated_seconds) / 2.0 * 1e3,
+        0,
+        engine_1.database_epoch(),
     );
 
-    // Every updated record (and the untouched ones) is served correctly.
-    for (index, _) in updates.iter().take(5) {
-        let record = query(&mut client, &mut server_1, &mut server_2, *index)?;
+    // Every updated record is served correctly from whichever shard holds
+    // it, and untouched records are unaffected.
+    for (index, _) in updates.iter().step_by(13) {
+        let record = query(&mut client, &mut engine_1, &mut engine_2, *index)?;
         assert_eq!(record, current.record(*index));
     }
-    let untouched = query(&mut client, &mut server_1, &mut server_2, watched_index)?;
-    assert_eq!(untouched, current.record(watched_index));
-    println!("queries after the update return the new contents on both servers");
+    for &index in &watched {
+        let record = query(&mut client, &mut engine_1, &mut engine_2, index)?;
+        assert_eq!(record, current.record(index));
+    }
+    println!("queries after the update return the new contents on every shard");
+
+    // All-or-nothing: one out-of-range entry poisons the whole batch; no
+    // shard observes the (valid) first entry.
+    let poisoned = vec![(0u64, vec![0u8; 32]), (records, vec![0u8; 32])];
+    let rejected = engine_1.apply_updates(&poisoned);
+    assert!(matches!(rejected, Err(PirError::IndexOutOfRange { .. })));
+    assert_eq!(engine_1.database_epoch(), 1);
+    let record = query(&mut client, &mut engine_1, &mut engine_2, 0)?;
+    assert_eq!(record, current.record(0));
+    println!("a batch with one invalid entry is rejected atomically ✓");
     Ok(())
 }
 
 fn query(
     client: &mut PirClient,
-    server_1: &mut ImPirServer,
-    server_2: &mut ImPirServer,
+    engine_1: &mut QueryEngine<AnyBackend>,
+    engine_2: &mut QueryEngine<AnyBackend>,
     index: u64,
 ) -> Result<Vec<u8>, PirError> {
     let (q1, q2) = client.generate_query(index)?;
-    let (r1, _) = server_1.process_query(&q1)?;
-    let (r2, _) = server_2.process_query(&q2)?;
+    let (r1, _) = engine_1.execute_query(&q1)?;
+    let (r2, _) = engine_2.execute_query(&q2)?;
     client.reconstruct(&r1, &r2)
 }

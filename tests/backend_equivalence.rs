@@ -154,6 +154,113 @@ fn engine_backends_agree_on_sharded_databases() {
     }
 }
 
+/// The engine-level update path, exercised per backend kind: after
+/// `QueryEngine::apply_updates` a sharded engine must answer byte-identically
+/// to a fresh engine constructed over the already-updated database, on
+/// several shard layouts — and a batch containing one invalid entry must
+/// leave every shard's responses unchanged (all-or-nothing).
+fn assert_updates_match_fresh_engines<S, F>(label: &str, factory: F)
+where
+    S: im_pir::core::UpdatableBackend + Send + Sync,
+    F: Fn(Arc<Database>, usize) -> Result<S, im_pir::core::PirError>,
+{
+    let num_records: u64 = 421;
+    let record_size = 24;
+    let db = Arc::new(Database::random(num_records, record_size, 19).unwrap());
+    // A run of adjacent records, a pair straddling the skewed plan's
+    // 300-boundary, and the last record.
+    let updates: Vec<(u64, Vec<u8>)> = [0u64, 1, 2, 3, 150, 299, 300, 420]
+        .iter()
+        .enumerate()
+        .map(|(i, &index)| (index, vec![0xA0 | i as u8; record_size]))
+        .collect();
+    let mut updated = (*db).clone();
+    for (index, bytes) in &updates {
+        updated.set_record(*index, bytes).unwrap();
+    }
+    let updated = Arc::new(updated);
+
+    let mut client = PirClient::new(num_records, record_size, 9).unwrap();
+    // Every updated region plus untouched records.
+    let indices: Vec<u64> = vec![0, 2, 3, 99, 150, 299, 300, 407, 420];
+    let (shares, _) = client.generate_batch(&indices).unwrap();
+
+    let plans = [
+        ShardPlan::uniform(num_records, 2).unwrap(),
+        ShardPlan::from_ranges(vec![0..300, 300..400, 400..num_records]).unwrap(),
+    ];
+    for plan in plans {
+        let shard_count = plan.shard_count();
+        let sharded = ShardedDatabase::new(db.clone(), plan.clone()).unwrap();
+        let mut engine = QueryEngine::sharded(&sharded, EngineConfig::default(), &factory).unwrap();
+        let before = engine.execute_batch(&shares).unwrap();
+
+        // All-or-nothing: a valid entry followed by an out-of-range one.
+        let poisoned = vec![updates[0].clone(), (num_records, vec![0u8; record_size])];
+        assert!(
+            engine.apply_updates(&poisoned).is_err(),
+            "{label} shards={shard_count}: poisoned batch must be rejected"
+        );
+        assert_eq!(engine.database_epoch(), 0);
+        let after_poison = engine.execute_batch(&shares).unwrap();
+        for (i, (b, a)) in before
+            .responses
+            .iter()
+            .zip(&after_poison.responses)
+            .enumerate()
+        {
+            assert_eq!(
+                b.payload, a.payload,
+                "{label} shards={shard_count} query {i}: a rejected batch must not touch any shard"
+            );
+        }
+
+        // The real update: the live engine must now be indistinguishable
+        // from a fresh engine built over the post-update database.
+        let outcome = engine.apply_updates(&updates).unwrap();
+        assert_eq!(outcome.records_updated, updates.len());
+        assert_eq!(outcome.epoch, 1);
+        let updated_out = engine.execute_batch(&shares).unwrap();
+        let fresh_sharded = ShardedDatabase::new(updated.clone(), plan).unwrap();
+        let mut fresh =
+            QueryEngine::sharded(&fresh_sharded, EngineConfig::default(), &factory).unwrap();
+        let fresh_out = fresh.execute_batch(&shares).unwrap();
+        for (i, (u, f)) in updated_out
+            .responses
+            .iter()
+            .zip(&fresh_out.responses)
+            .enumerate()
+        {
+            assert_eq!(
+                u.payload, f.payload,
+                "{label} shards={shard_count} query {i}: updated engine vs fresh engine"
+            );
+        }
+    }
+}
+
+#[test]
+fn updated_sharded_cpu_engines_match_fresh_engines() {
+    assert_updates_match_fresh_engines("cpu", |db, _| {
+        CpuPirServer::new(db, CpuServerConfig::baseline())
+    });
+}
+
+#[test]
+fn updated_sharded_pim_engines_match_fresh_engines() {
+    assert_updates_match_fresh_engines("pim", |db, _| {
+        ImPirServer::new(db, ImPirConfig::tiny_test(4).with_clusters(2))
+    });
+}
+
+#[test]
+fn updated_sharded_streaming_engines_match_fresh_engines() {
+    assert_updates_match_fresh_engines("streaming", |db, _| {
+        let config = StreamingConfig::new(ImPirConfig::tiny_test(4), 512)?;
+        StreamingImPirServer::new(db, config)
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

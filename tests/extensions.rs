@@ -7,6 +7,8 @@ use std::sync::Arc;
 use im_pir::core::client::PirClient;
 use im_pir::core::database::Database;
 use im_pir::core::multi_server::NServerNaivePir;
+use im_pir::core::scheme::TwoServerPir;
+use im_pir::core::server::cpu::CpuServerConfig;
 use im_pir::core::server::pim::{ImPirConfig, ImPirServer};
 use im_pir::core::server::streaming::{StreamingConfig, StreamingImPirServer};
 use im_pir::core::server::PirServer;
@@ -60,6 +62,62 @@ fn streaming_mode_matches_preloaded_mode_and_pays_for_retransfer() {
             streaming_phases.copy_to_pim.simulated_seconds.unwrap()
                 > preloaded_phases.copy_to_pim.simulated_seconds.unwrap()
         );
+    }
+}
+
+#[test]
+fn deployments_update_both_servers_through_their_engines() {
+    let db = Arc::new(Database::random(300, 16, 14).unwrap());
+    let mut oracle = (*db).clone();
+    // Two-server deployments: sharded PIM and sharded CPU.
+    let mut pim = TwoServerPir::with_sharded_pim_servers(db.clone(), tiny_config(4, 2), 2).unwrap();
+    let mut cpu =
+        TwoServerPir::with_sharded_cpu_servers(db.clone(), CpuServerConfig::baseline(), 3).unwrap();
+    // An n-server deployment over a sharded engine.
+    let mut naive = NServerNaivePir::sharded(db.clone(), 3, 4, 5).unwrap();
+
+    let updates: Vec<(u64, Vec<u8>)> = vec![
+        (0, vec![0x10; 16]),
+        (149, vec![0x20; 16]),
+        (150, vec![0x30; 16]),
+        (299, vec![0x40; 16]),
+    ];
+    for (index, bytes) in &updates {
+        oracle.set_record(*index, bytes).unwrap();
+    }
+    let (pim_outcome_1, pim_outcome_2) = pim.apply_updates(&updates).unwrap();
+    assert_eq!(pim_outcome_1.records_updated, 4);
+    assert_eq!(pim_outcome_1.epoch, 1);
+    assert!(pim_outcome_2.bytes_pushed > 0);
+    cpu.apply_updates(&updates).unwrap();
+    let naive_outcome = naive.apply_updates(&updates).unwrap();
+    assert_eq!(naive_outcome.epoch, 1);
+
+    for index in [0u64, 149, 150, 299, 75] {
+        let expected = oracle.record(index);
+        assert_eq!(pim.query(index).unwrap(), expected, "pim index {index}");
+        assert_eq!(cpu.query(index).unwrap(), expected, "cpu index {index}");
+        assert_eq!(naive.query(index).unwrap(), expected, "naive index {index}");
+    }
+
+    // The benchmark harness' system wrapper updates through the engine
+    // too: two sharded IM-PIR systems (different shard counts) receiving
+    // the same update batch reconstruct the updated records.
+    use im_pir::baselines::{ImPirSystem, SystemUnderTest};
+    let mut system_1 = ImPirSystem::sharded(db.clone(), tiny_config(4, 1), 2).unwrap();
+    let mut system_2 = ImPirSystem::sharded(db.clone(), tiny_config(4, 2), 3).unwrap();
+    system_1.apply_updates(&updates).unwrap();
+    system_2.apply_updates(&updates).unwrap();
+    let mut client = PirClient::new(300, 16, 8).unwrap();
+    let queried = [0u64, 150, 299];
+    let (shares_1, shares_2) = client.generate_batch(&queried).unwrap();
+    let out_1 = system_1.process_batch(&shares_1).unwrap();
+    let out_2 = system_2.process_batch(&shares_2).unwrap();
+    for (i, &index) in queried.iter().enumerate() {
+        let record = client
+            .reconstruct(&out_1.responses[i], &out_2.responses[i])
+            .unwrap();
+        assert_eq!(record, oracle.record(index), "system index {index}");
     }
 }
 
