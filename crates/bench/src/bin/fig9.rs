@@ -143,6 +143,8 @@ fn measured_db_sweep() {
     let mut cpu_series = Series::new("CPU-PIR (hybrid)", "QPS");
     let mut pim_series = Series::new("IM-PIR (hybrid)", "QPS");
     let mut sharded_series = Series::new("IM-PIR, 2 shards (hybrid)", "QPS");
+    let mut upload_series = Series::new("upload per batch (wire)", "bytes");
+    let mut download_series = Series::new("download per batch (wire)", "bytes");
     for db_bytes in paper::measured_db_sizes() {
         let num_records = db_bytes / paper::RECORD_BYTES as u64;
         let db = Arc::new(
@@ -175,13 +177,25 @@ fn measured_db_sweep() {
             pim_run.hybrid_qps(),
         ));
         sharded_series.push(DataPoint::new(
-            label,
+            label.clone(),
             db_bytes as f64,
             sharded_run.hybrid_qps(),
         ));
+        // Wire costs are system-independent (same shares, same record
+        // size), so one series each suffices.
+        upload_series.push(DataPoint::new(
+            label.clone(),
+            db_bytes as f64,
+            pim_run.upload_bytes as f64,
+        ));
+        download_series.push(DataPoint::new(
+            label,
+            db_bytes as f64,
+            pim_run.download_bytes as f64,
+        ));
         println!(
             "[measured {}] CPU-PIR wall {:.3}s hybrid {:.3}s | IM-PIR wall {:.3}s hybrid {:.3}s \
-             | IM-PIR×2-shards hybrid {:.3}s ({})",
+             | IM-PIR×2-shards hybrid {:.3}s ({}) | wire {} B up / {} B down per server",
             db_size_label(db_bytes),
             cpu_run.wall_seconds,
             cpu_run.hybrid_seconds,
@@ -189,14 +203,20 @@ fn measured_db_sweep() {
             pim_run.hybrid_seconds,
             sharded_run.hybrid_seconds,
             pim.label(),
+            pim_run.upload_bytes,
+            pim_run.download_bytes,
         );
     }
     report.push_series(cpu_series);
     report.push_series(pim_series);
     report.push_series(sharded_series);
+    report.push_series(upload_series);
+    report.push_series(download_series);
     report.push_note(format!(
         "batch = {}, {} simulated DPUs per backend, single host core; all systems \
-         execute through impir_core::engine::QueryEngine",
+         execute through impir_core::engine::QueryEngine; upload/download are the \
+         serialized QueryBatch/ResponseBatch frame sizes of one batch for one server \
+         (impir_core::wire)",
         paper::MEASURED_BATCH,
         paper::MEASURED_DPUS
     ));

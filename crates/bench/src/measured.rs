@@ -16,6 +16,14 @@ pub struct MeasuredBatch {
     /// Hybrid seconds: host phases measured, PIM/GPU phases from the cost
     /// model — the number comparable to the paper's hardware.
     pub hybrid_seconds: f64,
+    /// Upload cost of the batch in wire bytes: the serialized
+    /// `QueryBatch` frame carrying this batch's shares (framing included),
+    /// for **one** server.
+    pub upload_bytes: u64,
+    /// Download cost of the batch in wire bytes: the serialized
+    /// `ResponseBatch` frame carrying this batch's responses, for one
+    /// server.
+    pub download_bytes: u64,
 }
 
 impl MeasuredBatch {
@@ -53,6 +61,8 @@ pub fn measure_system_batch(
         batch_size,
         wall_seconds: outcome.wall_seconds,
         hybrid_seconds: outcome.hybrid_seconds(),
+        upload_bytes: impir_core::wire::query_batch_frame_bytes(&shares) as u64,
+        download_bytes: impir_core::wire::response_batch_frame_bytes(&outcome.responses) as u64,
     })
 }
 
@@ -73,5 +83,11 @@ mod tests {
         assert!(pim_run.hybrid_seconds > 0.0);
         assert!(cpu_run.hybrid_qps() > 0.0);
         assert!(pim_run.wall_qps() > 0.0);
+        // Wire sizes: both systems answer the same 4-query batch over the
+        // same database, so their frame costs are identical and non-zero.
+        assert!(cpu_run.upload_bytes > 0);
+        assert!(cpu_run.download_bytes > 0);
+        assert_eq!(cpu_run.upload_bytes, pim_run.upload_bytes);
+        assert_eq!(cpu_run.download_bytes, pim_run.download_bytes);
     }
 }

@@ -313,6 +313,15 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
         &self.plan
     }
 
+    /// The DPF domain (in bits) the engine expects query keys to cover —
+    /// `⌈log2(num_records)⌉`, at least 1. Lets service fronts validate a
+    /// session's shares *before* admitting them into a shared batch wave,
+    /// so one client's stale geometry cannot fail other clients' queries.
+    #[must_use]
+    pub fn domain_bits(&self) -> u32 {
+        self.domain_bits
+    }
+
     /// The engine configuration in use.
     #[must_use]
     pub fn config(&self) -> &EngineConfig {

@@ -62,6 +62,14 @@ pub enum PirError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A wire-protocol violation: a malformed, truncated, oversized or
+    /// out-of-order frame, a handshake failure, or a transport-level I/O
+    /// error. Decoding hostile input must surface this error — never a
+    /// panic and never an allocation sized by an unvalidated length prefix.
+    Protocol {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PirError {
@@ -103,6 +111,7 @@ impl fmt::Display for PirError {
                 "responses belong to different queries ({first} and {second})"
             ),
             PirError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            PirError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
         }
     }
 }

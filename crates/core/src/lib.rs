@@ -18,11 +18,25 @@
 //! 5. the client XORs the two servers' responses to recover the record
 //!    (step ➐).
 //!
-//! # Architecture: engine → backend → substrate
+//! # Architecture: transport → engine → backend → substrate
 //!
-//! Execution is layered so that *distribution policy* (sharding, batching,
-//! scheduling) lives apart from *data-plane mechanism* (how one scan runs):
+//! Execution is layered so that *deployment policy* (where a server runs,
+//! how it is sharded and batched) lives apart from *data-plane mechanism*
+//! (how one scan runs):
 //!
+//! * **transport** — the service layer's client-side boundary.
+//!   Schemes ([`scheme::TwoServerPir`], [`multi_server::NServerNaivePir`])
+//!   hold `Box<dyn `[`transport::PirTransport`]`>` per server, so "where
+//!   the server runs" is a constructor argument, not a type:
+//!   [`transport::LocalTransport`] wraps a [`engine::QueryEngine`]
+//!   in-process, and [`transport::TcpTransport`] speaks the versioned
+//!   [`wire`] format (length-prefixed little-endian frames, magic/version
+//!   handshake, hard frame-size limits) to an `impir-server` process —
+//!   which multiplexes many client sessions onto one shared engine,
+//!   coalescing concurrent sessions' batches into shared engine waves.
+//!   Every answered batch carries the database epoch it executed against,
+//!   so replicated deployments detect update/query interleavings that
+//!   reached only one server.
 //! * **engine** — [`engine::QueryEngine`] owns a [`shard::ShardedDatabase`]
 //!   (contiguous record-range shards under a [`shard::ShardPlan`]) and
 //!   drives the §3.4 batch pipeline: worker threads evaluate DPF keys over
@@ -72,7 +86,10 @@
 //! ```
 //!
 //! For a sharded, multi-backend deployment see [`engine`] and the
-//! `engine_throughput` example at the workspace root.
+//! `engine_throughput` example at the workspace root; for a real-socket
+//! deployment (two servers over TCP, mixed local/remote, bulk updates over
+//! the wire) see the `networked_deployment` example and the `impir-server`
+//! binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -88,6 +105,8 @@ pub mod protocol;
 pub mod scheme;
 pub mod server;
 pub mod shard;
+pub mod transport;
+pub mod wire;
 
 pub use batch::{BatchConfig, BatchExecutor, UpdatableBackend, UpdateOutcome};
 pub use client::PirClient;
@@ -97,6 +116,9 @@ pub use error::PirError;
 pub use protocol::{QueryShare, ServerResponse};
 pub use server::{BatchOutcome, PhaseBreakdown, PirServer};
 pub use shard::{ShardPlan, ShardedDatabase};
+pub use transport::{
+    LocalTransport, PirTransport, ScanResult, ServerInfo, TcpTransport, TransportBatch,
+};
 
 /// Record size (in bytes) used throughout the paper's evaluation: each
 /// record is a 32-byte (256-bit) hash, as in Certificate Transparency logs

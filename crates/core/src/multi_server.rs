@@ -9,16 +9,18 @@
 //! performs exactly the same `dpXOR` scan as in the two-server protocol,
 //! and the client XORs all `n` subresults.
 //!
-//! Since the engine refactor the scan itself is no longer re-implemented
-//! here: each server's work runs through [`QueryEngine::scan_selector`], so
-//! n-server deployments share the sharded execution layer (and any backend)
-//! with the two-server scheme.
+//! Since the service-layer refactor each server's scan goes through a
+//! [`PirTransport`] ([`Frame::SelectorScan`](crate::wire::Frame) on the
+//! wire), so n-server deployments are as transport-agnostic as the
+//! two-server scheme: the scan runs through an in-process
+//! [`QueryEngine`] or a remote `impir-server`, and the deployment cannot
+//! tell the difference.
 //!
 //! (A sub-linear-key n-party construction would require general function
 //! secret sharing rather than the two-party DPF; the paper does not
 //! evaluate one and neither do we — the upload cost reported by
 //! [`NServerNaivePir::upload_bytes_per_query`] makes the trade-off
-//! explicit.)
+//! explicit, now measured in actual wire bytes.)
 
 use std::sync::Arc;
 
@@ -26,7 +28,7 @@ use impir_dpf::naive::generate_multi_party_shares;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::batch::{BatchExecutor, UpdatableBackend, UpdateOutcome};
+use crate::batch::{UpdatableBackend, UpdateOutcome};
 use crate::database::Database;
 use crate::dpxor;
 use crate::engine::{EngineConfig, QueryEngine};
@@ -34,13 +36,16 @@ use crate::error::PirError;
 use crate::server::cpu::{CpuPirServer, CpuServerConfig};
 use crate::server::phases::PhaseBreakdown;
 use crate::shard::ShardedDatabase;
+use crate::transport::{LocalTransport, PirTransport, ServerInfo};
+use crate::wire::selector_scan_frame_bytes_for_bits;
 
 /// An n-server PIR deployment based on linear (naive) query shares.
 ///
 /// Privacy holds as long as at least one of the `n` servers does not
-/// collude with the others. Each server's scan is simulated locally through
-/// one shared [`QueryEngine`] (every replica holds the same data, so one
-/// engine standing in for all `n` servers loses nothing functionally).
+/// collude with the others. Each server's scan runs through one shared
+/// [`PirTransport`] (every replica holds the same data, so one transport
+/// standing in for all `n` servers loses nothing functionally; a real
+/// deployment would hold one transport per replica).
 ///
 /// # Example
 ///
@@ -53,16 +58,26 @@ use crate::shard::ShardedDatabase;
 /// assert_eq!(pir.query(99)?, db.record(99));
 /// # Ok::<(), impir_core::PirError>(())
 /// ```
-#[derive(Debug)]
-pub struct NServerNaivePir<S: BatchExecutor + Send + Sync = CpuPirServer> {
-    database: Arc<Database>,
-    engine: QueryEngine<S>,
+pub struct NServerNaivePir {
+    num_records: u64,
+    record_size: usize,
+    transport: Box<dyn PirTransport>,
     servers: usize,
     rng: StdRng,
     last_phases: Option<PhaseBreakdown>,
 }
 
-impl NServerNaivePir<CpuPirServer> {
+impl std::fmt::Debug for NServerNaivePir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NServerNaivePir")
+            .field("num_records", &self.num_records)
+            .field("record_size", &self.record_size)
+            .field("servers", &self.servers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NServerNaivePir {
     /// Creates a deployment with `servers ≥ 2` CPU-backed replicas of
     /// `database`.
     ///
@@ -92,19 +107,43 @@ impl NServerNaivePir<CpuPirServer> {
         })?;
         NServerNaivePir::with_engine(database, engine, servers, seed)
     }
-}
 
-impl<S: BatchExecutor + Send + Sync> NServerNaivePir<S> {
     /// Creates a deployment scanning through a caller-built engine (any
-    /// backend, any shard plan).
+    /// backend, any shard plan) behind a [`LocalTransport`].
     ///
     /// # Errors
     ///
     /// Returns [`PirError::Config`] if fewer than two servers are requested
     /// or the engine's geometry does not match `database`.
-    pub fn with_engine(
+    pub fn with_engine<S>(
         database: Arc<Database>,
         engine: QueryEngine<S>,
+        servers: usize,
+        seed: u64,
+    ) -> Result<Self, PirError>
+    where
+        S: UpdatableBackend + Send + Sync + 'static,
+    {
+        if engine.num_records() != database.num_records()
+            || engine.record_size() != database.record_size()
+        {
+            return Err(PirError::Config {
+                reason: "engine and database disagree on the geometry".to_string(),
+            });
+        }
+        NServerNaivePir::with_transport(Box::new(LocalTransport::new(engine)), servers, seed)
+    }
+
+    /// Creates a deployment scanning through any [`PirTransport`] —
+    /// in-process or remote. The served geometry is taken from the
+    /// transport's [`ServerInfo`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if fewer than two servers are
+    /// requested and propagates transport failures.
+    pub fn with_transport(
+        mut transport: Box<dyn PirTransport>,
         servers: usize,
         seed: u64,
     ) -> Result<Self, PirError> {
@@ -113,16 +152,11 @@ impl<S: BatchExecutor + Send + Sync> NServerNaivePir<S> {
                 reason: "multi-server PIR needs at least two non-colluding servers".to_string(),
             });
         }
-        if engine.num_records() != database.num_records()
-            || engine.record_size() != database.record_size()
-        {
-            return Err(PirError::Config {
-                reason: "engine and database disagree on the geometry".to_string(),
-            });
-        }
+        let info = transport.server_info()?;
         Ok(NServerNaivePir {
-            database,
-            engine,
+            num_records: info.num_records,
+            record_size: info.record_size,
+            transport,
             servers,
             rng: StdRng::seed_from_u64(seed),
             last_phases: None,
@@ -135,10 +169,14 @@ impl<S: BatchExecutor + Send + Sync> NServerNaivePir<S> {
         self.servers
     }
 
-    /// The engine executing the per-server scans.
-    #[must_use]
-    pub fn engine(&self) -> &QueryEngine<S> {
-        &self.engine
+    /// Fetches fresh [`ServerInfo`] from the transport standing in for the
+    /// replicas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn server_info(&mut self) -> Result<ServerInfo, PirError> {
+        self.transport.server_info()
     }
 
     /// Summed per-phase times across all `n` server scans of the most
@@ -148,61 +186,81 @@ impl<S: BatchExecutor + Send + Sync> NServerNaivePir<S> {
         self.last_phases.as_ref()
     }
 
-    /// Upload cost of one query in bytes: every server receives an `N`-bit
-    /// share, so the total grows linearly in both the database size and the
-    /// number of servers — the communication overhead §3 warns about.
+    /// Upload cost of one query in wire bytes: every server receives an
+    /// `N`-bit share (as a [`crate::wire::Frame::SelectorScan`], framing
+    /// included), so the total grows linearly in both the database size and
+    /// the number of servers — the communication overhead §3 warns about.
     #[must_use]
     pub fn upload_bytes_per_query(&self) -> u64 {
-        self.servers as u64 * self.database.num_records().div_ceil(8)
+        self.servers as u64 * selector_scan_frame_bytes_for_bits(self.num_records as usize) as u64
     }
 
     /// Privately retrieves the record at `index`.
     ///
-    /// Each server's work is simulated locally through the engine: it
-    /// computes the selector-weighted XOR of the whole database under its
-    /// share, exactly the `dpXOR` that the two-server backends run.
+    /// Each server's work runs through the transport: it computes the
+    /// selector-weighted XOR of the whole database under its share, exactly
+    /// the `dpXOR` that the two-server backends run.
     ///
     /// # Errors
     ///
-    /// Returns [`PirError::IndexOutOfRange`] for invalid indices.
+    /// Returns [`PirError::IndexOutOfRange`] for invalid indices,
+    /// propagates transport failures, and returns [`PirError::Protocol`]
+    /// if the `n` scans executed at different database epochs (an update
+    /// landed between scans — XOR-ing their subresults would reconstruct
+    /// a record from mixed database versions).
     pub fn query(&mut self, index: u64) -> Result<Vec<u8>, PirError> {
-        if index >= self.database.num_records() {
+        if index >= self.num_records {
             return Err(PirError::IndexOutOfRange {
                 index,
-                num_records: self.database.num_records(),
+                num_records: self.num_records,
             });
         }
-        let shares = generate_multi_party_shares(
-            self.database.num_records(),
-            index,
-            self.servers,
-            &mut self.rng,
-        )?;
-        let mut record = vec![0u8; self.database.record_size()];
+        let shares =
+            generate_multi_party_shares(self.num_records, index, self.servers, &mut self.rng)?;
+        let mut record = vec![0u8; self.record_size];
         let mut phases = PhaseBreakdown::zero();
+        let mut epoch: Option<u64> = None;
         for share in &shares {
-            let (subresult, scan_phases) = self.engine.scan_selector(share)?;
-            phases.merge(&scan_phases);
-            dpxor::xor_in_place(&mut record, &subresult);
+            let scan = self.transport.scan_selector(share)?;
+            if scan.payload.len() != self.record_size {
+                return Err(PirError::Protocol {
+                    reason: format!(
+                        "server answered a {}-byte subresult for {}-byte records",
+                        scan.payload.len(),
+                        self.record_size
+                    ),
+                });
+            }
+            match epoch {
+                None => epoch = Some(scan.epoch),
+                Some(first) if first != scan.epoch => {
+                    return Err(PirError::Protocol {
+                        reason: format!(
+                            "scans of one query executed at different database epochs \
+                             ({first} and {}); an update landed mid-query",
+                            scan.epoch
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+            phases.merge(&scan.phases);
+            dpxor::xor_in_place(&mut record, &scan.payload);
         }
         self.last_phases = Some(phases);
         Ok(record)
     }
-}
 
-impl<S: UpdatableBackend + Send + Sync> NServerNaivePir<S> {
-    /// Applies a batch of record updates through the engine standing in for
-    /// all `n` replicas (every real deployment would apply the same batch
-    /// on each server). The engine is the single source of truth for record
-    /// contents — the deployment's own database handle only supplies
-    /// geometry, which updates preserve.
+    /// Applies a batch of record updates through the transport standing in
+    /// for all `n` replicas (every real deployment would apply the same
+    /// batch on each server).
     ///
     /// # Errors
     ///
     /// Propagates the engine's validation and backend errors; on error no
     /// replica has changed.
     pub fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
-        self.engine.apply_updates(updates)
+        self.transport.apply_updates(updates)
     }
 }
 
@@ -210,6 +268,7 @@ impl<S: UpdatableBackend + Send + Sync> NServerNaivePir<S> {
 mod tests {
     use super::*;
     use crate::server::pim::{ImPirConfig, ImPirServer};
+    use crate::wire::FRAME_HEADER_BYTES;
     use proptest::prelude::*;
 
     #[test]
@@ -239,7 +298,7 @@ mod tests {
         })
         .unwrap();
         let mut pim_backed = NServerNaivePir::with_engine(db.clone(), engine, 3, 9).unwrap();
-        assert_eq!(sharded.engine().shard_count(), 4);
+        assert_eq!(sharded.server_info().unwrap().shard_count, 4);
         for index in [0u64, 120, 239] {
             let expected = db.record(index);
             assert_eq!(flat.query(index).unwrap(), expected);
@@ -255,12 +314,15 @@ mod tests {
     }
 
     #[test]
-    fn upload_cost_grows_with_server_count() {
+    fn upload_cost_grows_with_server_count_in_wire_bytes() {
         let db = Arc::new(Database::random(1024, 32, 0).unwrap());
         let two = NServerNaivePir::new(db.clone(), 2, 0).unwrap();
         let five = NServerNaivePir::new(db, 5, 0).unwrap();
-        assert_eq!(two.upload_bytes_per_query(), 2 * 128);
-        assert_eq!(five.upload_bytes_per_query(), 5 * 128);
+        // One SelectorScan frame per server: framing + bit length + byte
+        // length prefix + the 1024-bit (128-byte) share.
+        let per_server = (FRAME_HEADER_BYTES + 8 + 4 + 128) as u64;
+        assert_eq!(two.upload_bytes_per_query(), 2 * per_server);
+        assert_eq!(five.upload_bytes_per_query(), 5 * per_server);
     }
 
     #[test]
@@ -268,6 +330,64 @@ mod tests {
         let db = Arc::new(Database::random(10, 8, 0).unwrap());
         let mut pir = NServerNaivePir::new(db, 3, 0).unwrap();
         assert!(pir.query(10).is_err());
+    }
+
+    /// A transport that injects a database update after the first scan —
+    /// the shape of a concurrent writer hitting the server mid-query.
+    struct InterleavingTransport {
+        inner: crate::transport::LocalTransport<crate::server::cpu::CpuPirServer>,
+        scans: usize,
+    }
+
+    impl crate::transport::PirTransport for InterleavingTransport {
+        fn server_info(&mut self) -> Result<crate::transport::ServerInfo, PirError> {
+            self.inner.server_info()
+        }
+
+        fn query_batch(
+            &mut self,
+            shares: &[crate::protocol::QueryShare],
+        ) -> Result<crate::transport::TransportBatch, PirError> {
+            self.inner.query_batch(shares)
+        }
+
+        fn scan_selector(
+            &mut self,
+            selector: &impir_dpf::SelectorVector,
+        ) -> Result<crate::transport::ScanResult, PirError> {
+            let scan = self.inner.scan_selector(selector)?;
+            self.scans += 1;
+            if self.scans == 1 {
+                let record_size = self.inner.engine().record_size();
+                self.inner.apply_updates(&[(0, vec![0xEE; record_size])])?;
+            }
+            Ok(scan)
+        }
+
+        fn apply_updates(
+            &mut self,
+            updates: &[(u64, Vec<u8>)],
+        ) -> Result<crate::batch::UpdateOutcome, PirError> {
+            self.inner.apply_updates(updates)
+        }
+    }
+
+    #[test]
+    fn an_update_landing_between_scans_is_detected_not_reconstructed() {
+        let db = Arc::new(Database::random(64, 8, 3).unwrap());
+        let sharded = ShardedDatabase::uniform(db.clone(), 1).unwrap();
+        let engine = QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+            CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+        })
+        .unwrap();
+        let transport = InterleavingTransport {
+            inner: crate::transport::LocalTransport::new(engine),
+            scans: 0,
+        };
+        let mut pir = NServerNaivePir::with_transport(Box::new(transport), 3, 7).unwrap();
+        // Scans 2..n executed at epoch 1 while scan 1 saw epoch 0: the
+        // mixed-version XOR must surface as an error, not a record.
+        assert!(matches!(pir.query(5), Err(PirError::Protocol { .. })));
     }
 
     proptest! {

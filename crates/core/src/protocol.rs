@@ -34,10 +34,12 @@ impl QueryShare {
         self.key.party()
     }
 
-    /// Upload size of this share in bytes (key plus the 8-byte query id).
+    /// Upload size of this share in bytes, as actually serialized inside a
+    /// [`crate::wire::Frame::QueryBatch`] (query id, key-length prefix and
+    /// key bytes) — so reported upload costs match what a socket carries.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        8 + self.key.size_bytes()
+        crate::wire::share_wire_bytes(self)
     }
 }
 
@@ -64,10 +66,12 @@ impl ServerResponse {
         }
     }
 
-    /// Download size of this response in bytes.
+    /// Download size of this response in bytes, as actually serialized
+    /// inside a [`crate::wire::Frame::ResponseBatch`] (query id, party
+    /// byte, payload-length prefix and payload).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        8 + 1 + self.payload.len()
+        crate::wire::response_wire_bytes(self)
     }
 }
 
@@ -76,9 +80,17 @@ impl ServerResponse {
 ///
 /// # Errors
 ///
-/// Returns [`PirError::ResponseMismatch`] if the responses carry different
-/// query ids, and [`PirError::RecordSizeMismatch`] if their payloads have
-/// different lengths.
+/// Combining is only meaningful for responses that belong together, and a
+/// networked deployment can deliver ones that don't (crossed sessions, a
+/// buggy or malicious server). The mismatches are rejected instead of
+/// silently XOR-ing garbage:
+///
+/// * [`PirError::ResponseMismatch`] if the responses carry different query
+///   ids;
+/// * [`PirError::Protocol`] if both responses claim the **same** party —
+///   two subresults from one server reconstruct nothing;
+/// * [`PirError::RecordSizeMismatch`] if their payloads have different
+///   lengths.
 pub fn combine_responses(
     first: &ServerResponse,
     second: &ServerResponse,
@@ -87,6 +99,15 @@ pub fn combine_responses(
         return Err(PirError::ResponseMismatch {
             first: first.query_id,
             second: second.query_id,
+        });
+    }
+    if first.party == second.party {
+        return Err(PirError::Protocol {
+            reason: format!(
+                "both responses to query {} claim party {:?}; reconstruction needs one \
+                 subresult from each server",
+                first.query_id, first.party
+            ),
         });
     }
     if first.payload.len() != second.payload.len() {
@@ -117,9 +138,11 @@ mod tests {
     }
 
     #[test]
-    fn share_size_accounts_for_key_and_id() {
+    fn share_size_is_the_serialized_wire_size() {
         let share = share();
-        assert_eq!(share.size_bytes(), 8 + share.key.size_bytes());
+        // query id + key-length prefix + key bytes, as a QueryBatch frame
+        // lays the share out on the wire.
+        assert_eq!(share.size_bytes(), 8 + 4 + share.key.size_bytes());
         assert_eq!(share.party(), PartyId::Server1);
     }
 
@@ -154,8 +177,19 @@ mod tests {
     }
 
     #[test]
-    fn response_size_is_payload_plus_header() {
+    fn combine_rejects_same_party_responses() {
+        let r1 = ServerResponse::new(3, PartyId::Server1, vec![1, 2]);
+        let r2 = ServerResponse::new(3, PartyId::Server1, vec![3, 4]);
+        assert!(matches!(
+            combine_responses(&r1, &r2),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn response_size_is_the_serialized_wire_size() {
+        // query id (8) + party (1) + payload-length prefix (4) + payload.
         let response = ServerResponse::new(7, PartyId::Server2, vec![0u8; 32]);
-        assert_eq!(response.size_bytes(), 41);
+        assert_eq!(response.size_bytes(), 45);
     }
 }

@@ -3,16 +3,25 @@
 //! [`TwoServerPir`] wires a [`crate::client::PirClient`] to two replicated
 //! servers (which must not collude — the standard multi-server PIR trust
 //! assumption, §2.3) and exposes the protocol as a simple
-//! "query an index, get the record back" API. Since the engine refactor
-//! each server side is a [`QueryEngine`], so every query — single or
-//! batched, sharded or not — executes through the same pipeline as the
-//! benchmark harness and the n-server generalisation. It exists for
-//! examples, integration tests and the benchmark harness; a real
-//! deployment would put a network between the pieces.
+//! "query an index, get the record back" API. Since the service-layer
+//! refactor each server side is a `Box<dyn `[`PirTransport`]`>`, so *where*
+//! a server runs is deployment policy: the same client code drives two
+//! in-process engines ([`LocalTransport`]), two `impir-server` processes
+//! ([`crate::transport::TcpTransport`]), or a mix of both. Every local
+//! server is still a [`QueryEngine`], so every query — single or batched,
+//! sharded or not — executes through the same pipeline as the benchmark
+//! harness and the n-server generalisation.
+//!
+//! The deployment also enforces the replication contract the scheme's
+//! correctness rests on: both servers must serve the same database
+//! geometry, and every answered batch is checked to have executed at the
+//! same database epoch on both replicas — a query racing an update on only
+//! one server surfaces as [`PirError::Protocol`] instead of a silently
+//! wrong record.
 
 use std::sync::Arc;
 
-use crate::batch::{BatchConfig, BatchExecutor, UpdatableBackend, UpdateOutcome};
+use crate::batch::{BatchConfig, UpdatableBackend, UpdateOutcome};
 use crate::client::PirClient;
 use crate::database::Database;
 use crate::engine::{EngineConfig, QueryEngine};
@@ -20,29 +29,75 @@ use crate::error::PirError;
 use crate::server::cpu::{CpuPirServer, CpuServerConfig};
 use crate::server::phases::PhaseBreakdown;
 use crate::server::pim::{ImPirConfig, ImPirServer};
-use crate::server::BatchOutcome;
 use crate::shard::ShardedDatabase;
+use crate::transport::{LocalTransport, PirTransport, ServerInfo, TransportBatch};
 
-/// A client plus two non-colluding replicated server engines.
+/// A client plus two non-colluding replicated servers, each behind a
+/// [`PirTransport`].
 ///
 /// See the crate-level documentation for an example.
-#[derive(Debug)]
-pub struct TwoServerPir<S: BatchExecutor + Send + Sync> {
+pub struct TwoServerPir {
     client: PirClient,
-    engine_1: QueryEngine<S>,
-    engine_2: QueryEngine<S>,
+    server_1: Box<dyn PirTransport>,
+    server_2: Box<dyn PirTransport>,
     last_phases: Option<(PhaseBreakdown, PhaseBreakdown)>,
 }
 
-impl<S: BatchExecutor + Send + Sync> TwoServerPir<S> {
+impl std::fmt::Debug for TwoServerPir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoServerPir")
+            .field("client", &self.client)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TwoServerPir {
+    /// Assembles a deployment from an existing client and two transports —
+    /// local, remote, or mixed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the servers disagree with each other
+    /// or with the client about the database geometry, and propagates
+    /// transport failures while fetching the servers' info.
+    pub fn from_transports(
+        client: PirClient,
+        mut server_1: Box<dyn PirTransport>,
+        mut server_2: Box<dyn PirTransport>,
+    ) -> Result<Self, PirError> {
+        let info_1 = server_1.server_info()?;
+        let info_2 = server_2.server_info()?;
+        if info_1.num_records != info_2.num_records || info_1.record_size != info_2.record_size {
+            return Err(PirError::Config {
+                reason: "the two servers hold different database replicas".to_string(),
+            });
+        }
+        if client.num_records() != info_1.num_records || client.record_size() != info_1.record_size
+        {
+            return Err(PirError::Config {
+                reason: "client and servers disagree on the database geometry".to_string(),
+            });
+        }
+        Ok(TwoServerPir {
+            client,
+            server_1,
+            server_2,
+            last_phases: None,
+        })
+    }
+
     /// Assembles a deployment from an existing client and two servers,
-    /// each wrapped in a single-shard [`QueryEngine`].
+    /// each wrapped in a single-shard [`QueryEngine`] behind a
+    /// [`LocalTransport`].
     ///
     /// # Errors
     ///
     /// Returns [`PirError::Config`] if the servers disagree with each other
     /// or with the client about the database geometry.
-    pub fn from_parts(client: PirClient, server_1: S, server_2: S) -> Result<Self, PirError> {
+    pub fn from_parts<S>(client: PirClient, server_1: S, server_2: S) -> Result<Self, PirError>
+    where
+        S: UpdatableBackend + Send + Sync + 'static,
+    {
         let config = EngineConfig::default();
         TwoServerPir::from_engines(
             client,
@@ -52,37 +107,25 @@ impl<S: BatchExecutor + Send + Sync> TwoServerPir<S> {
     }
 
     /// Assembles a deployment from an existing client and two pre-built
-    /// engines (possibly sharded).
+    /// engines (possibly sharded), each behind a [`LocalTransport`].
     ///
     /// # Errors
     ///
     /// Returns [`PirError::Config`] if the engines disagree with each other
     /// or with the client about the database geometry.
-    pub fn from_engines(
+    pub fn from_engines<S>(
         client: PirClient,
         engine_1: QueryEngine<S>,
         engine_2: QueryEngine<S>,
-    ) -> Result<Self, PirError> {
-        if engine_1.num_records() != engine_2.num_records()
-            || engine_1.record_size() != engine_2.record_size()
-        {
-            return Err(PirError::Config {
-                reason: "the two servers hold different database replicas".to_string(),
-            });
-        }
-        if client.num_records() != engine_1.num_records()
-            || client.record_size() != engine_1.record_size()
-        {
-            return Err(PirError::Config {
-                reason: "client and servers disagree on the database geometry".to_string(),
-            });
-        }
-        Ok(TwoServerPir {
+    ) -> Result<Self, PirError>
+    where
+        S: UpdatableBackend + Send + Sync + 'static,
+    {
+        TwoServerPir::from_transports(
             client,
-            engine_1,
-            engine_2,
-            last_phases: None,
-        })
+            Box::new(LocalTransport::new(engine_1)),
+            Box::new(LocalTransport::new(engine_2)),
+        )
     }
 
     /// Builds a deployment whose two engines shard `database` under `plan`
@@ -92,12 +135,13 @@ impl<S: BatchExecutor + Send + Sync> TwoServerPir<S> {
     /// # Errors
     ///
     /// Propagates configuration and backend-construction errors.
-    pub fn sharded<F>(
+    pub fn sharded<S, F>(
         database: &ShardedDatabase,
         config: EngineConfig,
         mut factory: F,
     ) -> Result<Self, PirError>
     where
+        S: UpdatableBackend + Send + Sync + 'static,
         F: FnMut(Arc<Database>, usize, usize) -> Result<S, PirError>,
     {
         let client = PirClient::new(
@@ -120,18 +164,33 @@ impl<S: BatchExecutor + Send + Sync> TwoServerPir<S> {
         &self.client
     }
 
-    /// The engine serving as server `0` or `1`; `None` for any other
-    /// index.
-    #[must_use]
-    pub fn engine(&self, server: usize) -> Option<&QueryEngine<S>> {
+    /// The transport to server `0` or `1`; `None` for any other index.
+    pub fn transport(&mut self, server: usize) -> Option<&mut (dyn PirTransport + '_)> {
         match server {
-            0 => Some(&self.engine_1),
-            1 => Some(&self.engine_2),
+            0 => Some(self.server_1.as_mut()),
+            1 => Some(self.server_2.as_mut()),
             _ => None,
         }
     }
 
-    /// Per-server phase breakdowns of the most recent [`TwoServerPir::query`].
+    /// Fetches fresh [`ServerInfo`] from server `0` or `1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for an index other than 0/1 and
+    /// propagates transport failures.
+    pub fn server_info(&mut self, server: usize) -> Result<ServerInfo, PirError> {
+        match server {
+            0 => self.server_1.server_info(),
+            1 => self.server_2.server_info(),
+            other => Err(PirError::Config {
+                reason: format!("no server {other} in a two-server deployment"),
+            }),
+        }
+    }
+
+    /// Per-server phase breakdowns of the most recent [`TwoServerPir::query`]
+    /// or [`TwoServerPir::query_batch`].
     #[must_use]
     pub fn last_phases(&self) -> Option<&(PhaseBreakdown, PhaseBreakdown)> {
         self.last_phases.as_ref()
@@ -142,63 +201,109 @@ impl<S: BatchExecutor + Send + Sync> TwoServerPir<S> {
     /// # Errors
     ///
     /// Propagates client- and server-side errors (invalid index, geometry
-    /// mismatches, backend failures).
+    /// mismatches, backend failures, transport failures).
     pub fn query(&mut self, index: u64) -> Result<Vec<u8>, PirError> {
-        let (share_1, share_2) = self.client.generate_query(index)?;
-        let (response_1, phases_1) = self.engine_1.execute_query(&share_1)?;
-        let (response_2, phases_2) = self.engine_2.execute_query(&share_2)?;
-        self.last_phases = Some((phases_1, phases_2));
-        self.client.reconstruct(&response_1, &response_2)
+        let (records, _, _) = self.query_batch(std::slice::from_ref(&index))?;
+        Ok(records.into_iter().next().expect("one record per index"))
     }
 
     /// Privately retrieves a batch of records, one per index.
     ///
     /// Returns the records in the same order as `indices`, along with the
-    /// two servers' batch outcomes (for throughput/latency reporting).
+    /// two servers' batch outcomes (throughput/latency, per-phase
+    /// accounting, and per-batch upload/download wire bytes).
     ///
     /// # Errors
     ///
-    /// Propagates client- and server-side errors.
+    /// Propagates client- and server-side errors, and returns
+    /// [`PirError::Protocol`] if the replicas answered at different
+    /// database epochs (a query/update interleaving that reached only one
+    /// server — reconstruction would XOR records from different database
+    /// versions).
     pub fn query_batch(
         &mut self,
         indices: &[u64],
-    ) -> Result<(Vec<Vec<u8>>, BatchOutcome, BatchOutcome), PirError> {
+    ) -> Result<(Vec<Vec<u8>>, TransportBatch, TransportBatch), PirError> {
         let (shares_1, shares_2) = self.client.generate_batch(indices)?;
-        let outcome_1 = self.engine_1.execute_batch(&shares_1)?;
-        let outcome_2 = self.engine_2.execute_batch(&shares_2)?;
+        // The two servers are independent (and, remotely, a network away):
+        // query them concurrently so end-to-end latency is the slower of
+        // the two round trips, not their sum.
+        let (outcome_1, outcome_2) = {
+            let server_1 = self.server_1.as_mut();
+            let server_2 = self.server_2.as_mut();
+            std::thread::scope(|scope| {
+                let first = scope.spawn(move || server_1.query_batch(&shares_1));
+                let outcome_2 = server_2.query_batch(&shares_2);
+                let outcome_1 = first.join().expect("server 0 query thread panicked");
+                (outcome_1, outcome_2)
+            })
+        };
+        let outcome_1 = outcome_1?;
+        let outcome_2 = outcome_2?;
+        if outcome_1.epoch != outcome_2.epoch {
+            return Err(PirError::Protocol {
+                reason: format!(
+                    "replicas answered at different database epochs ({} and {}); \
+                     an update reached only one server",
+                    outcome_1.epoch, outcome_2.epoch
+                ),
+            });
+        }
         let mut records = Vec::with_capacity(indices.len());
         for (response_1, response_2) in outcome_1.responses.iter().zip(&outcome_2.responses) {
             records.push(self.client.reconstruct(response_1, response_2)?);
         }
+        self.last_phases = Some((outcome_1.phase_totals, outcome_2.phase_totals));
         Ok((records, outcome_1, outcome_2))
     }
-}
 
-impl<S: UpdatableBackend + Send + Sync> TwoServerPir<S> {
-    /// Applies a batch of record updates to **both** servers' engines
-    /// (§3.3): each engine validates the whole batch, translates global
-    /// indices to its shards and updates its backends, so the two replicas
-    /// move to the new database version together and subsequent queries
-    /// reconstruct the updated records.
+    /// Applies a batch of record updates to **both** servers (§3.3): each
+    /// server validates the whole batch, translates global indices to its
+    /// shards and updates its backends, so the two replicas move to the new
+    /// database version together and subsequent queries reconstruct the
+    /// updated records.
     ///
-    /// Returns both engines' [`UpdateOutcome`]s (server 0 first).
+    /// Returns both servers' [`UpdateOutcome`]s (server 0 first).
     ///
     /// # Errors
     ///
-    /// Propagates validation and backend errors; the engines validate
-    /// identically, so a batch rejected by one is rejected by both before
-    /// any record changes.
+    /// Propagates validation and backend errors. The servers validate
+    /// identically, so a batch *rejected* by server 0 is never offered to
+    /// server 1 and no record changes anywhere. A **transport** failure on
+    /// server 1 after server 0 committed, however, cannot be rolled back —
+    /// the error then reports which side committed, the epoch cross-check
+    /// makes every subsequent [`TwoServerPir::query_batch`] fail loudly
+    /// (no silent mixed-version reconstructions), and the operator can
+    /// resync by re-applying the batch on the lagging replica through
+    /// [`TwoServerPir::transport`]. Also returns [`PirError::Protocol`] if
+    /// the servers' post-update epochs diverge.
     pub fn apply_updates(
         &mut self,
         updates: &[(u64, Vec<u8>)],
     ) -> Result<(UpdateOutcome, UpdateOutcome), PirError> {
-        let outcome_1 = self.engine_1.apply_updates(updates)?;
-        let outcome_2 = self.engine_2.apply_updates(updates)?;
+        let outcome_1 = self.server_1.apply_updates(updates)?;
+        let outcome_2 = self
+            .server_2
+            .apply_updates(updates)
+            .map_err(|err| PirError::Protocol {
+                reason: format!(
+                    "update committed on server 0 (epoch {}) but failed on server 1: {err}; \
+                     the replicas have diverged — re-apply the batch on server 1 via \
+                     transport(1) to resync",
+                    outcome_1.epoch
+                ),
+            })?;
+        if outcome_1.epoch != outcome_2.epoch {
+            return Err(PirError::Protocol {
+                reason: format!(
+                    "replicas diverged after the update (epochs {} and {})",
+                    outcome_1.epoch, outcome_2.epoch
+                ),
+            });
+        }
         Ok((outcome_1, outcome_2))
     }
-}
 
-impl TwoServerPir<ImPirServer> {
     /// Builds a deployment whose servers run IM-PIR on simulated UPMEM PIM.
     ///
     /// # Errors
@@ -234,9 +339,7 @@ impl TwoServerPir<ImPirServer> {
             ImPirServer::new(shard_db, config.clone())
         })
     }
-}
 
-impl TwoServerPir<CpuPirServer> {
     /// Builds a deployment whose servers are processor-centric (CPU-PIR).
     ///
     /// # Errors
@@ -304,6 +407,10 @@ mod tests {
         }
         assert_eq!(outcome_1.responses.len(), indices.len());
         assert_eq!(outcome_2.responses.len(), indices.len());
+        // Wire accounting: a batch costs what its frames would cost.
+        assert!(outcome_1.upload_bytes > 0);
+        assert!(outcome_1.download_bytes > 0);
+        assert_eq!(outcome_1.epoch, outcome_2.epoch);
     }
 
     #[test]
@@ -317,8 +424,11 @@ mod tests {
         let mut sharded_pim =
             TwoServerPir::with_sharded_pim_servers(db.clone(), ImPirConfig::tiny_test(2), 2)
                 .unwrap();
-        assert_eq!(sharded_cpu.engine(0).unwrap().shard_count(), 3);
-        assert!(sharded_cpu.engine(2).is_none());
+        assert_eq!(sharded_cpu.server_info(0).unwrap().shard_count, 3);
+        assert!(matches!(
+            sharded_cpu.server_info(2),
+            Err(PirError::Config { .. })
+        ));
         for index in [0u64, 86, 87, 259] {
             let expected = db.record(index);
             assert_eq!(flat.query(index).unwrap(), expected);
@@ -354,5 +464,37 @@ mod tests {
             pir.query(50),
             Err(PirError::IndexOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn epoch_divergence_between_replicas_is_detected() {
+        // Drive an update into only ONE server's transport — the next
+        // query must fail the epoch cross-check instead of XOR-ing records
+        // from two different database versions.
+        let db = Arc::new(Database::random(80, 8, 4).unwrap());
+        let mut pir =
+            TwoServerPir::with_cpu_servers(db.clone(), CpuServerConfig::baseline()).unwrap();
+        assert_eq!(pir.query(3).unwrap(), db.record(3));
+        pir.transport(0)
+            .unwrap()
+            .apply_updates(&[(3, vec![0xAB; 8])])
+            .unwrap();
+        assert!(matches!(pir.query(3), Err(PirError::Protocol { .. })));
+    }
+
+    #[test]
+    fn updates_through_the_scheme_keep_replicas_in_lockstep() {
+        let db = Arc::new(Database::random(120, 8, 9).unwrap());
+        let mut pir =
+            TwoServerPir::with_sharded_cpu_servers(db.clone(), CpuServerConfig::baseline(), 2)
+                .unwrap();
+        let (outcome_1, outcome_2) = pir
+            .apply_updates(&[(7, vec![0x11; 8]), (119, vec![0x22; 8])])
+            .unwrap();
+        assert_eq!(outcome_1.epoch, 1);
+        assert_eq!(outcome_2.epoch, 1);
+        assert_eq!(pir.query(7).unwrap(), vec![0x11; 8]);
+        assert_eq!(pir.query(119).unwrap(), vec![0x22; 8]);
+        assert_eq!(pir.query(0).unwrap(), db.record(0));
     }
 }

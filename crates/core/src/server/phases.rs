@@ -76,6 +76,17 @@ impl PhaseTime {
             (a, b) => Some(a.unwrap_or(0.0).max(b.unwrap_or(0.0))),
         };
     }
+
+    /// Both components scaled by `factor` — used to attribute a shared
+    /// batch's cost proportionally to the requests that made it up (e.g.
+    /// one session's slice of a coalesced server wave).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> PhaseTime {
+        PhaseTime {
+            wall_seconds: self.wall_seconds * factor,
+            simulated_seconds: self.simulated_seconds.map(|s| s * factor),
+        }
+    }
 }
 
 /// The five server-side phases of one query (or the totals of a batch).
@@ -139,6 +150,18 @@ impl PhaseBreakdown {
         self.dpxor.merge_parallel(&other.dpxor);
         self.copy_from_pim.merge_parallel(&other.copy_from_pim);
         self.aggregate.merge_parallel(&other.aggregate);
+    }
+
+    /// Every phase scaled by `factor` (see [`PhaseTime::scaled`]).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> PhaseBreakdown {
+        PhaseBreakdown {
+            eval: self.eval.scaled(factor),
+            copy_to_pim: self.copy_to_pim.scaled(factor),
+            dpxor: self.dpxor.scaled(factor),
+            copy_from_pim: self.copy_from_pim.scaled(factor),
+            aggregate: self.aggregate.scaled(factor),
+        }
     }
 
     /// Per-phase shares of the hybrid total, in percent, in Table 1's

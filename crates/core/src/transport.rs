@@ -1,0 +1,487 @@
+//! Transport-agnostic access to a PIR server: *where* a server runs is a
+//! deployment policy, not a type.
+//!
+//! [`PirTransport`] is the client-side boundary of the service layer. A
+//! scheme ([`crate::scheme::TwoServerPir`],
+//! [`crate::multi_server::NServerNaivePir`]) holds `Box<dyn PirTransport>`
+//! per server and cannot tell the implementations apart:
+//!
+//! * [`LocalTransport`] wraps a [`QueryEngine`] in-process — the
+//!   single-process object graph every deployment used before the service
+//!   layer existed, now just one policy among several;
+//! * [`TcpTransport`] speaks the [`crate::wire`] format over `std::net` to
+//!   an `impir-server` process (connection-per-session), so the same
+//!   client code drives in-process, mixed, or fully remote deployments.
+//!
+//! Every transport reports the **wire cost** of each batch
+//! ([`TransportBatch::upload_bytes`] / [`TransportBatch::download_bytes`]):
+//! the TCP transport counts the bytes it actually moved, and the local
+//! transport reports what the same batch *would* cost on the wire, so cost
+//! accounting is deployment-independent too.
+
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+use impir_dpf::SelectorVector;
+
+use crate::batch::{UpdatableBackend, UpdateOutcome};
+use crate::engine::QueryEngine;
+use crate::error::PirError;
+use crate::protocol::{QueryShare, ServerResponse};
+use crate::server::phases::PhaseBreakdown;
+use crate::wire::{
+    self, io_error, protocol_error, query_batch_frame_bytes, read_frame,
+    response_batch_frame_bytes, write_frame, Frame, WIRE_VERSION,
+};
+
+pub use crate::wire::ServerInfo;
+
+/// The result of one query batch through a transport: the responses plus
+/// deployment-independent accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportBatch {
+    /// Responses, in the same order as the submitted shares.
+    pub responses: Vec<ServerResponse>,
+    /// The server's database epoch when the batch executed. A scheme
+    /// querying replicated servers checks these match across its
+    /// transports (see [`crate::scheme::TwoServerPir::query_batch`]).
+    pub epoch: u64,
+    /// Wall time observed at the transport boundary, in seconds — for
+    /// remote transports this includes the network round trip.
+    pub wall_seconds: f64,
+    /// Wall time the server itself measured for the batch, in seconds.
+    pub server_wall_seconds: f64,
+    /// The server's per-phase accounting of the batch.
+    pub phase_totals: PhaseBreakdown,
+    /// Bytes of request traffic for this batch (wire framing included).
+    pub upload_bytes: u64,
+    /// Bytes of response traffic for this batch (wire framing included).
+    pub download_bytes: u64,
+}
+
+impl TransportBatch {
+    /// Throughput in queries per second, based on the transport-boundary
+    /// wall time.
+    #[must_use]
+    pub fn throughput_qps(&self) -> f64 {
+        self.responses.len() as f64 / self.wall_seconds
+    }
+
+    /// Simulated-hardware batch latency: phases that ran on the simulated
+    /// PIM use their modelled time, host phases their measured time.
+    #[must_use]
+    pub fn hybrid_seconds(&self) -> f64 {
+        self.phase_totals.total_hybrid_seconds()
+    }
+}
+
+/// The result of one selector scan through a transport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResult {
+    /// The record-sized XOR subresult.
+    pub payload: Vec<u8>,
+    /// The server's database epoch when the scan executed. An n-server
+    /// query is `n` sequential scans; callers cross-check these so an
+    /// update landing between scans is detected (see
+    /// [`crate::multi_server::NServerNaivePir::query`]).
+    pub epoch: u64,
+    /// The server's per-phase accounting of the scan.
+    pub phases: PhaseBreakdown,
+}
+
+/// Client-side handle to one PIR server, wherever it runs.
+///
+/// Methods take `&mut self`: a transport is a session, used by one logical
+/// client at a time (servers multiplex many sessions internally).
+pub trait PirTransport: Send {
+    /// The served database's geometry and current shard/epoch state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Protocol`] on transport failures.
+    fn server_info(&mut self) -> Result<ServerInfo, PirError>;
+
+    /// Submits a batch of query shares and returns the responses (in
+    /// order) with wire-cost and timing accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side errors (domain mismatches, backend
+    /// failures) and returns [`PirError::Protocol`] on transport failures.
+    fn query_batch(&mut self, shares: &[QueryShare]) -> Result<TransportBatch, PirError>;
+
+    /// Scans one full-domain linear selector share (the n-server naive
+    /// scheme) and returns the XOR subresult with its epoch and phase
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PirTransport::query_batch`].
+    fn scan_selector(&mut self, selector: &SelectorVector) -> Result<ScanResult, PirError>;
+
+    /// Applies a bulk update batch (§3.3) to the server's database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's all-or-nothing validation errors and
+    /// returns [`PirError::Protocol`] on transport failures.
+    fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError>;
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport.
+// ---------------------------------------------------------------------------
+
+/// A [`PirTransport`] wrapping a [`QueryEngine`] in the same process — no
+/// sockets, no serialization, but the same interface and the same wire
+/// cost accounting as a remote server.
+#[derive(Debug)]
+pub struct LocalTransport<S: UpdatableBackend + Send + Sync> {
+    engine: QueryEngine<S>,
+}
+
+impl<S: UpdatableBackend + Send + Sync> LocalTransport<S> {
+    /// Wraps an engine.
+    #[must_use]
+    pub fn new(engine: QueryEngine<S>) -> Self {
+        LocalTransport { engine }
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &QueryEngine<S> {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut QueryEngine<S> {
+        &mut self.engine
+    }
+
+    /// Unwraps the transport back into its engine.
+    #[must_use]
+    pub fn into_engine(self) -> QueryEngine<S> {
+        self.engine
+    }
+}
+
+impl<S: UpdatableBackend + Send + Sync> PirTransport for LocalTransport<S> {
+    fn server_info(&mut self) -> Result<ServerInfo, PirError> {
+        Ok(ServerInfo {
+            num_records: self.engine.num_records(),
+            record_size: self.engine.record_size(),
+            shard_count: self.engine.shard_count(),
+            epoch: self.engine.database_epoch(),
+        })
+    }
+
+    fn query_batch(&mut self, shares: &[QueryShare]) -> Result<TransportBatch, PirError> {
+        let started = Instant::now();
+        let outcome = self.engine.execute_batch(shares)?;
+        Ok(TransportBatch {
+            epoch: self.engine.database_epoch(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+            server_wall_seconds: outcome.wall_seconds,
+            phase_totals: outcome.phase_totals,
+            upload_bytes: query_batch_frame_bytes(shares) as u64,
+            download_bytes: response_batch_frame_bytes(&outcome.responses) as u64,
+            responses: outcome.responses,
+        })
+    }
+
+    fn scan_selector(&mut self, selector: &SelectorVector) -> Result<ScanResult, PirError> {
+        let (payload, phases) = self.engine.scan_selector(selector)?;
+        Ok(ScanResult {
+            payload,
+            epoch: self.engine.database_epoch(),
+            phases,
+        })
+    }
+
+    fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        self.engine.apply_updates(updates)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+// ---------------------------------------------------------------------------
+
+/// A [`PirTransport`] speaking the [`crate::wire`] format over a TCP
+/// connection (connection-per-session: one `TcpTransport` is one server
+/// session; drop it to close the session).
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    info: ServerInfo,
+    uploaded_bytes: u64,
+    downloaded_bytes: u64,
+}
+
+impl TcpTransport {
+    /// Connects to an `impir-server` at `addr` and performs the
+    /// magic/version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Protocol`] if the connection cannot be
+    /// established, the peer does not speak the protocol, or the versions
+    /// disagree.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, PirError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|err| io_error("connecting to server", &err))?;
+        let _ = stream.set_nodelay(true);
+        let mut transport = TcpTransport {
+            stream,
+            info: ServerInfo {
+                num_records: 0,
+                record_size: 0,
+                shard_count: 0,
+                epoch: 0,
+            },
+            uploaded_bytes: 0,
+            downloaded_bytes: 0,
+        };
+        let reply = transport.request(&Frame::Hello {
+            version: WIRE_VERSION,
+        })?;
+        match reply {
+            Frame::HelloAck { version, info } => {
+                if version != WIRE_VERSION {
+                    return Err(protocol_error(format!(
+                        "server speaks wire version {version}, this client speaks {WIRE_VERSION}"
+                    )));
+                }
+                transport.info = info;
+                Ok(transport)
+            }
+            other => Err(unexpected_frame("HelloAck", &other)),
+        }
+    }
+
+    /// The server info captured at the handshake (refreshed by
+    /// [`PirTransport::server_info`]).
+    #[must_use]
+    pub fn cached_info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// Total request bytes this session has put on the wire.
+    #[must_use]
+    pub fn uploaded_bytes(&self) -> u64 {
+        self.uploaded_bytes
+    }
+
+    /// Total response bytes this session has taken off the wire.
+    #[must_use]
+    pub fn downloaded_bytes(&self) -> u64 {
+        self.downloaded_bytes
+    }
+
+    /// Bounds how long this session waits for any single reply (and for
+    /// socket writes). `None` — the default — waits indefinitely, which is
+    /// right for trusted servers running arbitrarily large batches; set a
+    /// timeout when a wedged server must surface as
+    /// [`PirError::Protocol`] instead of blocking the client forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Protocol`] if the socket rejects the timeout
+    /// (e.g. a zero duration).
+    pub fn set_io_timeout(&mut self, timeout: Option<std::time::Duration>) -> Result<(), PirError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|err| io_error("setting read timeout", &err))?;
+        self.stream
+            .set_write_timeout(timeout)
+            .map_err(|err| io_error("setting write timeout", &err))
+    }
+
+    /// One request/response round trip. A [`Frame::Error`] reply is
+    /// surfaced as [`PirError::Protocol`] carrying the server's message.
+    fn request(&mut self, frame: &Frame) -> Result<Frame, PirError> {
+        self.uploaded_bytes += write_frame(&mut self.stream, frame)? as u64;
+        self.receive_reply()
+    }
+
+    /// Sends pre-encoded request bytes (the borrowed hot path — no owned
+    /// frame built) and reads the reply.
+    fn request_encoded(&mut self, encoded: &[u8]) -> Result<Frame, PirError> {
+        self.stream
+            .write_all(encoded)
+            .map_err(|err| io_error("writing frame", &err))?;
+        self.stream
+            .flush()
+            .map_err(|err| io_error("flushing frame", &err))?;
+        self.uploaded_bytes += encoded.len() as u64;
+        self.receive_reply()
+    }
+
+    fn receive_reply(&mut self) -> Result<Frame, PirError> {
+        let (reply, taken) = read_frame(&mut self.stream)?;
+        self.downloaded_bytes += taken as u64;
+        if let Frame::Error { message } = reply {
+            return Err(protocol_error(format!(
+                "server rejected request: {message}"
+            )));
+        }
+        Ok(reply)
+    }
+}
+
+fn unexpected_frame(expected: &str, got: &Frame) -> PirError {
+    protocol_error(format!("expected a {expected} frame, got {}", got.name()))
+}
+
+impl PirTransport for TcpTransport {
+    fn server_info(&mut self) -> Result<ServerInfo, PirError> {
+        match self.request(&Frame::InfoRequest)? {
+            Frame::Info { info } => {
+                self.info = info;
+                Ok(info)
+            }
+            other => Err(unexpected_frame("Info", &other)),
+        }
+    }
+
+    fn query_batch(&mut self, shares: &[QueryShare]) -> Result<TransportBatch, PirError> {
+        let encoded = wire::encode_query_batch(shares)?;
+        let upload_bytes = encoded.len() as u64;
+        let started = Instant::now();
+        let reply = self.request_encoded(&encoded)?;
+        match reply {
+            Frame::ResponseBatch {
+                epoch,
+                wall_seconds,
+                phases,
+                responses,
+            } => {
+                if responses.len() != shares.len() {
+                    return Err(protocol_error(format!(
+                        "server answered {} responses to {} shares",
+                        responses.len(),
+                        shares.len()
+                    )));
+                }
+                self.info.epoch = epoch;
+                Ok(TransportBatch {
+                    epoch,
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                    server_wall_seconds: wall_seconds,
+                    phase_totals: phases,
+                    upload_bytes,
+                    download_bytes: response_batch_frame_bytes(&responses) as u64,
+                    responses,
+                })
+            }
+            other => Err(unexpected_frame("ResponseBatch", &other)),
+        }
+    }
+
+    fn scan_selector(&mut self, selector: &SelectorVector) -> Result<ScanResult, PirError> {
+        let encoded = wire::encode_selector_scan(selector)?;
+        let reply = self.request_encoded(&encoded)?;
+        match reply {
+            Frame::SelectorResult {
+                epoch,
+                payload,
+                phases,
+            } => {
+                self.info.epoch = epoch;
+                Ok(ScanResult {
+                    payload,
+                    epoch,
+                    phases,
+                })
+            }
+            other => Err(unexpected_frame("SelectorResult", &other)),
+        }
+    }
+
+    fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        let encoded = wire::encode_update_batch(updates)?;
+        let reply = self.request_encoded(&encoded)?;
+        match reply {
+            Frame::UpdateAck { outcome } => {
+                self.info.epoch = outcome.epoch;
+                Ok(outcome)
+            }
+            other => Err(unexpected_frame("UpdateAck", &other)),
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Best-effort clean close; the server also handles abrupt
+        // disconnects.
+        if let Ok(encoded) = Frame::Goodbye.encode() {
+            let _ = self.stream.write_all(&encoded);
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::engine::EngineConfig;
+    use crate::server::cpu::{CpuPirServer, CpuServerConfig};
+    use crate::shard::ShardedDatabase;
+    use crate::PirClient;
+    use std::sync::Arc;
+
+    fn local(db: &Arc<Database>, shards: usize) -> LocalTransport<CpuPirServer> {
+        let sharded = ShardedDatabase::uniform(db.clone(), shards).unwrap();
+        let engine = QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+            CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+        })
+        .unwrap();
+        LocalTransport::new(engine)
+    }
+
+    #[test]
+    fn local_transport_reports_engine_info_and_wire_costs() {
+        let db = Arc::new(Database::random(200, 16, 3).unwrap());
+        let mut transport = local(&db, 2);
+        let info = transport.server_info().unwrap();
+        assert_eq!(info.num_records, 200);
+        assert_eq!(info.record_size, 16);
+        assert_eq!(info.shard_count, 2);
+        assert_eq!(info.epoch, 0);
+
+        let mut client = PirClient::new(200, 16, 1).unwrap();
+        let (shares, _) = client.generate_batch(&[5, 150, 99]).unwrap();
+        let batch = transport.query_batch(&shares).unwrap();
+        assert_eq!(batch.responses.len(), 3);
+        assert_eq!(batch.upload_bytes, query_batch_frame_bytes(&shares) as u64);
+        assert_eq!(
+            batch.download_bytes,
+            response_batch_frame_bytes(&batch.responses) as u64
+        );
+        assert_eq!(batch.epoch, 0);
+
+        let outcome = transport.apply_updates(&[(5, vec![0xEE; 16])]).unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(transport.server_info().unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn local_transport_scan_matches_database() {
+        let db = Arc::new(Database::random(96, 8, 5).unwrap());
+        let mut transport = local(&db, 3);
+        let selector: SelectorVector = (0..96).map(|i| i % 7 == 0).collect();
+        let scan = transport.scan_selector(&selector).unwrap();
+        assert_eq!(scan.payload, db.xor_select(&selector));
+        assert_eq!(scan.epoch, 0);
+    }
+
+    #[test]
+    fn tcp_connect_to_nothing_is_a_protocol_error() {
+        // Port 1 on localhost is essentially never listening.
+        let result = TcpTransport::connect("127.0.0.1:1");
+        assert!(matches!(result, Err(PirError::Protocol { .. })));
+    }
+}

@@ -1,0 +1,979 @@
+//! The IM-PIR network server: many client sessions, one shared
+//! [`QueryEngine`].
+//!
+//! [`PirService`] owns the server side of the service layer:
+//!
+//! * an **accept loop** takes TCP connections off a listener and spawns a
+//!   **session thread** per client, which speaks the
+//!   [`impir_core::wire`] format (handshake, then request/response
+//!   frames);
+//! * sessions forward their requests to one **dispatcher thread** that
+//!   owns the engine. Query batches from *concurrently active sessions*
+//!   are coalesced into one engine wave — the merged batch flows through
+//!   the engine's existing bounded admission queue, so cross-session
+//!   batching inherits the §3.4 pipeline (and its backpressure) instead
+//!   of re-implementing it;
+//! * updates and queries are serialised by the dispatcher, and every
+//!   response batch is tagged with the database epoch it executed
+//!   against, so clients can detect update/query interleavings that
+//!   reached only one replica;
+//! * [`PirService::shutdown`] stops accepting, wakes idle sessions,
+//!   drains the dispatcher and joins every thread — a graceful stop.
+//!
+//! A session's shares are validated against the engine's DPF domain
+//! *before* they join a merged wave: one client with stale geometry gets
+//! its own error frame and nobody else's queries fail.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use impir_core::batch::{UpdatableBackend, UpdateOutcome};
+use impir_core::engine::QueryEngine;
+use impir_core::server::phases::PhaseBreakdown;
+use impir_core::transport::{ScanResult, ServerInfo};
+use impir_core::wire::{Frame, MAX_FRAME_BYTES, WIRE_VERSION};
+use impir_core::{PirError, QueryShare, ServerResponse};
+use impir_dpf::SelectorVector;
+
+/// Configuration of a [`PirService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Maximum number of concurrent sessions' query batches coalesced into
+    /// one engine wave. The dispatcher never waits for more batches — it
+    /// merges whatever is already pending, up to this limit.
+    pub coalesce_limit: usize,
+    /// Stop accepting new connections once this many sessions have
+    /// completed the protocol handshake (`None` = serve until shutdown).
+    /// Probe connections that never say `Hello` — port scanners, health
+    /// checks — do not consume the budget. The bound is best-effort, not
+    /// exact: connections accepted *before* the budget was exhausted are
+    /// served in full, so near-simultaneous arrivals can briefly overshoot
+    /// the limit. Useful for tests and one-shot deployments.
+    pub max_sessions: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            coalesce_limit: 16,
+            max_sessions: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for a zero coalesce limit.
+    pub fn validate(&self) -> Result<(), PirError> {
+        if self.coalesce_limit == 0 {
+            return Err(PirError::Config {
+                reason: "the session coalesce limit must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How often blocked session reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The dispatcher's answer to one session's query batch.
+struct QueryReply {
+    epoch: u64,
+    wall_seconds: f64,
+    phases: PhaseBreakdown,
+    responses: Vec<ServerResponse>,
+}
+
+/// A session's request to the dispatcher. Replies travel over a dedicated
+/// bounded channel per request.
+enum ServiceRequest {
+    Query {
+        shares: Vec<QueryShare>,
+        reply: Sender<Result<QueryReply, PirError>>,
+    },
+    Scan {
+        selector: SelectorVector,
+        reply: Sender<Result<ScanResult, PirError>>,
+    },
+    Update {
+        updates: Vec<(u64, Vec<u8>)>,
+        reply: Sender<Result<UpdateOutcome, PirError>>,
+    },
+    Info {
+        reply: Sender<ServerInfo>,
+    },
+}
+
+/// A running PIR server: accept loop, session threads and the dispatcher
+/// that owns the engine. Dropping the handle shuts the service down.
+#[derive(Debug)]
+pub struct PirService {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    dispatcher_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PirService {
+    /// Binds `addr` and starts serving `engine` on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for an invalid `config` and
+    /// [`PirError::Protocol`] if the listener cannot be bound.
+    pub fn bind<S>(
+        engine: QueryEngine<S>,
+        addr: impl ToSocketAddrs,
+        config: ServiceConfig,
+    ) -> Result<Self, PirError>
+    where
+        S: UpdatableBackend + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr).map_err(|err| PirError::Protocol {
+            reason: format!("binding listener: {err}"),
+        })?;
+        PirService::serve(engine, listener, config)
+    }
+
+    /// Starts serving `engine` on an already-bound listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for an invalid `config` and
+    /// [`PirError::Protocol`] if the listener cannot be inspected or made
+    /// non-blocking.
+    pub fn serve<S>(
+        engine: QueryEngine<S>,
+        listener: TcpListener,
+        config: ServiceConfig,
+    ) -> Result<Self, PirError>
+    where
+        S: UpdatableBackend + Send + Sync + 'static,
+    {
+        config.validate()?;
+        let addr = listener.local_addr().map_err(|err| PirError::Protocol {
+            reason: format!("reading listener address: {err}"),
+        })?;
+        // Non-blocking accept so the loop can observe the shutdown flag.
+        listener
+            .set_nonblocking(true)
+            .map_err(|err| PirError::Protocol {
+                reason: format!("configuring listener: {err}"),
+            })?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (requests, request_rx) = unbounded::<ServiceRequest>();
+
+        let coalesce_limit = config.coalesce_limit;
+        let dispatcher_handle = std::thread::spawn(move || {
+            dispatcher_loop(engine, &request_rx, coalesce_limit);
+        });
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&listener, &requests, &accept_shutdown, config.max_sessions);
+        });
+
+        Ok(PirService {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            dispatcher_handle: Some(dispatcher_handle),
+        })
+    }
+
+    /// The address the service listens on (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully stops the service: no new connections are accepted,
+    /// idle sessions are woken and closed, in-flight requests drain, and
+    /// every thread is joined.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Waits for the service to end **on its own**: the accept loop exits
+    /// once its session budget ([`ServiceConfig::max_sessions`]) is spent
+    /// and every accepted session has disconnected, after which the
+    /// dispatcher drains and this returns. Without a session budget this
+    /// blocks until the listener fails (i.e. effectively forever).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.dispatcher_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.dispatcher_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PirService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts connections until shutdown (or the session budget is spent),
+/// then joins every session it spawned. Each session gets its own clone of
+/// the request sender; the master clone drops with this function, so the
+/// dispatcher ends exactly when the last session has.
+fn accept_loop(
+    listener: &TcpListener,
+    requests: &Sender<ServiceRequest>,
+    shutdown: &Arc<AtomicBool>,
+    max_sessions: Option<usize>,
+) {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    // The session budget counts *handshaken* sessions, not accepted TCP
+    // connections: a port scanner or health-check probe that connects and
+    // leaves must not consume a `--max-sessions 1` server's budget.
+    let handshaken = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    while !shutdown.load(Ordering::SeqCst) {
+        if let Some(limit) = max_sessions {
+            if handshaken.load(Ordering::SeqCst) >= limit {
+                break;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let session_requests = requests.clone();
+                let session_shutdown = Arc::clone(shutdown);
+                let session_handshaken = Arc::clone(&handshaken);
+                sessions.push(std::thread::spawn(move || {
+                    session_loop(
+                        stream,
+                        &session_requests,
+                        &session_shutdown,
+                        &session_handshaken,
+                    );
+                }));
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+        // Reap finished sessions as we go: a serve-until-killed server
+        // would otherwise accumulate one dead JoinHandle per connection
+        // forever.
+        let mut still_running = Vec::with_capacity(sessions.len());
+        for session in sessions {
+            if session.is_finished() {
+                let _ = session.join();
+            } else {
+                still_running.push(session);
+            }
+        }
+        sessions = still_running;
+    }
+    for session in sessions {
+        let _ = session.join();
+    }
+}
+
+/// Owns the engine: serialises updates against queries and coalesces
+/// concurrently pending query batches into single engine waves.
+fn dispatcher_loop<S: UpdatableBackend + Send + Sync>(
+    mut engine: QueryEngine<S>,
+    requests: &Receiver<ServiceRequest>,
+    coalesce_limit: usize,
+) {
+    loop {
+        let Ok(request) = requests.recv() else {
+            break; // every session (and the accept loop) has hung up
+        };
+        let mut pending = Some(request);
+        while let Some(request) = pending.take() {
+            match request {
+                ServiceRequest::Query { shares, reply } => {
+                    // Merge whatever other sessions have already queued —
+                    // never waiting — so concurrent sessions share one
+                    // trip through the engine's admission queue.
+                    let mut wave = vec![(shares, reply)];
+                    while wave.len() < coalesce_limit {
+                        match requests.try_recv() {
+                            Ok(ServiceRequest::Query { shares, reply }) => {
+                                wave.push((shares, reply));
+                            }
+                            Ok(other) => {
+                                // Anything else (an update, say) ends the
+                                // wave; it executes right after, strictly
+                                // ordered against it.
+                                pending = Some(other);
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    execute_wave(&mut engine, wave);
+                }
+                ServiceRequest::Scan { selector, reply } => {
+                    let result =
+                        engine
+                            .scan_selector(&selector)
+                            .map(|(payload, phases)| ScanResult {
+                                payload,
+                                epoch: engine.database_epoch(),
+                                phases,
+                            });
+                    let _ = reply.send(result);
+                }
+                ServiceRequest::Update { updates, reply } => {
+                    let _ = reply.send(engine.apply_updates(&updates));
+                }
+                ServiceRequest::Info { reply } => {
+                    let _ = reply.send(info_of(&engine));
+                }
+            }
+        }
+    }
+}
+
+fn info_of<S: UpdatableBackend + Send + Sync>(engine: &QueryEngine<S>) -> ServerInfo {
+    ServerInfo {
+        num_records: engine.num_records(),
+        record_size: engine.record_size(),
+        shard_count: engine.shard_count(),
+        epoch: engine.database_epoch(),
+    }
+}
+
+type SessionBatch = (Vec<QueryShare>, Sender<Result<QueryReply, PirError>>);
+
+/// Runs one merged wave of query batches through the engine and routes
+/// each session's slice of the responses back to it.
+fn execute_wave<S: UpdatableBackend + Send + Sync>(
+    engine: &mut QueryEngine<S>,
+    wave: Vec<SessionBatch>,
+) {
+    // Per-session validation first: a session whose keys cover the wrong
+    // domain gets its own error and never poisons the merged batch.
+    let domain_bits = engine.domain_bits();
+    let mut admitted: Vec<SessionBatch> = Vec::with_capacity(wave.len());
+    for (shares, reply) in wave {
+        match shares
+            .iter()
+            .find(|share| share.key.domain_bits() != domain_bits)
+        {
+            Some(bad) => {
+                let _ = reply.send(Err(PirError::QueryDomainMismatch {
+                    key_domain_bits: bad.key.domain_bits(),
+                    database_domain_bits: domain_bits,
+                }));
+            }
+            None => admitted.push((shares, reply)),
+        }
+    }
+    if admitted.is_empty() {
+        return;
+    }
+    // The uncontended case — one session in the wave — executes its batch
+    // directly; coalesced waves *move* each session's shares into the
+    // merged batch (their only later use is the count, captured first).
+    let counts: Vec<usize> = admitted.iter().map(|(shares, _)| shares.len()).collect();
+    let merged: Vec<QueryShare>;
+    let batch: &[QueryShare] = if admitted.len() == 1 {
+        &admitted[0].0
+    } else {
+        merged = admitted
+            .iter_mut()
+            .flat_map(|(shares, _)| shares.drain(..))
+            .collect();
+        &merged
+    };
+    let total_queries = batch.len();
+    if total_queries == 0 {
+        // All-empty batches short-circuit: 0/0 below would attribute NaN
+        // costs to the sessions.
+        let epoch = engine.database_epoch();
+        for (_, reply) in &admitted {
+            let _ = reply.send(Ok(QueryReply {
+                epoch,
+                wall_seconds: 0.0,
+                phases: PhaseBreakdown::zero(),
+                responses: Vec::new(),
+            }));
+        }
+        return;
+    }
+    match engine.execute_batch(batch) {
+        Err(err) => {
+            for (_, reply) in &admitted {
+                let _ = reply.send(Err(err.clone()));
+            }
+        }
+        Ok(outcome) => {
+            let epoch = engine.database_epoch();
+            let mut responses = outcome.responses.into_iter();
+            for (count, (_, reply)) in counts.iter().zip(&admitted) {
+                // Attribute the wave's cost proportionally: a session is
+                // billed its share of the merged batch, so per-client
+                // accounting does not inflate with the *other* sessions'
+                // coalesced work (and summing across sessions recovers the
+                // wave's true totals).
+                let fraction = *count as f64 / total_queries as f64;
+                let slice: Vec<ServerResponse> = responses.by_ref().take(*count).collect();
+                let _ = reply.send(Ok(QueryReply {
+                    epoch,
+                    wall_seconds: outcome.wall_seconds * fraction,
+                    phases: outcome.phase_totals.scaled(fraction),
+                    responses: slice,
+                }));
+            }
+        }
+    }
+}
+
+/// What polling reads report besides bytes.
+enum ReadOutcome {
+    /// The buffer was filled.
+    Filled,
+    /// The peer closed (or shutdown was requested) cleanly between frames.
+    Closed,
+}
+
+/// Fills `buf` from `stream`, waking every [`POLL_INTERVAL`] to check the
+/// shutdown flag. `idle` reads (waiting for the next frame) may end with
+/// [`ReadOutcome::Closed`] on a clean disconnect or shutdown; mid-frame
+/// reads treat both as hard errors, because the framing is already
+/// half-consumed.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    idle: bool,
+) -> Result<ReadOutcome, PirError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::SeqCst) {
+            if idle && filled == 0 {
+                return Ok(ReadOutcome::Closed);
+            }
+            return Err(PirError::Protocol {
+                reason: "server shutting down".to_string(),
+            });
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if idle && filled == 0 {
+                    return Ok(ReadOutcome::Closed);
+                }
+                return Err(PirError::Protocol {
+                    reason: "peer closed the connection mid-frame".to_string(),
+                });
+            }
+            Ok(read) => filled += read,
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut
+                    || err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) => {
+                return Err(PirError::Protocol {
+                    reason: format!("reading from session: {err}"),
+                })
+            }
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+/// Writes all of `bytes`, waking every [`POLL_INTERVAL`] (the stream's
+/// write timeout) to check the shutdown flag — a client that stops
+/// reading its socket cannot pin this session thread (and with it
+/// [`PirService::shutdown`]) in a blocked `write` forever.
+fn write_full(stream: &mut TcpStream, bytes: &[u8], shutdown: &AtomicBool) -> Result<(), PirError> {
+    use std::io::Write;
+    let mut written = 0;
+    while written < bytes.len() {
+        match stream.write(&bytes[written..]) {
+            Ok(0) => return Err(protocol("peer stopped accepting bytes mid-frame")),
+            Ok(sent) => written += sent,
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut
+                    || err.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                // Only abandon the write when the service is stopping AND
+                // the socket refuses bytes: a writable socket drains its
+                // already-computed reply through shutdown (graceful stop),
+                // while a client that stopped reading cannot pin this
+                // thread past one poll interval.
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err(protocol("server shutting down"));
+                }
+            }
+            Err(err) => {
+                return Err(PirError::Protocol {
+                    reason: format!("writing to session: {err}"),
+                })
+            }
+        }
+    }
+    let _ = stream.flush();
+    Ok(())
+}
+
+/// Encodes and sends one frame through [`write_full`].
+fn write_session_frame(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    let encoded = frame.encode()?;
+    write_full(stream, &encoded, shutdown)
+}
+
+/// Reads one frame, polling for shutdown between (not within) frames.
+/// `Ok(None)` means the session ended cleanly (disconnect or shutdown).
+fn read_session_frame(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Option<Frame>, PirError> {
+    let mut prefix = [0u8; 4];
+    match read_full(stream, &mut prefix, shutdown, true)? {
+        ReadOutcome::Closed => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let length = u32::from_le_bytes(prefix) as usize;
+    if length == 0 || length > MAX_FRAME_BYTES {
+        return Err(PirError::Protocol {
+            reason: format!("frame of {length} bytes is outside the accepted range"),
+        });
+    }
+    let mut full = vec![0u8; 4 + length];
+    full[..4].copy_from_slice(&prefix);
+    match read_full(stream, &mut full[4..], shutdown, false)? {
+        ReadOutcome::Closed => unreachable!("mid-frame reads never report Closed"),
+        ReadOutcome::Filled => {}
+    }
+    Frame::decode(&full).map(Some)
+}
+
+/// One client connection: handshake, then request frames until the client
+/// hangs up, says goodbye, violates the protocol, or the service stops.
+fn session_loop(
+    mut stream: TcpStream,
+    requests: &Sender<ServiceRequest>,
+    shutdown: &AtomicBool,
+    handshaken: &std::sync::atomic::AtomicUsize,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+    if handshake(&mut stream, requests, shutdown).is_err() {
+        return;
+    }
+    handshaken.fetch_add(1, Ordering::SeqCst);
+    loop {
+        let frame = match read_session_frame(&mut stream, shutdown) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close
+            Err(err) => {
+                // Framing is broken: report if possible, then drop the
+                // connection.
+                let _ = write_session_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        message: err.to_string(),
+                    },
+                    shutdown,
+                );
+                return;
+            }
+        };
+        let result = match frame {
+            Frame::QueryBatch { shares } => handle_query(&mut stream, requests, shares, shutdown),
+            Frame::UpdateBatch { updates } => {
+                handle_update(&mut stream, requests, updates, shutdown)
+            }
+            Frame::SelectorScan { selector } => {
+                handle_scan(&mut stream, requests, selector, shutdown)
+            }
+            Frame::InfoRequest => handle_info(&mut stream, requests, shutdown),
+            Frame::Goodbye => return,
+            other => {
+                // Hello mid-session or a server-only frame: protocol
+                // violation, close after reporting.
+                let _ = write_session_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        message: format!("unexpected {} frame mid-session", other.name()),
+                    },
+                    shutdown,
+                );
+                return;
+            }
+        };
+        if result.is_err() {
+            return; // the write side failed; nothing more we can do
+        }
+    }
+}
+
+/// Expects the client's `Hello`, answers `HelloAck` (or an `Error` frame
+/// on version/magic mismatch).
+fn handshake(
+    stream: &mut TcpStream,
+    requests: &Sender<ServiceRequest>,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    let frame = match read_session_frame(stream, shutdown)? {
+        Some(frame) => frame,
+        None => return Err(protocol("client left before the handshake")),
+    };
+    match frame {
+        Frame::Hello { version } if version == WIRE_VERSION => {
+            let info = request_info(requests)?;
+            write_session_frame(
+                stream,
+                &Frame::HelloAck {
+                    version: WIRE_VERSION,
+                    info,
+                },
+                shutdown,
+            )?;
+            Ok(())
+        }
+        Frame::Hello { version } => {
+            let _ = write_session_frame(
+                stream,
+                &Frame::Error {
+                    message: format!(
+                        "server speaks wire version {WIRE_VERSION}, client sent {version}"
+                    ),
+                },
+                shutdown,
+            );
+            Err(protocol("handshake version mismatch"))
+        }
+        other => {
+            let _ = write_session_frame(
+                stream,
+                &Frame::Error {
+                    message: format!("expected Hello to open the session, got {}", other.name()),
+                },
+                shutdown,
+            );
+            Err(protocol("handshake violation"))
+        }
+    }
+}
+
+fn protocol(reason: &str) -> PirError {
+    PirError::Protocol {
+        reason: reason.to_string(),
+    }
+}
+
+fn request_info(requests: &Sender<ServiceRequest>) -> Result<ServerInfo, PirError> {
+    let (reply, replies) = bounded(1);
+    requests
+        .send(ServiceRequest::Info { reply })
+        .map_err(|_| protocol("service dispatcher is gone"))?;
+    replies
+        .recv()
+        .map_err(|_| protocol("service dispatcher is gone"))
+}
+
+fn handle_info(
+    stream: &mut TcpStream,
+    requests: &Sender<ServiceRequest>,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    match request_info(requests) {
+        Ok(info) => write_session_frame(stream, &Frame::Info { info }, shutdown),
+        Err(err) => write_error(stream, &err, shutdown),
+    }
+}
+
+fn handle_query(
+    stream: &mut TcpStream,
+    requests: &Sender<ServiceRequest>,
+    shares: Vec<QueryShare>,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    let (reply, replies) = bounded(1);
+    if requests
+        .send(ServiceRequest::Query { shares, reply })
+        .is_err()
+    {
+        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
+    }
+    match replies.recv() {
+        Ok(Ok(answer)) => write_session_frame(
+            stream,
+            &Frame::ResponseBatch {
+                epoch: answer.epoch,
+                wall_seconds: answer.wall_seconds,
+                phases: answer.phases,
+                responses: answer.responses,
+            },
+            shutdown,
+        ),
+        Ok(Err(err)) => write_error(stream, &err, shutdown),
+        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
+    }
+}
+
+fn handle_update(
+    stream: &mut TcpStream,
+    requests: &Sender<ServiceRequest>,
+    updates: Vec<(u64, Vec<u8>)>,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    let (reply, replies) = bounded(1);
+    if requests
+        .send(ServiceRequest::Update { updates, reply })
+        .is_err()
+    {
+        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
+    }
+    match replies.recv() {
+        Ok(Ok(outcome)) => write_session_frame(stream, &Frame::UpdateAck { outcome }, shutdown),
+        Ok(Err(err)) => write_error(stream, &err, shutdown),
+        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
+    }
+}
+
+fn handle_scan(
+    stream: &mut TcpStream,
+    requests: &Sender<ServiceRequest>,
+    selector: SelectorVector,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    let (reply, replies) = bounded(1);
+    if requests
+        .send(ServiceRequest::Scan { selector, reply })
+        .is_err()
+    {
+        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
+    }
+    match replies.recv() {
+        Ok(Ok(scan)) => write_session_frame(
+            stream,
+            &Frame::SelectorResult {
+                epoch: scan.epoch,
+                payload: scan.payload,
+                phases: scan.phases,
+            },
+            shutdown,
+        ),
+        Ok(Err(err)) => write_error(stream, &err, shutdown),
+        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
+    }
+}
+
+/// Reports a request-level failure to the client; the session stays open.
+fn write_error(
+    stream: &mut TcpStream,
+    err: &PirError,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    write_session_frame(
+        stream,
+        &Frame::Error {
+            message: err.to_string(),
+        },
+        shutdown,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impir_core::database::Database;
+    use impir_core::engine::EngineConfig;
+    use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
+    use impir_core::shard::ShardedDatabase;
+    use impir_core::transport::{PirTransport, TcpTransport};
+    use impir_core::PirClient;
+
+    fn cpu_engine(db: &Arc<Database>, shards: usize) -> QueryEngine<CpuPirServer> {
+        let sharded = ShardedDatabase::uniform(db.clone(), shards).unwrap();
+        QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+            CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+        })
+        .unwrap()
+    }
+
+    fn spawn_cpu_service(db: &Arc<Database>, shards: usize) -> PirService {
+        PirService::bind(
+            cpu_engine(db, shards),
+            "127.0.0.1:0",
+            ServiceConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn served_responses_match_the_inprocess_engine_byte_for_byte() {
+        let db = Arc::new(Database::random(300, 16, 21).unwrap());
+        let service = spawn_cpu_service(&db, 3);
+        let mut transport = TcpTransport::connect(service.addr()).unwrap();
+        assert_eq!(transport.cached_info().num_records, 300);
+        assert_eq!(transport.cached_info().shard_count, 3);
+
+        let mut client = PirClient::new(300, 16, 5).unwrap();
+        let (shares, _) = client.generate_batch(&[0, 123, 299, 123]).unwrap();
+        let remote = transport.query_batch(&shares).unwrap();
+        let local = cpu_engine(&db, 3).execute_batch(&shares).unwrap();
+        assert_eq!(remote.responses, local.responses);
+        assert_eq!(remote.epoch, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_sessions_are_all_answered_correctly() {
+        let db = Arc::new(Database::random(256, 8, 31).unwrap());
+        let service = spawn_cpu_service(&db, 2);
+        let addr = service.addr();
+        let mut local = cpu_engine(&db, 1);
+        let mut workers = Vec::new();
+        for session in 0..4u64 {
+            let db = Arc::clone(&db);
+            workers.push(std::thread::spawn(move || {
+                let mut transport = TcpTransport::connect(addr).unwrap();
+                let mut client = PirClient::new(256, 8, session).unwrap();
+                let indices: Vec<u64> = (0..7).map(|i| (i * 31 + session * 13) % 256).collect();
+                let (shares, _) = client.generate_batch(&indices).unwrap();
+                let batch = transport.query_batch(&shares).unwrap();
+                assert_eq!(batch.responses.len(), shares.len());
+                for (share, response) in shares.iter().zip(&batch.responses) {
+                    assert_eq!(response.query_id, share.query_id);
+                }
+                let _ = db;
+                (shares, batch.responses)
+            }));
+        }
+        for worker in workers {
+            let (shares, responses) = worker.join().unwrap();
+            // Sessions may have been coalesced into shared waves; each
+            // session's answers must still equal the in-process engine's.
+            let expected = local.execute_batch(&shares).unwrap();
+            assert_eq!(responses, expected.responses);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn stale_geometry_session_fails_alone() {
+        let db = Arc::new(Database::random(128, 8, 41).unwrap());
+        let service = spawn_cpu_service(&db, 1);
+        let mut good = TcpTransport::connect(service.addr()).unwrap();
+        let mut stale = TcpTransport::connect(service.addr()).unwrap();
+
+        // Keys generated for a much larger domain.
+        let mut wrong_client = PirClient::new(1 << 20, 8, 1).unwrap();
+        let (bad_shares, _) = wrong_client.generate_batch(&[5]).unwrap();
+        assert!(matches!(
+            stale.query_batch(&bad_shares),
+            Err(PirError::Protocol { .. })
+        ));
+
+        // The session (and the service) survive for well-formed clients.
+        let mut client = PirClient::new(128, 8, 2).unwrap();
+        let (shares, _) = client.generate_batch(&[0, 64, 127]).unwrap();
+        assert_eq!(good.query_batch(&shares).unwrap().responses.len(), 3);
+        // Even the stale session stays usable after its error.
+        let (retry, _) = client.generate_batch(&[1]).unwrap();
+        assert_eq!(stale.query_batch(&retry).unwrap().responses.len(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn updates_bump_the_epoch_for_every_session() {
+        let db = Arc::new(Database::random(96, 8, 51).unwrap());
+        let service = spawn_cpu_service(&db, 2);
+        let mut writer = TcpTransport::connect(service.addr()).unwrap();
+        let mut reader = TcpTransport::connect(service.addr()).unwrap();
+
+        let outcome = writer.apply_updates(&[(7, vec![0xCD; 8])]).unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.records_updated, 1);
+
+        let mut client = PirClient::new(96, 8, 3).unwrap();
+        let (shares, _) = client.generate_batch(&[7]).unwrap();
+        let batch = reader.query_batch(&shares).unwrap();
+        assert_eq!(batch.epoch, 1);
+        // All-or-nothing validation over the wire too.
+        assert!(matches!(
+            writer.apply_updates(&[(96, vec![0u8; 8])]),
+            Err(PirError::Protocol { .. })
+        ));
+        assert_eq!(reader.server_info().unwrap().epoch, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn selector_scans_run_over_the_wire() {
+        let db = Arc::new(Database::random(200, 16, 61).unwrap());
+        let service = spawn_cpu_service(&db, 3);
+        let mut transport = TcpTransport::connect(service.addr()).unwrap();
+        let selector: SelectorVector = (0..200).map(|i| i % 3 == 1).collect();
+        let scan = transport.scan_selector(&selector).unwrap();
+        assert_eq!(scan.payload, db.xor_select(&selector));
+        assert_eq!(scan.epoch, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_idle_sessions_returns() {
+        let db = Arc::new(Database::random(64, 8, 71).unwrap());
+        let service = spawn_cpu_service(&db, 1);
+        let idle = TcpTransport::connect(service.addr()).unwrap();
+        // The session thread is blocked waiting for this client's next
+        // frame; shutdown must wake it and return promptly.
+        service.shutdown();
+        drop(idle);
+    }
+
+    #[test]
+    fn session_budget_ends_the_service() {
+        let db = Arc::new(Database::random(64, 8, 81).unwrap());
+        let engine = cpu_engine(&db, 1);
+        let service = PirService::bind(
+            engine,
+            "127.0.0.1:0",
+            ServiceConfig {
+                max_sessions: Some(1),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = service.addr();
+        let joiner = std::thread::spawn(move || service.join());
+        {
+            let mut transport = TcpTransport::connect(addr).unwrap();
+            let mut client = PirClient::new(64, 8, 4).unwrap();
+            let (shares, _) = client.generate_batch(&[0]).unwrap();
+            assert_eq!(transport.query_batch(&shares).unwrap().responses.len(), 1);
+        } // disconnect → the single budgeted session ends
+        joiner.join().unwrap();
+    }
+}

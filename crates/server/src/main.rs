@@ -1,0 +1,186 @@
+//! `impir-server` — a standalone IM-PIR server process.
+//!
+//! Serves one replica of a deterministic synthetic database over the wire
+//! protocol. A two-server deployment runs two of these (on different
+//! machines, or different ports of one) with the **same** `--records`,
+//! `--record-bytes` and `--seed`, so both processes hold identical
+//! replicas; clients connect a
+//! [`TcpTransport`](impir_core::transport::TcpTransport) to each.
+//!
+//! ```text
+//! impir-server --listen 127.0.0.1:7700 --records 65536 --seed 42 &
+//! impir-server --listen 127.0.0.1:7701 --records 65536 --seed 42 &
+//! ```
+//!
+//! Options:
+//!
+//! * `--listen ADDR`       address to bind (default `127.0.0.1:0`; the
+//!   bound address is printed — port 0 picks a free port);
+//! * `--records N`         database records (default 4096);
+//! * `--record-bytes B`    record size (default 32);
+//! * `--seed S`            database seed (default 42; replicas must match);
+//! * `--shards K`          engine shards (default 1);
+//! * `--backend pim|cpu`   backend kind (default `cpu`);
+//! * `--dpus D`            simulated DPUs for the PIM backend (default 8);
+//! * `--clusters C`        DPU clusters for the PIM backend (default 1);
+//! * `--max-sessions N`    exit after serving N sessions (default: serve
+//!   until killed).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use impir_core::database::Database;
+use impir_core::engine::{EngineConfig, QueryEngine};
+use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
+use impir_core::server::pim::{ImPirConfig, ImPirServer};
+use impir_core::shard::ShardedDatabase;
+use impir_core::PirError;
+use impir_pim::PimConfig;
+use impir_server::{PirService, ServiceConfig};
+
+const USAGE: &str = "usage:
+  impir-server [--listen ADDR] [--records N] [--record-bytes B] [--seed S]
+               [--shards K] [--backend pim|cpu] [--dpus D] [--clusters C]
+               [--max-sessions N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    let listen = options
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let records = get_u64(&options, "records", 4096)?;
+    let record_bytes = get_u64(&options, "record-bytes", 32)? as usize;
+    let seed = get_u64(&options, "seed", 42)?;
+    let shards = get_u64(&options, "shards", 1)? as usize;
+    let backend = options.get("backend").map(String::as_str).unwrap_or("cpu");
+    let max_sessions = match get_u64(&options, "max-sessions", 0)? {
+        0 => None,
+        n => Some(n as usize),
+    };
+
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let database =
+        Arc::new(Database::random(records, record_bytes, seed).map_err(|e| e.to_string())?);
+    let sharded =
+        ShardedDatabase::uniform(Arc::clone(&database), shards).map_err(|e| e.to_string())?;
+    let service_config = ServiceConfig {
+        max_sessions,
+        ..ServiceConfig::default()
+    };
+
+    let service = match backend {
+        "cpu" => {
+            let engine = QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+            })
+            .map_err(|e| e.to_string())?;
+            PirService::bind(engine, listen.as_str(), service_config).map_err(|e| e.to_string())?
+        }
+        "pim" => {
+            let dpus = get_u64(&options, "dpus", 8)? as usize;
+            let clusters = get_u64(&options, "clusters", 1)? as usize;
+            if dpus == 0 || clusters == 0 {
+                return Err("--dpus and --clusters must be at least 1".to_string());
+            }
+            let config = ImPirConfig {
+                pim: PimConfig::tiny_test(dpus, 32 << 20),
+                clusters,
+                eval_threads: 1,
+            };
+            let engine_config =
+                EngineConfig::new(impir_core::BatchConfig::default(), config.eval_strategy())
+                    .map_err(|e: PirError| e.to_string())?;
+            let engine = QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
+                ImPirServer::new(shard_db, config.clone())
+            })
+            .map_err(|e| e.to_string())?;
+            PirService::bind(engine, listen.as_str(), service_config).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown backend `{other}` (expected pim or cpu)")),
+    };
+
+    // The bound address line is machine-readable on purpose: deployment
+    // scripts (and the networked example) parse it to find the port.
+    println!("impir-server listening on {}", service.addr());
+    println!(
+        "  {records} records x {record_bytes} B (seed {seed}), backend {backend}, \
+         {shards} shard(s)"
+    );
+    match max_sessions {
+        Some(n) => {
+            println!("  serving {n} session(s), then exiting");
+            // The accept loop stops on its own after `n` sessions have
+            // connected and disconnected; join() waits for that.
+            service.join();
+        }
+        None => {
+            println!("  serving until killed");
+            loop {
+                std::thread::park();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The accepted flag names. A typo like `--record` or `--seeds` must fail
+/// loudly: silently falling back to defaults would start a server whose
+/// replica does not match its peers', and every client query would then
+/// fail the geometry check.
+const KNOWN_FLAGS: [&str; 9] = [
+    "listen",
+    "records",
+    "record-bytes",
+    "seed",
+    "shards",
+    "backend",
+    "dpus",
+    "clusters",
+    "max-sessions",
+];
+
+fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut options = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found `{flag}`"));
+        };
+        if !KNOWN_FLAGS.contains(&name) {
+            return Err(format!("unknown flag --{name}"));
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        options.insert(name.to_string(), value.clone());
+    }
+    Ok(options)
+}
+
+fn get_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match options.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{value}`")),
+    }
+}

@@ -1,0 +1,194 @@
+//! Acceptance test for the service layer: a real-socket deployment
+//! (`PirService` sessions over `TcpTransport`) must answer **byte
+//! identically** to the in-process `LocalTransport` path over the same
+//! database and shard layout — before and after bulk updates.
+
+use std::sync::Arc;
+
+use im_pir::core::database::Database;
+use im_pir::core::engine::{EngineConfig, QueryEngine};
+use im_pir::core::multi_server::NServerNaivePir;
+use im_pir::core::scheme::TwoServerPir;
+use im_pir::core::server::cpu::{CpuPirServer, CpuServerConfig};
+use im_pir::core::server::pim::{ImPirConfig, ImPirServer};
+use im_pir::core::shard::ShardedDatabase;
+use im_pir::core::transport::{LocalTransport, PirTransport, TcpTransport};
+use im_pir::core::{PirClient, PirError};
+use im_pir::pim::PimConfig;
+use impir_server::{PirService, ServiceConfig};
+
+const RECORDS: u64 = 600;
+const RECORD_BYTES: usize = 24;
+const DB_SEED: u64 = 1717;
+
+fn cpu_engine(db: &Arc<Database>, shards: usize) -> QueryEngine<CpuPirServer> {
+    let sharded = ShardedDatabase::uniform(Arc::clone(db), shards).unwrap();
+    QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+        CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+    })
+    .unwrap()
+}
+
+#[test]
+fn tcp_and_local_transports_answer_byte_identically_across_updates() {
+    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, DB_SEED).unwrap());
+    let indices = [0u64, 1, 299, 300, 599, 123, 123];
+    let updates: Vec<(u64, Vec<u8>)> = vec![
+        (0, vec![0x11; RECORD_BYTES]),
+        (299, vec![0x22; RECORD_BYTES]),
+        (300, vec![0x33; RECORD_BYTES]),
+        (599, vec![0x44; RECORD_BYTES]),
+    ];
+
+    for shards in [1usize, 3] {
+        // The same shard layout behind a socket and behind a direct call.
+        let service = PirService::bind(
+            cpu_engine(&db, shards),
+            "127.0.0.1:0",
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let mut remote = TcpTransport::connect(service.addr()).unwrap();
+        let mut local = LocalTransport::new(cpu_engine(&db, shards));
+
+        // Both transports describe the same server.
+        let remote_info = remote.server_info().unwrap();
+        let local_info = local.server_info().unwrap();
+        assert_eq!(remote_info, local_info, "shards={shards}");
+
+        // Identical client seeds -> identical shares for both paths.
+        let mut client = PirClient::new(RECORDS, RECORD_BYTES, 5).unwrap();
+        let (shares, _) = client.generate_batch(&indices).unwrap();
+
+        let over_wire = remote.query_batch(&shares).unwrap();
+        let in_process = local.query_batch(&shares).unwrap();
+        assert_eq!(
+            over_wire.responses, in_process.responses,
+            "pre-update responses must be byte-identical (shards={shards})"
+        );
+        assert_eq!(over_wire.epoch, in_process.epoch);
+        // Wire-cost accounting is transport-independent.
+        assert_eq!(over_wire.upload_bytes, in_process.upload_bytes);
+        assert_eq!(over_wire.download_bytes, in_process.download_bytes);
+
+        // Apply the same update batch through both transports.
+        let remote_ack = remote.apply_updates(&updates).unwrap();
+        let local_ack = local.apply_updates(&updates).unwrap();
+        assert_eq!(remote_ack.records_updated, local_ack.records_updated);
+        assert_eq!(remote_ack.epoch, 1);
+        assert_eq!(local_ack.epoch, 1);
+
+        let over_wire = remote.query_batch(&shares).unwrap();
+        let in_process = local.query_batch(&shares).unwrap();
+        assert_eq!(
+            over_wire.responses, in_process.responses,
+            "post-update responses must be byte-identical (shards={shards})"
+        );
+        assert_eq!(over_wire.epoch, 1);
+
+        // Selector scans (the n-server path) agree too, and carry the
+        // post-update epoch so mid-query interleavings are detectable.
+        let selector: impir_dpf::SelectorVector = (0..RECORDS).map(|i| i % 7 == 2).collect();
+        let wire_scan = remote.scan_selector(&selector).unwrap();
+        let local_scan = local.scan_selector(&selector).unwrap();
+        assert_eq!(wire_scan.payload, local_scan.payload, "shards={shards}");
+        assert_eq!(wire_scan.epoch, 1);
+        assert_eq!(local_scan.epoch, 1);
+
+        service.shutdown();
+    }
+}
+
+#[test]
+fn a_fully_remote_two_server_deployment_reconstructs_records() {
+    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, DB_SEED).unwrap());
+    let service_1 =
+        PirService::bind(cpu_engine(&db, 2), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let service_2 =
+        PirService::bind(cpu_engine(&db, 3), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let client = PirClient::new(RECORDS, RECORD_BYTES, 9).unwrap();
+    let mut pir = TwoServerPir::from_transports(
+        client,
+        Box::new(TcpTransport::connect(service_1.addr()).unwrap()),
+        Box::new(TcpTransport::connect(service_2.addr()).unwrap()),
+    )
+    .unwrap();
+    for index in [0u64, 42, 599] {
+        assert_eq!(pir.query(index).unwrap(), db.record(index));
+    }
+
+    // An update that reaches both replicas keeps the deployment serving.
+    pir.apply_updates(&[(42, vec![0x77; RECORD_BYTES])])
+        .unwrap();
+    assert_eq!(pir.query(42).unwrap(), vec![0x77; RECORD_BYTES]);
+
+    // An update that reaches only one replica is *detected*, not silently
+    // reconstructed into garbage.
+    pir.transport(0)
+        .unwrap()
+        .apply_updates(&[(0, vec![0x99; RECORD_BYTES])])
+        .unwrap();
+    assert!(matches!(pir.query(0), Err(PirError::Protocol { .. })));
+
+    drop(pir);
+    service_1.shutdown();
+    service_2.shutdown();
+}
+
+#[test]
+fn pim_backends_serve_over_the_wire_identically_too() {
+    // The transport layer is backend-agnostic: a (simulated) PIM engine
+    // behind a socket answers byte-identically to the same engine driven
+    // directly.
+    let db = Arc::new(Database::random(240, 16, 77).unwrap());
+    let config = ImPirConfig {
+        pim: PimConfig::tiny_test(4, 8 << 20),
+        clusters: 2,
+        eval_threads: 1,
+    };
+    let pim_engine = |db: &Arc<Database>| -> QueryEngine<ImPirServer> {
+        let sharded = ShardedDatabase::uniform(Arc::clone(db), 2).unwrap();
+        let engine_config =
+            EngineConfig::new(im_pir::core::BatchConfig::default(), config.eval_strategy())
+                .unwrap();
+        QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
+            ImPirServer::new(shard_db, config.clone())
+        })
+        .unwrap()
+    };
+    let service =
+        PirService::bind(pim_engine(&db), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let mut remote = TcpTransport::connect(service.addr()).unwrap();
+    let mut local = LocalTransport::new(pim_engine(&db));
+
+    let mut client = PirClient::new(240, 16, 11).unwrap();
+    let (shares, _) = client.generate_batch(&[0, 100, 239, 100]).unwrap();
+    let over_wire = remote.query_batch(&shares).unwrap();
+    let in_process = local.query_batch(&shares).unwrap();
+    assert_eq!(over_wire.responses, in_process.responses);
+    // The PIM phase accounting crosses the wire intact.
+    assert!(over_wire.phase_totals.dpxor.simulated_seconds.unwrap() > 0.0);
+    drop(remote);
+    service.shutdown();
+}
+
+#[test]
+fn n_server_naive_scheme_runs_over_a_remote_transport() {
+    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, DB_SEED).unwrap());
+    let service =
+        PirService::bind(cpu_engine(&db, 2), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let transport = TcpTransport::connect(service.addr()).unwrap();
+    let mut remote_pir = NServerNaivePir::with_transport(Box::new(transport), 3, 13).unwrap();
+    let mut local_pir = NServerNaivePir::sharded(Arc::clone(&db), 3, 2, 13).unwrap();
+    for index in [0u64, 321, 599] {
+        // Same seed -> same shares -> identical records, across transports.
+        assert_eq!(remote_pir.query(index).unwrap(), db.record(index));
+        assert_eq!(local_pir.query(index).unwrap(), db.record(index));
+    }
+    assert_eq!(
+        remote_pir.upload_bytes_per_query(),
+        local_pir.upload_bytes_per_query()
+    );
+    drop(remote_pir);
+    service.shutdown();
+}

@@ -1,0 +1,246 @@
+//! Property tests for the wire protocol: serialize→deserialize identity
+//! for every frame type, and clean (panic-free, allocation-bounded)
+//! errors for corrupt, truncated and oversized inputs.
+
+use im_pir::core::server::phases::{PhaseBreakdown, PhaseTime};
+use im_pir::core::wire::{Frame, ServerInfo, MAX_FRAME_BYTES, WIRE_VERSION};
+use im_pir::core::{PirError, QueryShare, ServerResponse, UpdateOutcome};
+use im_pir::dpf::gen::generate_keys;
+use im_pir::dpf::{PartyId, SelectorVector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of frame kinds `arbitrary_frame` cycles through.
+const FRAME_KINDS: u64 = 12;
+
+fn arbitrary_phase_time(rng: &mut StdRng) -> PhaseTime {
+    // Finite, non-NaN values only: frame equality is the property under
+    // test, not float semantics.
+    let wall = (rng.gen_range(0..1_000_000u64) as f64) / 1e4;
+    if rng.gen_range(0..2u32) == 0 {
+        PhaseTime::host(wall)
+    } else {
+        PhaseTime::pim(wall, (rng.gen_range(0..1_000_000u64) as f64) / 1e6)
+    }
+}
+
+fn arbitrary_phases(rng: &mut StdRng) -> PhaseBreakdown {
+    PhaseBreakdown {
+        eval: arbitrary_phase_time(rng),
+        copy_to_pim: arbitrary_phase_time(rng),
+        dpxor: arbitrary_phase_time(rng),
+        copy_from_pim: arbitrary_phase_time(rng),
+        aggregate: arbitrary_phase_time(rng),
+    }
+}
+
+fn arbitrary_info(rng: &mut StdRng) -> ServerInfo {
+    ServerInfo {
+        num_records: rng.gen_range(1..1u64 << 40),
+        record_size: rng.gen_range(1..1usize << 20),
+        shard_count: rng.gen_range(1..4096usize),
+        epoch: rng.gen_range(0..u64::MAX),
+    }
+}
+
+fn arbitrary_shares(rng: &mut StdRng, count: usize) -> Vec<QueryShare> {
+    (0..count)
+        .map(|_| {
+            let domain_bits = rng.gen_range(1..20u32);
+            let index = rng.gen_range(0..1u64 << domain_bits);
+            let (k1, k2) = generate_keys(domain_bits, index, rng).expect("valid key parameters");
+            let key = if rng.gen_range(0..2u32) == 0 { k1 } else { k2 };
+            QueryShare::new(rng.gen_range(0..u64::MAX), key)
+        })
+        .collect()
+}
+
+fn arbitrary_responses(rng: &mut StdRng, count: usize) -> Vec<ServerResponse> {
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(0..96usize);
+            let payload: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=u8::MAX)).collect();
+            let party = if rng.gen_range(0..2u32) == 0 {
+                PartyId::Server1
+            } else {
+                PartyId::Server2
+            };
+            ServerResponse::new(rng.gen_range(0..u64::MAX), party, payload)
+        })
+        .collect()
+}
+
+fn arbitrary_selector(rng: &mut StdRng) -> SelectorVector {
+    let bits = rng.gen_range(0..700usize);
+    (0..bits).map(|_| rng.gen_range(0..2u32) == 1).collect()
+}
+
+/// A deterministic arbitrary frame of the kind selected by `kind`.
+fn arbitrary_frame(kind: u64, seed: u64) -> Frame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rng = &mut rng;
+    match kind % FRAME_KINDS {
+        0 => Frame::Hello {
+            version: WIRE_VERSION,
+        },
+        1 => Frame::HelloAck {
+            version: rng.gen_range(0..u16::MAX as u32) as u16,
+            info: arbitrary_info(rng),
+        },
+        2 => {
+            let count = rng.gen_range(0..5usize);
+            Frame::QueryBatch {
+                shares: arbitrary_shares(rng, count),
+            }
+        }
+        3 => {
+            let count = rng.gen_range(0..5usize);
+            Frame::ResponseBatch {
+                epoch: rng.gen_range(0..u64::MAX),
+                wall_seconds: (rng.gen_range(0..1_000_000u64) as f64) / 1e5,
+                phases: arbitrary_phases(rng),
+                responses: arbitrary_responses(rng, count),
+            }
+        }
+        4 => {
+            let count = rng.gen_range(0..5usize);
+            let updates = (0..count)
+                .map(|_| {
+                    let len = rng.gen_range(0..64usize);
+                    let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=u8::MAX)).collect();
+                    (rng.gen_range(0..u64::MAX), bytes)
+                })
+                .collect();
+            Frame::UpdateBatch { updates }
+        }
+        5 => Frame::UpdateAck {
+            outcome: UpdateOutcome {
+                records_updated: rng.gen_range(0..1usize << 40),
+                bytes_pushed: rng.gen_range(0..u64::MAX),
+                simulated_seconds: (rng.gen_range(0..1_000_000u64) as f64) / 1e6,
+                epoch: rng.gen_range(0..u64::MAX),
+            },
+        },
+        6 => Frame::InfoRequest,
+        7 => Frame::Info {
+            info: arbitrary_info(rng),
+        },
+        8 => Frame::SelectorScan {
+            selector: arbitrary_selector(rng),
+        },
+        9 => {
+            let len = rng.gen_range(0..96usize);
+            Frame::SelectorResult {
+                epoch: rng.gen_range(0..u64::MAX),
+                payload: (0..len).map(|_| rng.gen_range(0..=u8::MAX)).collect(),
+                phases: arbitrary_phases(rng),
+            }
+        }
+        10 => {
+            let len = rng.gen_range(0..60usize);
+            let message: String = (0..len)
+                .map(|_| char::from(rng.gen_range(b' '..b'~')))
+                .collect();
+            Frame::Error { message }
+        }
+        _ => Frame::Goodbye,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Every frame type round-trips byte-exactly through encode/decode.
+    #[test]
+    fn prop_all_frame_types_roundtrip(kind in 0u64..FRAME_KINDS, seed in any::<u64>()) {
+        let frame = arbitrary_frame(kind, seed);
+        let encoded = frame.encode().expect("arbitrary frames fit the limit");
+        let decoded = Frame::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Any truncation of a valid frame decodes to a clean error.
+    #[test]
+    fn prop_truncations_decode_to_errors(
+        kind in 0u64..FRAME_KINDS,
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = arbitrary_frame(kind, seed);
+        let encoded = frame.encode().expect("encodes");
+        let cut = (cut_seed % encoded.len() as u64) as usize;
+        prop_assert!(matches!(
+            Frame::decode(&encoded[..cut]),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
+    /// Flipping any byte never panics: the decoder returns either a clean
+    /// error or another *valid* frame (whose re-encoding decodes again).
+    #[test]
+    fn prop_corruption_never_panics(
+        kind in 0u64..FRAME_KINDS,
+        seed in any::<u64>(),
+        position_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let frame = arbitrary_frame(kind, seed);
+        let mut encoded = frame.encode().expect("encodes");
+        let position = (position_seed % encoded.len() as u64) as usize;
+        encoded[position] ^= flip;
+        match Frame::decode(&encoded) {
+            Err(PirError::Protocol { .. }) => {}
+            Err(other) => prop_assert!(false, "non-protocol error: {other:?}"),
+            Ok(reinterpreted) => {
+                // A flip that survived decoding (e.g. inside a payload)
+                // must have produced a self-consistent frame.
+                let reencoded = reinterpreted.encode().expect("valid frames encode");
+                prop_assert_eq!(Frame::decode(&reencoded).expect("roundtrips"), reinterpreted);
+            }
+        }
+    }
+
+    /// Hostile outer length prefixes are rejected before any allocation,
+    /// for every announced size above the limit.
+    #[test]
+    fn prop_oversized_length_prefixes_are_rejected(extra in 1u64..u32::MAX as u64 - MAX_FRAME_BYTES as u64) {
+        let announced = (MAX_FRAME_BYTES as u64 + extra) as u32;
+        let mut bytes = announced.to_le_bytes().to_vec();
+        bytes.push(7); // any tag
+        prop_assert!(matches!(
+            Frame::decode(&bytes),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
+    /// Hostile *inner* length prefixes (a key or payload claiming more
+    /// bytes than the frame holds) are rejected without allocating.
+    #[test]
+    fn prop_hostile_inner_lengths_are_rejected(claimed in 1_000u32..u32::MAX, id in any::<u64>()) {
+        // Hand-build a QueryBatch whose single share claims `claimed` key
+        // bytes but carries none.
+        let mut body = Vec::new();
+        body.push(3u8); // QueryBatch tag
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&id.to_le_bytes());
+        body.extend_from_slice(&claimed.to_le_bytes());
+        let mut bytes = ((body.len()) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        prop_assert!(matches!(
+            Frame::decode(&bytes),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+}
+
+#[test]
+fn empty_input_and_empty_length_are_rejected() {
+    assert!(matches!(Frame::decode(&[]), Err(PirError::Protocol { .. })));
+    let mut zero = 0u32.to_le_bytes().to_vec();
+    zero.push(1);
+    assert!(matches!(
+        Frame::decode(&zero),
+        Err(PirError::Protocol { .. })
+    ));
+}
