@@ -236,6 +236,38 @@ pub trait UpdatableBackend: BatchExecutor {
     fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError>;
 }
 
+// The batch/update traits are object safe; these forwarding impls let a
+// boxed backend (`Box<dyn UpdatableBackend + Send + Sync>`, or any other
+// trait-object combination) plug into the engine directly, so one
+// [`crate::engine::QueryEngine`] can drive heterogeneous backend kinds
+// without every caller writing its own dispatch enum.
+impl<S: BatchExecutor + ?Sized> BatchExecutor for Box<S> {
+    fn evaluate_selector(&self, share: &QueryShare) -> Result<SelectorVector, PirError> {
+        (**self).evaluate_selector(share)
+    }
+
+    fn selector_evaluator(&self) -> SelectorEvaluator {
+        (**self).selector_evaluator()
+    }
+
+    fn wave_width(&self) -> usize {
+        (**self).wave_width()
+    }
+
+    fn execute_wave(
+        &mut self,
+        selectors: &[&SelectorVector],
+    ) -> Result<(Vec<Vec<u8>>, PhaseBreakdown), PirError> {
+        (**self).execute_wave(selectors)
+    }
+}
+
+impl<S: UpdatableBackend + ?Sized> UpdatableBackend for Box<S> {
+    fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        (**self).apply_updates(updates)
+    }
+}
+
 /// Validates a whole update batch against a database geometry **before**
 /// anything is mutated — the single definition of the all-or-nothing check
 /// shared by every [`UpdatableBackend`] and by the engine, so a failed

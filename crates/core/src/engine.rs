@@ -181,6 +181,44 @@ pub struct QueryEngine<S> {
     config: EngineConfig,
     evaluator: EngineEvaluator,
     epoch: u64,
+    /// Per-shard phase breakdowns of the most recent
+    /// [`QueryEngine::execute_batch`], in shard order (zeros before the
+    /// first batch) — the raw material of [`QueryEngine::shard_timings`].
+    last_shard_phases: Vec<PhaseBreakdown>,
+    /// Per-shard single-query scan predictions from the
+    /// [`crate::capacity::ShardPlanner`], present only for engines built
+    /// through [`QueryEngine::planned`].
+    predicted_scan_seconds: Option<Vec<f64>>,
+}
+
+/// One shard's predicted-vs-actual timing, reported by
+/// [`QueryEngine::shard_timings`] so a capacity plan's quality is
+/// observable in production: a shard whose actual scan time dwarfs its
+/// prediction (or its siblings') is the critical path the planner should
+/// have shrunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTiming {
+    /// Shard index (= planner profile index for planned engines).
+    pub shard: usize,
+    /// The record range the shard serves.
+    pub range: std::ops::Range<u64>,
+    /// The planner's predicted seconds for **one** query's scan of this
+    /// shard (`None` for engines not built through
+    /// [`QueryEngine::planned`]).
+    pub predicted_scan_seconds: Option<f64>,
+    /// The shard's actual phase breakdown over the most recent batch
+    /// (zeros before the first batch).
+    pub phases: PhaseBreakdown,
+}
+
+impl ShardTiming {
+    /// The shard's actual scan-side time over the last batch, in hybrid
+    /// seconds (simulated hardware time for PIM phases, wall time for host
+    /// phases).
+    #[must_use]
+    pub fn actual_hybrid_seconds(&self) -> f64 {
+        self.phases.total_hybrid_seconds()
+    }
 }
 
 /// Builds the sharded engine's full-domain strategy evaluator: the closure
@@ -229,6 +267,8 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             config,
             evaluator,
             epoch: 0,
+            last_shard_phases: vec![PhaseBreakdown::zero()],
+            predicted_scan_seconds: None,
         })
     }
 
@@ -277,6 +317,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             });
         }
         let num_records = database.database().num_records();
+        let shard_count = shards.len();
         Ok(QueryEngine {
             shards,
             plan,
@@ -286,7 +327,46 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             config,
             evaluator: strategy_evaluator(config.eval_strategy, num_records),
             epoch: 0,
+            last_shard_phases: vec![PhaseBreakdown::zero(); shard_count],
+            predicted_scan_seconds: None,
         })
+    }
+
+    /// Builds an engine whose shard boundaries come from a capacity-aware
+    /// [`crate::capacity::ShardPlanner`] instead of a uniform split: the
+    /// planner's plan partitions `database`, shard `i` is constructed by
+    /// `factory` from the `i`-th profile's record range, and each shard's
+    /// predicted scan time is recorded so [`QueryEngine::shard_timings`]
+    /// can expose predicted-vs-actual skew.
+    ///
+    /// Heterogeneous fleets pair naturally with this constructor: `S` may
+    /// be a boxed trait object (e.g. `Box<dyn UpdatableBackend + Send +
+    /// Sync>`), so `factory` can return a different backend kind per shard
+    /// — a PIM backend for the MRAM-resident head, a streaming backend for
+    /// the overflow tail, a CPU backend for the rest.
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::Config`] if `config` is invalid, the planner cannot
+    ///   cover the database (capacity short, fewer records than backends),
+    ///   or a constructed backend disagrees with its shard's geometry;
+    /// * any error `factory` returns.
+    pub fn planned<F>(
+        database: Arc<crate::database::Database>,
+        config: EngineConfig,
+        planner: &crate::capacity::ShardPlanner,
+        factory: F,
+    ) -> Result<Self, PirError>
+    where
+        F: FnMut(Arc<crate::database::Database>, usize) -> Result<S, PirError>,
+    {
+        let record_size = database.record_size();
+        let plan = planner.plan(database.num_records(), record_size)?;
+        let predicted = planner.predicted_shard_scan_seconds(&plan, record_size, 1)?;
+        let sharded = ShardedDatabase::new(database, plan)?;
+        let mut engine = QueryEngine::sharded(&sharded, config, factory)?;
+        engine.predicted_scan_seconds = Some(predicted);
+        Ok(engine)
     }
 
     /// Number of records across all shards.
@@ -350,6 +430,52 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
     #[must_use]
     pub fn database_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Per-shard predicted-vs-actual timings: each shard's record range,
+    /// the planner's predicted single-query scan seconds (for engines built
+    /// through [`QueryEngine::planned`]) and the shard's actual
+    /// [`PhaseBreakdown`] over the most recent
+    /// [`QueryEngine::execute_batch`] (zeros before the first batch).
+    #[must_use]
+    pub fn shard_timings(&self) -> Vec<ShardTiming> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, engine_shard)| ShardTiming {
+                shard,
+                range: engine_shard.start..engine_shard.start + engine_shard.records,
+                predicted_scan_seconds: self
+                    .predicted_scan_seconds
+                    .as_ref()
+                    .map(|predicted| predicted[shard]),
+                phases: self
+                    .last_shard_phases
+                    .get(shard)
+                    .copied()
+                    .unwrap_or_else(PhaseBreakdown::zero),
+            })
+            .collect()
+    }
+
+    /// Scan skew of the most recent batch: the slowest shard's hybrid scan
+    /// seconds over the mean across shards (1.0 = perfectly balanced).
+    /// `None` before the first non-empty batch. A well-planned layout keeps
+    /// this near 1; a uniform layout over asymmetric backends shows the
+    /// slowest backend's multiple.
+    #[must_use]
+    pub fn scan_skew(&self) -> Option<f64> {
+        let times: Vec<f64> = self
+            .last_shard_phases
+            .iter()
+            .map(PhaseBreakdown::total_hybrid_seconds)
+            .collect();
+        let total: f64 = times.iter().sum();
+        if times.is_empty() || total <= 0.0 {
+            return None;
+        }
+        let mean = total / times.len() as f64;
+        Some(times.iter().fold(0.0f64, |a, &b| a.max(b)) / mean)
     }
 
     fn check_domain(&self, share: &QueryShare) -> Result<(), PirError> {
@@ -469,14 +595,19 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
         let merge_started = Instant::now();
         let mut payloads: Vec<Vec<u8>> = vec![vec![0u8; self.record_size]; shares.len()];
         let mut shard_critical_path = PhaseBreakdown::zero();
+        let mut per_shard_phases = Vec::with_capacity(self.shards.len());
         for result in shard_results {
             let (shard_payloads, shard_phases) = result?;
             shard_critical_path.merge_parallel(&shard_phases);
+            per_shard_phases.push(shard_phases);
             debug_assert_eq!(shard_payloads.len(), shares.len());
             for (merged, payload) in payloads.iter_mut().zip(&shard_payloads) {
                 dpxor::xor_in_place(merged, payload);
             }
         }
+        // Retain the per-shard view so callers can inspect how balanced the
+        // plan actually was (see `shard_timings`).
+        self.last_shard_phases = per_shard_phases;
         totals.merge(&shard_critical_path);
         if self.shards.len() > 1 {
             // The cross-shard XOR is extra aggregation work a single-shard
@@ -985,6 +1116,141 @@ mod tests {
             EvalStrategy::SubtreeParallel { threads: 1 }
         )
         .is_ok());
+    }
+
+    #[test]
+    fn planned_engines_follow_the_planner_and_report_shard_timings() {
+        use crate::capacity::{CapacityProfile, ShardPlanner};
+        let db = Arc::new(Database::random(400, 16, 7).unwrap());
+        // 3:1 declared bandwidth ⇒ a 300/100 split.
+        let planner = ShardPlanner::new(vec![
+            CapacityProfile::unbounded(3.0e9, 4.0e7, 1).unwrap(),
+            CapacityProfile::unbounded(1.0e9, 4.0e7, 1).unwrap(),
+        ])
+        .unwrap();
+        let mut engine = QueryEngine::planned(
+            db.clone(),
+            EngineConfig::default(),
+            &planner,
+            |shard_db, _| CpuPirServer::new(shard_db, CpuServerConfig::baseline()),
+        )
+        .unwrap();
+        assert_eq!(engine.plan().range(0), Some(0..300));
+        assert_eq!(engine.plan().range(1), Some(300..400));
+
+        // Before any batch: predictions present, actuals zero, no skew.
+        let timings = engine.shard_timings();
+        assert_eq!(timings.len(), 2);
+        // The planner balances predicted scan time: the fast shard's 300
+        // records and the slow shard's 100 cost the same, to within
+        // integer-rounding of the boundary.
+        let fast = timings[0].predicted_scan_seconds.unwrap();
+        let slow = timings[1].predicted_scan_seconds.unwrap();
+        assert!(fast > 0.0 && slow > 0.0);
+        assert!((fast - slow).abs() / fast < 0.05, "fast={fast} slow={slow}");
+        assert_eq!(timings[1].range, 300..400);
+        assert_eq!(timings[0].actual_hybrid_seconds(), 0.0);
+        assert_eq!(engine.scan_skew(), None);
+
+        // Responses are byte-identical to a uniform engine's — the planner
+        // only moves boundaries, never answers.
+        let mut client = PirClient::new(400, 16, 3).unwrap();
+        let indices = [0u64, 299, 300, 399, 150];
+        let (shares, _) = client.generate_batch(&indices).unwrap();
+        let planned_out = engine.execute_batch(&shares).unwrap();
+        let uniform_out = cpu_engine(&db, 2).execute_batch(&shares).unwrap();
+        for (p, u) in planned_out.responses.iter().zip(&uniform_out.responses) {
+            assert_eq!(p.payload, u.payload);
+        }
+
+        // After a batch: actual timings recorded, skew observable.
+        let timings = engine.shard_timings();
+        assert!(timings.iter().any(|t| t.actual_hybrid_seconds() > 0.0));
+        let skew = engine.scan_skew().expect("a non-empty batch ran");
+        assert!(skew >= 1.0, "skew is max/mean, so at least 1: {skew}");
+    }
+
+    #[test]
+    fn planned_engines_reject_fleets_that_cannot_hold_the_database() {
+        use crate::capacity::{CapacityProfile, ShardPlanner};
+        let db = Arc::new(Database::random(100, 8, 1).unwrap());
+        let planner = ShardPlanner::new(vec![
+            CapacityProfile::new(30, 1.0e9, 4.0e7, 1).unwrap(),
+            CapacityProfile::new(30, 1.0e9, 4.0e7, 1).unwrap(),
+        ])
+        .unwrap();
+        let result = QueryEngine::planned(db, EngineConfig::default(), &planner, |shard_db, _| {
+            CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+        });
+        assert!(matches!(result, Err(PirError::Config { .. })));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// On skewed plans, `apply_updates` must route every global record
+        /// index to the shard holding it, translated into that shard's
+        /// local index space — pinned by reading each shard backend's
+        /// replica directly after the update.
+        #[test]
+        fn prop_apply_updates_translates_global_to_local_on_skewed_plans(
+            seed in any::<u64>(),
+            shards in 2usize..5,
+        ) {
+            // Deterministic skewed layout: shard i holds 3 + (seed-derived)
+            // records, so boundaries land at "awkward" offsets.
+            let ranges = crate::shard::test_util::skewed_ranges(seed, shards, 3, 40);
+            let num_records = ranges.last().unwrap().end;
+            let plan = ShardPlan::from_ranges(ranges.clone()).unwrap();
+            let db = Arc::new(Database::random(num_records, 8, seed).unwrap());
+            let sharded = ShardedDatabase::new(db.clone(), plan).unwrap();
+            let mut engine =
+                QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                    CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+                })
+                .unwrap();
+
+            // Updates hitting every shard's first and last record plus a
+            // few seed-chosen interior indices.
+            let mut indices: Vec<u64> = ranges
+                .iter()
+                .flat_map(|r| [r.start, r.end - 1])
+                .collect();
+            for i in 0..4u64 {
+                indices.push(seed.wrapping_mul(31).wrapping_add(i * 97) % num_records);
+            }
+            let updates: Vec<(u64, Vec<u8>)> = indices
+                .iter()
+                .enumerate()
+                .map(|(i, &index)| (index, vec![0x40 | i as u8; 8]))
+                .collect();
+            let mut expected = (*db).clone();
+            for (index, bytes) in &updates {
+                expected.set_record(*index, bytes).unwrap();
+            }
+
+            engine.apply_updates(&updates).unwrap();
+            // Every shard's replica must hold exactly the expected bytes at
+            // the translated local index — for every record, not only the
+            // updated ones.
+            for (shard, range) in ranges.iter().enumerate() {
+                let replica = engine.backend(shard).unwrap().database().clone();
+                prop_assert_eq!(replica.num_records(), range.end - range.start);
+                for global in range.clone() {
+                    let local = global - range.start;
+                    prop_assert_eq!(
+                        replica.record(local),
+                        expected.record(global),
+                        "shard {} global {} local {}",
+                        shard,
+                        global,
+                        local
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,20 @@
 //!   Every deployment in the workspace — [`scheme::TwoServerPir`],
 //!   [`multi_server::NServerNaivePir`], the baselines and the benchmark
 //!   harness — executes through this one layer.
+//! * **planner** — *how* the engine is sharded is itself deployment policy:
+//!   the [`capacity`] module sizes shards to backend capacity instead of
+//!   splitting uniformly. Each backend declares a
+//!   [`capacity::CapacityProfile`] (record capacity from its memory budget,
+//!   scan bandwidth, wave width — the PIM server derives its profile from
+//!   per-cluster MRAM and the timed simulator's cost model, via
+//!   [`capacity::ProfiledBackend`] or the configs' declared-profile
+//!   constructors), a [`capacity::ShardPlanner`] waterfills records over
+//!   effective bandwidth under hard capacity caps (optionally calibrated by
+//!   measured probe scans), and [`engine::QueryEngine::planned`] pairs the
+//!   resulting non-uniform plan with per-shard backends — heterogeneous
+//!   fleets included, since boxed trait-object backends plug in directly.
+//!   [`engine::QueryEngine::shard_timings`] exposes predicted-vs-actual
+//!   per-shard skew so a plan's quality is observable in production.
 //! * **backend** — anything implementing [`batch::BatchExecutor`] (selector
 //!   evaluation + wave-wise scans) plus [`server::PirServer`]:
 //!   * [`server::pim::ImPirServer`] — the paper's system, running `dpXOR`
@@ -95,6 +109,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod capacity;
 pub mod client;
 pub mod database;
 pub mod dpxor;
@@ -109,9 +124,10 @@ pub mod transport;
 pub mod wire;
 
 pub use batch::{BatchConfig, BatchExecutor, UpdatableBackend, UpdateOutcome};
+pub use capacity::{CapacityProfile, ProfiledBackend, ShardPlanner};
 pub use client::PirClient;
 pub use database::Database;
-pub use engine::{EngineConfig, QueryEngine};
+pub use engine::{EngineConfig, QueryEngine, ShardTiming};
 pub use error::PirError;
 pub use protocol::{QueryShare, ServerResponse};
 pub use server::{BatchOutcome, PhaseBreakdown, PirServer};

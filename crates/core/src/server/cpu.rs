@@ -66,6 +66,42 @@ impl CpuServerConfig {
         }
         crate::engine::validate_eval_strategy(&self.eval_strategy)
     }
+
+    /// Number of concurrent wave slots a server under this configuration
+    /// runs: each slot scans with `scan_threads` threads, so the slot count
+    /// shrinks as per-query parallelism grows, and total threads never
+    /// exceed the host's parallelism. The single definition backing both
+    /// [`crate::batch::BatchExecutor::wave_width`] and the declared
+    /// capacity profile, so the planner can never predict wave counts the
+    /// backend does not deliver.
+    #[must_use]
+    pub fn wave_width(&self) -> usize {
+        (rayon::current_num_threads() / self.scan_threads.max(1)).max(1)
+    }
+
+    /// The **declared** [`crate::capacity::CapacityProfile`] of a CPU
+    /// server under this configuration: record capacity bounded only by
+    /// host memory, one wave slot scanning at `scan_threads` threads' worth
+    /// of the declared per-thread DRAM bandwidth
+    /// ([`crate::capacity::HOST_SCAN_BANDWIDTH_PER_THREAD`] — refine with
+    /// [`crate::capacity::measure_scan_bandwidth`]), and the wave width the
+    /// backend itself reports ([`CpuServerConfig::wave_width`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if the configuration is invalid.
+    pub fn capacity_profile(&self) -> Result<crate::capacity::CapacityProfile, PirError> {
+        self.validate()?;
+        let eval_threads = match self.eval_strategy {
+            EvalStrategy::SubtreeParallel { threads } => threads,
+            _ => 1,
+        };
+        crate::capacity::CapacityProfile::unbounded(
+            self.scan_threads as f64 * crate::capacity::HOST_SCAN_BANDWIDTH_PER_THREAD,
+            eval_threads as f64 * crate::capacity::HOST_EVAL_LEAVES_PER_SEC_PER_THREAD,
+            self.wave_width(),
+        )
+    }
 }
 
 impl Default for CpuServerConfig {
@@ -249,14 +285,11 @@ impl crate::batch::BatchExecutor for CpuPirServer {
     }
 
     fn wave_width(&self) -> usize {
-        // Each wave slot scans with `scan_threads` threads, so the number
-        // of concurrent slots shrinks as per-query parallelism grows:
-        // the baseline (§5.1, "a single CPU thread for each query") runs
+        // The baseline (§5.1, "a single CPU thread for each query") runs
         // one query per core, while a fully multithreaded server — or the
         // GPU comparator, which serialises queries on the device — runs
-        // one query at a time. Total threads never exceed the host's
-        // parallelism.
-        (rayon::current_num_threads() / self.config.scan_threads.max(1)).max(1)
+        // one query at a time (see `CpuServerConfig::wave_width`).
+        self.config.wave_width()
     }
 
     fn execute_wave(
@@ -285,6 +318,15 @@ impl crate::batch::BatchExecutor for CpuPirServer {
             payloads.push(payload);
         }
         Ok((payloads, phases))
+    }
+}
+
+impl crate::capacity::ProfiledBackend for CpuPirServer {
+    /// Host-parameter profile (see [`CpuServerConfig::capacity_profile`]).
+    fn capacity_profile(&self) -> crate::capacity::CapacityProfile {
+        self.config
+            .capacity_profile()
+            .expect("the server was constructed under this configuration")
     }
 }
 

@@ -72,6 +72,29 @@ pub trait PirServer {
     }
 }
 
+// Forwarding impl so boxed trait-object backends (heterogeneous fleets
+// behind one engine) satisfy the same bounds as concrete servers.
+impl<S: PirServer + ?Sized> PirServer for Box<S> {
+    fn num_records(&self) -> u64 {
+        (**self).num_records()
+    }
+
+    fn record_size(&self) -> usize {
+        (**self).record_size()
+    }
+
+    fn process_query(
+        &mut self,
+        share: &QueryShare,
+    ) -> Result<(ServerResponse, PhaseBreakdown), PirError> {
+        (**self).process_query(share)
+    }
+
+    fn process_batch(&mut self, shares: &[QueryShare]) -> Result<BatchOutcome, PirError> {
+        (**self).process_batch(shares)
+    }
+}
+
 /// The result of processing a batch of queries on one server.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchOutcome {

@@ -114,6 +114,69 @@ impl ImPirConfig {
             threads: self.eval_threads,
         }
     }
+
+    /// The **declared** [`CapacityProfile`] of a server built under this
+    /// configuration for records of `record_size` bytes, computable before
+    /// any backend exists:
+    ///
+    /// * record capacity is what the smallest cluster's DPUs can hold in
+    ///   MRAM alongside header, selector bits and subresult (the exact
+    ///   admission bound [`ImPirServer::new`] enforces, via
+    ///   [`max_records_per_dpu`]);
+    /// * scan bandwidth of one wave slot comes from the timed simulator's
+    ///   [`CostModel`] at full shard load — selector scatter, `dpXOR`
+    ///   kernel streaming (MRAM DMA vs pipeline, whichever binds) and
+    ///   subresult gather;
+    /// * the wave width is the cluster count (§3.4).
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::Config`] for an invalid configuration or zero record
+    ///   size;
+    /// * [`PirError::DatabaseTooLargeForPim`] if not even one record per
+    ///   DPU fits the MRAM budget.
+    pub fn capacity_profile(
+        &self,
+        record_size: usize,
+    ) -> Result<crate::capacity::CapacityProfile, PirError> {
+        self.validate()?;
+        if record_size == 0 {
+            return Err(PirError::Config {
+                reason: "record size must be non-zero".to_string(),
+            });
+        }
+        let layout = ClusterLayout::new(self.pim.dpus, self.clusters)?;
+        let min_cluster_dpus = (0..layout.cluster_count())
+            .map(|c| layout.dpus_in_cluster(c))
+            .min()
+            .unwrap_or(1);
+        let per_dpu = max_records_per_dpu(record_size, self.pim.mram_bytes_per_dpu);
+        if per_dpu == 0 {
+            return Err(PirError::DatabaseTooLargeForPim {
+                required_bytes_per_dpu: DpuLayout::for_geometry(1, record_size)
+                    .required_mram_bytes(),
+                mram_bytes_per_dpu: self.pim.mram_bytes_per_dpu,
+            });
+        }
+        let record_capacity = per_dpu as u64 * min_cluster_dpus as u64;
+
+        // One wave slot = one query on the smallest cluster, at full load:
+        // the same per-byte accounting the dpXOR kernel meters at run time,
+        // priced by the simulator's cost model.
+        let cost = impir_pim::CostModel::new(self.pim.clone());
+        let per_dpu_records = record_capacity.div_ceil(min_cluster_dpus as u64);
+        let meter = declared_dpxor_meter(per_dpu_records, record_size, self.pim.tasklets_per_dpu);
+        let slot_seconds = cost.host_to_dpu_seconds(record_capacity.div_ceil(8))
+            + cost.launch_seconds(std::slice::from_ref(&meter))
+            + cost.dpu_to_host_seconds(min_cluster_dpus as u64 * record_size as u64);
+        let bandwidth = (record_capacity as f64 * record_size as f64) / slot_seconds;
+        crate::capacity::CapacityProfile::new(
+            record_capacity,
+            bandwidth,
+            self.eval_threads as f64 * crate::capacity::HOST_EVAL_LEAVES_PER_SEC_PER_THREAD,
+            self.clusters,
+        )
+    }
 }
 
 impl Default for ImPirConfig {
@@ -156,7 +219,15 @@ impl DpuLayout {
     /// smallest cluster has `min_cluster_dpus` DPUs.
     fn new(database: &Database, min_cluster_dpus: usize) -> Self {
         let records_capacity = (database.num_records() as usize).div_ceil(min_cluster_dpus.max(1));
-        let record_size = database.record_size();
+        DpuLayout::for_geometry(records_capacity, database.record_size())
+    }
+
+    /// Computes the layout for a DPU holding up to `records_capacity`
+    /// records of `record_size` bytes — the single definition of the MRAM
+    /// arithmetic, shared by server construction and capacity planning
+    /// ([`max_records_per_dpu`]).
+    #[must_use]
+    pub fn for_geometry(records_capacity: usize, record_size: usize) -> Self {
         let db_offset = HEADER_BYTES;
         let db_end = db_offset + records_capacity * record_size;
         let selector_offset = align_up(db_end, 8);
@@ -180,6 +251,53 @@ impl DpuLayout {
 
 fn align_up(value: usize, alignment: usize) -> usize {
     value.div_ceil(alignment) * alignment
+}
+
+/// The [`impir_pim::KernelMeter`] the `dpXOR` kernel accrues on one DPU
+/// holding `per_dpu_records` records of `record_size` bytes under
+/// `tasklets` tasklets: per-tasklet header reads, record and selector
+/// streaming, the subresult write, and the kernel's 4 instructions per
+/// record. The declared-profile mirror of [`DpXorKernel::run_tasklet`]'s
+/// run-time accounting, defined once so the PIM and streaming capacity
+/// profiles cannot drift from the kernel (or from each other).
+pub(crate) fn declared_dpxor_meter(
+    per_dpu_records: u64,
+    record_size: usize,
+    tasklets: usize,
+) -> impir_pim::KernelMeter {
+    impir_pim::KernelMeter {
+        mram_bytes_read: HEADER_BYTES as u64 * tasklets as u64
+            + per_dpu_records * record_size as u64
+            + per_dpu_records.div_ceil(8),
+        mram_bytes_written: record_size as u64,
+        instructions: 4 * per_dpu_records,
+    }
+}
+
+/// The largest number of records of `record_size` bytes one DPU can hold
+/// alongside its header, selector bits and subresult, under `mram_bytes` of
+/// MRAM — the exact inverse of [`DpuLayout::required_mram_bytes`], found by
+/// binary search so the capacity planner and [`ImPirServer::new`]'s
+/// admission check can never disagree.
+#[must_use]
+pub fn max_records_per_dpu(record_size: usize, mram_bytes: usize) -> usize {
+    let fits = |records: usize| {
+        DpuLayout::for_geometry(records, record_size).required_mram_bytes() <= mram_bytes
+    };
+    if record_size == 0 || !fits(1) {
+        return 0;
+    }
+    let mut lo = 1usize; // known to fit
+    let mut hi = mram_bytes / record_size + 1; // cannot fit (records alone exceed MRAM)
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// The `dpXOR` DPU program (Algorithm 1, `TaskletXOR` + `MasterXOR`).
@@ -730,6 +848,17 @@ impl crate::batch::BatchExecutor for ImPirServer {
 impl crate::batch::UpdatableBackend for ImPirServer {
     fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
         ImPirServer::apply_updates(self, updates)
+    }
+}
+
+impl crate::capacity::ProfiledBackend for ImPirServer {
+    /// Record capacity from the per-cluster MRAM budget, scan bandwidth
+    /// from the timed simulator's cost model (see
+    /// [`ImPirConfig::capacity_profile`]).
+    fn capacity_profile(&self) -> crate::capacity::CapacityProfile {
+        self.config
+            .capacity_profile(self.database.record_size())
+            .expect("the server was constructed under this configuration and geometry")
     }
 }
 

@@ -64,6 +64,70 @@ impl StreamingConfig {
             resident_bytes_per_dpu,
         })
     }
+
+    /// The **declared** [`crate::capacity::CapacityProfile`] of a streaming
+    /// server under this configuration for records of `record_size` bytes:
+    /// capacity is bounded only by host memory (any overflow streams in
+    /// more segments), the wave width is 1 (queries serialise on the
+    /// CPU→DPU link), and the scan bandwidth prices one full segment pass
+    /// through the timed simulator's cost model — database re-push,
+    /// selector scatter, kernel launch and subresult gather, so the
+    /// per-segment fixed latencies that dominate small segments are
+    /// charged.
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::Config`] for an invalid configuration or zero record
+    ///   size;
+    /// * [`PirError::DatabaseTooLargeForPim`] if the residency budget
+    ///   cannot host a single record per DPU.
+    pub fn capacity_profile(
+        &self,
+        record_size: usize,
+    ) -> Result<crate::capacity::CapacityProfile, PirError> {
+        self.base.validate()?;
+        if record_size == 0 {
+            return Err(PirError::Config {
+                reason: "record size must be non-zero".to_string(),
+            });
+        }
+        let layout = ClusterLayout::new(self.base.pim.dpus, self.base.clusters)?;
+        let min_cluster_dpus = (0..layout.cluster_count())
+            .map(|c| layout.dpus_in_cluster(c))
+            .min()
+            .unwrap_or(1);
+        let records_per_dpu = self.resident_bytes_per_dpu / record_size;
+        if records_per_dpu == 0 {
+            return Err(PirError::DatabaseTooLargeForPim {
+                required_bytes_per_dpu: record_size + HEADER_BYTES,
+                mram_bytes_per_dpu: self.resident_bytes_per_dpu,
+            });
+        }
+        // Streaming scans run on cluster 0 with segments sized to the
+        // smallest cluster (see `StreamingImPirServer::new`).
+        let scan_dpus = layout.dpu_range(0).len() as u64;
+        let segment_records = records_per_dpu as u64 * min_cluster_dpus as u64;
+        let segment_bytes = segment_records * record_size as u64;
+
+        let cost = impir_pim::CostModel::new(self.base.pim.clone());
+        let per_dpu_records = segment_records.div_ceil(scan_dpus);
+        let meter = crate::server::pim::declared_dpxor_meter(
+            per_dpu_records,
+            record_size,
+            self.base.pim.tasklets_per_dpu,
+        );
+        let per_segment_seconds = cost
+            .host_to_dpu_seconds(segment_bytes + scan_dpus * HEADER_BYTES as u64)
+            + cost.host_to_dpu_seconds(segment_records.div_ceil(8))
+            + cost.launch_seconds(std::slice::from_ref(&meter))
+            + cost.dpu_to_host_seconds(scan_dpus * record_size as u64);
+        let bandwidth = segment_bytes as f64 / per_segment_seconds;
+        crate::capacity::CapacityProfile::unbounded(
+            bandwidth,
+            self.base.eval_threads as f64 * crate::capacity::HOST_EVAL_LEAVES_PER_SEC_PER_THREAD,
+            1,
+        )
+    }
 }
 
 /// An IM-PIR server that streams the database through DPU MRAM in segments
@@ -413,6 +477,16 @@ impl crate::batch::BatchExecutor for StreamingImPirServer {
             payloads.push(payload);
         }
         Ok((payloads, phases))
+    }
+}
+
+impl crate::capacity::ProfiledBackend for StreamingImPirServer {
+    /// Streaming profile: host-bounded capacity, per-segment re-push cost
+    /// from the cost model (see [`StreamingConfig::capacity_profile`]).
+    fn capacity_profile(&self) -> crate::capacity::CapacityProfile {
+        self.config
+            .capacity_profile(self.database.record_size())
+            .expect("the server was constructed under this configuration and geometry")
     }
 }
 

@@ -172,6 +172,50 @@ impl ShardPlan {
     pub fn ranges(&self) -> &[Range<u64>] {
         &self.ranges
     }
+
+    /// The shard sizes joined as `"n0+n1+…"` — the compact layout label
+    /// every banner and report uses (e.g. `"2048+2048+2048"` for a uniform
+    /// three-way split).
+    #[must_use]
+    pub fn size_summary(&self) -> String {
+        self.ranges
+            .iter()
+            .map(|range| (range.end - range.start).to_string())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// Test-only helpers shared across the crate's unit tests.
+#[cfg(test)]
+pub(crate) mod test_util {
+    use std::ops::Range;
+
+    /// Derives a deterministic skewed layout from a seed: `shards` ranges
+    /// whose sizes are `min_size..min_size + span`, tiling `[0, N)`.
+    pub(crate) fn skewed_ranges(
+        seed: u64,
+        shards: usize,
+        min_size: u64,
+        span: u64,
+    ) -> Vec<Range<u64>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64: cheap, deterministic, well spread.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0u64;
+        for _ in 0..shards {
+            let len = min_size + next() % span.max(1);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
 }
 
 /// A [`Database`] paired with the [`ShardPlan`] that partitions it.
@@ -371,5 +415,71 @@ mod tests {
         assert!(db.subrange(0, 10).is_ok());
         assert!(db.subrange(5, 6).is_err());
         assert!(db.subrange(0, 0).is_err());
+    }
+
+    use super::test_util::skewed_ranges;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `from_ranges` ⇄ `shard_of`/`range` round-trip on skewed layouts:
+        /// the plan reproduces its input ranges exactly, and every record of
+        /// every shard routes back to that shard.
+        #[test]
+        fn prop_from_ranges_round_trips_with_shard_of(
+            seed in any::<u64>(),
+            shards in 1usize..10,
+        ) {
+            let ranges = skewed_ranges(seed, shards, 1, 64);
+            let plan = ShardPlan::from_ranges(ranges.clone()).unwrap();
+            prop_assert_eq!(plan.shard_count(), shards);
+            prop_assert_eq!(plan.ranges(), &ranges[..]);
+            prop_assert_eq!(plan.num_records(), ranges.last().unwrap().end);
+            for (shard, range) in ranges.iter().enumerate() {
+                prop_assert_eq!(plan.range(shard), Some(range.clone()));
+                let middle = range.start + (range.end - range.start) / 2;
+                for record in [range.start, middle, range.end - 1] {
+                    prop_assert_eq!(plan.shard_of(record), Some(shard));
+                }
+            }
+            prop_assert_eq!(plan.range(shards), None);
+            prop_assert_eq!(plan.shard_of(plan.num_records()), None);
+            prop_assert_eq!(plan.shard_of(u64::MAX), None);
+        }
+
+        /// Any gap, overlap or empty shard in an otherwise valid skewed
+        /// layout is rejected as a config error.
+        #[test]
+        fn prop_gapped_overlapping_or_empty_layouts_are_rejected(
+            seed in any::<u64>(),
+            shards in 2usize..10,
+            shift in 1u64..5,
+        ) {
+            // Sizes ≥ 6 so every corruption below keeps start < end.
+            let ranges = skewed_ranges(seed, shards, 6, 64);
+            prop_assert!(ShardPlan::from_ranges(ranges.clone()).is_ok());
+            let victim = 1 + (seed as usize) % (shards - 1);
+            for corruption in 0..3 {
+                let mut corrupted = ranges.clone();
+                match corruption {
+                    // A gap between the victim and its predecessor.
+                    0 => corrupted[victim].start += shift,
+                    // The victim overlaps its predecessor.
+                    1 => corrupted[victim].start -= shift,
+                    // The victim becomes empty.
+                    _ => corrupted[victim].end = corrupted[victim].start,
+                }
+                prop_assert!(
+                    matches!(
+                        ShardPlan::from_ranges(corrupted),
+                        Err(PirError::Config { .. })
+                    ),
+                    "corruption {} on shard {} was accepted",
+                    corruption,
+                    victim
+                );
+            }
+        }
     }
 }

@@ -7,8 +7,6 @@
 
 use std::ops::Range;
 
-use rayon::prelude::*;
-
 use crate::config::PimConfig;
 use crate::cost::CostModel;
 use crate::error::PimError;
@@ -18,6 +16,10 @@ use crate::stats::{ExecutionReport, KernelMeter, LaunchOutcome, TransferOutcome,
 
 /// Identifier of a DPU within an allocated set.
 pub type DpuId = usize;
+
+/// What one DPU produces during a launch: its kernel output plus the work
+/// meter the cost model prices.
+type DpuRun<O> = (O, KernelMeter);
 
 /// One simulated DPU: an id plus its private MRAM bank.
 #[derive(Debug)]
@@ -227,9 +229,17 @@ impl PimSystem {
     /// Launches `program` on the DPUs of `dpus` (e.g. one cluster).
     ///
     /// Each DPU runs `tasklets_per_dpu` tasklet invocations (stage 1)
-    /// followed by the master-tasklet reduction (stage 2); DPUs execute in
-    /// parallel on the host thread pool, mirroring hardware DPU-level
-    /// parallelism.
+    /// followed by the master-tasklet reduction (stage 2). DPUs execute in
+    /// parallel on real host threads (`std::thread::scope` workers over
+    /// contiguous DPU chunks), mirroring hardware DPU-level parallelism;
+    /// results and meters come back in DPU id order regardless of worker
+    /// scheduling, and on error the lowest-id failing chunk wins, so the
+    /// fan-out is observationally identical to a sequential launch.
+    ///
+    /// Simulated time is unaffected by the host-side parallelism: the
+    /// launch's modelled seconds remain the **critical path** over the
+    /// per-DPU kernel meters ([`CostModel::launch_seconds`]), never a sum
+    /// over host workers.
     ///
     /// # Errors
     ///
@@ -245,27 +255,66 @@ impl PimSystem {
 
         let range_start = dpus.start;
         let selected = &mut self.dpus[dpus.clone()];
-        let per_dpu: Result<Vec<(P::DpuOutput, KernelMeter)>, PimError> = selected
-            .par_iter_mut()
-            .enumerate()
-            .map(|(index, dpu)| {
-                let dpu_id = range_start + index;
-                let mut meter = KernelMeter::default();
-                let mut partials = Vec::with_capacity(tasklets);
-                for tasklet in 0..tasklets {
-                    let mut ctx =
-                        TaskletContext::new(dpu_id, tasklet, tasklets, &dpu.mram, wram_per_tasklet);
-                    let partial = program.run_tasklet(&mut ctx)?;
-                    meter.merge(&ctx.meter());
-                    partials.push(partial);
-                }
-                let mut ctx = DpuContext::new(dpu_id, &mut dpu.mram);
-                let output = program.reduce(&mut ctx, partials)?;
+        let run_dpu = |dpu_id: DpuId, dpu: &mut Dpu| -> Result<DpuRun<P::DpuOutput>, PimError> {
+            let mut meter = KernelMeter::default();
+            let mut partials = Vec::with_capacity(tasklets);
+            for tasklet in 0..tasklets {
+                let mut ctx =
+                    TaskletContext::new(dpu_id, tasklet, tasklets, &dpu.mram, wram_per_tasklet);
+                let partial = program.run_tasklet(&mut ctx)?;
                 meter.merge(&ctx.meter());
-                Ok((output, meter))
-            })
-            .collect();
-        let per_dpu = per_dpu?;
+                partials.push(partial);
+            }
+            let mut ctx = DpuContext::new(dpu_id, &mut dpu.mram);
+            let output = program.reduce(&mut ctx, partials)?;
+            meter.merge(&ctx.meter());
+            Ok((output, meter))
+        };
+
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(selected.len())
+            .max(1);
+        let per_dpu: Vec<DpuRun<P::DpuOutput>> = if workers <= 1 {
+            selected
+                .iter_mut()
+                .enumerate()
+                .map(|(index, dpu)| run_dpu(range_start + index, dpu))
+                .collect::<Result<_, PimError>>()?
+        } else {
+            // Contiguous chunks keep the id→result mapping trivial; the
+            // per-chunk result vectors concatenate back in DPU order.
+            let chunk = selected.len().div_ceil(workers);
+            let chunk_results: Vec<Result<Vec<DpuRun<P::DpuOutput>>, PimError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = selected
+                        .chunks_mut(chunk)
+                        .enumerate()
+                        .map(|(worker, dpu_chunk)| {
+                            let run_dpu = &run_dpu;
+                            scope.spawn(move || {
+                                dpu_chunk
+                                    .iter_mut()
+                                    .enumerate()
+                                    .map(|(index, dpu)| {
+                                        run_dpu(range_start + worker * chunk + index, dpu)
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("DPU launch worker panicked"))
+                        .collect()
+                });
+            let mut ordered = Vec::with_capacity(selected.len());
+            for chunk_result in chunk_results {
+                ordered.extend(chunk_result?);
+            }
+            ordered
+        };
 
         let (results, meters): (Vec<_>, Vec<_>) = per_dpu.into_iter().unzip();
         let simulated_seconds = self.cost.launch_seconds(&meters);
@@ -448,6 +497,33 @@ mod tests {
         assert!(report.simulated_total_seconds() > 0.0);
         system.reset_report();
         assert_eq!(system.report(), ExecutionReport::default());
+    }
+
+    #[test]
+    fn parallel_launch_keeps_dpu_order_and_critical_path_accounting() {
+        // The DPU fan-out runs on several host threads; neither the result
+        // order nor the simulated-time accounting may depend on that. Use
+        // more DPUs than typical core counts so the chunking really splits.
+        let (mut system, buffers) = filled_system(37, 64);
+        let outcome = system.launch_all(&XorWordsKernel { bytes: 64 }).unwrap();
+        // Results in DPU id order.
+        for (result, buffer) in outcome.results.iter().zip(&buffers) {
+            assert_eq!(*result, reference_xor(buffer));
+        }
+        // Simulated time is the critical path over the per-DPU meters (plus
+        // launch latency) — exactly what the cost model derives from the
+        // meters, never a sum over host workers.
+        let expected = system.cost_model().launch_seconds(&outcome.meters);
+        assert!((outcome.simulated_seconds - expected).abs() < 1e-15);
+        let summed: f64 = outcome
+            .meters
+            .iter()
+            .map(|meter| system.cost_model().dpu_kernel_seconds(meter))
+            .sum();
+        assert!(
+            outcome.simulated_seconds - system.config().launch_latency_sec < summed / 2.0,
+            "critical path must not degenerate into a sum across 37 DPUs"
+        );
     }
 
     #[test]

@@ -19,7 +19,16 @@
 //! * `--records N`         database records (default 4096);
 //! * `--record-bytes B`    record size (default 32);
 //! * `--seed S`            database seed (default 42; replicas must match);
-//! * `--shards K`          engine shards (default 1);
+//! * `--shards K`          engine shards (default 1; mutually exclusive
+//!   with `--autoshard`);
+//! * `--autoshard MODE`    capacity-aware shard planning instead of a
+//!   manual uniform split: the shard count and boundaries come from the
+//!   backend's `CapacityProfile` (for `pim`, per-cluster MRAM bounds the
+//!   records per shard; for `cpu`, host memory does not, so one shard
+//!   results). `MODE` is `declared` (profile from configuration and the
+//!   simulator's cost model) or `calibrated` (declared profile refined by
+//!   measured probe scans on a small replica). `--autoshard=MODE` also
+//!   works. Mutually exclusive with `--shards`;
 //! * `--backend pim|cpu`   backend kind (default `cpu`);
 //! * `--dpus D`            simulated DPUs for the PIM backend (default 8);
 //! * `--clusters C`        DPU clusters for the PIM backend (default 1);
@@ -41,8 +50,19 @@ use impir_server::{PirService, ServiceConfig};
 
 const USAGE: &str = "usage:
   impir-server [--listen ADDR] [--records N] [--record-bytes B] [--seed S]
-               [--shards K] [--backend pim|cpu] [--dpus D] [--clusters C]
-               [--max-sessions N]";
+               [--shards K | --autoshard declared|calibrated]
+               [--backend pim|cpu] [--dpus D] [--clusters C]
+               [--max-sessions N]
+
+  --shards K      manual uniform split into K shards (default 1)
+  --autoshard M   capacity-aware planning: shard count and boundaries come
+                  from the backend's capacity profile (per-cluster MRAM for
+                  pim; host memory for cpu, which yields one shard).
+                  M = declared   profile from config + the simulator's cost
+                                 model
+                  M = calibrated declared profile blended with measured
+                                 probe scans
+                  mutually exclusive with --shards";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +79,55 @@ fn main() -> ExitCode {
     }
 }
 
+/// How the engine's shard layout is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sharding {
+    /// Manual uniform split into this many shards (`--shards`).
+    Uniform(usize),
+    /// Capacity-aware planning from the backend's declared profile
+    /// (`--autoshard declared`).
+    Declared,
+    /// Declared profile blended with measured probe scans
+    /// (`--autoshard calibrated`).
+    Calibrated,
+}
+
+/// Records in the probe replica `--autoshard calibrated` measures against.
+const PROBE_RECORDS: u64 = 2048;
+/// How many probe scans calibration runs (best one counts).
+const PROBE_SCANS: usize = 2;
+/// Weight of the measured bandwidth when blending into the declared one.
+const CALIBRATION_BLEND: f64 = 0.5;
+
+/// Builds the capacity-aware planner for a fleet of identical backends:
+/// the shard count is the smallest number of backends whose aggregate
+/// record capacity holds the database (1 for capacity-unbounded backends),
+/// with the measured probe bandwidth blended in when calibrating.
+fn autoshard_planner(
+    profile: impir_core::CapacityProfile,
+    records: u64,
+    sharding: Sharding,
+    probe: impl FnOnce() -> Result<f64, PirError>,
+) -> Result<impir_core::ShardPlanner, String> {
+    let profile = if sharding == Sharding::Calibrated {
+        let measured = probe().map_err(|e| e.to_string())?;
+        println!(
+            "  calibrated scan bandwidth: {:.2} GB/s measured, {:.2} GB/s declared",
+            measured / 1e9,
+            profile.scan_bandwidth_bytes_per_sec / 1e9
+        );
+        profile
+            .with_measured_scan_bandwidth(measured, CALIBRATION_BLEND)
+            .map_err(|e| e.to_string())?
+    } else {
+        profile
+    };
+    let backends = records
+        .div_ceil(profile.record_capacity)
+        .clamp(1, records.max(1)) as usize;
+    impir_core::ShardPlanner::new(vec![profile; backends]).map_err(|e| e.to_string())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let options = parse_options(args)?;
     let listen = options
@@ -68,32 +137,89 @@ fn run(args: &[String]) -> Result<(), String> {
     let records = get_u64(&options, "records", 4096)?;
     let record_bytes = get_u64(&options, "record-bytes", 32)? as usize;
     let seed = get_u64(&options, "seed", 42)?;
-    let shards = get_u64(&options, "shards", 1)? as usize;
     let backend = options.get("backend").map(String::as_str).unwrap_or("cpu");
     let max_sessions = match get_u64(&options, "max-sessions", 0)? {
         0 => None,
         n => Some(n as usize),
     };
 
-    if shards == 0 {
-        return Err("--shards must be at least 1".to_string());
-    }
+    let sharding = match options.get("autoshard").map(String::as_str) {
+        None => {
+            let shards = get_u64(&options, "shards", 1)? as usize;
+            if shards == 0 {
+                return Err("--shards must be at least 1".to_string());
+            }
+            Sharding::Uniform(shards)
+        }
+        Some(mode) => {
+            if options.contains_key("shards") {
+                // The same validation class every other bad configuration
+                // goes through, so scripted deployments get one error shape.
+                return Err(PirError::Config {
+                    reason: "--autoshard and --shards are mutually exclusive: --autoshard \
+                             derives the shard count and boundaries from backend capacity, \
+                             --shards sets a manual uniform split"
+                        .to_string(),
+                }
+                .to_string());
+            }
+            match mode {
+                "declared" => Sharding::Declared,
+                "calibrated" => Sharding::Calibrated,
+                other => {
+                    return Err(format!(
+                        "--autoshard expects `declared` or `calibrated`, got `{other}`"
+                    ))
+                }
+            }
+        }
+    };
+
     let database =
         Arc::new(Database::random(records, record_bytes, seed).map_err(|e| e.to_string())?);
-    let sharded =
-        ShardedDatabase::uniform(Arc::clone(&database), shards).map_err(|e| e.to_string())?;
     let service_config = ServiceConfig {
         max_sessions,
         ..ServiceConfig::default()
     };
 
-    let service = match backend {
+    let (service, shard_summary) = match backend {
         "cpu" => {
-            let engine = QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
-                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
-            })
-            .map_err(|e| e.to_string())?;
-            PirService::bind(engine, listen.as_str(), service_config).map_err(|e| e.to_string())?
+            let cpu_config = CpuServerConfig::baseline();
+            let engine = match sharding {
+                Sharding::Uniform(shards) => {
+                    let sharded = ShardedDatabase::uniform(Arc::clone(&database), shards)
+                        .map_err(|e| e.to_string())?;
+                    QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                        CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+                    })
+                    .map_err(|e| e.to_string())?
+                }
+                _ => {
+                    let profile = cpu_config.capacity_profile().map_err(|e| e.to_string())?;
+                    let planner = autoshard_planner(profile, records, sharding, || {
+                        let probe_db = Arc::new(Database::random(
+                            records.min(PROBE_RECORDS),
+                            record_bytes,
+                            seed,
+                        )?);
+                        let mut probe = CpuPirServer::new(probe_db, CpuServerConfig::baseline())?;
+                        impir_core::capacity::measure_scan_bandwidth(&mut probe, PROBE_SCANS)
+                    })?;
+                    QueryEngine::planned(
+                        Arc::clone(&database),
+                        EngineConfig::default(),
+                        &planner,
+                        |shard_db, _| CpuPirServer::new(shard_db, CpuServerConfig::baseline()),
+                    )
+                    .map_err(|e| e.to_string())?
+                }
+            };
+            let summary = describe_plan(engine.plan(), sharding);
+            (
+                PirService::bind(engine, listen.as_str(), service_config)
+                    .map_err(|e| e.to_string())?,
+                summary,
+            )
         }
         "pim" => {
             let dpus = get_u64(&options, "dpus", 8)? as usize;
@@ -109,11 +235,42 @@ fn run(args: &[String]) -> Result<(), String> {
             let engine_config =
                 EngineConfig::new(impir_core::BatchConfig::default(), config.eval_strategy())
                     .map_err(|e: PirError| e.to_string())?;
-            let engine = QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
-                ImPirServer::new(shard_db, config.clone())
-            })
-            .map_err(|e| e.to_string())?;
-            PirService::bind(engine, listen.as_str(), service_config).map_err(|e| e.to_string())?
+            let engine = match sharding {
+                Sharding::Uniform(shards) => {
+                    let sharded = ShardedDatabase::uniform(Arc::clone(&database), shards)
+                        .map_err(|e| e.to_string())?;
+                    QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
+                        ImPirServer::new(shard_db, config.clone())
+                    })
+                    .map_err(|e| e.to_string())?
+                }
+                _ => {
+                    let profile = config
+                        .capacity_profile(record_bytes)
+                        .map_err(|e| e.to_string())?;
+                    let probe_config = config.clone();
+                    let probe_records = records.min(profile.record_capacity).min(PROBE_RECORDS);
+                    let planner = autoshard_planner(profile, records, sharding, move || {
+                        let probe_db =
+                            Arc::new(Database::random(probe_records, record_bytes, seed)?);
+                        let mut probe = ImPirServer::new(probe_db, probe_config)?;
+                        impir_core::capacity::measure_scan_bandwidth(&mut probe, PROBE_SCANS)
+                    })?;
+                    QueryEngine::planned(
+                        Arc::clone(&database),
+                        engine_config,
+                        &planner,
+                        |shard_db, _| ImPirServer::new(shard_db, config.clone()),
+                    )
+                    .map_err(|e| e.to_string())?
+                }
+            };
+            let summary = describe_plan(engine.plan(), sharding);
+            (
+                PirService::bind(engine, listen.as_str(), service_config)
+                    .map_err(|e| e.to_string())?,
+                summary,
+            )
         }
         other => return Err(format!("unknown backend `{other}` (expected pim or cpu)")),
     };
@@ -123,7 +280,7 @@ fn run(args: &[String]) -> Result<(), String> {
     println!("impir-server listening on {}", service.addr());
     println!(
         "  {records} records x {record_bytes} B (seed {seed}), backend {backend}, \
-         {shards} shard(s)"
+         {shard_summary}"
     );
     match max_sessions {
         Some(n) => {
@@ -142,16 +299,31 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One line describing the engine's shard layout for the startup banner.
+fn describe_plan(plan: &impir_core::ShardPlan, sharding: Sharding) -> String {
+    let mode = match sharding {
+        Sharding::Uniform(_) => "uniform",
+        Sharding::Declared => "autoshard declared",
+        Sharding::Calibrated => "autoshard calibrated",
+    };
+    format!(
+        "{} shard(s) [{}] ({mode})",
+        plan.shard_count(),
+        plan.size_summary()
+    )
+}
+
 /// The accepted flag names. A typo like `--record` or `--seeds` must fail
 /// loudly: silently falling back to defaults would start a server whose
 /// replica does not match its peers', and every client query would then
 /// fail the geometry check.
-const KNOWN_FLAGS: [&str; 9] = [
+const KNOWN_FLAGS: [&str; 10] = [
     "listen",
     "records",
     "record-bytes",
     "seed",
     "shards",
+    "autoshard",
     "backend",
     "dpus",
     "clusters",
@@ -162,16 +334,25 @@ fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut options = HashMap::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
-        let Some(name) = flag.strip_prefix("--") else {
+        let Some(spec) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, found `{flag}`"));
+        };
+        // Both `--flag value` and `--flag=value` are accepted.
+        let (name, inline_value) = match spec.split_once('=') {
+            Some((name, value)) => (name, Some(value.to_string())),
+            None => (spec, None),
         };
         if !KNOWN_FLAGS.contains(&name) {
             return Err(format!("unknown flag --{name}"));
         }
-        let value = iter
-            .next()
-            .ok_or_else(|| format!("flag --{name} needs a value"))?;
-        options.insert(name.to_string(), value.clone());
+        let value = match inline_value {
+            Some(value) => value,
+            None => iter
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?
+                .clone(),
+        };
+        options.insert(name.to_string(), value);
     }
     Ok(options)
 }

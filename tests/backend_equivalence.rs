@@ -261,6 +261,124 @@ fn updated_sharded_streaming_engines_match_fresh_engines() {
     });
 }
 
+/// A capacity-planned layout is pure distribution policy: on a mixed
+/// PIM+CPU+streaming fleet (heterogeneous backends as boxed trait objects
+/// behind one engine), the planned engine must answer byte-identically to a
+/// uniform one — before updates, after a rejected (poisoned) batch, and
+/// after a committed update batch, where both must also match a fresh
+/// engine built over the already-updated database.
+#[test]
+fn planned_layouts_match_uniform_layouts_pre_and_post_update() {
+    use im_pir::core::capacity::ShardPlanner;
+    use im_pir::core::UpdatableBackend;
+
+    type DynBackend = Box<dyn UpdatableBackend + Send + Sync>;
+
+    let num_records: u64 = 1500;
+    let record_size = 32;
+    let db = Arc::new(Database::random(num_records, record_size, 41).unwrap());
+    let pim_config = ImPirConfig::tiny_test(8).with_clusters(2);
+    let cpu_config = CpuServerConfig::baseline();
+    let streaming_config = StreamingConfig::new(ImPirConfig::tiny_test(4), 1024).unwrap();
+    let backend =
+        |shard_db: Arc<Database>, shard: usize| -> Result<DynBackend, im_pir::core::PirError> {
+            Ok(match shard {
+                0 => Box::new(ImPirServer::new(shard_db, pim_config.clone())?),
+                1 => Box::new(CpuPirServer::new(shard_db, cpu_config.clone())?),
+                _ => Box::new(StreamingImPirServer::new(
+                    shard_db,
+                    streaming_config.clone(),
+                )?),
+            })
+        };
+    let planner = ShardPlanner::new(vec![
+        pim_config.capacity_profile(record_size).unwrap(),
+        cpu_config.capacity_profile().unwrap(),
+        streaming_config.capacity_profile(record_size).unwrap(),
+    ])
+    .unwrap();
+
+    let uniform = ShardedDatabase::uniform(db.clone(), 3).unwrap();
+    let mut uniform_engine =
+        QueryEngine::sharded(&uniform, EngineConfig::default(), backend).unwrap();
+    let mut planned_engine =
+        QueryEngine::planned(db.clone(), EngineConfig::default(), &planner, backend).unwrap();
+    // The planner really moved the boundaries.
+    assert_ne!(
+        planned_engine.plan(),
+        uniform_engine.plan(),
+        "an asymmetric fleet must not plan uniformly"
+    );
+
+    let mut client = PirClient::new(num_records, record_size, 17).unwrap();
+    // Queries at both layouts' shard boundaries plus interior points.
+    let mut indices: Vec<u64> = vec![0, num_records / 2, num_records - 1, 733];
+    for plan in [uniform_engine.plan().clone(), planned_engine.plan().clone()] {
+        for range in plan.ranges() {
+            indices.push(range.start);
+            indices.push(range.end - 1);
+        }
+    }
+    let (shares, second_shares) = client.generate_batch(&indices).unwrap();
+
+    // Pre-update identity, and real PIR subresults (reconstruct against a
+    // second, unsharded server).
+    let uniform_out = uniform_engine.execute_batch(&shares).unwrap();
+    let planned_out = planned_engine.execute_batch(&shares).unwrap();
+    let mut second = CpuPirBaseline::new(db.clone()).unwrap();
+    let second_out = second.process_batch(&second_shares).unwrap();
+    for (i, &index) in indices.iter().enumerate() {
+        assert_eq!(
+            uniform_out.responses[i].payload, planned_out.responses[i].payload,
+            "pre-update query {i}"
+        );
+        let record = client
+            .reconstruct(&planned_out.responses[i], &second_out.responses[i])
+            .unwrap();
+        assert_eq!(record, db.record(index), "pre-update index {index}");
+    }
+
+    // A poisoned batch must leave both layouts untouched (all-or-nothing).
+    let poisoned = vec![
+        (1u64, vec![0x11; record_size]),
+        (num_records, vec![0x11; record_size]),
+    ];
+    assert!(uniform_engine.apply_updates(&poisoned).is_err());
+    assert!(planned_engine.apply_updates(&poisoned).is_err());
+
+    // Committed updates: one per backend's region under both layouts.
+    let updates: Vec<(u64, Vec<u8>)> = [0u64, 499, 500, 999, 1000, num_records - 1]
+        .iter()
+        .enumerate()
+        .map(|(i, &index)| (index, vec![0xB0 | i as u8; record_size]))
+        .collect();
+    let mut updated = (*db).clone();
+    for (index, bytes) in &updates {
+        updated.set_record(*index, bytes).unwrap();
+    }
+    let updated = Arc::new(updated);
+    uniform_engine.apply_updates(&updates).unwrap();
+    planned_engine.apply_updates(&updates).unwrap();
+
+    let uniform_after = uniform_engine.execute_batch(&shares).unwrap();
+    let planned_after = planned_engine.execute_batch(&shares).unwrap();
+    // Both layouts agree with each other and with a fresh planned engine
+    // built over the already-updated database.
+    let mut fresh =
+        QueryEngine::planned(updated.clone(), EngineConfig::default(), &planner, backend).unwrap();
+    let fresh_out = fresh.execute_batch(&shares).unwrap();
+    for i in 0..indices.len() {
+        assert_eq!(
+            uniform_after.responses[i].payload, planned_after.responses[i].payload,
+            "post-update query {i}: uniform vs planned"
+        );
+        assert_eq!(
+            planned_after.responses[i].payload, fresh_out.responses[i].payload,
+            "post-update query {i}: live planned vs fresh over updated db"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
