@@ -65,7 +65,8 @@ impl GpuPirBaseline {
         };
         let config = CpuServerConfig {
             eval_strategy,
-            scan_threads: rayon::current_num_threads().max(1),
+            scan_threads: impir_dpf::host_parallelism(),
+            scan_kernel: impir_core::dpxor::KernelChoice::Auto,
         };
         // The GPU serialises queries on the device; a single evaluation
         // worker mirrors that in the engine pipeline.

@@ -46,7 +46,7 @@ use crate::server::{BatchOutcome, PirServer};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Number of host worker threads performing DPF evaluations
-    /// (defaults to the rayon pool size).
+    /// (defaults to the host's available parallelism).
     pub worker_threads: usize,
     /// Capacity of the admission queue between the evaluation workers and
     /// the scheduler, and of the input window feeding the workers. A full
@@ -59,7 +59,7 @@ pub struct BatchConfig {
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        let worker_threads = rayon::current_num_threads().max(1);
+        let worker_threads = impir_dpf::host_parallelism();
         BatchConfig {
             worker_threads,
             queue_depth: 2 * worker_threads,

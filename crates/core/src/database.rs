@@ -248,11 +248,13 @@ impl Database {
         Ok(())
     }
 
-    /// Reference `dpXOR`: XORs every record whose selector bit is set.
+    /// The `dpXOR` scan: XORs every record whose selector bit is set.
     ///
     /// This is the linear scan every PIR server must perform (the
-    /// *all-for-one* principle); the optimised implementations in
-    /// [`crate::dpxor`] and the DPU kernel are tested against it.
+    /// *all-for-one* principle). It runs through the runtime-dispatched
+    /// [`crate::dpxor::ScanKernel`] ([`crate::dpxor::best_kernel`]), so it
+    /// inherits the fastest registered kernel for this host; every kernel
+    /// is pinned byte-identical to the scalar oracle.
     ///
     /// # Panics
     ///

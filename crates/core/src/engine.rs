@@ -93,7 +93,7 @@ impl Default for EngineConfig {
         EngineConfig {
             pipeline: BatchConfig::default(),
             eval_strategy: EvalStrategy::SubtreeParallel {
-                threads: rayon::current_num_threads().max(1),
+                threads: impir_dpf::host_parallelism(),
             },
         }
     }

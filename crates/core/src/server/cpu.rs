@@ -5,16 +5,20 @@
 //! from DRAM through the cache hierarchy — the data-movement cost IM-PIR is
 //! designed to avoid. With `scan_threads = 1` it matches the paper's
 //! CPU-PIR baseline configuration ("a single CPU thread for each query,
-//! accelerated with AVX"); with more threads it serves as an upper bound on
-//! what a processor-centric server can do.
+//! accelerated with AVX"); with more threads one query's scan fans
+//! record-range chunks out over real `std::thread::scope` workers (per-chunk
+//! accumulators XOR-merged at the end), an upper bound on what a
+//! processor-centric server can do. The scan itself runs whichever
+//! [`crate::dpxor::ScanKernel`] the config selects — by default the fastest
+//! one for this host ([`crate::dpxor::best_kernel`]).
 
 use std::sync::Arc;
 
-use impir_dpf::{EvalStrategy, SelectorVector};
-use rayon::prelude::*;
+use impir_dpf::{host_parallelism, EvalStrategy, SelectorVector};
 
 use crate::database::Database;
 use crate::dpxor;
+use crate::dpxor::KernelChoice;
 use crate::error::PirError;
 use crate::protocol::{QueryShare, ServerResponse};
 use crate::server::phases::{PhaseBreakdown, PhaseTime};
@@ -26,18 +30,26 @@ pub struct CpuServerConfig {
     /// Strategy for expanding the DPF key over the database domain.
     pub eval_strategy: EvalStrategy,
     /// Number of threads used for the `dpXOR` scan of one query
-    /// (1 = the paper's baseline configuration).
+    /// (1 = the paper's baseline configuration). With more than one, the
+    /// scan fans record-range chunks out over real `std::thread::scope`
+    /// workers and XOR-merges the per-chunk accumulators.
     pub scan_threads: usize,
+    /// Which [`dpxor::ScanKernel`] the scan runs — [`KernelChoice::Auto`]
+    /// self-benchmarks once per process ([`dpxor::best_kernel`]); the other
+    /// variants force a specific kernel (A/B runs, oracle comparisons).
+    /// Every choice is byte-identical; only speed differs.
+    pub scan_kernel: KernelChoice,
 }
 
 impl CpuServerConfig {
     /// The paper's CPU-PIR baseline: single-threaded scan, level-by-level
-    /// evaluation.
+    /// evaluation, self-benchmarked scan kernel.
     #[must_use]
     pub fn baseline() -> Self {
         CpuServerConfig {
             eval_strategy: EvalStrategy::LevelByLevel,
             scan_threads: 1,
+            scan_kernel: KernelChoice::Auto,
         }
     }
 
@@ -45,10 +57,11 @@ impl CpuServerConfig {
     /// evaluation and scanning.
     #[must_use]
     pub fn multithreaded() -> Self {
-        let threads = rayon::current_num_threads().max(1);
+        let threads = host_parallelism();
         CpuServerConfig {
             eval_strategy: EvalStrategy::SubtreeParallel { threads },
             scan_threads: threads,
+            scan_kernel: KernelChoice::Auto,
         }
     }
 
@@ -74,9 +87,14 @@ impl CpuServerConfig {
     /// [`crate::batch::BatchExecutor::wave_width`] and the declared
     /// capacity profile, so the planner can never predict wave counts the
     /// backend does not deliver.
+    ///
+    /// Based on [`host_parallelism`] (`std::thread::available_parallelism`),
+    /// *not* the vendored rayon shim's `current_num_threads`: the shim is
+    /// sequential and says nothing about how many scoped scan threads the
+    /// host can actually run side by side.
     #[must_use]
     pub fn wave_width(&self) -> usize {
-        (rayon::current_num_threads() / self.scan_threads.max(1)).max(1)
+        (host_parallelism() / self.scan_threads.max(1)).max(1)
     }
 
     /// The **declared** [`crate::capacity::CapacityProfile`] of a CPU
@@ -181,39 +199,64 @@ impl CpuPirServer {
     }
 
     /// The `dpXOR` scan over the full database with `scan_threads` threads.
+    ///
+    /// With one thread the configured kernel scans the whole replica in
+    /// place; with more, record-range chunks fan out over real
+    /// `std::thread::scope` workers (exactly like the engine's shard
+    /// fan-out) and the per-chunk accumulators are XOR-merged at the end —
+    /// XOR-linearity makes the split invisible in the result. Chunk
+    /// boundaries are rounded up to 64-record multiples so every worker's
+    /// selector slice is word-aligned (a pure sub-slice of the packed
+    /// selector words, no bit shifting).
     fn scan(&self, selector: &SelectorVector) -> Vec<u8> {
         let record_size = self.database.record_size();
         let num_records = self.database.num_records() as usize;
+        let kernel = self.config.scan_kernel.resolve();
         let threads = self.config.scan_threads.min(num_records.max(1));
         if threads <= 1 {
-            return self
-                .scan_scratches
-                .with(|acc_words| self.database.xor_select_with(selector, acc_words));
+            let mut accumulator = vec![0u8; record_size];
+            self.scan_scratches.with(|acc_words| {
+                kernel.xor_select(
+                    self.database.as_bytes(),
+                    record_size,
+                    selector,
+                    &mut accumulator,
+                    acc_words,
+                );
+            });
+            return accumulator;
         }
-        let per_thread = num_records.div_ceil(threads);
-        let partials: Vec<Vec<u8>> = (0..threads)
-            .into_par_iter()
-            .map(|thread| {
-                let start = thread * per_thread;
-                if start >= num_records {
-                    return vec![0u8; record_size];
-                }
-                let count = per_thread.min(num_records - start);
-                let chunk = self.database.record_chunk(start as u64, count as u64);
-                let chunk_selector = selector.slice(start, count);
-                let mut accumulator = vec![0u8; record_size];
-                self.scan_scratches.with(|acc_words| {
-                    dpxor::xor_select_into_with(
-                        chunk,
-                        record_size,
-                        &chunk_selector,
-                        &mut accumulator,
-                        acc_words,
-                    );
-                });
-                accumulator
-            })
-            .collect();
+        let per_thread = num_records.div_ceil(threads).next_multiple_of(64);
+        let partials: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|thread| {
+                    scope.spawn(move || {
+                        let start = thread * per_thread;
+                        if start >= num_records {
+                            return vec![0u8; record_size];
+                        }
+                        let count = per_thread.min(num_records - start);
+                        let chunk = self.database.record_chunk(start as u64, count as u64);
+                        let chunk_selector = selector.slice(start, count);
+                        let mut accumulator = vec![0u8; record_size];
+                        self.scan_scratches.with(|acc_words| {
+                            kernel.xor_select(
+                                chunk,
+                                record_size,
+                                &chunk_selector,
+                                &mut accumulator,
+                                acc_words,
+                            );
+                        });
+                        accumulator
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("scan worker panicked"))
+                .collect()
+        });
         dpxor::xor_reduce(&partials, record_size)
     }
 }
@@ -442,11 +485,94 @@ mod tests {
     }
 
     #[test]
+    fn threaded_scans_are_byte_identical_to_single_threaded() {
+        // The acceptance pin: scan_threads > 1 must change nothing but
+        // speed. Odd record sizes included so the chunked path also covers
+        // the word+tail kernel route.
+        for record_size in [24usize, 33] {
+            let db = Arc::new(Database::random(1000, record_size, 21).unwrap());
+            let mut client = PirClient::new(1000, record_size, 8).unwrap();
+            let (q1, _) = client.generate_query(517).unwrap();
+            let reference = {
+                let mut server = CpuPirServer::new(
+                    db.clone(),
+                    CpuServerConfig {
+                        eval_strategy: EvalStrategy::LevelByLevel,
+                        scan_threads: 1,
+                        scan_kernel: KernelChoice::Auto,
+                    },
+                )
+                .unwrap();
+                server.process_query(&q1).unwrap().0
+            };
+            for scan_threads in [2usize, 3, 4, 7] {
+                let mut server = CpuPirServer::new(
+                    db.clone(),
+                    CpuServerConfig {
+                        eval_strategy: EvalStrategy::LevelByLevel,
+                        scan_threads,
+                        scan_kernel: KernelChoice::Auto,
+                    },
+                )
+                .unwrap();
+                let (response, _) = server.process_query(&q1).unwrap();
+                assert_eq!(
+                    response.payload, reference.payload,
+                    "scan_threads={scan_threads} record_size={record_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_choice_is_byte_identical() {
+        let db = Arc::new(Database::random(500, 40, 33).unwrap());
+        let mut client = PirClient::new(500, 40, 14).unwrap();
+        let (q1, _) = client.generate_query(123).unwrap();
+        let mut payloads = Vec::new();
+        for scan_kernel in [
+            KernelChoice::Auto,
+            KernelChoice::Scalar,
+            KernelChoice::Wide,
+            KernelChoice::Unrolled,
+        ] {
+            let mut server = CpuPirServer::new(
+                db.clone(),
+                CpuServerConfig {
+                    eval_strategy: EvalStrategy::LevelByLevel,
+                    scan_threads: 2,
+                    scan_kernel,
+                },
+            )
+            .unwrap();
+            payloads.push(server.process_query(&q1).unwrap().0.payload);
+        }
+        for payload in &payloads[1..] {
+            assert_eq!(payload, &payloads[0]);
+        }
+    }
+
+    #[test]
+    fn wave_width_is_independent_of_the_rayon_shim() {
+        // scan_threads ≥ host parallelism collapses the wave to one slot;
+        // a single-thread scan frees every core for concurrent slots.
+        let threads = impir_dpf::host_parallelism();
+        let config = CpuServerConfig {
+            eval_strategy: EvalStrategy::LevelByLevel,
+            scan_threads: threads,
+            scan_kernel: KernelChoice::Auto,
+        };
+        assert_eq!(config.wave_width(), 1);
+        assert_eq!(CpuServerConfig::baseline().wave_width(), threads);
+    }
+
+    #[test]
     fn zero_thread_eval_strategy_is_rejected() {
         let db = Arc::new(Database::random(10, 8, 0).unwrap());
         let config = CpuServerConfig {
             eval_strategy: EvalStrategy::SubtreeParallel { threads: 0 },
             scan_threads: 1,
+            scan_kernel: KernelChoice::Auto,
         };
         assert!(matches!(
             CpuPirServer::new(db, config),
@@ -460,6 +586,7 @@ mod tests {
         let config = CpuServerConfig {
             eval_strategy: EvalStrategy::LevelByLevel,
             scan_threads: 0,
+            scan_kernel: KernelChoice::Auto,
         };
         assert!(CpuPirServer::new(db, config).is_err());
     }
@@ -479,6 +606,7 @@ mod tests {
             let config = CpuServerConfig {
                 eval_strategy: EvalStrategy::MemoryBounded { chunk_bits: 6 },
                 scan_threads,
+                scan_kernel: KernelChoice::Auto,
             };
             let mut s1 = CpuPirServer::new(db.clone(), config.clone()).unwrap();
             let mut s2 = CpuPirServer::new(db.clone(), config).unwrap();

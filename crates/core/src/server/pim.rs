@@ -55,7 +55,7 @@ impl ImPirConfig {
         ImPirConfig {
             pim: PimConfig::paper_server(),
             clusters: 1,
-            eval_threads: rayon::current_num_threads().max(1),
+            eval_threads: impir_dpf::host_parallelism(),
         }
     }
 

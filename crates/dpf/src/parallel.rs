@@ -41,7 +41,6 @@
 //!   makes batch serving allocation-free.
 
 use impir_crypto::prg::LengthDoublingPrg;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::bitvec::SelectorVector;
@@ -56,6 +55,21 @@ use crate::key::DpfKey;
 /// matching the 8 K-node chunks used by the GPU-PIR reference
 /// implementation.
 pub const DEFAULT_CHUNK_BITS: u32 = 13;
+
+/// Number of hardware threads available to this process
+/// (`std::thread::available_parallelism`, 1 if unknown) — the single
+/// definition every thread-count default in the workspace derives from.
+///
+/// The vendored rayon shim is sequential, so `rayon::current_num_threads`
+/// says nothing about real parallelism here; thread-level parallelism comes
+/// exclusively from explicit `std::thread::scope` fan-outs sized by this
+/// function.
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// How a server expands a DPF key over the full database domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,7 +104,7 @@ pub enum EvalStrategy {
 impl Default for EvalStrategy {
     fn default() -> Self {
         EvalStrategy::SubtreeParallel {
-            threads: rayon::current_num_threads().max(1),
+            threads: host_parallelism(),
         }
     }
 }
@@ -119,15 +133,9 @@ impl EvalStrategy {
     pub fn eval_full_with_prg(&self, key: &DpfKey, prg: &LengthDoublingPrg) -> SelectorVector {
         let domain = key.domain_size();
         match *self {
-            EvalStrategy::BranchParallel => {
-                let bits: Vec<bool> = (0..domain)
-                    .into_par_iter()
-                    .map(|x| {
-                        eval_point_with_prg(key, x, prg).expect("x is within the key's domain")
-                    })
-                    .collect();
-                bits.into_iter().collect()
-            }
+            EvalStrategy::BranchParallel => (0..domain)
+                .map(|x| eval_point_with_prg(key, x, prg).expect("x is within the key's domain"))
+                .collect(),
             EvalStrategy::LevelByLevel => expand_subtree(key, NodeState::root(key), 0, prg),
             EvalStrategy::MemoryBounded { .. } => self
                 .eval_range(key, 0, domain)

@@ -6,6 +6,19 @@
 //! `dpXOR`) have operational intensities far below the baseline CPU's ridge
 //! point and are therefore memory-bound — the observation that motivates a
 //! memory-centric architecture.
+//!
+//! # Measured roofline comparison
+//!
+//! Because `dpXOR` is memory-bound, its ceiling in *bytes per second* is
+//! simply the device's memory bandwidth: a scan that streams at the
+//! bandwidth the memory system sustains is running "as fast as the hardware
+//! allows", and any gap is implementation overhead. The `hotpath` bench bin
+//! closes this loop: it measures the read bandwidth of the benchmark host
+//! with a streaming probe, builds a
+//! [`DeviceProfile::measured_host`](crate::DeviceProfile::measured_host)
+//! profile from it, and reports every measured scan throughput as a
+//! fraction of that ceiling via [`RooflineModel::scan_efficiency`] into
+//! `BENCH_hotpath.json`.
 
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +118,20 @@ impl RooflineModel {
         ]
     }
 
+    /// Fraction of the memory-bandwidth ceiling a measured scan achieves:
+    /// `measured GB/s ÷ ceiling GB/s`.
+    ///
+    /// For a memory-bound kernel like `dpXOR` the byte-throughput ceiling
+    /// *is* the memory bandwidth (the compute roof only binds past the
+    /// ridge point, orders of magnitude above dpXOR's operational
+    /// intensity), so a ratio near 1.0 means the scan runs as fast as the
+    /// host memory system allows and the remaining gap is implementation
+    /// overhead, not hardware.
+    #[must_use]
+    pub fn scan_efficiency(&self, measured_scan_gb_per_sec: f64) -> f64 {
+        measured_scan_gb_per_sec / self.memory_bandwidth_gb_per_sec
+    }
+
     /// Samples the roofline curve at logarithmically spaced intensities, for
     /// plotting.
     #[must_use]
@@ -169,6 +196,13 @@ mod tests {
     #[should_panic(expected = "at least two samples")]
     fn curve_requires_two_samples() {
         let _ = baseline().curve(0.1, 1.0, 1);
+    }
+
+    #[test]
+    fn scan_efficiency_is_the_bandwidth_fraction() {
+        let roofline = baseline(); // 100 GB/s ceiling
+        assert!((roofline.scan_efficiency(50.0) - 0.5).abs() < 1e-12);
+        assert!((roofline.scan_efficiency(100.0) - 1.0).abs() < 1e-12);
     }
 
     #[test]

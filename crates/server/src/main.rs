@@ -30,6 +30,9 @@
 //!   measured probe scans on a small replica). `--autoshard=MODE` also
 //!   works. Mutually exclusive with `--shards`;
 //! * `--backend pim|cpu`   backend kind (default `cpu`);
+//! * `--scan-kernel K`     `dpXOR` scan kernel for the `cpu` backend:
+//!   `auto` (default, self-benchmarked once per process), `scalar`, `wide`
+//!   or `unrolled` — every choice is byte-identical, only speed differs;
 //! * `--dpus D`            simulated DPUs for the PIM backend (default 8);
 //! * `--clusters C`        DPU clusters for the PIM backend (default 1);
 //! * `--max-sessions N`    exit after serving N sessions (default: serve
@@ -51,8 +54,12 @@ use impir_server::{PirService, ServiceConfig};
 const USAGE: &str = "usage:
   impir-server [--listen ADDR] [--records N] [--record-bytes B] [--seed S]
                [--shards K | --autoshard declared|calibrated]
-               [--backend pim|cpu] [--dpus D] [--clusters C]
-               [--max-sessions N]
+               [--backend pim|cpu] [--scan-kernel auto|scalar|wide|unrolled]
+               [--dpus D] [--clusters C] [--max-sessions N]
+
+  --scan-kernel K dpXOR scan kernel for the cpu backend (default auto:
+                  self-benchmark once per process and keep the fastest;
+                  scalar/wide/unrolled force one — all byte-identical)
 
   --shards K      manual uniform split into K shards (default 1)
   --autoshard M   capacity-aware planning: shard count and boundaries come
@@ -138,6 +145,17 @@ fn run(args: &[String]) -> Result<(), String> {
     let record_bytes = get_u64(&options, "record-bytes", 32)? as usize;
     let seed = get_u64(&options, "seed", 42)?;
     let backend = options.get("backend").map(String::as_str).unwrap_or("cpu");
+    let scan_kernel = match options.get("scan-kernel") {
+        None => impir_core::dpxor::KernelChoice::Auto,
+        Some(value) => {
+            if backend != "cpu" {
+                return Err("--scan-kernel applies to the cpu backend only".to_string());
+            }
+            impir_core::dpxor::KernelChoice::parse(value).ok_or_else(|| {
+                format!("--scan-kernel expects auto, scalar, wide or unrolled, got `{value}`")
+            })?
+        }
+    };
     let max_sessions = match get_u64(&options, "max-sessions", 0)? {
         0 => None,
         n => Some(n as usize),
@@ -184,32 +202,36 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let (service, shard_summary) = match backend {
         "cpu" => {
-            let cpu_config = CpuServerConfig::baseline();
+            let cpu_config = CpuServerConfig {
+                scan_kernel,
+                ..CpuServerConfig::baseline()
+            };
             let engine = match sharding {
                 Sharding::Uniform(shards) => {
                     let sharded = ShardedDatabase::uniform(Arc::clone(&database), shards)
                         .map_err(|e| e.to_string())?;
                     QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
-                        CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+                        CpuPirServer::new(shard_db, cpu_config.clone())
                     })
                     .map_err(|e| e.to_string())?
                 }
                 _ => {
                     let profile = cpu_config.capacity_profile().map_err(|e| e.to_string())?;
+                    let probe_config = cpu_config.clone();
                     let planner = autoshard_planner(profile, records, sharding, || {
                         let probe_db = Arc::new(Database::random(
                             records.min(PROBE_RECORDS),
                             record_bytes,
                             seed,
                         )?);
-                        let mut probe = CpuPirServer::new(probe_db, CpuServerConfig::baseline())?;
+                        let mut probe = CpuPirServer::new(probe_db, probe_config)?;
                         impir_core::capacity::measure_scan_bandwidth(&mut probe, PROBE_SCANS)
                     })?;
                     QueryEngine::planned(
                         Arc::clone(&database),
                         EngineConfig::default(),
                         &planner,
-                        |shard_db, _| CpuPirServer::new(shard_db, CpuServerConfig::baseline()),
+                        |shard_db, _| CpuPirServer::new(shard_db, cpu_config.clone()),
                     )
                     .map_err(|e| e.to_string())?
                 }
@@ -317,7 +339,7 @@ fn describe_plan(plan: &impir_core::ShardPlan, sharding: Sharding) -> String {
 /// loudly: silently falling back to defaults would start a server whose
 /// replica does not match its peers', and every client query would then
 /// fail the geometry check.
-const KNOWN_FLAGS: [&str; 10] = [
+const KNOWN_FLAGS: [&str; 11] = [
     "listen",
     "records",
     "record-bytes",
@@ -325,6 +347,7 @@ const KNOWN_FLAGS: [&str; 10] = [
     "shards",
     "autoshard",
     "backend",
+    "scan-kernel",
     "dpus",
     "clusters",
     "max-sessions",
