@@ -68,6 +68,7 @@ use crate::batch::{
 };
 use crate::dpxor;
 use crate::error::PirError;
+use crate::journal::UpdateBatch;
 use crate::protocol::{QueryShare, ServerResponse};
 use crate::server::phases::{PhaseBreakdown, PhaseTime};
 use crate::server::BatchOutcome;
@@ -86,7 +87,18 @@ pub struct EngineConfig {
     /// through its backend's own [`BatchExecutor::selector_evaluator`]
     /// instead, honoring the backend's configured strategy.)
     pub eval_strategy: EvalStrategy,
+    /// How many applied update batches the engine's
+    /// [`crate::journal::UpdateJournal`] retains for replica catch-up
+    /// (`impir-server --journal-batches`). Zero disables journaling: a
+    /// lagging replica then always fails closed with
+    /// [`PirError::JournalTruncated`].
+    pub journal_batches: usize,
 }
+
+/// Default journal retention: deep enough that a replica missing a few
+/// batches (the one-sided-failure window) always recovers, shallow enough
+/// that the retained clones stay a small multiple of one batch.
+pub const DEFAULT_JOURNAL_BATCHES: usize = 64;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -95,6 +107,7 @@ impl Default for EngineConfig {
             eval_strategy: EvalStrategy::SubtreeParallel {
                 threads: impir_dpf::host_parallelism(),
             },
+            journal_batches: DEFAULT_JOURNAL_BATCHES,
         }
     }
 }
@@ -111,6 +124,7 @@ impl EngineConfig {
         let config = EngineConfig {
             pipeline,
             eval_strategy,
+            journal_batches: DEFAULT_JOURNAL_BATCHES,
         };
         config.validate()?;
         Ok(config)
@@ -181,6 +195,9 @@ pub struct QueryEngine<S> {
     config: EngineConfig,
     evaluator: EngineEvaluator,
     epoch: u64,
+    /// The applied-update journal replica catch-up replays from — advanced
+    /// in lockstep with `epoch` (see [`crate::journal::UpdateJournal`]).
+    journal: crate::journal::UpdateJournal,
     /// Per-shard phase breakdowns of the most recent
     /// [`QueryEngine::execute_batch`], in shard order (zeros before the
     /// first batch) — the raw material of [`QueryEngine::shard_timings`].
@@ -267,6 +284,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             config,
             evaluator,
             epoch: 0,
+            journal: crate::journal::UpdateJournal::new(config.journal_batches),
             last_shard_phases: vec![PhaseBreakdown::zero()],
             predicted_scan_seconds: None,
         })
@@ -327,6 +345,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             config,
             evaluator: strategy_evaluator(config.eval_strategy, num_records),
             epoch: 0,
+            journal: crate::journal::UpdateJournal::new(config.journal_batches),
             last_shard_phases: vec![PhaseBreakdown::zero(); shard_count],
             predicted_scan_seconds: None,
         })
@@ -430,6 +449,27 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
     #[must_use]
     pub fn database_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The engine's epoch and journal coverage, as answered to
+    /// [`crate::wire::Frame::EpochInfoRequest`].
+    #[must_use]
+    pub fn epoch_info(&self) -> crate::wire::EpochInfo {
+        debug_assert_eq!(self.journal.epoch(), self.epoch);
+        self.journal.epoch_info()
+    }
+
+    /// The update batches a replica stuck at `from_epoch` must apply, in
+    /// order, to reach this engine's epoch — the server side of
+    /// [`crate::wire::Frame::UpdateReplayRequest`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::JournalTruncated`] when the journal's retention
+    ///   window no longer reaches back to `from_epoch`;
+    /// * [`PirError::Protocol`] when `from_epoch` is ahead of this engine.
+    pub fn replay_updates(&self, from_epoch: u64) -> Result<Vec<UpdateBatch>, PirError> {
+        self.journal.replay_from(from_epoch)
     }
 
     /// Per-shard predicted-vs-actual timings: each shard's record range,
@@ -719,6 +759,7 @@ impl<S: UpdatableBackend + Send + Sync> QueryEngine<S> {
         if self.shards.len() == 1 {
             let outcome = self.shards[0].backend.apply_updates(updates)?;
             self.epoch += 1;
+            self.journal.record(updates);
             return Ok(UpdateOutcome {
                 records_updated: updates.len(),
                 bytes_pushed: outcome.bytes_pushed,
@@ -768,6 +809,7 @@ impl<S: UpdatableBackend + Send + Sync> QueryEngine<S> {
             }
         }
         self.epoch += 1;
+        self.journal.record(updates);
         Ok(UpdateOutcome {
             records_updated: updates.len(),
             bytes_pushed,
@@ -1102,6 +1144,7 @@ mod tests {
         let config = EngineConfig {
             pipeline: BatchConfig::default(),
             eval_strategy: EvalStrategy::SubtreeParallel { threads: 0 },
+            ..EngineConfig::default()
         };
         assert!(matches!(config.validate(), Err(PirError::Config { .. })));
         assert!(matches!(

@@ -70,6 +70,18 @@ pub enum PirError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A replica asked to replay updates from an epoch its peer's journal
+    /// no longer covers (see [`crate::journal::UpdateJournal`]). Automatic
+    /// catch-up cannot close this lag; the operator must re-seed the
+    /// replica (or raise the journal retention, `--journal-batches`).
+    JournalTruncated {
+        /// The epoch the lagging replica asked to replay from.
+        from_epoch: u64,
+        /// The oldest epoch the journal can still replay from.
+        oldest_replayable: u64,
+        /// The journal owner's current epoch.
+        current_epoch: u64,
+    },
 }
 
 impl fmt::Display for PirError {
@@ -112,6 +124,15 @@ impl fmt::Display for PirError {
             ),
             PirError::Config { reason } => write!(f, "invalid configuration: {reason}"),
             PirError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            PirError::JournalTruncated {
+                from_epoch,
+                oldest_replayable,
+                current_epoch,
+            } => write!(
+                f,
+                "update journal truncated: cannot replay from epoch {from_epoch}, the journal \
+                 at epoch {current_epoch} only reaches back to epoch {oldest_replayable}"
+            ),
         }
     }
 }

@@ -1,0 +1,191 @@
+//! A bounded, epoch-indexed journal of applied update batches.
+//!
+//! [`crate::engine::QueryEngine::apply_updates`] records every committed
+//! batch here. When a replicated deployment detects that an update reached
+//! only one replica (the epoch cross-checks in [`crate::scheme`] and
+//! [`crate::multi_server`]), the healthy replica's journal supplies the
+//! missed batches — over the wire via
+//! [`crate::wire::Frame::UpdateReplayRequest`], or directly for in-process
+//! engines — so the lagging replica catches up through the ordinary
+//! `apply_updates` path instead of an operator manually re-applying
+//! batches.
+//!
+//! Retention is bounded (see [`crate::engine::EngineConfig`]'s
+//! `journal_batches`): once a replica lags by more than the retained
+//! window, recovery fails closed with [`PirError::JournalTruncated`] and
+//! the replica must be re-seeded.
+
+use std::collections::VecDeque;
+
+use crate::error::PirError;
+use crate::wire::EpochInfo;
+
+/// One applied update batch: `(global record index, new bytes)` pairs, in
+/// application order — the unit the journal retains and replays.
+pub type UpdateBatch = Vec<(u64, Vec<u8>)>;
+
+/// The journal: the last `retention` applied update batches, indexed by
+/// the epoch each produced.
+#[derive(Debug, Clone)]
+pub struct UpdateJournal {
+    /// How many batches are retained; zero disables journaling (every
+    /// non-trivial replay request is then truncated).
+    retention: usize,
+    /// Retained batches, oldest first. The batch at position `i` moved the
+    /// database from epoch `oldest_replayable() + i` to
+    /// `oldest_replayable() + i + 1`; the back batch produced `epoch`.
+    batches: VecDeque<UpdateBatch>,
+    /// The epoch of the database the journal describes — bumped once per
+    /// recorded batch, in lockstep with the owning engine's epoch.
+    epoch: u64,
+}
+
+impl UpdateJournal {
+    /// Creates an empty journal retaining at most `retention` batches.
+    #[must_use]
+    pub fn new(retention: usize) -> Self {
+        UpdateJournal {
+            retention,
+            batches: VecDeque::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The epoch of the last recorded batch (zero before the first).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The oldest epoch a replay can start *from*: a peer at this epoch or
+    /// later can be caught up from this journal; one behind it cannot.
+    #[must_use]
+    pub fn oldest_replayable(&self) -> u64 {
+        self.epoch - self.batches.len() as u64
+    }
+
+    /// The journal's epoch state as the wire-level [`EpochInfo`].
+    #[must_use]
+    pub fn epoch_info(&self) -> EpochInfo {
+        EpochInfo {
+            current_epoch: self.epoch,
+            oldest_replayable: self.oldest_replayable(),
+        }
+    }
+
+    /// Records one committed batch, advancing the journal's epoch and
+    /// evicting the oldest batch beyond the retention bound.
+    pub fn record(&mut self, updates: &[(u64, Vec<u8>)]) {
+        self.epoch += 1;
+        if self.retention == 0 {
+            return;
+        }
+        if self.batches.len() == self.retention {
+            self.batches.pop_front();
+        }
+        self.batches.push_back(updates.to_vec());
+    }
+
+    /// The batches a replica at `from_epoch` must apply, in order, to
+    /// reach this journal's epoch. Empty when the replica is already
+    /// caught up.
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::JournalTruncated`] when `from_epoch` predates the
+    ///   retained window — the lag cannot be closed automatically;
+    /// * [`PirError::Protocol`] when `from_epoch` is *ahead* of this
+    ///   journal: the requester holds updates this replica never saw, so
+    ///   replaying from here would not converge.
+    pub fn replay_from(&self, from_epoch: u64) -> Result<Vec<UpdateBatch>, PirError> {
+        if from_epoch > self.epoch {
+            return Err(PirError::Protocol {
+                reason: format!(
+                    "replay requested from epoch {from_epoch} but this replica is only at \
+                     epoch {} — the requester is ahead, not behind",
+                    self.epoch
+                ),
+            });
+        }
+        let oldest = self.oldest_replayable();
+        if from_epoch < oldest {
+            return Err(PirError::JournalTruncated {
+                from_epoch,
+                oldest_replayable: oldest,
+                current_epoch: self.epoch,
+            });
+        }
+        let skip = (from_epoch - oldest) as usize;
+        Ok(self.batches.iter().skip(skip).cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(tag: u8) -> Vec<(u64, Vec<u8>)> {
+        vec![(u64::from(tag), vec![tag; 4])]
+    }
+
+    #[test]
+    fn replay_returns_exactly_the_missed_batches_in_order() {
+        let mut journal = UpdateJournal::new(8);
+        for tag in 1..=5 {
+            journal.record(&batch(tag));
+        }
+        assert_eq!(journal.epoch(), 5);
+        assert_eq!(journal.oldest_replayable(), 0);
+
+        let replay = journal.replay_from(3).unwrap();
+        assert_eq!(replay, vec![batch(4), batch(5)]);
+        assert_eq!(journal.replay_from(5).unwrap(), Vec::<Vec<_>>::new());
+        assert_eq!(journal.replay_from(0).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn retention_evicts_oldest_and_truncated_lag_fails_closed() {
+        let mut journal = UpdateJournal::new(3);
+        for tag in 1..=10 {
+            journal.record(&batch(tag));
+        }
+        assert_eq!(journal.epoch(), 10);
+        assert_eq!(journal.oldest_replayable(), 7);
+        assert_eq!(
+            journal.replay_from(7).unwrap(),
+            vec![batch(8), batch(9), batch(10)]
+        );
+        assert_eq!(
+            journal.replay_from(6),
+            Err(PirError::JournalTruncated {
+                from_epoch: 6,
+                oldest_replayable: 7,
+                current_epoch: 10,
+            })
+        );
+    }
+
+    #[test]
+    fn zero_retention_disables_replay_but_keeps_the_epoch() {
+        let mut journal = UpdateJournal::new(0);
+        journal.record(&batch(1));
+        journal.record(&batch(2));
+        assert_eq!(journal.epoch(), 2);
+        assert_eq!(journal.oldest_replayable(), 2);
+        assert!(journal.replay_from(2).unwrap().is_empty());
+        assert!(matches!(
+            journal.replay_from(1),
+            Err(PirError::JournalTruncated { .. })
+        ));
+    }
+
+    #[test]
+    fn a_requester_ahead_of_the_journal_is_rejected() {
+        let mut journal = UpdateJournal::new(4);
+        journal.record(&batch(1));
+        assert!(matches!(
+            journal.replay_from(2),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+}

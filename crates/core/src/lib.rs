@@ -34,9 +34,21 @@
 //!   handshake, hard frame-size limits) to an `impir-server` process —
 //!   which multiplexes many client sessions onto one shared engine,
 //!   coalescing concurrent sessions' batches into shared engine waves.
+//!   `TcpTransport` is failure-aware: a [`transport::RetryPolicy`] bounds
+//!   reconnect/retry attempts with exponential backoff and per-attempt I/O
+//!   timeouts, retrying only idempotent operations (an update whose ack is
+//!   lost is never blindly resent — the scheme resolves its fate by epoch).
 //!   Every answered batch carries the database epoch it executed against,
 //!   so replicated deployments detect update/query interleavings that
-//!   reached only one server.
+//!   reached only one server; each engine also keeps a bounded
+//!   [`journal::UpdateJournal`] of applied batches, and a lagging replica
+//!   catches up automatically by replaying its missed epochs from its
+//!   peer's journal over the wire ([`wire::Frame::UpdateReplayRequest`]).
+//!   Only a journal that no longer reaches back far enough fails closed
+//!   with an actionable resync error. The [`fault`] module provides the
+//!   deterministic fault-injection harness (seed-scheduled transport
+//!   faults, a frame-aware TCP fault proxy) that soaks this recovery path
+//!   in `tests/fault_recovery.rs`.
 //! * **engine** — [`engine::QueryEngine`] owns a [`shard::ShardedDatabase`]
 //!   (contiguous record-range shards under a [`shard::ShardPlan`]) and
 //!   drives the §3.4 batch pipeline: worker threads evaluate DPF keys over
@@ -115,6 +127,8 @@ pub mod database;
 pub mod dpxor;
 pub mod engine;
 mod error;
+pub mod fault;
+pub mod journal;
 pub mod multi_server;
 pub mod protocol;
 pub mod scheme;
@@ -129,12 +143,15 @@ pub use client::PirClient;
 pub use database::Database;
 pub use engine::{EngineConfig, QueryEngine, ShardTiming};
 pub use error::PirError;
+pub use fault::{FaultAction, FaultInjectingTransport, FaultProxy, FaultSchedule};
+pub use journal::{UpdateBatch, UpdateJournal};
 pub use protocol::{QueryShare, ServerResponse};
 pub use server::{BatchOutcome, PhaseBreakdown, PirServer};
 pub use shard::{ShardPlan, ShardedDatabase};
 pub use transport::{
-    LocalTransport, PirTransport, ScanResult, ServerInfo, TcpTransport, TransportBatch,
+    LocalTransport, PirTransport, RetryPolicy, ScanResult, ServerInfo, TcpTransport, TransportBatch,
 };
+pub use wire::EpochInfo;
 
 /// Record size (in bytes) used throughout the paper's evaluation: each
 /// record is a 32-byte (256-bit) hash, as in Certificate Transparency logs

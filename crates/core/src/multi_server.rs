@@ -77,7 +77,25 @@ impl std::fmt::Debug for NServerNaivePir {
     }
 }
 
+/// The outcome of one round of `n` scans (see
+/// [`NServerNaivePir::query`]).
+enum ScanRound {
+    /// All scans saw one epoch; the XOR reconstructs a real record.
+    Done {
+        record: Vec<u8>,
+        phases: PhaseBreakdown,
+    },
+    /// The round straddled an update: scans answered at two epochs.
+    Torn { first: u64, second: u64 },
+}
+
 impl NServerNaivePir {
+    /// How many full scan rounds one [`NServerNaivePir::query`] attempts
+    /// when concurrent updates keep tearing the round. Each retry reuses
+    /// the same shares (privacy-neutral — shares never depend on the
+    /// database contents), so a retry costs only the repeated scans.
+    pub const MID_QUERY_RETRIES: usize = 3;
+
     /// Creates a deployment with `servers ≥ 2` CPU-backed replicas of
     /// `database`.
     ///
@@ -201,13 +219,19 @@ impl NServerNaivePir {
     /// selector-weighted XOR of the whole database under its share, exactly
     /// the `dpXOR` that the two-server backends run.
     ///
+    /// An n-server query is `n` sequential scans, so an update can land
+    /// between them; XOR-ing subresults from different database versions
+    /// would reconstruct garbage. The scans' epoch tags detect this, and
+    /// the query **retries** the full scan round (with the *same* shares —
+    /// shares are independent of the database contents, so reuse is
+    /// privacy-neutral) up to [`NServerNaivePir::MID_QUERY_RETRIES`]
+    /// times before giving up.
+    ///
     /// # Errors
     ///
     /// Returns [`PirError::IndexOutOfRange`] for invalid indices,
     /// propagates transport failures, and returns [`PirError::Protocol`]
-    /// if the `n` scans executed at different database epochs (an update
-    /// landed between scans — XOR-ing their subresults would reconstruct
-    /// a record from mixed database versions).
+    /// if every retry round was again torn by a concurrent update.
     pub fn query(&mut self, index: u64) -> Result<Vec<u8>, PirError> {
         if index >= self.num_records {
             return Err(PirError::IndexOutOfRange {
@@ -217,10 +241,34 @@ impl NServerNaivePir {
         }
         let shares =
             generate_multi_party_shares(self.num_records, index, self.servers, &mut self.rng)?;
+        let mut torn = None;
+        for _ in 0..Self::MID_QUERY_RETRIES {
+            match self.scan_round(&shares)? {
+                ScanRound::Done { record, phases } => {
+                    self.last_phases = Some(phases);
+                    return Ok(record);
+                }
+                ScanRound::Torn { first, second } => torn = Some((first, second)),
+            }
+        }
+        let (first, second) = torn.expect("at least one retry round ran");
+        Err(PirError::Protocol {
+            reason: format!(
+                "scans of one query executed at different database epochs ({first} and \
+                 {second}) in {} consecutive rounds; updates keep landing mid-query",
+                Self::MID_QUERY_RETRIES
+            ),
+        })
+    }
+
+    /// One full round of `n` scans. `Torn` means the round straddled an
+    /// update (different epochs across scans) and should be retried;
+    /// transport and geometry failures propagate as hard errors.
+    fn scan_round(&mut self, shares: &[impir_dpf::SelectorVector]) -> Result<ScanRound, PirError> {
         let mut record = vec![0u8; self.record_size];
         let mut phases = PhaseBreakdown::zero();
         let mut epoch: Option<u64> = None;
-        for share in &shares {
+        for share in shares {
             let scan = self.transport.scan_selector(share)?;
             if scan.payload.len() != self.record_size {
                 return Err(PirError::Protocol {
@@ -234,12 +282,9 @@ impl NServerNaivePir {
             match epoch {
                 None => epoch = Some(scan.epoch),
                 Some(first) if first != scan.epoch => {
-                    return Err(PirError::Protocol {
-                        reason: format!(
-                            "scans of one query executed at different database epochs \
-                             ({first} and {}); an update landed mid-query",
-                            scan.epoch
-                        ),
+                    return Ok(ScanRound::Torn {
+                        first,
+                        second: scan.epoch,
                     });
                 }
                 Some(_) => {}
@@ -247,8 +292,7 @@ impl NServerNaivePir {
             phases.merge(&scan.phases);
             dpxor::xor_in_place(&mut record, &scan.payload);
         }
-        self.last_phases = Some(phases);
-        Ok(record)
+        Ok(ScanRound::Done { record, phases })
     }
 
     /// Applies a batch of record updates through the transport standing in
@@ -332,11 +376,15 @@ mod tests {
         assert!(pir.query(10).is_err());
     }
 
-    /// A transport that injects a database update after the first scan —
-    /// the shape of a concurrent writer hitting the server mid-query.
+    /// A transport that injects a database update after scans — the shape
+    /// of a concurrent writer hitting the server mid-query. With
+    /// `update_every_scan` false only the first scan is followed by an
+    /// update (one torn round, then clean rounds); true keeps tearing
+    /// every round, exhausting the query's bounded retries.
     struct InterleavingTransport {
         inner: crate::transport::LocalTransport<crate::server::cpu::CpuPirServer>,
         scans: usize,
+        update_every_scan: bool,
     }
 
     impl crate::transport::PirTransport for InterleavingTransport {
@@ -357,7 +405,7 @@ mod tests {
         ) -> Result<crate::transport::ScanResult, PirError> {
             let scan = self.inner.scan_selector(selector)?;
             self.scans += 1;
-            if self.scans == 1 {
+            if self.scans == 1 || self.update_every_scan {
                 let record_size = self.inner.engine().record_size();
                 self.inner.apply_updates(&[(0, vec![0xEE; record_size])])?;
             }
@@ -370,12 +418,22 @@ mod tests {
         ) -> Result<crate::batch::UpdateOutcome, PirError> {
             self.inner.apply_updates(updates)
         }
+
+        fn epoch_info(&mut self) -> Result<crate::wire::EpochInfo, PirError> {
+            self.inner.epoch_info()
+        }
+
+        fn replay_updates(
+            &mut self,
+            from_epoch: u64,
+        ) -> Result<Vec<Vec<(u64, Vec<u8>)>>, PirError> {
+            self.inner.replay_updates(from_epoch)
+        }
     }
 
-    #[test]
-    fn an_update_landing_between_scans_is_detected_not_reconstructed() {
+    fn interleaving_pir(update_every_scan: bool) -> NServerNaivePir {
         let db = Arc::new(Database::random(64, 8, 3).unwrap());
-        let sharded = ShardedDatabase::uniform(db.clone(), 1).unwrap();
+        let sharded = ShardedDatabase::uniform(db, 1).unwrap();
         let engine = QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
             CpuPirServer::new(shard_db, CpuServerConfig::baseline())
         })
@@ -383,10 +441,27 @@ mod tests {
         let transport = InterleavingTransport {
             inner: crate::transport::LocalTransport::new(engine),
             scans: 0,
+            update_every_scan,
         };
-        let mut pir = NServerNaivePir::with_transport(Box::new(transport), 3, 7).unwrap();
-        // Scans 2..n executed at epoch 1 while scan 1 saw epoch 0: the
-        // mixed-version XOR must surface as an error, not a record.
+        NServerNaivePir::with_transport(Box::new(transport), 3, 7).unwrap()
+    }
+
+    #[test]
+    fn an_update_landing_between_scans_is_retried_to_a_correct_record() {
+        let db = Arc::new(Database::random(64, 8, 3).unwrap());
+        let mut pir = interleaving_pir(false);
+        // Round 1 is torn (scan 1 saw epoch 0, scans 2..n epoch 1); the
+        // retry round runs clean at epoch 1 and must reconstruct the
+        // record — which the update at index 0 did not touch.
+        assert_eq!(pir.query(5).unwrap(), db.record(5));
+    }
+
+    #[test]
+    fn updates_tearing_every_round_exhaust_the_bounded_retries() {
+        let mut pir = interleaving_pir(true);
+        // Every round straddles an update: the query must give up with an
+        // error instead of XOR-ing mixed-version subresults (or looping
+        // forever).
         assert!(matches!(pir.query(5), Err(PirError::Protocol { .. })));
     }
 

@@ -15,9 +15,14 @@
 //! The deployment also enforces the replication contract the scheme's
 //! correctness rests on: both servers must serve the same database
 //! geometry, and every answered batch is checked to have executed at the
-//! same database epoch on both replicas — a query racing an update on only
-//! one server surfaces as [`PirError::Protocol`] instead of a silently
-//! wrong record.
+//! same database epoch on both replicas. Since the epoch-driven recovery
+//! work, a divergence no longer just fails the query: the scheme consults
+//! both replicas' [`crate::wire::EpochInfo`], replays the lagging
+//! replica's missed batches from the healthy replica's update journal
+//! (through the ordinary `apply_updates` path), re-verifies the epochs and
+//! retries — all-or-nothing. Only a lag the journal no longer covers
+//! fails closed, with an actionable [`PirError::Protocol`] telling the
+//! operator to re-seed (or raise `--journal-batches`).
 
 use std::sync::Arc;
 
@@ -26,6 +31,7 @@ use crate::client::PirClient;
 use crate::database::Database;
 use crate::engine::{EngineConfig, QueryEngine};
 use crate::error::PirError;
+use crate::protocol::QueryShare;
 use crate::server::cpu::{CpuPirServer, CpuServerConfig};
 use crate::server::phases::PhaseBreakdown;
 use crate::server::pim::{ImPirConfig, ImPirServer};
@@ -52,6 +58,13 @@ impl std::fmt::Debug for TwoServerPir {
 }
 
 impl TwoServerPir {
+    /// How many rounds the epoch-driven recovery paths attempt before
+    /// giving up: queries torn by concurrent updates are re-run at most
+    /// this many times, ambiguous update failures are retried at most this
+    /// many times (each retry gated on epoch proof of non-commitment), and
+    /// [`TwoServerPir::resync_replicas`] replays at most this many rounds.
+    pub const RECOVERY_ROUNDS: usize = 3;
+
     /// Assembles a deployment from an existing client and two transports —
     /// local, remote, or mixed.
     ///
@@ -215,46 +228,72 @@ impl TwoServerPir {
     ///
     /// # Errors
     ///
-    /// Propagates client- and server-side errors, and returns
-    /// [`PirError::Protocol`] if the replicas answered at different
-    /// database epochs (a query/update interleaving that reached only one
-    /// server — reconstruction would XOR records from different database
-    /// versions).
+    /// Propagates client- and server-side errors. If the replicas answer at
+    /// different database epochs (an update reached only one server —
+    /// reconstruction would XOR records from different database versions),
+    /// the deployment resyncs the lagging replica from its peer's update
+    /// journal and retries with the *same* shares (privacy-neutral: the
+    /// shares are independent of the database contents). Only an
+    /// unrecoverable divergence — journal truncated, or replicas that keep
+    /// tearing for [`TwoServerPir::RECOVERY_ROUNDS`] rounds — surfaces as
+    /// [`PirError::Protocol`].
     pub fn query_batch(
         &mut self,
         indices: &[u64],
     ) -> Result<(Vec<Vec<u8>>, TransportBatch, TransportBatch), PirError> {
         let (shares_1, shares_2) = self.client.generate_batch(indices)?;
-        // The two servers are independent (and, remotely, a network away):
-        // query them concurrently so end-to-end latency is the slower of
-        // the two round trips, not their sum.
-        let (outcome_1, outcome_2) = {
-            let server_1 = self.server_1.as_mut();
-            let server_2 = self.server_2.as_mut();
-            std::thread::scope(|scope| {
-                let first = scope.spawn(move || server_1.query_batch(&shares_1));
-                let outcome_2 = server_2.query_batch(&shares_2);
-                let outcome_1 = first.join().expect("server 0 query thread panicked");
-                (outcome_1, outcome_2)
-            })
-        };
-        let outcome_1 = outcome_1?;
-        let outcome_2 = outcome_2?;
-        if outcome_1.epoch != outcome_2.epoch {
-            return Err(PirError::Protocol {
-                reason: format!(
-                    "replicas answered at different database epochs ({} and {}); \
-                     an update reached only one server",
-                    outcome_1.epoch, outcome_2.epoch
-                ),
-            });
+        let mut torn = (0, 0);
+        for _ in 0..Self::RECOVERY_ROUNDS {
+            let (outcome_1, outcome_2) = self.query_both(&shares_1, &shares_2);
+            let outcome_1 = outcome_1?;
+            let outcome_2 = outcome_2?;
+            if outcome_1.epoch != outcome_2.epoch {
+                // An update reached only one replica (or landed between the
+                // two scans). Converge the replicas from the ahead side's
+                // update journal, then retry the round with the same shares.
+                torn = (outcome_1.epoch, outcome_2.epoch);
+                self.resync_replicas()?;
+                continue;
+            }
+            let mut records = Vec::with_capacity(indices.len());
+            for (response_1, response_2) in outcome_1.responses.iter().zip(&outcome_2.responses) {
+                records.push(self.client.reconstruct(response_1, response_2)?);
+            }
+            self.last_phases = Some((outcome_1.phase_totals, outcome_2.phase_totals));
+            return Ok((records, outcome_1, outcome_2));
         }
-        let mut records = Vec::with_capacity(indices.len());
-        for (response_1, response_2) in outcome_1.responses.iter().zip(&outcome_2.responses) {
-            records.push(self.client.reconstruct(response_1, response_2)?);
-        }
-        self.last_phases = Some((outcome_1.phase_totals, outcome_2.phase_totals));
-        Ok((records, outcome_1, outcome_2))
+        Err(PirError::Protocol {
+            reason: format!(
+                "replicas kept answering at different database epochs (last round: {} and {}) \
+                 through {} recovery rounds; updates keep landing mid-query",
+                torn.0,
+                torn.1,
+                Self::RECOVERY_ROUNDS
+            ),
+        })
+    }
+
+    /// Queries both servers concurrently with pre-generated shares.
+    ///
+    /// The two servers are independent (and, remotely, a network away):
+    /// querying them concurrently keeps end-to-end latency at the slower of
+    /// the two round trips, not their sum.
+    fn query_both(
+        &mut self,
+        shares_1: &[QueryShare],
+        shares_2: &[QueryShare],
+    ) -> (
+        Result<TransportBatch, PirError>,
+        Result<TransportBatch, PirError>,
+    ) {
+        let server_1 = self.server_1.as_mut();
+        let server_2 = self.server_2.as_mut();
+        std::thread::scope(|scope| {
+            let first = scope.spawn(move || server_1.query_batch(shares_1));
+            let outcome_2 = server_2.query_batch(shares_2);
+            let outcome_1 = first.join().expect("server 0 query thread panicked");
+            (outcome_1, outcome_2)
+        })
     }
 
     /// Applies a batch of record updates to **both** servers (§3.3): each
@@ -265,34 +304,74 @@ impl TwoServerPir {
     ///
     /// Returns both servers' [`UpdateOutcome`]s (server 0 first).
     ///
+    /// The call is **all-or-nothing from the caller's perspective**: on
+    /// `Ok`, both replicas hold the batch at the same epoch; on `Err`, the
+    /// replicas are still in lockstep with each other (recovery re-verified
+    /// it) or the error says exactly why they could not be brought back.
+    /// A failure on one side is resolved by *epoch-pinned idempotency*
+    /// rather than blind resends:
+    ///
+    /// * server 0 fails ambiguously (e.g. the connection died after the
+    ///   request bytes left the host) — the deployment compares both
+    ///   replicas' [`crate::wire::EpochInfo`]. Equal epochs prove the batch
+    ///   did **not** commit, so a bounded retry is safe; server 0 being one
+    ///   ahead proves it **did** commit (only the ack was lost), so the
+    ///   outcome is synthesized and no resend happens.
+    /// * server 1 fails after server 0 committed — the deployment replays
+    ///   server 1's lag from server 0's update journal and verifies the
+    ///   final epoch matches server 0's, so the batch is applied exactly
+    ///   once on each replica.
+    ///
     /// # Errors
     ///
-    /// Propagates validation and backend errors. The servers validate
+    /// Propagates validation and backend errors (the servers validate
     /// identically, so a batch *rejected* by server 0 is never offered to
-    /// server 1 and no record changes anywhere. A **transport** failure on
-    /// server 1 after server 0 committed, however, cannot be rolled back —
-    /// the error then reports which side committed, the epoch cross-check
-    /// makes every subsequent [`TwoServerPir::query_batch`] fail loudly
-    /// (no silent mixed-version reconstructions), and the operator can
-    /// resync by re-applying the batch on the lagging replica through
-    /// [`TwoServerPir::transport`]. Also returns [`PirError::Protocol`] if
-    /// the servers' post-update epochs diverge.
+    /// server 1 and no record changes anywhere). Returns
+    /// [`PirError::Protocol`] when recovery itself fails — most notably
+    /// when the lagging replica's gap exceeds the healthy replica's journal
+    /// retention, in which case the error tells the operator to re-seed or
+    /// raise `--journal-batches`; the epoch cross-check keeps every
+    /// subsequent [`TwoServerPir::query_batch`] failing loudly until then.
     pub fn apply_updates(
         &mut self,
         updates: &[(u64, Vec<u8>)],
     ) -> Result<(UpdateOutcome, UpdateOutcome), PirError> {
-        let outcome_1 = self.server_1.apply_updates(updates)?;
-        let outcome_2 = self
-            .server_2
-            .apply_updates(updates)
-            .map_err(|err| PirError::Protocol {
-                reason: format!(
-                    "update committed on server 0 (epoch {}) but failed on server 1: {err}; \
-                     the replicas have diverged — re-apply the batch on server 1 via \
-                     transport(1) to resync",
-                    outcome_1.epoch
-                ),
-            })?;
+        let outcome_1 = self.apply_to_server_1(updates)?;
+        let outcome_2 = match self.server_2.apply_updates(updates) {
+            Ok(outcome_2) => outcome_2,
+            Err(err) => {
+                // Server 0 committed; whether server 1 did is unknown (it
+                // may have applied the batch and lost the ack, or never
+                // seen it). Either way the journal replay converges it —
+                // resync is a no-op when the epochs already match — and the
+                // epoch pin below proves the batch landed exactly once.
+                let epoch = self
+                    .resync_replicas()
+                    .map_err(|resync_err| PirError::Protocol {
+                        reason: format!(
+                            "update committed on server 0 (epoch {}) but failed on server 1 \
+                             ({err}), and resyncing server 1 failed too: {resync_err}",
+                            outcome_1.epoch
+                        ),
+                    })?;
+                if epoch != outcome_1.epoch {
+                    return Err(PirError::Protocol {
+                        reason: format!(
+                            "update failed on server 1 ({err}); the replicas resynced to epoch \
+                             {epoch} but server 0 committed the batch at epoch {} — another \
+                             writer is racing this deployment",
+                            outcome_1.epoch
+                        ),
+                    });
+                }
+                UpdateOutcome {
+                    records_updated: updates.len(),
+                    bytes_pushed: 0,
+                    simulated_seconds: 0.0,
+                    epoch,
+                }
+            }
+        };
         if outcome_1.epoch != outcome_2.epoch {
             return Err(PirError::Protocol {
                 reason: format!(
@@ -302,6 +381,121 @@ impl TwoServerPir {
             });
         }
         Ok((outcome_1, outcome_2))
+    }
+
+    /// Applies `updates` to server 0, resolving ambiguous failures by
+    /// epoch-pinned idempotency: a retry is sent only once both replicas'
+    /// epochs prove the previous attempt did not commit, and an attempt
+    /// whose ack was lost is recognized (server 0 one epoch ahead) and its
+    /// outcome synthesized instead of resent.
+    fn apply_to_server_1(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        let mut last_err = None;
+        for _ in 0..Self::RECOVERY_ROUNDS {
+            let err = match self.server_1.apply_updates(updates) {
+                Ok(outcome_1) => return Ok(outcome_1),
+                Err(err) => err,
+            };
+            let attach = |stage: &str, info_err: PirError| PirError::Protocol {
+                reason: format!(
+                    "update failed on server 0 ({err}) and {stage} while resolving whether it \
+                     committed: {info_err}"
+                ),
+            };
+            let info_1 = self
+                .server_1
+                .epoch_info()
+                .map_err(|e| attach("server 0's epoch was unreachable", e))?;
+            let info_2 = self
+                .server_2
+                .epoch_info()
+                .map_err(|e| attach("server 1's epoch was unreachable", e))?;
+            if info_1.current_epoch > info_2.current_epoch {
+                // The batch committed on server 0 and only the ack was
+                // lost. Resending would double-apply; synthesize the
+                // outcome (wire accounting unknown) and move on to
+                // server 1.
+                return Ok(UpdateOutcome {
+                    records_updated: updates.len(),
+                    bytes_pushed: 0,
+                    simulated_seconds: 0.0,
+                    epoch: info_1.current_epoch,
+                });
+            }
+            // Equal epochs: the batch did not commit anywhere, so retrying
+            // cannot duplicate it. (A deterministic rejection — bad index,
+            // oversized record — just fails again and falls out below.)
+            last_err = Some(err);
+        }
+        Err(last_err.expect("at least one update attempt runs"))
+    }
+
+    /// Brings the two replicas back to the same database epoch by replaying
+    /// the lagging side's missed update batches from the ahead side's
+    /// journal, through the ordinary `apply_updates` path.
+    ///
+    /// Returns the common epoch the replicas converged to. Bounded at
+    /// [`TwoServerPir::RECOVERY_ROUNDS`] rounds so concurrent writers
+    /// cannot wedge the client in a replay loop.
+    ///
+    /// # Errors
+    ///
+    /// Fails closed with an actionable [`PirError::Protocol`] when the
+    /// ahead replica's journal no longer covers the lag (the lagging
+    /// replica must be re-seeded, or the servers restarted with a larger
+    /// `--journal-batches` retention before the next divergence), and
+    /// propagates transport/backend failures from the replay itself.
+    pub fn resync_replicas(&mut self) -> Result<u64, PirError> {
+        for _ in 0..Self::RECOVERY_ROUNDS {
+            let info_1 = self.server_1.epoch_info()?;
+            let info_2 = self.server_2.epoch_info()?;
+            if info_1.current_epoch == info_2.current_epoch {
+                return Ok(info_1.current_epoch);
+            }
+            let (ahead, behind, behind_label, behind_epoch) =
+                if info_1.current_epoch > info_2.current_epoch {
+                    (
+                        &mut self.server_1,
+                        &mut self.server_2,
+                        1,
+                        info_2.current_epoch,
+                    )
+                } else {
+                    (
+                        &mut self.server_2,
+                        &mut self.server_1,
+                        0,
+                        info_1.current_epoch,
+                    )
+                };
+            let batches = ahead
+                .replay_updates(behind_epoch)
+                .map_err(|err| match err {
+                    PirError::JournalTruncated {
+                        from_epoch,
+                        oldest_replayable,
+                        current_epoch,
+                    } => PirError::Protocol {
+                        reason: format!(
+                        "cannot resync server {behind_label}: it lags at epoch {from_epoch} but \
+                         its peer's update journal (epoch {current_epoch}) only reaches back to \
+                         epoch {oldest_replayable}; re-seed server {behind_label} from a current \
+                         snapshot, or restart the servers with a larger --journal-batches \
+                         retention before the next divergence"
+                    ),
+                    },
+                    other => other,
+                })?;
+            for batch in &batches {
+                behind.apply_updates(batch)?;
+            }
+        }
+        Err(PirError::Protocol {
+            reason: format!(
+                "replicas failed to converge within {} resync rounds; \
+                 updates keep landing on one replica mid-resync",
+                Self::RECOVERY_ROUNDS
+            ),
+        })
     }
 
     /// Builds a deployment whose servers run IM-PIR on simulated UPMEM PIM.
@@ -467,10 +661,11 @@ mod tests {
     }
 
     #[test]
-    fn epoch_divergence_between_replicas_is_detected() {
+    fn one_sided_update_is_replayed_to_the_lagging_replica_on_the_next_query() {
         // Drive an update into only ONE server's transport — the next
-        // query must fail the epoch cross-check instead of XOR-ing records
-        // from two different database versions.
+        // query detects the epoch divergence, replays the missed batch to
+        // the lagging replica from its peer's journal, and answers from
+        // the converged database version.
         let db = Arc::new(Database::random(80, 8, 4).unwrap());
         let mut pir =
             TwoServerPir::with_cpu_servers(db.clone(), CpuServerConfig::baseline()).unwrap();
@@ -479,7 +674,65 @@ mod tests {
             .unwrap()
             .apply_updates(&[(3, vec![0xAB; 8])])
             .unwrap();
-        assert!(matches!(pir.query(3), Err(PirError::Protocol { .. })));
+        assert_eq!(pir.query(3).unwrap(), vec![0xAB; 8]);
+        assert_eq!(pir.server_info(0).unwrap().epoch, 1);
+        assert_eq!(pir.server_info(1).unwrap().epoch, 1);
+        // The converged replicas answer every other record unchanged.
+        assert_eq!(pir.query(4).unwrap(), db.record(4));
+    }
+
+    #[test]
+    fn resync_recovers_a_replica_lagging_by_several_batches() {
+        let db = Arc::new(Database::random(80, 8, 4).unwrap());
+        let mut pir =
+            TwoServerPir::with_cpu_servers(db.clone(), CpuServerConfig::baseline()).unwrap();
+        for round in 0..5u8 {
+            pir.transport(1)
+                .unwrap()
+                .apply_updates(&[(u64::from(round), vec![round; 8])])
+                .unwrap();
+        }
+        assert_eq!(pir.resync_replicas().unwrap(), 5);
+        for round in 0..5u8 {
+            assert_eq!(pir.query(u64::from(round)).unwrap(), vec![round; 8]);
+        }
+    }
+
+    #[test]
+    fn truncated_journal_divergence_fails_closed() {
+        // With journaling disabled (retention 0) a divergence cannot be
+        // replayed: the query must fail with an actionable error, not
+        // return a mixed-version reconstruction.
+        let db = Arc::new(Database::random(80, 8, 4).unwrap());
+        let config = EngineConfig {
+            journal_batches: 0,
+            ..EngineConfig::default()
+        };
+        let client = PirClient::new(db.num_records(), db.record_size(), 0).unwrap();
+        let make_engine = |db: &Arc<Database>| {
+            QueryEngine::single(
+                CpuPirServer::new(Arc::clone(db), CpuServerConfig::baseline()).unwrap(),
+                config,
+            )
+            .unwrap()
+        };
+        let mut pir =
+            TwoServerPir::from_engines(client, make_engine(&db), make_engine(&db)).unwrap();
+        pir.transport(0)
+            .unwrap()
+            .apply_updates(&[(3, vec![0xAB; 8])])
+            .unwrap();
+        let err = pir.query(3).unwrap_err();
+        match err {
+            PirError::Protocol { reason } => {
+                assert!(reason.contains("journal"), "unhelpful error: {reason}");
+                assert!(
+                    reason.contains("--journal-batches"),
+                    "error must tell the operator the fix: {reason}"
+                );
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,23 +19,23 @@
 //! transport reports what the same batch *would* cost on the wire, so cost
 //! accounting is deployment-independent too.
 
-use std::io::Write as _;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Instant;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use impir_dpf::SelectorVector;
 
 use crate::batch::{UpdatableBackend, UpdateOutcome};
 use crate::engine::QueryEngine;
 use crate::error::PirError;
+use crate::journal::UpdateBatch;
 use crate::protocol::{QueryShare, ServerResponse};
 use crate::server::phases::PhaseBreakdown;
 use crate::wire::{
-    self, io_error, protocol_error, query_batch_frame_bytes, read_frame,
-    response_batch_frame_bytes, write_frame, Frame, WIRE_VERSION,
+    self, protocol_error, query_batch_frame_bytes, response_batch_frame_bytes, Frame, WIRE_VERSION,
 };
 
-pub use crate::wire::ServerInfo;
+pub use crate::wire::{EpochInfo, ServerInfo};
 
 /// The result of one query batch through a transport: the responses plus
 /// deployment-independent accounting.
@@ -127,6 +127,27 @@ pub trait PirTransport: Send {
     /// Propagates the engine's all-or-nothing validation errors and
     /// returns [`PirError::Protocol`] on transport failures.
     fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError>;
+
+    /// The server's database epoch and update-journal coverage — what a
+    /// replicated scheme consults when its replicas disagree, to decide
+    /// which one lags and whether the lag is still replayable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Protocol`] on transport failures.
+    fn epoch_info(&mut self) -> Result<EpochInfo, PirError>;
+
+    /// The update batches a replica stuck at `from_epoch` must apply, in
+    /// order, to reach this server's epoch (see
+    /// [`crate::journal::UpdateJournal::replay_from`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::JournalTruncated`] when the server's journal no
+    ///   longer reaches back to `from_epoch`;
+    /// * [`PirError::Protocol`] on transport failures or when `from_epoch`
+    ///   is ahead of the server.
+    fn replay_updates(&mut self, from_epoch: u64) -> Result<Vec<UpdateBatch>, PirError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -202,18 +223,103 @@ impl<S: UpdatableBackend + Send + Sync> PirTransport for LocalTransport<S> {
     fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
         self.engine.apply_updates(updates)
     }
+
+    fn epoch_info(&mut self) -> Result<EpochInfo, PirError> {
+        Ok(self.engine.epoch_info())
+    }
+
+    fn replay_updates(&mut self, from_epoch: u64) -> Result<Vec<UpdateBatch>, PirError> {
+        self.engine.replay_updates(from_epoch)
+    }
 }
 
 // ---------------------------------------------------------------------------
 // TCP transport.
 // ---------------------------------------------------------------------------
 
+/// How a [`TcpTransport`] behaves when an operation's connection fails:
+/// how many attempts an **idempotent** operation gets, how the waits
+/// between attempts grow, and how long any single socket read/write may
+/// block.
+///
+/// Only idempotent operations (queries, scans, info, epoch info, replay)
+/// are retried — re-running them cannot change server state. An update
+/// batch is **never** blindly re-sent: once its request bytes may have
+/// reached the server, a retry could apply the batch twice (bumping the
+/// epoch twice and desynchronising replicas). A failed update surfaces to
+/// the caller, where [`crate::scheme::TwoServerPir::apply_updates`]
+/// resolves the ambiguity through epoch comparison instead of resending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts an idempotent operation gets (at least 1). The
+    /// default of 1 means no retries — exactly the pre-policy behavior.
+    pub max_attempts: u32,
+    /// Wait before the first retry; doubles per retry up to
+    /// [`RetryPolicy::max_backoff`].
+    pub initial_backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Per-attempt bound on any single socket read or write. `None` —
+    /// the default — waits indefinitely, which is right for trusted
+    /// servers running arbitrarily large batches; set a timeout when a
+    /// wedged server must surface as [`PirError::Protocol`] instead of
+    /// blocking the client forever.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            io_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy for fault-tolerant deployments: a few quick retries with
+    /// exponential backoff and a per-attempt I/O timeout.
+    #[must_use]
+    pub fn resilient() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(250),
+            io_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// How one low-level exchange failed: `Io` broke the connection (the
+/// transport reconnects and, for idempotent operations, retries), `Fatal`
+/// is a definitive answer (server rejection, malformed or unexpected
+/// reply, version mismatch) that no retry can change.
+enum Failure {
+    Io(String),
+    Fatal(PirError),
+}
+
 /// A [`PirTransport`] speaking the [`crate::wire`] format over a TCP
 /// connection (connection-per-session: one `TcpTransport` is one server
 /// session; drop it to close the session).
+///
+/// The transport owns a [`RetryPolicy`]: when the connection breaks it
+/// reconnects and re-handshakes, and idempotent operations are retried
+/// with exponential backoff. Every transport error names the peer and the
+/// operation, so one replica's failure is attributable in a fleet's logs.
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
+    /// Resolved peer addresses, kept for reconnection.
+    peer: Vec<SocketAddr>,
+    /// The peer as given by the caller, for error messages.
+    peer_label: String,
+    policy: RetryPolicy,
+    /// Set when the connection is known dead (an I/O failure or a framing
+    /// desync); the next operation reconnects before sending.
+    broken: bool,
     info: ServerInfo,
     uploaded_bytes: u64,
     downloaded_bytes: u64,
@@ -221,7 +327,8 @@ pub struct TcpTransport {
 
 impl TcpTransport {
     /// Connects to an `impir-server` at `addr` and performs the
-    /// magic/version handshake.
+    /// magic/version handshake, with the default (no-retry)
+    /// [`RetryPolicy`].
     ///
     /// # Errors
     ///
@@ -229,11 +336,33 @@ impl TcpTransport {
     /// established, the peer does not speak the protocol, or the versions
     /// disagree.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, PirError> {
-        let stream =
-            TcpStream::connect(addr).map_err(|err| io_error("connecting to server", &err))?;
-        let _ = stream.set_nodelay(true);
+        Self::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// [`TcpTransport::connect`] with an explicit [`RetryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpTransport::connect`].
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: RetryPolicy) -> Result<Self, PirError> {
+        let peer: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|err| protocol_error(format!("resolving server address: {err}")))?
+            .collect();
+        let Some(first) = peer.first() else {
+            return Err(protocol_error(
+                "server address resolved to no socket addresses",
+            ));
+        };
+        let peer_label = first.to_string();
+        let stream = TcpStream::connect(&peer[..])
+            .map_err(|err| protocol_error(format!("connecting to server {peer_label}: {err}")))?;
         let mut transport = TcpTransport {
             stream,
+            peer,
+            peer_label,
+            policy,
+            broken: false,
             info: ServerInfo {
                 num_records: 0,
                 record_size: 0,
@@ -243,21 +372,11 @@ impl TcpTransport {
             uploaded_bytes: 0,
             downloaded_bytes: 0,
         };
-        let reply = transport.request(&Frame::Hello {
-            version: WIRE_VERSION,
-        })?;
-        match reply {
-            Frame::HelloAck { version, info } => {
-                if version != WIRE_VERSION {
-                    return Err(protocol_error(format!(
-                        "server speaks wire version {version}, this client speaks {WIRE_VERSION}"
-                    )));
-                }
-                transport.info = info;
-                Ok(transport)
-            }
-            other => Err(unexpected_frame("HelloAck", &other)),
-        }
+        transport.configure_stream()?;
+        transport
+            .handshake()
+            .map_err(|failure| transport.to_error("handshaking", failure))?;
+        Ok(transport)
     }
 
     /// The server info captured at the handshake (refreshed by
@@ -267,7 +386,14 @@ impl TcpTransport {
         self.info
     }
 
-    /// Total request bytes this session has put on the wire.
+    /// The peer address errors and logs refer to.
+    #[must_use]
+    pub fn peer(&self) -> &str {
+        &self.peer_label
+    }
+
+    /// Total request bytes this session has put on the wire (handshakes
+    /// and reconnects included).
     #[must_use]
     pub fn uploaded_bytes(&self) -> u64 {
         self.uploaded_bytes
@@ -279,69 +405,235 @@ impl TcpTransport {
         self.downloaded_bytes
     }
 
-    /// Bounds how long this session waits for any single reply (and for
-    /// socket writes). `None` — the default — waits indefinitely, which is
-    /// right for trusted servers running arbitrarily large batches; set a
-    /// timeout when a wedged server must surface as
-    /// [`PirError::Protocol`] instead of blocking the client forever.
+    /// Replaces the transport's [`RetryPolicy`]. The per-attempt I/O
+    /// timeout applies from the next operation.
     ///
     /// # Errors
     ///
     /// Returns [`PirError::Protocol`] if the socket rejects the timeout
     /// (e.g. a zero duration).
-    pub fn set_io_timeout(&mut self, timeout: Option<std::time::Duration>) -> Result<(), PirError> {
-        self.stream
-            .set_read_timeout(timeout)
-            .map_err(|err| io_error("setting read timeout", &err))?;
-        self.stream
-            .set_write_timeout(timeout)
-            .map_err(|err| io_error("setting write timeout", &err))
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) -> Result<(), PirError> {
+        self.policy = policy;
+        self.configure_stream()
     }
 
-    /// One request/response round trip. A [`Frame::Error`] reply is
-    /// surfaced as [`PirError::Protocol`] carrying the server's message.
-    fn request(&mut self, frame: &Frame) -> Result<Frame, PirError> {
-        self.uploaded_bytes += write_frame(&mut self.stream, frame)? as u64;
-        self.receive_reply()
+    /// Bounds how long this session waits for any single socket read or
+    /// write (shorthand for updating the policy's `io_timeout`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Protocol`] if the socket rejects the timeout
+    /// (e.g. a zero duration).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), PirError> {
+        self.policy.io_timeout = timeout;
+        self.configure_stream()
     }
 
-    /// Sends pre-encoded request bytes (the borrowed hot path — no owned
-    /// frame built) and reads the reply.
-    fn request_encoded(&mut self, encoded: &[u8]) -> Result<Frame, PirError> {
+    /// Applies the policy's socket options to the current stream.
+    fn configure_stream(&mut self) -> Result<(), PirError> {
+        let _ = self.stream.set_nodelay(true);
         self.stream
-            .write_all(encoded)
-            .map_err(|err| io_error("writing frame", &err))?;
+            .set_read_timeout(self.policy.io_timeout)
+            .map_err(|err| self.operation_error("setting read timeout", &err.to_string()))?;
         self.stream
-            .flush()
-            .map_err(|err| io_error("flushing frame", &err))?;
+            .set_write_timeout(self.policy.io_timeout)
+            .map_err(|err| self.operation_error("setting write timeout", &err.to_string()))
+    }
+
+    /// "op to peer: detail" — every error this transport produces names
+    /// the peer and the operation, so multi-replica failures are
+    /// attributable.
+    fn operation_error(&self, op: &str, detail: &str) -> PirError {
+        protocol_error(format!("{op} to server {}: {detail}", self.peer_label))
+    }
+
+    fn to_error(&self, op: &str, failure: Failure) -> PirError {
+        match failure {
+            Failure::Io(detail) => self.operation_error(op, &detail),
+            Failure::Fatal(err) => err,
+        }
+    }
+
+    /// Dials the peer again and re-handshakes, replacing the dead stream.
+    fn reconnect(&mut self) -> Result<(), Failure> {
+        let stream = TcpStream::connect(&self.peer[..])
+            .map_err(|err| Failure::Io(format!("reconnecting: {err}")))?;
+        self.stream = stream;
+        self.configure_stream().map_err(Failure::Fatal)?;
+        self.handshake()
+    }
+
+    /// The magic/version exchange on a fresh stream.
+    fn handshake(&mut self) -> Result<(), Failure> {
+        self.broken = false;
+        let encoded = Frame::Hello {
+            version: WIRE_VERSION,
+        }
+        .encode()
+        .map_err(Failure::Fatal)?;
+        let reply = self.exchange(&encoded)?;
+        match reply {
+            Frame::HelloAck { version, info } => {
+                if version != WIRE_VERSION {
+                    self.broken = true;
+                    return Err(Failure::Fatal(self.operation_error(
+                        "handshaking",
+                        &format!(
+                            "server speaks wire version {version}, this client speaks \
+                             {WIRE_VERSION}"
+                        ),
+                    )));
+                }
+                self.info = info;
+                Ok(())
+            }
+            other => Err(self.unexpected_frame("HelloAck", &other)),
+        }
+    }
+
+    /// One request/response exchange on the current stream. I/O failures
+    /// and framing desyncs mark the connection broken; a [`Frame::Error`]
+    /// reply leaves it usable.
+    fn exchange(&mut self, encoded: &[u8]) -> Result<Frame, Failure> {
+        if let Err(err) = self.stream.write_all(encoded) {
+            self.broken = true;
+            return Err(Failure::Io(format!("writing request: {err}")));
+        }
+        if let Err(err) = self.stream.flush() {
+            self.broken = true;
+            return Err(Failure::Io(format!("flushing request: {err}")));
+        }
         self.uploaded_bytes += encoded.len() as u64;
         self.receive_reply()
     }
 
-    fn receive_reply(&mut self) -> Result<Frame, PirError> {
-        let (reply, taken) = read_frame(&mut self.stream)?;
-        self.downloaded_bytes += taken as u64;
-        if let Frame::Error { message } = reply {
-            return Err(protocol_error(format!(
-                "server rejected request: {message}"
+    /// Reads one reply frame, classifying failures: socket errors are
+    /// retryable [`Failure::Io`]; malformed frames are [`Failure::Fatal`]
+    /// (the stream is desynchronized — also marked broken so the next
+    /// operation reconnects); a [`Frame::Error`] reply is fatal but leaves
+    /// the connection usable.
+    fn receive_reply(&mut self) -> Result<Frame, Failure> {
+        let mut prefix = [0u8; 4];
+        if let Err(err) = self.stream.read_exact(&mut prefix) {
+            self.broken = true;
+            return Err(Failure::Io(format!("reading reply length: {err}")));
+        }
+        let length = u32::from_le_bytes(prefix) as usize;
+        if length == 0 || length > wire::MAX_FRAME_BYTES {
+            self.broken = true;
+            return Err(Failure::Fatal(self.operation_error(
+                "reading reply",
+                &format!(
+                    "frame length {length} outside (0, {}]",
+                    wire::MAX_FRAME_BYTES
+                ),
             )));
+        }
+        let mut buf = vec![0u8; 4 + length];
+        buf[..4].copy_from_slice(&prefix);
+        if let Err(err) = self.stream.read_exact(&mut buf[4..]) {
+            self.broken = true;
+            return Err(Failure::Io(format!("reading reply body: {err}")));
+        }
+        self.downloaded_bytes += buf.len() as u64;
+        let reply = Frame::decode(&buf).map_err(|err| {
+            // The stream is desynchronized from here on: reconnect next.
+            self.broken = true;
+            Failure::Fatal(self.operation_error("decoding reply", &err.to_string()))
+        })?;
+        if let Frame::Error { message } = reply {
+            return Err(Failure::Fatal(protocol_error(format!(
+                "server {} rejected request: {message}",
+                self.peer_label
+            ))));
         }
         Ok(reply)
     }
-}
 
-fn unexpected_frame(expected: &str, got: &Frame) -> PirError {
-    protocol_error(format!("expected a {expected} frame, got {}", got.name()))
+    fn unexpected_frame(&self, expected: &str, got: &Frame) -> Failure {
+        Failure::Fatal(protocol_error(format!(
+            "expected a {expected} frame from server {}, got {}",
+            self.peer_label,
+            got.name()
+        )))
+    }
+
+    /// Runs one **idempotent** request to completion under the retry
+    /// policy: reconnects a broken connection, retries I/O failures with
+    /// exponential backoff, and surfaces fatal failures immediately.
+    fn idempotent_request(&mut self, op: &str, encoded: &[u8]) -> Result<Frame, PirError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut backoff = self.policy.initial_backoff;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let result = if self.broken {
+                self.reconnect().and_then(|()| self.exchange(encoded))
+            } else {
+                self.exchange(encoded)
+            };
+            match result {
+                Ok(reply) => return Ok(reply),
+                Err(Failure::Fatal(err)) => return Err(err),
+                Err(Failure::Io(detail)) => {
+                    if attempt >= attempts {
+                        return Err(self.operation_error(
+                            op,
+                            &format!("{detail} (after {attempt} attempt(s))"),
+                        ));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.policy.max_backoff);
+                }
+            }
+        }
+    }
+
+    /// Runs one **non-idempotent** request: reconnecting a known-broken
+    /// connection *before* sending is retried (nothing has been sent yet,
+    /// so it cannot duplicate anything), but once the request bytes may
+    /// have left this host, any failure is final — the server may have
+    /// applied the update even though the ack was lost, and only the
+    /// scheme layer can resolve that ambiguity (by epoch comparison, see
+    /// [`crate::scheme::TwoServerPir::apply_updates`]).
+    fn update_request(&mut self, op: &str, encoded: &[u8]) -> Result<Frame, PirError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut backoff = self.policy.initial_backoff;
+        let mut attempt = 0;
+        while self.broken {
+            attempt += 1;
+            match self.reconnect() {
+                Ok(()) => break,
+                Err(Failure::Fatal(err)) => return Err(err),
+                Err(Failure::Io(detail)) => {
+                    if attempt >= attempts {
+                        return Err(self.operation_error(
+                            op,
+                            &format!("{detail} (after {attempt} reconnect attempt(s))"),
+                        ));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.policy.max_backoff);
+                }
+            }
+        }
+        self.exchange(encoded)
+            .map_err(|failure| self.to_error(op, failure))
+    }
 }
 
 impl PirTransport for TcpTransport {
     fn server_info(&mut self) -> Result<ServerInfo, PirError> {
-        match self.request(&Frame::InfoRequest)? {
+        let encoded = Frame::InfoRequest.encode()?;
+        match self.idempotent_request("requesting server info", &encoded)? {
             Frame::Info { info } => {
                 self.info = info;
                 Ok(info)
             }
-            other => Err(unexpected_frame("Info", &other)),
+            other => Err(self.to_error(
+                "requesting server info",
+                self.unexpected_frame("Info", &other),
+            )),
         }
     }
 
@@ -349,7 +641,7 @@ impl PirTransport for TcpTransport {
         let encoded = wire::encode_query_batch(shares)?;
         let upload_bytes = encoded.len() as u64;
         let started = Instant::now();
-        let reply = self.request_encoded(&encoded)?;
+        let reply = self.idempotent_request("querying batch", &encoded)?;
         match reply {
             Frame::ResponseBatch {
                 epoch,
@@ -358,11 +650,14 @@ impl PirTransport for TcpTransport {
                 responses,
             } => {
                 if responses.len() != shares.len() {
-                    return Err(protocol_error(format!(
-                        "server answered {} responses to {} shares",
-                        responses.len(),
-                        shares.len()
-                    )));
+                    return Err(self.operation_error(
+                        "querying batch",
+                        &format!(
+                            "server answered {} responses to {} shares",
+                            responses.len(),
+                            shares.len()
+                        ),
+                    ));
                 }
                 self.info.epoch = epoch;
                 Ok(TransportBatch {
@@ -375,13 +670,16 @@ impl PirTransport for TcpTransport {
                     responses,
                 })
             }
-            other => Err(unexpected_frame("ResponseBatch", &other)),
+            other => Err(self.to_error(
+                "querying batch",
+                self.unexpected_frame("ResponseBatch", &other),
+            )),
         }
     }
 
     fn scan_selector(&mut self, selector: &SelectorVector) -> Result<ScanResult, PirError> {
         let encoded = wire::encode_selector_scan(selector)?;
-        let reply = self.request_encoded(&encoded)?;
+        let reply = self.idempotent_request("scanning selector", &encoded)?;
         match reply {
             Frame::SelectorResult {
                 epoch,
@@ -395,19 +693,59 @@ impl PirTransport for TcpTransport {
                     phases,
                 })
             }
-            other => Err(unexpected_frame("SelectorResult", &other)),
+            other => Err(self.to_error(
+                "scanning selector",
+                self.unexpected_frame("SelectorResult", &other),
+            )),
         }
     }
 
     fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
         let encoded = wire::encode_update_batch(updates)?;
-        let reply = self.request_encoded(&encoded)?;
+        let reply = self.update_request("applying updates", &encoded)?;
         match reply {
             Frame::UpdateAck { outcome } => {
                 self.info.epoch = outcome.epoch;
                 Ok(outcome)
             }
-            other => Err(unexpected_frame("UpdateAck", &other)),
+            other => Err(self.to_error(
+                "applying updates",
+                self.unexpected_frame("UpdateAck", &other),
+            )),
+        }
+    }
+
+    fn epoch_info(&mut self) -> Result<EpochInfo, PirError> {
+        let encoded = Frame::EpochInfoRequest.encode()?;
+        match self.idempotent_request("requesting epoch info", &encoded)? {
+            Frame::EpochInfo { info } => {
+                self.info.epoch = info.current_epoch;
+                Ok(info)
+            }
+            other => Err(self.to_error(
+                "requesting epoch info",
+                self.unexpected_frame("EpochInfo", &other),
+            )),
+        }
+    }
+
+    fn replay_updates(&mut self, from_epoch: u64) -> Result<Vec<UpdateBatch>, PirError> {
+        let encoded = Frame::UpdateReplayRequest { from_epoch }.encode()?;
+        match self.idempotent_request("requesting update replay", &encoded)? {
+            Frame::UpdateReplay { batches } => Ok(batches),
+            Frame::JournalTruncated {
+                from_epoch,
+                oldest_replayable,
+                current_epoch,
+            } => Err(PirError::JournalTruncated {
+                from_epoch,
+                oldest_replayable,
+                current_epoch,
+            }),
+            other => Err(self.to_error(
+                "requesting update replay",
+                self.unexpected_frame("UpdateReplay", &other),
+            )),
         }
     }
 }

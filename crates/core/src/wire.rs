@@ -70,11 +70,29 @@ pub struct ServerInfo {
     pub epoch: u64,
 }
 
+/// Fixed wire size of an [`EpochInfo`].
+const EPOCH_INFO_BYTES: usize = 8 + 8;
+
+/// A server's answer to [`Frame::EpochInfoRequest`]: where its database
+/// epoch stands and how far back its update journal can replay. A client
+/// that detects replica divergence compares both replicas' `EpochInfo` to
+/// decide which is behind and whether the journal still covers the lag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// The server's current database epoch.
+    pub current_epoch: u64,
+    /// The oldest epoch the server's journal can replay *from*: a peer at
+    /// this epoch (or later) can be caught up; one behind it cannot.
+    pub oldest_replayable: u64,
+}
+
 /// One protocol frame. See the module docs for the connection lifecycle;
 /// the request/response pairing is `QueryBatch → ResponseBatch`,
 /// `UpdateBatch → UpdateAck`, `InfoRequest → Info`,
-/// `SelectorScan → SelectorResult`, with `Error` as the server's reply to
-/// any request it cannot serve and `Goodbye` as the client's clean close.
+/// `SelectorScan → SelectorResult`, `EpochInfoRequest → EpochInfo`,
+/// `UpdateReplayRequest → UpdateReplay | JournalTruncated`, with `Error`
+/// as the server's reply to any request it cannot serve and `Goodbye` as
+/// the client's clean close.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client → server: opens the connection. Carries the protocol magic
@@ -142,6 +160,39 @@ pub enum Frame {
         /// Server-side per-phase accounting of the scan.
         phases: PhaseBreakdown,
     },
+    /// Client → server: asks where the server's epoch and journal stand.
+    EpochInfoRequest,
+    /// Server → client: the answer to [`Frame::EpochInfoRequest`].
+    EpochInfo {
+        /// The server's epoch and journal coverage.
+        info: EpochInfo,
+    },
+    /// Client → server: asks for every update batch applied after
+    /// `from_epoch`, so a replica stuck at that epoch can catch up.
+    UpdateReplayRequest {
+        /// The requester's (lagging) epoch.
+        from_epoch: u64,
+    },
+    /// Server → client: the batches a [`Frame::UpdateReplayRequest`] asked
+    /// for — applying them in order advances a replica from `from_epoch`
+    /// to the server's epoch at reply time.
+    UpdateReplay {
+        /// The missed batches, oldest first; batch `i` moves the database
+        /// from epoch `from_epoch + i` to `from_epoch + i + 1`.
+        batches: Vec<Vec<(u64, Vec<u8>)>>,
+    },
+    /// Server → client: the journal no longer reaches back to the
+    /// requested epoch. Carried as a dedicated frame (not a generic
+    /// [`Frame::Error`]) so clients can distinguish "cannot recover
+    /// automatically" from transient failures and fail closed.
+    JournalTruncated {
+        /// The epoch the request asked to replay from.
+        from_epoch: u64,
+        /// The oldest epoch the journal can still replay from.
+        oldest_replayable: u64,
+        /// The server's current epoch.
+        current_epoch: u64,
+    },
     /// Server → client: the request could not be served. The connection
     /// stays usable unless the error was a framing violation.
     Error {
@@ -165,6 +216,11 @@ const TAG_SELECTOR_SCAN: u8 = 9;
 const TAG_SELECTOR_RESULT: u8 = 10;
 const TAG_ERROR: u8 = 11;
 const TAG_GOODBYE: u8 = 12;
+const TAG_EPOCH_INFO_REQUEST: u8 = 13;
+const TAG_EPOCH_INFO: u8 = 14;
+const TAG_UPDATE_REPLAY_REQUEST: u8 = 15;
+const TAG_UPDATE_REPLAY: u8 = 16;
+const TAG_JOURNAL_TRUNCATED: u8 = 17;
 
 /// Shorthand for a [`PirError::Protocol`].
 pub(crate) fn protocol_error(reason: impl Into<String>) -> PirError {
@@ -253,6 +309,11 @@ impl BodyWriter {
         debug_assert!(info.shard_count <= u32::MAX as usize);
         self.u32(info.shard_count as u32);
         self.u64(info.epoch);
+    }
+
+    fn epoch_info(&mut self, info: &EpochInfo) {
+        self.u64(info.current_epoch);
+        self.u64(info.oldest_replayable);
     }
 }
 
@@ -349,6 +410,13 @@ impl<'a> BodyReader<'a> {
         })
     }
 
+    fn epoch_info(&mut self) -> Result<EpochInfo, PirError> {
+        Ok(EpochInfo {
+            current_epoch: self.u64()?,
+            oldest_replayable: self.u64()?,
+        })
+    }
+
     fn finish(self) -> Result<(), PirError> {
         if self.remaining() != 0 {
             return Err(protocol_error(format!(
@@ -412,6 +480,20 @@ pub fn update_batch_frame_bytes(updates: &[(u64, Vec<u8>)]) -> usize {
             .sum::<usize>()
 }
 
+/// Total on-the-wire size of the [`Frame::UpdateReplay`] carrying
+/// `batches` — the download cost of one catch-up.
+#[must_use]
+pub fn update_replay_frame_bytes(batches: &[Vec<(u64, Vec<u8>)>]) -> usize {
+    FRAME_HEADER_BYTES
+        + 4
+        + batches
+            .iter()
+            // Per batch: an entry count, then each entry's index, length
+            // prefix and bytes — the same layout an UpdateBatch body uses.
+            .map(|updates| update_batch_frame_bytes(updates) - FRAME_HEADER_BYTES)
+            .sum::<usize>()
+}
+
 /// Total on-the-wire size of the [`Frame::SelectorScan`] carrying
 /// `selector` — the per-server upload cost of one naive n-server query.
 #[must_use]
@@ -448,6 +530,13 @@ impl Frame {
                 selector_scan_frame_bytes(selector) - FRAME_HEADER_BYTES
             }
             Frame::SelectorResult { payload, .. } => 8 + 4 + payload.len() + PHASES_BYTES,
+            Frame::EpochInfoRequest => 0,
+            Frame::EpochInfo { .. } => EPOCH_INFO_BYTES,
+            Frame::UpdateReplayRequest { .. } => 8,
+            Frame::UpdateReplay { batches } => {
+                update_replay_frame_bytes(batches) - FRAME_HEADER_BYTES
+            }
+            Frame::JournalTruncated { .. } => 8 + 8 + 8,
             Frame::Error { message } => 4 + message.len(),
         }
     }
@@ -464,6 +553,11 @@ impl Frame {
             Frame::Info { .. } => TAG_INFO,
             Frame::SelectorScan { .. } => TAG_SELECTOR_SCAN,
             Frame::SelectorResult { .. } => TAG_SELECTOR_RESULT,
+            Frame::EpochInfoRequest => TAG_EPOCH_INFO_REQUEST,
+            Frame::EpochInfo { .. } => TAG_EPOCH_INFO,
+            Frame::UpdateReplayRequest { .. } => TAG_UPDATE_REPLAY_REQUEST,
+            Frame::UpdateReplay { .. } => TAG_UPDATE_REPLAY,
+            Frame::JournalTruncated { .. } => TAG_JOURNAL_TRUNCATED,
             Frame::Error { .. } => TAG_ERROR,
             Frame::Goodbye => TAG_GOODBYE,
         }
@@ -484,6 +578,11 @@ impl Frame {
             Frame::Info { .. } => "Info",
             Frame::SelectorScan { .. } => "SelectorScan",
             Frame::SelectorResult { .. } => "SelectorResult",
+            Frame::EpochInfoRequest => "EpochInfoRequest",
+            Frame::EpochInfo { .. } => "EpochInfo",
+            Frame::UpdateReplayRequest { .. } => "UpdateReplayRequest",
+            Frame::UpdateReplay { .. } => "UpdateReplay",
+            Frame::JournalTruncated { .. } => "JournalTruncated",
             Frame::Error { .. } => "Error",
             Frame::Goodbye => "Goodbye",
         }
@@ -547,6 +646,24 @@ impl Frame {
                 w.u64(*epoch);
                 w.bytes(payload);
                 w.phases(phases);
+            }
+            Frame::EpochInfoRequest => {}
+            Frame::EpochInfo { info } => w.epoch_info(info),
+            Frame::UpdateReplayRequest { from_epoch } => w.u64(*from_epoch),
+            Frame::UpdateReplay { batches } => {
+                w.u32(batches.len() as u32);
+                for updates in batches {
+                    write_update_batch_body(w, updates);
+                }
+            }
+            Frame::JournalTruncated {
+                from_epoch,
+                oldest_replayable,
+                current_epoch,
+            } => {
+                w.u64(*from_epoch);
+                w.u64(*oldest_replayable);
+                w.u64(*current_epoch);
             }
             Frame::Error { message } => w.bytes(message.as_bytes()),
         }
@@ -701,6 +818,35 @@ impl Frame {
                 Frame::Error { message }
             }
             TAG_GOODBYE => Frame::Goodbye,
+            TAG_EPOCH_INFO_REQUEST => Frame::EpochInfoRequest,
+            TAG_EPOCH_INFO => Frame::EpochInfo {
+                info: r.epoch_info()?,
+            },
+            TAG_UPDATE_REPLAY_REQUEST => Frame::UpdateReplayRequest {
+                from_epoch: r.u64()?,
+            },
+            TAG_UPDATE_REPLAY => {
+                // Both counts are hostile input: the loops pull from the
+                // (already size-capped) frame, so neither can drive an
+                // allocation the frame bytes don't back.
+                let batch_count = r.u32()?;
+                let mut batches = Vec::new();
+                for _ in 0..batch_count {
+                    let count = r.u32()?;
+                    let mut updates = Vec::new();
+                    for _ in 0..count {
+                        let index = r.u64()?;
+                        updates.push((index, r.bytes()?.to_vec()));
+                    }
+                    batches.push(updates);
+                }
+                Frame::UpdateReplay { batches }
+            }
+            TAG_JOURNAL_TRUNCATED => Frame::JournalTruncated {
+                from_epoch: r.u64()?,
+                oldest_replayable: r.u64()?,
+                current_epoch: r.u64()?,
+            },
             other => return Err(protocol_error(format!("unknown frame tag {other}"))),
         };
         r.finish()?;
@@ -923,6 +1069,26 @@ mod tests {
                 message: "no such record".to_string(),
             },
             Frame::Goodbye,
+            Frame::EpochInfoRequest,
+            Frame::EpochInfo {
+                info: EpochInfo {
+                    current_epoch: 12,
+                    oldest_replayable: 5,
+                },
+            },
+            Frame::UpdateReplayRequest { from_epoch: 7 },
+            Frame::UpdateReplay {
+                batches: vec![
+                    vec![(3, vec![0xAA; 8]), (77, vec![0x55; 8])],
+                    vec![],
+                    vec![(0, vec![1, 2, 3])],
+                ],
+            },
+            Frame::JournalTruncated {
+                from_epoch: 2,
+                oldest_replayable: 6,
+                current_epoch: 12,
+            },
         ]
     }
 
@@ -980,6 +1146,15 @@ mod tests {
         assert_eq!(
             frame.encode().unwrap().len(),
             selector_scan_frame_bytes(&selector)
+        );
+
+        let batches = vec![vec![(0u64, vec![7u8; 16])], vec![], vec![(5, vec![8; 16])]];
+        let frame = Frame::UpdateReplay {
+            batches: batches.clone(),
+        };
+        assert_eq!(
+            frame.encode().unwrap().len(),
+            update_replay_frame_bytes(&batches)
         );
     }
 

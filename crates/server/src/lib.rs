@@ -37,9 +37,9 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use impir_core::batch::{UpdatableBackend, UpdateOutcome};
 use impir_core::engine::QueryEngine;
 use impir_core::server::phases::PhaseBreakdown;
-use impir_core::transport::{ScanResult, ServerInfo};
+use impir_core::transport::{EpochInfo, ScanResult, ServerInfo};
 use impir_core::wire::{Frame, MAX_FRAME_BYTES, WIRE_VERSION};
-use impir_core::{PirError, QueryShare, ServerResponse};
+use impir_core::{PirError, QueryShare, ServerResponse, UpdateBatch};
 use impir_dpf::SelectorVector;
 
 /// Configuration of a [`PirService`].
@@ -57,6 +57,12 @@ pub struct ServiceConfig {
     /// served in full, so near-simultaneous arrivals can briefly overshoot
     /// the limit. Useful for tests and one-shot deployments.
     pub max_sessions: Option<usize>,
+    /// Per-session socket read/write timeout: how long a blocked session
+    /// read or write sleeps before waking to re-check the shutdown flag
+    /// (and retry). Shorter values make shutdown and fault detection
+    /// snappier at the cost of more wakeups; `--io-timeout-ms` on the
+    /// `impir-server` binary sets this.
+    pub io_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +70,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             coalesce_limit: 16,
             max_sessions: None,
+            io_timeout: Duration::from_millis(50),
         }
     }
 }
@@ -73,18 +80,26 @@ impl ServiceConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`PirError::Config`] for a zero coalesce limit.
+    /// Returns [`PirError::Config`] for a zero coalesce limit or a zero
+    /// I/O timeout (the OS rejects zero socket timeouts).
     pub fn validate(&self) -> Result<(), PirError> {
         if self.coalesce_limit == 0 {
             return Err(PirError::Config {
                 reason: "the session coalesce limit must be at least 1".to_string(),
             });
         }
+        if self.io_timeout.is_zero() {
+            return Err(PirError::Config {
+                reason: "the session I/O timeout must be non-zero".to_string(),
+            });
+        }
         Ok(())
     }
 }
 
-/// How often blocked session reads wake up to check the shutdown flag.
+/// How often the blocked *accept* loop wakes up to check the shutdown
+/// flag. Session reads/writes wake on [`ServiceConfig::io_timeout`]
+/// instead.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// The dispatcher's answer to one session's query batch.
@@ -112,6 +127,13 @@ enum ServiceRequest {
     },
     Info {
         reply: Sender<ServerInfo>,
+    },
+    EpochInfo {
+        reply: Sender<EpochInfo>,
+    },
+    Replay {
+        from_epoch: u64,
+        reply: Sender<Result<Vec<UpdateBatch>, PirError>>,
     },
 }
 
@@ -181,7 +203,7 @@ impl PirService {
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_handle = std::thread::spawn(move || {
-            accept_loop(&listener, &requests, &accept_shutdown, config.max_sessions);
+            accept_loop(&listener, &requests, &accept_shutdown, config);
         });
 
         Ok(PirService {
@@ -244,7 +266,7 @@ fn accept_loop(
     listener: &TcpListener,
     requests: &Sender<ServiceRequest>,
     shutdown: &Arc<AtomicBool>,
-    max_sessions: Option<usize>,
+    config: ServiceConfig,
 ) {
     let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
     // The session budget counts *handshaken* sessions, not accepted TCP
@@ -252,7 +274,7 @@ fn accept_loop(
     // leaves must not consume a `--max-sessions 1` server's budget.
     let handshaken = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     while !shutdown.load(Ordering::SeqCst) {
-        if let Some(limit) = max_sessions {
+        if let Some(limit) = config.max_sessions {
             if handshaken.load(Ordering::SeqCst) >= limit {
                 break;
             }
@@ -268,6 +290,7 @@ fn accept_loop(
                         &session_requests,
                         &session_shutdown,
                         &session_handshaken,
+                        config.io_timeout,
                     );
                 }));
             }
@@ -349,6 +372,12 @@ fn dispatcher_loop<S: UpdatableBackend + Send + Sync>(
                 }
                 ServiceRequest::Info { reply } => {
                     let _ = reply.send(info_of(&engine));
+                }
+                ServiceRequest::EpochInfo { reply } => {
+                    let _ = reply.send(engine.epoch_info());
+                }
+                ServiceRequest::Replay { from_epoch, reply } => {
+                    let _ = reply.send(engine.replay_updates(from_epoch));
                 }
             }
         }
@@ -458,8 +487,9 @@ enum ReadOutcome {
     Closed,
 }
 
-/// Fills `buf` from `stream`, waking every [`POLL_INTERVAL`] to check the
-/// shutdown flag. `idle` reads (waiting for the next frame) may end with
+/// Fills `buf` from `stream`, waking every [`ServiceConfig::io_timeout`]
+/// (the stream's read timeout) to check the shutdown flag. `idle` reads
+/// (waiting for the next frame) may end with
 /// [`ReadOutcome::Closed`] on a clean disconnect or shutdown; mid-frame
 /// reads treat both as hard errors, because the framing is already
 /// half-consumed.
@@ -503,8 +533,8 @@ fn read_full(
     Ok(ReadOutcome::Filled)
 }
 
-/// Writes all of `bytes`, waking every [`POLL_INTERVAL`] (the stream's
-/// write timeout) to check the shutdown flag — a client that stops
+/// Writes all of `bytes`, waking every [`ServiceConfig::io_timeout`] (the
+/// stream's write timeout) to check the shutdown flag — a client that stops
 /// reading its socket cannot pin this session thread (and with it
 /// [`PirService::shutdown`]) in a blocked `write` forever.
 fn write_full(stream: &mut TcpStream, bytes: &[u8], shutdown: &AtomicBool) -> Result<(), PirError> {
@@ -582,10 +612,11 @@ fn session_loop(
     requests: &Sender<ServiceRequest>,
     shutdown: &AtomicBool,
     handshaken: &std::sync::atomic::AtomicUsize,
+    io_timeout: Duration,
 ) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
     if handshake(&mut stream, requests, shutdown).is_err() {
         return;
     }
@@ -616,6 +647,10 @@ fn session_loop(
                 handle_scan(&mut stream, requests, selector, shutdown)
             }
             Frame::InfoRequest => handle_info(&mut stream, requests, shutdown),
+            Frame::EpochInfoRequest => handle_epoch_info(&mut stream, requests, shutdown),
+            Frame::UpdateReplayRequest { from_epoch } => {
+                handle_replay(&mut stream, requests, from_epoch, shutdown)
+            }
             Frame::Goodbye => return,
             other => {
                 // Hello mid-session or a server-only frame: protocol
@@ -709,6 +744,58 @@ fn handle_info(
     match request_info(requests) {
         Ok(info) => write_session_frame(stream, &Frame::Info { info }, shutdown),
         Err(err) => write_error(stream, &err, shutdown),
+    }
+}
+
+fn handle_epoch_info(
+    stream: &mut TcpStream,
+    requests: &Sender<ServiceRequest>,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    let (reply, replies) = bounded(1);
+    if requests.send(ServiceRequest::EpochInfo { reply }).is_err() {
+        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
+    }
+    match replies.recv() {
+        Ok(info) => write_session_frame(stream, &Frame::EpochInfo { info }, shutdown),
+        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
+    }
+}
+
+fn handle_replay(
+    stream: &mut TcpStream,
+    requests: &Sender<ServiceRequest>,
+    from_epoch: u64,
+    shutdown: &AtomicBool,
+) -> Result<(), PirError> {
+    let (reply, replies) = bounded(1);
+    if requests
+        .send(ServiceRequest::Replay { from_epoch, reply })
+        .is_err()
+    {
+        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
+    }
+    match replies.recv() {
+        Ok(Ok(batches)) => write_session_frame(stream, &Frame::UpdateReplay { batches }, shutdown),
+        // A truncated journal is an expected, *typed* outcome the client
+        // resolves (fail-closed resync error) — it gets its own frame so
+        // the transport can rebuild the typed error, unlike free-form
+        // `Error` frames.
+        Ok(Err(PirError::JournalTruncated {
+            from_epoch,
+            oldest_replayable,
+            current_epoch,
+        })) => write_session_frame(
+            stream,
+            &Frame::JournalTruncated {
+                from_epoch,
+                oldest_replayable,
+                current_epoch,
+            },
+            shutdown,
+        ),
+        Ok(Err(err)) => write_error(stream, &err, shutdown),
+        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
     }
 }
 

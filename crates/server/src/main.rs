@@ -36,7 +36,13 @@
 //! * `--dpus D`            simulated DPUs for the PIM backend (default 8);
 //! * `--clusters C`        DPU clusters for the PIM backend (default 1);
 //! * `--max-sessions N`    exit after serving N sessions (default: serve
-//!   until killed).
+//!   until killed);
+//! * `--journal-batches N` update-journal retention: how many applied
+//!   update batches stay replayable so a lagging replica can catch up
+//!   over the wire (default 64; 0 disables the journal — divergence then
+//!   needs a re-seed);
+//! * `--io-timeout-ms T`   per-session socket read/write timeout in
+//!   milliseconds (default 50).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -56,6 +62,12 @@ const USAGE: &str = "usage:
                [--shards K | --autoshard declared|calibrated]
                [--backend pim|cpu] [--scan-kernel auto|scalar|wide|unrolled]
                [--dpus D] [--clusters C] [--max-sessions N]
+               [--journal-batches N] [--io-timeout-ms T]
+
+  --journal-batches N  keep the last N applied update batches replayable so
+                       a lagging replica catches up over the wire
+                       (default 64; 0 disables the journal)
+  --io-timeout-ms T    per-session socket read/write timeout (default 50)
 
   --scan-kernel K dpXOR scan kernel for the cpu backend (default auto:
                   self-benchmark once per process and keep the fastest;
@@ -160,6 +172,15 @@ fn run(args: &[String]) -> Result<(), String> {
         0 => None,
         n => Some(n as usize),
     };
+    let journal_batches = get_u64(
+        &options,
+        "journal-batches",
+        impir_core::engine::DEFAULT_JOURNAL_BATCHES as u64,
+    )? as usize;
+    let io_timeout_ms = get_u64(&options, "io-timeout-ms", 50)?;
+    if io_timeout_ms == 0 {
+        return Err("--io-timeout-ms must be at least 1".to_string());
+    }
 
     let sharding = match options.get("autoshard").map(String::as_str) {
         None => {
@@ -197,6 +218,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Arc::new(Database::random(records, record_bytes, seed).map_err(|e| e.to_string())?);
     let service_config = ServiceConfig {
         max_sessions,
+        io_timeout: std::time::Duration::from_millis(io_timeout_ms),
         ..ServiceConfig::default()
     };
 
@@ -206,11 +228,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 scan_kernel,
                 ..CpuServerConfig::baseline()
             };
+            let engine_config = EngineConfig {
+                journal_batches,
+                ..EngineConfig::default()
+            };
             let engine = match sharding {
                 Sharding::Uniform(shards) => {
                     let sharded = ShardedDatabase::uniform(Arc::clone(&database), shards)
                         .map_err(|e| e.to_string())?;
-                    QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                    QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
                         CpuPirServer::new(shard_db, cpu_config.clone())
                     })
                     .map_err(|e| e.to_string())?
@@ -229,7 +255,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     })?;
                     QueryEngine::planned(
                         Arc::clone(&database),
-                        EngineConfig::default(),
+                        engine_config,
                         &planner,
                         |shard_db, _| CpuPirServer::new(shard_db, cpu_config.clone()),
                     )
@@ -257,6 +283,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let engine_config =
                 EngineConfig::new(impir_core::BatchConfig::default(), config.eval_strategy())
                     .map_err(|e: PirError| e.to_string())?;
+            let engine_config = EngineConfig {
+                journal_batches,
+                ..engine_config
+            };
             let engine = match sharding {
                 Sharding::Uniform(shards) => {
                     let sharded = ShardedDatabase::uniform(Arc::clone(&database), shards)
@@ -339,7 +369,7 @@ fn describe_plan(plan: &impir_core::ShardPlan, sharding: Sharding) -> String {
 /// loudly: silently falling back to defaults would start a server whose
 /// replica does not match its peers', and every client query would then
 /// fail the geometry check.
-const KNOWN_FLAGS: [&str; 11] = [
+const KNOWN_FLAGS: [&str; 13] = [
     "listen",
     "records",
     "record-bytes",
@@ -351,6 +381,8 @@ const KNOWN_FLAGS: [&str; 11] = [
     "dpus",
     "clusters",
     "max-sessions",
+    "journal-batches",
+    "io-timeout-ms",
 ];
 
 fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {

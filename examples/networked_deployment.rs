@@ -20,7 +20,11 @@
 //! 3. concurrent client sessions (threads hammering one server) all get
 //!    correct answers — the service coalesces their batches into shared
 //!    engine waves;
-//! 4. per-batch upload/download wire bytes are reported.
+//! 4. per-batch upload/download wire bytes are reported;
+//! 5. killing one replica mid-update fails loudly, and a **fresh replica**
+//!    brought up from the seed database catches up automatically: the next
+//!    query replays its missed epochs from the healthy server's update
+//!    journal and answers from the converged database version.
 //!
 //! Run with `cargo run --example networked_deployment --release`.
 //!
@@ -194,9 +198,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("concurrent sessions: {answered} queries answered across 4 parallel clients");
 
-    // --- 5. Graceful shutdown --------------------------------------------
+    // --- 5. Replica failure and epoch-driven recovery ---------------------
+    // Kill replica 1, push an update while it is down (server 0 commits it,
+    // the deployment reports the failure loudly), then bring a *fresh*
+    // replica up from the seed database and watch the scheme replay its
+    // whole lag from the healthy server's update journal.
+    service_2.shutdown();
+    let lost_update: Vec<(u64, Vec<u8>)> = vec![(77, vec![0xD4; RECORD_BYTES])];
+    let err = remote
+        .apply_updates(&lost_update)
+        .expect_err("replica 1 is down; the update cannot land on both");
+    println!("update with a dead replica fails loudly:\n    {err}");
+
+    // The fresh replica holds the seed database at epoch 0 — TWO committed
+    // batches behind server 0 (the bulk update of section 2 and the one
+    // that just failed half-way).
+    let service_2 = PirService::bind(cpu_engine(&db, 3)?, "127.0.0.1:0", ServiceConfig::default())?;
+    println!(
+        "replica 1 restarted on {} from the seed database (epoch 0)",
+        service_2.addr()
+    );
+    let mut recovered = TwoServerPir::from_transports(
+        PirClient::new(RECORDS, RECORD_BYTES, 3)?,
+        Box::new(TcpTransport::connect(service_1.addr())?),
+        Box::new(TcpTransport::connect(service_2.addr())?),
+    )?;
+    // The first query detects the epoch divergence, replays both missed
+    // batches over the wire and answers from the converged version — no
+    // operator intervention.
+    assert_eq!(recovered.query(77)?, vec![0xD4; RECORD_BYTES]);
+    assert_eq!(
+        recovered.query(10)?,
+        vec![0xA1; RECORD_BYTES],
+        "old update survived"
+    );
+    assert_eq!(recovered.query(0)?, db.record(0), "untouched record");
+    let epoch_0 = recovered.server_info(0)?.epoch;
+    let epoch_1 = recovered.server_info(1)?.epoch;
+    assert_eq!((epoch_0, epoch_1), (2, 2));
+    println!(
+        "recovery: fresh replica replayed 2 epochs from its peer's journal; \
+         both replicas at epoch {epoch_0}, queries answer the updated bytes"
+    );
+
+    // --- 6. Graceful shutdown --------------------------------------------
     drop(remote);
     drop(mixed);
+    drop(recovered);
     drop(wire_session);
     service_1.shutdown();
     service_2.shutdown();

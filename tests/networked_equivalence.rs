@@ -13,7 +13,7 @@ use im_pir::core::server::cpu::{CpuPirServer, CpuServerConfig};
 use im_pir::core::server::pim::{ImPirConfig, ImPirServer};
 use im_pir::core::shard::ShardedDatabase;
 use im_pir::core::transport::{LocalTransport, PirTransport, TcpTransport};
-use im_pir::core::{PirClient, PirError};
+use im_pir::core::PirClient;
 use im_pir::pim::PimConfig;
 use impir_server::{PirService, ServiceConfig};
 
@@ -122,13 +122,17 @@ fn a_fully_remote_two_server_deployment_reconstructs_records() {
         .unwrap();
     assert_eq!(pir.query(42).unwrap(), vec![0x77; RECORD_BYTES]);
 
-    // An update that reaches only one replica is *detected*, not silently
-    // reconstructed into garbage.
+    // An update that reaches only one replica is detected on the next
+    // query, which replays the lag from the healthy replica's journal and
+    // answers from the converged version — never a silent mixed-epoch
+    // reconstruction.
     pir.transport(0)
         .unwrap()
         .apply_updates(&[(0, vec![0x99; RECORD_BYTES])])
         .unwrap();
-    assert!(matches!(pir.query(0), Err(PirError::Protocol { .. })));
+    assert_eq!(pir.query(0).unwrap(), vec![0x99; RECORD_BYTES]);
+    assert_eq!(pir.server_info(0).unwrap().epoch, 2);
+    assert_eq!(pir.server_info(1).unwrap().epoch, 2);
 
     drop(pir);
     service_1.shutdown();

@@ -3,7 +3,7 @@
 //! errors for corrupt, truncated and oversized inputs.
 
 use im_pir::core::server::phases::{PhaseBreakdown, PhaseTime};
-use im_pir::core::wire::{Frame, ServerInfo, MAX_FRAME_BYTES, WIRE_VERSION};
+use im_pir::core::wire::{EpochInfo, Frame, ServerInfo, MAX_FRAME_BYTES, WIRE_VERSION};
 use im_pir::core::{PirError, QueryShare, ServerResponse, UpdateOutcome};
 use im_pir::dpf::gen::generate_keys;
 use im_pir::dpf::{PartyId, SelectorVector};
@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Number of frame kinds `arbitrary_frame` cycles through.
-const FRAME_KINDS: u64 = 12;
+const FRAME_KINDS: u64 = 17;
 
 fn arbitrary_phase_time(rng: &mut StdRng) -> PhaseTime {
     // Finite, non-NaN values only: frame equality is the property under
@@ -144,6 +144,40 @@ fn arbitrary_frame(kind: u64, seed: u64) -> Frame {
                 .collect();
             Frame::Error { message }
         }
+        11 => Frame::EpochInfoRequest,
+        12 => Frame::EpochInfo {
+            info: EpochInfo {
+                current_epoch: rng.gen_range(0..u64::MAX),
+                oldest_replayable: rng.gen_range(0..u64::MAX),
+            },
+        },
+        13 => Frame::UpdateReplayRequest {
+            from_epoch: rng.gen_range(0..u64::MAX),
+        },
+        14 => {
+            // Nested batches, including empty ones — both levels of length
+            // prefix are exercised.
+            let batch_count = rng.gen_range(0..4usize);
+            let batches = (0..batch_count)
+                .map(|_| {
+                    let count = rng.gen_range(0..4usize);
+                    (0..count)
+                        .map(|_| {
+                            let len = rng.gen_range(0..32usize);
+                            let bytes: Vec<u8> =
+                                (0..len).map(|_| rng.gen_range(0..=u8::MAX)).collect();
+                            (rng.gen_range(0..u64::MAX), bytes)
+                        })
+                        .collect()
+                })
+                .collect();
+            Frame::UpdateReplay { batches }
+        }
+        15 => Frame::JournalTruncated {
+            from_epoch: rng.gen_range(0..u64::MAX),
+            oldest_replayable: rng.gen_range(0..u64::MAX),
+            current_epoch: rng.gen_range(0..u64::MAX),
+        },
         _ => Frame::Goodbye,
     }
 }
@@ -229,6 +263,43 @@ proptest! {
         bytes.extend_from_slice(&body);
         prop_assert!(matches!(
             Frame::decode(&bytes),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
+    /// A hostile `UpdateReplay` claiming huge batch/entry counts it does
+    /// not carry is rejected cleanly — the nested length prefixes cannot
+    /// drive allocation beyond the frame's actual bytes.
+    #[test]
+    fn prop_hostile_replay_counts_are_rejected(claimed in 1_000u32..u32::MAX) {
+        let mut body = Vec::new();
+        body.push(16u8); // UpdateReplay tag
+        body.extend_from_slice(&claimed.to_le_bytes()); // batches "present"
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        prop_assert!(matches!(
+            Frame::decode(&bytes),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
+    /// Trailing garbage after a well-formed body is rejected for the new
+    /// epoch/replay frames (the reader's `finish` check).
+    #[test]
+    fn prop_trailing_garbage_after_new_frames_is_rejected(
+        kind in 11u64..16u64,
+        seed in any::<u64>(),
+        garbage in 1usize..16,
+    ) {
+        let frame = arbitrary_frame(kind, seed);
+        let mut encoded = frame.encode().expect("encodes");
+        // Extend the body AND fix the outer length so only the *inner*
+        // trailing-garbage check can catch it.
+        encoded.extend(std::iter::repeat_n(0xA5u8, garbage));
+        let new_len = (encoded.len() - 4) as u32;
+        encoded[..4].copy_from_slice(&new_len.to_le_bytes());
+        prop_assert!(matches!(
+            Frame::decode(&encoded),
             Err(PirError::Protocol { .. })
         ));
     }
