@@ -25,6 +25,7 @@
 //! operator to re-seed (or raise `--journal-batches`).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::batch::{BatchConfig, UpdatableBackend, UpdateOutcome};
 use crate::client::PirClient;
@@ -56,6 +57,29 @@ impl std::fmt::Debug for TwoServerPir {
             .finish_non_exhaustive()
     }
 }
+
+/// How one resync attempt failed. A truncated journal is *permanent* — no
+/// amount of retrying closes a lag the journal no longer covers — while
+/// transport-class failures are transient and may clear on a later round,
+/// so recovery loops spend a bounded round on them instead of aborting.
+enum ResyncFailure {
+    /// The journal cannot cover the lag; carries the already-mapped
+    /// actionable operator-facing error.
+    Truncated(PirError),
+    /// A fault that may clear on retry (dropped connection, torn round).
+    Transient(PirError),
+}
+
+impl ResyncFailure {
+    fn into_error(self) -> PirError {
+        match self {
+            ResyncFailure::Truncated(err) | ResyncFailure::Transient(err) => err,
+        }
+    }
+}
+
+/// Backoff before the first epoch-gated update resend; doubles per round.
+const UPDATE_RETRY_BACKOFF: Duration = Duration::from_millis(10);
 
 impl TwoServerPir {
     /// How many rounds the epoch-driven recovery paths attempt before
@@ -233,16 +257,27 @@ impl TwoServerPir {
     /// reconstruction would XOR records from different database versions),
     /// the deployment resyncs the lagging replica from its peer's update
     /// journal and retries with the *same* shares (privacy-neutral: the
-    /// shares are independent of the database contents). Only an
+    /// shares are independent of the database contents). A *transient*
+    /// resync failure (e.g. one dropped round trip during the replay)
+    /// consumes a recovery round rather than aborting the query. Only an
     /// unrecoverable divergence — journal truncated, or replicas that keep
     /// tearing for [`TwoServerPir::RECOVERY_ROUNDS`] rounds — surfaces as
     /// [`PirError::Protocol`].
+    ///
+    /// Several clients may detect the same divergence concurrently and all
+    /// replay the lagging replica. That is content-safe — updates are
+    /// absolute record writes, so re-applying a batch rewrites the same
+    /// bytes — but the duplicate applies advance the lagging replica's
+    /// epoch past its peer's, which later resync rounds then close from
+    /// the other direction. Concurrent resyncs therefore cost extra
+    /// recovery rounds, not correctness.
     pub fn query_batch(
         &mut self,
         indices: &[u64],
     ) -> Result<(Vec<Vec<u8>>, TransportBatch, TransportBatch), PirError> {
         let (shares_1, shares_2) = self.client.generate_batch(indices)?;
         let mut torn = (0, 0);
+        let mut last_resync_err = None;
         for _ in 0..Self::RECOVERY_ROUNDS {
             let (outcome_1, outcome_2) = self.query_both(&shares_1, &shares_2);
             let outcome_1 = outcome_1?;
@@ -251,8 +286,14 @@ impl TwoServerPir {
                 // An update reached only one replica (or landed between the
                 // two scans). Converge the replicas from the ahead side's
                 // update journal, then retry the round with the same shares.
+                // A transient resync fault burns this round; a truncated
+                // journal can never be outwaited, so it fails closed now.
                 torn = (outcome_1.epoch, outcome_2.epoch);
-                self.resync_replicas()?;
+                match self.resync_replicas_inner() {
+                    Ok(_) => {}
+                    Err(ResyncFailure::Truncated(err)) => return Err(err),
+                    Err(ResyncFailure::Transient(err)) => last_resync_err = Some(err),
+                }
                 continue;
             }
             let mut records = Vec::with_capacity(indices.len());
@@ -262,10 +303,14 @@ impl TwoServerPir {
             self.last_phases = Some((outcome_1.phase_totals, outcome_2.phase_totals));
             return Ok((records, outcome_1, outcome_2));
         }
+        let resync_detail = match last_resync_err {
+            Some(err) => format!("; the last resync attempt failed: {err}"),
+            None => "; updates keep landing mid-query".to_string(),
+        };
         Err(PirError::Protocol {
             reason: format!(
                 "replicas kept answering at different database epochs (last round: {} and {}) \
-                 through {} recovery rounds; updates keep landing mid-query",
+                 through {} recovery rounds{resync_detail}",
                 torn.0,
                 torn.1,
                 Self::RECOVERY_ROUNDS
@@ -311,12 +356,19 @@ impl TwoServerPir {
     /// A failure on one side is resolved by *epoch-pinned idempotency*
     /// rather than blind resends:
     ///
+    /// * the replicas are converged **before** the batch is offered to
+    ///   either server — a previous failed call can leave them divergent,
+    ///   and landing a new batch on top of different histories would break
+    ///   the prefix property every replay inference below rests on;
     /// * server 0 fails ambiguously (e.g. the connection died after the
-    ///   request bytes left the host) — the deployment compares both
-    ///   replicas' [`crate::wire::EpochInfo`]. Equal epochs prove the batch
-    ///   did **not** commit, so a bounded retry is safe; server 0 being one
-    ///   ahead proves it **did** commit (only the ack was lost), so the
-    ///   outcome is synthesized and no resend happens.
+    ///   request bytes left the host) — the deployment re-reads **server
+    ///   0's own** epoch and compares it against the epoch pinned before
+    ///   the attempt. Unchanged proves the batch did **not** commit, so a
+    ///   bounded retry (with a small backoff) is safe; exactly one ahead
+    ///   proves it **did** commit (only the ack was lost), so the outcome
+    ///   is synthesized and no resend happens. The peer's epoch is never
+    ///   consulted for this proof — it says nothing about what server 0
+    ///   applied.
     /// * server 1 fails after server 0 committed — the deployment replays
     ///   server 1's lag from server 0's update journal and verifies the
     ///   final epoch matches server 0's, so the batch is applied exactly
@@ -326,7 +378,8 @@ impl TwoServerPir {
     ///
     /// Propagates validation and backend errors (the servers validate
     /// identically, so a batch *rejected* by server 0 is never offered to
-    /// server 1 and no record changes anywhere). Returns
+    /// server 1 and no record changes anywhere; typed rejections are
+    /// returned immediately, never retried). Returns
     /// [`PirError::Protocol`] when recovery itself fails — most notably
     /// when the lagging replica's gap exceeds the healthy replica's journal
     /// retention, in which case the error tells the operator to re-seed or
@@ -336,7 +389,22 @@ impl TwoServerPir {
         &mut self,
         updates: &[(u64, Vec<u8>)],
     ) -> Result<(UpdateOutcome, UpdateOutcome), PirError> {
-        let outcome_1 = self.apply_to_server_1(updates)?;
+        // Lockstep precondition. Commit proofs below pin server 0's epoch,
+        // and journal replay converges *contents* only while the lagging
+        // replica's applied batches are a prefix of its peer's. Applying a
+        // fresh batch to replicas that start out divergent would violate
+        // that prefix property (the lagging side would hold the new batch
+        // but miss an older one, and a later replay would re-order them),
+        // so converge first. Fast path: two epoch probes.
+        let pre_epoch = self.resync_replicas_inner().map_err(|failure| {
+            let err = failure.into_error();
+            PirError::Protocol {
+                reason: format!(
+                    "update not attempted — the replicas could not be converged beforehand: {err}"
+                ),
+            }
+        })?;
+        let outcome_1 = self.apply_to_server_1(updates, pre_epoch)?;
         let outcome_2 = match self.server_2.apply_updates(updates) {
             Ok(outcome_2) => outcome_2,
             Err(err) => {
@@ -384,32 +452,43 @@ impl TwoServerPir {
     }
 
     /// Applies `updates` to server 0, resolving ambiguous failures by
-    /// epoch-pinned idempotency: a retry is sent only once both replicas'
-    /// epochs prove the previous attempt did not commit, and an attempt
-    /// whose ack was lost is recognized (server 0 one epoch ahead) and its
-    /// outcome synthesized instead of resent.
-    fn apply_to_server_1(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+    /// epoch-pinned idempotency against `pre_epoch` — server 0's **own**
+    /// epoch before the first send (the replicas' common epoch; the caller
+    /// converged them). A retry is sent only once server 0's re-read epoch
+    /// still equals `pre_epoch`, proving the previous attempt did not
+    /// commit; a re-read of exactly `pre_epoch + 1` proves the attempt
+    /// committed and only the ack was lost, so its outcome is synthesized
+    /// instead of resent. The peer's epoch plays no part: it cannot prove
+    /// anything about what server 0 applied.
+    fn apply_to_server_1(
+        &mut self,
+        updates: &[(u64, Vec<u8>)],
+        pre_epoch: u64,
+    ) -> Result<UpdateOutcome, PirError> {
         let mut last_err = None;
-        for _ in 0..Self::RECOVERY_ROUNDS {
+        for round in 0..Self::RECOVERY_ROUNDS {
             let err = match self.server_1.apply_updates(updates) {
                 Ok(outcome_1) => return Ok(outcome_1),
                 Err(err) => err,
             };
-            let attach = |stage: &str, info_err: PirError| PirError::Protocol {
+            // A typed rejection (bad index, record-size mismatch, …) is a
+            // definitive answer: the server validated the batch, refused
+            // it, and committed nothing — resending can only be refused
+            // again, so skip the epoch probe and the retries entirely.
+            // (Over TCP a server-side rejection degrades to
+            // `PirError::Protocol`, indistinguishable by type from a
+            // transport fault; the epoch proof below still keeps its
+            // bounded retries exactly-once.)
+            if !matches!(err, PirError::Protocol { .. }) {
+                return Err(err);
+            }
+            let info_1 = self.server_1.epoch_info().map_err(|e| PirError::Protocol {
                 reason: format!(
-                    "update failed on server 0 ({err}) and {stage} while resolving whether it \
-                     committed: {info_err}"
+                    "update failed on server 0 ({err}) and its epoch was unreachable while \
+                     resolving whether the batch committed: {e}"
                 ),
-            };
-            let info_1 = self
-                .server_1
-                .epoch_info()
-                .map_err(|e| attach("server 0's epoch was unreachable", e))?;
-            let info_2 = self
-                .server_2
-                .epoch_info()
-                .map_err(|e| attach("server 1's epoch was unreachable", e))?;
-            if info_1.current_epoch > info_2.current_epoch {
+            })?;
+            if info_1.current_epoch == pre_epoch + 1 {
                 // The batch committed on server 0 and only the ack was
                 // lost. Resending would double-apply; synthesize the
                 // outcome (wire accounting unknown) and move on to
@@ -421,10 +500,26 @@ impl TwoServerPir {
                     epoch: info_1.current_epoch,
                 });
             }
-            // Equal epochs: the batch did not commit anywhere, so retrying
-            // cannot duplicate it. (A deterministic rejection — bad index,
-            // oversized record — just fails again and falls out below.)
+            if info_1.current_epoch != pre_epoch {
+                // More than one epoch of movement cannot come from this
+                // attempt: another writer is racing the deployment and
+                // commitment can no longer be attributed. Fail loudly
+                // rather than guess.
+                return Err(PirError::Protocol {
+                    reason: format!(
+                        "update failed on server 0 ({err}) and its epoch moved from {pre_epoch} \
+                         to {} during the attempt — another writer is racing this deployment, \
+                         so the batch's commitment cannot be attributed",
+                        info_1.current_epoch
+                    ),
+                });
+            }
+            // Epoch unchanged: proven non-commit, so a resend cannot
+            // duplicate the batch. Back off briefly and retry.
             last_err = Some(err);
+            if round + 1 < Self::RECOVERY_ROUNDS {
+                std::thread::sleep(UPDATE_RETRY_BACKOFF * (1 << round));
+            }
         }
         Err(last_err.expect("at least one update attempt runs"))
     }
@@ -444,10 +539,29 @@ impl TwoServerPir {
     /// replica must be re-seeded, or the servers restarted with a larger
     /// `--journal-batches` retention before the next divergence), and
     /// propagates transport/backend failures from the replay itself.
+    ///
+    /// Safe to run from several clients concurrently: replayed batches are
+    /// absolute record writes, so duplicate applies rewrite the same bytes
+    /// (at the cost of extra epochs and resync rounds — see
+    /// [`TwoServerPir::query_batch`]).
     pub fn resync_replicas(&mut self) -> Result<u64, PirError> {
+        self.resync_replicas_inner()
+            .map_err(ResyncFailure::into_error)
+    }
+
+    /// [`TwoServerPir::resync_replicas`], with the failure classified so
+    /// recovery loops can tell a permanent truncated-journal lag (fail
+    /// closed now) from a transient fault (worth burning a round on).
+    fn resync_replicas_inner(&mut self) -> Result<u64, ResyncFailure> {
         for _ in 0..Self::RECOVERY_ROUNDS {
-            let info_1 = self.server_1.epoch_info()?;
-            let info_2 = self.server_2.epoch_info()?;
+            let info_1 = self
+                .server_1
+                .epoch_info()
+                .map_err(ResyncFailure::Transient)?;
+            let info_2 = self
+                .server_2
+                .epoch_info()
+                .map_err(ResyncFailure::Transient)?;
             if info_1.current_epoch == info_2.current_epoch {
                 return Ok(info_1.current_epoch);
             }
@@ -474,7 +588,7 @@ impl TwoServerPir {
                         from_epoch,
                         oldest_replayable,
                         current_epoch,
-                    } => PirError::Protocol {
+                    } => ResyncFailure::Truncated(PirError::Protocol {
                         reason: format!(
                         "cannot resync server {behind_label}: it lags at epoch {from_epoch} but \
                          its peer's update journal (epoch {current_epoch}) only reaches back to \
@@ -482,20 +596,22 @@ impl TwoServerPir {
                          snapshot, or restart the servers with a larger --journal-batches \
                          retention before the next divergence"
                     ),
-                    },
-                    other => other,
+                    }),
+                    other => ResyncFailure::Transient(other),
                 })?;
             for batch in &batches {
-                behind.apply_updates(batch)?;
+                behind
+                    .apply_updates(batch)
+                    .map_err(ResyncFailure::Transient)?;
             }
         }
-        Err(PirError::Protocol {
+        Err(ResyncFailure::Transient(PirError::Protocol {
             reason: format!(
                 "replicas failed to converge within {} resync rounds; \
                  updates keep landing on one replica mid-resync",
                 Self::RECOVERY_ROUNDS
             ),
-        })
+        }))
     }
 
     /// Builds a deployment whose servers run IM-PIR on simulated UPMEM PIM.
@@ -733,6 +849,19 @@ mod tests {
             }
             other => panic!("expected a protocol error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn typed_update_rejections_surface_immediately_without_commits() {
+        // A deterministic validation rejection is a definitive non-commit:
+        // it must come back typed (not wrapped in a Protocol error from
+        // the retry machinery) and leave both replicas untouched.
+        let db = Arc::new(Database::random(50, 8, 2).unwrap());
+        let mut pir = TwoServerPir::with_cpu_servers(db, CpuServerConfig::baseline()).unwrap();
+        let err = pir.apply_updates(&[(50, vec![0; 8])]).unwrap_err();
+        assert!(matches!(err, PirError::IndexOutOfRange { .. }), "{err:?}");
+        assert_eq!(pir.server_info(0).unwrap().epoch, 0);
+        assert_eq!(pir.server_info(1).unwrap().epoch, 0);
     }
 
     #[test]

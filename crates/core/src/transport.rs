@@ -139,7 +139,9 @@ pub trait PirTransport: Send {
 
     /// The update batches a replica stuck at `from_epoch` must apply, in
     /// order, to reach this server's epoch (see
-    /// [`crate::journal::UpdateJournal::replay_from`]).
+    /// [`crate::journal::UpdateJournal::replay_from`]). Implementations
+    /// with bounded messages (TCP) may gather the replay over several
+    /// round trips, but always return the full set.
     ///
     /// # Errors
     ///
@@ -730,23 +732,51 @@ impl PirTransport for TcpTransport {
     }
 
     fn replay_updates(&mut self, from_epoch: u64) -> Result<Vec<UpdateBatch>, PirError> {
-        let encoded = Frame::UpdateReplayRequest { from_epoch }.encode()?;
-        match self.idempotent_request("requesting update replay", &encoded)? {
-            Frame::UpdateReplay { batches } => Ok(batches),
-            Frame::JournalTruncated {
-                from_epoch,
-                oldest_replayable,
-                current_epoch,
-            } => Err(PirError::JournalTruncated {
-                from_epoch,
-                oldest_replayable,
-                current_epoch,
-            }),
-            other => Err(self.to_error(
-                "requesting update replay",
-                self.unexpected_frame("UpdateReplay", &other),
-            )),
+        // The server bounds every reply frame, so a large retained lag
+        // arrives as a *prefix* of the replay per request. Loop, advancing
+        // the requested epoch by the batches received, until the server's
+        // epoch at entry is reached or a reply comes back empty (caught
+        // up). Pinning the target at entry bounds the loop — a concurrent
+        // writer cannot extend it indefinitely; its tail batches are
+        // picked up by the caller's next resync round.
+        let target = self.epoch_info()?.current_epoch;
+        let mut next_epoch = from_epoch;
+        let mut all: Vec<UpdateBatch> = Vec::new();
+        loop {
+            let encoded = Frame::UpdateReplayRequest {
+                from_epoch: next_epoch,
+            }
+            .encode()?;
+            let batches = match self.idempotent_request("requesting update replay", &encoded)? {
+                Frame::UpdateReplay { batches } => batches,
+                Frame::JournalTruncated {
+                    from_epoch,
+                    oldest_replayable,
+                    current_epoch,
+                } => {
+                    return Err(PirError::JournalTruncated {
+                        from_epoch,
+                        oldest_replayable,
+                        current_epoch,
+                    });
+                }
+                other => {
+                    return Err(self.to_error(
+                        "requesting update replay",
+                        self.unexpected_frame("UpdateReplay", &other),
+                    ));
+                }
+            };
+            if batches.is_empty() {
+                break;
+            }
+            next_epoch += batches.len() as u64;
+            all.extend(batches);
+            if next_epoch >= target {
+                break;
+            }
         }
+        Ok(all)
     }
 }
 

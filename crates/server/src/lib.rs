@@ -38,7 +38,9 @@ use impir_core::batch::{UpdatableBackend, UpdateOutcome};
 use impir_core::engine::QueryEngine;
 use impir_core::server::phases::PhaseBreakdown;
 use impir_core::transport::{EpochInfo, ScanResult, ServerInfo};
-use impir_core::wire::{Frame, MAX_FRAME_BYTES, WIRE_VERSION};
+use impir_core::wire::{
+    update_batch_frame_bytes, Frame, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WIRE_VERSION,
+};
 use impir_core::{PirError, QueryShare, ServerResponse, UpdateBatch};
 use impir_dpf::SelectorVector;
 
@@ -63,6 +65,14 @@ pub struct ServiceConfig {
     /// snappier at the cost of more wakeups; `--io-timeout-ms` on the
     /// `impir-server` binary sets this.
     pub io_timeout: Duration,
+    /// Upper bound, in encoded bytes, on one `UpdateReplay` reply frame.
+    /// A journal replay larger than this is sent as the longest prefix
+    /// that fits; the client re-requests from its advanced epoch until it
+    /// is caught up. Defaults to the wire-level
+    /// [`MAX_FRAME_BYTES`] (and may not exceed it — larger frames are
+    /// rejected by the encoder); tests lower it to exercise chunking with
+    /// small batches.
+    pub max_replay_frame_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +81,7 @@ impl Default for ServiceConfig {
             coalesce_limit: 16,
             max_sessions: None,
             io_timeout: Duration::from_millis(50),
+            max_replay_frame_bytes: MAX_FRAME_BYTES,
         }
     }
 }
@@ -93,6 +104,17 @@ impl ServiceConfig {
                 reason: "the session I/O timeout must be non-zero".to_string(),
             });
         }
+        if self.max_replay_frame_bytes < MIN_REPLAY_FRAME_BYTES
+            || self.max_replay_frame_bytes > MAX_FRAME_BYTES
+        {
+            return Err(PirError::Config {
+                reason: format!(
+                    "the replay frame bound must be between {MIN_REPLAY_FRAME_BYTES} and \
+                     {MAX_FRAME_BYTES} bytes, got {}",
+                    self.max_replay_frame_bytes
+                ),
+            });
+        }
         Ok(())
     }
 }
@@ -101,6 +123,10 @@ impl ServiceConfig {
 /// flag. Session reads/writes wake on [`ServiceConfig::io_timeout`]
 /// instead.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Smallest accepted [`ServiceConfig::max_replay_frame_bytes`]: room for
+/// the frame tag, the batch-count prefix, and at least one tiny batch.
+pub const MIN_REPLAY_FRAME_BYTES: usize = 64;
 
 /// The dispatcher's answer to one session's query batch.
 struct QueryReply {
@@ -290,7 +316,7 @@ fn accept_loop(
                         &session_requests,
                         &session_shutdown,
                         &session_handshaken,
-                        config.io_timeout,
+                        config,
                     );
                 }));
             }
@@ -612,11 +638,11 @@ fn session_loop(
     requests: &Sender<ServiceRequest>,
     shutdown: &AtomicBool,
     handshaken: &std::sync::atomic::AtomicUsize,
-    io_timeout: Duration,
+    config: ServiceConfig,
 ) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
+    let _ = stream.set_read_timeout(Some(config.io_timeout));
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
     if handshake(&mut stream, requests, shutdown).is_err() {
         return;
     }
@@ -648,9 +674,13 @@ fn session_loop(
             }
             Frame::InfoRequest => handle_info(&mut stream, requests, shutdown),
             Frame::EpochInfoRequest => handle_epoch_info(&mut stream, requests, shutdown),
-            Frame::UpdateReplayRequest { from_epoch } => {
-                handle_replay(&mut stream, requests, from_epoch, shutdown)
-            }
+            Frame::UpdateReplayRequest { from_epoch } => handle_replay(
+                &mut stream,
+                requests,
+                from_epoch,
+                shutdown,
+                config.max_replay_frame_bytes,
+            ),
             Frame::Goodbye => return,
             other => {
                 // Hello mid-session or a server-only frame: protocol
@@ -767,6 +797,7 @@ fn handle_replay(
     requests: &Sender<ServiceRequest>,
     from_epoch: u64,
     shutdown: &AtomicBool,
+    max_replay_frame_bytes: usize,
 ) -> Result<(), PirError> {
     let (reply, replies) = bounded(1);
     if requests
@@ -776,7 +807,40 @@ fn handle_replay(
         return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
     }
     match replies.recv() {
-        Ok(Ok(batches)) => write_session_frame(stream, &Frame::UpdateReplay { batches }, shutdown),
+        Ok(Ok(batches)) => {
+            // A reply frame obeys the same size bound as every other
+            // frame, but a fully-retained lag can hold more batch bytes
+            // than one frame fits (each journalled batch may itself have
+            // arrived near the bound). Send the longest prefix of the
+            // replay that fits; the client advances its requested epoch
+            // past the batches it received and asks again until caught up.
+            let total = batches.len();
+            let mut body = 4usize; // the batch-count prefix
+            let mut taken: Vec<UpdateBatch> = Vec::new();
+            for batch in batches {
+                let batch_body = update_batch_frame_bytes(&batch) - FRAME_HEADER_BYTES;
+                if 1 + body + batch_body > max_replay_frame_bytes {
+                    break;
+                }
+                body += batch_body;
+                taken.push(batch);
+            }
+            if taken.is_empty() && total > 0 {
+                // Never degrade this to an empty reply: the client reads
+                // empty as "caught up" and would silently stay lagging.
+                return write_error(
+                    stream,
+                    &protocol(&format!(
+                        "replay from epoch {from_epoch} cannot proceed: the next journalled \
+                         batch alone exceeds the replay frame bound of \
+                         {max_replay_frame_bytes} bytes; re-seed the lagging replica from a \
+                         current snapshot"
+                    )),
+                    shutdown,
+                );
+            }
+            write_session_frame(stream, &Frame::UpdateReplay { batches: taken }, shutdown)
+        }
         // A truncated journal is an expected, *typed* outcome the client
         // resolves (fail-closed resync error) — it gets its own frame so
         // the transport can rebuild the typed error, unlike free-form

@@ -21,10 +21,13 @@
 //!    correct answers — the service coalesces their batches into shared
 //!    engine waves;
 //! 4. per-batch upload/download wire bytes are reported;
-//! 5. killing one replica mid-update fails loudly, and a **fresh replica**
-//!    brought up from the seed database catches up automatically: the next
-//!    query replays its missed epochs from the healthy server's update
-//!    journal and answers from the converged database version.
+//! 5. killing one replica fails updates loudly *without* committing
+//!    anything on the surviving side (all-or-nothing), and a **fresh
+//!    replica** brought up from the seed database catches up
+//!    automatically: the next query replays its missed epochs from the
+//!    healthy server's update journal and answers from the converged
+//!    database version — after which the failed update re-applies
+//!    cleanly, exactly once per replica.
 //!
 //! Run with `cargo run --example networked_deployment --release`.
 //!
@@ -199,20 +202,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("concurrent sessions: {answered} queries answered across 4 parallel clients");
 
     // --- 5. Replica failure and epoch-driven recovery ---------------------
-    // Kill replica 1, push an update while it is down (server 0 commits it,
-    // the deployment reports the failure loudly), then bring a *fresh*
-    // replica up from the seed database and watch the scheme replay its
-    // whole lag from the healthy server's update journal.
+    // Kill replica 1 and push an update while it is down. The deployment
+    // converges the replicas *before* letting a batch land — a batch must
+    // never sit on only one replica's history — so with a dead replica
+    // the update commits NOWHERE and fails loudly: server 0 is untouched,
+    // still at epoch 1 with no half-committed batch to reconcile.
     service_2.shutdown();
     let lost_update: Vec<(u64, Vec<u8>)> = vec![(77, vec![0xD4; RECORD_BYTES])];
     let err = remote
         .apply_updates(&lost_update)
-        .expect_err("replica 1 is down; the update cannot land on both");
+        .expect_err("replica 1 is down; the update must not land anywhere");
     println!("update with a dead replica fails loudly:\n    {err}");
 
-    // The fresh replica holds the seed database at epoch 0 — TWO committed
-    // batches behind server 0 (the bulk update of section 2 and the one
-    // that just failed half-way).
+    // The fresh replica holds the seed database at epoch 0 — one committed
+    // batch behind server 0 (the bulk update of section 2).
     let service_2 = PirService::bind(cpu_engine(&db, 3)?, "127.0.0.1:0", ServiceConfig::default())?;
     println!(
         "replica 1 restarted on {} from the seed database (epoch 0)",
@@ -223,22 +226,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(TcpTransport::connect(service_1.addr())?),
         Box::new(TcpTransport::connect(service_2.addr())?),
     )?;
-    // The first query detects the epoch divergence, replays both missed
-    // batches over the wire and answers from the converged version — no
+    // The first query detects the epoch divergence, replays the missed
+    // batch over the wire and answers from the converged version — no
     // operator intervention.
-    assert_eq!(recovered.query(77)?, vec![0xD4; RECORD_BYTES]);
     assert_eq!(
         recovered.query(10)?,
         vec![0xA1; RECORD_BYTES],
-        "old update survived"
+        "bulk update survived"
     );
     assert_eq!(recovered.query(0)?, db.record(0), "untouched record");
     let epoch_0 = recovered.server_info(0)?.epoch;
     let epoch_1 = recovered.server_info(1)?.epoch;
-    assert_eq!((epoch_0, epoch_1), (2, 2));
+    assert_eq!((epoch_0, epoch_1), (1, 1));
     println!(
-        "recovery: fresh replica replayed 2 epochs from its peer's journal; \
+        "recovery: fresh replica replayed its lag from its peer's journal; \
          both replicas at epoch {epoch_0}, queries answer the updated bytes"
+    );
+    // With both replicas healthy again the once-failed update simply goes
+    // through — exactly once on each side.
+    let (ack_1, ack_2) = recovered.apply_updates(&lost_update)?;
+    assert_eq!((ack_1.epoch, ack_2.epoch), (2, 2));
+    assert_eq!(recovered.query(77)?, vec![0xD4; RECORD_BYTES]);
+    println!(
+        "the failed update re-applies cleanly after recovery (epoch {})",
+        ack_1.epoch
     );
 
     // --- 6. Graceful shutdown --------------------------------------------

@@ -95,12 +95,13 @@ fn one_sided_update_failures_recover_byte_identically() {
     // Server 0 loses one update before it lands (round 0) and one ack
     // after the commit (round 3); server 1 drops round 2's update, which
     // must come back via journal replay. Indices are chosen against the
-    // deterministic operation interleaving (handshake = op 0, and
-    // recovery's own epoch probes consume ops on both replicas).
+    // deterministic operation interleaving (handshake = op 0, every
+    // apply_updates opens with one epoch probe per replica to converge
+    // them, and recovery's own probes/replays consume further ops).
     let schedule_1 = FaultSchedule::none()
-        .with_fault(1, FaultAction::DropBeforeRequest)
-        .with_fault(9, FaultAction::DropAfterRequest);
-    let schedule_2 = FaultSchedule::none().with_fault(4, FaultAction::DropBeforeRequest);
+        .with_fault(2, FaultAction::DropBeforeRequest)
+        .with_fault(13, FaultAction::DropAfterRequest);
+    let schedule_2 = FaultSchedule::none().with_fault(6, FaultAction::DropBeforeRequest);
     let mut pir = faulty_pir(&db, schedule_1, schedule_2);
 
     for round in 0..4u8 {
@@ -138,10 +139,12 @@ fn one_sided_update_failures_recover_byte_identically() {
 #[test]
 fn update_ack_loss_is_not_reapplied() {
     let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, 4).unwrap());
-    // The ack of server 0's very first update is lost. A blind resend
-    // would leave server 0 at epoch 2 and the content XOR-corrupted under
-    // any non-idempotent backend; the epoch pin must recognize the commit.
-    let schedule_1 = FaultSchedule::none().with_fault(1, FaultAction::DropAfterRequest);
+    // The ack of server 0's very first update is lost (op 0 is the
+    // handshake, op 1 the entry epoch probe, op 2 the update itself). A
+    // blind resend would leave server 0 at epoch 2 and the content
+    // XOR-corrupted under any non-idempotent backend; the epoch pin must
+    // recognize the commit.
+    let schedule_1 = FaultSchedule::none().with_fault(2, FaultAction::DropAfterRequest);
     let mut pir = faulty_pir(&db, schedule_1, FaultSchedule::none());
     let (outcome_1, outcome_2) = pir.apply_updates(&[(9, vec![0xEE; RECORD_BYTES])]).unwrap();
     assert_eq!(
@@ -152,6 +155,56 @@ fn update_ack_loss_is_not_reapplied() {
     assert_eq!(pir.server_info(0).unwrap().epoch, 1);
     assert_eq!(pir.server_info(1).unwrap().epoch, 1);
     assert_eq!(pir.query(9).unwrap(), vec![0xEE; RECORD_BYTES]);
+}
+
+#[test]
+fn divergent_entry_is_converged_not_misclassified_as_committed() {
+    // Regression for the peer-relative commit inference: a previous
+    // apply_updates can legitimately fail with the replicas divergent
+    // (server 0 one ahead) when its error-path resync faults too. On the
+    // next batch, a transient failure that never reached server 0 must
+    // NOT be read as "committed" just because server 0 is ahead of its
+    // peer — that would skip the batch on server 0, apply it on server 1
+    // only, and silently equalize the epochs over different contents.
+    // The pre-pinned epoch proves non-commitment, so the batch must land
+    // on BOTH replicas and every record must match the oracle.
+    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, 9).unwrap());
+    let mut oracle = oracle_pir(&db);
+    let schedule_1 = FaultSchedule::none()
+        // Op 4: the error-path replay of batch 1 to server 1 — its
+        // failure leaves the call with the replicas divergent.
+        .with_fault(4, FaultAction::DropBeforeRequest)
+        // Op 9: batch 2's first send to server 0, after the entry resync
+        // (ops 6-8 on this side) has converged the replicas.
+        .with_fault(9, FaultAction::DropBeforeRequest);
+    // Op 2: batch 1 never reaches server 1.
+    let schedule_2 = FaultSchedule::none().with_fault(2, FaultAction::DropBeforeRequest);
+    let mut pir = faulty_pir(&db, schedule_1, schedule_2);
+
+    let batch_1 = vec![(5, vec![0x11; RECORD_BYTES])];
+    let batch_2 = vec![(5, vec![0x22; RECORD_BYTES]), (7, vec![0x33; RECORD_BYTES])];
+
+    // Batch 1 commits on server 0, faults on server 1, and the error-path
+    // resync faults too: the call fails with the replicas divergent.
+    assert!(pir.apply_updates(&batch_1).is_err());
+    assert_eq!(pir.server_info(0).unwrap().epoch, 1);
+    assert_eq!(pir.server_info(1).unwrap().epoch, 0);
+    oracle.apply_updates(&batch_1).unwrap();
+
+    // Batch 2: the entry resync replays batch 1 to server 1 first, then
+    // the faulted send is proven uncommitted and retried — exactly once
+    // on each replica.
+    let (outcome_1, outcome_2) = pir.apply_updates(&batch_2).unwrap();
+    assert_eq!(outcome_1.epoch, 2);
+    assert_eq!(outcome_2.epoch, 2);
+    oracle.apply_updates(&batch_2).unwrap();
+    for index in 0..RECORDS {
+        assert_eq!(
+            pir.query(index).unwrap(),
+            oracle.query(index).unwrap(),
+            "record {index} diverged from the fault-free oracle"
+        );
+    }
 }
 
 /// Drives mixed query/update traffic through seeded fault schedules on
@@ -309,6 +362,46 @@ fn tcp_update_whose_ack_is_lost_is_not_resent() {
     assert_eq!(transport.epoch_info().unwrap().current_epoch, 1);
     drop(transport);
     proxy.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn large_replays_are_chunked_across_bounded_frames() {
+    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, 10).unwrap());
+    // A 64-byte replay frame bound fits only TWO single-record batches
+    // per reply (each batch body is 24 bytes here), so a five-batch
+    // replay must cross several round trips — and still arrive complete,
+    // in order.
+    let service = PirService::bind(
+        cpu_engine(&db),
+        "127.0.0.1:0",
+        ServiceConfig {
+            max_replay_frame_bytes: 64,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut transport = TcpTransport::connect(service.addr()).unwrap();
+    let mut expected = Vec::new();
+    for round in 0..5u8 {
+        let batch = vec![(u64::from(round), vec![round; RECORD_BYTES])];
+        transport.apply_updates(&batch).unwrap();
+        expected.push(batch);
+    }
+    assert_eq!(transport.replay_updates(0).unwrap(), expected);
+    // A partially-caught-up replica gets exactly its missing suffix.
+    assert_eq!(transport.replay_updates(3).unwrap(), expected[3..].to_vec());
+    // A single journalled batch that cannot fit any reply frame must fail
+    // with an actionable error, never an empty reply (the client would
+    // read that as "caught up" and silently stay lagging).
+    let oversized: Vec<(u64, Vec<u8>)> = (0..4u64).map(|i| (i, vec![7; RECORD_BYTES])).collect();
+    transport.apply_updates(&oversized).unwrap();
+    let err = transport.replay_updates(5).unwrap_err();
+    assert!(
+        err.to_string().contains("replay frame bound"),
+        "unhelpful error: {err}"
+    );
+    drop(transport);
     service.shutdown();
 }
 
