@@ -97,6 +97,24 @@
 //!   (MRAM/WRAM capacities, tasklets, transfer and kernel cost models) that
 //!   the PIM-family backends run on.
 //!
+//! # Topology: the fleet as data
+//!
+//! *What a deployment looks like* is itself data: a
+//! [`topology::FleetTopology`] names every replica (listen address,
+//! backend kind and geometry, shard policy, journal depth, scan kernel)
+//! plus the client-side retry policy and an optional front-tier router,
+//! parsed from a hand-rolled line-oriented config file (hostile input
+//! decodes to [`PirError::Config`] with line numbers, never a panic) and
+//! serialized back losslessly. Every construction path goes through it:
+//! `impir-server` (both `--config FILE` and the classic flags, which
+//! desugar into the same value) builds its engine with
+//! [`topology::FleetTopology::build_engine`], the schemes connect with
+//! [`scheme::TwoServerPir::from_topology`] /
+//! [`multi_server::NServerNaivePir::from_topology`], and the
+//! `impir-server --router` front tier spreads client sessions over the
+//! topology's replicas with health probing and failover. One artifact
+//! decides fleet shape; everything else consumes it.
+//!
 //! # Example
 //!
 //! ```
@@ -134,6 +152,7 @@ pub mod protocol;
 pub mod scheme;
 pub mod server;
 pub mod shard;
+pub mod topology;
 pub mod transport;
 pub mod wire;
 
@@ -148,6 +167,10 @@ pub use journal::{UpdateBatch, UpdateJournal};
 pub use protocol::{QueryShare, ServerResponse};
 pub use server::{BatchOutcome, PhaseBreakdown, PirServer};
 pub use shard::{ShardPlan, ShardedDatabase};
+pub use topology::{
+    BackendSpec, BoxedBackend, FleetEngine, FleetTopology, ReplicaSpec, RetrySpec, RouterSpec,
+    ShardPolicy, TransportKind,
+};
 pub use transport::{
     LocalTransport, PirTransport, RetryPolicy, ScanResult, ServerInfo, TcpTransport, TransportBatch,
 };

@@ -36,6 +36,7 @@ use crate::error::PirError;
 use crate::server::cpu::{CpuPirServer, CpuServerConfig};
 use crate::server::phases::PhaseBreakdown;
 use crate::shard::ShardedDatabase;
+use crate::topology::FleetTopology;
 use crate::transport::{LocalTransport, PirTransport, ServerInfo};
 use crate::wire::selector_scan_frame_bytes_for_bits;
 
@@ -179,6 +180,23 @@ impl NServerNaivePir {
             rng: StdRng::seed_from_u64(seed),
             last_phases: None,
         })
+    }
+
+    /// Creates an `n`-server deployment from a [`FleetTopology`]: the
+    /// topology's first replica stands in for the `servers` identical
+    /// replicas (each of the `n` scans goes through the same transport —
+    /// correct because replicas hold identical databases), connected the
+    /// way the topology says (TCP with its retry policy, or a freshly
+    /// built local engine). The share RNG is seeded from the topology's
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] if fewer than two servers are
+    /// requested or the topology is invalid, and propagates transport
+    /// failures.
+    pub fn from_topology(topology: &FleetTopology, servers: usize) -> Result<Self, PirError> {
+        Self::with_transport(topology.connect(0)?, servers, topology.seed)
     }
 
     /// Number of servers in the deployment.

@@ -37,6 +37,7 @@ use crate::server::cpu::{CpuPirServer, CpuServerConfig};
 use crate::server::phases::PhaseBreakdown;
 use crate::server::pim::{ImPirConfig, ImPirServer};
 use crate::shard::ShardedDatabase;
+use crate::topology::FleetTopology;
 use crate::transport::{LocalTransport, PirTransport, ServerInfo, TransportBatch};
 
 /// A client plus two non-colluding replicated servers, each behind a
@@ -121,6 +122,32 @@ impl TwoServerPir {
             server_2,
             last_phases: None,
         })
+    }
+
+    /// Assembles a deployment from a [`FleetTopology`]: the client is
+    /// sized to the topology's database geometry and the first two
+    /// replicas become the scheme's two (non-colluding) servers — TCP
+    /// replicas are dialed with the topology's retry policy, local ones
+    /// get a freshly built in-process engine. *Where* each server runs is
+    /// decided entirely by the topology file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for an invalid topology or one with
+    /// fewer than two replicas, and [`PirError::Protocol`] when a TCP
+    /// replica cannot be reached.
+    pub fn from_topology(topology: &FleetTopology) -> Result<Self, PirError> {
+        topology.validate()?;
+        if topology.replicas.len() < 2 {
+            return Err(PirError::Config {
+                reason: format!(
+                    "two-server PIR needs at least two replicas in the topology, got {}",
+                    topology.replicas.len()
+                ),
+            });
+        }
+        let client = PirClient::new(topology.records, topology.record_bytes, topology.seed)?;
+        TwoServerPir::from_transports(client, topology.connect(0)?, topology.connect(1)?)
     }
 
     /// Assembles a deployment from an existing client and two servers,

@@ -23,9 +23,19 @@
 //! A session's shares are validated against the engine's DPF domain
 //! *before* they join a merged wave: one client with stale geometry gets
 //! its own error frame and nobody else's queries fail.
+//!
+//! The service is built from a [`FleetTopology`] — the declarative fleet
+//! description in [`impir_core::topology`] — via [`build_service`]; the
+//! `impir-server` binary's classic flags desugar into the same topology
+//! value (see [`cli`]), so there is exactly one construction path. The
+//! [`router`] module adds the front tier that spreads client sessions
+//! over a topology's replicas.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cli;
+pub mod router;
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -37,6 +47,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use impir_core::batch::{UpdatableBackend, UpdateOutcome};
 use impir_core::engine::QueryEngine;
 use impir_core::server::phases::PhaseBreakdown;
+use impir_core::topology::FleetTopology;
 use impir_core::transport::{EpochInfo, ScanResult, ServerInfo};
 use impir_core::wire::{
     update_batch_frame_bytes, Frame, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WIRE_VERSION,
@@ -119,6 +130,54 @@ impl ServiceConfig {
     }
 }
 
+/// The [`ServiceConfig`] a topology implies: its `io-timeout-ms` becomes
+/// the per-session socket timeout; everything else keeps its default.
+#[must_use]
+pub fn service_config_for(topology: &FleetTopology) -> ServiceConfig {
+    ServiceConfig {
+        io_timeout: topology.service_io_timeout(),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Builds and binds one of the topology's replicas: constructs its
+/// engine with [`FleetTopology::build_engine`] and serves it on the
+/// replica's listen address (`127.0.0.1:0` for replicas without one).
+///
+/// This is *the* construction path — the `impir-server` binary, the
+/// examples and the integration tests all build services through here,
+/// whether the topology came from a `--config` file or was desugared
+/// from classic flags.
+///
+/// # Errors
+///
+/// Returns [`PirError::Config`] for an invalid topology or replica index
+/// and [`PirError::Protocol`] if the listener cannot be bound.
+pub fn build_service(topology: &FleetTopology, replica: usize) -> Result<PirService, PirError> {
+    build_service_with(topology, replica, service_config_for(topology))
+}
+
+/// [`build_service`] with an explicit [`ServiceConfig`] (tests use this
+/// to cap sessions or shrink replay frames).
+///
+/// # Errors
+///
+/// As for [`build_service`], plus [`PirError::Config`] for an invalid
+/// `config`.
+pub fn build_service_with(
+    topology: &FleetTopology,
+    replica: usize,
+    config: ServiceConfig,
+) -> Result<PirService, PirError> {
+    let engine = topology.build_engine(replica)?;
+    let listen = topology
+        .replicas
+        .get(replica)
+        .and_then(|spec| spec.listen.as_deref())
+        .unwrap_or("127.0.0.1:0");
+    PirService::bind(engine, listen, config)
+}
+
 /// How often the blocked *accept* loop wakes up to check the shutdown
 /// flag. Session reads/writes wake on [`ServiceConfig::io_timeout`]
 /// instead.
@@ -168,6 +227,7 @@ enum ServiceRequest {
 #[derive(Debug)]
 pub struct PirService {
     addr: SocketAddr,
+    plan: impir_core::ShardPlan,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
     dispatcher_handle: Option<std::thread::JoinHandle<()>>,
@@ -221,6 +281,7 @@ impl PirService {
             })?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let (requests, request_rx) = unbounded::<ServiceRequest>();
+        let plan = engine.plan().clone();
 
         let coalesce_limit = config.coalesce_limit;
         let dispatcher_handle = std::thread::spawn(move || {
@@ -234,6 +295,7 @@ impl PirService {
 
         Ok(PirService {
             addr,
+            plan,
             shutdown,
             accept_handle: Some(accept_handle),
             dispatcher_handle: Some(dispatcher_handle),
@@ -244,6 +306,14 @@ impl PirService {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The realized shard layout of the served engine (what the startup
+    /// banner reports; autoshard policies resolve to concrete boundaries
+    /// only at build time).
+    #[must_use]
+    pub fn plan(&self) -> &impir_core::ShardPlan {
+        &self.plan
     }
 
     /// Gracefully stops the service: no new connections are accepted,
@@ -596,7 +666,7 @@ fn write_full(stream: &mut TcpStream, bytes: &[u8], shutdown: &AtomicBool) -> Re
 }
 
 /// Encodes and sends one frame through [`write_full`].
-fn write_session_frame(
+pub(crate) fn write_session_frame(
     stream: &mut TcpStream,
     frame: &Frame,
     shutdown: &AtomicBool,
@@ -607,7 +677,7 @@ fn write_session_frame(
 
 /// Reads one frame, polling for shutdown between (not within) frames.
 /// `Ok(None)` means the session ended cleanly (disconnect or shutdown).
-fn read_session_frame(
+pub(crate) fn read_session_frame(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
 ) -> Result<Option<Frame>, PirError> {
@@ -750,7 +820,7 @@ fn handshake(
     }
 }
 
-fn protocol(reason: &str) -> PirError {
+pub(crate) fn protocol(reason: &str) -> PirError {
     PirError::Protocol {
         reason: reason.to_string(),
     }

@@ -1,87 +1,35 @@
 //! `impir-server` — a standalone IM-PIR server process.
 //!
 //! Serves one replica of a deterministic synthetic database over the wire
-//! protocol. A two-server deployment runs two of these (on different
-//! machines, or different ports of one) with the **same** `--records`,
-//! `--record-bytes` and `--seed`, so both processes hold identical
-//! replicas; clients connect a
-//! [`TcpTransport`](impir_core::transport::TcpTransport) to each.
+//! protocol, or the front-tier router of a whole fleet. Fleet shape comes
+//! from a [`FleetTopology`]: either a `--config` file, or the classic
+//! flags, which desugar into the same value
+//! ([`impir_server::cli::topology_from_flags`]) — one construction path
+//! either way.
 //!
 //! ```text
+//! # classic flags: one replica per process, matching geometry by hand
 //! impir-server --listen 127.0.0.1:7700 --records 65536 --seed 42 &
 //! impir-server --listen 127.0.0.1:7701 --records 65536 --seed 42 &
+//!
+//! # topology file: the fleet is data, each process names its role
+//! impir-server --config fleet.txt --replica alpha &
+//! impir-server --config fleet.txt --replica beta  &
+//! impir-server --config fleet.txt --router       &
+//! impir-server --config fleet.txt --check   # validate and exit
 //! ```
 //!
-//! Options:
-//!
-//! * `--listen ADDR`       address to bind (default `127.0.0.1:0`; the
-//!   bound address is printed — port 0 picks a free port);
-//! * `--records N`         database records (default 4096);
-//! * `--record-bytes B`    record size (default 32);
-//! * `--seed S`            database seed (default 42; replicas must match);
-//! * `--shards K`          engine shards (default 1; mutually exclusive
-//!   with `--autoshard`);
-//! * `--autoshard MODE`    capacity-aware shard planning instead of a
-//!   manual uniform split: the shard count and boundaries come from the
-//!   backend's `CapacityProfile` (for `pim`, per-cluster MRAM bounds the
-//!   records per shard; for `cpu`, host memory does not, so one shard
-//!   results). `MODE` is `declared` (profile from configuration and the
-//!   simulator's cost model) or `calibrated` (declared profile refined by
-//!   measured probe scans on a small replica). `--autoshard=MODE` also
-//!   works. Mutually exclusive with `--shards`;
-//! * `--backend pim|cpu`   backend kind (default `cpu`);
-//! * `--scan-kernel K`     `dpXOR` scan kernel for the `cpu` backend:
-//!   `auto` (default, self-benchmarked once per process), `scalar`, `wide`
-//!   or `unrolled` — every choice is byte-identical, only speed differs;
-//! * `--dpus D`            simulated DPUs for the PIM backend (default 8);
-//! * `--clusters C`        DPU clusters for the PIM backend (default 1);
-//! * `--max-sessions N`    exit after serving N sessions (default: serve
-//!   until killed);
-//! * `--journal-batches N` update-journal retention: how many applied
-//!   update batches stay replayable so a lagging replica can catch up
-//!   over the wire (default 64; 0 disables the journal — divergence then
-//!   needs a re-seed);
-//! * `--io-timeout-ms T`   per-session socket read/write timeout in
-//!   milliseconds (default 50).
+//! Run `impir-server --help` for the full flag reference.
 
-use std::collections::HashMap;
 use std::process::ExitCode;
-use std::sync::Arc;
 
-use impir_core::database::Database;
-use impir_core::engine::{EngineConfig, QueryEngine};
-use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
-use impir_core::server::pim::{ImPirConfig, ImPirServer};
-use impir_core::shard::ShardedDatabase;
-use impir_core::PirError;
-use impir_pim::PimConfig;
-use impir_server::{PirService, ServiceConfig};
-
-const USAGE: &str = "usage:
-  impir-server [--listen ADDR] [--records N] [--record-bytes B] [--seed S]
-               [--shards K | --autoshard declared|calibrated]
-               [--backend pim|cpu] [--scan-kernel auto|scalar|wide|unrolled]
-               [--dpus D] [--clusters C] [--max-sessions N]
-               [--journal-batches N] [--io-timeout-ms T]
-
-  --journal-batches N  keep the last N applied update batches replayable so
-                       a lagging replica catches up over the wire
-                       (default 64; 0 disables the journal)
-  --io-timeout-ms T    per-session socket read/write timeout (default 50)
-
-  --scan-kernel K dpXOR scan kernel for the cpu backend (default auto:
-                  self-benchmark once per process and keep the fastest;
-                  scalar/wide/unrolled force one — all byte-identical)
-
-  --shards K      manual uniform split into K shards (default 1)
-  --autoshard M   capacity-aware planning: shard count and boundaries come
-                  from the backend's capacity profile (per-cluster MRAM for
-                  pim; host memory for cpu, which yields one shard).
-                  M = declared   profile from config + the simulator's cost
-                                 model
-                  M = calibrated declared profile blended with measured
-                                 probe scans
-                  mutually exclusive with --shards";
+use impir_core::topology::{BackendSpec, FleetTopology};
+use impir_server::cli::{
+    check_config_flag_mix, describe_plan, max_sessions_from_flags, parse_options,
+    topology_from_flags, USAGE,
+};
+use impir_server::router::PirRouter;
+use impir_server::{build_service_with, service_config_for, ServiceConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -98,241 +46,69 @@ fn main() -> ExitCode {
     }
 }
 
-/// How the engine's shard layout is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Sharding {
-    /// Manual uniform split into this many shards (`--shards`).
-    Uniform(usize),
-    /// Capacity-aware planning from the backend's declared profile
-    /// (`--autoshard declared`).
-    Declared,
-    /// Declared profile blended with measured probe scans
-    /// (`--autoshard calibrated`).
-    Calibrated,
-}
-
-/// Records in the probe replica `--autoshard calibrated` measures against.
-const PROBE_RECORDS: u64 = 2048;
-/// How many probe scans calibration runs (best one counts).
-const PROBE_SCANS: usize = 2;
-/// Weight of the measured bandwidth when blending into the declared one.
-const CALIBRATION_BLEND: f64 = 0.5;
-
-/// Builds the capacity-aware planner for a fleet of identical backends:
-/// the shard count is the smallest number of backends whose aggregate
-/// record capacity holds the database (1 for capacity-unbounded backends),
-/// with the measured probe bandwidth blended in when calibrating.
-fn autoshard_planner(
-    profile: impir_core::CapacityProfile,
-    records: u64,
-    sharding: Sharding,
-    probe: impl FnOnce() -> Result<f64, PirError>,
-) -> Result<impir_core::ShardPlanner, String> {
-    let profile = if sharding == Sharding::Calibrated {
-        let measured = probe().map_err(|e| e.to_string())?;
-        println!(
-            "  calibrated scan bandwidth: {:.2} GB/s measured, {:.2} GB/s declared",
-            measured / 1e9,
-            profile.scan_bandwidth_bytes_per_sec / 1e9
-        );
-        profile
-            .with_measured_scan_bandwidth(measured, CALIBRATION_BLEND)
-            .map_err(|e| e.to_string())?
-    } else {
-        profile
-    };
-    let backends = records
-        .div_ceil(profile.record_capacity)
-        .clamp(1, records.max(1)) as usize;
-    impir_core::ShardPlanner::new(vec![profile; backends]).map_err(|e| e.to_string())
-}
-
 fn run(args: &[String]) -> Result<(), String> {
     let options = parse_options(args)?;
-    let listen = options
-        .get("listen")
-        .cloned()
-        .unwrap_or_else(|| "127.0.0.1:0".to_string());
-    let records = get_u64(&options, "records", 4096)?;
-    let record_bytes = get_u64(&options, "record-bytes", 32)? as usize;
-    let seed = get_u64(&options, "seed", 42)?;
-    let backend = options.get("backend").map(String::as_str).unwrap_or("cpu");
-    let scan_kernel = match options.get("scan-kernel") {
-        None => impir_core::dpxor::KernelChoice::Auto,
-        Some(value) => {
-            if backend != "cpu" {
-                return Err("--scan-kernel applies to the cpu backend only".to_string());
-            }
-            impir_core::dpxor::KernelChoice::parse(value).ok_or_else(|| {
-                format!("--scan-kernel expects auto, scalar, wide or unrolled, got `{value}`")
-            })?
-        }
+    check_config_flag_mix(&options)?;
+    let max_sessions = max_sessions_from_flags(&options)?;
+
+    let Some(config_path) = options.get("config") else {
+        // Classic flag form: desugar into a single-replica topology and
+        // serve it — the same path a config file takes.
+        let topology = topology_from_flags(&options)?;
+        return serve_replica(&topology, 0, max_sessions);
     };
-    let max_sessions = match get_u64(&options, "max-sessions", 0)? {
-        0 => None,
-        n => Some(n as usize),
-    };
-    let journal_batches = get_u64(
-        &options,
-        "journal-batches",
-        impir_core::engine::DEFAULT_JOURNAL_BATCHES as u64,
-    )? as usize;
-    let io_timeout_ms = get_u64(&options, "io-timeout-ms", 50)?;
-    if io_timeout_ms == 0 {
-        return Err("--io-timeout-ms must be at least 1".to_string());
+
+    let topology = FleetTopology::from_file(config_path).map_err(|e| e.to_string())?;
+    if options.contains_key("check") {
+        print_check(config_path, &topology);
+        return Ok(());
     }
-
-    let sharding = match options.get("autoshard").map(String::as_str) {
-        None => {
-            let shards = get_u64(&options, "shards", 1)? as usize;
-            if shards == 0 {
-                return Err("--shards must be at least 1".to_string());
-            }
-            Sharding::Uniform(shards)
+    if options.contains_key("router") {
+        if max_sessions.is_some() {
+            return Err("--max-sessions does not apply to --router".to_string());
         }
-        Some(mode) => {
-            if options.contains_key("shards") {
-                // The same validation class every other bad configuration
-                // goes through, so scripted deployments get one error shape.
-                return Err(PirError::Config {
-                    reason: "--autoshard and --shards are mutually exclusive: --autoshard \
-                             derives the shard count and boundaries from backend capacity, \
-                             --shards sets a manual uniform split"
-                        .to_string(),
-                }
-                .to_string());
-            }
-            match mode {
-                "declared" => Sharding::Declared,
-                "calibrated" => Sharding::Calibrated,
-                other => {
-                    return Err(format!(
-                        "--autoshard expects `declared` or `calibrated`, got `{other}`"
-                    ))
-                }
-            }
-        }
+        return serve_router(&topology);
+    }
+    let replica = match options.get("replica") {
+        None => 0,
+        Some(name) => topology.replica_index(name).ok_or_else(|| {
+            let known: Vec<&str> = topology.replicas.iter().map(|r| r.name.as_str()).collect();
+            format!(
+                "the topology has no replica named `{name}` (replicas: {})",
+                known.join(", ")
+            )
+        })?,
     };
+    serve_replica(&topology, replica, max_sessions)
+}
 
-    let database =
-        Arc::new(Database::random(records, record_bytes, seed).map_err(|e| e.to_string())?);
+/// Builds and serves one replica of the topology, printing the startup
+/// banner and honouring the session budget.
+fn serve_replica(
+    topology: &FleetTopology,
+    replica: usize,
+    max_sessions: Option<usize>,
+) -> Result<(), String> {
+    let spec = &topology.replicas[replica];
     let service_config = ServiceConfig {
         max_sessions,
-        io_timeout: std::time::Duration::from_millis(io_timeout_ms),
-        ..ServiceConfig::default()
+        ..service_config_for(topology)
     };
-
-    let (service, shard_summary) = match backend {
-        "cpu" => {
-            let cpu_config = CpuServerConfig {
-                scan_kernel,
-                ..CpuServerConfig::baseline()
-            };
-            let engine_config = EngineConfig {
-                journal_batches,
-                ..EngineConfig::default()
-            };
-            let engine = match sharding {
-                Sharding::Uniform(shards) => {
-                    let sharded = ShardedDatabase::uniform(Arc::clone(&database), shards)
-                        .map_err(|e| e.to_string())?;
-                    QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
-                        CpuPirServer::new(shard_db, cpu_config.clone())
-                    })
-                    .map_err(|e| e.to_string())?
-                }
-                _ => {
-                    let profile = cpu_config.capacity_profile().map_err(|e| e.to_string())?;
-                    let probe_config = cpu_config.clone();
-                    let planner = autoshard_planner(profile, records, sharding, || {
-                        let probe_db = Arc::new(Database::random(
-                            records.min(PROBE_RECORDS),
-                            record_bytes,
-                            seed,
-                        )?);
-                        let mut probe = CpuPirServer::new(probe_db, probe_config)?;
-                        impir_core::capacity::measure_scan_bandwidth(&mut probe, PROBE_SCANS)
-                    })?;
-                    QueryEngine::planned(
-                        Arc::clone(&database),
-                        engine_config,
-                        &planner,
-                        |shard_db, _| CpuPirServer::new(shard_db, cpu_config.clone()),
-                    )
-                    .map_err(|e| e.to_string())?
-                }
-            };
-            let summary = describe_plan(engine.plan(), sharding);
-            (
-                PirService::bind(engine, listen.as_str(), service_config)
-                    .map_err(|e| e.to_string())?,
-                summary,
-            )
-        }
-        "pim" => {
-            let dpus = get_u64(&options, "dpus", 8)? as usize;
-            let clusters = get_u64(&options, "clusters", 1)? as usize;
-            if dpus == 0 || clusters == 0 {
-                return Err("--dpus and --clusters must be at least 1".to_string());
-            }
-            let config = ImPirConfig {
-                pim: PimConfig::tiny_test(dpus, 32 << 20),
-                clusters,
-                eval_threads: 1,
-            };
-            let engine_config =
-                EngineConfig::new(impir_core::BatchConfig::default(), config.eval_strategy())
-                    .map_err(|e: PirError| e.to_string())?;
-            let engine_config = EngineConfig {
-                journal_batches,
-                ..engine_config
-            };
-            let engine = match sharding {
-                Sharding::Uniform(shards) => {
-                    let sharded = ShardedDatabase::uniform(Arc::clone(&database), shards)
-                        .map_err(|e| e.to_string())?;
-                    QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
-                        ImPirServer::new(shard_db, config.clone())
-                    })
-                    .map_err(|e| e.to_string())?
-                }
-                _ => {
-                    let profile = config
-                        .capacity_profile(record_bytes)
-                        .map_err(|e| e.to_string())?;
-                    let probe_config = config.clone();
-                    let probe_records = records.min(profile.record_capacity).min(PROBE_RECORDS);
-                    let planner = autoshard_planner(profile, records, sharding, move || {
-                        let probe_db =
-                            Arc::new(Database::random(probe_records, record_bytes, seed)?);
-                        let mut probe = ImPirServer::new(probe_db, probe_config)?;
-                        impir_core::capacity::measure_scan_bandwidth(&mut probe, PROBE_SCANS)
-                    })?;
-                    QueryEngine::planned(
-                        Arc::clone(&database),
-                        engine_config,
-                        &planner,
-                        |shard_db, _| ImPirServer::new(shard_db, config.clone()),
-                    )
-                    .map_err(|e| e.to_string())?
-                }
-            };
-            let summary = describe_plan(engine.plan(), sharding);
-            (
-                PirService::bind(engine, listen.as_str(), service_config)
-                    .map_err(|e| e.to_string())?,
-                summary,
-            )
-        }
-        other => return Err(format!("unknown backend `{other}` (expected pim or cpu)")),
-    };
+    let service =
+        build_service_with(topology, replica, service_config).map_err(|e| e.to_string())?;
+    let sharding = spec.sharding.unwrap_or(topology.sharding);
 
     // The bound address line is machine-readable on purpose: deployment
     // scripts (and the networked example) parse it to find the port.
     println!("impir-server listening on {}", service.addr());
     println!(
-        "  {records} records x {record_bytes} B (seed {seed}), backend {backend}, \
-         {shard_summary}"
+        "  {} records x {} B (seed {}), replica `{}`, backend {}, {}",
+        topology.records,
+        topology.record_bytes,
+        topology.seed,
+        spec.name,
+        describe_backend(&spec.backend),
+        describe_plan(service.plan(), sharding)
     );
     match max_sessions {
         Some(n) => {
@@ -351,72 +127,61 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One line describing the engine's shard layout for the startup banner.
-fn describe_plan(plan: &impir_core::ShardPlan, sharding: Sharding) -> String {
-    let mode = match sharding {
-        Sharding::Uniform(_) => "uniform",
-        Sharding::Declared => "autoshard declared",
-        Sharding::Calibrated => "autoshard calibrated",
-    };
-    format!(
-        "{} shard(s) [{}] ({mode})",
-        plan.shard_count(),
-        plan.size_summary()
-    )
-}
-
-/// The accepted flag names. A typo like `--record` or `--seeds` must fail
-/// loudly: silently falling back to defaults would start a server whose
-/// replica does not match its peers', and every client query would then
-/// fail the geometry check.
-const KNOWN_FLAGS: [&str; 13] = [
-    "listen",
-    "records",
-    "record-bytes",
-    "seed",
-    "shards",
-    "autoshard",
-    "backend",
-    "scan-kernel",
-    "dpus",
-    "clusters",
-    "max-sessions",
-    "journal-batches",
-    "io-timeout-ms",
-];
-
-fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut options = HashMap::new();
-    let mut iter = args.iter();
-    while let Some(flag) = iter.next() {
-        let Some(spec) = flag.strip_prefix("--") else {
-            return Err(format!("expected a --flag, found `{flag}`"));
-        };
-        // Both `--flag value` and `--flag=value` are accepted.
-        let (name, inline_value) = match spec.split_once('=') {
-            Some((name, value)) => (name, Some(value.to_string())),
-            None => (spec, None),
-        };
-        if !KNOWN_FLAGS.contains(&name) {
-            return Err(format!("unknown flag --{name}"));
-        }
-        let value = match inline_value {
-            Some(value) => value,
-            None => iter
-                .next()
-                .ok_or_else(|| format!("flag --{name} needs a value"))?
-                .clone(),
-        };
-        options.insert(name.to_string(), value);
+/// Binds the topology's front-tier router and serves until killed.
+fn serve_router(topology: &FleetTopology) -> Result<(), String> {
+    let router = PirRouter::bind(topology).map_err(|e| e.to_string())?;
+    // Same machine-readable prefix as a replica: scripts find the port
+    // the same way whether they front a replica or the router.
+    println!("impir-server listening on {}", router.addr());
+    println!(
+        "  router over {} replica(s): {}",
+        topology.replicas.len(),
+        topology
+            .replicas
+            .iter()
+            .map(|r| format!("{} @ {}", r.name, r.listen.as_deref().unwrap_or("?")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("  serving until killed");
+    loop {
+        std::thread::park();
     }
-    Ok(options)
 }
 
-fn get_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
-    match options.get(key) {
-        None => Ok(default),
-        Some(value) => value
-            .parse()
-            .map_err(|_| format!("--{key} expects an integer, got `{value}`")),
+/// `--check`: the topology parsed and validated; print what it describes.
+fn print_check(path: &str, topology: &FleetTopology) {
+    println!(
+        "ok: {path} describes {} records x {} B (seed {}), {} replica(s)",
+        topology.records,
+        topology.record_bytes,
+        topology.seed,
+        topology.replicas.len()
+    );
+    for spec in &topology.replicas {
+        println!(
+            "  replica `{}`: {:?} transport, listen {}, backend {}",
+            spec.name,
+            spec.transport,
+            spec.listen.as_deref().unwrap_or("(ephemeral)"),
+            describe_backend(&spec.backend)
+        );
+    }
+    match &topology.router {
+        Some(router) => println!(
+            "  router on {} (probe every {} ms, max lag {} epoch(s))",
+            router.listen, router.probe_interval_ms, router.max_lag_epochs
+        ),
+        None => println!("  no router section"),
+    }
+}
+
+/// One banner word for a replica's backend.
+fn describe_backend(backend: &BackendSpec) -> String {
+    match backend {
+        BackendSpec::Cpu => "cpu".to_string(),
+        BackendSpec::Pim { dpus, clusters } => {
+            format!("pim ({dpus} DPU(s) x {clusters} cluster(s))")
+        }
     }
 }

@@ -1,0 +1,676 @@
+//! The front-tier router: one listening address for a whole fleet.
+//!
+//! [`PirRouter`] speaks the ordinary client-side [`impir_core::wire`]
+//! protocol on its listen address — a client cannot tell a router from a
+//! replica — and forwards every session's frames to one of the topology's
+//! replicas over a per-session [`TcpTransport`]:
+//!
+//! * **spreading** — sessions are assigned round-robin over the healthy
+//!   replicas, so concurrent clients land on different replicas;
+//! * **accounting** — per-replica request/response wire bytes are
+//!   accumulated across all sessions and probes
+//!   ([`PirRouter::replica_traffic`]);
+//! * **health probing** — a background prober sends
+//!   [`Frame::EpochInfoRequest`] to every replica on the topology's
+//!   `probe-interval-ms`; an unreachable replica is marked unhealthy (no
+//!   new sessions or updates go to it), and a replica lagging more than
+//!   `max-lag-epochs` behind the fleet's front epoch is **caught up** by
+//!   replaying its missed batches from an ahead peer's update journal
+//!   (the PR 7 recovery path, driven fleet-side instead of client-side);
+//! * **failover** — when a replica dies mid-session, idempotent requests
+//!   (queries, scans, info, replay) transparently move to the next
+//!   healthy replica and are retried there; the client only ever sees an
+//!   answer. A failed request is first re-checked with an epoch probe so
+//!   a *genuine server rejection* (bad share domain, oversized batch) is
+//!   reported to the client instead of being retried elsewhere;
+//! * **update fan-out** — an [`Frame::UpdateBatch`] is applied to every
+//!   healthy replica under one router-wide update lock (serialised
+//!   against the prober's catch-ups). Replicas that fail or were already
+//!   unhealthy are left behind and converge through the prober's journal
+//!   replay. The ack reports the highest epoch reached.
+//!
+//! What the router does **not** hide: a query racing an in-flight update
+//! fan-out can observe two different epochs on two sessions — exactly
+//! the torn interleaving [`impir_core::scheme::TwoServerPir`] already
+//! detects and resolves by epoch, so the client-side contract is
+//! unchanged.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use impir_core::topology::{FleetTopology, RetrySpec};
+use impir_core::transport::{PirTransport, TcpTransport};
+use impir_core::wire::{Frame, WIRE_VERSION};
+use impir_core::{PirError, UpdateOutcome};
+
+use crate::{protocol, read_session_frame, write_session_frame};
+
+/// How often the blocked accept loop wakes to check the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// One replica as the router sees it.
+struct ReplicaSlot {
+    name: String,
+    addr: String,
+    /// Cleared when the replica is unreachable or lagging beyond the
+    /// tolerated window; set again once the prober has it caught up.
+    /// Sessions check this before every request and rotate away early.
+    healthy: AtomicBool,
+    uploaded: AtomicU64,
+    downloaded: AtomicU64,
+}
+
+/// State shared by the accept loop, every session thread and the prober.
+struct RouterState {
+    slots: Vec<ReplicaSlot>,
+    retry: RetrySpec,
+    /// Round-robin cursor for assigning new sessions (and new backends
+    /// after a failover) to replicas.
+    next: AtomicUsize,
+    /// Serialises update fan-outs against each other and against the
+    /// prober's catch-up replays, so a replica never receives a journal
+    /// replay interleaved with a fresh batch.
+    update_lock: Mutex<()>,
+    max_lag_epochs: u64,
+}
+
+impl RouterState {
+    /// Adds a finished transport's byte counters to its slot's totals.
+    fn credit(&self, slot: usize, transport: &TcpTransport) {
+        self.slots[slot]
+            .uploaded
+            .fetch_add(transport.uploaded_bytes(), Ordering::Relaxed);
+        self.slots[slot]
+            .downloaded
+            .fetch_add(transport.downloaded_bytes(), Ordering::Relaxed);
+    }
+}
+
+/// Wire traffic the router has exchanged with one replica, summed over
+/// all sessions, probes and catch-up replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaTraffic {
+    /// The replica's topology name.
+    pub name: String,
+    /// Whether the router currently considers the replica healthy.
+    pub healthy: bool,
+    /// Request bytes the router has sent to this replica.
+    pub uploaded_bytes: u64,
+    /// Response bytes the router has received from this replica.
+    pub downloaded_bytes: u64,
+}
+
+/// A running front-tier router. Dropping the handle shuts it down.
+pub struct PirRouter {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<RouterState>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    prober_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PirRouter {
+    /// Binds the topology's `[router]` listen address and starts
+    /// spreading client sessions over its replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for a topology without a `[router]`
+    /// section (or an otherwise invalid one) and [`PirError::Protocol`]
+    /// when the listen address cannot be bound. Replicas do **not** have
+    /// to be reachable at bind time — the prober and per-session
+    /// failover deal with late or dead replicas.
+    pub fn bind(topology: &FleetTopology) -> Result<Self, PirError> {
+        topology.validate()?;
+        let Some(router) = &topology.router else {
+            return Err(PirError::Config {
+                reason: "the topology has no [router] section".to_string(),
+            });
+        };
+        let slots = topology
+            .replicas
+            .iter()
+            .map(|replica| ReplicaSlot {
+                name: replica.name.clone(),
+                addr: replica
+                    .listen
+                    .clone()
+                    .expect("validate() guarantees router fleets are all-TCP"),
+                healthy: AtomicBool::new(true),
+                uploaded: AtomicU64::new(0),
+                downloaded: AtomicU64::new(0),
+            })
+            .collect();
+        let state = Arc::new(RouterState {
+            slots,
+            retry: topology.retry,
+            next: AtomicUsize::new(0),
+            update_lock: Mutex::new(()),
+            max_lag_epochs: router.max_lag_epochs,
+        });
+        let listener =
+            TcpListener::bind(router.listen.as_str()).map_err(|err| PirError::Protocol {
+                reason: format!("binding router listener on {}: {err}", router.listen),
+            })?;
+        let addr = listener.local_addr().map_err(|err| PirError::Protocol {
+            reason: format!("reading router listener address: {err}"),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|err| PirError::Protocol {
+                reason: format!("configuring router listener: {err}"),
+            })?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let io_timeout = topology.service_io_timeout();
+        let probe_interval = Duration::from_millis(router.probe_interval_ms);
+
+        let accept_state = Arc::clone(&state);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&listener, &accept_state, &accept_shutdown, io_timeout);
+        });
+        let prober_state = Arc::clone(&state);
+        let prober_shutdown = Arc::clone(&shutdown);
+        let prober_handle = std::thread::spawn(move || {
+            prober_loop(&prober_state, &prober_shutdown, probe_interval);
+        });
+        Ok(PirRouter {
+            addr,
+            shutdown,
+            state,
+            accept_handle: Some(accept_handle),
+            prober_handle: Some(prober_handle),
+        })
+    }
+
+    /// The address the router listens on (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Per-replica wire-traffic and health accounting, in topology order.
+    #[must_use]
+    pub fn replica_traffic(&self) -> Vec<ReplicaTraffic> {
+        self.state
+            .slots
+            .iter()
+            .map(|slot| ReplicaTraffic {
+                name: slot.name.clone(),
+                healthy: slot.healthy.load(Ordering::SeqCst),
+                uploaded_bytes: slot.uploaded.load(Ordering::Relaxed),
+                downloaded_bytes: slot.downloaded.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Gracefully stops the router: no new sessions, in-flight requests
+    /// drain, every thread is joined.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.prober_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PirRouter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for PirRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PirRouter")
+            .field("addr", &self.addr)
+            .field("replicas", &self.state.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<RouterState>,
+    shutdown: &Arc<AtomicBool>,
+    io_timeout: Duration,
+) {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let session_state = Arc::clone(state);
+                let session_shutdown = Arc::clone(shutdown);
+                sessions.push(std::thread::spawn(move || {
+                    session_loop(stream, &session_state, &session_shutdown, io_timeout);
+                }));
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+        let mut still_running = Vec::with_capacity(sessions.len());
+        for session in sessions {
+            if session.is_finished() {
+                let _ = session.join();
+            } else {
+                still_running.push(session);
+            }
+        }
+        sessions = still_running;
+    }
+    for session in sessions {
+        let _ = session.join();
+    }
+}
+
+/// The router side of one client session: a backend transport pinned to
+/// one replica, with failover when that replica dies.
+struct RoutedBackend {
+    slot: usize,
+    transport: TcpTransport,
+}
+
+impl RoutedBackend {
+    /// Connects to the next healthy replica, round-robin. Replicas that
+    /// refuse the connection are marked unhealthy and skipped.
+    fn connect(state: &RouterState) -> Result<Self, PirError> {
+        let slots = state.slots.len();
+        let start = state.next.fetch_add(1, Ordering::Relaxed);
+        let mut last_error: Option<PirError> = None;
+        for offset in 0..slots {
+            let slot = (start + offset) % slots;
+            if !state.slots[slot].healthy.load(Ordering::SeqCst) {
+                continue;
+            }
+            match TcpTransport::connect_with(state.slots[slot].addr.as_str(), state.retry.policy())
+            {
+                Ok(transport) => {
+                    state.credit(slot, &transport);
+                    // The handshake's bytes are already counted; later
+                    // requests are credited as deltas on top of this.
+                    return Ok(RoutedBackend { slot, transport });
+                }
+                Err(err) => {
+                    state.slots[slot].healthy.store(false, Ordering::SeqCst);
+                    last_error = Some(err);
+                }
+            }
+        }
+        Err(last_error.unwrap_or_else(|| protocol("no healthy replica available")))
+    }
+
+    /// Runs one idempotent request against the pinned replica, failing
+    /// over to the next healthy one if the replica is dead. A failed
+    /// request is first re-checked with an epoch probe on the same
+    /// connection: if the replica still answers, the failure was a
+    /// genuine rejection and is returned to the client instead of being
+    /// retried elsewhere.
+    fn call<T>(
+        &mut self,
+        state: &RouterState,
+        op: impl Fn(&mut TcpTransport) -> Result<T, PirError>,
+    ) -> Result<T, PirError> {
+        let slots = state.slots.len();
+        for _ in 0..=slots {
+            if !state.slots[self.slot].healthy.load(Ordering::SeqCst) {
+                self.rotate(state)?;
+            }
+            let before_up = self.transport.uploaded_bytes();
+            let before_down = self.transport.downloaded_bytes();
+            let result = op(&mut self.transport);
+            state.slots[self.slot].uploaded.fetch_add(
+                self.transport.uploaded_bytes() - before_up,
+                Ordering::Relaxed,
+            );
+            state.slots[self.slot].downloaded.fetch_add(
+                self.transport.downloaded_bytes() - before_down,
+                Ordering::Relaxed,
+            );
+            match result {
+                Ok(value) => return Ok(value),
+                Err(err) => {
+                    if self.transport.epoch_info().is_ok() {
+                        // The replica is alive — this is the server
+                        // rejecting the request, not a fault.
+                        return Err(err);
+                    }
+                    state.slots[self.slot]
+                        .healthy
+                        .store(false, Ordering::SeqCst);
+                    self.rotate(state)?;
+                }
+            }
+        }
+        Err(protocol("every replica failed the request"))
+    }
+
+    /// Replaces the dead backend with a connection to the next healthy
+    /// replica.
+    fn rotate(&mut self, state: &RouterState) -> Result<(), PirError> {
+        let replacement = RoutedBackend::connect(state)?;
+        *self = replacement;
+        Ok(())
+    }
+}
+
+fn session_loop(
+    mut stream: TcpStream,
+    state: &Arc<RouterState>,
+    shutdown: &AtomicBool,
+    io_timeout: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+
+    // Handshake: the router answers exactly like a replica would, using
+    // the backend replica's own advertised geometry.
+    let frame = match read_session_frame(&mut stream, shutdown) {
+        Ok(Some(frame)) => frame,
+        _ => return,
+    };
+    let mut backend = match frame {
+        Frame::Hello { version } if version == WIRE_VERSION => {
+            match RoutedBackend::connect(state) {
+                Ok(backend) => {
+                    let ack = Frame::HelloAck {
+                        version: WIRE_VERSION,
+                        info: backend.transport.cached_info(),
+                    };
+                    if write_session_frame(&mut stream, &ack, shutdown).is_err() {
+                        return;
+                    }
+                    backend
+                }
+                Err(err) => {
+                    let _ = write_session_frame(
+                        &mut stream,
+                        &Frame::Error {
+                            message: format!("router has no healthy replica: {err}"),
+                        },
+                        shutdown,
+                    );
+                    return;
+                }
+            }
+        }
+        Frame::Hello { version } => {
+            let _ = write_session_frame(
+                &mut stream,
+                &Frame::Error {
+                    message: format!(
+                        "server speaks wire version {WIRE_VERSION}, client sent {version}"
+                    ),
+                },
+                shutdown,
+            );
+            return;
+        }
+        other => {
+            let _ = write_session_frame(
+                &mut stream,
+                &Frame::Error {
+                    message: format!("expected Hello to open the session, got {}", other.name()),
+                },
+                shutdown,
+            );
+            return;
+        }
+    };
+
+    loop {
+        let frame = match read_session_frame(&mut stream, shutdown) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close
+            Err(err) => {
+                let _ = write_session_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        message: err.to_string(),
+                    },
+                    shutdown,
+                );
+                return;
+            }
+        };
+        let reply =
+            match frame {
+                Frame::QueryBatch { shares } => backend
+                    .call(state, |t| t.query_batch(&shares))
+                    .map(|batch| Frame::ResponseBatch {
+                        epoch: batch.epoch,
+                        wall_seconds: batch.server_wall_seconds,
+                        phases: batch.phase_totals,
+                        responses: batch.responses,
+                    }),
+                Frame::SelectorScan { selector } => backend
+                    .call(state, |t| t.scan_selector(&selector))
+                    .map(|scan| Frame::SelectorResult {
+                        epoch: scan.epoch,
+                        payload: scan.payload,
+                        phases: scan.phases,
+                    }),
+                Frame::InfoRequest => backend
+                    .call(state, PirTransport::server_info)
+                    .map(|info| Frame::Info { info }),
+                Frame::EpochInfoRequest => backend
+                    .call(state, PirTransport::epoch_info)
+                    .map(|info| Frame::EpochInfo { info }),
+                Frame::UpdateReplayRequest { from_epoch } => backend
+                    .call(state, |t| t.replay_updates(from_epoch))
+                    .map(|batches| Frame::UpdateReplay { batches }),
+                // Updates are NOT failover-retried through the session's
+                // pinned replica: they fan out to the whole fleet under the
+                // router's update lock, exactly once per healthy replica.
+                Frame::UpdateBatch { updates } => {
+                    fan_out_update(state, &updates).map(|outcome| Frame::UpdateAck { outcome })
+                }
+                Frame::Goodbye => return,
+                other => {
+                    let _ = write_session_frame(
+                        &mut stream,
+                        &Frame::Error {
+                            message: format!("unexpected {} frame mid-session", other.name()),
+                        },
+                        shutdown,
+                    );
+                    return;
+                }
+            };
+        let frame = match reply {
+            Ok(frame) => frame,
+            // A truncated journal is a typed outcome the client resolves;
+            // forward it as its own frame, like a replica would.
+            Err(PirError::JournalTruncated {
+                from_epoch,
+                oldest_replayable,
+                current_epoch,
+            }) => Frame::JournalTruncated {
+                from_epoch,
+                oldest_replayable,
+                current_epoch,
+            },
+            Err(err) => Frame::Error {
+                message: err.to_string(),
+            },
+        };
+        if write_session_frame(&mut stream, &frame, shutdown).is_err() {
+            return;
+        }
+    }
+}
+
+/// Applies one update batch to every healthy replica, serialised against
+/// other fan-outs and the prober's catch-ups. Replicas that die mid-fan-
+/// out are marked unhealthy and left to the prober's journal replay; a
+/// *rejected* batch (validation failure — deterministic, so identical on
+/// every replica) aborts the fan-out and is reported to the client.
+fn fan_out_update(
+    state: &RouterState,
+    updates: &[(u64, Vec<u8>)],
+) -> Result<UpdateOutcome, PirError> {
+    let _guard = state
+        .update_lock
+        .lock()
+        .map_err(|_| protocol("router update lock poisoned"))?;
+    let mut best: Option<UpdateOutcome> = None;
+    let mut failures = 0usize;
+    for slot in 0..state.slots.len() {
+        if !state.slots[slot].healthy.load(Ordering::SeqCst) {
+            failures += 1;
+            continue;
+        }
+        let mut transport =
+            match TcpTransport::connect_with(state.slots[slot].addr.as_str(), state.retry.policy())
+            {
+                Ok(transport) => transport,
+                Err(_) => {
+                    state.slots[slot].healthy.store(false, Ordering::SeqCst);
+                    failures += 1;
+                    continue;
+                }
+            };
+        let result = transport.apply_updates(updates);
+        state.credit(slot, &transport);
+        match result {
+            Ok(outcome) => {
+                if best.as_ref().is_none_or(|b| outcome.epoch > b.epoch) {
+                    best = Some(outcome);
+                }
+            }
+            Err(err) => {
+                if transport.epoch_info().is_ok() {
+                    // The replica is alive and rejected the batch.
+                    // Validation is all-or-nothing and deterministic, so
+                    // the first replica rejects before any peer applied —
+                    // nothing has landed anywhere.
+                    return Err(err);
+                }
+                state.slots[slot].healthy.store(false, Ordering::SeqCst);
+                failures += 1;
+            }
+        }
+    }
+    best.ok_or_else(|| {
+        protocol(&format!(
+            "update reached none of the {failures} replica(s): every one is unhealthy or died \
+             mid-update"
+        ))
+    })
+}
+
+/// Sleeps `total` in small steps so shutdown stays snappy.
+fn interruptible_sleep(total: Duration, shutdown: &AtomicBool) {
+    let step = Duration::from_millis(20).min(total);
+    let mut slept = Duration::ZERO;
+    while slept < total && !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(step);
+        slept += step;
+    }
+}
+
+/// The background health/lag prober: every interval, ask every replica
+/// for its [`impir_core::EpochInfo`]; unreachable replicas are marked
+/// unhealthy, reachable ones lagging beyond `max-lag-epochs` are caught
+/// up from an ahead peer's journal and then marked healthy again.
+fn prober_loop(state: &Arc<RouterState>, shutdown: &AtomicBool, probe_interval: Duration) {
+    while !shutdown.load(Ordering::SeqCst) {
+        interruptible_sleep(probe_interval, shutdown);
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Probe every replica with a short-lived control connection.
+        let mut epochs: Vec<Option<u64>> = Vec::with_capacity(state.slots.len());
+        for slot in 0..state.slots.len() {
+            epochs.push(probe_epoch(state, slot));
+        }
+        let Some(front) = epochs.iter().flatten().copied().max() else {
+            // Nobody answered; every slot is already marked unhealthy.
+            continue;
+        };
+        let ahead = epochs.iter().position(|&e| e == Some(front));
+        for (slot, probed) in epochs.iter().enumerate() {
+            match *probed {
+                None => state.slots[slot].healthy.store(false, Ordering::SeqCst),
+                Some(epoch) if front - epoch <= state.max_lag_epochs => {
+                    state.slots[slot].healthy.store(true, Ordering::SeqCst);
+                }
+                Some(epoch) => {
+                    let caught_up = ahead
+                        .map(|ahead| catch_up(state, slot, epoch, ahead))
+                        .unwrap_or(false);
+                    state.slots[slot].healthy.store(caught_up, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+/// One epoch probe against `slot`; `None` marks the replica unreachable
+/// (and unhealthy).
+fn probe_epoch(state: &RouterState, slot: usize) -> Option<u64> {
+    let mut transport =
+        match TcpTransport::connect_with(state.slots[slot].addr.as_str(), state.retry.policy()) {
+            Ok(transport) => transport,
+            Err(_) => {
+                state.slots[slot].healthy.store(false, Ordering::SeqCst);
+                return None;
+            }
+        };
+    let info = transport.epoch_info();
+    state.credit(slot, &transport);
+    match info {
+        Ok(info) => Some(info.current_epoch),
+        Err(_) => {
+            state.slots[slot].healthy.store(false, Ordering::SeqCst);
+            None
+        }
+    }
+}
+
+/// Replays `behind`'s missed batches from `ahead`'s update journal — the
+/// wire-level PR 7 catch-up, driven by the router instead of a client.
+/// Runs under the update lock so no fan-out interleaves with the replay.
+fn catch_up(state: &RouterState, behind: usize, behind_epoch: u64, ahead: usize) -> bool {
+    let Ok(_guard) = state.update_lock.lock() else {
+        return false;
+    };
+    let Ok(mut ahead_transport) =
+        TcpTransport::connect_with(state.slots[ahead].addr.as_str(), state.retry.policy())
+    else {
+        return false;
+    };
+    let Ok(mut behind_transport) =
+        TcpTransport::connect_with(state.slots[behind].addr.as_str(), state.retry.policy())
+    else {
+        return false;
+    };
+    let replayed = (|| -> Result<(), PirError> {
+        // A JournalTruncated here stays an error: the replica cannot be
+        // healed over the wire and needs a re-seed — it simply stays
+        // unhealthy, and the probe log (epoch never converging) is the
+        // operator's signal.
+        let batches = ahead_transport.replay_updates(behind_epoch)?;
+        for batch in batches {
+            behind_transport.apply_updates(&batch)?;
+        }
+        Ok(())
+    })();
+    state.credit(ahead, &ahead_transport);
+    state.credit(behind, &behind_transport);
+    replayed.is_ok()
+}

@@ -1,0 +1,235 @@
+//! A routed fleet, end to end: clients talk to ONE address; the router
+//! spreads their sessions over the topology's replicas, fans updates out
+//! to the whole fleet, fails over from a killed replica mid-run, and
+//! heals the restarted replica by replaying its missed update batches
+//! from an ahead peer's journal — all driven by the checked-in
+//! `examples/topologies/router_mixed_fleet.fleet` file.
+//!
+//! Asserted end to end over real sockets:
+//!
+//! 1. queries through the router are **byte-identical** to queries sent
+//!    directly to a replica (a client cannot tell a router from a
+//!    replica — same wire protocol, same answers);
+//! 2. the full two-server PIR scheme reconstructs records through two
+//!    router sessions, exactly as it does against replicas directly;
+//! 3. one update through one router session reaches **every** replica
+//!    (cpu and pim alike) in the same epoch;
+//! 4. killing a replica mid-run is invisible to clients: sessions pinned
+//!    to the dead replica fail over to a healthy one and keep answering;
+//! 5. the restarted replica starts from the seed database, and the
+//!    router's prober catches it up from a peer's update journal — after
+//!    which the whole fleet answers **byte-identically to a fault-free
+//!    oracle** that saw every update and no faults;
+//! 6. per-replica wire-byte accounting shows where the traffic went.
+//!
+//! Run with `cargo run --example fleet_router --release`.
+
+use std::time::{Duration, Instant};
+
+use im_pir::core::scheme::TwoServerPir;
+use im_pir::core::topology::FleetTopology;
+use im_pir::core::transport::{LocalTransport, PirTransport, TcpTransport};
+use im_pir::core::{PirClient, PirError};
+use impir_server::build_service;
+use impir_server::router::PirRouter;
+
+/// The checked-in fleet file, compiled in so the example runs from any
+/// working directory.
+const FLEET_FILE: &str = include_str!("topologies/router_mixed_fleet.fleet");
+
+/// How long to wait for the router's prober to catch a replica up.
+const CATCH_UP_DEADLINE: Duration = Duration::from_secs(10);
+
+fn wait_for_epoch(addr: &str, want: u64) -> Result<(), PirError> {
+    let deadline = Instant::now() + CATCH_UP_DEADLINE;
+    loop {
+        if let Ok(mut probe) = TcpTransport::connect(addr) {
+            if let Ok(info) = probe.epoch_info() {
+                if info.current_epoch >= want {
+                    return Ok(());
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(PirError::Protocol {
+                reason: format!("replica {addr} never reached epoch {want}"),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topology = FleetTopology::parse(FLEET_FILE)?;
+    let db = topology.build_database()?;
+    let replica_addrs: Vec<String> = topology
+        .replicas
+        .iter()
+        .map(|r| r.listen.clone().expect("router fleets are all-TCP"))
+        .collect();
+    println!(
+        "fleet: {} records x {} B (seed {}), {} replicas + router, from \
+         examples/topologies/router_mixed_fleet.fleet",
+        topology.records,
+        topology.record_bytes,
+        topology.seed,
+        topology.replicas.len()
+    );
+
+    // The whole fleet in threads: three replicas (two cpu, one pim) and
+    // the front-tier router, every one built from the same topology.
+    let services: Vec<_> = (0..topology.replicas.len())
+        .map(|i| build_service(&topology, i))
+        .collect::<Result<_, _>>()?;
+    let router = PirRouter::bind(&topology)?;
+    println!("router listening on {}", router.addr());
+
+    // --- 1. The router is indistinguishable from a replica ----------------
+    let mut probe_client = PirClient::new(topology.records, topology.record_bytes, 99)?;
+    let indices = [0u64, 1000, 4095, 77, 1000];
+    let (shares, _) = probe_client.generate_batch(&indices)?;
+    let mut via_router = TcpTransport::connect(router.addr())?;
+    let mut via_replica = TcpTransport::connect(replica_addrs[0].as_str())?;
+    let routed = via_router.query_batch(&shares)?;
+    let direct = via_replica.query_batch(&shares)?;
+    assert_eq!(
+        routed.responses, direct.responses,
+        "router and direct-replica responses must be byte-identical"
+    );
+    println!(
+        "byte-identity: {} responses identical via router and via replica",
+        routed.responses.len()
+    );
+
+    // --- 2. Full PIR through the router -----------------------------------
+    // Two sessions to ONE address; round-robin assignment lands them on
+    // different replicas, and identical databases make the two DPF shares
+    // reconstruct exactly as in a direct deployment.
+    let mut pir = TwoServerPir::from_transports(
+        PirClient::new(topology.records, topology.record_bytes, 1)?,
+        Box::new(TcpTransport::connect(router.addr())?),
+        Box::new(TcpTransport::connect(router.addr())?),
+    )?;
+    for &index in &[0u64, 2048, 4095] {
+        assert_eq!(pir.query(index)?, db.record(index), "routed record {index}");
+    }
+    println!("two-server PIR reconstructs records through two router sessions");
+
+    // --- 3. One update, the whole fleet ------------------------------------
+    // Updates are NOT per-session: the router fans one batch out to every
+    // healthy replica under its update lock, so the fleet moves epochs
+    // together. (A TwoServerPir would send the batch once per session —
+    // through a router that means a double fan-out, so updates go through
+    // one dedicated session instead.)
+    let record_bytes = topology.record_bytes;
+    let first_update: Vec<(u64, Vec<u8>)> = vec![
+        (10, vec![0xA1; record_bytes]),
+        (4095, vec![0xB2; record_bytes]),
+    ];
+    let ack = via_router.apply_updates(&first_update)?;
+    assert_eq!(ack.epoch, 1, "fan-out reaches epoch 1");
+    for addr in &replica_addrs {
+        wait_for_epoch(addr, 1)?;
+    }
+    assert_eq!(pir.query(10)?, vec![0xA1; record_bytes], "updated bytes");
+    println!(
+        "update fan-out: one batch through one router session put all {} replicas at epoch 1",
+        replica_addrs.len()
+    );
+
+    // --- 4. Kill a replica mid-run: sessions fail over ---------------------
+    // `via_router` and the two PIR sessions are pinned round-robin across
+    // the replicas, so some of them are about to lose their backend.
+    let mut services = services;
+    let killed = services.remove(1);
+    let killed_addr = replica_addrs[1].clone();
+    killed.shutdown();
+    println!(
+        "replica `{}` killed ({killed_addr})",
+        topology.replicas[1].name
+    );
+    for &index in &[10u64, 500, 4095] {
+        let expected: &[u8] = first_update
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map_or_else(|| db.record(index), |(_, bytes)| bytes);
+        assert_eq!(
+            pir.query(index)?,
+            expected,
+            "query {index} with a dead replica"
+        );
+    }
+    let routed_again = via_router.query_batch(&shares)?;
+    let direct_again = via_replica.query_batch(&shares)?;
+    assert_eq!(
+        routed_again.responses, direct_again.responses,
+        "failover responses stay byte-identical to a surviving replica"
+    );
+    println!("failover: every session keeps answering, byte-identical responses");
+
+    // An update while one replica is down lands on the healthy ones; the
+    // dead replica will be two batches behind when it returns.
+    let second_update: Vec<(u64, Vec<u8>)> = vec![(77, vec![0xC3; record_bytes])];
+    let ack = via_router.apply_updates(&second_update)?;
+    assert_eq!(ack.epoch, 2, "healthy replicas reach epoch 2");
+    println!("update with a dead replica: healthy replicas move to epoch 2");
+
+    // --- 5. Restart from seed; the router heals it -------------------------
+    // The restarted replica holds the SEED database (epoch 0) on the same
+    // fixed port. The router's prober notices it is lagging past
+    // max-lag-epochs and replays its two missed batches from an ahead
+    // peer's journal — client-invisible, operator-free recovery.
+    let restarted = build_service(&topology, 1)?;
+    println!(
+        "replica `{}` restarted from seed on {}",
+        topology.replicas[1].name,
+        restarted.addr()
+    );
+    wait_for_epoch(&killed_addr, 2)?;
+    println!("prober caught the restarted replica up to epoch 2 via journal replay");
+
+    // --- 6. The healed fleet matches a fault-free oracle -------------------
+    // The oracle: an in-process engine from the same topology that saw
+    // both updates and no faults. Every replica, queried directly, must
+    // answer byte-identically — and so must the router.
+    let mut oracle = LocalTransport::new(topology.build_engine(0)?);
+    oracle.apply_updates(&first_update)?;
+    oracle.apply_updates(&second_update)?;
+    let (oracle_shares, _) = probe_client.generate_batch(&indices)?;
+    let expected = oracle.query_batch(&oracle_shares)?;
+    for addr in &replica_addrs {
+        let mut direct = TcpTransport::connect(addr.as_str())?;
+        let got = direct.query_batch(&oracle_shares)?;
+        assert_eq!(
+            got.responses, expected.responses,
+            "replica {addr} must match the fault-free oracle"
+        );
+        assert_eq!(got.epoch, 2, "replica {addr} epoch");
+    }
+    let routed = via_router.query_batch(&oracle_shares)?;
+    assert_eq!(routed.responses, expected.responses);
+    println!(
+        "oracle check: all {} replicas and the router answer byte-identically \
+         to a fault-free engine at epoch 2",
+        replica_addrs.len()
+    );
+
+    // --- 7. Where did the bytes go? ----------------------------------------
+    for traffic in router.replica_traffic() {
+        println!(
+            "  replica `{}`: healthy={}, {} B up, {} B down",
+            traffic.name, traffic.healthy, traffic.uploaded_bytes, traffic.downloaded_bytes
+        );
+    }
+
+    drop(pir);
+    drop(via_router);
+    drop(via_replica);
+    router.shutdown();
+    for service in services {
+        service.shutdown();
+    }
+    restarted.shutdown();
+    println!("routed fleet shut down cleanly — fleet router OK");
+    Ok(())
+}

@@ -1,20 +1,22 @@
 //! A real-socket two-server PIR deployment: the paper's actual service
 //! shape, with a network between the client and each server.
 //!
-//! Two [`PirService`]s listen on loopback TCP sockets (each one is exactly
-//! what the `impir-server` binary runs — same library, same wire
-//! protocol; here they live in threads so the example is self-contained
-//! and CI-friendly). The client side drives them through
+//! The fleet is declared once as a [`FleetTopology`] — two TCP replicas
+//! with *different* shard layouts — and every server here is built from
+//! it with [`build_service`] (each one is exactly what
+//! `impir-server --config` runs — same library, same construction path,
+//! same wire protocol; here they live in threads so the example is
+//! self-contained and CI-friendly). The client side drives them through
 //! [`TcpTransport`]s, and because [`TwoServerPir`] only sees
 //! `Box<dyn PirTransport>`, the *same* scheme code also runs a mixed
 //! deployment (one remote server, one in-process engine) without change —
-//! "where the server runs" is policy, not a type.
+//! "where the server runs" is one line of topology, not a type.
 //!
 //! The example asserts, end to end over real sockets:
 //!
 //! 1. remote queries reconstruct the correct records, and the server
-//!    responses are **byte-identical** to an in-process engine over the
-//!    same database and shard layout;
+//!    responses are **byte-identical** to an in-process engine built from
+//!    the same topology replica;
 //! 2. bulk updates through the wire move both replicas to the new epoch
 //!    together, and post-update queries return the new bytes;
 //! 3. concurrent client sessions (threads hammering one server) all get
@@ -31,49 +33,52 @@
 //!
 //! Run with `cargo run --example networked_deployment --release`.
 //!
-//! For a true multi-process deployment, run the binary twice and point
-//! the transports at the printed addresses:
+//! For a true multi-process deployment, put fixed ports in a topology
+//! file and start each role by name (see `examples/topologies/`):
 //!
 //! ```text
-//! impir-server --listen 127.0.0.1:7700 --records 4096 --seed 7 &
-//! impir-server --listen 127.0.0.1:7701 --records 4096 --seed 7 &
+//! impir-server --config examples/topologies/two_replica_tcp.fleet --replica alpha &
+//! impir-server --config examples/topologies/two_replica_tcp.fleet --replica beta &
 //! ```
 
-use std::sync::Arc;
-
-use im_pir::core::database::Database;
-use im_pir::core::engine::{EngineConfig, QueryEngine};
 use im_pir::core::scheme::TwoServerPir;
-use im_pir::core::server::cpu::{CpuPirServer, CpuServerConfig};
-use im_pir::core::shard::ShardedDatabase;
+use im_pir::core::topology::{FleetTopology, ReplicaSpec, ShardPolicy};
 use im_pir::core::transport::{LocalTransport, PirTransport, TcpTransport};
 use im_pir::core::{PirClient, PirError};
-use impir_server::{PirService, ServiceConfig};
+use impir_server::build_service;
 
 const RECORDS: u64 = 2048;
 const RECORD_BYTES: usize = 32;
 const DB_SEED: u64 = 7;
 
-fn cpu_engine(db: &Arc<Database>, shards: usize) -> Result<QueryEngine<CpuPirServer>, PirError> {
-    let sharded = ShardedDatabase::uniform(Arc::clone(db), shards)?;
-    QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
-        CpuPirServer::new(shard_db, CpuServerConfig::baseline())
-    })
+/// The deployment, as data: two TCP replicas over one synthetic database,
+/// with deliberately different shard layouts — distribution policy is
+/// replica-local and invisible on the wire. Ephemeral ports (`:0`)
+/// because the example connects to whatever the services bind.
+fn fleet_topology() -> FleetTopology {
+    let mut topology = FleetTopology::new(RECORDS, RECORD_BYTES, DB_SEED);
+    let mut alpha = ReplicaSpec::tcp("alpha", "127.0.0.1:0");
+    alpha.sharding = Some(ShardPolicy::Uniform(2));
+    let mut beta = ReplicaSpec::tcp("beta", "127.0.0.1:0");
+    beta.sharding = Some(ShardPolicy::Uniform(3));
+    topology.replicas.push(alpha);
+    topology.replicas.push(beta);
+    topology
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, DB_SEED)?);
+    let topology = fleet_topology();
+    let db = topology.build_database()?;
     println!(
         "database: {RECORDS} records x {RECORD_BYTES} B (seed {DB_SEED}), served over loopback TCP"
     );
 
-    // Two server processes-in-threads. Deliberately *different* shard
-    // layouts: distribution policy is server-local and invisible on the
-    // wire.
-    let service_1 = PirService::bind(cpu_engine(&db, 2)?, "127.0.0.1:0", ServiceConfig::default())?;
-    let service_2 = PirService::bind(cpu_engine(&db, 3)?, "127.0.0.1:0", ServiceConfig::default())?;
-    println!("server 0 listening on {} (2 shards)", service_1.addr());
-    println!("server 1 listening on {} (3 shards)", service_2.addr());
+    // Two server processes-in-threads, both built from the topology —
+    // the same path `impir-server --config fleet.txt --replica NAME` takes.
+    let service_1 = build_service(&topology, 0)?;
+    let service_2 = build_service(&topology, 1)?;
+    println!("replica alpha listening on {} (2 shards)", service_1.addr());
+    println!("replica beta  listening on {} (3 shards)", service_2.addr());
 
     // --- 1. Fully remote deployment --------------------------------------
     let transport_1 = TcpTransport::connect(service_1.addr())?;
@@ -98,12 +103,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome_2.epoch,
     );
 
-    // Byte-identical to the in-process path: same shares, same database,
-    // same shard layout -> the client cannot tell a socket from a call.
+    // Byte-identical to the in-process path: same shares, same topology
+    // replica -> the client cannot tell a socket from a call.
     let mut probe = PirClient::new(RECORDS, RECORD_BYTES, 99)?;
     let (shares, _) = probe.generate_batch(&indices)?;
     let mut wire_session = TcpTransport::connect(service_1.addr())?;
-    let mut local_session = LocalTransport::new(cpu_engine(&db, 2)?);
+    let mut local_session = LocalTransport::new(topology.build_engine(0)?);
     let over_wire = wire_session.query_batch(&shares)?;
     let in_process = local_session.query_batch(&shares)?;
     assert_eq!(
@@ -149,15 +154,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("updates: poisoned batch rejected atomically on both replicas");
 
     // --- 3. Mixed deployment: one remote server, one in-process ----------
+    // One line of topology change: replica `beta` becomes an in-process
+    // engine (4 shards). The fresh engine starts at epoch 0, one batch
+    // behind the remote server — the first query detects the lag and
+    // replays it from the remote journal before answering.
+    let mut mixed_topology = topology.clone();
+    let mut gamma = ReplicaSpec::local("gamma");
+    gamma.sharding = Some(ShardPolicy::Uniform(4));
+    mixed_topology.replicas[1] = gamma;
     let mixed_client = PirClient::new(RECORDS, RECORD_BYTES, 2)?;
-    let mut mixed_engine = cpu_engine(&db, 4)?;
-    // The in-process replica must catch up with the updates the remote
-    // servers already applied (same batch, same epoch).
-    mixed_engine.apply_updates(&updates)?;
     let mut mixed = TwoServerPir::from_transports(
         mixed_client,
         Box::new(TcpTransport::connect(service_1.addr())?),
-        Box::new(LocalTransport::new(mixed_engine)),
+        mixed_topology.connect(1)?,
     )?;
     for &index in &[10u64, 777, 2047] {
         let expected: &[u8] = updates
@@ -176,7 +185,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = service_1.addr();
     let mut workers = Vec::new();
     for session in 0..4u64 {
-        let db = Arc::clone(&db);
+        let db = std::sync::Arc::clone(&db);
         workers.push(std::thread::spawn(move || -> Result<usize, PirError> {
             let mut transport = TcpTransport::connect(addr)?;
             let mut client = PirClient::new(RECORDS, RECORD_BYTES, 100 + session)?;
@@ -202,23 +211,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("concurrent sessions: {answered} queries answered across 4 parallel clients");
 
     // --- 5. Replica failure and epoch-driven recovery ---------------------
-    // Kill replica 1 and push an update while it is down. The deployment
+    // Kill replica beta and push an update while it is down. The deployment
     // converges the replicas *before* letting a batch land — a batch must
     // never sit on only one replica's history — so with a dead replica
-    // the update commits NOWHERE and fails loudly: server 0 is untouched,
+    // the update commits NOWHERE and fails loudly: alpha is untouched,
     // still at epoch 1 with no half-committed batch to reconcile.
     service_2.shutdown();
     let lost_update: Vec<(u64, Vec<u8>)> = vec![(77, vec![0xD4; RECORD_BYTES])];
     let err = remote
         .apply_updates(&lost_update)
-        .expect_err("replica 1 is down; the update must not land anywhere");
+        .expect_err("replica beta is down; the update must not land anywhere");
     println!("update with a dead replica fails loudly:\n    {err}");
 
     // The fresh replica holds the seed database at epoch 0 — one committed
-    // batch behind server 0 (the bulk update of section 2).
-    let service_2 = PirService::bind(cpu_engine(&db, 3)?, "127.0.0.1:0", ServiceConfig::default())?;
+    // batch behind alpha (the bulk update of section 2). Same topology,
+    // same build path as the original.
+    let service_2 = build_service(&topology, 1)?;
     println!(
-        "replica 1 restarted on {} from the seed database (epoch 0)",
+        "replica beta restarted on {} from the seed database (epoch 0)",
         service_2.addr()
     );
     let mut recovered = TwoServerPir::from_transports(

@@ -1,37 +1,41 @@
 //! Acceptance test for the service layer: a real-socket deployment
 //! (`PirService` sessions over `TcpTransport`) must answer **byte
 //! identically** to the in-process `LocalTransport` path over the same
-//! database and shard layout — before and after bulk updates.
+//! topology replica — before and after bulk updates.
+//!
+//! Every server here is built from a [`FleetTopology`] with
+//! [`build_service`] — the same construction path as
+//! `impir-server --config` — and the in-process comparison engines come
+//! from [`FleetTopology::build_engine`], so the equivalence being pinned
+//! is between *transports*, never between two hand-wired engines that
+//! could drift apart. Ephemeral ports (`:0`) keep parallel test runs from
+//! colliding; clients dial whatever the services actually bound.
 
 use std::sync::Arc;
 
-use im_pir::core::database::Database;
-use im_pir::core::engine::{EngineConfig, QueryEngine};
 use im_pir::core::multi_server::NServerNaivePir;
 use im_pir::core::scheme::TwoServerPir;
-use im_pir::core::server::cpu::{CpuPirServer, CpuServerConfig};
-use im_pir::core::server::pim::{ImPirConfig, ImPirServer};
-use im_pir::core::shard::ShardedDatabase;
+use im_pir::core::topology::{BackendSpec, FleetTopology, ReplicaSpec, ShardPolicy};
 use im_pir::core::transport::{LocalTransport, PirTransport, TcpTransport};
 use im_pir::core::PirClient;
-use im_pir::pim::PimConfig;
-use impir_server::{PirService, ServiceConfig};
+use impir_server::build_service;
 
 const RECORDS: u64 = 600;
 const RECORD_BYTES: usize = 24;
 const DB_SEED: u64 = 1717;
 
-fn cpu_engine(db: &Arc<Database>, shards: usize) -> QueryEngine<CpuPirServer> {
-    let sharded = ShardedDatabase::uniform(Arc::clone(db), shards).unwrap();
-    QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
-        CpuPirServer::new(shard_db, CpuServerConfig::baseline())
-    })
-    .unwrap()
+/// A single-replica CPU fleet with `shards` uniform shards.
+fn cpu_fleet(shards: usize) -> FleetTopology {
+    let mut topology = FleetTopology::new(RECORDS, RECORD_BYTES, DB_SEED);
+    topology.sharding = ShardPolicy::Uniform(shards);
+    topology
+        .replicas
+        .push(ReplicaSpec::tcp("alpha", "127.0.0.1:0"));
+    topology
 }
 
 #[test]
 fn tcp_and_local_transports_answer_byte_identically_across_updates() {
-    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, DB_SEED).unwrap());
     let indices = [0u64, 1, 299, 300, 599, 123, 123];
     let updates: Vec<(u64, Vec<u8>)> = vec![
         (0, vec![0x11; RECORD_BYTES]),
@@ -41,15 +45,12 @@ fn tcp_and_local_transports_answer_byte_identically_across_updates() {
     ];
 
     for shards in [1usize, 3] {
-        // The same shard layout behind a socket and behind a direct call.
-        let service = PirService::bind(
-            cpu_engine(&db, shards),
-            "127.0.0.1:0",
-            ServiceConfig::default(),
-        )
-        .unwrap();
+        // The same topology replica behind a socket and behind a direct
+        // call.
+        let topology = cpu_fleet(shards);
+        let service = build_service(&topology, 0).unwrap();
         let mut remote = TcpTransport::connect(service.addr()).unwrap();
-        let mut local = LocalTransport::new(cpu_engine(&db, shards));
+        let mut local = LocalTransport::new(topology.build_engine(0).unwrap());
 
         // Both transports describe the same server.
         let remote_info = remote.server_info().unwrap();
@@ -101,11 +102,19 @@ fn tcp_and_local_transports_answer_byte_identically_across_updates() {
 
 #[test]
 fn a_fully_remote_two_server_deployment_reconstructs_records() {
-    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, DB_SEED).unwrap());
-    let service_1 =
-        PirService::bind(cpu_engine(&db, 2), "127.0.0.1:0", ServiceConfig::default()).unwrap();
-    let service_2 =
-        PirService::bind(cpu_engine(&db, 3), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    // Two replicas with different shard layouts — distribution policy is
+    // replica-local and invisible on the wire.
+    let mut topology = FleetTopology::new(RECORDS, RECORD_BYTES, DB_SEED);
+    let mut alpha = ReplicaSpec::tcp("alpha", "127.0.0.1:0");
+    alpha.sharding = Some(ShardPolicy::Uniform(2));
+    let mut beta = ReplicaSpec::tcp("beta", "127.0.0.1:0");
+    beta.sharding = Some(ShardPolicy::Uniform(3));
+    topology.replicas.push(alpha);
+    topology.replicas.push(beta);
+    let db = topology.build_database().unwrap();
+
+    let service_1 = build_service(&topology, 0).unwrap();
+    let service_2 = build_service(&topology, 1).unwrap();
     let client = PirClient::new(RECORDS, RECORD_BYTES, 9).unwrap();
     let mut pir = TwoServerPir::from_transports(
         client,
@@ -140,30 +149,40 @@ fn a_fully_remote_two_server_deployment_reconstructs_records() {
 }
 
 #[test]
+fn a_local_topology_builds_a_working_two_server_deployment() {
+    // The all-in-process construction path: `from_topology` spins both
+    // replicas up behind LocalTransports — no sockets, same scheme code.
+    let mut topology = FleetTopology::new(RECORDS, RECORD_BYTES, DB_SEED);
+    topology.sharding = ShardPolicy::Uniform(2);
+    topology.replicas.push(ReplicaSpec::local("left"));
+    topology.replicas.push(ReplicaSpec::local("right"));
+    let db = topology.build_database().unwrap();
+
+    let mut pir = TwoServerPir::from_topology(&topology).unwrap();
+    for index in [0u64, 321, 599] {
+        assert_eq!(pir.query(index).unwrap(), db.record(index));
+    }
+    pir.apply_updates(&[(7, vec![0x5A; RECORD_BYTES])]).unwrap();
+    assert_eq!(pir.query(7).unwrap(), vec![0x5A; RECORD_BYTES]);
+}
+
+#[test]
 fn pim_backends_serve_over_the_wire_identically_too() {
     // The transport layer is backend-agnostic: a (simulated) PIM engine
     // behind a socket answers byte-identically to the same engine driven
-    // directly.
-    let db = Arc::new(Database::random(240, 16, 77).unwrap());
-    let config = ImPirConfig {
-        pim: PimConfig::tiny_test(4, 8 << 20),
+    // directly — both built from the same topology replica.
+    let mut topology = FleetTopology::new(240, 16, 77);
+    topology.sharding = ShardPolicy::Uniform(2);
+    let mut replica = ReplicaSpec::tcp("pim", "127.0.0.1:0");
+    replica.backend = BackendSpec::Pim {
+        dpus: 4,
         clusters: 2,
-        eval_threads: 1,
     };
-    let pim_engine = |db: &Arc<Database>| -> QueryEngine<ImPirServer> {
-        let sharded = ShardedDatabase::uniform(Arc::clone(db), 2).unwrap();
-        let engine_config =
-            EngineConfig::new(im_pir::core::BatchConfig::default(), config.eval_strategy())
-                .unwrap();
-        QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
-            ImPirServer::new(shard_db, config.clone())
-        })
-        .unwrap()
-    };
-    let service =
-        PirService::bind(pim_engine(&db), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    topology.replicas.push(replica);
+
+    let service = build_service(&topology, 0).unwrap();
     let mut remote = TcpTransport::connect(service.addr()).unwrap();
-    let mut local = LocalTransport::new(pim_engine(&db));
+    let mut local = LocalTransport::new(topology.build_engine(0).unwrap());
 
     let mut client = PirClient::new(240, 16, 11).unwrap();
     let (shares, _) = client.generate_batch(&[0, 100, 239, 100]).unwrap();
@@ -178,9 +197,9 @@ fn pim_backends_serve_over_the_wire_identically_too() {
 
 #[test]
 fn n_server_naive_scheme_runs_over_a_remote_transport() {
-    let db = Arc::new(Database::random(RECORDS, RECORD_BYTES, DB_SEED).unwrap());
-    let service =
-        PirService::bind(cpu_engine(&db, 2), "127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let topology = cpu_fleet(2);
+    let db = topology.build_database().unwrap();
+    let service = build_service(&topology, 0).unwrap();
     let transport = TcpTransport::connect(service.addr()).unwrap();
     let mut remote_pir = NServerNaivePir::with_transport(Box::new(transport), 3, 13).unwrap();
     let mut local_pir = NServerNaivePir::sharded(Arc::clone(&db), 3, 2, 13).unwrap();
