@@ -234,6 +234,13 @@ pub trait UpdatableBackend: BatchExecutor {
     ///
     /// On any validation error no record has been modified.
     fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError>;
+
+    /// The backend's current host-side database replica — the
+    /// copy-on-write snapshot every scan (and for accelerator backends,
+    /// every MRAM push) reads from. Must reflect all updates applied so
+    /// far, so the engine's rebalancer can read a migrating record range
+    /// out of a live shard without a drain.
+    fn database(&self) -> &std::sync::Arc<crate::database::Database>;
 }
 
 // The batch/update traits are object safe; these forwarding impls let a
@@ -265,6 +272,10 @@ impl<S: BatchExecutor + ?Sized> BatchExecutor for Box<S> {
 impl<S: UpdatableBackend + ?Sized> UpdatableBackend for Box<S> {
     fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
         (**self).apply_updates(updates)
+    }
+
+    fn database(&self) -> &std::sync::Arc<crate::database::Database> {
+        (**self).database()
     }
 }
 

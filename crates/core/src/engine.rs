@@ -202,6 +202,11 @@ pub struct QueryEngine<S> {
     /// [`QueryEngine::execute_batch`], in shard order (zeros before the
     /// first batch) — the raw material of [`QueryEngine::shard_timings`].
     last_shard_phases: Vec<PhaseBreakdown>,
+    /// How many queries the most recent batch held (zero before the first
+    /// batch, and reset by a rebalance): the divisor that normalizes the
+    /// per-batch phase breakdowns above to per-query figures, so measured
+    /// timings compare against the planner's per-query predictions.
+    last_batch_queries: usize,
     /// Per-shard single-query scan predictions from the
     /// [`crate::capacity::ShardPlanner`], present only for engines built
     /// through [`QueryEngine::planned`].
@@ -223,18 +228,37 @@ pub struct ShardTiming {
     /// shard (`None` for engines not built through
     /// [`QueryEngine::planned`]).
     pub predicted_scan_seconds: Option<f64>,
+    /// How many queries the most recent batch held (zero before the first
+    /// batch) — the divisor normalizing the per-batch `phases` to the
+    /// per-query figures predictions are stated in.
+    pub queries: usize,
     /// The shard's actual phase breakdown over the most recent batch
     /// (zeros before the first batch).
     pub phases: PhaseBreakdown,
 }
 
 impl ShardTiming {
-    /// The shard's actual scan-side time over the last batch, in hybrid
-    /// seconds (simulated hardware time for PIM phases, wall time for host
-    /// phases).
+    /// The shard's actual scan-side time over the last **batch**, in
+    /// hybrid seconds (simulated hardware time for PIM phases, wall time
+    /// for host phases). Compare against `predicted_scan_seconds *
+    /// queries`, or use [`ShardTiming::actual_seconds_per_query`] — the
+    /// prediction is per-query, and comparing it against this per-batch
+    /// figure conflates batch size with skew.
     #[must_use]
     pub fn actual_hybrid_seconds(&self) -> f64 {
         self.phases.total_hybrid_seconds()
+    }
+
+    /// The shard's actual hybrid seconds **per query** of the most recent
+    /// batch — the same unit as `predicted_scan_seconds`, so predicted
+    /// and measured compare directly whatever the batch size was. Zero
+    /// before the first batch.
+    #[must_use]
+    pub fn actual_seconds_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.phases.total_hybrid_seconds() / self.queries as f64
     }
 }
 
@@ -286,6 +310,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             epoch: 0,
             journal: crate::journal::UpdateJournal::new(config.journal_batches),
             last_shard_phases: vec![PhaseBreakdown::zero()],
+            last_batch_queries: 0,
             predicted_scan_seconds: None,
         })
     }
@@ -347,6 +372,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
             epoch: 0,
             journal: crate::journal::UpdateJournal::new(config.journal_batches),
             last_shard_phases: vec![PhaseBreakdown::zero(); shard_count],
+            last_batch_queries: 0,
             predicted_scan_seconds: None,
         })
     }
@@ -489,6 +515,7 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
                     .predicted_scan_seconds
                     .as_ref()
                     .map(|predicted| predicted[shard]),
+                queries: self.last_batch_queries,
                 phases: self
                     .last_shard_phases
                     .get(shard)
@@ -645,9 +672,11 @@ impl<S: BatchExecutor + Send + Sync> QueryEngine<S> {
                 dpxor::xor_in_place(merged, payload);
             }
         }
-        // Retain the per-shard view so callers can inspect how balanced the
-        // plan actually was (see `shard_timings`).
+        // Retain the per-shard view (and the batch size that produced it,
+        // so the per-batch times normalize to per-query) so callers can
+        // inspect how balanced the plan actually was (see `shard_timings`).
         self.last_shard_phases = per_shard_phases;
+        self.last_batch_queries = shares.len();
         totals.merge(&shard_critical_path);
         if self.shards.len() > 1 {
             // The cross-shard XOR is extra aggregation work a single-shard
@@ -812,6 +841,179 @@ impl<S: UpdatableBackend + Send + Sync> QueryEngine<S> {
         self.journal.record(updates);
         Ok(UpdateOutcome {
             records_updated: updates.len(),
+            bytes_pushed,
+            simulated_seconds,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Executes a [`crate::rebalance::MigrationPlan`] live — records move
+    /// between shards without draining traffic, and the layout change is
+    /// invisible to clients (responses stay byte-identical, because the
+    /// PIR answer is a XOR over selected records wherever they live).
+    ///
+    /// For every shard whose record range changes, the new replica is
+    /// assembled from the **current** backends' copy-on-write databases:
+    /// records the shard keeps are carried over directly, while records
+    /// migrating *in* are staged as zeros and then pushed through the
+    /// rebuilt backend's all-or-nothing
+    /// [`UpdatableBackend::apply_updates`] path — so a PIM receiver
+    /// coalesces the incoming range into MRAM exactly like a §3.3 bulk
+    /// update. Unchanged shards keep their existing backends (and their
+    /// warmed state). Only after every rebuilt backend has committed does
+    /// the engine swap in the new backends and the new [`ShardPlan`]
+    /// together, under the same `&mut self` serialization every update
+    /// takes — a service front that serializes updates against query
+    /// waves gets an atomic plan swap for free.
+    ///
+    /// A rebalance is **one epoch step**: the records that changed shards
+    /// are journaled as an identity update batch (global indices,
+    /// unchanged bytes), so a replica that never rebalanced replays it
+    /// like any other batch — epochs converge and both replicas keep
+    /// reconstructing identical records. The engine's per-shard
+    /// measurements are reset (they described the old layout), so
+    /// [`QueryEngine::scan_skew`] reports `None` until the new layout has
+    /// served a batch — which is also what keeps a measured-skew feedback
+    /// loop from thrashing on stale numbers.
+    ///
+    /// An empty plan is a no-op: nothing is rebuilt and the epoch does
+    /// **not** advance.
+    ///
+    /// # Errors
+    ///
+    /// * [`PirError::Config`] for an unsound plan (non-adjacent move,
+    ///   emptied donor, unknown shard — see
+    ///   [`crate::rebalance::MigrationPlan::apply_to`]) or a factory
+    ///   backend that disagrees with its new shard geometry;
+    /// * any error `factory` or a backend's update path returns. On
+    ///   error the engine keeps its previous layout, backends and epoch.
+    pub fn rebalance<F>(
+        &mut self,
+        plan: &crate::rebalance::MigrationPlan,
+        mut factory: F,
+    ) -> Result<crate::rebalance::RebalanceOutcome, PirError>
+    where
+        F: FnMut(Arc<crate::database::Database>, usize) -> Result<S, PirError>,
+    {
+        use crate::rebalance::RebalanceOutcome;
+        if plan.is_empty() {
+            return Ok(RebalanceOutcome {
+                records_moved: 0,
+                shards_rebuilt: 0,
+                bytes_pushed: 0,
+                simulated_seconds: 0.0,
+                epoch: self.epoch,
+            });
+        }
+        let new_plan = plan.apply_to(&self.plan)?;
+        let record_size = self.record_size;
+        let changed: Vec<usize> = (0..self.shards.len())
+            .filter(|&shard| self.plan.range(shard) != new_plan.range(shard))
+            .collect();
+
+        // Build every rebuilt shard against the *current* backends before
+        // anything is swapped: a failure mid-way leaves the engine
+        // serving its old layout untouched.
+        let mut rebuilt: Vec<(usize, EngineShard<S>)> = Vec::with_capacity(changed.len());
+        let mut journal_batch: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut bytes_pushed = 0u64;
+        let mut simulated_seconds = 0.0f64;
+        for &shard in &changed {
+            let new_range = new_plan.range(shard).expect("shard index within plan");
+            let old_range = self.plan.range(shard).expect("shard index within plan");
+            let len = new_range.end - new_range.start;
+            let mut records: Vec<Vec<u8>> = Vec::with_capacity(len as usize);
+            let mut incoming: Vec<(u64, Vec<u8>)> = Vec::new();
+            for global in new_range.clone() {
+                if old_range.contains(&global) {
+                    // A record the shard keeps: carried over from its own
+                    // copy-on-write replica at the old local index.
+                    let local = global - old_range.start;
+                    records.push(self.shards[shard].backend.database().record(local).to_vec());
+                } else {
+                    // A record migrating in: staged as zeros here, read
+                    // out of its current owner's replica, and pushed
+                    // through the rebuilt backend's update path below.
+                    records.push(vec![0u8; record_size]);
+                    let owner = self
+                        .plan
+                        .shard_of(global)
+                        .expect("every record has an owner in the old plan");
+                    let bytes = self.shards[owner]
+                        .backend
+                        .database()
+                        .record(global - self.shards[owner].start)
+                        .to_vec();
+                    journal_batch.push((global, bytes.clone()));
+                    incoming.push((global - new_range.start, bytes));
+                }
+            }
+            let replica = Arc::new(crate::database::Database::from_records(&records)?);
+            let mut backend = factory(replica, shard)?;
+            if backend.num_records() != len || backend.record_size() != record_size {
+                return Err(PirError::Config {
+                    reason: format!(
+                        "rebalanced backend for shard {shard} holds {} records of {} bytes \
+                         but the new shard spans {len} records of {record_size} bytes",
+                        backend.num_records(),
+                        backend.record_size()
+                    ),
+                });
+            }
+            if !incoming.is_empty() {
+                let outcome = backend.apply_updates(&incoming)?;
+                bytes_pushed += outcome.bytes_pushed;
+                // Rebuilt shards push concurrently-disjoint hardware:
+                // critical path, not sum — same accounting as updates.
+                simulated_seconds = simulated_seconds.max(outcome.simulated_seconds);
+            }
+            rebuilt.push((
+                shard,
+                EngineShard {
+                    backend,
+                    start: new_range.start,
+                    records: len,
+                },
+            ));
+        }
+
+        // Everything committed: swap backends and plan together. The
+        // planner's per-query predictions scale with the shard's record
+        // count (the scan is linear in records), so surviving predictions
+        // stay comparable against future measurements.
+        if let Some(predicted) = &mut self.predicted_scan_seconds {
+            for &shard in &changed {
+                let old_len = {
+                    let range = self.plan.range(shard).expect("shard index within plan");
+                    (range.end - range.start) as f64
+                };
+                let new_len = {
+                    let range = new_plan.range(shard).expect("shard index within plan");
+                    (range.end - range.start) as f64
+                };
+                predicted[shard] *= new_len / old_len;
+            }
+        }
+        for (shard, engine_shard) in rebuilt {
+            self.shards[shard] = engine_shard;
+        }
+        self.plan = new_plan;
+        // The retained measurements described the old layout; reset them
+        // so skew-driven triggers re-measure before moving again.
+        for phases in &mut self.last_shard_phases {
+            *phases = PhaseBreakdown::zero();
+        }
+        self.last_batch_queries = 0;
+        // One epoch step, journaled as an identity batch of the moved
+        // records: an un-rebalanced peer replaying it applies no-op writes
+        // and converges on the same epoch and bytes.
+        journal_batch.sort_by_key(|(global, _)| *global);
+        let records_moved = journal_batch.len() as u64;
+        self.epoch += 1;
+        self.journal.record(&journal_batch);
+        Ok(RebalanceOutcome {
+            records_moved,
+            shards_rebuilt: changed.len(),
             bytes_pushed,
             simulated_seconds,
             epoch: self.epoch,
@@ -1294,6 +1496,100 @@ mod tests {
                 }
             }
         }
+
+        /// Any sound migration plan, applied to an engine that has already
+        /// served traffic, answers byte-identically to a fresh engine
+        /// built over the same database with the post-migration layout —
+        /// including a query batch generated *before* the rebalance and
+        /// executed after it (the batch straddles the plan swap, as when a
+        /// service front rebalances between two coalesced waves).
+        #[test]
+        fn prop_rebalanced_engines_answer_like_fresh_engines_on_the_new_layout(
+            seed in any::<u64>(),
+            shards in 2usize..5,
+            moves in 1usize..4,
+        ) {
+            use crate::rebalance::{MigrationPlan, RecordMove};
+            let ranges = crate::shard::test_util::skewed_ranges(seed, shards, 3, 40);
+            let num_records = ranges.last().unwrap().end;
+            let plan = ShardPlan::from_ranges(ranges.clone()).unwrap();
+            let db = Arc::new(Database::random(num_records, 8, seed).unwrap());
+            let sharded = ShardedDatabase::new(db.clone(), plan).unwrap();
+            let factory = |shard_db: Arc<Database>, _| {
+                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+            };
+            let mut engine =
+                QueryEngine::sharded(&sharded, EngineConfig::default(), factory).unwrap();
+
+            // Seed-derived moves kept sound against the evolving layout:
+            // adjacent shards only, donor keeps at least one record.
+            let mut evolving = ranges.clone();
+            let mut migration = MigrationPlan::empty();
+            for step in 0..moves as u64 {
+                let donor = ((seed.wrapping_add(step * 7)) % shards as u64) as usize;
+                let receiver = if donor + 1 < shards && (seed >> step) & 1 == 0 {
+                    donor + 1
+                } else if donor > 0 {
+                    donor - 1
+                } else {
+                    donor + 1
+                };
+                let donor_len = evolving[donor].end - evolving[donor].start;
+                if donor_len < 2 {
+                    continue;
+                }
+                let records = 1 + seed.wrapping_mul(13).wrapping_add(step) % (donor_len - 1);
+                if receiver == donor + 1 {
+                    evolving[donor].end -= records;
+                    evolving[receiver].start -= records;
+                } else {
+                    evolving[donor].start += records;
+                    evolving[receiver].end += records;
+                }
+                migration.moves.push(RecordMove { donor, receiver, records });
+            }
+
+            // The straddling batch: shares generated against the old
+            // layout (layouts are invisible to clients), first wave served
+            // before the swap, second wave after.
+            let mut client = PirClient::new(num_records, 8, seed).unwrap();
+            let mut indices: Vec<u64> = ranges
+                .iter()
+                .flat_map(|r| [r.start, r.end - 1])
+                .collect();
+            indices.push(seed % num_records);
+            let (shares, peer_shares) = client.generate_batch(&indices).unwrap();
+            engine.execute_batch(&shares).unwrap();
+
+            let outcome = engine.rebalance(&migration, factory).unwrap();
+            prop_assert_eq!(engine.plan().ranges(), &evolving[..]);
+            let expect_epoch = u64::from(!migration.is_empty());
+            prop_assert_eq!(outcome.epoch, expect_epoch);
+            prop_assert_eq!(engine.database_epoch(), expect_epoch);
+
+            let fresh_sharded =
+                ShardedDatabase::new(db.clone(), engine.plan().clone()).unwrap();
+            let mut fresh =
+                QueryEngine::sharded(&fresh_sharded, EngineConfig::default(), factory)
+                    .unwrap();
+            let rebalanced_out = engine.execute_batch(&shares).unwrap();
+            let fresh_out = fresh.execute_batch(&shares).unwrap();
+            for (r, f) in rebalanced_out.responses.iter().zip(&fresh_out.responses) {
+                prop_assert_eq!(&r.payload, &f.payload);
+            }
+
+            // Two-server deployment where only this replica rebalanced:
+            // reconstruction still yields the true record bytes.
+            let mut peer =
+                QueryEngine::sharded(&sharded, EngineConfig::default(), factory).unwrap();
+            let peer_out = peer.execute_batch(&peer_shares).unwrap();
+            for (i, &index) in indices.iter().enumerate() {
+                let record = client
+                    .reconstruct(&rebalanced_out.responses[i], &peer_out.responses[i])
+                    .unwrap();
+                prop_assert_eq!(record, db.record(index), "index {}", index);
+            }
+        }
     }
 
     #[test]
@@ -1306,5 +1602,224 @@ mod tests {
             CpuPirServer::new(other.clone(), CpuServerConfig::baseline())
         });
         assert!(matches!(result, Err(PirError::Config { .. })));
+    }
+
+    #[test]
+    fn shard_timings_normalize_actuals_to_per_query_figures() {
+        // Regression: predicted scan seconds are per-query while the
+        // recorded phase breakdowns cover the whole batch, so comparing
+        // them misreported skew by a factor of the batch size. The
+        // simulated PIM phase times are deterministic, so the per-query
+        // figure must be identical across batch sizes while the per-batch
+        // figure grows with the batch.
+        let db = Arc::new(Database::random(128, 8, 19).unwrap());
+        let mut client = PirClient::new(128, 8, 9).unwrap();
+        let mut per_query_dpxor = |batch: usize| {
+            let sharded = ShardedDatabase::uniform(db.clone(), 2).unwrap();
+            let mut engine =
+                QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+                    ImPirServer::new(shard_db, ImPirConfig::tiny_test(2).with_clusters(2))
+                })
+                .unwrap();
+            let indices: Vec<u64> = (0..batch as u64).map(|i| (i * 41) % 128).collect();
+            let (shares, _) = client.generate_batch(&indices).unwrap();
+            engine.execute_batch(&shares).unwrap();
+            let timing = engine.shard_timings().remove(0);
+            assert_eq!(timing.queries, batch);
+            let batch_sim = timing.phases.dpxor.simulated_seconds.unwrap();
+            assert!(batch_sim > 0.0);
+            // The per-query accessor divides the hybrid total by the batch.
+            let per_query = timing.actual_seconds_per_query();
+            assert!((per_query * batch as f64 - timing.actual_hybrid_seconds()).abs() < 1e-12);
+            batch_sim / batch as f64
+        };
+        let small = per_query_dpxor(2);
+        let large = per_query_dpxor(8);
+        assert!(
+            (small - large).abs() / small < 1e-9,
+            "per-query dpxor time must not depend on batch size: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn empty_migration_plan_is_a_noop() {
+        let db = Arc::new(Database::random(64, 8, 5).unwrap());
+        let mut engine = cpu_engine(&db, 2);
+        let outcome = engine
+            .rebalance(&crate::rebalance::MigrationPlan::empty(), |shard_db, _| {
+                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+            })
+            .unwrap();
+        assert_eq!(outcome.records_moved, 0);
+        assert_eq!(outcome.shards_rebuilt, 0);
+        assert_eq!(outcome.epoch, 0);
+        assert_eq!(engine.database_epoch(), 0);
+    }
+
+    #[test]
+    fn rebalance_matches_a_fresh_engine_built_on_the_new_layout() {
+        use crate::rebalance::{MigrationPlan, RecordMove};
+        let db = Arc::new(Database::random(210, 16, 31).unwrap());
+        let mut client = PirClient::new(210, 16, 2).unwrap();
+        let indices = [0u64, 69, 70, 99, 100, 209, 140];
+        let (shares, peer_shares) = client.generate_batch(&indices).unwrap();
+
+        // A live engine that has already served traffic and absorbed an
+        // update before the rebalance — the moved bytes must come from the
+        // updated copy-on-write replicas, not the construction database.
+        let mut engine = cpu_engine(&db, 3); // uniform: 70 | 70 | 70
+        engine.execute_batch(&shares).unwrap();
+        let updates: Vec<(u64, Vec<u8>)> = vec![(69, vec![0xAA; 16]), (100, vec![0xBB; 16])];
+        engine.apply_updates(&updates).unwrap();
+        let mut updated_db = (*db).clone();
+        for (index, bytes) in &updates {
+            updated_db.set_record(*index, bytes).unwrap();
+        }
+        let updated_db = Arc::new(updated_db);
+
+        let plan = MigrationPlan {
+            moves: vec![
+                RecordMove {
+                    donor: 0,
+                    receiver: 1,
+                    records: 30,
+                },
+                RecordMove {
+                    donor: 2,
+                    receiver: 1,
+                    records: 10,
+                },
+            ],
+        };
+        let outcome = engine
+            .rebalance(&plan, |shard_db, _| {
+                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+            })
+            .unwrap();
+        assert_eq!(outcome.records_moved, 40);
+        assert_eq!(outcome.shards_rebuilt, 3);
+        assert_eq!(outcome.epoch, 2, "one update batch + one rebalance step");
+        assert_eq!(engine.database_epoch(), 2);
+        assert_eq!(engine.plan().range(0), Some(0..40));
+        assert_eq!(engine.plan().range(1), Some(40..150));
+        assert_eq!(engine.plan().range(2), Some(150..210));
+        // Measurements described the old layout: reset until re-measured.
+        assert_eq!(engine.scan_skew(), None);
+
+        // Byte-identity: the rebalanced engine answers exactly like a
+        // fresh engine constructed over the same database with the new
+        // layout — and the pair reconstructs true records.
+        let new_plan = engine.plan().clone();
+        let fresh_sharded = ShardedDatabase::new(updated_db.clone(), new_plan).unwrap();
+        let mut fresh =
+            QueryEngine::sharded(&fresh_sharded, EngineConfig::default(), |shard_db, _| {
+                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+            })
+            .unwrap();
+        let rebalanced_out = engine.execute_batch(&shares).unwrap();
+        let fresh_out = fresh.execute_batch(&shares).unwrap();
+        for (r, f) in rebalanced_out.responses.iter().zip(&fresh_out.responses) {
+            assert_eq!(r.payload, f.payload);
+        }
+        let mut peer = cpu_engine(&updated_db, 3);
+        let peer_out = peer.execute_batch(&peer_shares).unwrap();
+        for (i, &index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&rebalanced_out.responses[i], &peer_out.responses[i])
+                .unwrap();
+            assert_eq!(record, updated_db.record(index), "index {index}");
+        }
+    }
+
+    #[test]
+    fn rebalance_epoch_step_converges_an_unrebalanced_peer() {
+        use crate::rebalance::{MigrationPlan, RecordMove};
+        let db = Arc::new(Database::random(180, 8, 43).unwrap());
+        let mut rebalanced = cpu_engine(&db, 3);
+        let mut peer = cpu_engine(&db, 3);
+
+        let plan = MigrationPlan {
+            moves: vec![RecordMove {
+                donor: 1,
+                receiver: 0,
+                records: 25,
+            }],
+        };
+        rebalanced
+            .rebalance(&plan, |shard_db, _| {
+                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+            })
+            .unwrap();
+        assert_eq!(rebalanced.database_epoch(), 1);
+        assert_eq!(peer.database_epoch(), 0);
+
+        // The peer replays the rebalance like any other missed epoch: the
+        // identity batch applies no-op writes and the epochs converge.
+        let missed = rebalanced.replay_updates(peer.database_epoch()).unwrap();
+        assert_eq!(missed.len(), 1);
+        assert_eq!(missed[0].len(), 25, "one identity write per moved record");
+        for batch in &missed {
+            peer.apply_updates(batch).unwrap();
+        }
+        assert_eq!(peer.database_epoch(), rebalanced.database_epoch());
+
+        // A two-server deployment where only one replica rebalanced still
+        // reconstructs every record byte-identically.
+        let mut client = PirClient::new(180, 8, 4).unwrap();
+        let indices = [0u64, 34, 35, 59, 60, 85, 179];
+        let (shares_1, shares_2) = client.generate_batch(&indices).unwrap();
+        let out_1 = rebalanced.execute_batch(&shares_1).unwrap();
+        let out_2 = peer.execute_batch(&shares_2).unwrap();
+        for (i, &index) in indices.iter().enumerate() {
+            let record = client
+                .reconstruct(&out_1.responses[i], &out_2.responses[i])
+                .unwrap();
+            assert_eq!(record, db.record(index), "index {index}");
+        }
+    }
+
+    #[test]
+    fn rebalance_rescales_planned_predictions_to_new_record_counts() {
+        use crate::capacity::{CapacityProfile, ShardPlanner};
+        use crate::rebalance::{MigrationPlan, RecordMove};
+        let db = Arc::new(Database::random(400, 16, 7).unwrap());
+        let planner = ShardPlanner::new(vec![
+            CapacityProfile::unbounded(3.0e9, 4.0e7, 1).unwrap(),
+            CapacityProfile::unbounded(1.0e9, 4.0e7, 1).unwrap(),
+        ])
+        .unwrap();
+        let mut engine = QueryEngine::planned(
+            db.clone(),
+            EngineConfig::default(),
+            &planner,
+            |shard_db, _| CpuPirServer::new(shard_db, CpuServerConfig::baseline()),
+        )
+        .unwrap();
+        assert_eq!(engine.plan().range(0), Some(0..300));
+        let before: Vec<f64> = engine
+            .shard_timings()
+            .iter()
+            .map(|t| t.predicted_scan_seconds.unwrap())
+            .collect();
+        let plan = MigrationPlan {
+            moves: vec![RecordMove {
+                donor: 0,
+                receiver: 1,
+                records: 60,
+            }],
+        };
+        engine
+            .rebalance(&plan, |shard_db, _| {
+                CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+            })
+            .unwrap();
+        let after: Vec<f64> = engine
+            .shard_timings()
+            .iter()
+            .map(|t| t.predicted_scan_seconds.unwrap())
+            .collect();
+        // Predictions scale linearly with the shard's record count.
+        assert!((after[0] - before[0] * 240.0 / 300.0).abs() < 1e-12);
+        assert!((after[1] - before[1] * 160.0 / 100.0).abs() < 1e-12);
     }
 }

@@ -72,6 +72,18 @@
 //!   fleets included, since boxed trait-object backends plug in directly.
 //!   [`engine::QueryEngine::shard_timings`] exposes predicted-vs-actual
 //!   per-shard skew so a plan's quality is observable in production.
+//!   And the plan is not frozen at build time: the [`rebalance`] module
+//!   closes the feedback loop from *measured* timings. A
+//!   [`rebalance::RebalancePlanner`] turns the per-query hybrid seconds of
+//!   the last batch into a bounded [`rebalance::MigrationPlan`] (at most a
+//!   configured number of records per round, with hysteresis so balanced
+//!   layouts are left alone), and [`engine::QueryEngine::rebalance`]
+//!   executes it live: moved records are read from the donor shard's
+//!   copy-on-write replica, rebuilt shards swap in atomically between
+//!   batches, and the migration is journaled as one epoch step (an
+//!   identity update batch), so replicas that never rebalanced replay it
+//!   like any other update and keep reconstructing identical records —
+//!   layouts stay invisible to clients even mid-migration.
 //! * **backend** — anything implementing [`batch::BatchExecutor`] (selector
 //!   evaluation + wave-wise scans) plus [`server::PirServer`]:
 //!   * [`server::pim::ImPirServer`] — the paper's system, running `dpXOR`
@@ -149,6 +161,7 @@ pub mod fault;
 pub mod journal;
 pub mod multi_server;
 pub mod protocol;
+pub mod rebalance;
 pub mod scheme;
 pub mod server;
 pub mod shard;
@@ -165,11 +178,14 @@ pub use error::PirError;
 pub use fault::{FaultAction, FaultInjectingTransport, FaultProxy, FaultSchedule};
 pub use journal::{UpdateBatch, UpdateJournal};
 pub use protocol::{QueryShare, ServerResponse};
+pub use rebalance::{
+    MigrationPlan, RebalanceConfig, RebalanceOutcome, RebalancePlanner, RecordMove,
+};
 pub use server::{BatchOutcome, PhaseBreakdown, PirServer};
 pub use shard::{ShardPlan, ShardedDatabase};
 pub use topology::{
-    BackendSpec, BoxedBackend, FleetEngine, FleetTopology, ReplicaSpec, RetrySpec, RouterSpec,
-    ShardPolicy, TransportKind,
+    BackendFactory, BackendSpec, BoxedBackend, FleetEngine, FleetTopology, RebalanceMode,
+    ReplicaSpec, RetrySpec, RouterSpec, ShardPolicy, TransportKind,
 };
 pub use transport::{
     LocalTransport, PirTransport, RetryPolicy, ScanResult, ServerInfo, TcpTransport, TransportBatch,

@@ -1,0 +1,516 @@
+//! Online shard rebalancing: *measured* skew drives the layout.
+//!
+//! The capacity planner ([`crate::capacity`]) sizes shards from declared
+//! (or probe-calibrated) profiles, but `BENCH_shardplan.json` shows those
+//! predictions diverging from reality by orders of magnitude once real
+//! traffic runs. This module closes the loop without draining traffic:
+//!
+//! * [`RebalancePlanner`] consumes the engine's **measured** per-shard
+//!   timings ([`crate::engine::QueryEngine::shard_timings`], per-query
+//!   normalized) and emits a bounded [`MigrationPlan`] — at most
+//!   [`RebalanceConfig::max_records_per_round`] records move per round,
+//!   and nothing moves at all while the measured skew stays under the
+//!   [`RebalanceConfig::min_skew`] hysteresis threshold, so measurement
+//!   noise cannot thrash the layout;
+//! * [`crate::engine::QueryEngine::rebalance`] executes the plan live:
+//!   the moving range is read out of the donor shard's copy-on-write
+//!   replica, pushed into the rebuilt receiver through the ordinary
+//!   all-or-nothing [`crate::batch::UpdatableBackend`] update path (so a
+//!   PIM receiver coalesces the incoming records into MRAM exactly like a
+//!   bulk update), and the new [`crate::shard::ShardPlan`] is swapped in
+//!   atomically under the engine's update/query serialization.
+//!
+//! A rebalance is **just another epoch step**: the engine journals the
+//! moved records as an identity update batch (global indices, unchanged
+//! bytes), so replica recovery (PR 7) and router catch-up (PR 8) replay
+//! it like any other batch — a rebalanced replica and its un-rebalanced
+//! peer converge on the same epoch and still reconstruct byte-identical
+//! records, because shard layout was never visible to clients in the
+//! first place (the PIR answer is a XOR over selected records, wherever
+//! they live).
+
+use crate::engine::ShardTiming;
+use crate::error::PirError;
+use crate::shard::ShardPlan;
+
+/// Bounds and hysteresis of the online rebalancer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Upper bound on records moved per planning round. Keeps one
+    /// rebalance's copy + MRAM push (and the journaled identity batch)
+    /// small enough to fit the update windows between query waves.
+    pub max_records_per_round: u64,
+    /// Hysteresis: no migration is planned while the measured per-query
+    /// scan skew (slowest shard over the mean, see
+    /// [`crate::engine::QueryEngine::scan_skew`]) stays below this
+    /// threshold. Must be at least 1.0; values near 1.0 chase noise.
+    pub min_skew: f64,
+    /// Records a donor shard must retain — a shard can shrink but never
+    /// empty out, because every backend needs at least one record.
+    pub min_records_per_shard: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            max_records_per_round: 512,
+            min_skew: 1.5,
+            min_records_per_shard: 1,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] when the per-round bound or the
+    /// donor minimum is zero, or the skew threshold is below 1.0 (the
+    /// skew metric's floor) or not finite.
+    pub fn validate(&self) -> Result<(), PirError> {
+        if self.max_records_per_round == 0 {
+            return Err(PirError::Config {
+                reason: "a rebalance round must be allowed to move at least one record".to_string(),
+            });
+        }
+        if self.min_records_per_shard == 0 {
+            return Err(PirError::Config {
+                reason: "a donor shard must retain at least one record".to_string(),
+            });
+        }
+        if !self.min_skew.is_finite() || self.min_skew < 1.0 {
+            return Err(PirError::Config {
+                reason: format!(
+                    "the rebalance skew threshold must be a finite value >= 1.0 \
+                     (measured skew is max/mean), got {}",
+                    self.min_skew
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One bounded migration: `records` records move across the shared
+/// boundary between `donor` and an **adjacent** `receiver` (shards tile
+/// the record space contiguously, so only boundary records can move
+/// without renumbering the whole layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMove {
+    /// The overloaded shard giving records up.
+    pub donor: usize,
+    /// The adjacent shard absorbing them (`donor ± 1`).
+    pub receiver: usize,
+    /// How many records cross the boundary (at least 1).
+    pub records: u64,
+}
+
+/// A bounded, validated-on-apply sequence of [`RecordMove`]s — what the
+/// [`RebalancePlanner`] emits and
+/// [`crate::engine::QueryEngine::rebalance`] executes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The moves, applied in order to an evolving layout.
+    pub moves: Vec<RecordMove>,
+}
+
+impl MigrationPlan {
+    /// An empty plan (the planner's "balanced enough" answer).
+    #[must_use]
+    pub fn empty() -> Self {
+        MigrationPlan::default()
+    }
+
+    /// Whether the plan moves nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Total records moved across all moves.
+    #[must_use]
+    pub fn records_moved(&self) -> u64 {
+        self.moves.iter().map(|m| m.records).sum()
+    }
+
+    /// The shard plan after applying every move, in order, to `plan` —
+    /// validating each move against the evolving layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] when a move names a shard outside the
+    /// plan, a non-adjacent receiver, zero records, or would shrink its
+    /// donor below one record.
+    pub fn apply_to(&self, plan: &ShardPlan) -> Result<ShardPlan, PirError> {
+        let mut ranges: Vec<std::ops::Range<u64>> = plan.ranges().to_vec();
+        for (position, mv) in self.moves.iter().enumerate() {
+            let shard_count = ranges.len();
+            if mv.donor >= shard_count || mv.receiver >= shard_count {
+                return Err(PirError::Config {
+                    reason: format!(
+                        "migration move {position} names shard {} -> {} but the plan has \
+                         only {shard_count} shard(s)",
+                        mv.donor, mv.receiver
+                    ),
+                });
+            }
+            if mv.donor.abs_diff(mv.receiver) != 1 {
+                return Err(PirError::Config {
+                    reason: format!(
+                        "migration move {position} ({} -> {}) is not between adjacent \
+                         shards: shards tile the record space contiguously, so only \
+                         boundary records can change shards",
+                        mv.donor, mv.receiver
+                    ),
+                });
+            }
+            if mv.records == 0 {
+                return Err(PirError::Config {
+                    reason: format!("migration move {position} moves zero records"),
+                });
+            }
+            let donor_len = ranges[mv.donor].end - ranges[mv.donor].start;
+            if mv.records >= donor_len {
+                return Err(PirError::Config {
+                    reason: format!(
+                        "migration move {position} takes {} of donor shard {}'s \
+                         {donor_len} record(s); a donor must retain at least one",
+                        mv.records, mv.donor
+                    ),
+                });
+            }
+            if mv.receiver == mv.donor + 1 {
+                // The donor's tail crosses the boundary downward.
+                ranges[mv.donor].end -= mv.records;
+                ranges[mv.receiver].start -= mv.records;
+            } else {
+                // The donor's head crosses the boundary upward.
+                ranges[mv.donor].start += mv.records;
+                ranges[mv.receiver].end += mv.records;
+            }
+        }
+        ShardPlan::from_ranges(ranges)
+    }
+}
+
+/// Plans bounded migrations from the engine's measured per-shard
+/// timings. Stateless between rounds: every call looks only at the most
+/// recent batch's measurements, and the hysteresis threshold (not
+/// history) is what prevents thrash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalancePlanner {
+    config: RebalanceConfig,
+}
+
+impl RebalancePlanner {
+    /// Creates a planner with the given bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for an invalid configuration (see
+    /// [`RebalanceConfig::validate`]).
+    pub fn new(config: RebalanceConfig) -> Result<Self, PirError> {
+        config.validate()?;
+        Ok(RebalancePlanner { config })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &RebalanceConfig {
+        &self.config
+    }
+
+    /// Plans at most one bounded move from measured per-shard timings:
+    /// the slowest shard (per-query hybrid seconds) donates boundary
+    /// records to its faster adjacent neighbour, sized so the two
+    /// shards' *measured per-record costs* predict equal times after the
+    /// move, clamped to the per-round bound and the donor minimum.
+    ///
+    /// Returns an empty plan when there is nothing sound to do: fewer
+    /// than two shards, no measurements yet (zeros before the first
+    /// batch — including right after a rebalance, which resets the
+    /// measurements so the next round re-measures the *new* layout
+    /// before moving again), or skew below the hysteresis threshold.
+    #[must_use]
+    pub fn plan(&self, timings: &[ShardTiming]) -> MigrationPlan {
+        if timings.len() < 2 {
+            return MigrationPlan::empty();
+        }
+        let per_query: Vec<f64> = timings
+            .iter()
+            .map(ShardTiming::actual_seconds_per_query)
+            .collect();
+        let total: f64 = per_query.iter().sum();
+        if total <= 0.0 {
+            return MigrationPlan::empty();
+        }
+        let mean = total / per_query.len() as f64;
+        let donor = per_query
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(shard, _)| shard)
+            .expect("at least two shards");
+        if per_query[donor] / mean < self.config.min_skew {
+            return MigrationPlan::empty();
+        }
+        // The faster adjacent neighbour absorbs the donor's boundary
+        // records (contiguous tiling: only adjacent shards can trade).
+        let receiver = [donor.checked_sub(1), Some(donor + 1)]
+            .into_iter()
+            .flatten()
+            .filter(|&n| n < timings.len())
+            .min_by(|&a, &b| per_query[a].total_cmp(&per_query[b]));
+        let Some(receiver) = receiver else {
+            return MigrationPlan::empty();
+        };
+        if per_query[receiver] >= per_query[donor] {
+            return MigrationPlan::empty();
+        }
+        let donor_records = timings[donor].range.end - timings[donor].range.start;
+        let receiver_records = timings[receiver].range.end - timings[receiver].range.start;
+        if donor_records <= self.config.min_records_per_shard || receiver_records == 0 {
+            return MigrationPlan::empty();
+        }
+        // Measured per-record costs; moving m records changes the pair's
+        // predicted times to (t_d - m*c_d, t_r + m*c_r), equal at
+        // m = (t_d - t_r) / (c_d + c_r).
+        let donor_cost = per_query[donor] / donor_records as f64;
+        let receiver_cost = per_query[receiver] / receiver_records as f64;
+        if donor_cost + receiver_cost <= 0.0 {
+            return MigrationPlan::empty();
+        }
+        let balance_point = (per_query[donor] - per_query[receiver]) / (donor_cost + receiver_cost);
+        let records = (balance_point.floor() as u64)
+            .min(self.config.max_records_per_round)
+            .min(donor_records - self.config.min_records_per_shard);
+        if records == 0 {
+            return MigrationPlan::empty();
+        }
+        MigrationPlan {
+            moves: vec![RecordMove {
+                donor,
+                receiver,
+                records,
+            }],
+        }
+    }
+}
+
+/// What one [`crate::engine::QueryEngine::rebalance`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceOutcome {
+    /// Records that changed shards (the size of the journaled identity
+    /// batch). Zero means the plan was empty and nothing changed —
+    /// including the epoch.
+    pub records_moved: u64,
+    /// Shards whose backends were rebuilt over a new record range.
+    pub shards_rebuilt: usize,
+    /// Bytes pushed to accelerator memory while applying the moved
+    /// ranges through the receivers' update paths (zero for host-resident
+    /// receivers).
+    pub bytes_pushed: u64,
+    /// Simulated transfer seconds of those pushes, as a critical path
+    /// over the concurrently rebuilt shards.
+    pub simulated_seconds: f64,
+    /// The engine's database epoch after the rebalance.
+    pub epoch: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::phases::{PhaseBreakdown, PhaseTime};
+
+    fn timing(shard: usize, range: std::ops::Range<u64>, seconds: f64) -> ShardTiming {
+        let mut phases = PhaseBreakdown::zero();
+        phases.dpxor = PhaseTime {
+            wall_seconds: 0.0,
+            simulated_seconds: Some(seconds),
+        };
+        ShardTiming {
+            shard,
+            range,
+            predicted_scan_seconds: None,
+            queries: 1,
+            phases,
+        }
+    }
+
+    #[test]
+    fn config_bounds_are_validated() {
+        assert!(RebalanceConfig::default().validate().is_ok());
+        for bad in [
+            RebalanceConfig {
+                max_records_per_round: 0,
+                ..RebalanceConfig::default()
+            },
+            RebalanceConfig {
+                min_records_per_shard: 0,
+                ..RebalanceConfig::default()
+            },
+            RebalanceConfig {
+                min_skew: 0.5,
+                ..RebalanceConfig::default()
+            },
+            RebalanceConfig {
+                min_skew: f64::NAN,
+                ..RebalanceConfig::default()
+            },
+        ] {
+            assert!(matches!(bad.validate(), Err(PirError::Config { .. })));
+        }
+    }
+
+    #[test]
+    fn balanced_or_unmeasured_fleets_plan_nothing() {
+        let planner = RebalancePlanner::new(RebalanceConfig::default()).unwrap();
+        // No measurements yet.
+        assert!(planner
+            .plan(&[timing(0, 0..100, 0.0), timing(1, 100..200, 0.0)])
+            .is_empty());
+        // Balanced: skew 1.0 < 1.5.
+        assert!(planner
+            .plan(&[timing(0, 0..100, 1.0), timing(1, 100..200, 1.0)])
+            .is_empty());
+        // Single shard: nowhere to move.
+        assert!(planner.plan(&[timing(0, 0..100, 9.0)]).is_empty());
+    }
+
+    #[test]
+    fn skewed_fleets_move_boundary_records_to_the_faster_neighbour() {
+        let planner = RebalancePlanner::new(RebalanceConfig::default()).unwrap();
+        // Shard 1 is 4x the mean; shard 0 is the faster neighbour.
+        let plan = planner.plan(&[
+            timing(0, 0..100, 0.1),
+            timing(1, 100..200, 1.0),
+            timing(2, 200..300, 0.1),
+        ]);
+        assert_eq!(plan.moves.len(), 1);
+        let mv = plan.moves[0];
+        assert_eq!(mv.donor, 1);
+        assert!(mv.receiver == 0 || mv.receiver == 2);
+        assert!(mv.records >= 1);
+        // Balance point: (1.0 - 0.1) / (1.0/100 + 0.1/100) = ~81 records.
+        assert!(mv.records <= 100, "bounded by the donor's size");
+    }
+
+    #[test]
+    fn the_per_round_cap_bounds_every_plan() {
+        let config = RebalanceConfig {
+            max_records_per_round: 5,
+            ..RebalanceConfig::default()
+        };
+        let planner = RebalancePlanner::new(config).unwrap();
+        let plan = planner.plan(&[timing(0, 0..1000, 10.0), timing(1, 1000..2000, 0.1)]);
+        assert_eq!(plan.records_moved(), 5);
+    }
+
+    #[test]
+    fn donors_never_shrink_below_the_minimum() {
+        let config = RebalanceConfig {
+            min_records_per_shard: 3,
+            ..RebalanceConfig::default()
+        };
+        let planner = RebalancePlanner::new(config).unwrap();
+        let plan = planner.plan(&[timing(0, 0..4, 10.0), timing(1, 4..1000, 0.001)]);
+        assert_eq!(plan.records_moved(), 1, "4 records, 3 must remain");
+        let plan = planner.plan(&[timing(0, 0..3, 10.0), timing(1, 3..1000, 0.001)]);
+        assert!(plan.is_empty(), "at the minimum already");
+    }
+
+    #[test]
+    fn apply_to_moves_the_shared_boundary() {
+        let plan = ShardPlan::from_ranges(vec![0..100, 100..250, 250..300]).unwrap();
+        let down = MigrationPlan {
+            moves: vec![RecordMove {
+                donor: 1,
+                receiver: 2,
+                records: 50,
+            }],
+        };
+        let moved = down.apply_to(&plan).unwrap();
+        assert_eq!(moved.ranges(), &[0..100, 100..200, 200..300]);
+        let up = MigrationPlan {
+            moves: vec![RecordMove {
+                donor: 1,
+                receiver: 0,
+                records: 25,
+            }],
+        };
+        let moved = up.apply_to(&plan).unwrap();
+        assert_eq!(moved.ranges(), &[0..125, 125..250, 250..300]);
+    }
+
+    #[test]
+    fn apply_to_rejects_unsound_moves() {
+        let plan = ShardPlan::from_ranges(vec![0..100, 100..200, 200..300]).unwrap();
+        let cases = [
+            RecordMove {
+                donor: 0,
+                receiver: 2,
+                records: 10,
+            }, // not adjacent
+            RecordMove {
+                donor: 0,
+                receiver: 1,
+                records: 0,
+            }, // zero records
+            RecordMove {
+                donor: 0,
+                receiver: 1,
+                records: 100,
+            }, // empties the donor
+            RecordMove {
+                donor: 3,
+                receiver: 2,
+                records: 1,
+            }, // out of range
+        ];
+        for mv in cases {
+            let result = MigrationPlan { moves: vec![mv] }.apply_to(&plan);
+            assert!(
+                matches!(result, Err(PirError::Config { .. })),
+                "move {mv:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_moves_apply_to_the_evolving_layout() {
+        let plan = ShardPlan::from_ranges(vec![0..100, 100..200]).unwrap();
+        let chain = MigrationPlan {
+            moves: vec![
+                RecordMove {
+                    donor: 0,
+                    receiver: 1,
+                    records: 60,
+                },
+                RecordMove {
+                    donor: 0,
+                    receiver: 1,
+                    records: 39,
+                },
+            ],
+        };
+        let moved = chain.apply_to(&plan).unwrap();
+        assert_eq!(moved.ranges(), &[0..1, 1..200]);
+        // One more record would empty the donor.
+        let chain = MigrationPlan {
+            moves: vec![
+                RecordMove {
+                    donor: 0,
+                    receiver: 1,
+                    records: 60,
+                },
+                RecordMove {
+                    donor: 0,
+                    receiver: 1,
+                    records: 40,
+                },
+            ],
+        };
+        assert!(chain.apply_to(&plan).is_err());
+    }
+}

@@ -386,6 +386,10 @@ impl crate::batch::UpdatableBackend for CpuPirServer {
     ) -> Result<crate::batch::UpdateOutcome, PirError> {
         crate::batch::apply_host_updates(&mut self.database, &mut self.database_epoch, updates)
     }
+
+    fn database(&self) -> &Arc<Database> {
+        CpuPirServer::database(self)
+    }
 }
 
 #[cfg(test)]

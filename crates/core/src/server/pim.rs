@@ -849,6 +849,10 @@ impl crate::batch::UpdatableBackend for ImPirServer {
     fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
         ImPirServer::apply_updates(self, updates)
     }
+
+    fn database(&self) -> &Arc<Database> {
+        ImPirServer::database(self)
+    }
 }
 
 impl crate::capacity::ProfiledBackend for ImPirServer {

@@ -221,6 +221,12 @@ impl StreamingImPirServer {
         })
     }
 
+    /// The host-side database replica the server re-streams segments from.
+    #[must_use]
+    pub fn database(&self) -> &Arc<Database> {
+        &self.database
+    }
+
     /// Number of database segments (passes) one full scan needs.
     #[must_use]
     pub fn segments(&self) -> usize {
@@ -503,6 +509,10 @@ impl crate::batch::UpdatableBackend for StreamingImPirServer {
         updates: &[(u64, Vec<u8>)],
     ) -> Result<crate::batch::UpdateOutcome, PirError> {
         crate::batch::apply_host_updates(&mut self.database, &mut self.database_epoch, updates)
+    }
+
+    fn database(&self) -> &Arc<Database> {
+        StreamingImPirServer::database(self)
     }
 }
 

@@ -72,6 +72,13 @@ pub type BoxedBackend = Box<dyn UpdatableBackend + Send + Sync>;
 /// [`QueryEngine`] over a [`BoxedBackend`] per shard.
 pub type FleetEngine = QueryEngine<BoxedBackend>;
 
+/// A per-shard backend constructor for a topology-built replica — the
+/// closure shape [`QueryEngine::sharded`] and [`QueryEngine::rebalance`]
+/// take, boxed so the service layer can retain it and rebuild shards live
+/// when a rebalance triggers.
+pub type BackendFactory =
+    Box<dyn FnMut(Arc<Database>, usize) -> Result<BoxedBackend, PirError> + Send>;
+
 /// Records in the probe replica `autoshard = calibrated` measures against.
 pub const PROBE_RECORDS: u64 = 2048;
 /// How many probe scans calibration runs (the best one counts).
@@ -81,6 +88,41 @@ pub const CALIBRATION_BLEND: f64 = 0.5;
 /// Per-DPU MRAM bytes of topology-built PIM replicas (the simulator's
 /// tiny-test geometry, scaled for CI-sized databases).
 pub const PIM_MRAM_BYTES: usize = 32 << 20;
+
+/// Whether a serving replica closes the measured-skew feedback loop by
+/// migrating records between shards live (`[fleet] rebalance = auto|off`,
+/// or `impir-server --rebalance auto|off`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RebalanceMode {
+    /// Never rebalance; the construction-time layout is permanent.
+    #[default]
+    Off,
+    /// After a query wave, when the measured scan skew exceeds the
+    /// trigger threshold, plan and execute a bounded migration between
+    /// waves (see [`crate::rebalance::RebalancePlanner`]).
+    Auto,
+}
+
+impl std::fmt::Display for RebalanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RebalanceMode::Off => "off",
+            RebalanceMode::Auto => "auto",
+        })
+    }
+}
+
+impl RebalanceMode {
+    /// Parses `auto` or `off` (the CLI and topology-file spelling).
+    #[must_use]
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "off" => Some(RebalanceMode::Off),
+            "auto" => Some(RebalanceMode::Auto),
+            _ => None,
+        }
+    }
+}
 
 /// How the engine's shard layout is chosen for a replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -248,6 +290,9 @@ pub struct FleetTopology {
     /// Fleet-wide `dpXOR` kernel choice for CPU replicas (replicas may
     /// override).
     pub scan_kernel: KernelChoice,
+    /// Whether serving replicas rebalance their shard layout live from
+    /// measured skew.
+    pub rebalance: RebalanceMode,
     /// Per-session socket read/write timeout of the *server* side, in
     /// milliseconds (must be at least 1).
     pub io_timeout_ms: u64,
@@ -271,6 +316,7 @@ impl FleetTopology {
             sharding: ShardPolicy::Uniform(1),
             journal_batches: DEFAULT_JOURNAL_BATCHES,
             scan_kernel: KernelChoice::Auto,
+            rebalance: RebalanceMode::Off,
             io_timeout_ms: 50,
             retry: RetrySpec::default(),
             replicas: Vec::new(),
@@ -327,6 +373,7 @@ impl FleetTopology {
         write_sharding(&mut out, self.sharding);
         let _ = writeln!(out, "journal-batches = {}", self.journal_batches);
         let _ = writeln!(out, "scan-kernel = {}", self.scan_kernel);
+        let _ = writeln!(out, "rebalance = {}", self.rebalance);
         let _ = writeln!(out, "io-timeout-ms = {}", self.io_timeout_ms);
         let _ = writeln!(out, "retry-attempts = {}", self.retry.attempts);
         let _ = writeln!(out, "retry-backoff-ms = {}", self.retry.backoff_ms);
@@ -491,14 +538,11 @@ impl FleetTopology {
         })?;
         let database = self.build_database()?;
         let sharding = spec.sharding.unwrap_or(self.sharding);
-        let scan_kernel = spec.scan_kernel.unwrap_or(self.scan_kernel);
         let (records, record_bytes, seed) = (self.records, self.record_bytes, self.seed);
+        let factory = self.backend_factory(replica)?;
         match spec.backend {
             BackendSpec::Cpu => {
-                let cpu_config = CpuServerConfig {
-                    scan_kernel,
-                    ..CpuServerConfig::baseline()
-                };
+                let cpu_config = self.cpu_backend_config(spec);
                 let engine_config = EngineConfig {
                     journal_batches: self.journal_batches,
                     ..EngineConfig::default()
@@ -506,36 +550,25 @@ impl FleetTopology {
                 match sharding {
                     ShardPolicy::Uniform(shards) => {
                         let sharded = ShardedDatabase::uniform(database, shards)?;
-                        QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
-                            CpuPirServer::new(shard_db, cpu_config.clone())
-                                .map(|server| Box::new(server) as BoxedBackend)
-                        })
+                        QueryEngine::sharded(&sharded, engine_config, factory)
                     }
                     _ => {
                         let profile = cpu_config.capacity_profile()?;
-                        let probe_config = cpu_config.clone();
                         let planner = autoshard_planner(profile, records, sharding, || {
                             let probe_db = Arc::new(Database::random(
                                 records.min(PROBE_RECORDS),
                                 record_bytes,
                                 seed,
                             )?);
-                            let mut probe = CpuPirServer::new(probe_db, probe_config)?;
+                            let mut probe = CpuPirServer::new(probe_db, cpu_config)?;
                             measure_scan_bandwidth(&mut probe, PROBE_SCANS)
                         })?;
-                        QueryEngine::planned(database, engine_config, &planner, |shard_db, _| {
-                            CpuPirServer::new(shard_db, cpu_config.clone())
-                                .map(|server| Box::new(server) as BoxedBackend)
-                        })
+                        QueryEngine::planned(database, engine_config, &planner, factory)
                     }
                 }
             }
             BackendSpec::Pim { dpus, clusters } => {
-                let config = ImPirConfig {
-                    pim: PimConfig::tiny_test(dpus, PIM_MRAM_BYTES),
-                    clusters,
-                    eval_threads: 1,
-                };
+                let config = Self::pim_backend_config(dpus, clusters);
                 let engine_config =
                     EngineConfig::new(BatchConfig::default(), config.eval_strategy())?;
                 let engine_config = EngineConfig {
@@ -545,28 +578,73 @@ impl FleetTopology {
                 match sharding {
                     ShardPolicy::Uniform(shards) => {
                         let sharded = ShardedDatabase::uniform(database, shards)?;
-                        QueryEngine::sharded(&sharded, engine_config, |shard_db, _| {
-                            ImPirServer::new(shard_db, config.clone())
-                                .map(|server| Box::new(server) as BoxedBackend)
-                        })
+                        QueryEngine::sharded(&sharded, engine_config, factory)
                     }
                     _ => {
                         let profile = config.capacity_profile(record_bytes)?;
-                        let probe_config = config.clone();
                         let probe_records = records.min(profile.record_capacity).min(PROBE_RECORDS);
                         let planner = autoshard_planner(profile, records, sharding, move || {
                             let probe_db =
                                 Arc::new(Database::random(probe_records, record_bytes, seed)?);
-                            let mut probe = ImPirServer::new(probe_db, probe_config)?;
+                            let mut probe = ImPirServer::new(probe_db, config)?;
                             measure_scan_bandwidth(&mut probe, PROBE_SCANS)
                         })?;
-                        QueryEngine::planned(database, engine_config, &planner, |shard_db, _| {
-                            ImPirServer::new(shard_db, config.clone())
-                                .map(|server| Box::new(server) as BoxedBackend)
-                        })
+                        QueryEngine::planned(database, engine_config, &planner, factory)
                     }
                 }
             }
+        }
+    }
+
+    /// The per-shard backend constructor replica `replica`'s engine was
+    /// built with, as a retainable [`BackendFactory`]: the service layer
+    /// hands it back to [`QueryEngine::rebalance`] so live shard rebuilds
+    /// produce backends identical in kind and geometry policy to the
+    /// construction-time ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for an out-of-range replica index.
+    pub fn backend_factory(&self, replica: usize) -> Result<BackendFactory, PirError> {
+        let spec = self.replicas.get(replica).ok_or_else(|| PirError::Config {
+            reason: format!(
+                "replica index {replica} is out of range: the topology has {} replica(s)",
+                self.replicas.len()
+            ),
+        })?;
+        match spec.backend {
+            BackendSpec::Cpu => {
+                let config = self.cpu_backend_config(spec);
+                Ok(Box::new(move |shard_db, _| {
+                    CpuPirServer::new(shard_db, config.clone())
+                        .map(|server| Box::new(server) as BoxedBackend)
+                }))
+            }
+            BackendSpec::Pim { dpus, clusters } => {
+                let config = Self::pim_backend_config(dpus, clusters);
+                Ok(Box::new(move |shard_db, _| {
+                    ImPirServer::new(shard_db, config.clone())
+                        .map(|server| Box::new(server) as BoxedBackend)
+                }))
+            }
+        }
+    }
+
+    /// The CPU backend config a replica runs (kernel choice resolved
+    /// against the fleet default).
+    fn cpu_backend_config(&self, spec: &ReplicaSpec) -> CpuServerConfig {
+        CpuServerConfig {
+            scan_kernel: spec.scan_kernel.unwrap_or(self.scan_kernel),
+            ..CpuServerConfig::baseline()
+        }
+    }
+
+    /// The PIM backend config for a replica with the given DPU geometry.
+    fn pim_backend_config(dpus: usize, clusters: usize) -> ImPirConfig {
+        ImPirConfig {
+            pim: PimConfig::tiny_test(dpus, PIM_MRAM_BYTES),
+            clusters,
+            eval_threads: 1,
         }
     }
 
@@ -705,6 +783,7 @@ struct Parser {
     sharding: Option<ShardPolicy>,
     journal_batches: Option<usize>,
     scan_kernel: Option<KernelChoice>,
+    rebalance: Option<RebalanceMode>,
     io_timeout_ms: Option<u64>,
     retry: RetrySpec,
     replicas: Vec<ReplicaBuilder>,
@@ -733,6 +812,7 @@ impl Parser {
             sharding: None,
             journal_batches: None,
             scan_kernel: None,
+            rebalance: None,
             io_timeout_ms: None,
             retry: RetrySpec::default(),
             replicas: Vec::new(),
@@ -884,6 +964,7 @@ impl Parser {
             }
             "journal-batches" => self.journal_batches = Some(parse_usize(key, value, line_no)?),
             "scan-kernel" => self.scan_kernel = Some(parse_kernel(value, line_no)?),
+            "rebalance" => self.rebalance = Some(parse_rebalance(value, line_no)?),
             "io-timeout-ms" => self.io_timeout_ms = Some(parse_u64(key, value, line_no)?),
             "retry-attempts" => self.retry.attempts = parse_u32(key, value, line_no)?,
             "retry-backoff-ms" => self.retry.backoff_ms = parse_u64(key, value, line_no)?,
@@ -1009,6 +1090,7 @@ impl Parser {
             sharding: self.sharding.unwrap_or(ShardPolicy::Uniform(1)),
             journal_batches: self.journal_batches.unwrap_or(DEFAULT_JOURNAL_BATCHES),
             scan_kernel: self.scan_kernel.unwrap_or(KernelChoice::Auto),
+            rebalance: self.rebalance.unwrap_or_default(),
             io_timeout_ms: self.io_timeout_ms.unwrap_or(50),
             retry: self.retry,
             replicas,
@@ -1092,6 +1174,12 @@ fn parse_autoshard(value: &str, line_no: usize) -> Result<ShardPolicy, PirError>
     }
 }
 
+fn parse_rebalance(value: &str, line_no: usize) -> Result<RebalanceMode, PirError> {
+    RebalanceMode::parse(value).ok_or_else(|| PirError::Config {
+        reason: format!("line {line_no}: rebalance expects `auto` or `off`, got `{value}`"),
+    })
+}
+
 fn parse_kernel(value: &str, line_no: usize) -> Result<KernelChoice, PirError> {
     KernelChoice::parse(value).ok_or_else(|| PirError::Config {
         reason: format!(
@@ -1117,6 +1205,7 @@ mod tests {
         assert_eq!(topology.sharding, ShardPolicy::Uniform(1));
         assert_eq!(topology.journal_batches, DEFAULT_JOURNAL_BATCHES);
         assert_eq!(topology.scan_kernel, KernelChoice::Auto);
+        assert_eq!(topology.rebalance, RebalanceMode::Off);
         assert_eq!(topology.replicas.len(), 1);
         let replica = &topology.replicas[0];
         assert_eq!(replica.name, "a");
@@ -1136,6 +1225,7 @@ seed = 9
 autoshard = declared
 journal-batches = 8
 scan-kernel = wide
+rebalance = auto
 io-timeout-ms = 20
 retry-attempts = 4
 retry-backoff-ms = 5
@@ -1159,9 +1249,37 @@ probe-interval-ms = 100
 max-lag-epochs = 1
 ";
         let parsed = FleetTopology::parse(input).expect("parses");
+        assert_eq!(parsed.rebalance, RebalanceMode::Auto);
         let reparsed =
             FleetTopology::parse(&parsed.to_config_string()).expect("serialized form parses");
         assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn rejects_unknown_rebalance_modes() {
+        let err = FleetTopology::parse("[fleet]\nrecords = 4\nrebalance = maybe\n")
+            .expect_err("bad rebalance value must fail");
+        assert!(err.to_string().contains("rebalance"), "{err}");
+    }
+
+    #[test]
+    fn backend_factory_matches_the_built_engine() {
+        let mut topology = FleetTopology::new(96, 16, 5);
+        topology.replicas.push(ReplicaSpec::local("cpu"));
+        let mut pim = ReplicaSpec::local("pim");
+        pim.backend = BackendSpec::Pim {
+            dpus: 4,
+            clusters: 2,
+        };
+        topology.replicas.push(pim);
+        for replica in 0..2 {
+            let mut factory = topology.backend_factory(replica).expect("factory builds");
+            let shard_db = topology.build_database().expect("database builds");
+            let backend = factory(shard_db, 0).expect("backend builds");
+            assert_eq!(backend.num_records(), 96);
+            assert_eq!(backend.record_size(), 16);
+        }
+        assert!(topology.backend_factory(2).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@ use std::collections::HashMap;
 
 use impir_core::dpxor::KernelChoice;
 use impir_core::engine::DEFAULT_JOURNAL_BATCHES;
-use impir_core::topology::{BackendSpec, FleetTopology, ReplicaSpec, ShardPolicy, TransportKind};
+use impir_core::topology::{
+    BackendSpec, FleetTopology, RebalanceMode, ReplicaSpec, ShardPolicy, TransportKind,
+};
 use impir_core::{PirError, ShardPlan};
 
 /// The usage banner `impir-server --help` prints.
@@ -25,6 +27,7 @@ pub const USAGE: &str = "usage:
                [--backend pim|cpu] [--scan-kernel auto|scalar|wide|unrolled]
                [--dpus D] [--clusters C] [--max-sessions N]
                [--journal-batches N] [--io-timeout-ms T]
+               [--rebalance auto|off]
   impir-server --config FILE [--replica NAME] [--max-sessions N]
   impir-server --config FILE --router
   impir-server --config FILE --check
@@ -46,6 +49,12 @@ pub const USAGE: &str = "usage:
                        (default 64; 0 disables the journal)
   --io-timeout-ms T    per-session socket read/write timeout (default 50)
 
+  --rebalance M   M = auto  migrate records between shards live when the
+                            measured per-shard scan skew of a query wave
+                            exceeds the planner's threshold (bounded moves
+                            between waves; an epoch step peers replay)
+                  M = off   keep the construction-time layout (default)
+
   --scan-kernel K dpXOR scan kernel for the cpu backend (default auto:
                   self-benchmark once per process and keep the fastest;
                   scalar/wide/unrolled force one — all byte-identical)
@@ -64,7 +73,7 @@ pub const USAGE: &str = "usage:
 /// loudly: silently falling back to defaults would start a server whose
 /// replica does not match its peers', and every client query would then
 /// fail the geometry check.
-pub const KNOWN_FLAGS: [&str; 17] = [
+pub const KNOWN_FLAGS: [&str; 18] = [
     "listen",
     "records",
     "record-bytes",
@@ -78,6 +87,7 @@ pub const KNOWN_FLAGS: [&str; 17] = [
     "max-sessions",
     "journal-batches",
     "io-timeout-ms",
+    "rebalance",
     "config",
     "replica",
     "router",
@@ -219,6 +229,11 @@ pub fn topology_from_flags(options: &HashMap<String, String>) -> Result<FleetTop
     if io_timeout_ms == 0 {
         return Err("--io-timeout-ms must be at least 1".to_string());
     }
+    let rebalance = match options.get("rebalance") {
+        None => RebalanceMode::Off,
+        Some(value) => RebalanceMode::parse(value)
+            .ok_or_else(|| format!("--rebalance expects `auto` or `off`, got `{value}`"))?,
+    };
 
     let sharding = match options.get("autoshard").map(String::as_str) {
         None => {
@@ -272,6 +287,7 @@ pub fn topology_from_flags(options: &HashMap<String, String>) -> Result<FleetTop
     topology.sharding = sharding;
     topology.journal_batches = journal_batches;
     topology.scan_kernel = scan_kernel;
+    topology.rebalance = rebalance;
     topology.io_timeout_ms = io_timeout_ms;
     topology.replicas.push(ReplicaSpec {
         name: FLAG_REPLICA_NAME.to_string(),
@@ -376,6 +392,19 @@ mod tests {
             topology.replicas[0].listen.as_deref(),
             Some("127.0.0.1:7700")
         );
+    }
+
+    #[test]
+    fn rebalance_flag_desugars_into_the_topology() {
+        let topology = topology_from_flags(&HashMap::new()).unwrap();
+        assert_eq!(topology.rebalance, RebalanceMode::Off);
+        let options = parse_options(&args(&["--rebalance", "auto"])).unwrap();
+        let topology = topology_from_flags(&options).unwrap();
+        assert_eq!(topology.rebalance, RebalanceMode::Auto);
+        let options = parse_options(&args(&["--rebalance", "sometimes"])).unwrap();
+        assert!(topology_from_flags(&options)
+            .unwrap_err()
+            .contains("--rebalance expects"));
     }
 
     #[test]

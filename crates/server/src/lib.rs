@@ -17,6 +17,11 @@
 //!   response batch is tagged with the database epoch it executed
 //!   against, so clients can detect update/query interleavings that
 //!   reached only one replica;
+//! * with `--rebalance auto` the dispatcher also closes the measured-skew
+//!   feedback loop: after a query wave whose per-shard timings show one
+//!   shard dominating the scan, it executes a bounded record migration
+//!   *between* waves ([`RebalancePolicy`]) — an epoch step lagging
+//!   replicas replay like any update batch;
 //! * [`PirService::shutdown`] stops accepting, wakes idle sessions,
 //!   drains the dispatcher and joins every thread — a graceful stop.
 //!
@@ -45,9 +50,11 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use impir_core::batch::{UpdatableBackend, UpdateOutcome};
+use impir_core::database::Database;
 use impir_core::engine::QueryEngine;
+use impir_core::rebalance::{RebalanceConfig, RebalancePlanner};
 use impir_core::server::phases::PhaseBreakdown;
-use impir_core::topology::FleetTopology;
+use impir_core::topology::{FleetTopology, RebalanceMode};
 use impir_core::transport::{EpochInfo, ScanResult, ServerInfo};
 use impir_core::wire::{
     update_batch_frame_bytes, Frame, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WIRE_VERSION,
@@ -130,6 +137,47 @@ impl ServiceConfig {
     }
 }
 
+/// A per-shard backend constructor the dispatcher retains so it can
+/// rebuild shards live when a rebalance triggers — the same closure shape
+/// the engine was constructed with.
+pub type ShardFactory<S> =
+    Box<dyn FnMut(Arc<Database>, usize) -> Result<S, PirError> + Send + 'static>;
+
+/// The live-rebalancing policy of a served engine: after each query wave
+/// the dispatcher hands the wave's measured per-shard timings to the
+/// planner, and executes any non-empty migration plan it emits — between
+/// waves, under the dispatcher's existing update/query serialization, so
+/// no traffic is drained. The planner's hysteresis
+/// ([`RebalanceConfig::min_skew`]) is the trigger threshold; its
+/// per-round record cap bounds how much data one wave gap may move.
+pub struct RebalancePolicy<S> {
+    planner: RebalancePlanner,
+    factory: ShardFactory<S>,
+}
+
+impl<S> std::fmt::Debug for RebalancePolicy<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RebalancePolicy")
+            .field("planner", &self.planner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> RebalancePolicy<S> {
+    /// A policy that plans with `config` and rebuilds shards with
+    /// `factory`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Config`] for an invalid [`RebalanceConfig`].
+    pub fn new(config: RebalanceConfig, factory: ShardFactory<S>) -> Result<Self, PirError> {
+        Ok(RebalancePolicy {
+            planner: RebalancePlanner::new(config)?,
+            factory,
+        })
+    }
+}
+
 /// The [`ServiceConfig`] a topology implies: its `io-timeout-ms` becomes
 /// the per-session socket timeout; everything else keeps its default.
 #[must_use]
@@ -175,7 +223,17 @@ pub fn build_service_with(
         .get(replica)
         .and_then(|spec| spec.listen.as_deref())
         .unwrap_or("127.0.0.1:0");
-    PirService::bind(engine, listen, config)
+    // `rebalance = auto` closes the measured-skew feedback loop: the
+    // dispatcher rebuilds shards with the same factory the topology
+    // built the engine from.
+    let rebalancer = match topology.rebalance {
+        RebalanceMode::Off => None,
+        RebalanceMode::Auto => Some(RebalancePolicy::new(
+            RebalanceConfig::default(),
+            topology.backend_factory(replica)?,
+        )?),
+    };
+    PirService::bind_with_rebalancer(engine, listen, config, rebalancer)
 }
 
 /// How often the blocked *accept* loop wakes up to check the shutdown
@@ -248,10 +306,30 @@ impl PirService {
     where
         S: UpdatableBackend + Send + Sync + 'static,
     {
+        PirService::bind_with_rebalancer(engine, addr, config, None)
+    }
+
+    /// [`PirService::bind`] with an optional live-rebalancing policy: when
+    /// set, the dispatcher plans from each query wave's measured per-shard
+    /// timings and migrates records between waves (see
+    /// [`RebalancePolicy`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`PirService::bind`].
+    pub fn bind_with_rebalancer<S>(
+        engine: QueryEngine<S>,
+        addr: impl ToSocketAddrs,
+        config: ServiceConfig,
+        rebalancer: Option<RebalancePolicy<S>>,
+    ) -> Result<Self, PirError>
+    where
+        S: UpdatableBackend + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr).map_err(|err| PirError::Protocol {
             reason: format!("binding listener: {err}"),
         })?;
-        PirService::serve(engine, listener, config)
+        PirService::serve_with_rebalancer(engine, listener, config, rebalancer)
     }
 
     /// Starts serving `engine` on an already-bound listener.
@@ -265,6 +343,23 @@ impl PirService {
         engine: QueryEngine<S>,
         listener: TcpListener,
         config: ServiceConfig,
+    ) -> Result<Self, PirError>
+    where
+        S: UpdatableBackend + Send + Sync + 'static,
+    {
+        PirService::serve_with_rebalancer(engine, listener, config, None)
+    }
+
+    /// [`PirService::serve`] with an optional live-rebalancing policy.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PirService::serve`].
+    pub fn serve_with_rebalancer<S>(
+        engine: QueryEngine<S>,
+        listener: TcpListener,
+        config: ServiceConfig,
+        rebalancer: Option<RebalancePolicy<S>>,
     ) -> Result<Self, PirError>
     where
         S: UpdatableBackend + Send + Sync + 'static,
@@ -285,7 +380,7 @@ impl PirService {
 
         let coalesce_limit = config.coalesce_limit;
         let dispatcher_handle = std::thread::spawn(move || {
-            dispatcher_loop(engine, &request_rx, coalesce_limit);
+            dispatcher_loop(engine, &request_rx, coalesce_limit, rebalancer);
         });
 
         let accept_shutdown = Arc::clone(&shutdown);
@@ -422,6 +517,7 @@ fn dispatcher_loop<S: UpdatableBackend + Send + Sync>(
     mut engine: QueryEngine<S>,
     requests: &Receiver<ServiceRequest>,
     coalesce_limit: usize,
+    mut rebalancer: Option<RebalancePolicy<S>>,
 ) {
     loop {
         let Ok(request) = requests.recv() else {
@@ -451,6 +547,11 @@ fn dispatcher_loop<S: UpdatableBackend + Send + Sync>(
                         }
                     }
                     execute_wave(&mut engine, wave);
+                    // Between waves — with the engine otherwise idle — is
+                    // the only moment the dispatcher rebalances: queries
+                    // and updates stay strictly serialized against the
+                    // plan swap.
+                    maybe_rebalance(&mut engine, &mut rebalancer);
                 }
                 ServiceRequest::Scan { selector, reply } => {
                     let result =
@@ -477,6 +578,28 @@ fn dispatcher_loop<S: UpdatableBackend + Send + Sync>(
                 }
             }
         }
+    }
+}
+
+/// Plans from the last wave's measured per-shard timings and executes any
+/// non-empty migration. The planner's hysteresis keeps balanced (or
+/// not-yet-re-measured) engines untouched; a failed migration leaves the
+/// engine on its previous layout and disables further rebalancing rather
+/// than retrying into the same failure every wave.
+fn maybe_rebalance<S: UpdatableBackend + Send + Sync>(
+    engine: &mut QueryEngine<S>,
+    rebalancer: &mut Option<RebalancePolicy<S>>,
+) {
+    let Some(policy) = rebalancer.as_mut() else {
+        return;
+    };
+    let plan = policy.planner.plan(&engine.shard_timings());
+    if plan.is_empty() {
+        return;
+    }
+    if let Err(err) = engine.rebalance(&plan, &mut policy.factory) {
+        eprintln!("impir-server: auto-rebalance disabled after a failed migration: {err}");
+        *rebalancer = None;
     }
 }
 

@@ -102,13 +102,14 @@ fn serve_replica(
     // scripts (and the networked example) parse it to find the port.
     println!("impir-server listening on {}", service.addr());
     println!(
-        "  {} records x {} B (seed {}), replica `{}`, backend {}, {}",
+        "  {} records x {} B (seed {}), replica `{}`, backend {}, {}, rebalance {}",
         topology.records,
         topology.record_bytes,
         topology.seed,
         spec.name,
         describe_backend(&spec.backend),
-        describe_plan(service.plan(), sharding)
+        describe_plan(service.plan(), sharding),
+        topology.rebalance
     );
     match max_sessions {
         Some(n) => {

@@ -514,11 +514,26 @@ fn session_loop(
     }
 }
 
-/// Applies one update batch to every healthy replica, serialised against
-/// other fan-outs and the prober's catch-ups. Replicas that die mid-fan-
-/// out are marked unhealthy and left to the prober's journal replay; a
-/// *rejected* batch (validation failure — deterministic, so identical on
-/// every replica) aborts the fan-out and is reported to the client.
+/// What one replica did with a fanned-out update batch.
+enum FanOutResult {
+    /// Applied it; the ack carries the replica's post-update epoch.
+    Applied(UpdateOutcome),
+    /// Alive and *rejected* it (validation failure — deterministic, so
+    /// identical on every replica: none of them lands the batch).
+    Rejected(PirError),
+    /// Unhealthy, unreachable, or died mid-update; the prober's journal
+    /// replay catches it up later.
+    Skipped,
+}
+
+/// Applies one update batch to every healthy replica concurrently — one
+/// scoped thread per replica, so the fleet's update latency is the *max*
+/// of the replica round trips, not their sum. The update lock still
+/// serialises whole fan-outs against each other and against the prober's
+/// catch-ups. Replicas that die mid-fan-out are marked unhealthy and left
+/// to the prober's journal replay; a *rejected* batch (validation failure
+/// — deterministic, so every replica rejects it identically and nothing
+/// lands anywhere) is reported to the client.
 fn fan_out_update(
     state: &RouterState,
     updates: &[(u64, Vec<u8>)],
@@ -527,42 +542,26 @@ fn fan_out_update(
         .update_lock
         .lock()
         .map_err(|_| protocol("router update lock poisoned"))?;
+    let results: Vec<FanOutResult> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..state.slots.len())
+            .map(|slot| scope.spawn(move || fan_out_to_slot(state, slot, updates)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|worker| worker.join().unwrap_or(FanOutResult::Skipped))
+            .collect()
+    });
     let mut best: Option<UpdateOutcome> = None;
     let mut failures = 0usize;
-    for slot in 0..state.slots.len() {
-        if !state.slots[slot].healthy.load(Ordering::SeqCst) {
-            failures += 1;
-            continue;
-        }
-        let mut transport =
-            match TcpTransport::connect_with(state.slots[slot].addr.as_str(), state.retry.policy())
-            {
-                Ok(transport) => transport,
-                Err(_) => {
-                    state.slots[slot].healthy.store(false, Ordering::SeqCst);
-                    failures += 1;
-                    continue;
-                }
-            };
-        let result = transport.apply_updates(updates);
-        state.credit(slot, &transport);
+    for result in results {
         match result {
-            Ok(outcome) => {
+            FanOutResult::Applied(outcome) => {
                 if best.as_ref().is_none_or(|b| outcome.epoch > b.epoch) {
                     best = Some(outcome);
                 }
             }
-            Err(err) => {
-                if transport.epoch_info().is_ok() {
-                    // The replica is alive and rejected the batch.
-                    // Validation is all-or-nothing and deterministic, so
-                    // the first replica rejects before any peer applied —
-                    // nothing has landed anywhere.
-                    return Err(err);
-                }
-                state.slots[slot].healthy.store(false, Ordering::SeqCst);
-                failures += 1;
-            }
+            FanOutResult::Rejected(err) => return Err(err),
+            FanOutResult::Skipped => failures += 1,
         }
     }
     best.ok_or_else(|| {
@@ -571,6 +570,37 @@ fn fan_out_update(
              mid-update"
         ))
     })
+}
+
+/// One replica's leg of [`fan_out_update`].
+fn fan_out_to_slot(state: &RouterState, slot: usize, updates: &[(u64, Vec<u8>)]) -> FanOutResult {
+    if !state.slots[slot].healthy.load(Ordering::SeqCst) {
+        return FanOutResult::Skipped;
+    }
+    let mut transport =
+        match TcpTransport::connect_with(state.slots[slot].addr.as_str(), state.retry.policy()) {
+            Ok(transport) => transport,
+            Err(_) => {
+                state.slots[slot].healthy.store(false, Ordering::SeqCst);
+                return FanOutResult::Skipped;
+            }
+        };
+    let result = transport.apply_updates(updates);
+    state.credit(slot, &transport);
+    match result {
+        Ok(outcome) => FanOutResult::Applied(outcome),
+        Err(err) => {
+            if transport.epoch_info().is_ok() {
+                // The replica is alive and rejected the batch; every peer
+                // runs the same all-or-nothing validation and rejects it
+                // too, so nothing has landed anywhere.
+                FanOutResult::Rejected(err)
+            } else {
+                state.slots[slot].healthy.store(false, Ordering::SeqCst);
+                FanOutResult::Skipped
+            }
+        }
+    }
 }
 
 /// Sleeps `total` in small steps so shutdown stays snappy.
@@ -609,9 +639,9 @@ fn prober_loop(state: &Arc<RouterState>, shutdown: &AtomicBool, probe_interval: 
                 Some(epoch) if front - epoch <= state.max_lag_epochs => {
                     state.slots[slot].healthy.store(true, Ordering::SeqCst);
                 }
-                Some(epoch) => {
+                Some(_) => {
                     let caught_up = ahead
-                        .map(|ahead| catch_up(state, slot, epoch, ahead))
+                        .map(|ahead| catch_up(state, slot, ahead))
                         .unwrap_or(false);
                     state.slots[slot].healthy.store(caught_up, Ordering::SeqCst);
                 }
@@ -645,7 +675,7 @@ fn probe_epoch(state: &RouterState, slot: usize) -> Option<u64> {
 /// Replays `behind`'s missed batches from `ahead`'s update journal — the
 /// wire-level PR 7 catch-up, driven by the router instead of a client.
 /// Runs under the update lock so no fan-out interleaves with the replay.
-fn catch_up(state: &RouterState, behind: usize, behind_epoch: u64, ahead: usize) -> bool {
+fn catch_up(state: &RouterState, behind: usize, ahead: usize) -> bool {
     let Ok(_guard) = state.update_lock.lock() else {
         return false;
     };
@@ -660,11 +690,22 @@ fn catch_up(state: &RouterState, behind: usize, behind_epoch: u64, ahead: usize)
         return false;
     };
     let replayed = (|| -> Result<(), PirError> {
+        // The probed epoch is stale by the time the lock is held: a
+        // fan-out that was mid-flight when the probe ran may already have
+        // landed the "missed" batches. Re-read both epochs under the lock
+        // and replay only what is genuinely missing — blindly replaying
+        // `behind_epoch` would apply a batch twice and push the replica
+        // *ahead* of its peers.
+        let current = behind_transport.epoch_info()?.current_epoch;
+        let ahead_epoch = ahead_transport.epoch_info()?.current_epoch;
+        if current >= ahead_epoch {
+            return Ok(());
+        }
         // A JournalTruncated here stays an error: the replica cannot be
         // healed over the wire and needs a re-seed — it simply stays
         // unhealthy, and the probe log (epoch never converging) is the
         // operator's signal.
-        let batches = ahead_transport.replay_updates(behind_epoch)?;
+        let batches = ahead_transport.replay_updates(current)?;
         for batch in batches {
             behind_transport.apply_updates(&batch)?;
         }

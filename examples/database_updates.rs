@@ -120,6 +120,14 @@ impl UpdatableBackend for AnyBackend {
             AnyBackend::Cpu(s) => UpdatableBackend::apply_updates(s, updates),
         }
     }
+
+    fn database(&self) -> &std::sync::Arc<im_pir::core::Database> {
+        match self {
+            AnyBackend::Pim(s) => s.database(),
+            AnyBackend::Streaming(s) => s.database(),
+            AnyBackend::Cpu(s) => s.database(),
+        }
+    }
 }
 
 /// A mixed three-shard engine: records [0, 1024) on preloaded PIM,

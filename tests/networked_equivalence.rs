@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use im_pir::core::multi_server::NServerNaivePir;
 use im_pir::core::scheme::TwoServerPir;
-use im_pir::core::topology::{BackendSpec, FleetTopology, ReplicaSpec, ShardPolicy};
+use im_pir::core::topology::{BackendSpec, FleetTopology, RebalanceMode, ReplicaSpec, ShardPolicy};
 use im_pir::core::transport::{LocalTransport, PirTransport, TcpTransport};
 use im_pir::core::PirClient;
 use impir_server::build_service;
@@ -213,5 +213,50 @@ fn n_server_naive_scheme_runs_over_a_remote_transport() {
         local_pir.upload_bytes_per_query()
     );
     drop(remote_pir);
+    service.shutdown();
+}
+
+#[test]
+fn auto_rebalancing_services_answer_byte_identically_to_a_static_oracle() {
+    // `rebalance = auto` closes the measured-skew loop inside the
+    // dispatcher, between query waves. Whether (and when) a migration
+    // fires depends on measured wall times, so this pins the invariant
+    // that must hold either way: every response over the wire stays
+    // byte-identical to a static in-process oracle that never rebalances
+    // — shard layouts, moving or not, are invisible to clients.
+    let mut topology = cpu_fleet(3);
+    topology.rebalance = RebalanceMode::Auto;
+    let service = build_service(&topology, 0).unwrap();
+    let mut remote = TcpTransport::connect(service.addr()).unwrap();
+
+    let static_topology = cpu_fleet(3);
+    let mut oracle = LocalTransport::new(static_topology.build_engine(0).unwrap());
+
+    let mut client = PirClient::new(RECORDS, RECORD_BYTES, 23).unwrap();
+    let indices = [0u64, 1, 199, 200, 399, 400, 599, 77];
+    for round in 0..4 {
+        let (shares, _) = client.generate_batch(&indices).unwrap();
+        let over_wire = remote.query_batch(&shares).unwrap();
+        let in_process = oracle.query_batch(&shares).unwrap();
+        assert_eq!(
+            over_wire.responses, in_process.responses,
+            "round {round}: responses must not depend on rebalancing activity"
+        );
+    }
+
+    // Updates keep flowing through a (possibly rebalanced) engine: the
+    // journal absorbs migrations as ordinary epoch steps, so the batch
+    // applies and the new bytes are served.
+    let service_epoch = remote.epoch_info().unwrap().current_epoch;
+    let update = vec![(42u64, vec![0xE1; RECORD_BYTES])];
+    let ack = remote.apply_updates(&update).unwrap();
+    assert_eq!(ack.epoch, service_epoch + 1);
+    oracle.apply_updates(&update).unwrap();
+    let (shares, _) = client.generate_batch(&indices).unwrap();
+    let over_wire = remote.query_batch(&shares).unwrap();
+    let in_process = oracle.query_batch(&shares).unwrap();
+    assert_eq!(over_wire.responses, in_process.responses);
+
+    drop(remote);
     service.shutdown();
 }
