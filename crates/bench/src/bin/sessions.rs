@@ -1,0 +1,385 @@
+//! Concurrent-session scaling: thread-per-connection vs the event loop.
+//!
+//! PR 10 replaces the service's thread-per-connection session tier with a
+//! single-threaded non-blocking readiness loop (`session-tier = events`)
+//! plus wire-level session multiplexing, so one TCP connection can carry
+//! thousands of logical sessions. This bin measures what that buys:
+//!
+//! * **threaded tier** — one `TcpTransport` per session; the server
+//!   spawns one OS thread per connection, so N sessions is N parked
+//!   server threads. The sweep caps this tier at a quarter of the
+//!   requested maximum: past that, thread-per-session is exactly the
+//!   scaling wall the event tier exists to remove.
+//! * **event tier** — sessions are `MuxSession`s multiplexed over one
+//!   connection per client worker; the server runs them all on one
+//!   event-loop thread, so its thread count stays constant no matter
+//!   how many sessions are open.
+//!
+//! For every session count the harness opens the sessions, runs one
+//! warm-up wave, then [`MEASURE_WAVES`] measured waves (a wave = every
+//! session asks one query and gets its answer), recording sustained
+//! waves/s, queries/s, per-request p50/p99 latency, and the process's
+//! peak thread count from `/proc/self/status`.
+//!
+//! Acceptance (enforced at >= 2048 max sessions, exit code 2): the event
+//! tier must sustain **4x** the threaded tier's maximum session count at
+//! equal-or-better queries/s, with a peak thread count at most half the
+//! threaded tier's.
+//!
+//! Results go to stdout and `BENCH_sessions.json` (plus
+//! `target/impir-results/sessions.json`); CI smoke-checks the file.
+//!
+//! Run with `cargo run -p impir-bench --release --bin sessions -- \
+//! [max_sessions] [records]` (defaults: 4096, 2048; CI uses a smaller
+//! sweep).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use impir_bench::report::{DataPoint, FigureReport, Series};
+use impir_core::database::Database;
+use impir_core::engine::{EngineConfig, QueryEngine};
+use impir_core::server::cpu::{CpuPirServer, CpuServerConfig};
+use impir_core::shard::ShardedDatabase;
+use impir_core::topology::SessionTier;
+use impir_core::transport::{MuxConnection, PirTransport, TcpTransport};
+use impir_core::{PirClient, QueryShare};
+use impir_server::{PirService, ServiceConfig};
+
+/// Record size used throughout (the paper's 32-byte hashes).
+const RECORD_BYTES: usize = 32;
+
+/// Client worker threads driving the sessions; identical for both tiers
+/// so the client side cancels out of the comparison.
+const WORKERS: usize = 8;
+
+/// Measured waves per session count (after one warm-up wave).
+const MEASURE_WAVES: usize = 3;
+
+/// One measured configuration.
+struct RunStats {
+    sessions: usize,
+    waves_per_sec: f64,
+    queries_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    peak_threads: usize,
+}
+
+/// The process's live thread count from the kernel's books; 0 when
+/// `/proc` is unavailable (non-Linux hosts get no thread series).
+fn live_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find_map(|line| line.strip_prefix("Threads:"))
+                .and_then(|count| count.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn cpu_engine(db: &Arc<Database>) -> QueryEngine<CpuPirServer> {
+    let sharded = ShardedDatabase::uniform(db.clone(), 1).expect("valid geometry");
+    QueryEngine::sharded(&sharded, EngineConfig::default(), |shard_db, _| {
+        CpuPirServer::new(shard_db, CpuServerConfig::baseline())
+    })
+    .expect("cpu engine builds")
+}
+
+/// Opens `count` logical sessions for one worker: one TCP connection per
+/// session on the threaded tier, one multiplexed connection carrying all
+/// of them on the event tier. The returned connection handle must
+/// outlive the sessions.
+fn open_sessions(
+    tier: SessionTier,
+    addr: SocketAddr,
+    count: usize,
+) -> (Option<MuxConnection>, Vec<Box<dyn PirTransport + Send>>) {
+    match tier {
+        SessionTier::Threads => {
+            let sessions = (0..count)
+                .map(|_| {
+                    Box::new(TcpTransport::connect(addr).expect("threaded session connects"))
+                        as Box<dyn PirTransport + Send>
+                })
+                .collect();
+            (None, sessions)
+        }
+        SessionTier::Events => {
+            let conn = MuxConnection::connect(addr).expect("mux connection connects");
+            let sessions = (0..count)
+                .map(|_| {
+                    Box::new(conn.session().expect("mux session opens"))
+                        as Box<dyn PirTransport + Send>
+                })
+                .collect();
+            (Some(conn), sessions)
+        }
+    }
+}
+
+/// Runs one (tier, session count) configuration against a fresh service
+/// and reports its sustained rates, latency percentiles and the peak
+/// process thread count.
+fn run_tier(
+    tier: SessionTier,
+    sessions: usize,
+    db: &Arc<Database>,
+    shares: &[QueryShare],
+) -> RunStats {
+    let service = PirService::bind(
+        cpu_engine(db),
+        "127.0.0.1:0",
+        ServiceConfig {
+            session_tier: tier,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service binds");
+    let addr = service.addr();
+
+    let workers = WORKERS.min(sessions);
+    let connected = Arc::new(Barrier::new(workers + 1));
+    let warmed = Arc::new(Barrier::new(workers + 1));
+    let remaining = Arc::new(AtomicUsize::new(workers));
+    let handles: Vec<_> = (0..workers)
+        .map(|worker| {
+            // Spread the sessions over the workers, remainder to the
+            // first few.
+            let count = sessions / workers + usize::from(worker < sessions % workers);
+            let shares = shares.to_vec();
+            let connected = Arc::clone(&connected);
+            let warmed = Arc::clone(&warmed);
+            let remaining = Arc::clone(&remaining);
+            std::thread::spawn(move || {
+                let (_conn, mut sessions) = open_sessions(tier, addr, count);
+                connected.wait();
+                for session in &mut sessions {
+                    session.query_batch(&shares).expect("warm-up query");
+                }
+                warmed.wait();
+                let mut latencies_ms = Vec::with_capacity(count * MEASURE_WAVES);
+                for _ in 0..MEASURE_WAVES {
+                    for session in &mut sessions {
+                        let started = Instant::now();
+                        session.query_batch(&shares).expect("bench query");
+                        latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+                remaining.fetch_sub(1, Ordering::SeqCst);
+                latencies_ms
+            })
+        })
+        .collect();
+
+    // Every session is open (and, on the threaded tier, every server
+    // session thread is running) once the first barrier clears — sample
+    // the thread count from here until the last worker finishes.
+    connected.wait();
+    let mut peak_threads = live_threads();
+    warmed.wait();
+    let started = Instant::now();
+    while remaining.load(Ordering::SeqCst) > 0 {
+        peak_threads = peak_threads.max(live_threads());
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies_ms: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|handle| handle.join().expect("worker panicked"))
+        .collect();
+    latencies_ms.sort_by(f64::total_cmp);
+    let percentile = |p: f64| {
+        let rank = ((latencies_ms.len() as f64 * p).ceil() as usize).clamp(1, latencies_ms.len());
+        latencies_ms[rank - 1]
+    };
+    let stats = RunStats {
+        sessions,
+        waves_per_sec: MEASURE_WAVES as f64 / elapsed,
+        queries_per_sec: (MEASURE_WAVES * sessions) as f64 / elapsed,
+        p50_ms: percentile(0.50),
+        p99_ms: percentile(0.99),
+        peak_threads,
+    };
+    service.shutdown();
+    stats
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_sessions: usize = args
+        .next()
+        .map(|v| v.parse().expect("max_sessions must be an integer"))
+        .unwrap_or(4096);
+    let records: u64 = args
+        .next()
+        .map(|v| v.parse().expect("records must be an integer"))
+        .unwrap_or(2048);
+    assert!(max_sessions >= 8, "at least 8 sessions");
+    assert!(records >= 64, "at least 64 records");
+
+    let db = Arc::new(Database::random(records, RECORD_BYTES, 13).expect("valid geometry"));
+    // One share batch, reused by every session and wave: the server does
+    // not care about replays, and keeping client-side DPF key generation
+    // out of the loop leaves the session machinery as the thing measured.
+    let mut client = PirClient::new(records, RECORD_BYTES, 7).expect("client matches database");
+    let (shares, _) = client
+        .generate_batch(&[records / 3])
+        .expect("share generation");
+
+    // Thread-per-connection stops at a quarter of the sweep: past that,
+    // one parked OS thread per session is the scaling wall this bench
+    // exists to demonstrate, not a configuration worth timing.
+    let threaded_cap = (max_sessions / 4).max(8);
+    let mut sweep = Vec::new();
+    let mut n = 64.min(max_sessions);
+    while n < max_sessions {
+        sweep.push(n);
+        n *= 2;
+    }
+    sweep.push(max_sessions);
+
+    let mut report = FigureReport::new(
+        "sessions",
+        format!(
+            "Concurrent-session scaling to {max_sessions} sessions, thread-per-connection vs \
+             event-driven session tier, {records} records x {RECORD_BYTES} B"
+        ),
+        "session multiplexing over a non-blocking event loop sustains 4x the concurrent \
+         sessions of thread-per-connection at equal-or-better throughput with a constant \
+         server thread count",
+    );
+    let mut series: Vec<(SessionTier, &str, Series, Series, Series, Series)> = vec![
+        (
+            SessionTier::Threads,
+            "threaded",
+            Series::new("threaded waves/s", "waves/s"),
+            Series::new("threaded queries/s", "queries/s"),
+            Series::new("threaded p99 latency", "ms"),
+            Series::new("threaded peak threads", "threads"),
+        ),
+        (
+            SessionTier::Events,
+            "events",
+            Series::new("event waves/s", "waves/s"),
+            Series::new("event queries/s", "queries/s"),
+            Series::new("event p99 latency", "ms"),
+            Series::new("event peak threads", "threads"),
+        ),
+    ];
+
+    let mut threaded_top: Option<RunStats> = None;
+    let mut events_top: Option<RunStats> = None;
+    for (tier, label, waves, queries, p99, threads) in &mut series {
+        for &sessions in &sweep {
+            if *tier == SessionTier::Threads && sessions > threaded_cap {
+                continue;
+            }
+            let stats = run_tier(*tier, sessions, &db, &shares);
+            println!(
+                "{label:>8} tier, {sessions:>5} sessions: {:>8.2} waves/s  {:>9.1} queries/s  \
+                 p50 {:>7.3} ms  p99 {:>7.3} ms  peak {} thread(s)",
+                stats.waves_per_sec,
+                stats.queries_per_sec,
+                stats.p50_ms,
+                stats.p99_ms,
+                stats.peak_threads
+            );
+            let x_label = format!("{sessions} sessions");
+            waves.push(DataPoint::new(
+                x_label.clone(),
+                sessions as f64,
+                stats.waves_per_sec,
+            ));
+            queries.push(DataPoint::new(
+                x_label.clone(),
+                sessions as f64,
+                stats.queries_per_sec,
+            ));
+            p99.push(DataPoint::new(
+                x_label.clone(),
+                sessions as f64,
+                stats.p99_ms,
+            ));
+            threads.push(DataPoint::new(
+                x_label,
+                sessions as f64,
+                stats.peak_threads as f64,
+            ));
+            match *tier {
+                SessionTier::Threads => threaded_top = Some(stats),
+                SessionTier::Events => events_top = Some(stats),
+            }
+        }
+    }
+
+    let threaded_top = threaded_top.expect("the threaded sweep always runs");
+    let events_top = events_top.expect("the event sweep always runs");
+    report.push_note(format!(
+        "threaded tier topped out at {} sessions (sweep-capped at max/4): {:.1} queries/s, \
+         peak {} thread(s)",
+        threaded_top.sessions, threaded_top.queries_per_sec, threaded_top.peak_threads
+    ));
+    report.push_note(format!(
+        "event tier sustained {} sessions ({}x): {:.1} queries/s, peak {} thread(s)",
+        events_top.sessions,
+        events_top.sessions / threaded_top.sessions.max(1),
+        events_top.queries_per_sec,
+        events_top.peak_threads
+    ));
+    for (_, _, waves, queries, p99, threads) in series {
+        report.push_series(waves);
+        report.push_series(queries);
+        report.push_series(p99);
+        report.push_series(threads);
+    }
+    report.emit();
+
+    match std::fs::write("BENCH_sessions.json", report.to_json()) {
+        Ok(()) => println!("[session-scaling results written to BENCH_sessions.json]"),
+        Err(err) => {
+            eprintln!("error: could not write BENCH_sessions.json: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    // Acceptance: at full size the event tier holds 4x the sessions the
+    // threaded tier topped out at, moves queries at least as fast in
+    // aggregate, and does it with a fraction of the threads. Smoke-sized
+    // sweeps only warn — thread counts and rates are noise down there.
+    let session_ratio = events_top.sessions as f64 / threaded_top.sessions.max(1) as f64;
+    let mut failures = Vec::new();
+    if session_ratio < 4.0 {
+        failures.push(format!(
+            "event tier sustained only {:.1}x the threaded session count (need 4x)",
+            session_ratio
+        ));
+    }
+    if events_top.queries_per_sec < threaded_top.queries_per_sec {
+        failures.push(format!(
+            "event tier at {} sessions moved {:.1} queries/s, threaded at {} moved {:.1}",
+            events_top.sessions,
+            events_top.queries_per_sec,
+            threaded_top.sessions,
+            threaded_top.queries_per_sec
+        ));
+    }
+    if live_threads() > 0 && events_top.peak_threads * 2 > threaded_top.peak_threads {
+        failures.push(format!(
+            "event tier peaked at {} thread(s), threaded at {} — expected at most half",
+            events_top.peak_threads, threaded_top.peak_threads
+        ));
+    }
+    for failure in &failures {
+        eprintln!("warning: {failure}");
+    }
+    if !failures.is_empty() && max_sessions >= 2048 {
+        eprintln!("error: the event tier must beat thread-per-connection at >=2048 sessions");
+        std::process::exit(2);
+    }
+}

@@ -82,6 +82,15 @@ pub enum PirError {
         /// The journal owner's current epoch.
         current_epoch: u64,
     },
+    /// The server's admission queue was saturated and the request was
+    /// shed **before execution** (see `Frame::Overloaded` in the wire
+    /// module). Unlike [`PirError::Protocol`] this is retryable: nothing
+    /// ran, the connection stays usable, and the server suggests a
+    /// backoff.
+    Overloaded {
+        /// The server's backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for PirError {
@@ -132,6 +141,10 @@ impl fmt::Display for PirError {
                 f,
                 "update journal truncated: cannot replay from epoch {from_epoch}, the journal \
                  at epoch {current_epoch} only reaches back to epoch {oldest_replayable}"
+            ),
+            PirError::Overloaded { retry_after_ms } => write!(
+                f,
+                "server overloaded: request shed before execution, retry after {retry_after_ms} ms"
             ),
         }
     }

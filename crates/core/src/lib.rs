@@ -185,10 +185,11 @@ pub use server::{BatchOutcome, PhaseBreakdown, PirServer};
 pub use shard::{ShardPlan, ShardedDatabase};
 pub use topology::{
     BackendFactory, BackendSpec, BoxedBackend, FleetEngine, FleetTopology, RebalanceMode,
-    ReplicaSpec, RetrySpec, RouterSpec, ShardPolicy, TransportKind,
+    ReplicaSpec, RetrySpec, RouterSpec, SessionTier, ShardPolicy, TransportKind,
 };
 pub use transport::{
-    LocalTransport, PirTransport, RetryPolicy, ScanResult, ServerInfo, TcpTransport, TransportBatch,
+    LocalTransport, MuxConnection, MuxSession, PirTransport, RetryPolicy, ScanResult, ServerInfo,
+    TcpTransport, TransportBatch,
 };
 pub use wire::EpochInfo;
 

@@ -124,6 +124,44 @@ impl RebalanceMode {
     }
 }
 
+/// Which session tier a serving replica runs its client connections on
+/// (`[fleet] session-tier = threads|events`, or `impir-server
+/// --session-tier threads|events`). Responses are byte-identical across
+/// tiers; the choice only decides how many OS threads the session layer
+/// costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SessionTier {
+    /// One OS thread per TCP connection (the original tier): simple
+    /// blocking I/O, but the thread count grows with the session count.
+    #[default]
+    Threads,
+    /// A single event-loop thread drives every connection with
+    /// non-blocking readiness polling; the thread count stays constant no
+    /// matter how many sessions connect.
+    Events,
+}
+
+impl std::fmt::Display for SessionTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SessionTier::Threads => "threads",
+            SessionTier::Events => "events",
+        })
+    }
+}
+
+impl SessionTier {
+    /// Parses `threads` or `events` (the CLI and topology-file spelling).
+    #[must_use]
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "threads" => Some(SessionTier::Threads),
+            "events" => Some(SessionTier::Events),
+            _ => None,
+        }
+    }
+}
+
 /// How the engine's shard layout is chosen for a replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardPolicy {
@@ -296,6 +334,14 @@ pub struct FleetTopology {
     /// Per-session socket read/write timeout of the *server* side, in
     /// milliseconds (must be at least 1).
     pub io_timeout_ms: u64,
+    /// Which session tier serving replicas run (`threads` or `events`).
+    pub session_tier: SessionTier,
+    /// Optional budget of **logical** sessions a serving replica accepts
+    /// before it stops accepting (`None` = unlimited). Under
+    /// multiplexing every session id counts, not every TCP connection —
+    /// see `ServiceConfig::max_sessions` in `impir-server`. Must be at
+    /// least 1 when set; write no key at all for "unlimited".
+    pub max_sessions: Option<usize>,
     /// Client-side retry/timeout policy for reaching TCP replicas.
     pub retry: RetrySpec,
     /// The fleet's replicas, in declaration order.
@@ -318,6 +364,8 @@ impl FleetTopology {
             scan_kernel: KernelChoice::Auto,
             rebalance: RebalanceMode::Off,
             io_timeout_ms: 50,
+            session_tier: SessionTier::Threads,
+            max_sessions: None,
             retry: RetrySpec::default(),
             replicas: Vec::new(),
             router: None,
@@ -375,6 +423,12 @@ impl FleetTopology {
         let _ = writeln!(out, "scan-kernel = {}", self.scan_kernel);
         let _ = writeln!(out, "rebalance = {}", self.rebalance);
         let _ = writeln!(out, "io-timeout-ms = {}", self.io_timeout_ms);
+        let _ = writeln!(out, "session-tier = {}", self.session_tier);
+        // `max-sessions` has no "unlimited" spelling — absence is the
+        // canonical form, keeping parse ∘ serialize ∘ parse the identity.
+        if let Some(max_sessions) = self.max_sessions {
+            let _ = writeln!(out, "max-sessions = {max_sessions}");
+        }
         let _ = writeln!(out, "retry-attempts = {}", self.retry.attempts);
         let _ = writeln!(out, "retry-backoff-ms = {}", self.retry.backoff_ms);
         let _ = writeln!(out, "retry-max-backoff-ms = {}", self.retry.max_backoff_ms);
@@ -436,6 +490,9 @@ impl FleetTopology {
         }
         if self.retry.attempts == 0 {
             return config("retry-attempts must be at least 1");
+        }
+        if self.max_sessions == Some(0) {
+            return config("max-sessions must be at least 1 (omit the key for no session budget)");
         }
         validate_sharding(self.sharding, "[fleet]")?;
         if self.replicas.is_empty() {
@@ -785,6 +842,8 @@ struct Parser {
     scan_kernel: Option<KernelChoice>,
     rebalance: Option<RebalanceMode>,
     io_timeout_ms: Option<u64>,
+    session_tier: Option<SessionTier>,
+    max_sessions: Option<usize>,
     retry: RetrySpec,
     replicas: Vec<ReplicaBuilder>,
     router_listen: Option<String>,
@@ -814,6 +873,8 @@ impl Parser {
             scan_kernel: None,
             rebalance: None,
             io_timeout_ms: None,
+            session_tier: None,
+            max_sessions: None,
             retry: RetrySpec::default(),
             replicas: Vec::new(),
             router_listen: None,
@@ -966,6 +1027,17 @@ impl Parser {
             "scan-kernel" => self.scan_kernel = Some(parse_kernel(value, line_no)?),
             "rebalance" => self.rebalance = Some(parse_rebalance(value, line_no)?),
             "io-timeout-ms" => self.io_timeout_ms = Some(parse_u64(key, value, line_no)?),
+            "session-tier" => self.session_tier = Some(parse_session_tier(value, line_no)?),
+            "max-sessions" => {
+                let sessions = parse_usize(key, value, line_no)?;
+                if sessions == 0 {
+                    return line_error(
+                        line_no,
+                        "max-sessions must be at least 1 (omit the key for no session budget)",
+                    );
+                }
+                self.max_sessions = Some(sessions);
+            }
             "retry-attempts" => self.retry.attempts = parse_u32(key, value, line_no)?,
             "retry-backoff-ms" => self.retry.backoff_ms = parse_u64(key, value, line_no)?,
             "retry-max-backoff-ms" => self.retry.max_backoff_ms = parse_u64(key, value, line_no)?,
@@ -1092,6 +1164,8 @@ impl Parser {
             scan_kernel: self.scan_kernel.unwrap_or(KernelChoice::Auto),
             rebalance: self.rebalance.unwrap_or_default(),
             io_timeout_ms: self.io_timeout_ms.unwrap_or(50),
+            session_tier: self.session_tier.unwrap_or_default(),
+            max_sessions: self.max_sessions,
             retry: self.retry,
             replicas,
             router,
@@ -1174,6 +1248,14 @@ fn parse_autoshard(value: &str, line_no: usize) -> Result<ShardPolicy, PirError>
     }
 }
 
+fn parse_session_tier(value: &str, line_no: usize) -> Result<SessionTier, PirError> {
+    SessionTier::parse(value).ok_or_else(|| PirError::Config {
+        reason: format!(
+            "line {line_no}: session-tier expects `threads` or `events`, got `{value}`"
+        ),
+    })
+}
+
 fn parse_rebalance(value: &str, line_no: usize) -> Result<RebalanceMode, PirError> {
     RebalanceMode::parse(value).ok_or_else(|| PirError::Config {
         reason: format!("line {line_no}: rebalance expects `auto` or `off`, got `{value}`"),
@@ -1227,6 +1309,8 @@ journal-batches = 8
 scan-kernel = wide
 rebalance = auto
 io-timeout-ms = 20
+session-tier = events
+max-sessions = 128
 retry-attempts = 4
 retry-backoff-ms = 5
 retry-max-backoff-ms = 100
@@ -1250,6 +1334,8 @@ max-lag-epochs = 1
 ";
         let parsed = FleetTopology::parse(input).expect("parses");
         assert_eq!(parsed.rebalance, RebalanceMode::Auto);
+        assert_eq!(parsed.session_tier, SessionTier::Events);
+        assert_eq!(parsed.max_sessions, Some(128));
         let reparsed =
             FleetTopology::parse(&parsed.to_config_string()).expect("serialized form parses");
         assert_eq!(parsed, reparsed);
@@ -1260,6 +1346,41 @@ max-lag-epochs = 1
         let err = FleetTopology::parse("[fleet]\nrecords = 4\nrebalance = maybe\n")
             .expect_err("bad rebalance value must fail");
         assert!(err.to_string().contains("rebalance"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_session_tiers_and_zero_session_budgets() {
+        let err = FleetTopology::parse("[fleet]\nrecords = 4\nsession-tier = fibers\n")
+            .expect_err("bad session-tier value must fail");
+        assert!(err.to_string().contains("session-tier"), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+
+        // A budget of zero sessions would accept nothing; the parser names
+        // the offending line, and validate() catches programmatic zeros.
+        let err = FleetTopology::parse("[fleet]\nrecords = 4\nmax-sessions = 0\n")
+            .expect_err("zero session budget must fail");
+        assert!(err.to_string().contains("max-sessions"), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let mut topology = FleetTopology::new(4, 32, 1);
+        topology.replicas.push(ReplicaSpec::local("a"));
+        topology.max_sessions = Some(0);
+        assert!(topology.validate().is_err());
+    }
+
+    #[test]
+    fn session_tier_defaults_to_threads_and_round_trips() {
+        let topology = FleetTopology::parse(minimal()).expect("parses");
+        assert_eq!(topology.session_tier, SessionTier::Threads);
+        assert_eq!(topology.max_sessions, None);
+        // The serializer writes the resolved tier but omits the absent
+        // session budget, so the round trip stays the identity.
+        let serialized = topology.to_config_string();
+        assert!(serialized.contains("session-tier = threads"));
+        assert!(!serialized.contains("max-sessions"));
+        assert_eq!(
+            FleetTopology::parse(&serialized).expect("reparses"),
+            topology
+        );
     }
 
     #[test]

@@ -11,7 +11,15 @@
 //!   layer existed, now just one policy among several;
 //! * [`TcpTransport`] speaks the [`crate::wire`] format over `std::net` to
 //!   an `impir-server` process (connection-per-session), so the same
-//!   client code drives in-process, mixed, or fully remote deployments.
+//!   client code drives in-process, mixed, or fully remote deployments;
+//! * [`MuxConnection`] multiplexes many logical sessions over **one** TCP
+//!   connection using [`Frame::Mux`] session ids — each
+//!   [`MuxConnection::session`] is a [`MuxSession`], a full
+//!   [`PirTransport`] of its own. Sessions pipeline: a background reader
+//!   thread routes each reply to the session that asked, so concurrent
+//!   sessions never head-of-line block on one another's round trips. The
+//!   router uses this for its backend legs (one socket per replica
+//!   instead of one per client session).
 //!
 //! Every transport reports the **wire cost** of each batch
 //! ([`TransportBatch::upload_bytes`] / [`TransportBatch::download_bytes`]):
@@ -19,8 +27,11 @@
 //! transport reports what the same batch *would* cost on the wire, so cost
 //! accounting is deployment-independent too.
 
+use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use impir_dpf::SelectorVector;
@@ -549,6 +560,12 @@ impl TcpTransport {
                 self.peer_label
             ))));
         }
+        if let Frame::Overloaded { retry_after_ms } = reply {
+            // Typed load shedding: nothing ran and the connection stays
+            // usable — surface the backoff hint instead of retrying
+            // blindly into the same saturation.
+            return Err(Failure::Fatal(PirError::Overloaded { retry_after_ms }));
+        }
         Ok(reply)
     }
 
@@ -788,6 +805,545 @@ impl Drop for TcpTransport {
             let _ = self.stream.write_all(&encoded);
         }
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexed TCP transport: many logical sessions, one connection.
+// ---------------------------------------------------------------------------
+
+/// State shared between a [`MuxConnection`], its [`MuxSession`]s and the
+/// background reader thread.
+struct MuxShared {
+    /// The write half (a `try_clone` of the reader's stream); one frame
+    /// at a time goes out under this lock, so concurrent sessions never
+    /// interleave bytes inside a frame.
+    writer: Mutex<TcpStream>,
+    /// One in-flight request per session id; the reader thread completes
+    /// them as [`Frame::Mux`] replies arrive, in whatever order the
+    /// server answers.
+    pending: Mutex<HashMap<u32, mpsc::Sender<Result<Frame, PirError>>>>,
+    /// Set on any I/O failure or framing desync: the connection is dead
+    /// and every subsequent request fails fast. A `MuxConnection` never
+    /// reconnects itself — its owner (e.g. the router) replaces it, so
+    /// sessions keep connection-per-session's explicit failure model.
+    broken: AtomicBool,
+    /// The peer as given by the caller, for error messages.
+    peer_label: String,
+    /// Total request bytes this connection has put on the wire.
+    uploaded: AtomicU64,
+    /// Total response bytes this connection has taken off the wire.
+    downloaded: AtomicU64,
+}
+
+impl MuxShared {
+    /// Marks the connection dead and fails every in-flight request with
+    /// an error naming `reason`.
+    fn fail(&self, reason: &str) {
+        self.broken.store(true, Ordering::SeqCst);
+        let mut pending = self.pending.lock().expect("mux pending lock poisoned");
+        for (_, tx) in pending.drain() {
+            let _ = tx.send(Err(protocol_error(format!(
+                "multiplexed connection to server {} failed: {reason}",
+                self.peer_label
+            ))));
+        }
+    }
+}
+
+/// The reader half of a [`MuxConnection`]: blocks on the socket, routes
+/// each [`Frame::Mux`] reply to the session that asked, and fails every
+/// pending request when the connection dies (including the deliberate
+/// shutdown `MuxConnection::drop` performs, which is what ends this
+/// thread).
+fn mux_reader_loop(mut stream: TcpStream, shared: &MuxShared) {
+    loop {
+        let (frame, taken) = match wire::read_frame(&mut stream) {
+            Ok(read) => read,
+            Err(err) => {
+                shared.fail(&err.to_string());
+                return;
+            }
+        };
+        shared.downloaded.fetch_add(taken as u64, Ordering::Relaxed);
+        match frame {
+            Frame::Mux { session, frame } => {
+                let sender = shared
+                    .pending
+                    .lock()
+                    .expect("mux pending lock poisoned")
+                    .remove(&session);
+                match sender {
+                    Some(tx) => {
+                        // A dropped receiver (caller gave up) is fine;
+                        // the reply is simply discarded.
+                        let _ = tx.send(Ok(*frame));
+                    }
+                    None => {
+                        // A reply for a session nobody is waiting on
+                        // means the two ends disagree about the stream
+                        // state — fail closed rather than guess.
+                        shared.fail(&format!("reply for unknown session {session}"));
+                        return;
+                    }
+                }
+            }
+            other => {
+                shared.fail(&format!(
+                    "unmuxed {} frame on a multiplexed connection",
+                    other.name()
+                ));
+                return;
+            }
+        }
+    }
+}
+
+/// One multiplexed TCP connection to an `impir-server`, carrying many
+/// logical sessions (see the [module docs](self)). Create sessions with
+/// [`MuxConnection::session`]; drop the connection to close every
+/// session at once.
+pub struct MuxConnection {
+    shared: Arc<MuxShared>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    /// Session-id allocator. Id 0 is reserved for the connection's root
+    /// session (plain unwrapped frames), so allocation starts at 1.
+    next_session: AtomicU32,
+    info: ServerInfo,
+}
+
+impl std::fmt::Debug for MuxConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxConnection")
+            .field("peer", &self.shared.peer_label)
+            .field("broken", &self.shared.broken.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl MuxConnection {
+    /// Connects and performs the (connection-level, unwrapped)
+    /// magic/version handshake, then starts the reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Protocol`] if the connection cannot be
+    /// established, the peer does not speak the protocol, or the
+    /// versions disagree.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, PirError> {
+        Self::connect_with(addr, None)
+    }
+
+    /// [`MuxConnection::connect`] with a bound on any single socket
+    /// *write* (reads stay unbounded: the reader thread legitimately
+    /// blocks until the server has something to say).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MuxConnection::connect`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        write_timeout: Option<Duration>,
+    ) -> Result<Self, PirError> {
+        let peer: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|err| protocol_error(format!("resolving server address: {err}")))?
+            .collect();
+        let Some(first) = peer.first() else {
+            return Err(protocol_error(
+                "server address resolved to no socket addresses",
+            ));
+        };
+        let peer_label = first.to_string();
+        let mut stream = TcpStream::connect(&peer[..])
+            .map_err(|err| protocol_error(format!("connecting to server {peer_label}: {err}")))?;
+        let _ = stream.set_nodelay(true);
+
+        // Connection-level handshake, before any multiplexing: plain
+        // Hello out, plain HelloAck back.
+        let hello = Frame::Hello {
+            version: WIRE_VERSION,
+        }
+        .encode()?;
+        stream
+            .write_all(&hello)
+            .and_then(|()| stream.flush())
+            .map_err(|err| {
+                protocol_error(format!("handshaking with server {peer_label}: {err}"))
+            })?;
+        let (reply, taken) = wire::read_frame(&mut stream)?;
+        let info = match reply {
+            Frame::HelloAck { version, info } => {
+                if version != WIRE_VERSION {
+                    return Err(protocol_error(format!(
+                        "server {peer_label} speaks wire version {version}, this client \
+                         speaks {WIRE_VERSION}"
+                    )));
+                }
+                info
+            }
+            other => {
+                return Err(protocol_error(format!(
+                    "expected a HelloAck frame from server {peer_label}, got {}",
+                    other.name()
+                )));
+            }
+        };
+
+        let writer = stream.try_clone().map_err(|err| {
+            protocol_error(format!("cloning stream to server {peer_label}: {err}"))
+        })?;
+        writer.set_write_timeout(write_timeout).map_err(|err| {
+            protocol_error(format!(
+                "setting write timeout to server {peer_label}: {err}"
+            ))
+        })?;
+        let shared = Arc::new(MuxShared {
+            writer: Mutex::new(writer),
+            pending: Mutex::new(HashMap::new()),
+            broken: AtomicBool::new(false),
+            peer_label,
+            uploaded: AtomicU64::new(hello.len() as u64),
+            downloaded: AtomicU64::new(taken as u64),
+        });
+        let reader_shared = shared.clone();
+        let reader = std::thread::Builder::new()
+            .name("impir-mux-reader".to_string())
+            .spawn(move || mux_reader_loop(stream, &reader_shared))
+            .map_err(|err| protocol_error(format!("spawning mux reader thread: {err}")))?;
+        Ok(MuxConnection {
+            shared,
+            reader: Some(reader),
+            next_session: AtomicU32::new(1),
+            info,
+        })
+    }
+
+    /// Opens a new logical session on this connection. Purely local: the
+    /// server learns of the session when its first frame arrives, and
+    /// the session closes when the [`MuxSession`] drops (a muxed
+    /// Goodbye) or the connection does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::Protocol`] when the connection is already
+    /// known dead.
+    pub fn session(&self) -> Result<MuxSession, PirError> {
+        if self.is_broken() {
+            return Err(protocol_error(format!(
+                "multiplexed connection to server {} is broken",
+                self.shared.peer_label
+            )));
+        }
+        let session = self.next_session.fetch_add(1, Ordering::Relaxed);
+        Ok(MuxSession {
+            shared: self.shared.clone(),
+            session,
+            info: self.info,
+        })
+    }
+
+    /// The server info captured at the connection handshake.
+    #[must_use]
+    pub fn cached_info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// The peer address errors and logs refer to.
+    #[must_use]
+    pub fn peer(&self) -> &str {
+        &self.shared.peer_label
+    }
+
+    /// Whether the connection is known dead (every further request on
+    /// any of its sessions fails fast; the owner should replace it).
+    #[must_use]
+    pub fn is_broken(&self) -> bool {
+        self.shared.broken.load(Ordering::SeqCst)
+    }
+
+    /// Total request bytes this connection has put on the wire, across
+    /// all its sessions (handshake included).
+    #[must_use]
+    pub fn uploaded_bytes(&self) -> u64 {
+        self.shared.uploaded.load(Ordering::Relaxed)
+    }
+
+    /// Total response bytes this connection has taken off the wire,
+    /// across all its sessions (handshake included).
+    #[must_use]
+    pub fn downloaded_bytes(&self) -> u64 {
+        self.shared.downloaded.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for MuxConnection {
+    fn drop(&mut self) {
+        // Best-effort clean close of the root session, then a shutdown —
+        // which is also what unblocks and ends the reader thread.
+        if let Ok(mut writer) = self.shared.writer.lock() {
+            if let Ok(encoded) = Frame::Goodbye.encode() {
+                let _ = writer.write_all(&encoded);
+            }
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// One logical session on a [`MuxConnection`] — a full [`PirTransport`]:
+/// schemes and the router's per-client backend legs hold a `MuxSession`
+/// exactly where they previously held a whole [`TcpTransport`].
+pub struct MuxSession {
+    shared: Arc<MuxShared>,
+    session: u32,
+    info: ServerInfo,
+}
+
+impl std::fmt::Debug for MuxSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxSession")
+            .field("peer", &self.shared.peer_label)
+            .field("session", &self.session)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MuxSession {
+    /// This session's id on the shared connection.
+    #[must_use]
+    pub fn session_id(&self) -> u32 {
+        self.session
+    }
+
+    fn operation_error(&self, op: &str, detail: &str) -> PirError {
+        protocol_error(format!(
+            "{op} to server {} (session {}): {detail}",
+            self.shared.peer_label, self.session
+        ))
+    }
+
+    /// One muxed request/reply round trip. Unlike [`TcpTransport`] there
+    /// are no retries here: a mux connection is shared, so recovery (a
+    /// replacement connection) belongs to its owner.
+    fn request(&mut self, op: &str, inner: Frame) -> Result<(Frame, u64), PirError> {
+        if self.shared.broken.load(Ordering::SeqCst) {
+            return Err(self.operation_error(op, "connection is broken"));
+        }
+        let encoded = Frame::Mux {
+            session: self.session,
+            frame: Box::new(inner),
+        }
+        .encode()?;
+        let (tx, rx) = mpsc::channel();
+        self.shared
+            .pending
+            .lock()
+            .expect("mux pending lock poisoned")
+            .insert(self.session, tx);
+        {
+            let mut writer = self.shared.writer.lock().expect("mux writer lock poisoned");
+            if let Err(err) = writer.write_all(&encoded).and_then(|()| writer.flush()) {
+                drop(writer);
+                self.shared.fail(&format!("writing request: {err}"));
+                return Err(self.operation_error(op, &format!("writing request: {err}")));
+            }
+        }
+        let upload_bytes = encoded.len() as u64;
+        self.shared
+            .uploaded
+            .fetch_add(upload_bytes, Ordering::Relaxed);
+        let reply = match rx.recv() {
+            Ok(Ok(reply)) => reply,
+            Ok(Err(err)) => return Err(err),
+            Err(_) => {
+                return Err(self.operation_error(op, "connection closed before the reply arrived"))
+            }
+        };
+        match reply {
+            Frame::Error { message } => Err(protocol_error(format!(
+                "server {} rejected request: {message}",
+                self.shared.peer_label
+            ))),
+            Frame::Overloaded { retry_after_ms } => Err(PirError::Overloaded { retry_after_ms }),
+            other => Ok((other, upload_bytes)),
+        }
+    }
+
+    fn unexpected_frame(&self, op: &str, expected: &str, got: &Frame) -> PirError {
+        self.operation_error(
+            op,
+            &format!("expected a {expected} frame, got {}", got.name()),
+        )
+    }
+}
+
+impl PirTransport for MuxSession {
+    fn server_info(&mut self) -> Result<ServerInfo, PirError> {
+        let op = "requesting server info";
+        match self.request(op, Frame::InfoRequest)? {
+            (Frame::Info { info }, _) => {
+                self.info = info;
+                Ok(info)
+            }
+            (other, _) => Err(self.unexpected_frame(op, "Info", &other)),
+        }
+    }
+
+    fn query_batch(&mut self, shares: &[QueryShare]) -> Result<TransportBatch, PirError> {
+        let op = "querying batch";
+        let started = Instant::now();
+        let request = Frame::QueryBatch {
+            shares: shares.to_vec(),
+        };
+        match self.request(op, request)? {
+            (
+                Frame::ResponseBatch {
+                    epoch,
+                    wall_seconds,
+                    phases,
+                    responses,
+                },
+                upload_bytes,
+            ) => {
+                if responses.len() != shares.len() {
+                    return Err(self.operation_error(
+                        op,
+                        &format!(
+                            "server answered {} responses to {} shares",
+                            responses.len(),
+                            shares.len()
+                        ),
+                    ));
+                }
+                self.info.epoch = epoch;
+                Ok(TransportBatch {
+                    epoch,
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                    server_wall_seconds: wall_seconds,
+                    phase_totals: phases,
+                    upload_bytes,
+                    download_bytes: (response_batch_frame_bytes(&responses)
+                        + wire::MUX_OVERHEAD_BYTES) as u64,
+                    responses,
+                })
+            }
+            (other, _) => Err(self.unexpected_frame(op, "ResponseBatch", &other)),
+        }
+    }
+
+    fn scan_selector(&mut self, selector: &SelectorVector) -> Result<ScanResult, PirError> {
+        let op = "scanning selector";
+        let request = Frame::SelectorScan {
+            selector: selector.clone(),
+        };
+        match self.request(op, request)? {
+            (
+                Frame::SelectorResult {
+                    epoch,
+                    payload,
+                    phases,
+                },
+                _,
+            ) => {
+                self.info.epoch = epoch;
+                Ok(ScanResult {
+                    payload,
+                    epoch,
+                    phases,
+                })
+            }
+            (other, _) => Err(self.unexpected_frame(op, "SelectorResult", &other)),
+        }
+    }
+
+    fn apply_updates(&mut self, updates: &[(u64, Vec<u8>)]) -> Result<UpdateOutcome, PirError> {
+        let op = "applying updates";
+        let request = Frame::UpdateBatch {
+            updates: updates.to_vec(),
+        };
+        match self.request(op, request)? {
+            (Frame::UpdateAck { outcome }, _) => {
+                self.info.epoch = outcome.epoch;
+                Ok(outcome)
+            }
+            (other, _) => Err(self.unexpected_frame(op, "UpdateAck", &other)),
+        }
+    }
+
+    fn epoch_info(&mut self) -> Result<EpochInfo, PirError> {
+        let op = "requesting epoch info";
+        match self.request(op, Frame::EpochInfoRequest)? {
+            (Frame::EpochInfo { info }, _) => {
+                self.info.epoch = info.current_epoch;
+                Ok(info)
+            }
+            (other, _) => Err(self.unexpected_frame(op, "EpochInfo", &other)),
+        }
+    }
+
+    fn replay_updates(&mut self, from_epoch: u64) -> Result<Vec<UpdateBatch>, PirError> {
+        // Same chunked-prefix loop as TcpTransport::replay_updates: the
+        // target epoch is pinned at entry so a concurrent writer cannot
+        // extend the loop indefinitely.
+        let op = "requesting update replay";
+        let target = self.epoch_info()?.current_epoch;
+        let mut next_epoch = from_epoch;
+        let mut all: Vec<UpdateBatch> = Vec::new();
+        loop {
+            let request = Frame::UpdateReplayRequest {
+                from_epoch: next_epoch,
+            };
+            let batches = match self.request(op, request)? {
+                (Frame::UpdateReplay { batches }, _) => batches,
+                (
+                    Frame::JournalTruncated {
+                        from_epoch,
+                        oldest_replayable,
+                        current_epoch,
+                    },
+                    _,
+                ) => {
+                    return Err(PirError::JournalTruncated {
+                        from_epoch,
+                        oldest_replayable,
+                        current_epoch,
+                    });
+                }
+                (other, _) => return Err(self.unexpected_frame(op, "UpdateReplay", &other)),
+            };
+            if batches.is_empty() {
+                break;
+            }
+            next_epoch += batches.len() as u64;
+            all.extend(batches);
+            if next_epoch >= target {
+                break;
+            }
+        }
+        Ok(all)
+    }
+}
+
+impl Drop for MuxSession {
+    fn drop(&mut self) {
+        // Best-effort muxed Goodbye so the server can retire this
+        // logical session without waiting for the whole connection.
+        if self.shared.broken.load(Ordering::SeqCst) {
+            return;
+        }
+        let goodbye = Frame::Mux {
+            session: self.session,
+            frame: Box::new(Frame::Goodbye),
+        };
+        if let Ok(encoded) = goodbye.encode() {
+            if let Ok(mut writer) = self.shared.writer.lock() {
+                let _ = writer.write_all(&encoded);
+                let _ = writer.flush();
+            }
+        }
     }
 }
 

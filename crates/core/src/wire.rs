@@ -19,6 +19,19 @@
 //! trailing-garbage bodies decode to [`PirError::Protocol`] (never a
 //! panic), and no length prefix inside a body can drive an allocation
 //! larger than the already-bounded frame it arrived in.
+//!
+//! # Session multiplexing
+//!
+//! Many **logical sessions** can share one TCP connection: after the
+//! (connection-level, unwrapped) handshake, a peer wraps a session's
+//! frames in [`Frame::Mux`], which prefixes the inner frame with a `u32`
+//! session id. Plain unwrapped frames keep their pre-multiplexing meaning
+//! (they belong to the connection's root session), so a v1 client that
+//! never sends `Mux` talks to a multiplexing server unchanged. A `Mux`
+//! inside a `Mux` is a protocol violation on both the encode and decode
+//! side. [`Frame::Overloaded`] is the server's typed load-shedding
+//! refusal: the request was dropped before execution and may be retried
+//! after the carried backoff hint.
 
 use std::io::{Read, Write};
 
@@ -43,6 +56,10 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// Bytes of framing around every body: the `u32` length prefix plus the
 /// tag byte.
 pub const FRAME_HEADER_BYTES: usize = 5;
+
+/// Extra body bytes a [`Frame::Mux`] wrapper adds around its inner
+/// frame's body: the `u32` session id plus the inner frame's tag byte.
+pub const MUX_OVERHEAD_BYTES: usize = 4 + 1;
 
 /// Fixed wire size of a [`PhaseTime`]: wall `f64`, presence flag, and the
 /// simulated-seconds `f64` (zeroed when absent).
@@ -202,6 +219,28 @@ pub enum Frame {
     },
     /// Client → server: clean connection close.
     Goodbye,
+    /// Either direction: a frame addressed to one logical session. Many
+    /// logical sessions share a TCP connection by wrapping their frames
+    /// in `Mux`; the body carries the session id followed by the inner
+    /// frame's tag and body (the outer length prefix already bounds
+    /// both, so the inner frame gets no redundant prefix of its own).
+    /// Nesting a `Mux` inside a `Mux` is rejected by encoder and decoder
+    /// alike.
+    Mux {
+        /// The logical session the inner frame belongs to.
+        session: u32,
+        /// The wrapped frame.
+        frame: Box<Frame>,
+    },
+    /// Server → client: the admission queue is saturated and the request
+    /// was shed **without being executed**. Typed (not a generic
+    /// [`Frame::Error`]) so clients can back off and retry instead of
+    /// failing the query; the connection stays usable.
+    Overloaded {
+        /// The server's backoff hint: milliseconds to wait before
+        /// retrying.
+        retry_after_ms: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -221,6 +260,8 @@ const TAG_EPOCH_INFO: u8 = 14;
 const TAG_UPDATE_REPLAY_REQUEST: u8 = 15;
 const TAG_UPDATE_REPLAY: u8 = 16;
 const TAG_JOURNAL_TRUNCATED: u8 = 17;
+const TAG_MUX: u8 = 18;
+const TAG_OVERLOADED: u8 = 19;
 
 /// Shorthand for a [`PirError::Protocol`].
 pub(crate) fn protocol_error(reason: impl Into<String>) -> PirError {
@@ -538,6 +579,8 @@ impl Frame {
             }
             Frame::JournalTruncated { .. } => 8 + 8 + 8,
             Frame::Error { message } => 4 + message.len(),
+            Frame::Mux { frame, .. } => MUX_OVERHEAD_BYTES + frame.body_bytes(),
+            Frame::Overloaded { .. } => 8,
         }
     }
 
@@ -560,6 +603,8 @@ impl Frame {
             Frame::JournalTruncated { .. } => TAG_JOURNAL_TRUNCATED,
             Frame::Error { .. } => TAG_ERROR,
             Frame::Goodbye => TAG_GOODBYE,
+            Frame::Mux { .. } => TAG_MUX,
+            Frame::Overloaded { .. } => TAG_OVERLOADED,
         }
     }
 
@@ -585,6 +630,8 @@ impl Frame {
             Frame::JournalTruncated { .. } => "JournalTruncated",
             Frame::Error { .. } => "Error",
             Frame::Goodbye => "Goodbye",
+            Frame::Mux { .. } => "Mux",
+            Frame::Overloaded { .. } => "Overloaded",
         }
     }
 
@@ -597,6 +644,11 @@ impl Frame {
     /// decoder does, so an oversized batch fails loudly at the sender
     /// instead of poisoning the connection.
     pub fn encode(&self) -> Result<Vec<u8>, PirError> {
+        if let Frame::Mux { frame, .. } = self {
+            if matches!(**frame, Frame::Mux { .. }) {
+                return Err(protocol_error("Mux frame nested inside a Mux frame"));
+            }
+        }
         encode_with_body(self.tag(), self.body_bytes(), |w| self.write_body(w))
     }
 
@@ -666,6 +718,12 @@ impl Frame {
                 w.u64(*current_epoch);
             }
             Frame::Error { message } => w.bytes(message.as_bytes()),
+            Frame::Mux { session, frame } => {
+                w.u32(*session);
+                w.u8(frame.tag());
+                frame.write_body(w);
+            }
+            Frame::Overloaded { retry_after_ms } => w.u64(*retry_after_ms),
         }
     }
 
@@ -846,6 +904,24 @@ impl Frame {
                 from_epoch: r.u64()?,
                 oldest_replayable: r.u64()?,
                 current_epoch: r.u64()?,
+            },
+            TAG_MUX => {
+                let session = r.u32()?;
+                let inner_tag = r.u8()?;
+                if inner_tag == TAG_MUX {
+                    return Err(protocol_error("Mux frame nested inside a Mux frame"));
+                }
+                // The inner frame owns everything left in the body; its
+                // own decoder enforces the no-trailing-garbage rule.
+                let rest = r.remaining();
+                let inner_body = r.take(rest)?;
+                Frame::Mux {
+                    session,
+                    frame: Box::new(Frame::decode_body(inner_tag, inner_body)?),
+                }
+            }
+            TAG_OVERLOADED => Frame::Overloaded {
+                retry_after_ms: r.u64()?,
             },
             other => return Err(protocol_error(format!("unknown frame tag {other}"))),
         };
@@ -1089,6 +1165,19 @@ mod tests {
                 oldest_replayable: 6,
                 current_epoch: 12,
             },
+            Frame::Mux {
+                session: 3,
+                frame: Box::new(Frame::QueryBatch {
+                    shares: sample_shares(2),
+                }),
+            },
+            Frame::Mux {
+                session: u32::MAX,
+                frame: Box::new(Frame::Goodbye),
+            },
+            Frame::Overloaded {
+                retry_after_ms: 250,
+            },
         ]
     }
 
@@ -1270,6 +1359,56 @@ mod tests {
             Frame::decode(&encoded),
             Err(PirError::Protocol { .. })
         ));
+    }
+
+    #[test]
+    fn nested_mux_frames_are_rejected_on_both_sides() {
+        // The encoder refuses to put a Mux inside a Mux on the wire …
+        let nested = Frame::Mux {
+            session: 2,
+            frame: Box::new(Frame::Mux {
+                session: 1,
+                frame: Box::new(Frame::Goodbye),
+            }),
+        };
+        assert!(matches!(nested.encode(), Err(PirError::Protocol { .. })));
+
+        // … and the decoder rejects hand-built nested bytes a hostile
+        // peer sends anyway (without recursing into the inner body).
+        let inner = Frame::Mux {
+            session: 1,
+            frame: Box::new(Frame::Goodbye),
+        }
+        .encode()
+        .unwrap();
+        let mut outer = Vec::new();
+        outer.extend_from_slice(&[0u8; 4]); // patched below
+        outer.push(TAG_MUX);
+        outer.extend_from_slice(&9u32.to_le_bytes()); // outer session id
+        outer.extend_from_slice(&inner[4..]); // inner tag + body
+        let length = (outer.len() - 4) as u32;
+        outer[..4].copy_from_slice(&length.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&outer),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn mux_wrapping_is_transparent_to_the_inner_frame_bytes() {
+        // A Mux body is exactly session id + the inner frame's tag and
+        // body — the bytes a plain encoding of the inner frame carries
+        // after its length prefix.
+        let inner = Frame::UpdateReplayRequest { from_epoch: 41 };
+        let plain = inner.encode().unwrap();
+        let muxed = Frame::Mux {
+            session: 7,
+            frame: Box::new(inner),
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(muxed.len(), plain.len() + MUX_OVERHEAD_BYTES);
+        assert_eq!(&muxed[FRAME_HEADER_BYTES + 4..], &plain[4..]);
     }
 
     #[test]

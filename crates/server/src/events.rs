@@ -1,0 +1,618 @@
+//! The event-driven session tier: every client connection served by one
+//! non-blocking readiness loop (`session-tier = events`).
+//!
+//! The threaded tier spends one OS thread per TCP connection; at a few
+//! thousand concurrent sessions the stacks, context switches and
+//! wake-storms dominate the cost of actually answering queries. This tier
+//! replaces the accept-loop-plus-session-threads arrangement with a
+//! single loop over non-blocking `std::net` sockets:
+//!
+//! * each connection carries a **read buffer** and a **write buffer**, so
+//!   length-prefixed [`Frame`]s survive partial reads and partial writes;
+//! * parsed requests are forwarded to the same dispatcher thread the
+//!   threaded tier uses — wave coalescing and the engine's bounded
+//!   admission queue stay the batching brain — but with `try_send`
+//!   instead of a blocking send: a full dispatcher queue makes the loop
+//!   **shed load** with a typed [`Frame::Overloaded`] refusal and pause
+//!   reading that connection until the queue drains, so overload never
+//!   buffers requests without bound;
+//! * replies are polled without blocking and written back as the sockets
+//!   accept bytes, wrapped for the logical session that sent the request
+//!   ([`Frame::Mux`]); a connection whose write buffer backs up stops
+//!   being read until it drains.
+//!
+//! Reply frames are built by the same constructors the threaded tier
+//! uses (`query_reply_frame` and friends in the crate root), so the two
+//! tiers answer **byte-identically** — pinned by the networked
+//! equivalence suite. Thread count is constant: the event loop plus the
+//! dispatcher, no matter how many sessions connect.
+//!
+//! Hostile input follows the wire module's rules: a bad session id, an
+//! oversized or truncated frame, or garbage bytes produce a protocol
+//! error frame and a closed connection — never a panic, never an
+//! allocation sized by an unvalidated length.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use impir_core::batch::UpdateOutcome;
+use impir_core::transport::{EpochInfo, ScanResult, ServerInfo};
+use impir_core::wire::{Frame, MAX_FRAME_BYTES, WIRE_VERSION};
+use impir_core::UpdateBatch;
+
+use crate::{
+    claim_logical_session, dispatcher_gone_frame, error_frame, protocol, query_reply_frame,
+    replay_reply_frame, scan_result_frame, update_ack_frame, wrap, QueryReply, ServiceConfig,
+    ServiceRequest,
+};
+
+/// How long the loop sleeps when a full pass over every socket made no
+/// progress — short enough that latency stays sub-millisecond, long
+/// enough that an idle server does not spin a core.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Bytes read from one socket per readiness pass.
+const READ_CHUNK_BYTES: usize = 64 << 10;
+
+/// Parsed-but-undispatched requests held per connection. Beyond this the
+/// connection stops being read: admission control happens at the
+/// dispatcher queue, not in per-connection buffers.
+const PENDING_PER_CONN: usize = 8;
+
+/// A connection whose unwritten reply bytes exceed this stops being read
+/// until the peer drains its socket — a client that never reads its
+/// replies cannot grow the server's write buffer without bound.
+const WRITE_BUF_PAUSE_BYTES: usize = 1 << 20;
+
+/// The backoff hint carried by [`Frame::Overloaded`] refusals.
+pub(crate) const OVERLOAD_RETRY_MS: u64 = 25;
+
+/// A reply the dispatcher owes one logical session, polled without
+/// blocking. The frame constructors are shared with the threaded tier so
+/// replies are byte-identical across tiers.
+enum PendingReply {
+    /// The handshake's `Info` round trip; answered as `HelloAck`.
+    Hello(Receiver<ServerInfo>),
+    Info(Receiver<ServerInfo>),
+    Epoch(Receiver<EpochInfo>),
+    Query(Receiver<Result<QueryReply, crate::PirError>>),
+    Update(Receiver<Result<UpdateOutcome, crate::PirError>>),
+    Scan(Receiver<Result<ScanResult, crate::PirError>>),
+    Replay {
+        rx: Receiver<Result<Vec<UpdateBatch>, crate::PirError>>,
+        from_epoch: u64,
+    },
+}
+
+impl PendingReply {
+    /// The reply frame, if the dispatcher has answered. A disconnected
+    /// reply channel (dispatcher gone) yields the same error frame the
+    /// threaded tier sends.
+    fn poll(&self, max_replay_frame_bytes: usize) -> Option<Frame> {
+        fn ready<T>(rx: &Receiver<T>, build: impl FnOnce(T) -> Frame) -> Option<Frame> {
+            match rx.try_recv() {
+                Ok(value) => Some(build(value)),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => Some(dispatcher_gone_frame()),
+            }
+        }
+        match self {
+            PendingReply::Hello(rx) => ready(rx, |info| Frame::HelloAck {
+                version: WIRE_VERSION,
+                info,
+            }),
+            PendingReply::Info(rx) => ready(rx, |info| Frame::Info { info }),
+            PendingReply::Epoch(rx) => ready(rx, |info| Frame::EpochInfo { info }),
+            PendingReply::Query(rx) => ready(rx, query_reply_frame),
+            PendingReply::Update(rx) => ready(rx, update_ack_frame),
+            PendingReply::Scan(rx) => ready(rx, scan_result_frame),
+            PendingReply::Replay { rx, from_epoch } => {
+                let from_epoch = *from_epoch;
+                ready(rx, move |result| {
+                    replay_reply_frame(result, from_epoch, max_replay_frame_bytes)
+                })
+            }
+        }
+    }
+}
+
+/// What dispatching one parsed request produced.
+enum Dispatch {
+    /// Forwarded; the reply arrives through the held receiver.
+    Pending(PendingReply),
+    /// Answered locally without touching the dispatcher.
+    Immediate(Frame),
+    /// A protocol violation: send the frame, then close the connection.
+    Violation(Frame),
+    /// The dispatcher queue is full: shed this request.
+    Overloaded,
+    /// The session said `Goodbye`.
+    EndSession,
+}
+
+/// One client connection's state between readiness passes.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into frames (partial frames live
+    /// here between passes).
+    read_buf: Vec<u8>,
+    /// Encoded reply bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    handshaken: bool,
+    /// Multiplexed session ids already counted against the budget.
+    mux_sessions: HashSet<u32>,
+    /// Parsed requests awaiting dispatch; `None` = the root session.
+    queued: VecDeque<(Option<u32>, Frame)>,
+    /// At most one in-flight dispatcher request per logical session, so
+    /// each session's replies keep request order.
+    inflight: HashMap<Option<u32>, PendingReply>,
+    /// Reading paused because the dispatcher queue was full.
+    shed: bool,
+    /// No more reads; reap once queued/inflight/writes drain.
+    closing: bool,
+    /// Unrecoverable socket failure; reap immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            handshaken: false,
+            mux_sessions: HashSet::new(),
+            queued: VecDeque::new(),
+            inflight: HashMap::new(),
+            shed: false,
+            closing: false,
+            dead: false,
+        }
+    }
+
+    fn unwritten(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    fn reapable(&self) -> bool {
+        self.dead
+            || (self.closing
+                && self.queued.is_empty()
+                && self.inflight.is_empty()
+                && self.unwritten() == 0)
+    }
+}
+
+fn would_block(err: &std::io::Error) -> bool {
+    err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut
+}
+
+/// Runs the event tier until shutdown (or, with a session budget, until
+/// the budget is spent and every connection has drained — the same
+/// natural end the threaded accept loop has, which is what
+/// [`crate::PirService::join`] waits for).
+pub(crate) fn event_loop(
+    listener: &TcpListener,
+    requests: &Sender<ServiceRequest>,
+    shutdown: &AtomicBool,
+    config: ServiceConfig,
+) {
+    // Logical sessions opened: root sessions at handshake plus distinct
+    // multiplexed ids — the same counter semantics as the threaded tier.
+    let opened = AtomicUsize::new(0);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK_BYTES];
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        let budget_spent = config
+            .max_sessions
+            .is_some_and(|limit| opened.load(Ordering::SeqCst) >= limit);
+        if budget_spent {
+            if conns.is_empty() {
+                return;
+            }
+        } else {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        conns.push(Conn::new(stream));
+                        progressed = true;
+                    }
+                    Err(err) if would_block(&err) => break,
+                    Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            }
+        }
+        for conn in &mut conns {
+            tick_conn(
+                conn,
+                requests,
+                &opened,
+                &config,
+                &mut scratch,
+                &mut progressed,
+            );
+        }
+        conns.retain(|conn| !conn.reapable());
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// One readiness pass over one connection: collect ready replies,
+/// dispatch queued requests, read and parse new frames, flush writes.
+fn tick_conn(
+    conn: &mut Conn,
+    requests: &Sender<ServiceRequest>,
+    opened: &AtomicUsize,
+    config: &ServiceConfig,
+    scratch: &mut [u8],
+    progressed: &mut bool,
+) {
+    if conn.dead {
+        return;
+    }
+
+    // Replies the dispatcher has finished since the last pass.
+    let mut ready = Vec::new();
+    for (&session, pending) in &conn.inflight {
+        if let Some(frame) = pending.poll(config.max_replay_frame_bytes) {
+            ready.push((session, frame));
+        }
+    }
+    for (session, frame) in ready {
+        conn.inflight.remove(&session);
+        enqueue_reply(conn, session, frame);
+        *progressed = true;
+    }
+
+    // Shed connections resume reading once the dispatcher has room again.
+    if conn.shed && !requests.is_full() {
+        conn.shed = false;
+    }
+
+    // Complete frames may be sitting in the read buffer from a pass where
+    // the pending queue was full — parse them before touching the socket,
+    // or they would stall until the peer sends more bytes.
+    parse_frames(conn, opened, config);
+
+    // Dispatch queued requests whose session has nothing in flight (one
+    // in-flight request per logical session keeps replies in request
+    // order).
+    let mut index = 0;
+    while index < conn.queued.len() {
+        let session = conn.queued[index].0;
+        if conn.inflight.contains_key(&session) {
+            index += 1;
+            continue;
+        }
+        let (session, frame) = conn.queued.remove(index).expect("index is in bounds");
+        *progressed = true;
+        match dispatch(requests, frame) {
+            Dispatch::Pending(pending) => {
+                conn.inflight.insert(session, pending);
+            }
+            Dispatch::Immediate(reply) => enqueue_reply(conn, session, reply),
+            Dispatch::Violation(reply) => {
+                enqueue_reply(conn, session, reply);
+                conn.queued.clear();
+                conn.closing = true;
+                break;
+            }
+            Dispatch::Overloaded => {
+                // Typed admission control: the request is refused before
+                // execution, the client backs off and retries, and this
+                // connection stops being read until the queue drains.
+                enqueue_reply(
+                    conn,
+                    session,
+                    Frame::Overloaded {
+                        retry_after_ms: OVERLOAD_RETRY_MS,
+                    },
+                );
+                conn.shed = true;
+            }
+            Dispatch::EndSession => {
+                if session.is_none() {
+                    // Root Goodbye closes the whole connection; a muxed
+                    // Goodbye closed only its logical session.
+                    conn.queued.clear();
+                    conn.closing = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Read — unless this connection is closing, shed, or backed up.
+    if !conn.closing
+        && !conn.shed
+        && conn.unwritten() < WRITE_BUF_PAUSE_BYTES
+        && conn.queued.len() < PENDING_PER_CONN
+    {
+        match conn.stream.read(scratch) {
+            Ok(0) => conn.closing = true,
+            Ok(read) => {
+                conn.read_buf.extend_from_slice(&scratch[..read]);
+                parse_frames(conn, opened, config);
+                *progressed = true;
+            }
+            Err(err) if would_block(&err) || err.kind() == ErrorKind::Interrupted => {}
+            Err(_) => conn.dead = true,
+        }
+    }
+
+    flush_writes(conn, progressed);
+}
+
+/// Writes as much of the pending reply bytes as the socket accepts.
+fn flush_writes(conn: &mut Conn, progressed: &mut bool) {
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(written) => {
+                conn.write_pos += written;
+                *progressed = true;
+            }
+            Err(err) if err.kind() == ErrorKind::Interrupted => {}
+            Err(err) if would_block(&err) => return,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.write_pos > 0 {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+}
+
+/// Parses every complete frame sitting in the read buffer, up to the
+/// per-connection pending cap. Framing violations follow the wire rules:
+/// an error frame, then the connection closes.
+fn parse_frames(conn: &mut Conn, opened: &AtomicUsize, config: &ServiceConfig) {
+    while !conn.closing && conn.queued.len() < PENDING_PER_CONN {
+        if conn.read_buf.len() < 4 {
+            return;
+        }
+        let length =
+            u32::from_le_bytes(conn.read_buf[..4].try_into().expect("4 bytes checked")) as usize;
+        if length == 0 || length > MAX_FRAME_BYTES {
+            // Same wording as the threaded tier's framing check.
+            fail_conn(
+                conn,
+                &format!("frame of {length} bytes is outside the accepted range"),
+            );
+            return;
+        }
+        if conn.read_buf.len() < 4 + length {
+            return; // partial frame; wait for more bytes
+        }
+        let frame = match Frame::decode(&conn.read_buf[..4 + length]) {
+            Ok(frame) => frame,
+            Err(err) => {
+                enqueue_reply(conn, None, error_frame(&err));
+                conn.closing = true;
+                return;
+            }
+        };
+        conn.read_buf.drain(..4 + length);
+        handle_parsed(conn, frame, opened, config);
+    }
+}
+
+/// Routes one parsed frame: handshake gating, session-id validation and
+/// budget accounting, then onto the dispatch queue.
+fn handle_parsed(conn: &mut Conn, frame: Frame, opened: &AtomicUsize, config: &ServiceConfig) {
+    if !conn.handshaken {
+        match frame {
+            Frame::Hello { version } if version == WIRE_VERSION => {
+                conn.handshaken = true;
+                // Root sessions count at handshake, exactly like the
+                // threaded tier (documented overshoot tolerance).
+                opened.fetch_add(1, Ordering::SeqCst);
+                conn.queued.push_back((None, Frame::Hello { version }));
+            }
+            Frame::Hello { version } => {
+                enqueue_reply(
+                    conn,
+                    None,
+                    Frame::Error {
+                        message: format!(
+                            "server speaks wire version {WIRE_VERSION}, client sent {version}"
+                        ),
+                    },
+                );
+                conn.closing = true;
+            }
+            other => {
+                enqueue_reply(
+                    conn,
+                    None,
+                    Frame::Error {
+                        message: format!(
+                            "expected Hello to open the session, got {}",
+                            other.name()
+                        ),
+                    },
+                );
+                conn.closing = true;
+            }
+        }
+        return;
+    }
+    match frame {
+        Frame::Mux { session, frame } => {
+            if session == 0 {
+                fail_conn(
+                    conn,
+                    "session id 0 is reserved for the connection's root session",
+                );
+                return;
+            }
+            if !conn.mux_sessions.contains(&session) {
+                if !claim_logical_session(opened, config.max_sessions) {
+                    enqueue_reply(
+                        conn,
+                        Some(session),
+                        error_frame(&protocol(
+                            "the server's logical session budget is exhausted",
+                        )),
+                    );
+                    return;
+                }
+                conn.mux_sessions.insert(session);
+            }
+            conn.queued.push_back((Some(session), *frame));
+        }
+        plain => conn.queued.push_back((None, plain)),
+    }
+}
+
+/// Reports a connection-level protocol violation and starts closing.
+fn fail_conn(conn: &mut Conn, reason: &str) {
+    enqueue_reply(conn, None, error_frame(&protocol(reason)));
+    conn.queued.clear();
+    conn.closing = true;
+}
+
+/// Encodes a reply (muxed for its logical session) onto the write buffer.
+fn enqueue_reply(conn: &mut Conn, session: Option<u32>, reply: Frame) {
+    match wrap(session, reply).encode() {
+        Ok(bytes) => conn.write_buf.extend_from_slice(&bytes),
+        // The encoder refused the reply (it would exceed the frame size
+        // bound) — nothing valid can be sent on this framing anymore.
+        Err(_) => conn.dead = true,
+    }
+}
+
+/// Forwards one request to the dispatcher without blocking.
+fn dispatch(requests: &Sender<ServiceRequest>, frame: Frame) -> Dispatch {
+    macro_rules! forward {
+        ($request:expr, $pending:expr) => {
+            match requests.try_send($request) {
+                Ok(()) => Dispatch::Pending($pending),
+                Err(TrySendError::Full(_)) => Dispatch::Overloaded,
+                Err(TrySendError::Disconnected(_)) => Dispatch::Immediate(dispatcher_gone_frame()),
+            }
+        };
+    }
+    match frame {
+        Frame::Hello { .. } => {
+            let (reply, rx) = bounded(1);
+            forward!(ServiceRequest::Info { reply }, PendingReply::Hello(rx))
+        }
+        Frame::QueryBatch { shares } => {
+            let (reply, rx) = bounded(1);
+            forward!(
+                ServiceRequest::Query { shares, reply },
+                PendingReply::Query(rx)
+            )
+        }
+        Frame::UpdateBatch { updates } => {
+            let (reply, rx) = bounded(1);
+            forward!(
+                ServiceRequest::Update { updates, reply },
+                PendingReply::Update(rx)
+            )
+        }
+        Frame::SelectorScan { selector } => {
+            let (reply, rx) = bounded(1);
+            forward!(
+                ServiceRequest::Scan { selector, reply },
+                PendingReply::Scan(rx)
+            )
+        }
+        Frame::InfoRequest => {
+            let (reply, rx) = bounded(1);
+            forward!(ServiceRequest::Info { reply }, PendingReply::Info(rx))
+        }
+        Frame::EpochInfoRequest => {
+            let (reply, rx) = bounded(1);
+            forward!(ServiceRequest::EpochInfo { reply }, PendingReply::Epoch(rx))
+        }
+        Frame::UpdateReplayRequest { from_epoch } => {
+            let (reply, rx) = bounded(1);
+            forward!(
+                ServiceRequest::Replay { from_epoch, reply },
+                PendingReply::Replay { rx, from_epoch }
+            )
+        }
+        Frame::Goodbye => Dispatch::EndSession,
+        other => Dispatch::Violation(Frame::Error {
+            message: format!("unexpected {} frame mid-session", other.name()),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded as bounded_channel;
+
+    /// The shed path, pinned deterministically: a full dispatcher queue
+    /// turns a dispatch into `Overloaded` without consuming the request,
+    /// and room in the queue turns the next dispatch back into a
+    /// forwarded request — recovery needs no reconnect.
+    #[test]
+    fn full_admission_queue_sheds_and_recovers() {
+        let (requests, request_rx) = bounded_channel::<ServiceRequest>(1);
+        // Fill the only admission slot; the dispatcher is "busy" (nobody
+        // drains the receiver yet).
+        let (reply, _keep) = bounded_channel(1);
+        requests
+            .try_send(ServiceRequest::EpochInfo { reply })
+            .unwrap();
+        assert!(matches!(
+            dispatch(&requests, Frame::InfoRequest),
+            Dispatch::Overloaded
+        ));
+        // The queue drains: the same connection's next request forwards.
+        let _ = request_rx.try_recv().unwrap();
+        assert!(matches!(
+            dispatch(&requests, Frame::InfoRequest),
+            Dispatch::Pending(PendingReply::Info(_))
+        ));
+        // A dead dispatcher is a different, non-retryable answer.
+        drop(request_rx);
+        assert!(matches!(
+            dispatch(&requests, Frame::InfoRequest),
+            Dispatch::Immediate(Frame::Error { .. })
+        ));
+    }
+
+    #[test]
+    fn goodbye_and_server_only_frames_classify_correctly() {
+        let (requests, _rx) = bounded_channel::<ServiceRequest>(4);
+        assert!(matches!(
+            dispatch(&requests, Frame::Goodbye),
+            Dispatch::EndSession
+        ));
+        // A reply-direction frame from a client is a protocol violation.
+        assert!(matches!(
+            dispatch(
+                &requests,
+                Frame::Overloaded {
+                    retry_after_ms: OVERLOAD_RETRY_MS
+                }
+            ),
+            Dispatch::Violation(Frame::Error { .. })
+        ));
+    }
+}

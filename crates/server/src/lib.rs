@@ -3,16 +3,33 @@
 //!
 //! [`PirService`] owns the server side of the service layer:
 //!
-//! * an **accept loop** takes TCP connections off a listener and spawns a
-//!   **session thread** per client, which speaks the
+//! * a **session tier** turns TCP connections into request frames. Two
+//!   interchangeable tiers exist, selected by
+//!   [`ServiceConfig::session_tier`] (topology key `session-tier`):
+//!   the **threaded** tier accepts connections off a listener and spawns a
+//!   session thread per client; the **event** tier (see [`events`],
+//!   `session-tier = events`) drives *every* connection from one
+//!   non-blocking readiness loop — thread count stays constant no matter
+//!   how many sessions connect. Both tiers speak the same
 //!   [`impir_core::wire`] format (handshake, then request/response
-//!   frames);
+//!   frames) and produce byte-identical replies;
+//! * both tiers understand **session multiplexing**
+//!   ([`impir_core::wire::Frame::Mux`]): many logical sessions share one
+//!   TCP connection, each request/reply pair tagged with a session id.
+//!   Plain frames belong to the connection's root session, so v1 clients
+//!   work unchanged;
 //! * sessions forward their requests to one **dispatcher thread** that
 //!   owns the engine. Query batches from *concurrently active sessions*
 //!   are coalesced into one engine wave — the merged batch flows through
 //!   the engine's existing bounded admission queue, so cross-session
 //!   batching inherits the §3.4 pipeline (and its backpressure) instead
-//!   of re-implementing it;
+//!   of re-implementing it. The dispatcher's own request queue is bounded
+//!   ([`ServiceConfig::admission_capacity`]): threaded sessions block on
+//!   it (natural backpressure), while the event tier never blocks — a
+//!   full queue makes it **shed load** with a typed
+//!   [`impir_core::wire::Frame::Overloaded`] refusal and pause reading
+//!   sockets until the queue drains, so overload never buffers without
+//!   bound;
 //! * updates and queries are serialised by the dispatcher, and every
 //!   response batch is tagged with the database epoch it executed
 //!   against, so clients can detect update/query interleavings that
@@ -40,21 +57,22 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod events;
 pub mod router;
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use impir_core::batch::{UpdatableBackend, UpdateOutcome};
 use impir_core::database::Database;
 use impir_core::engine::QueryEngine;
 use impir_core::rebalance::{RebalanceConfig, RebalancePlanner};
 use impir_core::server::phases::PhaseBreakdown;
-use impir_core::topology::{FleetTopology, RebalanceMode};
+use impir_core::topology::{FleetTopology, RebalanceMode, SessionTier};
 use impir_core::transport::{EpochInfo, ScanResult, ServerInfo};
 use impir_core::wire::{
     update_batch_frame_bytes, Frame, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WIRE_VERSION,
@@ -69,14 +87,35 @@ pub struct ServiceConfig {
     /// one engine wave. The dispatcher never waits for more batches — it
     /// merges whatever is already pending, up to this limit.
     pub coalesce_limit: usize,
-    /// Stop accepting new connections once this many sessions have
-    /// completed the protocol handshake (`None` = serve until shutdown).
-    /// Probe connections that never say `Hello` — port scanners, health
-    /// checks — do not consume the budget. The bound is best-effort, not
-    /// exact: connections accepted *before* the budget was exhausted are
-    /// served in full, so near-simultaneous arrivals can briefly overshoot
-    /// the limit. Useful for tests and one-shot deployments.
+    /// Stop accepting new work once this many **logical sessions** have
+    /// opened (`None` = serve until shutdown). The budget counts logical
+    /// sessions, not TCP connections: a connection's root session counts
+    /// one when its protocol handshake completes, and every distinct
+    /// multiplexed session id opened on a connection
+    /// ([`impir_core::wire::Frame::Mux`]) counts one more. The count is
+    /// monotone — sessions that close do not refund the budget — so
+    /// `max_sessions = N` means "serve at most N sessions over this
+    /// process's lifetime", which is what one-shot deployments and tests
+    /// want. Probe connections that never say `Hello` — port scanners,
+    /// health checks — do not consume the budget. The bound is
+    /// best-effort, not exact: root sessions of connections accepted
+    /// *before* the budget was exhausted are served in full, so
+    /// near-simultaneous arrivals can briefly overshoot the limit; a
+    /// *multiplexed* session opened past the budget is refused with an
+    /// error frame while its connection stays usable.
     pub max_sessions: Option<usize>,
+    /// Which session tier turns connections into requests:
+    /// [`SessionTier::Threads`] spawns one session thread per TCP
+    /// connection, [`SessionTier::Events`] drives every connection from
+    /// one non-blocking readiness loop (constant thread count, load
+    /// shedding under overload). The topology key `session-tier` sets
+    /// this.
+    pub session_tier: SessionTier,
+    /// Capacity of the dispatcher's bounded admission queue, in requests.
+    /// Threaded sessions block on a full queue (backpressure through the
+    /// socket); the event tier sheds instead — see
+    /// [`impir_core::wire::Frame::Overloaded`].
+    pub admission_capacity: usize,
     /// Per-session socket read/write timeout: how long a blocked session
     /// read or write sleeps before waking to re-check the shutdown flag
     /// (and retry). Shorter values make shutdown and fault detection
@@ -98,6 +137,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             coalesce_limit: 16,
             max_sessions: None,
+            session_tier: SessionTier::default(),
+            admission_capacity: 64,
             io_timeout: Duration::from_millis(50),
             max_replay_frame_bytes: MAX_FRAME_BYTES,
         }
@@ -115,6 +156,11 @@ impl ServiceConfig {
         if self.coalesce_limit == 0 {
             return Err(PirError::Config {
                 reason: "the session coalesce limit must be at least 1".to_string(),
+            });
+        }
+        if self.admission_capacity == 0 {
+            return Err(PirError::Config {
+                reason: "the dispatcher admission capacity must be at least 1".to_string(),
             });
         }
         if self.io_timeout.is_zero() {
@@ -179,11 +225,15 @@ impl<S> RebalancePolicy<S> {
 }
 
 /// The [`ServiceConfig`] a topology implies: its `io-timeout-ms` becomes
-/// the per-session socket timeout; everything else keeps its default.
+/// the per-session socket timeout, `session-tier` picks the session tier
+/// and `max-sessions` the logical-session budget; everything else keeps
+/// its default.
 #[must_use]
 pub fn service_config_for(topology: &FleetTopology) -> ServiceConfig {
     ServiceConfig {
         io_timeout: topology.service_io_timeout(),
+        session_tier: topology.session_tier,
+        max_sessions: topology.max_sessions,
         ..ServiceConfig::default()
     }
 }
@@ -246,7 +296,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 pub const MIN_REPLAY_FRAME_BYTES: usize = 64;
 
 /// The dispatcher's answer to one session's query batch.
-struct QueryReply {
+pub(crate) struct QueryReply {
     epoch: u64,
     wall_seconds: f64,
     phases: PhaseBreakdown,
@@ -255,7 +305,7 @@ struct QueryReply {
 
 /// A session's request to the dispatcher. Replies travel over a dedicated
 /// bounded channel per request.
-enum ServiceRequest {
+pub(crate) enum ServiceRequest {
     Query {
         shares: Vec<QueryShare>,
         reply: Sender<Result<QueryReply, PirError>>,
@@ -375,7 +425,10 @@ impl PirService {
                 reason: format!("configuring listener: {err}"),
             })?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (requests, request_rx) = unbounded::<ServiceRequest>();
+        // Bounded admission: threaded sessions block on a full queue, the
+        // event tier sheds with an `Overloaded` refusal instead — either
+        // way overload never buffers requests without bound.
+        let (requests, request_rx) = bounded::<ServiceRequest>(config.admission_capacity);
         let plan = engine.plan().clone();
 
         let coalesce_limit = config.coalesce_limit;
@@ -384,8 +437,11 @@ impl PirService {
         });
 
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_handle = std::thread::spawn(move || {
-            accept_loop(&listener, &requests, &accept_shutdown, config);
+        let accept_handle = std::thread::spawn(move || match config.session_tier {
+            SessionTier::Threads => accept_loop(&listener, &requests, &accept_shutdown, config),
+            SessionTier::Events => {
+                events::event_loop(&listener, &requests, &accept_shutdown, config);
+            }
         });
 
         Ok(PirService {
@@ -460,10 +516,11 @@ fn accept_loop(
     config: ServiceConfig,
 ) {
     let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    // The session budget counts *handshaken* sessions, not accepted TCP
-    // connections: a port scanner or health-check probe that connects and
-    // leaves must not consume a `--max-sessions 1` server's budget.
-    let handshaken = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    // The session budget counts *logical* sessions — handshaken root
+    // sessions plus multiplexed session ids — never raw TCP connections:
+    // a port scanner or health-check probe that connects and leaves must
+    // not consume a `--max-sessions 1` server's budget.
+    let handshaken = Arc::new(AtomicUsize::new(0));
     while !shutdown.load(Ordering::SeqCst) {
         if let Some(limit) = config.max_sessions {
             if handshaken.load(Ordering::SeqCst) >= limit {
@@ -826,11 +883,14 @@ pub(crate) fn read_session_frame(
 
 /// One client connection: handshake, then request frames until the client
 /// hangs up, says goodbye, violates the protocol, or the service stops.
+/// Multiplexed frames ([`Frame::Mux`]) carry requests for *logical*
+/// sessions sharing this connection: the inner request is handled exactly
+/// like a plain one and its reply re-wrapped with the same session id.
 fn session_loop(
     mut stream: TcpStream,
     requests: &Sender<ServiceRequest>,
     shutdown: &AtomicBool,
-    handshaken: &std::sync::atomic::AtomicUsize,
+    handshaken: &AtomicUsize,
     config: ServiceConfig,
 ) {
     let _ = stream.set_nodelay(true);
@@ -840,6 +900,7 @@ fn session_loop(
         return;
     }
     handshaken.fetch_add(1, Ordering::SeqCst);
+    let mut mux_sessions: std::collections::HashSet<u32> = std::collections::HashSet::new();
     loop {
         let frame = match read_session_frame(&mut stream, shutdown) {
             Ok(Some(frame)) => frame,
@@ -847,50 +908,96 @@ fn session_loop(
             Err(err) => {
                 // Framing is broken: report if possible, then drop the
                 // connection.
-                let _ = write_session_frame(
-                    &mut stream,
-                    &Frame::Error {
-                        message: err.to_string(),
-                    },
-                    shutdown,
-                );
+                let _ = write_session_frame(&mut stream, &error_frame(&err), shutdown);
                 return;
             }
         };
-        let result = match frame {
-            Frame::QueryBatch { shares } => handle_query(&mut stream, requests, shares, shutdown),
-            Frame::UpdateBatch { updates } => {
-                handle_update(&mut stream, requests, updates, shutdown)
+        let (session, frame) = match frame {
+            Frame::Mux { session, frame } => {
+                if session == 0 {
+                    // Session id 0 *is* the root session — it speaks plain
+                    // frames; a Mux wrapper claiming it is hostile input.
+                    let _ = write_session_frame(
+                        &mut stream,
+                        &error_frame(&protocol(
+                            "session id 0 is reserved for the connection's root session",
+                        )),
+                        shutdown,
+                    );
+                    return;
+                }
+                if !mux_sessions.contains(&session) {
+                    if !claim_logical_session(handshaken, config.max_sessions) {
+                        // The budget refusal is scoped to the new logical
+                        // session: its co-tenants on this connection keep
+                        // working.
+                        let refusal = Frame::Mux {
+                            session,
+                            frame: Box::new(error_frame(&protocol(
+                                "the server's logical session budget is exhausted",
+                            ))),
+                        };
+                        if write_session_frame(&mut stream, &refusal, shutdown).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                    mux_sessions.insert(session);
+                }
+                (Some(session), *frame)
             }
-            Frame::SelectorScan { selector } => {
-                handle_scan(&mut stream, requests, selector, shutdown)
-            }
-            Frame::InfoRequest => handle_info(&mut stream, requests, shutdown),
-            Frame::EpochInfoRequest => handle_epoch_info(&mut stream, requests, shutdown),
-            Frame::UpdateReplayRequest { from_epoch } => handle_replay(
-                &mut stream,
-                requests,
-                from_epoch,
-                shutdown,
-                config.max_replay_frame_bytes,
-            ),
-            Frame::Goodbye => return,
-            other => {
-                // Hello mid-session or a server-only frame: protocol
-                // violation, close after reporting.
-                let _ = write_session_frame(
-                    &mut stream,
-                    &Frame::Error {
-                        message: format!("unexpected {} frame mid-session", other.name()),
-                    },
-                    shutdown,
-                );
+            plain => (None, plain),
+        };
+        let reply = match blocking_reply(requests, frame, config.max_replay_frame_bytes) {
+            SessionReply::Reply(reply) => reply,
+            SessionReply::Violation(reply) => {
+                let _ = write_session_frame(&mut stream, &wrap(session, reply), shutdown);
                 return;
             }
+            SessionReply::End => match session {
+                // A muxed Goodbye closes only that logical session; the
+                // connection (and its other sessions) lives on.
+                Some(_) => continue,
+                None => return,
+            },
         };
-        if result.is_err() {
+        if write_session_frame(&mut stream, &wrap(session, reply), shutdown).is_err() {
             return; // the write side failed; nothing more we can do
         }
+    }
+}
+
+/// Re-wraps a reply for the logical session its request arrived on: plain
+/// for the root session, muxed with the same id otherwise.
+fn wrap(session: Option<u32>, reply: Frame) -> Frame {
+    match session {
+        None => reply,
+        Some(session) => Frame::Mux {
+            session,
+            frame: Box::new(reply),
+        },
+    }
+}
+
+/// Claims one logical session from the budget. Unlike the root-session
+/// count at handshake (which may overshoot, documented on
+/// [`ServiceConfig::max_sessions`]), multiplexed sessions are claimed
+/// exactly: past the budget the claim fails and the session is refused.
+pub(crate) fn claim_logical_session(opened: &AtomicUsize, limit: Option<usize>) -> bool {
+    match limit {
+        None => {
+            opened.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+        Some(limit) => opened
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                if n < limit {
+                    Some(n + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok(),
     }
 }
 
@@ -959,48 +1066,147 @@ fn request_info(requests: &Sender<ServiceRequest>) -> Result<ServerInfo, PirErro
         .map_err(|_| protocol("service dispatcher is gone"))
 }
 
-fn handle_info(
-    stream: &mut TcpStream,
-    requests: &Sender<ServiceRequest>,
-    shutdown: &AtomicBool,
-) -> Result<(), PirError> {
-    match request_info(requests) {
-        Ok(info) => write_session_frame(stream, &Frame::Info { info }, shutdown),
-        Err(err) => write_error(stream, &err, shutdown),
-    }
+/// The outcome of handling one request frame on a session.
+pub(crate) enum SessionReply {
+    /// Send this reply; the session continues.
+    Reply(Frame),
+    /// Send this reply, then close the connection: the client violated
+    /// the protocol (a `Hello` mid-session, a server-only frame).
+    Violation(Frame),
+    /// The client said `Goodbye`: close the session, nothing to send.
+    End,
 }
 
-fn handle_epoch_info(
-    stream: &mut TcpStream,
+/// Handles one request frame on the threaded tier: forwards it to the
+/// dispatcher, **blocks** for the reply and returns the reply frame. The
+/// event tier handles the same frames without blocking (see [`events`])
+/// but builds its replies from the same `*_frame` constructors below, so
+/// both tiers answer byte-identically.
+pub(crate) fn blocking_reply(
     requests: &Sender<ServiceRequest>,
-    shutdown: &AtomicBool,
-) -> Result<(), PirError> {
-    let (reply, replies) = bounded(1);
-    if requests.send(ServiceRequest::EpochInfo { reply }).is_err() {
-        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
-    }
-    match replies.recv() {
-        Ok(info) => write_session_frame(stream, &Frame::EpochInfo { info }, shutdown),
-        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
-    }
-}
-
-fn handle_replay(
-    stream: &mut TcpStream,
-    requests: &Sender<ServiceRequest>,
-    from_epoch: u64,
-    shutdown: &AtomicBool,
+    frame: Frame,
     max_replay_frame_bytes: usize,
-) -> Result<(), PirError> {
-    let (reply, replies) = bounded(1);
-    if requests
-        .send(ServiceRequest::Replay { from_epoch, reply })
-        .is_err()
-    {
-        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
+) -> SessionReply {
+    match frame {
+        Frame::QueryBatch { shares } => {
+            let (reply, replies) = bounded(1);
+            if requests
+                .send(ServiceRequest::Query { shares, reply })
+                .is_err()
+            {
+                return SessionReply::Reply(dispatcher_gone_frame());
+            }
+            SessionReply::Reply(match replies.recv() {
+                Ok(result) => query_reply_frame(result),
+                Err(_) => dispatcher_gone_frame(),
+            })
+        }
+        Frame::UpdateBatch { updates } => {
+            let (reply, replies) = bounded(1);
+            if requests
+                .send(ServiceRequest::Update { updates, reply })
+                .is_err()
+            {
+                return SessionReply::Reply(dispatcher_gone_frame());
+            }
+            SessionReply::Reply(match replies.recv() {
+                Ok(result) => update_ack_frame(result),
+                Err(_) => dispatcher_gone_frame(),
+            })
+        }
+        Frame::SelectorScan { selector } => {
+            let (reply, replies) = bounded(1);
+            if requests
+                .send(ServiceRequest::Scan { selector, reply })
+                .is_err()
+            {
+                return SessionReply::Reply(dispatcher_gone_frame());
+            }
+            SessionReply::Reply(match replies.recv() {
+                Ok(result) => scan_result_frame(result),
+                Err(_) => dispatcher_gone_frame(),
+            })
+        }
+        Frame::InfoRequest => SessionReply::Reply(match request_info(requests) {
+            Ok(info) => Frame::Info { info },
+            Err(_) => dispatcher_gone_frame(),
+        }),
+        Frame::EpochInfoRequest => {
+            let (reply, replies) = bounded(1);
+            if requests.send(ServiceRequest::EpochInfo { reply }).is_err() {
+                return SessionReply::Reply(dispatcher_gone_frame());
+            }
+            SessionReply::Reply(match replies.recv() {
+                Ok(info) => Frame::EpochInfo { info },
+                Err(_) => dispatcher_gone_frame(),
+            })
+        }
+        Frame::UpdateReplayRequest { from_epoch } => {
+            let (reply, replies) = bounded(1);
+            if requests
+                .send(ServiceRequest::Replay { from_epoch, reply })
+                .is_err()
+            {
+                return SessionReply::Reply(dispatcher_gone_frame());
+            }
+            SessionReply::Reply(match replies.recv() {
+                Ok(result) => replay_reply_frame(result, from_epoch, max_replay_frame_bytes),
+                Err(_) => dispatcher_gone_frame(),
+            })
+        }
+        Frame::Goodbye => SessionReply::End,
+        other => {
+            // Hello mid-session or a server-only frame: protocol
+            // violation, close after reporting. (A nested Mux can never
+            // reach here — the decoder rejects it.)
+            SessionReply::Violation(Frame::Error {
+                message: format!("unexpected {} frame mid-session", other.name()),
+            })
+        }
     }
-    match replies.recv() {
-        Ok(Ok(batches)) => {
+}
+
+/// The reply frame for a query batch's dispatcher result.
+pub(crate) fn query_reply_frame(result: Result<QueryReply, PirError>) -> Frame {
+    match result {
+        Ok(answer) => Frame::ResponseBatch {
+            epoch: answer.epoch,
+            wall_seconds: answer.wall_seconds,
+            phases: answer.phases,
+            responses: answer.responses,
+        },
+        Err(err) => error_frame(&err),
+    }
+}
+
+/// The reply frame for an update batch's dispatcher result.
+pub(crate) fn update_ack_frame(result: Result<UpdateOutcome, PirError>) -> Frame {
+    match result {
+        Ok(outcome) => Frame::UpdateAck { outcome },
+        Err(err) => error_frame(&err),
+    }
+}
+
+/// The reply frame for a selector scan's dispatcher result.
+pub(crate) fn scan_result_frame(result: Result<ScanResult, PirError>) -> Frame {
+    match result {
+        Ok(scan) => Frame::SelectorResult {
+            epoch: scan.epoch,
+            payload: scan.payload,
+            phases: scan.phases,
+        },
+        Err(err) => error_frame(&err),
+    }
+}
+
+/// The reply frame for a journal replay's dispatcher result.
+pub(crate) fn replay_reply_frame(
+    result: Result<Vec<UpdateBatch>, PirError>,
+    from_epoch: u64,
+    max_replay_frame_bytes: usize,
+) -> Frame {
+    match result {
+        Ok(batches) => {
             // A reply frame obeys the same size bound as every other
             // frame, but a fully-retained lag can hold more batch bytes
             // than one frame fits (each journalled batch may itself have
@@ -1021,131 +1227,42 @@ fn handle_replay(
             if taken.is_empty() && total > 0 {
                 // Never degrade this to an empty reply: the client reads
                 // empty as "caught up" and would silently stay lagging.
-                return write_error(
-                    stream,
-                    &protocol(&format!(
-                        "replay from epoch {from_epoch} cannot proceed: the next journalled \
-                         batch alone exceeds the replay frame bound of \
-                         {max_replay_frame_bytes} bytes; re-seed the lagging replica from a \
-                         current snapshot"
-                    )),
-                    shutdown,
-                );
+                return error_frame(&protocol(&format!(
+                    "replay from epoch {from_epoch} cannot proceed: the next journalled \
+                     batch alone exceeds the replay frame bound of \
+                     {max_replay_frame_bytes} bytes; re-seed the lagging replica from a \
+                     current snapshot"
+                )));
             }
-            write_session_frame(stream, &Frame::UpdateReplay { batches: taken }, shutdown)
+            Frame::UpdateReplay { batches: taken }
         }
         // A truncated journal is an expected, *typed* outcome the client
         // resolves (fail-closed resync error) — it gets its own frame so
         // the transport can rebuild the typed error, unlike free-form
         // `Error` frames.
-        Ok(Err(PirError::JournalTruncated {
+        Err(PirError::JournalTruncated {
             from_epoch,
             oldest_replayable,
             current_epoch,
-        })) => write_session_frame(
-            stream,
-            &Frame::JournalTruncated {
-                from_epoch,
-                oldest_replayable,
-                current_epoch,
-            },
-            shutdown,
-        ),
-        Ok(Err(err)) => write_error(stream, &err, shutdown),
-        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
-    }
-}
-
-fn handle_query(
-    stream: &mut TcpStream,
-    requests: &Sender<ServiceRequest>,
-    shares: Vec<QueryShare>,
-    shutdown: &AtomicBool,
-) -> Result<(), PirError> {
-    let (reply, replies) = bounded(1);
-    if requests
-        .send(ServiceRequest::Query { shares, reply })
-        .is_err()
-    {
-        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
-    }
-    match replies.recv() {
-        Ok(Ok(answer)) => write_session_frame(
-            stream,
-            &Frame::ResponseBatch {
-                epoch: answer.epoch,
-                wall_seconds: answer.wall_seconds,
-                phases: answer.phases,
-                responses: answer.responses,
-            },
-            shutdown,
-        ),
-        Ok(Err(err)) => write_error(stream, &err, shutdown),
-        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
-    }
-}
-
-fn handle_update(
-    stream: &mut TcpStream,
-    requests: &Sender<ServiceRequest>,
-    updates: Vec<(u64, Vec<u8>)>,
-    shutdown: &AtomicBool,
-) -> Result<(), PirError> {
-    let (reply, replies) = bounded(1);
-    if requests
-        .send(ServiceRequest::Update { updates, reply })
-        .is_err()
-    {
-        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
-    }
-    match replies.recv() {
-        Ok(Ok(outcome)) => write_session_frame(stream, &Frame::UpdateAck { outcome }, shutdown),
-        Ok(Err(err)) => write_error(stream, &err, shutdown),
-        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
-    }
-}
-
-fn handle_scan(
-    stream: &mut TcpStream,
-    requests: &Sender<ServiceRequest>,
-    selector: SelectorVector,
-    shutdown: &AtomicBool,
-) -> Result<(), PirError> {
-    let (reply, replies) = bounded(1);
-    if requests
-        .send(ServiceRequest::Scan { selector, reply })
-        .is_err()
-    {
-        return write_error(stream, &protocol("service dispatcher is gone"), shutdown);
-    }
-    match replies.recv() {
-        Ok(Ok(scan)) => write_session_frame(
-            stream,
-            &Frame::SelectorResult {
-                epoch: scan.epoch,
-                payload: scan.payload,
-                phases: scan.phases,
-            },
-            shutdown,
-        ),
-        Ok(Err(err)) => write_error(stream, &err, shutdown),
-        Err(_) => write_error(stream, &protocol("service dispatcher is gone"), shutdown),
-    }
-}
-
-/// Reports a request-level failure to the client; the session stays open.
-fn write_error(
-    stream: &mut TcpStream,
-    err: &PirError,
-    shutdown: &AtomicBool,
-) -> Result<(), PirError> {
-    write_session_frame(
-        stream,
-        &Frame::Error {
-            message: err.to_string(),
+        }) => Frame::JournalTruncated {
+            from_epoch,
+            oldest_replayable,
+            current_epoch,
         },
-        shutdown,
-    )
+        Err(err) => error_frame(&err),
+    }
+}
+
+/// A request-level failure as an `Error` frame; the session stays open.
+pub(crate) fn error_frame(err: &PirError) -> Frame {
+    Frame::Error {
+        message: err.to_string(),
+    }
+}
+
+/// The `Error` frame both tiers send when the dispatcher has exited.
+pub(crate) fn dispatcher_gone_frame() -> Frame {
+    error_frame(&protocol("service dispatcher is gone"))
 }
 
 #[cfg(test)]
@@ -1318,6 +1435,134 @@ mod tests {
             let (shares, _) = client.generate_batch(&[0]).unwrap();
             assert_eq!(transport.query_batch(&shares).unwrap().responses.len(), 1);
         } // disconnect → the single budgeted session ends
+        joiner.join().unwrap();
+    }
+
+    use impir_core::topology::SessionTier;
+    use impir_core::transport::{MuxConnection, MuxSession};
+
+    fn spawn_tier_service(db: &Arc<Database>, shards: usize, tier: SessionTier) -> PirService {
+        PirService::bind(
+            cpu_engine(db, shards),
+            "127.0.0.1:0",
+            ServiceConfig {
+                session_tier: tier,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn event_tier_answers_like_the_inprocess_engine() {
+        let db = Arc::new(Database::random(300, 16, 21).unwrap());
+        let service = spawn_tier_service(&db, 3, SessionTier::Events);
+        let mut transport = TcpTransport::connect(service.addr()).unwrap();
+        assert_eq!(transport.cached_info().num_records, 300);
+
+        let mut client = PirClient::new(300, 16, 5).unwrap();
+        let (shares, _) = client.generate_batch(&[0, 123, 299, 123]).unwrap();
+        let remote = transport.query_batch(&shares).unwrap();
+        let local = cpu_engine(&db, 3).execute_batch(&shares).unwrap();
+        assert_eq!(remote.responses, local.responses);
+        // Updates, scans and epoch info ride the same loop.
+        let outcome = transport.apply_updates(&[(7, vec![0xAB; 16])]).unwrap();
+        assert_eq!(outcome.epoch, 1);
+        let selector: SelectorVector = (0..300).map(|i| i % 7 == 0).collect();
+        assert_eq!(transport.scan_selector(&selector).unwrap().epoch, 1);
+        drop(transport);
+        service.shutdown();
+    }
+
+    #[test]
+    fn mux_sessions_answer_correctly_on_both_tiers() {
+        let db = Arc::new(Database::random(256, 8, 31).unwrap());
+        for tier in [SessionTier::Threads, SessionTier::Events] {
+            let service = spawn_tier_service(&db, 2, tier);
+            let connection = MuxConnection::connect(service.addr()).unwrap();
+            let mut local = cpu_engine(&db, 1);
+            let mut sessions: Vec<MuxSession> =
+                (0..4).map(|_| connection.session().unwrap()).collect();
+            // Interleave: every session sends, then every session's
+            // answer is checked against the in-process engine.
+            let mut expected = Vec::new();
+            for (index, session) in sessions.iter_mut().enumerate() {
+                let mut client = PirClient::new(256, 8, index as u64).unwrap();
+                let indices: Vec<u64> =
+                    (0..5).map(|i| (i * 31 + index as u64 * 13) % 256).collect();
+                let (shares, _) = client.generate_batch(&indices).unwrap();
+                let batch = session.query_batch(&shares).unwrap();
+                expected.push((shares, batch.responses));
+            }
+            for (shares, responses) in expected {
+                assert_eq!(
+                    responses,
+                    local.execute_batch(&shares).unwrap().responses,
+                    "tier {tier}"
+                );
+            }
+            drop(sessions);
+            drop(connection);
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn logical_session_budget_counts_mux_sessions() {
+        let db = Arc::new(Database::random(64, 8, 91).unwrap());
+        // Budget 2: the connection's root session plus ONE multiplexed
+        // session; the next distinct session id must be refused while the
+        // connection (and its admitted sessions) keep working.
+        let service = PirService::bind(
+            cpu_engine(&db, 1),
+            "127.0.0.1:0",
+            ServiceConfig {
+                max_sessions: Some(2),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let connection = MuxConnection::connect(service.addr()).unwrap();
+        let mut admitted = connection.session().unwrap();
+        let mut client = PirClient::new(64, 8, 6).unwrap();
+        let (shares, _) = client.generate_batch(&[3]).unwrap();
+        assert_eq!(admitted.query_batch(&shares).unwrap().responses.len(), 1);
+
+        let mut refused = connection.session().unwrap();
+        match refused.query_batch(&shares) {
+            Err(PirError::Protocol { reason }) => {
+                assert!(reason.contains("session budget"), "{reason}");
+            }
+            other => panic!("expected a budget refusal, got {other:?}"),
+        }
+        // The admitted session is still healthy after its sibling's
+        // refusal.
+        assert_eq!(admitted.query_batch(&shares).unwrap().responses.len(), 1);
+        drop((admitted, refused, connection));
+        service.shutdown();
+    }
+
+    #[test]
+    fn event_tier_session_budget_ends_the_service() {
+        let db = Arc::new(Database::random(64, 8, 81).unwrap());
+        let service = PirService::bind(
+            cpu_engine(&db, 1),
+            "127.0.0.1:0",
+            ServiceConfig {
+                max_sessions: Some(1),
+                session_tier: SessionTier::Events,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = service.addr();
+        let joiner = std::thread::spawn(move || service.join());
+        {
+            let mut transport = TcpTransport::connect(addr).unwrap();
+            let mut client = PirClient::new(64, 8, 4).unwrap();
+            let (shares, _) = client.generate_batch(&[0]).unwrap();
+            assert_eq!(transport.query_batch(&shares).unwrap().responses.len(), 1);
+        } // disconnect → the single budgeted session drains the loop
         joiner.join().unwrap();
     }
 }

@@ -29,7 +29,7 @@ use impir_server::cli::{
     topology_from_flags, USAGE,
 };
 use impir_server::router::PirRouter;
-use impir_server::{build_service_with, service_config_for, ServiceConfig};
+use impir_server::{build_service_with, service_config_for};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,10 +90,13 @@ fn serve_replica(
     max_sessions: Option<usize>,
 ) -> Result<(), String> {
     let spec = &topology.replicas[replica];
-    let service_config = ServiceConfig {
-        max_sessions,
-        ..service_config_for(topology)
-    };
+    let mut service_config = service_config_for(topology);
+    if max_sessions.is_some() {
+        // The command-line budget wins over the topology's `max-sessions`
+        // key: how long *this* process serves is operational.
+        service_config.max_sessions = max_sessions;
+    }
+    let max_sessions = service_config.max_sessions;
     let service =
         build_service_with(topology, replica, service_config).map_err(|e| e.to_string())?;
     let sharding = spec.sharding.unwrap_or(topology.sharding);

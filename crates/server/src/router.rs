@@ -3,13 +3,18 @@
 //! [`PirRouter`] speaks the ordinary client-side [`impir_core::wire`]
 //! protocol on its listen address — a client cannot tell a router from a
 //! replica — and forwards every session's frames to one of the topology's
-//! replicas over a per-session [`TcpTransport`]:
+//! replicas over a **shared multiplexed connection per replica**
+//! ([`MuxConnection`]): every client session, health probe and catch-up
+//! replay to the same replica rides one TCP connection as its own
+//! logical [`MuxSession`], instead of dialing a fresh socket each:
 //!
 //! * **spreading** — sessions are assigned round-robin over the healthy
 //!   replicas, so concurrent clients land on different replicas;
 //! * **accounting** — per-replica request/response wire bytes are
 //!   accumulated across all sessions and probes
-//!   ([`PirRouter::replica_traffic`]);
+//!   ([`PirRouter::replica_traffic`]): each slot's totals are the bytes
+//!   folded in from connections that have since been replaced plus the
+//!   live connection's counters;
 //! * **health probing** — a background prober sends
 //!   [`Frame::EpochInfoRequest`] to every replica on the topology's
 //!   `probe-interval-ms`; an unreachable replica is marked unhealthy (no
@@ -17,17 +22,28 @@
 //!   `max-lag-epochs` behind the fleet's front epoch is **caught up** by
 //!   replaying its missed batches from an ahead peer's update journal
 //!   (the PR 7 recovery path, driven fleet-side instead of client-side);
-//! * **failover** — when a replica dies mid-session, idempotent requests
-//!   (queries, scans, info, replay) transparently move to the next
-//!   healthy replica and are retried there; the client only ever sees an
-//!   answer. A failed request is first re-checked with an epoch probe so
-//!   a *genuine server rejection* (bad share domain, oversized batch) is
-//!   reported to the client instead of being retried elsewhere;
+//! * **failover** — when a replica dies mid-session, its shared
+//!   connection breaks, every in-flight request on it fails fast, and
+//!   idempotent requests (queries, scans, info, replay) transparently
+//!   move to the next healthy replica and are retried there; the client
+//!   only ever sees an answer. A failed request is first re-checked with
+//!   an epoch probe so a *genuine server rejection* (bad share domain,
+//!   oversized batch) is reported to the client instead of being retried
+//!   elsewhere;
+//! * **load-shed forwarding** — a replica's typed
+//!   [`Frame::Overloaded`] refusal means the replica is *alive* and
+//!   shedding; the router forwards it to the client verbatim rather
+//!   than failing over, so a hot fleet backs clients off instead of
+//!   stampeding the next replica;
 //! * **update fan-out** — an [`Frame::UpdateBatch`] is applied to every
 //!   healthy replica under one router-wide update lock (serialised
 //!   against the prober's catch-ups). Replicas that fail or were already
 //!   unhealthy are left behind and converge through the prober's journal
 //!   replay. The ack reports the highest epoch reached.
+//!
+//! [`PirRouter::shutdown`] joins *every* thread the router started —
+//! the accept loop, each session thread, the prober, and each backend
+//! connection's reader thread — before it returns.
 //!
 //! What the router does **not** hide: a query racing an in-flight update
 //! fan-out can observe two different epochs on two sessions — exactly
@@ -41,7 +57,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use impir_core::topology::{FleetTopology, RetrySpec};
-use impir_core::transport::{PirTransport, TcpTransport};
+use impir_core::transport::{MuxConnection, MuxSession, PirTransport};
 use impir_core::wire::{Frame, WIRE_VERSION};
 use impir_core::{PirError, UpdateOutcome};
 
@@ -49,6 +65,14 @@ use crate::{protocol, read_session_frame, write_session_frame};
 
 /// How often the blocked accept loop wakes to check the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// How many times a fan-out leg waits out a replica's typed overload
+/// refusal before leaving the replica to the prober's journal replay.
+const FAN_OUT_SHED_RETRIES: u32 = 3;
+
+/// Upper bound on honouring a replica's advertised `retry_after_ms`, so
+/// a bogus value cannot park a router thread for minutes.
+const MAX_SHED_WAIT: Duration = Duration::from_millis(1_000);
 
 /// One replica as the router sees it.
 struct ReplicaSlot {
@@ -58,14 +82,37 @@ struct ReplicaSlot {
     /// tolerated window; set again once the prober has it caught up.
     /// Sessions check this before every request and rotate away early.
     healthy: AtomicBool,
+    /// The slot's shared multiplexed connection. `None` until the first
+    /// session or probe needs it; replaced (never repaired) when broken.
+    conn: Mutex<Option<Arc<MuxConnection>>>,
+    /// Byte totals folded in from connections that have since been
+    /// replaced; the live connection's counters come on top.
     uploaded: AtomicU64,
     downloaded: AtomicU64,
+}
+
+impl ReplicaSlot {
+    /// Folded totals plus whatever the live connection has counted.
+    fn traffic(&self) -> (u64, u64) {
+        let mut up = self.uploaded.load(Ordering::Relaxed);
+        let mut down = self.downloaded.load(Ordering::Relaxed);
+        if let Ok(guard) = self.conn.lock() {
+            if let Some(conn) = guard.as_ref() {
+                up += conn.uploaded_bytes();
+                down += conn.downloaded_bytes();
+            }
+        }
+        (up, down)
+    }
 }
 
 /// State shared by the accept loop, every session thread and the prober.
 struct RouterState {
     slots: Vec<ReplicaSlot>,
     retry: RetrySpec,
+    /// Bound on any single backend socket write (reads stay unbounded:
+    /// the connections' reader threads legitimately block).
+    io_timeout: Duration,
     /// Round-robin cursor for assigning new sessions (and new backends
     /// after a failover) to replicas.
     next: AtomicUsize,
@@ -77,14 +124,53 @@ struct RouterState {
 }
 
 impl RouterState {
-    /// Adds a finished transport's byte counters to its slot's totals.
-    fn credit(&self, slot: usize, transport: &TcpTransport) {
-        self.slots[slot]
-            .uploaded
-            .fetch_add(transport.uploaded_bytes(), Ordering::Relaxed);
-        self.slots[slot]
-            .downloaded
-            .fetch_add(transport.downloaded_bytes(), Ordering::Relaxed);
+    /// The slot's live multiplexed connection, dialing one if the slot
+    /// has none or the previous one broke. A dead connection's byte
+    /// counters are folded into the slot totals before it is replaced;
+    /// sessions still holding it fail fast and rotate.
+    fn connection(&self, slot: usize) -> Result<Arc<MuxConnection>, PirError> {
+        let slot_ref = &self.slots[slot];
+        let mut guard = slot_ref
+            .conn
+            .lock()
+            .map_err(|_| protocol("router replica-connection lock poisoned"))?;
+        if let Some(conn) = guard.as_ref() {
+            if !conn.is_broken() {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        if let Some(dead) = guard.take() {
+            slot_ref
+                .uploaded
+                .fetch_add(dead.uploaded_bytes(), Ordering::Relaxed);
+            slot_ref
+                .downloaded
+                .fetch_add(dead.downloaded_bytes(), Ordering::Relaxed);
+        }
+        let conn = Arc::new(self.connect_slot(slot)?);
+        *guard = Some(Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Dials `slot` with the topology's retry/backoff spec. Runs under
+    /// the slot's connection lock: concurrent sessions needing the same
+    /// replica wait for one dialer instead of racing it.
+    fn connect_slot(&self, slot: usize) -> Result<MuxConnection, PirError> {
+        let addr = self.slots[slot].addr.as_str();
+        let mut backoff = Duration::from_millis(self.retry.backoff_ms);
+        let max_backoff = Duration::from_millis(self.retry.max_backoff_ms);
+        let mut last: Option<PirError> = None;
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(max_backoff);
+            }
+            match MuxConnection::connect_with(addr, Some(self.io_timeout)) {
+                Ok(conn) => return Ok(conn),
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(last.expect("at least one connect attempt runs"))
     }
 }
 
@@ -139,13 +225,16 @@ impl PirRouter {
                     .clone()
                     .expect("validate() guarantees router fleets are all-TCP"),
                 healthy: AtomicBool::new(true),
+                conn: Mutex::new(None),
                 uploaded: AtomicU64::new(0),
                 downloaded: AtomicU64::new(0),
             })
             .collect();
+        let io_timeout = topology.service_io_timeout();
         let state = Arc::new(RouterState {
             slots,
             retry: topology.retry,
+            io_timeout,
             next: AtomicUsize::new(0),
             update_lock: Mutex::new(()),
             max_lag_epochs: router.max_lag_epochs,
@@ -163,7 +252,6 @@ impl PirRouter {
                 reason: format!("configuring router listener: {err}"),
             })?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let io_timeout = topology.service_io_timeout();
         let probe_interval = Duration::from_millis(router.probe_interval_ms);
 
         let accept_state = Arc::clone(&state);
@@ -197,17 +285,21 @@ impl PirRouter {
         self.state
             .slots
             .iter()
-            .map(|slot| ReplicaTraffic {
-                name: slot.name.clone(),
-                healthy: slot.healthy.load(Ordering::SeqCst),
-                uploaded_bytes: slot.uploaded.load(Ordering::Relaxed),
-                downloaded_bytes: slot.downloaded.load(Ordering::Relaxed),
+            .map(|slot| {
+                let (uploaded_bytes, downloaded_bytes) = slot.traffic();
+                ReplicaTraffic {
+                    name: slot.name.clone(),
+                    healthy: slot.healthy.load(Ordering::SeqCst),
+                    uploaded_bytes,
+                    downloaded_bytes,
+                }
             })
             .collect()
     }
 
     /// Gracefully stops the router: no new sessions, in-flight requests
-    /// drain, every thread is joined.
+    /// drain, every thread is joined — session threads, the prober, and
+    /// each backend connection's reader thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -219,6 +311,21 @@ impl PirRouter {
         }
         if let Some(handle) = self.prober_handle.take() {
             let _ = handle.join();
+        }
+        // With the accept loop joined, every session thread is joined
+        // too, so the slots hold the last reference to each backend
+        // connection: dropping them here sends the connection-level
+        // Goodbyes and joins their reader threads — shutdown() returns
+        // with no router thread left running.
+        for slot in &self.state.slots {
+            if let Ok(mut guard) = slot.conn.lock() {
+                if let Some(conn) = guard.take() {
+                    slot.uploaded
+                        .fetch_add(conn.uploaded_bytes(), Ordering::Relaxed);
+                    slot.downloaded
+                        .fetch_add(conn.downloaded_bytes(), Ordering::Relaxed);
+                }
+            }
         }
     }
 }
@@ -262,6 +369,8 @@ fn accept_loop(
             }
             Err(_) => break,
         }
+        // Reap finished sessions every pass so a long-lived router does
+        // not accumulate one parked JoinHandle per past client.
         let mut still_running = Vec::with_capacity(sessions.len());
         for session in sessions {
             if session.is_finished() {
@@ -277,16 +386,26 @@ fn accept_loop(
     }
 }
 
-/// The router side of one client session: a backend transport pinned to
-/// one replica, with failover when that replica dies.
+/// The router side of one client session: a logical [`MuxSession`] on
+/// the pinned replica's shared connection, with failover when that
+/// replica dies.
 struct RoutedBackend {
     slot: usize,
-    transport: TcpTransport,
+    /// Pins the shared connection so it cannot be dropped out from
+    /// under the session (the slot may replace its `Arc` on breakage).
+    conn: Arc<MuxConnection>,
+    session: MuxSession,
+    info: impir_core::ServerInfo,
 }
 
 impl RoutedBackend {
-    /// Connects to the next healthy replica, round-robin. Replicas that
-    /// refuse the connection are marked unhealthy and skipped.
+    /// Opens a session on the next healthy replica, round-robin, and
+    /// fetches its current [`impir_core::ServerInfo`] — so the client's
+    /// HelloAck carries the replica's live epoch, exactly as if it had
+    /// dialed the replica itself. Replicas that refuse the connection
+    /// are marked unhealthy and skipped; a replica that answers with a
+    /// typed overload refusal is *alive*, so the refusal propagates
+    /// instead of condemning the replica.
     fn connect(state: &RouterState) -> Result<Self, PirError> {
         let slots = state.slots.len();
         let start = state.next.fetch_add(1, Ordering::Relaxed);
@@ -296,13 +415,32 @@ impl RoutedBackend {
             if !state.slots[slot].healthy.load(Ordering::SeqCst) {
                 continue;
             }
-            match TcpTransport::connect_with(state.slots[slot].addr.as_str(), state.retry.policy())
-            {
-                Ok(transport) => {
-                    state.credit(slot, &transport);
-                    // The handshake's bytes are already counted; later
-                    // requests are credited as deltas on top of this.
-                    return Ok(RoutedBackend { slot, transport });
+            let conn = match state.connection(slot) {
+                Ok(conn) => conn,
+                Err(err) => {
+                    state.slots[slot].healthy.store(false, Ordering::SeqCst);
+                    last_error = Some(err);
+                    continue;
+                }
+            };
+            let mut session = match conn.session() {
+                Ok(session) => session,
+                Err(err) => {
+                    last_error = Some(err);
+                    continue;
+                }
+            };
+            match session.server_info() {
+                Ok(info) => {
+                    return Ok(RoutedBackend {
+                        slot,
+                        conn,
+                        session,
+                        info,
+                    })
+                }
+                Err(PirError::Overloaded { retry_after_ms }) => {
+                    last_error = Some(PirError::Overloaded { retry_after_ms });
                 }
                 Err(err) => {
                     state.slots[slot].healthy.store(false, Ordering::SeqCst);
@@ -316,34 +454,33 @@ impl RoutedBackend {
     /// Runs one idempotent request against the pinned replica, failing
     /// over to the next healthy one if the replica is dead. A failed
     /// request is first re-checked with an epoch probe on the same
-    /// connection: if the replica still answers, the failure was a
-    /// genuine rejection and is returned to the client instead of being
-    /// retried elsewhere.
+    /// session: if the replica still answers, the failure was a genuine
+    /// rejection and is returned to the client instead of being retried
+    /// elsewhere. A typed overload refusal is forwarded verbatim — the
+    /// replica is alive and shedding, and failing over would stampede
+    /// the rest of the fleet.
     fn call<T>(
         &mut self,
         state: &RouterState,
-        op: impl Fn(&mut TcpTransport) -> Result<T, PirError>,
+        op: impl Fn(&mut MuxSession) -> Result<T, PirError>,
     ) -> Result<T, PirError> {
         let slots = state.slots.len();
         for _ in 0..=slots {
             if !state.slots[self.slot].healthy.load(Ordering::SeqCst) {
                 self.rotate(state)?;
             }
-            let before_up = self.transport.uploaded_bytes();
-            let before_down = self.transport.downloaded_bytes();
-            let result = op(&mut self.transport);
-            state.slots[self.slot].uploaded.fetch_add(
-                self.transport.uploaded_bytes() - before_up,
-                Ordering::Relaxed,
-            );
-            state.slots[self.slot].downloaded.fetch_add(
-                self.transport.downloaded_bytes() - before_down,
-                Ordering::Relaxed,
-            );
-            match result {
+            match op(&mut self.session) {
                 Ok(value) => return Ok(value),
+                Err(PirError::Overloaded { retry_after_ms }) => {
+                    return Err(PirError::Overloaded { retry_after_ms });
+                }
                 Err(err) => {
-                    if self.transport.epoch_info().is_ok() {
+                    let alive = !self.conn.is_broken()
+                        && matches!(
+                            self.session.epoch_info(),
+                            Ok(_) | Err(PirError::Overloaded { .. })
+                        );
+                    if alive {
                         // The replica is alive — this is the server
                         // rejecting the request, not a fault.
                         return Err(err);
@@ -358,7 +495,7 @@ impl RoutedBackend {
         Err(protocol("every replica failed the request"))
     }
 
-    /// Replaces the dead backend with a connection to the next healthy
+    /// Replaces the dead backend with a session on the next healthy
     /// replica.
     fn rotate(&mut self, state: &RouterState) -> Result<(), PirError> {
         let replacement = RoutedBackend::connect(state)?;
@@ -378,7 +515,7 @@ fn session_loop(
     let _ = stream.set_write_timeout(Some(io_timeout));
 
     // Handshake: the router answers exactly like a replica would, using
-    // the backend replica's own advertised geometry.
+    // the backend replica's own advertised geometry and live epoch.
     let frame = match read_session_frame(&mut stream, shutdown) {
         Ok(Some(frame)) => frame,
         _ => return,
@@ -389,12 +526,22 @@ fn session_loop(
                 Ok(backend) => {
                     let ack = Frame::HelloAck {
                         version: WIRE_VERSION,
-                        info: backend.transport.cached_info(),
+                        info: backend.info,
                     };
                     if write_session_frame(&mut stream, &ack, shutdown).is_err() {
                         return;
                     }
                     backend
+                }
+                // Every replica is shedding: refuse the session with the
+                // same typed frame a replica would use.
+                Err(PirError::Overloaded { retry_after_ms }) => {
+                    let _ = write_session_frame(
+                        &mut stream,
+                        &Frame::Overloaded { retry_after_ms },
+                        shutdown,
+                    );
+                    return;
                 }
                 Err(err) => {
                     let _ = write_session_frame(
@@ -504,6 +651,9 @@ fn session_loop(
                 oldest_replayable,
                 current_epoch,
             },
+            // So is a load-shed refusal: the replica's backoff hint
+            // travels through the router untouched.
+            Err(PirError::Overloaded { retry_after_ms }) => Frame::Overloaded { retry_after_ms },
             Err(err) => Frame::Error {
                 message: err.to_string(),
             },
@@ -521,8 +671,9 @@ enum FanOutResult {
     /// Alive and *rejected* it (validation failure — deterministic, so
     /// identical on every replica: none of them lands the batch).
     Rejected(PirError),
-    /// Unhealthy, unreachable, or died mid-update; the prober's journal
-    /// replay catches it up later.
+    /// Unhealthy, unreachable, still shedding after the overload
+    /// retries, or died mid-update; the prober's journal replay catches
+    /// it up later.
     Skipped,
 }
 
@@ -572,35 +723,45 @@ fn fan_out_update(
     })
 }
 
-/// One replica's leg of [`fan_out_update`].
+/// One replica's leg of [`fan_out_update`], riding the slot's shared
+/// connection as its own logical session.
 fn fan_out_to_slot(state: &RouterState, slot: usize, updates: &[(u64, Vec<u8>)]) -> FanOutResult {
     if !state.slots[slot].healthy.load(Ordering::SeqCst) {
         return FanOutResult::Skipped;
     }
-    let mut transport =
-        match TcpTransport::connect_with(state.slots[slot].addr.as_str(), state.retry.policy()) {
-            Ok(transport) => transport,
-            Err(_) => {
+    let Ok(conn) = state.connection(slot) else {
+        state.slots[slot].healthy.store(false, Ordering::SeqCst);
+        return FanOutResult::Skipped;
+    };
+    let Ok(mut session) = conn.session() else {
+        return FanOutResult::Skipped;
+    };
+    for _ in 0..FAN_OUT_SHED_RETRIES {
+        match session.apply_updates(updates) {
+            Ok(outcome) => return FanOutResult::Applied(outcome),
+            // A shedding replica is alive: wait out its advertised
+            // backoff instead of condemning it to a journal replay.
+            Err(PirError::Overloaded { retry_after_ms }) => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms).min(MAX_SHED_WAIT));
+            }
+            Err(err) => {
+                let alive = !conn.is_broken()
+                    && matches!(
+                        session.epoch_info(),
+                        Ok(_) | Err(PirError::Overloaded { .. })
+                    );
+                if alive {
+                    // The replica is alive and rejected the batch; every
+                    // peer runs the same all-or-nothing validation and
+                    // rejects it too, so nothing has landed anywhere.
+                    return FanOutResult::Rejected(err);
+                }
                 state.slots[slot].healthy.store(false, Ordering::SeqCst);
                 return FanOutResult::Skipped;
             }
-        };
-    let result = transport.apply_updates(updates);
-    state.credit(slot, &transport);
-    match result {
-        Ok(outcome) => FanOutResult::Applied(outcome),
-        Err(err) => {
-            if transport.epoch_info().is_ok() {
-                // The replica is alive and rejected the batch; every peer
-                // runs the same all-or-nothing validation and rejects it
-                // too, so nothing has landed anywhere.
-                FanOutResult::Rejected(err)
-            } else {
-                state.slots[slot].healthy.store(false, Ordering::SeqCst);
-                FanOutResult::Skipped
-            }
         }
     }
+    FanOutResult::Skipped
 }
 
 /// Sleeps `total` in small steps so shutdown stays snappy.
@@ -623,7 +784,8 @@ fn prober_loop(state: &Arc<RouterState>, shutdown: &AtomicBool, probe_interval: 
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // Probe every replica with a short-lived control connection.
+        // Probe every replica with its own logical session on the
+        // slot's shared connection.
         let mut epochs: Vec<Option<u64>> = Vec::with_capacity(state.slots.len());
         for slot in 0..state.slots.len() {
             epochs.push(probe_epoch(state, slot));
@@ -651,19 +813,24 @@ fn prober_loop(state: &Arc<RouterState>, shutdown: &AtomicBool, probe_interval: 
 }
 
 /// One epoch probe against `slot`; `None` marks the replica unreachable
-/// (and unhealthy).
+/// (and unhealthy). A typed overload refusal gets one retry after the
+/// advertised backoff — a shedding replica is alive, and a single busy
+/// interval should not cost it its healthy flag.
 fn probe_epoch(state: &RouterState, slot: usize) -> Option<u64> {
-    let mut transport =
-        match TcpTransport::connect_with(state.slots[slot].addr.as_str(), state.retry.policy()) {
-            Ok(transport) => transport,
-            Err(_) => {
-                state.slots[slot].healthy.store(false, Ordering::SeqCst);
-                return None;
-            }
-        };
-    let info = transport.epoch_info();
-    state.credit(slot, &transport);
-    match info {
+    let Ok(conn) = state.connection(slot) else {
+        state.slots[slot].healthy.store(false, Ordering::SeqCst);
+        return None;
+    };
+    let Ok(mut session) = conn.session() else {
+        state.slots[slot].healthy.store(false, Ordering::SeqCst);
+        return None;
+    };
+    let mut attempt = session.epoch_info();
+    if let Err(PirError::Overloaded { retry_after_ms }) = attempt {
+        std::thread::sleep(Duration::from_millis(retry_after_ms).min(MAX_SHED_WAIT));
+        attempt = session.epoch_info();
+    }
+    match attempt {
         Ok(info) => Some(info.current_epoch),
         Err(_) => {
             state.slots[slot].healthy.store(false, Ordering::SeqCst);
@@ -679,13 +846,14 @@ fn catch_up(state: &RouterState, behind: usize, ahead: usize) -> bool {
     let Ok(_guard) = state.update_lock.lock() else {
         return false;
     };
-    let Ok(mut ahead_transport) =
-        TcpTransport::connect_with(state.slots[ahead].addr.as_str(), state.retry.policy())
-    else {
+    let Ok(ahead_conn) = state.connection(ahead) else {
         return false;
     };
-    let Ok(mut behind_transport) =
-        TcpTransport::connect_with(state.slots[behind].addr.as_str(), state.retry.policy())
+    let Ok(behind_conn) = state.connection(behind) else {
+        return false;
+    };
+    let (Ok(mut ahead_session), Ok(mut behind_session)) =
+        (ahead_conn.session(), behind_conn.session())
     else {
         return false;
     };
@@ -696,8 +864,8 @@ fn catch_up(state: &RouterState, behind: usize, ahead: usize) -> bool {
         // and replay only what is genuinely missing — blindly replaying
         // `behind_epoch` would apply a batch twice and push the replica
         // *ahead* of its peers.
-        let current = behind_transport.epoch_info()?.current_epoch;
-        let ahead_epoch = ahead_transport.epoch_info()?.current_epoch;
+        let current = behind_session.epoch_info()?.current_epoch;
+        let ahead_epoch = ahead_session.epoch_info()?.current_epoch;
         if current >= ahead_epoch {
             return Ok(());
         }
@@ -705,13 +873,142 @@ fn catch_up(state: &RouterState, behind: usize, ahead: usize) -> bool {
         // healed over the wire and needs a re-seed — it simply stays
         // unhealthy, and the probe log (epoch never converging) is the
         // operator's signal.
-        let batches = ahead_transport.replay_updates(current)?;
+        let batches = ahead_session.replay_updates(current)?;
         for batch in batches {
-            behind_transport.apply_updates(&batch)?;
+            behind_session.apply_updates(&batch)?;
         }
         Ok(())
     })();
-    state.credit(ahead, &ahead_transport);
-    state.credit(behind, &behind_transport);
     replayed.is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_service;
+    use impir_core::topology::{ReplicaSpec, RouterSpec};
+    use impir_core::transport::{LocalTransport, TcpTransport};
+    use impir_core::PirClient;
+
+    /// Binds and releases an ephemeral port so the topology can name a
+    /// concrete replica address (the classic free-port dance; fine for
+    /// tests, racy in production).
+    fn free_addr() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        addr
+    }
+
+    fn routed_fleet(replicas: usize) -> FleetTopology {
+        let mut topology = FleetTopology::new(192, 8, 77);
+        for index in 0..replicas {
+            topology
+                .replicas
+                .push(ReplicaSpec::tcp(format!("r{index}"), free_addr()));
+        }
+        topology.router = Some(RouterSpec {
+            listen: free_addr(),
+            probe_interval_ms: 50,
+            max_lag_epochs: 0,
+        });
+        topology
+    }
+
+    /// The process's live thread count, from the kernel's own books.
+    fn live_threads() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .unwrap()
+            .lines()
+            .find_map(|line| line.strip_prefix("Threads:"))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn routed_sessions_answer_over_shared_replica_connections() {
+        let topology = routed_fleet(2);
+        let services: Vec<_> = (0..2)
+            .map(|index| build_service(&topology, index).unwrap())
+            .collect();
+        let router = PirRouter::bind(&topology).unwrap();
+
+        // Four concurrent client sessions: round-robin lands them on both
+        // replicas, every backend leg multiplexed over one connection per
+        // replica.
+        let mut transports: Vec<TcpTransport> = (0..4)
+            .map(|_| TcpTransport::connect(router.addr()).unwrap())
+            .collect();
+        let mut oracle = LocalTransport::new(topology.build_engine(0).unwrap());
+        let mut client = PirClient::new(192, 8, 5).unwrap();
+        let (shares, _) = client.generate_batch(&[0, 100, 191]).unwrap();
+        let expected = oracle.query_batch(&shares).unwrap();
+        for transport in &mut transports {
+            let batch = transport.query_batch(&shares).unwrap();
+            assert_eq!(batch.responses, expected.responses);
+        }
+
+        // One update through one session reaches every replica.
+        let ack = transports[0].apply_updates(&[(7, vec![0xEE; 8])]).unwrap();
+        assert_eq!(ack.epoch, 1);
+
+        for traffic in router.replica_traffic() {
+            assert!(traffic.healthy, "replica {} unhealthy", traffic.name);
+            assert!(
+                traffic.uploaded_bytes > 0 && traffic.downloaded_bytes > 0,
+                "replica {} saw no traffic",
+                traffic.name
+            );
+        }
+        drop(transports);
+        router.shutdown();
+        for service in services {
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_every_router_thread() {
+        let topology = routed_fleet(2);
+        let services: Vec<_> = (0..2)
+            .map(|index| build_service(&topology, index).unwrap())
+            .collect();
+        let before = live_threads();
+
+        let router = PirRouter::bind(&topology).unwrap();
+        let mut transports: Vec<TcpTransport> = (0..3)
+            .map(|_| TcpTransport::connect(router.addr()).unwrap())
+            .collect();
+        let mut client = PirClient::new(192, 8, 9).unwrap();
+        let (shares, _) = client.generate_batch(&[1, 50]).unwrap();
+        for transport in &mut transports {
+            assert_eq!(transport.query_batch(&shares).unwrap().responses.len(), 2);
+        }
+        drop(transports);
+        router.shutdown();
+
+        // The accept loop, the prober, every session thread and every
+        // backend connection's reader thread must be joined before
+        // shutdown() returns. The replicas' own session threads (they
+        // live in this process too) exit asynchronously when the
+        // connections close, so give the count a moment to settle.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let now = live_threads();
+            if now <= before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "router shutdown left {} thread(s) running",
+                now - before
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for service in services {
+            service.shutdown();
+        }
+    }
 }

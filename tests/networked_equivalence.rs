@@ -11,14 +11,19 @@
 //! could drift apart. Ephemeral ports (`:0`) keep parallel test runs from
 //! colliding; clients dial whatever the services actually bound.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 
 use im_pir::core::multi_server::NServerNaivePir;
 use im_pir::core::scheme::TwoServerPir;
-use im_pir::core::topology::{BackendSpec, FleetTopology, RebalanceMode, ReplicaSpec, ShardPolicy};
-use im_pir::core::transport::{LocalTransport, PirTransport, TcpTransport};
-use im_pir::core::PirClient;
-use impir_server::build_service;
+use im_pir::core::topology::{
+    BackendSpec, FleetTopology, RebalanceMode, ReplicaSpec, SessionTier, ShardPolicy,
+};
+use im_pir::core::transport::{LocalTransport, MuxConnection, PirTransport, TcpTransport};
+use im_pir::core::wire::{Frame, WIRE_VERSION};
+use im_pir::core::{PirClient, PirError};
+use impir_server::{build_service, build_service_with, ServiceConfig};
 
 const RECORDS: u64 = 600;
 const RECORD_BYTES: usize = 24;
@@ -98,6 +103,423 @@ fn tcp_and_local_transports_answer_byte_identically_across_updates() {
 
         service.shutdown();
     }
+}
+
+#[test]
+fn event_tier_answers_byte_identically_to_the_threaded_tier_across_updates() {
+    // The same topology served by both session tiers, compared against
+    // the same in-process oracle — pre- and post-update. This is the
+    // contract that lets `session-tier = events` swap in transparently:
+    // the tiers share every reply constructor, so nothing on the wire
+    // reveals which one answered.
+    let indices = [0u64, 1, 299, 300, 599, 123, 123];
+    let updates: Vec<(u64, Vec<u8>)> = vec![
+        (0, vec![0x11; RECORD_BYTES]),
+        (299, vec![0x22; RECORD_BYTES]),
+        (599, vec![0x44; RECORD_BYTES]),
+    ];
+
+    let mut threaded_topology = cpu_fleet(3);
+    threaded_topology.session_tier = SessionTier::Threads;
+    let mut event_topology = cpu_fleet(3);
+    event_topology.session_tier = SessionTier::Events;
+
+    let threaded = build_service(&threaded_topology, 0).unwrap();
+    let events = build_service(&event_topology, 0).unwrap();
+    let mut over_threads = TcpTransport::connect(threaded.addr()).unwrap();
+    let mut over_events = TcpTransport::connect(events.addr()).unwrap();
+    let mut oracle = LocalTransport::new(cpu_fleet(3).build_engine(0).unwrap());
+
+    assert_eq!(
+        over_events.server_info().unwrap(),
+        over_threads.server_info().unwrap()
+    );
+
+    let mut client = PirClient::new(RECORDS, RECORD_BYTES, 5).unwrap();
+    let (shares, _) = client.generate_batch(&indices).unwrap();
+    let threaded_reply = over_threads.query_batch(&shares).unwrap();
+    let event_reply = over_events.query_batch(&shares).unwrap();
+    let oracle_reply = oracle.query_batch(&shares).unwrap();
+    assert_eq!(threaded_reply.responses, oracle_reply.responses);
+    assert_eq!(
+        event_reply.responses, oracle_reply.responses,
+        "pre-update responses must not depend on the session tier"
+    );
+    assert_eq!(event_reply.upload_bytes, threaded_reply.upload_bytes);
+    assert_eq!(event_reply.download_bytes, threaded_reply.download_bytes);
+
+    for transport in [
+        &mut over_threads as &mut dyn PirTransport,
+        &mut over_events,
+        &mut oracle,
+    ] {
+        assert_eq!(transport.apply_updates(&updates).unwrap().epoch, 1);
+    }
+
+    let threaded_reply = over_threads.query_batch(&shares).unwrap();
+    let event_reply = over_events.query_batch(&shares).unwrap();
+    let oracle_reply = oracle.query_batch(&shares).unwrap();
+    assert_eq!(threaded_reply.responses, oracle_reply.responses);
+    assert_eq!(
+        event_reply.responses, oracle_reply.responses,
+        "post-update responses must not depend on the session tier"
+    );
+    assert_eq!(event_reply.epoch, 1);
+
+    drop(over_threads);
+    drop(over_events);
+    threaded.shutdown();
+    events.shutdown();
+}
+
+#[test]
+fn interleaved_mux_sessions_match_separate_connections() {
+    // N logical sessions multiplexed onto ONE TCP connection, driven
+    // concurrently from N threads, must answer byte-identically to the
+    // same N query streams issued over N separate connections: session
+    // multiplexing is invisible to the PIR protocol.
+    const SESSIONS: usize = 4;
+    const WAVES: usize = 3;
+    let topology = cpu_fleet(2);
+    let service = build_service(&topology, 0).unwrap();
+
+    let share_batches: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let mut client = PirClient::new(RECORDS, RECORD_BYTES, 40 + i as u64).unwrap();
+            let indices = [i as u64, 100 + i as u64, 599 - i as u64];
+            let (shares, _) = client.generate_batch(&indices).unwrap();
+            shares
+        })
+        .collect();
+
+    // The baseline: each stream over its own dedicated connection.
+    let separate: Vec<Vec<_>> = share_batches
+        .iter()
+        .map(|shares| {
+            let mut transport = TcpTransport::connect(service.addr()).unwrap();
+            (0..WAVES)
+                .map(|_| transport.query_batch(shares).unwrap())
+                .collect()
+        })
+        .collect();
+
+    // The same streams interleaved on one multiplexed connection; the
+    // barrier makes every session fire its waves concurrently so the
+    // frames genuinely interleave on the socket.
+    let conn = MuxConnection::connect(service.addr()).unwrap();
+    let barrier = Arc::new(std::sync::Barrier::new(SESSIONS));
+    let multiplexed: Vec<Vec<_>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = share_batches
+            .iter()
+            .map(|shares| {
+                let mut session = conn.session().unwrap();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    (0..WAVES)
+                        .map(|_| session.query_batch(shares).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (session, (mux_waves, separate_waves)) in multiplexed.iter().zip(&separate).enumerate() {
+        for (wave, (muxed, dedicated)) in mux_waves.iter().zip(separate_waves).enumerate() {
+            assert_eq!(
+                muxed.responses, dedicated.responses,
+                "session {session} wave {wave}: multiplexed responses must be \
+                 byte-identical to a dedicated connection"
+            );
+            assert_eq!(muxed.epoch, dedicated.epoch);
+        }
+    }
+
+    drop(conn);
+    service.shutdown();
+}
+
+/// Writes one frame to a raw socket — the hostile-client's-eye view of
+/// the protocol, no transport layer in between.
+fn write_frame(stream: &mut TcpStream, frame: &Frame) {
+    stream.write_all(&frame.encode().unwrap()).unwrap();
+}
+
+/// Reads one length-prefixed frame from a raw socket.
+fn read_frame(stream: &mut TcpStream) -> Frame {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).unwrap();
+    let body_len = u32::from_le_bytes(len) as usize;
+    let mut buf = len.to_vec();
+    buf.resize(4 + body_len, 0);
+    stream.read_exact(&mut buf[4..]).unwrap();
+    Frame::decode(&buf).unwrap()
+}
+
+#[test]
+fn event_tier_sheds_overload_with_typed_refusals_and_recovers() {
+    // Saturate a 1-slot admission queue: a bulk update occupies the
+    // dispatcher while three multiplexed query sessions arrive on the
+    // same connection. At least one must be refused with the *typed*
+    // `Overloaded` frame — not a generic error, never a dropped
+    // connection — and after the queue drains the very same sessions
+    // keep serving.
+    let mut topology = cpu_fleet(1);
+    topology.session_tier = SessionTier::Events;
+    let service = build_service_with(
+        &topology,
+        0,
+        ServiceConfig {
+            session_tier: SessionTier::Events,
+            admission_capacity: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(service.addr()).unwrap();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+    );
+    assert!(matches!(
+        read_frame(&mut stream),
+        Frame::HelloAck {
+            version: WIRE_VERSION,
+            ..
+        }
+    ));
+
+    // A bulk update big enough to hold the dispatcher for a while.
+    let updates: Vec<(u64, Vec<u8>)> = (0..120_000u64)
+        .map(|i| (i % RECORDS, vec![(i % 251) as u8; RECORD_BYTES]))
+        .collect();
+    let mut client = PirClient::new(RECORDS, RECORD_BYTES, 31).unwrap();
+    let (shares, _) = client.generate_batch(&[0, 299, 599]).unwrap();
+
+    // One burst, written back-to-back before reading any reply: the
+    // update grabs the dispatcher, the first query takes the only
+    // admission slot, the rest must be shed.
+    write_frame(
+        &mut stream,
+        &wrap(
+            1,
+            Frame::UpdateBatch {
+                updates: updates.clone(),
+            },
+        ),
+    );
+    for session in 2..=4u32 {
+        write_frame(
+            &mut stream,
+            &wrap(
+                session,
+                Frame::QueryBatch {
+                    shares: shares.clone(),
+                },
+            ),
+        );
+    }
+
+    let mut shed = Vec::new();
+    let mut answered = Vec::new();
+    let mut update_acked = false;
+    for _ in 0..4 {
+        match read_frame(&mut stream) {
+            Frame::Mux { session: 1, frame } => {
+                assert!(matches!(*frame, Frame::UpdateAck { outcome } if outcome.epoch == 1));
+                update_acked = true;
+            }
+            Frame::Mux { session, frame } => match *frame {
+                Frame::Overloaded { retry_after_ms } => {
+                    assert!(retry_after_ms > 0, "the backoff hint must be usable");
+                    shed.push(session);
+                }
+                Frame::ResponseBatch { epoch, .. } => {
+                    // An admitted query ran after the update the
+                    // dispatcher was busy with — never against the
+                    // pre-update database.
+                    assert_eq!(epoch, 1);
+                    answered.push(session);
+                }
+                other => panic!("unexpected reply for session {session}: {other:?}"),
+            },
+            other => panic!("unexpected unmuxed reply: {other:?}"),
+        }
+    }
+    assert!(update_acked);
+    assert!(
+        !shed.is_empty(),
+        "a full admission queue must shed at least one of the burst queries"
+    );
+
+    // Recovery: the shed sessions retry on the SAME connection and get
+    // real answers, identical to the in-process oracle's.
+    let mut oracle = LocalTransport::new(cpu_fleet(1).build_engine(0).unwrap());
+    oracle.apply_updates(&updates).unwrap();
+    let expected = oracle.query_batch(&shares).unwrap();
+    for session in shed {
+        write_frame(
+            &mut stream,
+            &wrap(
+                session,
+                Frame::QueryBatch {
+                    shares: shares.clone(),
+                },
+            ),
+        );
+        match read_frame(&mut stream) {
+            Frame::Mux {
+                session: replied,
+                frame,
+            } => {
+                assert_eq!(replied, session);
+                match *frame {
+                    Frame::ResponseBatch {
+                        epoch, responses, ..
+                    } => {
+                        assert_eq!(epoch, 1);
+                        assert_eq!(
+                            responses, expected.responses,
+                            "a recovered session answers byte-identically"
+                        );
+                    }
+                    Frame::Overloaded { retry_after_ms } => {
+                        panic!("queue already drained, nothing to shed ({retry_after_ms}ms hint)")
+                    }
+                    other => panic!("unexpected recovery reply: {other:?}"),
+                }
+            }
+            other => panic!("unexpected unmuxed recovery reply: {other:?}"),
+        }
+    }
+
+    drop(stream);
+    service.shutdown();
+}
+
+/// Wraps `frame` for one logical session.
+fn wrap(session: u32, frame: Frame) -> Frame {
+    Frame::Mux {
+        session,
+        frame: Box::new(frame),
+    }
+}
+
+#[test]
+fn hostile_mux_input_gets_a_protocol_error_not_a_crash() {
+    // A nested Mux on a live event-tier connection produces a clean
+    // protocol error (and a closed connection) — the server stays up and
+    // keeps serving fresh connections.
+    let mut topology = cpu_fleet(1);
+    topology.session_tier = SessionTier::Events;
+    let service = build_service(&topology, 0).unwrap();
+
+    let mut stream = TcpStream::connect(service.addr()).unwrap();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+    );
+    let Frame::HelloAck { .. } = read_frame(&mut stream) else {
+        panic!("handshake failed");
+    };
+    // Hand-built nested Mux — the encoder refuses to produce this, so
+    // splice the bytes together manually.
+    let inner = wrap(2, Frame::InfoRequest).encode().unwrap();
+    let mut body = vec![18u8]; // outer Mux tag
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.extend_from_slice(&inner[4..]); // inner tag + body, no prefix
+    let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&body);
+    stream.write_all(&bytes).unwrap();
+    match read_frame(&mut stream) {
+        Frame::Error { message } => assert!(
+            message.contains("Mux"),
+            "the error names the violation: {message}"
+        ),
+        other => panic!("expected a protocol error frame, got {other:?}"),
+    }
+
+    // The violation cost that connection only; the service still serves.
+    let mut fresh = TcpTransport::connect(service.addr()).unwrap();
+    assert_eq!(fresh.server_info().unwrap().num_records, RECORDS);
+    drop(fresh);
+    drop(stream);
+    service.shutdown();
+}
+
+#[test]
+fn client_side_overloaded_error_is_typed_and_retryable() {
+    // The client-facing face of load shedding: a MuxSession surfaces the
+    // refusal as `PirError::Overloaded` with the server's backoff hint,
+    // and the same session succeeds on retry.
+    let mut topology = cpu_fleet(1);
+    topology.session_tier = SessionTier::Events;
+    let service = build_service_with(
+        &topology,
+        0,
+        ServiceConfig {
+            session_tier: SessionTier::Events,
+            admission_capacity: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+
+    let conn = MuxConnection::connect(service.addr()).unwrap();
+    let mut client = PirClient::new(RECORDS, RECORD_BYTES, 47).unwrap();
+    let (shares, _) = client.generate_batch(&[5, 505]).unwrap();
+    let updates: Vec<(u64, Vec<u8>)> = (0..120_000u64)
+        .map(|i| (i % RECORDS, vec![0x3C; RECORD_BYTES]))
+        .collect();
+
+    // One session holds the dispatcher with a bulk update while two more
+    // hammer queries; with a single admission slot at least one query
+    // observes the typed refusal.
+    let saw_overload = std::thread::scope(|scope| {
+        let updater = {
+            let mut session = conn.session().unwrap();
+            let updates = &updates;
+            scope.spawn(move || session.apply_updates(updates).unwrap())
+        };
+        let queriers: Vec<_> = (0..2)
+            .map(|_| {
+                let mut session = conn.session().unwrap();
+                let shares = &shares;
+                scope.spawn(move || {
+                    let mut hits = 0u32;
+                    for _ in 0..200 {
+                        match session.query_batch(shares) {
+                            Ok(_) => {}
+                            Err(PirError::Overloaded { retry_after_ms }) => {
+                                assert!(retry_after_ms > 0);
+                                hits += 1;
+                            }
+                            Err(other) => panic!("only typed shedding is acceptable: {other}"),
+                        }
+                    }
+                    // Recovery on the very same logical session.
+                    session.query_batch(shares).unwrap();
+                    hits
+                })
+            })
+            .collect();
+        assert_eq!(updater.join().unwrap().epoch, 1);
+        queriers.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+    });
+    assert!(
+        saw_overload > 0,
+        "two query sessions against a 1-slot queue during a bulk update \
+         must observe at least one typed Overloaded refusal"
+    );
+
+    drop(conn);
+    service.shutdown();
 }
 
 #[test]

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Number of frame kinds `arbitrary_frame` cycles through.
-const FRAME_KINDS: u64 = 17;
+const FRAME_KINDS: u64 = 19;
 
 fn arbitrary_phase_time(rng: &mut StdRng) -> PhaseTime {
     // Finite, non-NaN values only: frame equality is the property under
@@ -178,7 +178,20 @@ fn arbitrary_frame(kind: u64, seed: u64) -> Frame {
             oldest_replayable: rng.gen_range(0..u64::MAX),
             current_epoch: rng.gen_range(0..u64::MAX),
         },
-        _ => Frame::Goodbye,
+        16 => Frame::Goodbye,
+        17 => {
+            // Wrap any non-Mux kind: nesting is a protocol violation, so
+            // the generator skips kind 17 when picking the inner frame.
+            let inner = rng.gen_range(0..FRAME_KINDS - 1);
+            let inner = if inner == 17 { 18 } else { inner };
+            Frame::Mux {
+                session: rng.gen_range(0..u32::MAX),
+                frame: Box::new(arbitrary_frame(inner, rng.gen())),
+            }
+        }
+        _ => Frame::Overloaded {
+            retry_after_ms: rng.gen_range(0..u64::MAX),
+        },
     }
 }
 
@@ -283,6 +296,82 @@ proptest! {
         ));
     }
 
+    /// The encoder refuses to put a `Mux` inside a `Mux` for any pair of
+    /// session ids — the violation is caught before bytes hit the wire.
+    #[test]
+    fn prop_encoder_refuses_nested_mux(outer in any::<u32>(), inner in any::<u32>()) {
+        let nested = Frame::Mux {
+            session: outer,
+            frame: Box::new(Frame::Mux {
+                session: inner,
+                frame: Box::new(Frame::Goodbye),
+            }),
+        };
+        prop_assert!(matches!(nested.encode(), Err(PirError::Protocol { .. })));
+    }
+
+    /// Hand-built wire bytes nesting a `Mux` inside a `Mux` decode to a
+    /// clean protocol error for any session ids — never a panic.
+    #[test]
+    fn prop_decoder_rejects_nested_mux_bytes(outer in any::<u32>(), inner in any::<u32>()) {
+        let mut body = Vec::new();
+        body.push(18u8); // Mux tag
+        body.extend_from_slice(&outer.to_le_bytes());
+        body.push(18u8); // inner Mux tag — hostile
+        body.extend_from_slice(&inner.to_le_bytes());
+        body.push(12u8); // innermost Goodbye
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        prop_assert!(matches!(
+            Frame::decode(&bytes),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
+    /// A `Mux` wrapper whose inner frame claims more bytes than the
+    /// connection delivered is rejected without allocating: the outer
+    /// length prefix bounds the inner frame too.
+    #[test]
+    fn prop_hostile_mux_inner_lengths_are_rejected(
+        session in any::<u32>(),
+        claimed in 1_000u32..u32::MAX,
+        id in any::<u64>(),
+    ) {
+        let mut body = Vec::new();
+        body.push(18u8); // Mux tag
+        body.extend_from_slice(&session.to_le_bytes());
+        body.push(3u8); // inner QueryBatch tag
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&id.to_le_bytes());
+        body.extend_from_slice(&claimed.to_le_bytes()); // key bytes it does not carry
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        prop_assert!(matches!(
+            Frame::decode(&bytes),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
+    /// A `Mux` cut anywhere — even mid-session-id, before the inner tag —
+    /// decodes to a clean protocol error.
+    #[test]
+    fn prop_truncated_mux_is_rejected(
+        session in any::<u32>(),
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = Frame::Mux {
+            session,
+            frame: Box::new(arbitrary_frame(seed % 17, seed)),
+        };
+        let encoded = frame.encode().expect("encodes");
+        let cut = (cut_seed % encoded.len() as u64) as usize;
+        prop_assert!(matches!(
+            Frame::decode(&encoded[..cut]),
+            Err(PirError::Protocol { .. })
+        ));
+    }
+
     /// Trailing garbage after a well-formed body is rejected for the new
     /// epoch/replay frames (the reader's `finish` check).
     #[test]
@@ -303,6 +392,19 @@ proptest! {
             Err(PirError::Protocol { .. })
         ));
     }
+}
+
+#[test]
+fn overloaded_trailing_garbage_is_rejected() {
+    let frame = Frame::Overloaded { retry_after_ms: 25 };
+    let mut encoded = frame.encode().expect("encodes");
+    encoded.push(0xA5);
+    let new_len = (encoded.len() - 4) as u32;
+    encoded[..4].copy_from_slice(&new_len.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&encoded),
+        Err(PirError::Protocol { .. })
+    ));
 }
 
 #[test]

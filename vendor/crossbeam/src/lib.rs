@@ -67,6 +67,25 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]; the unsent message is
+    /// handed back in either case.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently full.
+        Full(T),
+        /// All receivers have been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
     fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             state: Mutex::new(State {
@@ -121,6 +140,39 @@ pub mod channel {
             drop(state);
             self.chan.readable.notify_one();
             Ok(())
+        }
+
+        /// Sends `value` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] if a bounded channel is at capacity,
+        /// [`TrySendError::Disconnected`] if all receivers are gone; the
+        /// value is handed back in both cases.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.chan.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.chan.readable.notify_one();
+            Ok(())
+        }
+
+        /// Whether a bounded channel is currently at capacity (always
+        /// `false` for unbounded channels). Racy by nature — only a hint.
+        pub fn is_full(&self) -> bool {
+            let state = self.chan.state.lock().expect("channel lock poisoned");
+            match self.chan.capacity {
+                Some(cap) => state.queue.len() >= cap,
+                None => false,
+            }
         }
     }
 
@@ -270,6 +322,27 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(received, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert!(!tx.is_full());
+        tx.try_send(1).unwrap();
+        assert!(tx.is_full());
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(!tx.is_full());
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
     }
 
     #[test]
